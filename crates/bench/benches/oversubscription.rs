@@ -1,0 +1,71 @@
+//! Real-execution oversubscription benchmark (a laptop-scale slice of §5.3): the nested
+//! matmul under the plain OS scheduler vs. USF's SCHED_COOP, and an ablation of the inner
+//! runtime's barrier behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use usf_blas::{BarrierKind, BlasThreading};
+use usf_core::prelude::*;
+use usf_workloads::matmul::{run_matmul, MatmulConfig};
+
+fn matmul_cfg(exec: ExecMode, inner_threads: usize, barrier: BarrierKind) -> MatmulConfig {
+    MatmulConfig {
+        matrix_size: 192,
+        task_size: 48,
+        inner_threads,
+        outer_workers: 4,
+        inner_threading: BlasThreading::OpenMpLike,
+        barrier,
+        exec,
+        iterations: 1,
+    }
+}
+
+/// Baseline OS scheduling vs SCHED_COOP for the oversubscribed nested matmul.
+fn bench_nested_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_matmul_oversubscribed");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    for inner in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("baseline-os", inner), &inner, |b, &inner| {
+            b.iter(|| {
+                let r = run_matmul(&matmul_cfg(ExecMode::Os, inner, BarrierKind::BusyYield { yield_every: 64 }));
+                criterion::black_box(r.mflops)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sched_coop", inner), &inner, |b, &inner| {
+            b.iter(|| {
+                let usf = Usf::builder().cores(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)).build();
+                let p = usf.process("matmul");
+                let r = run_matmul(&matmul_cfg(ExecMode::Usf(p), inner, BarrierKind::BusyYield { yield_every: 64 }));
+                usf.shutdown();
+                criterion::black_box(r.mflops)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the three barrier behaviours of the inner runtime under the OS scheduler
+/// (the §5.2 interference discussion).
+fn bench_barrier_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_barrier_ablation");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    for (label, barrier) in [
+        ("blocking", BarrierKind::Blocking),
+        ("busy_yield", BarrierKind::BusyYield { yield_every: 64 }),
+        ("busy_spin", BarrierKind::BusySpin),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = run_matmul(&matmul_cfg(ExecMode::Os, 4, barrier));
+                criterion::black_box(r.mflops)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested_matmul, bench_barrier_ablation);
+criterion_main!(benches);

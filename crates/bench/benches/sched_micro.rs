@@ -1,0 +1,78 @@
+//! Microbenchmarks of the scheduler substrate (supporting §4): cost of the core scheduling
+//! operations and of thread creation with and without the thread cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use usf_core::prelude::*;
+use usf_nosv::{NosvConfig, NosvInstance};
+
+/// Cost of a submit → pause round trip between two attached workers (a worker swap).
+fn bench_pause_submit(c: &mut Criterion) {
+    let nosv = NosvInstance::new(NosvConfig::with_cores(2));
+    let pid = nosv.register_process("bench");
+    c.bench_function("nosv/yield_noop", |b| {
+        let handle = nosv.attach(pid, Some("bench-yield"));
+        b.iter(|| {
+            // With nothing else ready the yield keeps the core: measures the scheduling-point
+            // bookkeeping cost itself.
+            criterion::black_box(handle.yield_now());
+        });
+        handle.detach();
+    });
+}
+
+/// Thread creation cost: raw OS spawn vs. USF spawn (cache cold) vs. USF spawn (cache warm).
+fn bench_thread_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_creation");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+
+    group.bench_function("std_spawn_join", |b| {
+        b.iter(|| {
+            std::thread::spawn(|| criterion::black_box(1 + 1)).join().unwrap();
+        })
+    });
+
+    let usf = Usf::builder().cores(2).cache_capacity(64).build();
+    let p = usf.process("bench");
+    group.bench_function("usf_spawn_join_cached", |b| {
+        // Warm the cache first.
+        p.spawn(|| ()).join().unwrap();
+        b.iter(|| {
+            p.spawn(|| criterion::black_box(1 + 1)).join().unwrap();
+        })
+    });
+    group.finish();
+    usf.shutdown();
+}
+
+/// Scheduler throughput as oversubscription grows: N threads doing tiny critical sections on
+/// a 2-virtual-core instance.
+fn bench_oversubscribed_spawn_wave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn_wave");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    for threads in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("usf", threads), &threads, |b, &n| {
+            let usf = Usf::builder().cores(2).cache_capacity(64).build();
+            let p = usf.process("wave");
+            b.iter(|| {
+                let handles: Vec<_> = (0..n).map(|i| p.spawn(move || criterion::black_box(i * 2))).collect();
+                let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                criterion::black_box(sum)
+            });
+            usf.shutdown();
+        });
+        group.bench_with_input(BenchmarkId::new("os", threads), &threads, |b, &n| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..n).map(|i| std::thread::spawn(move || criterion::black_box(i * 2))).collect();
+                let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                criterion::black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pause_submit, bench_thread_creation, bench_oversubscribed_spawn_wave);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Microbenchmarks of the USF blocking primitives against their `std` equivalents
+//! (supporting §4.3.4): uncontended and contended mutexes, condition-variable signalling and
+//! barrier rounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_mutex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutex_uncontended");
+    group.bench_function("usf", |b| {
+        let m = usf_core::sync::Mutex::new(0u64);
+        b.iter(|| {
+            *m.lock() += 1;
+        })
+    });
+    group.bench_function("std", |b| {
+        let m = std::sync::Mutex::new(0u64);
+        b.iter(|| {
+            *m.lock().unwrap() += 1;
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("mutex_contended_4_threads");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+    group.bench_function("usf", |b| {
+        b.iter(|| {
+            let m = Arc::new(usf_core::sync::Mutex::new(0u64));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    std::thread::spawn(move || {
+                        for _ in 0..1000 {
+                            *m.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let total = *m.lock();
+            criterion::black_box(total)
+        })
+    });
+    group.bench_function("std", |b| {
+        b.iter(|| {
+            let m = Arc::new(std::sync::Mutex::new(0u64));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    std::thread::spawn(move || {
+                        for _ in 0..1000 {
+                            *m.lock().unwrap() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let total = *m.lock().unwrap();
+            criterion::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_2_threads_100_rounds");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+    group.bench_function("usf_blocking", |b| {
+        b.iter(|| {
+            let bar = Arc::new(usf_core::sync::Barrier::new(2));
+            let b2 = Arc::clone(&bar);
+            let t = std::thread::spawn(move || {
+                for _ in 0..100 {
+                    b2.wait();
+                }
+            });
+            for _ in 0..100 {
+                bar.wait();
+            }
+            t.join().unwrap();
+        })
+    });
+    group.bench_function("usf_busy_yield", |b| {
+        b.iter(|| {
+            let bar = Arc::new(usf_core::sync::BusyBarrier::new(2, Some(64)));
+            let b2 = Arc::clone(&bar);
+            let t = std::thread::spawn(move || {
+                for _ in 0..100 {
+                    b2.wait();
+                }
+            });
+            for _ in 0..100 {
+                bar.wait();
+            }
+            t.join().unwrap();
+        })
+    });
+    group.bench_function("std", |b| {
+        b.iter(|| {
+            let bar = Arc::new(std::sync::Barrier::new(2));
+            let b2 = Arc::clone(&bar);
+            let t = std::thread::spawn(move || {
+                for _ in 0..100 {
+                    b2.wait();
+                }
+            });
+            for _ in 0..100 {
+                bar.wait();
+            }
+            t.join().unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_spsc_1000_msgs");
+    group.measurement_time(Duration::from_secs(4));
+    group.sample_size(10);
+    group.bench_function("usf_bounded_64", |b| {
+        b.iter(|| {
+            let (tx, rx) = usf_core::sync::channel::<u64>(64);
+            let t = std::thread::spawn(move || {
+                for i in 0..1000 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            t.join().unwrap();
+            criterion::black_box(sum)
+        })
+    });
+    group.bench_function("std_mpsc", |b| {
+        b.iter(|| {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(64);
+            let t = std::thread::spawn(move || {
+                for i in 0..1000 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            t.join().unwrap();
+            criterion::black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutex, bench_barrier, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 5** (§5.6): the LAMMPS + DeePMD-kit two-ensemble study —
+//! per-scenario performance (Katom-step/s) and node memory-bandwidth usage.
+//!
+//! Usage: `cargo run -p usf-bench --release --bin fig5_lammps [--full]`
+
+use usf_bench::{header, machine_line, Scale};
+use usf_simsched::{Machine, SimTime};
+use usf_workloads::md::{run_md_scenario, MdConfig, MdScenario};
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = Machine::marenostrum5();
+
+    header("Figure 5 — LAMMPS + DeePMD ensembles (simulated)");
+    machine_line(&machine);
+
+    let configure = |scenario: MdScenario| -> MdConfig {
+        let mut cfg = MdConfig::new(scenario);
+        cfg.machine = machine.clone();
+        match scale {
+            Scale::Quick => {
+                cfg.steps = 20;
+                cfg.atoms = 20_000;
+                cfg.init_time = SimTime::from_secs(1);
+            }
+            Scale::Full => {
+                cfg.steps = 100;
+                cfg.atoms = 100_000;
+            }
+        }
+        cfg
+    };
+
+    println!();
+    println!(
+        "{:>22} | {:>18} | {:>16} | {:>14} | {:>12}",
+        "scenario", "Katom-step/s", "avg BW (GB/s)", "peak BW (GB/s)", "time (s)"
+    );
+    let mut results = Vec::new();
+    for scenario in MdScenario::ALL {
+        let r = run_md_scenario(&configure(scenario));
+        println!(
+            "{:>22} | {:>18.1} | {:>16.1} | {:>14.1} | {:>12.1}",
+            scenario.label(),
+            r.katom_steps_per_sec,
+            r.average_bandwidth_gbps,
+            r.peak_bandwidth_gbps,
+            r.total_time.as_secs_f64()
+        );
+        results.push((scenario, r));
+    }
+
+    header("Figure 5b — bandwidth trace of the SCHED_COOP (node) scenario");
+    if let Some((_, r)) = results.iter().find(|(s, _)| *s == MdScenario::SchedCoopNode) {
+        // Print a down-sampled trace (at most ~40 samples) so the valleys/plateaus are visible.
+        let trace = &r.report.bw_trace;
+        let step = (trace.len() / 40).max(1);
+        for sample in trace.iter().step_by(step) {
+            let bars = (sample.gbps / machine.memory_bw_gbps * 50.0).round() as usize;
+            println!("  t={:>8.1}s {:>7.1} GB/s |{}", sample.time.as_secs_f64(), sample.gbps, "#".repeat(bars));
+        }
+    }
+
+    println!();
+    println!("Expected shape (paper): the aggregated Katom-step/s of every concurrent scenario beats");
+    println!("Exclusive; co-location suffers from load imbalance; co-execution recovers most of it but");
+    println!("pays oversubscription noise; SCHED_COOP attains both the highest throughput and the highest");
+    println!("average memory bandwidth (paper: 214.8 GB/s for schedcoop_node vs 165.4 GB/s Exclusive).");
+}

@@ -1,0 +1,120 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Each binary regenerates one table or figure of the paper (see `DESIGN.md` for the
+//! per-experiment index) and prints it as a text table/heatmap so the shape can be compared
+//! directly with the published results. All binaries accept:
+//!
+//! * `--quick` (default): reduced problem sizes so the whole harness runs in minutes on a
+//!   laptop;
+//! * `--full`: the paper-scale parameters (56/112 simulated cores, full sweeps).
+
+/// Harness scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sweep for quick runs (default).
+    Quick,
+    /// Paper-scale sweep.
+    Full,
+}
+
+impl Scale {
+    /// Parse the scale from process arguments (`--full` switches to the full sweep).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(20)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(20)));
+}
+
+/// Print a machine-description line (Table 1 context for every experiment).
+pub fn machine_line(machine: &usf_simsched::Machine) {
+    println!(
+        "simulated machine: {} cores / {} sockets, {:.0} GB/s memory bandwidth, quantum {}",
+        machine.cores, machine.sockets, machine.memory_bw_gbps, machine.preemption_quantum
+    );
+}
+
+/// Render a labelled table: one row per entry of `rows`, one column per entry of `cols`,
+/// cell values provided by `value`. Values are printed with `width` characters.
+pub fn print_table(
+    row_header: &str,
+    rows: &[String],
+    cols: &[String],
+    width: usize,
+    mut value: impl FnMut(usize, usize) -> String,
+) {
+    print!("{row_header:>20} ");
+    for c in cols {
+        print!("{c:>width$} ");
+    }
+    println!();
+    for (ri, r) in rows.iter().enumerate() {
+        print!("{r:>20} ");
+        for ci in 0..cols.len() {
+            print!("{:>width$} ", value(ri, ci));
+        }
+        println!();
+    }
+}
+
+/// Format a throughput in MFLOP/s with a compact width.
+pub fn fmt_mflops(v: f64) -> String {
+    if v <= 0.0 {
+        "-".to_string()
+    } else if v >= 10_000.0 {
+        format!("{:.0}", v)
+    } else {
+        format!("{:.1}", v)
+    }
+}
+
+/// Format a speedup (`×` suffix), or `-` when the baseline is missing.
+pub fn fmt_speedup(v: f64) -> String {
+    if v <= 0.0 || !v.is_finite() {
+        "-".to_string()
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_mflops(0.0), "-");
+        assert_eq!(fmt_mflops(123.456), "123.5");
+        assert_eq!(fmt_mflops(20000.0), "20000");
+        assert_eq!(fmt_speedup(2.0), "2.00x");
+        assert_eq!(fmt_speedup(f64::NAN), "-");
+    }
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        assert_eq!(Scale::from_args(), Scale::Quick);
+    }
+
+    #[test]
+    fn print_table_runs() {
+        print_table(
+            "rows",
+            &["a".to_string(), "b".to_string()],
+            &["x".to_string()],
+            8,
+            |r, c| format!("{r}{c}"),
+        );
+        header("test");
+        machine_line(&usf_simsched::Machine::small(2));
+    }
+}

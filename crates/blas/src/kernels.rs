@@ -1,0 +1,225 @@
+//! Serial tile kernels: the level-3 BLAS / LAPACK operations the workloads need.
+//!
+//! All kernels operate on row-major `f64` slices of dimension `n × n` (tiles) or explicit
+//! `m × k × n` shapes for gemm, and are written as straightforward register-blocked loops.
+
+/// `C += A · B` where `A` is `m×k`, `B` is `k×n` and `C` is `m×n`, all row-major.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                c_row[j] += aik * b_row[j];
+            }
+        }
+    }
+}
+
+/// `C -= A · Bᵀ` for square `n×n` tiles (the update used by blocked Cholesky's gemm step).
+pub fn gemm_nt_sub(n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n * n);
+    debug_assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[i * n + k] * b[j * n + k];
+            }
+            c[i * n + j] -= s;
+        }
+    }
+}
+
+/// `C -= A · Aᵀ`, updating only the lower triangle (the syrk step of blocked Cholesky).
+pub fn syrk_ln_sub(n: usize, a: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[i * n + k] * a[j * n + k];
+            }
+            c[i * n + j] -= s;
+        }
+    }
+}
+
+/// In-place Cholesky factorization of a single `n×n` tile: `A = L·Lᵀ`, lower triangle of `A`
+/// replaced by `L` (the dpotrf step). Returns `Err(i)` if the matrix is not positive
+/// definite at pivot `i`.
+pub fn potrf(n: usize, a: &mut [f64]) -> Result<(), usize> {
+    debug_assert_eq!(a.len(), n * n);
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for k in 0..j {
+            d -= a[j * n + k] * a[j * n + k];
+        }
+        if d <= 0.0 {
+            return Err(j);
+        }
+        let d = d.sqrt();
+        a[j * n + j] = d;
+        for i in (j + 1)..n {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = s / d;
+        }
+        // Zero the strictly-upper part for cleanliness.
+        for i in 0..j {
+            a[i * n + j] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve `B := B · L⁻ᵀ` where `L` is the lower-triangular factor of a diagonal
+/// tile (the dtrsm step of blocked right-looking Cholesky: panel update below the diagonal).
+pub fn trsm_right_lower_transpose(n: usize, l: &[f64], b: &mut [f64]) {
+    debug_assert_eq!(l.len(), n * n);
+    debug_assert_eq!(b.len(), n * n);
+    // Solve X · Lᵀ = B row by row: for each row r of B, forward-substitute.
+    for r in 0..n {
+        for j in 0..n {
+            let mut s = b[r * n + j];
+            for k in 0..j {
+                s -= b[r * n + k] * l[j * n + k];
+            }
+            b[r * n + j] = s / l[j * n + j];
+        }
+    }
+}
+
+/// Multiply-accumulate throughput helper: number of floating-point operations of a gemm of
+/// the given shape (used to report MOPS like the paper).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn gemm_acc_matches_reference() {
+        let (m, k, n) = (7, 5, 9);
+        let a = Matrix::pseudo_random(m, k, 1);
+        let b = Matrix::pseudo_random(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        gemm_acc(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+        let reference = Matrix::multiply_reference(&a, &b);
+        assert!(c.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let n = 4;
+        let a = Matrix::identity(n);
+        let b = Matrix::pseudo_random(n, n, 3);
+        let mut c = b.clone();
+        gemm_acc(n, n, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+        // C was B, plus I*B = 2B.
+        for i in 0..n {
+            for j in 0..n {
+                assert!((c[(i, j)] - 2.0 * b[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_factorizes_spd_matrix() {
+        let n = 8;
+        let a = Matrix::spd(n, 7);
+        let mut f = a.clone();
+        potrf(n, f.as_mut_slice()).expect("SPD matrix must factorize");
+        // Check L·Lᵀ == A.
+        let mut rebuilt = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    s += f[(i, k)] * f[(j, k)];
+                }
+                rebuilt[(i, j)] = s;
+            }
+        }
+        assert!(rebuilt.max_abs_diff(&a) < 1e-8, "diff {}", rebuilt.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn potrf_rejects_non_spd() {
+        let n = 3;
+        let mut a = vec![0.0; n * n];
+        a[0] = -1.0;
+        assert_eq!(potrf(n, &mut a), Err(0));
+    }
+
+    #[test]
+    fn trsm_solves_triangular_system() {
+        let n = 6;
+        // L: lower triangular with positive diagonal.
+        let mut l = Matrix::pseudo_random(n, n, 11);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[(i, j)] = 0.0;
+            }
+            l[(i, i)] = 2.0 + l[(i, i)].abs();
+        }
+        let x_true = Matrix::pseudo_random(n, n, 12);
+        // B = X_true · Lᵀ
+        let b0 = Matrix::multiply_reference(&x_true, &l.transpose());
+        let mut b = b0.clone();
+        trsm_right_lower_transpose(n, l.as_slice(), b.as_mut_slice());
+        assert!(b.max_abs_diff(&x_true) < 1e-9, "diff {}", b.max_abs_diff(&x_true));
+    }
+
+    #[test]
+    fn syrk_matches_explicit_product() {
+        let n = 5;
+        let a = Matrix::pseudo_random(n, n, 21);
+        let c0 = Matrix::spd(n, 22);
+        let mut c = c0.clone();
+        syrk_ln_sub(n, a.as_slice(), c.as_mut_slice());
+        let aat = Matrix::multiply_reference(&a, &a.transpose());
+        for i in 0..n {
+            for j in 0..=i {
+                let expected = c0[(i, j)] - aat[(i, j)];
+                assert!((c[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_sub_matches_explicit_product() {
+        let n = 5;
+        let a = Matrix::pseudo_random(n, n, 31);
+        let b = Matrix::pseudo_random(n, n, 32);
+        let c0 = Matrix::pseudo_random(n, n, 33);
+        let mut c = c0.clone();
+        gemm_nt_sub(n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+        let abt = Matrix::multiply_reference(&a, &b.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                let expected = c0[(i, j)] - abt[(i, j)];
+                assert!((c[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

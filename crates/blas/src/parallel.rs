@@ -1,0 +1,285 @@
+//! The parallel BLAS backend (the "inner runtime" of the nested workloads).
+
+use crate::config::{BarrierKind, BlasConfig, BlasThreading};
+use crate::kernels;
+use crate::matrix::Matrix;
+use std::sync::Arc;
+use usf_core::sync::{Barrier, BusyBarrier};
+use usf_runtimes::forkjoin::{Team, TeamConfig};
+use usf_runtimes::threadpool::TransientPool;
+
+/// Mutable pointer that can be shared across kernel workers. Each worker touches a disjoint
+/// row range of the output, which is what makes the aliasing sound.
+#[derive(Clone, Copy)]
+struct SharedOut(*mut f64);
+unsafe impl Send for SharedOut {}
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    /// Raw base pointer. Accessed through a method so closures capture the whole wrapper
+    /// (which is `Sync`) rather than the raw pointer field.
+    fn ptr(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// End-of-kernel synchronization object built per call according to the configuration.
+enum KernelBarrier {
+    Busy(BusyBarrier),
+    Blocking(Barrier),
+}
+
+impl KernelBarrier {
+    fn new(kind: BarrierKind, participants: usize) -> Self {
+        match kind {
+            BarrierKind::BusySpin => KernelBarrier::Busy(BusyBarrier::new(participants, None)),
+            BarrierKind::BusyYield { yield_every } => {
+                KernelBarrier::Busy(BusyBarrier::new(participants, Some(yield_every)))
+            }
+            BarrierKind::Blocking => KernelBarrier::Blocking(Barrier::new(participants)),
+        }
+    }
+
+    fn wait(&self) {
+        match self {
+            KernelBarrier::Busy(b) => {
+                b.wait();
+            }
+            KernelBarrier::Blocking(b) => {
+                b.wait();
+            }
+        }
+    }
+}
+
+/// A handle to the parallel BLAS library: owns the inner runtime (a persistent team or a
+/// spawn-per-call pool) and runs kernels with the configured synchronization behaviour.
+pub struct BlasHandle {
+    config: BlasConfig,
+    team: Option<Team>,
+    pool: Option<TransientPool>,
+}
+
+impl BlasHandle {
+    /// Create a handle (spawning the persistent team if the configuration asks for one).
+    pub fn new(config: BlasConfig) -> Self {
+        let (team, pool) = match config.threading {
+            BlasThreading::OpenMpLike => {
+                let team = Team::new(
+                    TeamConfig::new(config.threads.max(1), config.exec.clone())
+                        .wait_policy(config.wait_policy)
+                        .name("blas"),
+                );
+                (Some(team), None)
+            }
+            BlasThreading::PthreadPerCall => (None, Some(TransientPool::new(config.exec.clone()))),
+        };
+        BlasHandle { config, team, pool }
+    }
+
+    /// The configuration of this handle.
+    pub fn config(&self) -> &BlasConfig {
+        &self.config
+    }
+
+    /// Number of inner threads used per kernel call.
+    pub fn threads(&self) -> usize {
+        self.config.threads.max(1)
+    }
+
+    /// Parallel `C += A · B` (`A`: `m×k`, `B`: `k×n`, `C`: `m×n`, row-major). Rows of `C`
+    /// are partitioned over the inner threads; every worker then waits at the configured
+    /// end-of-kernel barrier (mirroring the busy-wait join of OpenBLAS/BLIS).
+    pub fn gemm_acc(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+        assert_eq!(a.len(), m * k, "A dimension mismatch");
+        assert_eq!(b.len(), k * n, "B dimension mismatch");
+        assert_eq!(c.len(), m * n, "C dimension mismatch");
+        if m == 0 || n == 0 {
+            return;
+        }
+        let workers = self.threads().min(m).max(1);
+        if workers == 1 {
+            kernels::gemm_acc(m, k, n, a, b, c);
+            return;
+        }
+        let barrier = Arc::new(KernelBarrier::new(self.config.barrier, workers));
+        let out = SharedOut(c.as_mut_ptr());
+        let rows_per = m.div_ceil(workers);
+        let body = |t: usize| {
+            let r0 = t * rows_per;
+            let r1 = ((t + 1) * rows_per).min(m);
+            if r0 < r1 {
+                // Safety: each worker writes only rows [r0, r1) of C, and the ranges are
+                // disjoint across workers; A and B are read-only.
+                let c_chunk = unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r0 * n), (r1 - r0) * n) };
+                let a_chunk = &a[r0 * k..r1 * k];
+                kernels::gemm_acc(r1 - r0, k, n, a_chunk, b, c_chunk);
+            }
+            barrier.wait();
+        };
+        match (&self.team, &self.pool) {
+            (Some(team), _) => team.parallel(workers, |ctx| body(ctx.thread_num())),
+            (_, Some(pool)) => pool.run(workers, body),
+            _ => unreachable!("one backend is always configured"),
+        }
+    }
+
+    /// Convenience wrapper: allocate and return `A · B`.
+    pub fn gemm(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "dimension mismatch");
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        self.gemm_acc(a.rows(), a.cols(), b.cols(), a.as_slice(), b.as_slice(), c.as_mut_slice());
+        c
+    }
+
+    /// Tile operation: in-place Cholesky factor of an `n×n` tile (serial; the parallelism of
+    /// the blocked Cholesky comes from the outer task graph).
+    pub fn potrf(&self, n: usize, a: &mut [f64]) -> Result<(), usize> {
+        kernels::potrf(n, a)
+    }
+
+    /// Tile operation: `B := B · L⁻ᵀ`.
+    pub fn trsm(&self, n: usize, l: &[f64], b: &mut [f64]) {
+        kernels::trsm_right_lower_transpose(n, l, b);
+    }
+
+    /// Tile operation: `C -= A · Aᵀ` (lower triangle).
+    pub fn syrk(&self, n: usize, a: &[f64], c: &mut [f64]) {
+        kernels::syrk_ln_sub(n, a, c);
+    }
+
+    /// Tile operation: `C -= A · Bᵀ`, parallelized over the inner threads like
+    /// [`BlasHandle::gemm_acc`].
+    pub fn gemm_nt_sub(&self, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+        assert_eq!(a.len(), n * n);
+        assert_eq!(b.len(), n * n);
+        assert_eq!(c.len(), n * n);
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads().min(n).max(1);
+        if workers == 1 {
+            kernels::gemm_nt_sub(n, a, b, c);
+            return;
+        }
+        let barrier = Arc::new(KernelBarrier::new(self.config.barrier, workers));
+        let out = SharedOut(c.as_mut_ptr());
+        let rows_per = n.div_ceil(workers);
+        let body = |t: usize| {
+            let r0 = t * rows_per;
+            let r1 = ((t + 1) * rows_per).min(n);
+            if r0 < r1 {
+                for i in r0..r1 {
+                    for j in 0..n {
+                        let mut s = 0.0;
+                        for k in 0..n {
+                            s += a[i * n + k] * b[j * n + k];
+                        }
+                        // Safety: row `i` is owned exclusively by this worker.
+                        unsafe { *out.ptr().add(i * n + j) -= s };
+                    }
+                }
+            }
+            barrier.wait();
+        };
+        match (&self.team, &self.pool) {
+            (Some(team), _) => team.parallel(workers, |ctx| body(ctx.thread_num())),
+            (_, Some(pool)) => pool.run(workers, body),
+            _ => unreachable!("one backend is always configured"),
+        }
+    }
+}
+
+impl std::fmt::Debug for BlasHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlasHandle")
+            .field("threads", &self.config.threads)
+            .field("threading", &self.config.threading.label())
+            .field("barrier", &self.config.barrier.label())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usf_core::exec::ExecMode;
+    use usf_core::runtime::Usf;
+
+    fn check_gemm(handle: &BlasHandle) {
+        let a = Matrix::pseudo_random(33, 17, 1);
+        let b = Matrix::pseudo_random(17, 29, 2);
+        let c = handle.gemm(&a, &b);
+        let reference = Matrix::multiply_reference(&a, &b);
+        assert!(c.max_abs_diff(&reference) < 1e-10, "diff {}", c.max_abs_diff(&reference));
+    }
+
+    #[test]
+    fn omp_backend_matches_reference() {
+        check_gemm(&BlasHandle::new(BlasConfig::omp(3, ExecMode::Os)));
+    }
+
+    #[test]
+    fn pth_backend_matches_reference() {
+        check_gemm(&BlasHandle::new(BlasConfig::pth(3, ExecMode::Os)));
+    }
+
+    #[test]
+    fn single_thread_matches_reference() {
+        check_gemm(&BlasHandle::new(BlasConfig::omp(1, ExecMode::Os)));
+    }
+
+    #[test]
+    fn all_barrier_kinds_produce_same_result() {
+        for kind in [
+            BarrierKind::Blocking,
+            BarrierKind::BusyYield { yield_every: 16 },
+            BarrierKind::BusySpin,
+        ] {
+            check_gemm(&BlasHandle::new(BlasConfig::omp(2, ExecMode::Os).barrier(kind)));
+        }
+    }
+
+    #[test]
+    fn usf_backend_matches_reference() {
+        let usf = Usf::builder().cores(2).build();
+        let p = usf.process("blas-test");
+        check_gemm(&BlasHandle::new(
+            BlasConfig::omp(3, ExecMode::Usf(p.clone())).barrier(BarrierKind::BusyYield { yield_every: 32 }),
+        ));
+        check_gemm(&BlasHandle::new(BlasConfig::pth(2, ExecMode::Usf(p))));
+        usf.shutdown();
+    }
+
+    #[test]
+    fn gemm_nt_sub_parallel_matches_serial() {
+        let n = 24;
+        let a = Matrix::pseudo_random(n, n, 5);
+        let b = Matrix::pseudo_random(n, n, 6);
+        let c0 = Matrix::pseudo_random(n, n, 7);
+        let mut serial = c0.clone();
+        kernels::gemm_nt_sub(n, a.as_slice(), b.as_slice(), serial.as_mut_slice());
+        let handle = BlasHandle::new(BlasConfig::omp(3, ExecMode::Os));
+        let mut par = c0.clone();
+        handle.gemm_nt_sub(n, a.as_slice(), b.as_slice(), par.as_mut_slice());
+        assert!(par.max_abs_diff(&serial) < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrices_are_handled() {
+        let handle = BlasHandle::new(BlasConfig::omp(2, ExecMode::Os));
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let c = handle.gemm(&a, &b);
+        assert_eq!(c.rows(), 0);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_safe() {
+        let handle = BlasHandle::new(BlasConfig::omp(8, ExecMode::Os));
+        let a = Matrix::pseudo_random(3, 4, 9);
+        let b = Matrix::pseudo_random(4, 5, 10);
+        let c = handle.gemm(&a, &b);
+        assert!(c.max_abs_diff(&Matrix::multiply_reference(&a, &b)) < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-thread "current task" context.
+//!
+//! glibcv stores the associated nOS-V task inside the extended `pthread_t` object; here the
+//! equivalent association lives in a thread-local. Every blocking primitive consults it to
+//! decide between the cooperative path (pause/submit through the scheduler) and the plain
+//! OS path (park/unpark) — which is exactly the "glibcv enabled / glibcv disabled" switch of
+//! Figure 1.
+
+use std::cell::RefCell;
+use usf_nosv::{NosvInstance, ProcessId, TaskRef};
+
+/// The context of a thread attached to USF.
+#[derive(Clone, Debug)]
+pub struct CurrentCtx {
+    /// The task permanently bound to this thread.
+    pub task: TaskRef,
+    /// The instance (scheduler) the task belongs to.
+    pub nosv: NosvInstance,
+    /// The process domain of the task.
+    pub process: ProcessId,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CurrentCtx>> = const { RefCell::new(None) };
+}
+
+/// Install the current thread's USF context (done by the spawn wrapper / attach guard).
+pub(crate) fn set_current(ctx: CurrentCtx) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(ctx));
+}
+
+/// Remove the current thread's USF context. Returns the previous context, if any.
+pub(crate) fn clear_current() -> Option<CurrentCtx> {
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// Run `f` with a reference to the current context (or `None` if the thread is not attached).
+pub fn with_current<R>(f: impl FnOnce(Option<&CurrentCtx>) -> R) -> R {
+    CURRENT.with(|c| f(c.borrow().as_ref()))
+}
+
+/// A clone of the current context, if the thread is attached.
+pub fn current() -> Option<CurrentCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is attached to a USF instance.
+pub fn is_attached() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usf_nosv::NosvConfig;
+
+    #[test]
+    fn unattached_thread_has_no_context() {
+        assert!(!is_attached());
+        assert!(current().is_none());
+        with_current(|c| assert!(c.is_none()));
+    }
+
+    #[test]
+    fn set_and_clear_context() {
+        let nosv = NosvInstance::new(NosvConfig::with_cores(1));
+        let pid = nosv.register_process("p");
+        let handle = nosv.attach(pid, Some("ctx-test"));
+        set_current(CurrentCtx { task: handle.task().clone(), nosv: nosv.clone(), process: pid });
+        assert!(is_attached());
+        assert_eq!(current().unwrap().process, pid);
+        let prev = clear_current();
+        assert!(prev.is_some());
+        assert!(!is_attached());
+        handle.detach();
+    }
+}

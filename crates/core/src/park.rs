@@ -1,0 +1,320 @@
+//! Low-level blocking building blocks shared by every USF synchronization primitive.
+//!
+//! The paper's Listing 1 pattern is: *put the calling thread's task in a FIFO wait queue,
+//! then `nosv_pause()`; the release path pops a task and `nosv_submit()`s it*. The
+//! [`Waiter`] type encapsulates one such blocking episode and transparently degrades to
+//! plain OS thread parking when the calling thread is not attached to USF (the "glibcv
+//! disabled" path), so the very same primitive implementations serve both the baseline and
+//! the SCHED_COOP configurations of the evaluation.
+//!
+//! A `Waiter` is **single use**: it represents one park/wake pair. Primitives create a fresh
+//! waiter per blocking episode and guarantee that [`Waiter::wake`] is called at most once
+//! (timed waits use the claim protocol described on [`Waiter::wait_deadline`]).
+
+use crate::current::{current, CurrentCtx};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use usf_nosv::{NosvInstance, TaskRef};
+
+/// How the owning thread blocks.
+#[derive(Debug)]
+enum Mode {
+    /// The owner is a USF task: block via `nosv_pause`, wake via `nosv_submit`.
+    Usf { task: TaskRef, nosv: NosvInstance },
+    /// The owner is a plain OS thread: block via `std::thread::park`.
+    Os { thread: std::thread::Thread },
+}
+
+/// One blocking episode of one thread. See the module documentation.
+#[derive(Debug)]
+pub struct Waiter {
+    mode: Mode,
+    signalled: AtomicBool,
+    woken_once: AtomicBool,
+}
+
+impl Waiter {
+    /// Create a waiter for the calling thread, choosing the cooperative or the OS path
+    /// depending on whether the thread is attached to USF.
+    pub fn new_for_current() -> Arc<Waiter> {
+        let mode = match current() {
+            Some(CurrentCtx { task, nosv, .. }) => Mode::Usf { task, nosv },
+            None => Mode::Os { thread: std::thread::current() },
+        };
+        Arc::new(Waiter { mode, signalled: AtomicBool::new(false), woken_once: AtomicBool::new(false) })
+    }
+
+    /// Whether this waiter uses the cooperative (USF) path.
+    pub fn is_cooperative(&self) -> bool {
+        matches!(self.mode, Mode::Usf { .. })
+    }
+
+    /// Whether [`Waiter::wake`] has been called.
+    pub fn is_signalled(&self) -> bool {
+        self.signalled.load(Ordering::Acquire)
+    }
+
+    /// Wake the owning thread. Must be called at most once per waiter (extra calls are
+    /// ignored). This is the `nosv_submit` side of Listing 1.
+    pub fn wake(&self) {
+        self.signalled.store(true, Ordering::Release);
+        if self.woken_once.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        match &self.mode {
+            Mode::Usf { task, nosv } => nosv.submit(task),
+            Mode::Os { thread } => thread.unpark(),
+        }
+    }
+
+    /// Block the owning thread until [`Waiter::wake`] is called. This is the `nosv_pause`
+    /// side of Listing 1. Must be called by the thread that created the waiter.
+    pub fn wait(&self) {
+        match &self.mode {
+            Mode::Usf { task, nosv } => loop {
+                // Pause first: it consumes exactly one submit (either already counted as a
+                // pending wake-up or arriving later), so a wake that raced ahead of us is
+                // never lost and never leaks into a later blocking episode.
+                nosv.scheduler().pause(task);
+                if self.signalled.load(Ordering::Acquire) {
+                    return;
+                }
+            },
+            Mode::Os { .. } => {
+                while !self.signalled.load(Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+
+    /// Block until [`Waiter::wake`] or until `deadline`. Returns `true` if the waiter was
+    /// signalled, `false` on timeout.
+    ///
+    /// **Claim protocol**: on `false`, the caller must check whether the waiter is still in
+    /// the primitive's wait queue (under the primitive's lock). If it is, remove it — no
+    /// wake will ever come. If it is *not*, a waker has already claimed it; the caller must
+    /// treat the wait as signalled and call [`Waiter::consume_wake`] to absorb the
+    /// (possibly still in-flight) wake-up so it cannot leak into a later blocking episode.
+    pub fn wait_deadline(&self, deadline: Instant) -> bool {
+        match &self.mode {
+            Mode::Usf { task, nosv } => loop {
+                if self.signalled.load(Ordering::Acquire) {
+                    // The wake's submit was consumed by the waitfor that returned just
+                    // before this check (the flag is set before the submit is issued).
+                    return true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let _ = nosv.scheduler().waitfor(task, deadline - now);
+            },
+            Mode::Os { .. } => loop {
+                if self.signalled.load(Ordering::Acquire) {
+                    return true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                std::thread::park_timeout(deadline - now);
+            },
+        }
+    }
+
+    /// Absorb a wake-up that was issued (or is about to be issued) by a waker that claimed
+    /// this waiter after its timed wait expired. See [`Waiter::wait_deadline`].
+    pub fn consume_wake(&self) {
+        match &self.mode {
+            Mode::Usf { task, nosv } => {
+                // Exactly one submit is owed to us; pause() returns as soon as it has been
+                // delivered (immediately, if it already arrived as a counted wake-up).
+                nosv.scheduler().pause(task);
+            }
+            Mode::Os { .. } => {
+                // A stale unpark token is harmless for OS threads.
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------------------------------
+// Event
+// -------------------------------------------------------------------------------------------
+
+/// A one-shot event: threads wait until some other thread sets it. Used for masked joins
+/// (§4.3.1) and as a building block for wait-groups.
+#[derive(Debug, Default)]
+pub struct Event {
+    state: Mutex<EventState>,
+}
+
+#[derive(Debug, Default)]
+struct EventState {
+    set: bool,
+    waiters: Vec<Arc<Waiter>>,
+}
+
+impl Event {
+    /// Create an unset event.
+    pub fn new() -> Self {
+        Event::default()
+    }
+
+    /// Whether the event has been set.
+    pub fn is_set(&self) -> bool {
+        self.state.lock().set
+    }
+
+    /// Set the event and wake every waiter.
+    pub fn set(&self) {
+        let waiters = {
+            let mut st = self.state.lock();
+            st.set = true;
+            std::mem::take(&mut st.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Block until the event is set.
+    pub fn wait(&self) {
+        let waiter = {
+            let mut st = self.state.lock();
+            if st.set {
+                return;
+            }
+            let w = Waiter::new_for_current();
+            st.waiters.push(Arc::clone(&w));
+            w
+        };
+        waiter.wait();
+    }
+
+    /// Block until the event is set or `timeout` elapses. Returns `true` if the event is set.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let waiter = {
+            let mut st = self.state.lock();
+            if st.set {
+                return true;
+            }
+            let w = Waiter::new_for_current();
+            st.waiters.push(Arc::clone(&w));
+            w
+        };
+        if waiter.wait_deadline(deadline) {
+            return true;
+        }
+        // Claim protocol: if we are still queued, remove ourselves and report the timeout;
+        // otherwise a set() already claimed us and its wake must be absorbed.
+        let mut st = self.state.lock();
+        if let Some(pos) = st.waiters.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+            st.waiters.remove(pos);
+            false
+        } else {
+            drop(st);
+            waiter.consume_wake();
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn os_waiter_wake_before_wait_is_not_lost() {
+        let w = Waiter::new_for_current();
+        assert!(!w.is_cooperative());
+        w.wake();
+        // Must return immediately.
+        w.wait();
+        assert!(w.is_signalled());
+    }
+
+    #[test]
+    fn os_waiter_cross_thread_wake() {
+        let w = Waiter::new_for_current();
+        let w2 = Arc::clone(&w);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.wake();
+        });
+        w.wait();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn os_waiter_deadline_times_out() {
+        let w = Waiter::new_for_current();
+        let start = Instant::now();
+        assert!(!w.wait_deadline(Instant::now() + Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn event_set_before_wait() {
+        let e = Event::new();
+        e.set();
+        assert!(e.is_set());
+        e.wait();
+        assert!(e.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn event_wakes_multiple_waiters() {
+        let e = Arc::new(Event::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || e.wait()));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        e.set();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn event_wait_timeout_expires_cleanly() {
+        let e = Event::new();
+        assert!(!e.wait_timeout(Duration::from_millis(10)));
+        // After a timed-out wait, a set still works and the queue holds no stale waiters.
+        e.set();
+        assert!(e.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn usf_waiter_round_trip() {
+        use crate::current::{clear_current, set_current, CurrentCtx};
+        use usf_nosv::{NosvConfig, NosvInstance};
+
+        let nosv = NosvInstance::new(NosvConfig::with_cores(1));
+        let pid = nosv.register_process("p");
+        let nosv2 = nosv.clone();
+        let (tx, rx) = std::sync::mpsc::channel::<Arc<Waiter>>();
+        let h = std::thread::spawn(move || {
+            let handle = nosv2.attach(pid, Some("waiter"));
+            set_current(CurrentCtx { task: handle.task().clone(), nosv: nosv2.clone(), process: pid });
+            let w = Waiter::new_for_current();
+            assert!(w.is_cooperative());
+            tx.send(Arc::clone(&w)).unwrap();
+            w.wait(); // cooperative block: the core is handed back while waiting
+            clear_current();
+            handle.detach();
+            7
+        });
+        let w = rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        w.wake();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

@@ -1,0 +1,32 @@
+//! Cooperative synchronization primitives — the blocking-API extensions of glibcv (§4.3.4).
+//!
+//! Every primitive follows the Listing 1 pattern of the paper:
+//!
+//! * contended operations put the calling thread's task in a **FIFO wait queue** guarded by
+//!   a short internal lock, then block through [`crate::park::Waiter`] (`nosv_pause` when
+//!   the thread is a USF worker, OS parking otherwise);
+//! * release operations **hand off** to the first queued waiter (`nosv_submit`) instead of
+//!   releasing and letting everyone race — e.g. a contended mutex transfers ownership
+//!   directly to the head waiter, which is what removes lock-waiter preemption storms.
+//!
+//! Because the waiters degrade gracefully for non-attached threads, these are also perfectly
+//! usable as ordinary synchronization primitives under the plain OS scheduler, which is how
+//! the baseline configurations of the evaluation run the very same workload code.
+
+mod barrier;
+mod channel;
+mod condvar;
+mod mutex;
+mod once;
+mod rwlock;
+mod semaphore;
+mod wait_group;
+
+pub use barrier::{Barrier, BarrierWaitResult, BusyBarrier};
+pub use channel::{channel, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+pub use condvar::Condvar;
+pub use mutex::{Mutex, MutexGuard};
+pub use once::Once;
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+pub use semaphore::Semaphore;
+pub use wait_group::WaitGroup;

@@ -1,0 +1,174 @@
+//! A wait group: wait until a counter of outstanding work items drops to zero.
+//!
+//! Used by the runtimes crate to implement `taskwait` (OmpSs-2) and end-of-parallel-region
+//! joins (OpenMP) as cooperative scheduling points.
+
+use crate::park::Waiter;
+use parking_lot::Mutex as RawMutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct State {
+    count: usize,
+    waiters: Vec<Arc<Waiter>>,
+}
+
+/// A counter of outstanding work items with cooperative waiting.
+#[derive(Default)]
+pub struct WaitGroup {
+    state: RawMutex<State>,
+}
+
+impl WaitGroup {
+    /// Create a wait group with a zero counter.
+    pub fn new() -> Self {
+        WaitGroup::default()
+    }
+
+    /// Create a wait group with an initial counter.
+    pub fn with_count(count: usize) -> Self {
+        WaitGroup { state: RawMutex::new(State { count, waiters: Vec::new() }) }
+    }
+
+    /// Add `n` outstanding items.
+    pub fn add(&self, n: usize) {
+        self.state.lock().count += n;
+    }
+
+    /// Mark one item as done; wakes waiters when the counter reaches zero.
+    pub fn done(&self) {
+        self.done_n(1);
+    }
+
+    /// Mark `n` items as done.
+    pub fn done_n(&self, n: usize) {
+        let to_wake = {
+            let mut st = self.state.lock();
+            assert!(st.count >= n, "WaitGroup::done called more times than add");
+            st.count -= n;
+            if st.count == 0 {
+                std::mem::take(&mut st.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        for w in to_wake {
+            w.wake();
+        }
+    }
+
+    /// Current counter value (diagnostic; racy by nature).
+    pub fn count(&self) -> usize {
+        self.state.lock().count
+    }
+
+    /// Block cooperatively until the counter reaches zero.
+    pub fn wait(&self) {
+        let waiter = {
+            let mut st = self.state.lock();
+            if st.count == 0 {
+                return;
+            }
+            let w = Waiter::new_for_current();
+            st.waiters.push(Arc::clone(&w));
+            w
+        };
+        waiter.wait();
+    }
+
+    /// Block until the counter reaches zero or `timeout` elapses. Returns `true` if the
+    /// counter reached zero.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let waiter = {
+            let mut st = self.state.lock();
+            if st.count == 0 {
+                return true;
+            }
+            let w = Waiter::new_for_current();
+            st.waiters.push(Arc::clone(&w));
+            w
+        };
+        if waiter.wait_deadline(deadline) {
+            return true;
+        }
+        let mut st = self.state.lock();
+        if let Some(pos) = st.waiters.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+            st.waiters.remove(pos);
+            false
+        } else {
+            drop(st);
+            waiter.consume_wake();
+            true
+        }
+    }
+}
+
+impl std::fmt::Debug for WaitGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitGroup").field("count", &self.count()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Usf;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_on_zero_returns_immediately() {
+        let wg = WaitGroup::new();
+        wg.wait();
+        assert!(wg.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn wait_blocks_until_all_done() {
+        let wg = Arc::new(WaitGroup::with_count(3));
+        let wg2 = Arc::clone(&wg);
+        let waiter = std::thread::spawn(move || wg2.wait());
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(5));
+            wg.done();
+        }
+        waiter.join().unwrap();
+        assert_eq!(wg.count(), 0);
+    }
+
+    #[test]
+    fn wait_timeout_expires_when_not_done() {
+        let wg = WaitGroup::with_count(1);
+        assert!(!wg.wait_timeout(Duration::from_millis(20)));
+        wg.done();
+        assert!(wg.wait_timeout(Duration::from_millis(20)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn done_more_than_add_panics() {
+        let wg = WaitGroup::new();
+        wg.done();
+    }
+
+    #[test]
+    fn cooperative_taskwait_pattern() {
+        // One core, a "main" task waiting for 3 workers: the wait must release the core.
+        let usf = Usf::builder().cores(1).build();
+        let p = usf.process("wg-test");
+        let wg = Arc::new(WaitGroup::with_count(3));
+        let wg_main = Arc::clone(&wg);
+        let p2 = p.clone();
+        let main = p.spawn(move || {
+            for _ in 0..3 {
+                let wg = Arc::clone(&wg_main);
+                p2.spawn(move || wg.done());
+            }
+            wg_main.wait();
+            "all-done"
+        });
+        assert_eq!(main.join().unwrap(), "all-done");
+        usf.shutdown();
+    }
+}

@@ -1,0 +1,269 @@
+//! The thread cache (§4.3.1).
+//!
+//! glibcv avoids the cost of repeatedly creating and destroying pthreads (the pattern of the
+//! BLIS pthread backend, Table 2) with the intra-process caching-and-reuse strategy of Dice
+//! and Kogan: when a thread's user function ends it is *not* destroyed; it parks in a cache
+//! and the next `pthread_create` reuses the most recently cached thread (LIFO). At shutdown
+//! the cached threads are terminated and joined for real.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unit of work handed to a cached worker thread.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Commands delivered to an idle cached thread.
+enum Slot {
+    /// Nothing to do.
+    Idle,
+    /// Run this job, then return to the cache.
+    Run(Job),
+    /// Exit the worker loop.
+    Terminate,
+}
+
+/// The per-thread mailbox an idle cached worker sleeps on.
+struct Mailbox {
+    slot: Mutex<Slot>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Arc<Self> {
+        Arc::new(Mailbox { slot: Mutex::new(Slot::Idle), cv: Condvar::new() })
+    }
+
+    fn deliver(&self, s: Slot) {
+        let mut slot = self.slot.lock();
+        *slot = s;
+        self.cv.notify_one();
+    }
+
+    fn receive(&self) -> Slot {
+        let mut slot = self.slot.lock();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Idle) {
+                Slot::Idle => self.cv.wait(&mut slot),
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadCacheStats {
+    /// OS threads actually created.
+    pub created: u64,
+    /// Spawns served by reusing a cached thread.
+    pub reused: u64,
+    /// Threads currently parked in the cache.
+    pub idle: u64,
+}
+
+/// LIFO cache of finished worker threads. See the module documentation.
+pub struct ThreadCache {
+    idle: Mutex<Vec<Arc<Mailbox>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    capacity: usize,
+    created: AtomicU64,
+    reused: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl std::fmt::Debug for ThreadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ThreadCache").field("capacity", &self.capacity).field("stats", &stats).finish()
+    }
+}
+
+impl ThreadCache {
+    /// Create a cache retaining at most `capacity` idle threads (`0` disables reuse: every
+    /// spawn creates a fresh OS thread that exits when its job ends).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ThreadCache {
+            idle: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            capacity,
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> ThreadCacheStats {
+        ThreadCacheStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            idle: self.idle.lock().len() as u64,
+        }
+    }
+
+    /// Run `job` on a cached thread if one is parked, otherwise on a freshly created OS
+    /// thread (which will park itself in the cache when the job ends).
+    pub(crate) fn dispatch(self: &Arc<Self>, name: Option<String>, job: Job) {
+        if let Some(mailbox) = self.idle.lock().pop() {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            mailbox.deliver(Slot::Run(job));
+            return;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        let cache = Arc::clone(self);
+        let mailbox = Mailbox::new();
+        let mb = Arc::clone(&mailbox);
+        let mut builder = std::thread::Builder::new();
+        if let Some(n) = name {
+            builder = builder.name(n);
+        }
+        let handle = builder
+            .spawn(move || {
+                job();
+                cache.worker_loop(mb);
+            })
+            .expect("failed to spawn worker thread");
+        self.handles.lock().push(handle);
+    }
+
+    /// Worker side: park in the cache and serve further jobs until terminated or evicted.
+    fn worker_loop(self: &Arc<Self>, mailbox: Arc<Mailbox>) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            {
+                let mut idle = self.idle.lock();
+                if idle.len() >= self.capacity {
+                    // Cache full (or caching disabled): this thread really exits.
+                    return;
+                }
+                idle.push(Arc::clone(&mailbox));
+            }
+            match mailbox.receive() {
+                Slot::Run(job) => job(),
+                Slot::Terminate => return,
+                Slot::Idle => unreachable!("receive never returns Idle"),
+            }
+        }
+    }
+
+    /// Ask cached threads to terminate without joining them (safe to call from any thread,
+    /// including a cached worker itself).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let idle = std::mem::take(&mut *self.idle.lock());
+        for mailbox in idle {
+            mailbox.deliver(Slot::Terminate);
+        }
+    }
+
+    /// Terminate and join every thread ever created by the cache. Must not be called from a
+    /// cached worker thread.
+    pub fn shutdown(&self) {
+        self.request_shutdown();
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_threads_are_reused() {
+        let cache = ThreadCache::new(8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let c = Arc::clone(&counter);
+            cache.dispatch(None, Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            // Serialize so the previous thread has time to park before the next dispatch.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        let stats = cache.stats();
+        assert_eq!(stats.created + stats.reused, 4);
+        assert!(stats.reused >= 1, "sequential spawns should reuse cached threads: {stats:?}");
+        cache.shutdown();
+    }
+
+    #[test]
+    fn zero_capacity_disables_reuse() {
+        let cache = ThreadCache::new(0);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let c = Arc::clone(&counter);
+            cache.dispatch(None, Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cache.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        let stats = cache.stats();
+        assert_eq!(stats.created, 3);
+        assert_eq!(stats.reused, 0);
+    }
+
+    #[test]
+    fn named_threads_get_their_name() {
+        let cache = ThreadCache::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        cache.dispatch(
+            Some("usf-worker-x".to_string()),
+            Box::new(move || {
+                tx.send(std::thread::current().name().map(str::to_owned)).unwrap();
+            }),
+        );
+        assert_eq!(rx.recv().unwrap().as_deref(), Some("usf-worker-x"));
+        cache.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_everything() {
+        let cache = ThreadCache::new(4);
+        for _ in 0..3 {
+            cache.dispatch(None, Box::new(|| {}));
+        }
+        cache.shutdown();
+        cache.shutdown();
+        assert_eq!(cache.stats().idle, 0);
+    }
+
+    #[test]
+    fn concurrent_dispatches_all_run() {
+        let cache = ThreadCache::new(16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut outer = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let counter = Arc::clone(&counter);
+            outer.push(std::thread::spawn(move || {
+                for _ in 0..16 {
+                    let c = Arc::clone(&counter);
+                    cache.dispatch(None, Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }));
+                }
+            }));
+        }
+        for h in outer {
+            h.join().unwrap();
+        }
+        // Wait for all 64 jobs to finish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 64 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        cache.shutdown();
+    }
+}

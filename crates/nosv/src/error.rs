@@ -1,0 +1,35 @@
+//! Error types for the nOS-V substrate.
+
+use std::fmt;
+
+/// Errors reported by the scheduler substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NosvError {
+    /// The referenced process domain is not registered with the scheduler.
+    UnknownProcess(u32),
+    /// The referenced task is not registered with the scheduler.
+    UnknownTask(u64),
+    /// The operation requires the calling thread to be attached, but it is not.
+    NotAttached,
+    /// The scheduler has been shut down and no longer accepts the operation.
+    ShutDown,
+    /// An invalid configuration value was supplied.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NosvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NosvError::UnknownProcess(p) => write!(f, "unknown process domain {p}"),
+            NosvError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            NosvError::NotAttached => write!(f, "calling thread is not attached to nOS-V"),
+            NosvError::ShutDown => write!(f, "scheduler instance has been shut down"),
+            NosvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NosvError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, NosvError>;

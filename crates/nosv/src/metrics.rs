@@ -1,0 +1,161 @@
+//! Scheduler metrics.
+//!
+//! SCHED_COOP's claimed benefit is fewer involuntary context switches and less scheduling
+//! noise; the counters here are what the examples, tests and benches use to verify that the
+//! cooperative scheduler behaves as described (e.g. zero preemptions, high affinity hit
+//! rates, bounded worker swaps).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters updated by the scheduler. All counters use relaxed ordering — they are
+/// diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct SchedulerMetrics {
+    /// Tasks submitted (made ready) via `nosv_submit` or attach.
+    pub submits: AtomicU64,
+    /// Submits that found the target task still holding a core (counted wake-ups).
+    pub pending_wakeups: AtomicU64,
+    /// Submits dropped because the task was already queued.
+    pub redundant_submits: AtomicU64,
+    /// `nosv_pause` calls that actually blocked (released their core).
+    pub pauses: AtomicU64,
+    /// `nosv_pause` calls satisfied immediately by a counted wake-up.
+    pub pauses_elided: AtomicU64,
+    /// Voluntary yields that switched to another task.
+    pub yields: AtomicU64,
+    /// Voluntary yields that kept the core because nothing else was ready.
+    pub yields_noop: AtomicU64,
+    /// Timed waits started.
+    pub waitfors: AtomicU64,
+    /// Timed waits that expired (and re-submitted their task).
+    pub waitfor_timeouts: AtomicU64,
+    /// Threads attached as workers.
+    pub attaches: AtomicU64,
+    /// Workers detached.
+    pub detaches: AtomicU64,
+    /// Core grants delivered to tasks (worker swaps + initial placements).
+    pub grants: AtomicU64,
+    /// Grants on the task's preferred core.
+    pub affinity_hits: AtomicU64,
+    /// Grants on a different core of the preferred core's NUMA node.
+    pub numa_hits: AtomicU64,
+    /// Grants on a remote NUMA node (or with no preference recorded).
+    pub remote_grants: AtomicU64,
+    /// Process-quantum rotations performed by the policy.
+    pub process_rotations: AtomicU64,
+}
+
+/// Plain-old-data snapshot of [`SchedulerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`SchedulerMetrics::submits`].
+    pub submits: u64,
+    /// See [`SchedulerMetrics::pending_wakeups`].
+    pub pending_wakeups: u64,
+    /// See [`SchedulerMetrics::redundant_submits`].
+    pub redundant_submits: u64,
+    /// See [`SchedulerMetrics::pauses`].
+    pub pauses: u64,
+    /// See [`SchedulerMetrics::pauses_elided`].
+    pub pauses_elided: u64,
+    /// See [`SchedulerMetrics::yields`].
+    pub yields: u64,
+    /// See [`SchedulerMetrics::yields_noop`].
+    pub yields_noop: u64,
+    /// See [`SchedulerMetrics::waitfors`].
+    pub waitfors: u64,
+    /// See [`SchedulerMetrics::waitfor_timeouts`].
+    pub waitfor_timeouts: u64,
+    /// See [`SchedulerMetrics::attaches`].
+    pub attaches: u64,
+    /// See [`SchedulerMetrics::detaches`].
+    pub detaches: u64,
+    /// See [`SchedulerMetrics::grants`].
+    pub grants: u64,
+    /// See [`SchedulerMetrics::affinity_hits`].
+    pub affinity_hits: u64,
+    /// See [`SchedulerMetrics::numa_hits`].
+    pub numa_hits: u64,
+    /// See [`SchedulerMetrics::remote_grants`].
+    pub remote_grants: u64,
+    /// See [`SchedulerMetrics::process_rotations`].
+    pub process_rotations: u64,
+}
+
+impl SchedulerMetrics {
+    /// Bump a counter by one.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submits: self.submits.load(Ordering::Relaxed),
+            pending_wakeups: self.pending_wakeups.load(Ordering::Relaxed),
+            redundant_submits: self.redundant_submits.load(Ordering::Relaxed),
+            pauses: self.pauses.load(Ordering::Relaxed),
+            pauses_elided: self.pauses_elided.load(Ordering::Relaxed),
+            yields: self.yields.load(Ordering::Relaxed),
+            yields_noop: self.yields_noop.load(Ordering::Relaxed),
+            waitfors: self.waitfors.load(Ordering::Relaxed),
+            waitfor_timeouts: self.waitfor_timeouts.load(Ordering::Relaxed),
+            attaches: self.attaches.load(Ordering::Relaxed),
+            detaches: self.detaches.load(Ordering::Relaxed),
+            grants: self.grants.load(Ordering::Relaxed),
+            affinity_hits: self.affinity_hits.load(Ordering::Relaxed),
+            numa_hits: self.numa_hits.load(Ordering::Relaxed),
+            remote_grants: self.remote_grants.load(Ordering::Relaxed),
+            process_rotations: self.process_rotations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Fraction of grants that honoured the task's preferred core. Returns `None` when no
+    /// grant has happened yet.
+    pub fn affinity_hit_rate(&self) -> Option<f64> {
+        if self.grants == 0 {
+            None
+        } else {
+            Some(self.affinity_hits as f64 / self.grants as f64)
+        }
+    }
+
+    /// Total scheduling points observed (pauses + yields + timed waits + detaches).
+    pub fn scheduling_points(&self) -> u64 {
+        self.pauses + self.yields + self.yields_noop + self.waitfors + self.detaches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let m = SchedulerMetrics::default();
+        SchedulerMetrics::inc(&m.submits);
+        SchedulerMetrics::inc(&m.submits);
+        SchedulerMetrics::inc(&m.grants);
+        SchedulerMetrics::inc(&m.affinity_hits);
+        let s = m.snapshot();
+        assert_eq!(s.submits, 2);
+        assert_eq!(s.grants, 1);
+        assert_eq!(s.affinity_hits, 1);
+        assert_eq!(s.affinity_hit_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn affinity_rate_none_without_grants() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.affinity_hit_rate(), None);
+    }
+
+    #[test]
+    fn scheduling_points_sums_voluntary_events() {
+        let s = MetricsSnapshot { pauses: 2, yields: 3, yields_noop: 1, waitfors: 4, detaches: 5, ..Default::default() };
+        assert_eq!(s.scheduling_points(), 15);
+    }
+}

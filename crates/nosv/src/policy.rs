@@ -1,0 +1,475 @@
+//! Scheduling policies.
+//!
+//! USF is a *framework*: the scheduler core only enforces the one-task-per-core invariant
+//! and delegates the "which ready task should run on this idle core" decision to a
+//! [`Policy`] object. [`CoopPolicy`] implements the paper's SCHED_COOP rule (§4.1);
+//! [`FifoPolicy`] is a deliberately simple global-FIFO alternative used as an ablation and
+//! as a template for user-defined policies.
+
+use crate::process::ProcessId;
+use crate::task::TaskId;
+use crate::topology::{CoreId, Topology};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// The per-task information a policy is allowed to base its decisions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMeta {
+    /// Task identifier (opaque to the policy).
+    pub id: TaskId,
+    /// Process domain the task belongs to.
+    pub process: ProcessId,
+    /// The core the task last ran on, if any (its preferred core).
+    pub preferred_core: Option<CoreId>,
+}
+
+/// A pluggable ready-queue policy.
+///
+/// All methods are called with the scheduler lock held; implementations must not block.
+pub trait Policy: Send {
+    /// Short identifier used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// A process domain was registered.
+    fn register_process(&mut self, process: ProcessId);
+
+    /// A process domain was deregistered. Any queued tasks of that process have already
+    /// finished; the policy only needs to drop its bookkeeping.
+    fn deregister_process(&mut self, process: ProcessId);
+
+    /// A task became ready. The policy must keep it until a later [`Policy::pick`] returns it.
+    fn enqueue(&mut self, topo: &Topology, task: TaskMeta, now: Instant);
+
+    /// Core `core` is idle: return the task that should run there, or `None` to leave it
+    /// idle. `now` is the scheduler's notion of the current time (for quantum accounting).
+    fn pick(&mut self, topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta>;
+
+    /// Whether any task is ready (used by `yield` to decide whether switching is useful).
+    fn has_ready(&self) -> bool;
+
+    /// Number of ready tasks currently queued.
+    fn ready_count(&self) -> usize;
+
+    /// Number of process-quantum rotations performed so far (0 for policies without one).
+    fn rotations(&self) -> u64 {
+        0
+    }
+}
+
+/// How a grant's placement relates to the task's preference; used for metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Granted the preferred core.
+    Affinity,
+    /// Granted a core in the preferred core's NUMA node.
+    Numa,
+    /// Granted a remote core, or the task had no preference.
+    Remote,
+}
+
+/// Classify a placement for metric purposes.
+pub fn classify_placement(topo: &Topology, preferred: Option<CoreId>, granted: CoreId) -> PlacementKind {
+    match preferred {
+        Some(p) if p == granted => PlacementKind::Affinity,
+        Some(p) if topo.same_node(p, granted) => PlacementKind::Numa,
+        _ => PlacementKind::Remote,
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// SCHED_COOP
+// ---------------------------------------------------------------------------------------
+
+/// Per-process ready queues used by [`CoopPolicy`].
+#[derive(Debug)]
+struct ProcQueues {
+    /// One FIFO per core, indexed by preferred core.
+    per_core: Vec<VecDeque<TaskMeta>>,
+    /// Tasks without a recorded preference.
+    unbound: VecDeque<TaskMeta>,
+    /// Total queued in this process.
+    count: usize,
+}
+
+impl ProcQueues {
+    fn new(cores: usize) -> Self {
+        ProcQueues { per_core: (0..cores).map(|_| VecDeque::new()).collect(), unbound: VecDeque::new(), count: 0 }
+    }
+
+    fn push(&mut self, task: TaskMeta) {
+        match task.preferred_core {
+            Some(c) => self.per_core[c].push_back(task),
+            None => self.unbound.push_back(task),
+        }
+        self.count += 1;
+    }
+
+    /// Pop honouring affinity → same NUMA node → any other core queue → unbound.
+    fn pop_for(&mut self, topo: &Topology, core: CoreId) -> Option<TaskMeta> {
+        if let Some(t) = self.per_core[core].pop_front() {
+            self.count -= 1;
+            return Some(t);
+        }
+        let node = topo.node_of(core);
+        for c in topo.cores_in_node(node) {
+            if c == core {
+                continue;
+            }
+            if let Some(t) = self.per_core[c].pop_front() {
+                self.count -= 1;
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.unbound.pop_front() {
+            self.count -= 1;
+            return Some(t);
+        }
+        for c in topo.cores() {
+            if topo.node_of(c) == node {
+                continue;
+            }
+            if let Some(t) = self.per_core[c].pop_front() {
+                self.count -= 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// The paper's SCHED_COOP ready-queue policy (§4.1).
+///
+/// * Ready tasks are queued FIFO per process and per preferred core.
+/// * An idle core is first offered tasks that last ran on it, then tasks from its NUMA node,
+///   then unbound tasks, then anything else in the current process.
+/// * Each process is served for a quantum (default 20 ms); the quantum is evaluated only at
+///   scheduling points (i.e. inside [`Policy::pick`]), never by interrupting a running task.
+#[derive(Debug)]
+pub struct CoopPolicy {
+    queues: HashMap<ProcessId, ProcQueues>,
+    /// Registration order; quantum rotation walks this ring.
+    order: Vec<ProcessId>,
+    current: usize,
+    quantum: Duration,
+    quantum_started: Option<Instant>,
+    rotations: u64,
+    cores: usize,
+}
+
+impl CoopPolicy {
+    /// Create a SCHED_COOP policy for the given topology and per-process quantum.
+    pub fn new(topo: Topology, quantum: Duration) -> Self {
+        CoopPolicy {
+            queues: HashMap::new(),
+            order: Vec::new(),
+            current: 0,
+            quantum,
+            quantum_started: None,
+            rotations: 0,
+            cores: topo.num_cores(),
+        }
+    }
+
+    /// The process whose quantum is currently active, if any.
+    pub fn current_process(&self) -> Option<ProcessId> {
+        self.order.get(self.current).copied()
+    }
+
+    fn rotate_if_expired(&mut self, now: Instant) {
+        if self.order.len() <= 1 {
+            return;
+        }
+        let expired = match self.quantum_started {
+            Some(start) => now.duration_since(start) >= self.quantum,
+            None => false,
+        };
+        if expired {
+            // Advance to the next process that has ready work (or just the next process if
+            // none do — the quantum restarts either way).
+            let len = self.order.len();
+            let mut next = (self.current + 1) % len;
+            for off in 0..len {
+                let cand = (self.current + 1 + off) % len;
+                let pid = self.order[cand];
+                if self.queues.get(&pid).map(|q| q.count > 0).unwrap_or(false) {
+                    next = cand;
+                    break;
+                }
+            }
+            if next != self.current {
+                self.rotations += 1;
+            }
+            self.current = next;
+            self.quantum_started = Some(now);
+        }
+    }
+}
+
+impl Policy for CoopPolicy {
+    fn name(&self) -> &str {
+        "sched_coop"
+    }
+
+    fn register_process(&mut self, process: ProcessId) {
+        if self.queues.contains_key(&process) {
+            return;
+        }
+        self.queues.insert(process, ProcQueues::new(self.cores));
+        self.order.push(process);
+    }
+
+    fn deregister_process(&mut self, process: ProcessId) {
+        self.queues.remove(&process);
+        if let Some(pos) = self.order.iter().position(|p| *p == process) {
+            self.order.remove(pos);
+            if self.current >= self.order.len() {
+                self.current = 0;
+            }
+        }
+    }
+
+    fn enqueue(&mut self, _topo: &Topology, task: TaskMeta, _now: Instant) {
+        let q = self
+            .queues
+            .entry(task.process)
+            .or_insert_with(|| ProcQueues::new(self.cores));
+        if !self.order.contains(&task.process) {
+            self.order.push(task.process);
+        }
+        q.push(task);
+    }
+
+    fn pick(&mut self, topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
+        if self.order.is_empty() {
+            return None;
+        }
+        if self.quantum_started.is_none() {
+            self.quantum_started = Some(now);
+        }
+        self.rotate_if_expired(now);
+        let len = self.order.len();
+        for off in 0..len {
+            let idx = (self.current + off) % len;
+            let pid = self.order[idx];
+            if let Some(q) = self.queues.get_mut(&pid) {
+                if let Some(t) = q.pop_for(topo, core) {
+                    if off != 0 {
+                        // We skipped ahead because the current process had nothing ready;
+                        // its turn effectively passes to this process.
+                        self.current = idx;
+                        self.quantum_started = Some(now);
+                        self.rotations += 1;
+                    }
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn has_ready(&self) -> bool {
+        self.queues.values().any(|q| q.count > 0)
+    }
+
+    fn ready_count(&self) -> usize {
+        self.queues.values().map(|q| q.count).sum()
+    }
+
+    fn rotations(&self) -> u64 {
+        self.rotations
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Global FIFO
+// ---------------------------------------------------------------------------------------
+
+/// A single global FIFO without affinity or process awareness.
+///
+/// Serves two purposes: an ablation of SCHED_COOP's locality/quantum machinery, and the
+/// smallest possible example of a user-defined policy for the framework.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<TaskMeta>,
+}
+
+impl FifoPolicy {
+    /// Create an empty FIFO policy.
+    pub fn new() -> Self {
+        FifoPolicy::default()
+    }
+}
+
+impl Policy for FifoPolicy {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn register_process(&mut self, _process: ProcessId) {}
+
+    fn deregister_process(&mut self, _process: ProcessId) {}
+
+    fn enqueue(&mut self, _topo: &Topology, task: TaskMeta, _now: Instant) {
+        self.queue.push_back(task);
+    }
+
+    fn pick(&mut self, _topo: &Topology, _core: CoreId, _now: Instant) -> Option<TaskMeta> {
+        self.queue.pop_front()
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn ready_count(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: TaskId, process: ProcessId, pref: Option<CoreId>) -> TaskMeta {
+        TaskMeta { id, process, preferred_core: pref }
+    }
+
+    #[test]
+    fn fifo_policy_is_fifo() {
+        let topo = Topology::single_node(2);
+        let mut p = FifoPolicy::new();
+        let now = Instant::now();
+        assert!(!p.has_ready());
+        p.enqueue(&topo, meta(1, 0, None), now);
+        p.enqueue(&topo, meta(2, 0, Some(1)), now);
+        p.enqueue(&topo, meta(3, 1, None), now);
+        assert_eq!(p.ready_count(), 3);
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 1);
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 2);
+        assert_eq!(p.pick(&topo, 1, now).unwrap().id, 3);
+        assert!(p.pick(&topo, 0, now).is_none());
+    }
+
+    #[test]
+    fn coop_prefers_affinity_core() {
+        let topo = Topology::new(4, 2);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(20));
+        p.register_process(0);
+        let now = Instant::now();
+        p.enqueue(&topo, meta(1, 0, Some(2)), now);
+        p.enqueue(&topo, meta(2, 0, Some(0)), now);
+        // Core 0 should get task 2 (its affine task), not task 1.
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 2);
+        // Core 2 gets its own.
+        assert_eq!(p.pick(&topo, 2, now).unwrap().id, 1);
+    }
+
+    #[test]
+    fn coop_falls_back_to_numa_then_remote() {
+        let topo = Topology::new(4, 2); // cores 0,1 node 0; cores 2,3 node 1
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(20));
+        p.register_process(0);
+        let now = Instant::now();
+        p.enqueue(&topo, meta(1, 0, Some(1)), now); // node 0
+        p.enqueue(&topo, meta(2, 0, Some(3)), now); // node 1
+        // Core 0 (node 0) should steal from core 1 (same node) before core 3.
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 1);
+        // Now only the remote task remains; core 0 still gets it (anywhere placement).
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 2);
+        assert!(!p.has_ready());
+    }
+
+    #[test]
+    fn coop_unbound_tasks_served_after_affine() {
+        let topo = Topology::single_node(2);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(20));
+        p.register_process(0);
+        let now = Instant::now();
+        p.enqueue(&topo, meta(1, 0, None), now);
+        p.enqueue(&topo, meta(2, 0, Some(0)), now);
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 2);
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 1);
+    }
+
+    #[test]
+    fn coop_fifo_order_within_core_queue() {
+        let topo = Topology::single_node(1);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(20));
+        p.register_process(0);
+        let now = Instant::now();
+        for id in 1..=5 {
+            p.enqueue(&topo, meta(id, 0, Some(0)), now);
+        }
+        let order: Vec<TaskId> = (0..5).map(|_| p.pick(&topo, 0, now).unwrap().id).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn coop_serves_other_process_when_current_is_empty() {
+        let topo = Topology::single_node(2);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(1000));
+        p.register_process(0);
+        p.register_process(1);
+        let now = Instant::now();
+        p.enqueue(&topo, meta(10, 1, None), now);
+        // Process 0 (current) has nothing; the pick should fall through to process 1.
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 10);
+        assert!(p.rotations() >= 1);
+    }
+
+    #[test]
+    fn coop_quantum_rotation() {
+        let topo = Topology::single_node(1);
+        let quantum = Duration::from_millis(10);
+        let mut p = CoopPolicy::new(topo.clone(), quantum);
+        p.register_process(0);
+        p.register_process(1);
+        let t0 = Instant::now();
+        p.enqueue(&topo, meta(1, 0, None), t0);
+        p.enqueue(&topo, meta(2, 1, None), t0);
+        p.enqueue(&topo, meta(3, 0, None), t0);
+        p.enqueue(&topo, meta(4, 1, None), t0);
+        // Within the quantum, process 0 is served.
+        assert_eq!(p.pick(&topo, 0, t0).unwrap().id, 1);
+        assert_eq!(p.pick(&topo, 0, t0 + Duration::from_millis(5)).unwrap().id, 3);
+        // After the quantum expires, process 1 gets its turn.
+        assert_eq!(p.pick(&topo, 0, t0 + Duration::from_millis(15)).unwrap().id, 2);
+        assert_eq!(p.current_process(), Some(1));
+        // And process 1 keeps the core for its own quantum.
+        assert_eq!(p.pick(&topo, 0, t0 + Duration::from_millis(20)).unwrap().id, 4);
+    }
+
+    #[test]
+    fn coop_deregister_process_removes_bookkeeping() {
+        let topo = Topology::single_node(1);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(10));
+        p.register_process(0);
+        p.register_process(1);
+        p.deregister_process(0);
+        let now = Instant::now();
+        p.enqueue(&topo, meta(1, 1, None), now);
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 1);
+        // Registering twice is a no-op.
+        p.register_process(1);
+        assert_eq!(p.ready_count(), 0);
+    }
+
+    #[test]
+    fn classify_placement_kinds() {
+        let topo = Topology::new(4, 2);
+        assert_eq!(classify_placement(&topo, Some(1), 1), PlacementKind::Affinity);
+        assert_eq!(classify_placement(&topo, Some(0), 1), PlacementKind::Numa);
+        assert_eq!(classify_placement(&topo, Some(0), 3), PlacementKind::Remote);
+        assert_eq!(classify_placement(&topo, None, 2), PlacementKind::Remote);
+    }
+
+    #[test]
+    fn enqueue_for_unregistered_process_registers_it() {
+        let topo = Topology::single_node(1);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(10));
+        let now = Instant::now();
+        p.enqueue(&topo, meta(1, 7, None), now);
+        assert!(p.has_ready());
+        assert_eq!(p.pick(&topo, 0, now).unwrap().id, 1);
+    }
+}

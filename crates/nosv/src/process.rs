@@ -1,0 +1,44 @@
+//! Process domains.
+//!
+//! The paper's nOS-V coordinates *real* OS processes through a shared-memory segment; every
+//! process registers itself at startup (§4.3.3) and the single centralized scheduler serves
+//! tasks of all of them, rotating a per-process quantum. In this reproduction a "process" is
+//! a *scheduling domain* identified by a [`ProcessId`]; several domains share one scheduler
+//! instance and the quantum rotation behaves identically (see DESIGN.md, substitutions).
+
+/// Identifier of a process domain registered with a scheduler instance.
+pub type ProcessId = u32;
+
+/// Bookkeeping for one registered process domain.
+#[derive(Debug, Clone)]
+pub struct ProcessInfo {
+    /// Identifier assigned at registration.
+    pub id: ProcessId,
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Number of tasks ever created in this domain.
+    pub tasks_created: u64,
+    /// Number of live (not yet finished) tasks.
+    pub tasks_live: u64,
+}
+
+impl ProcessInfo {
+    /// Create bookkeeping for a new process domain.
+    pub fn new(id: ProcessId, name: impl Into<String>) -> Self {
+        ProcessInfo { id, name: name.into(), tasks_created: 0, tasks_live: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_process_info_is_empty() {
+        let p = ProcessInfo::new(3, "llama-server");
+        assert_eq!(p.id, 3);
+        assert_eq!(p.name, "llama-server");
+        assert_eq!(p.tasks_created, 0);
+        assert_eq!(p.tasks_live, 0);
+    }
+}

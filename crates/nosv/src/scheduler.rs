@@ -1,0 +1,715 @@
+//! The centralized multi-process scheduler (the "shared memory segment" of nOS-V).
+//!
+//! One [`Scheduler`] instance owns the virtual core slots and the installed [`Policy`]. All
+//! mutation happens under a single mutex ([`SchedState`]); per-task grant slots have their
+//! own lock so a worker can wait for a core without holding the scheduler lock.
+//!
+//! **Lock ordering**: the scheduler lock may acquire a task's grant lock (to deliver a
+//! grant), but a grant lock is never held while acquiring the scheduler lock. The public
+//! entry points (`submit`, `pause`, …) inspect/update the grant slot first, drop it, and
+//! only then take the scheduler lock.
+
+use crate::config::NosvConfig;
+use crate::error::{NosvError, Result};
+use crate::metrics::SchedulerMetrics;
+use crate::policy::{classify_placement, PlacementKind, Policy, TaskMeta};
+use crate::process::{ProcessId, ProcessInfo};
+use crate::task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
+use crate::topology::{CoreId, Topology};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// State of one virtual core slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreSlot {
+    /// Nothing granted on this core.
+    Idle,
+    /// The given task currently holds this core.
+    Busy(TaskId),
+}
+
+/// Scheduler state protected by the central lock.
+pub(crate) struct SchedState {
+    cores: Vec<CoreSlot>,
+    policy: Box<dyn Policy>,
+    tasks: HashMap<TaskId, TaskRef>,
+    processes: HashMap<ProcessId, ProcessInfo>,
+    next_task_id: TaskId,
+    next_process_id: ProcessId,
+    shutdown: bool,
+}
+
+/// The centralized scheduler shared by every process domain of an instance.
+pub struct Scheduler {
+    topo: Topology,
+    config: NosvConfig,
+    state: Mutex<SchedState>,
+    metrics: SchedulerMetrics,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("cores", &self.topo.num_cores())
+            .field("policy", &self.config.policy)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Create a scheduler with the given configuration.
+    pub fn new(config: NosvConfig) -> Self {
+        let policy = config.policy.build(&config);
+        let cores = config.topology.num_cores();
+        Scheduler {
+            topo: config.topology.clone(),
+            state: Mutex::new(SchedState {
+                cores: vec![CoreSlot::Idle; cores],
+                policy,
+                tasks: HashMap::new(),
+                processes: HashMap::new(),
+                next_task_id: 1,
+                next_process_id: 1,
+                shutdown: false,
+            }),
+            metrics: SchedulerMetrics::default(),
+            config,
+        }
+    }
+
+    /// The topology this scheduler manages.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration the scheduler was built with.
+    pub fn config(&self) -> &NosvConfig {
+        &self.config
+    }
+
+    /// Scheduler metrics.
+    pub fn metrics(&self) -> &SchedulerMetrics {
+        &self.metrics
+    }
+
+    /// Name of the installed policy.
+    pub fn policy_name(&self) -> String {
+        self.state.lock().policy.name().to_string()
+    }
+
+    /// Number of process-quantum rotations performed by the policy.
+    pub fn policy_rotations(&self) -> u64 {
+        self.state.lock().policy.rotations()
+    }
+
+    /// Number of tasks currently ready (queued, not running).
+    pub fn ready_count(&self) -> usize {
+        self.state.lock().policy.ready_count()
+    }
+
+    /// Number of cores currently running a task.
+    pub fn busy_cores(&self) -> usize {
+        self.state.lock().cores.iter().filter(|c| matches!(c, CoreSlot::Busy(_))).count()
+    }
+
+    /// Number of live (registered, unfinished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.state.lock().tasks.len()
+    }
+
+    // -------------------------------------------------------------------------------------
+    // Processes
+    // -------------------------------------------------------------------------------------
+
+    /// Register a process domain and return its identifier.
+    pub fn register_process(&self, name: impl Into<String>) -> ProcessId {
+        let mut st = self.state.lock();
+        let id = st.next_process_id;
+        st.next_process_id += 1;
+        st.processes.insert(id, ProcessInfo::new(id, name));
+        st.policy.register_process(id);
+        id
+    }
+
+    /// Deregister a process domain. Live tasks of the process keep running; only the
+    /// bookkeeping and its place in the quantum rotation are removed.
+    pub fn deregister_process(&self, process: ProcessId) {
+        let mut st = self.state.lock();
+        st.processes.remove(&process);
+        st.policy.deregister_process(process);
+    }
+
+    /// Names and ids of the registered process domains.
+    pub fn processes(&self) -> Vec<(ProcessId, String)> {
+        let st = self.state.lock();
+        let mut v: Vec<_> = st.processes.values().map(|p| (p.id, p.name.clone())).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    // -------------------------------------------------------------------------------------
+    // Task lifecycle
+    // -------------------------------------------------------------------------------------
+
+    /// Create (but do not submit) a task belonging to `process`.
+    pub fn create_task(&self, process: ProcessId, label: Option<String>) -> Result<TaskRef> {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return Err(NosvError::ShutDown);
+        }
+        if !st.processes.contains_key(&process) {
+            return Err(NosvError::UnknownProcess(process));
+        }
+        let id = st.next_task_id;
+        st.next_task_id += 1;
+        let task = Task::new(id, process, label);
+        st.tasks.insert(id, TaskRef::clone(&task));
+        if let Some(p) = st.processes.get_mut(&process) {
+            p.tasks_created += 1;
+            p.tasks_live += 1;
+        }
+        Ok(task)
+    }
+
+    /// Attach: submit the task and block the calling OS thread until the scheduler grants it
+    /// a core. This is the `nosv_attach` pattern (§4.3.1): the thread is recruited as a
+    /// worker and can no longer run freely.
+    pub fn attach(&self, task: &TaskRef) {
+        SchedulerMetrics::inc(&self.metrics.attaches);
+        self.submit(task);
+        let _ = task.wait_grant();
+    }
+
+    /// Make a task ready. If an appropriate idle core exists it is granted immediately;
+    /// otherwise the task is queued in the policy. Safe to call from any thread.
+    pub fn submit(&self, task: &TaskRef) {
+        SchedulerMetrics::inc(&self.metrics.submits);
+        {
+            let mut g = task.grant.lock();
+            if g.released {
+                return;
+            }
+            if g.granted.is_some() {
+                // The task still holds a core (it has not reached its pause yet): count the
+                // wake-up so the upcoming pause returns immediately (nOS-V event counter).
+                g.pending_wakeups += 1;
+                SchedulerMetrics::inc(&self.metrics.pending_wakeups);
+                return;
+            }
+            if g.queued {
+                // Already sitting in the ready queues; nothing to do.
+                SchedulerMetrics::inc(&self.metrics.redundant_submits);
+                return;
+            }
+            g.queued = true;
+            g.state = TaskState::Ready;
+        }
+        let mut st = self.state.lock();
+        self.place_ready_task(&mut st, task);
+    }
+
+    /// Block the calling task: release its core (handing it to the next ready task) and wait
+    /// until a later [`Scheduler::submit`] reschedules it. This is `nosv_pause`.
+    pub fn pause(&self, task: &TaskRef) {
+        let released;
+        {
+            let mut g = task.grant.lock();
+            if g.released {
+                return;
+            }
+            if g.pending_wakeups > 0 {
+                g.pending_wakeups -= 1;
+                SchedulerMetrics::inc(&self.metrics.pauses_elided);
+                return;
+            }
+            released = g.granted.take();
+            g.state = TaskState::Blocked;
+        }
+        SchedulerMetrics::inc(&self.metrics.pauses);
+        SchedulerMetrics::inc(&task.stats.blocks);
+        if let Some(core) = released {
+            let mut st = self.state.lock();
+            self.release_core(&mut st, core);
+        }
+        let _ = task.wait_grant();
+    }
+
+    /// Timed block: like [`Scheduler::pause`], but if no submit arrives within `timeout` the
+    /// task re-submits itself and waits to be rescheduled. This is `nosv_waitfor` and is the
+    /// building block for sleeps and the poll/epoll integration (§4.3.4).
+    pub fn waitfor(&self, task: &TaskRef, timeout: Duration) -> WaitOutcome {
+        SchedulerMetrics::inc(&self.metrics.waitfors);
+        let released;
+        {
+            let mut g = task.grant.lock();
+            if g.released {
+                return WaitOutcome::Woken;
+            }
+            if g.pending_wakeups > 0 {
+                g.pending_wakeups -= 1;
+                SchedulerMetrics::inc(&self.metrics.pauses_elided);
+                return WaitOutcome::Woken;
+            }
+            released = g.granted.take();
+            g.state = TaskState::Blocked;
+        }
+        SchedulerMetrics::inc(&task.stats.blocks);
+        if let Some(core) = released {
+            let mut st = self.state.lock();
+            self.release_core(&mut st, core);
+        }
+        let deadline = Instant::now() + timeout;
+        match task.wait_grant_until(deadline) {
+            Some(_) => WaitOutcome::Woken,
+            None => {
+                // Timed out without being woken: resubmit ourselves and wait for a core.
+                SchedulerMetrics::inc(&self.metrics.waitfor_timeouts);
+                self.submit(task);
+                let _ = task.wait_grant();
+                WaitOutcome::TimedOut
+            }
+        }
+    }
+
+    /// Voluntarily give the core to another ready task, requeueing the caller at the tail of
+    /// its queue. Returns `true` if a switch happened, `false` if the core was kept because
+    /// nothing else was ready. This is the `sched_yield` → `nosv_yield` path of §5.3.
+    pub fn yield_now(&self, task: &TaskRef) -> bool {
+        let core = {
+            let g = task.grant.lock();
+            if g.released {
+                return false;
+            }
+            match g.granted {
+                Some(c) => c,
+                None => return false,
+            }
+        };
+        let mut st = self.state.lock();
+        if !st.policy.has_ready() {
+            SchedulerMetrics::inc(&self.metrics.yields_noop);
+            return false;
+        }
+        // Pick the successor *before* requeueing ourselves: with per-core FIFO affinity the
+        // yielding task would otherwise be at the head of its own core's queue and the yield
+        // would hand the core straight back to it, starving everyone else.
+        let now = Instant::now();
+        let next = loop {
+            match st.policy.pick(&self.topo, core, now) {
+                Some(meta) => {
+                    if let Some(t) = st.tasks.get(&meta.id).cloned() {
+                        break Some(t);
+                    }
+                    // Stale entry (task detached while queued): keep looking.
+                }
+                None => break None,
+            }
+        };
+        let next_task = match next {
+            Some(t) => t,
+            None => {
+                // Every queued entry was stale; nothing to switch to.
+                SchedulerMetrics::inc(&self.metrics.yields_noop);
+                return false;
+            }
+        };
+        // Requeue ourselves at the tail and hand the core to the successor.
+        {
+            let mut g = task.grant.lock();
+            // A submit may have raced in and counted a pending wake-up; that is fine — keep it.
+            g.granted = None;
+            g.queued = true;
+            g.state = TaskState::Ready;
+        }
+        let meta = TaskMeta { id: task.id(), process: task.process(), preferred_core: task.preferred_core() };
+        st.policy.enqueue(&self.topo, meta, now);
+        st.cores[core] = CoreSlot::Busy(next_task.id());
+        self.grant(&next_task, core);
+        drop(st);
+        SchedulerMetrics::inc(&self.metrics.yields);
+        SchedulerMetrics::inc(&task.stats.yields);
+        let _ = task.wait_grant();
+        true
+    }
+
+    /// Detach: the task finishes, its core is handed to the next ready task and it is removed
+    /// from the scheduler. This is `nosv_detach`.
+    pub fn detach(&self, task: &TaskRef) {
+        SchedulerMetrics::inc(&self.metrics.detaches);
+        let released;
+        {
+            let mut g = task.grant.lock();
+            released = g.granted.take();
+            g.state = TaskState::Finished;
+            g.released = true;
+        }
+        let mut st = self.state.lock();
+        if let Some(core) = released {
+            self.release_core(&mut st, core);
+        }
+        let process = task.process();
+        st.tasks.remove(&task.id());
+        if let Some(p) = st.processes.get_mut(&process) {
+            p.tasks_live = p.tasks_live.saturating_sub(1);
+        }
+    }
+
+    /// Shut the scheduler down: every task waiting for a core is released from scheduler
+    /// control and resumes as a plain OS thread. This is a safety valve used by the USF
+    /// layer at instance teardown so that buggy applications can never leave threads parked
+    /// forever.
+    pub fn shutdown(&self) {
+        let tasks: Vec<TaskRef> = {
+            let mut st = self.state.lock();
+            st.shutdown = true;
+            st.tasks.values().cloned().collect()
+        };
+        for t in tasks {
+            let mut g = t.grant.lock();
+            g.released = true;
+            t.grant_cv.notify_all();
+        }
+    }
+
+    /// Whether the scheduler has been shut down.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.lock().shutdown
+    }
+
+    // -------------------------------------------------------------------------------------
+    // Internals (scheduler lock held)
+    // -------------------------------------------------------------------------------------
+
+    /// Grant `core` to `task`. Caller holds the scheduler lock and has already marked the
+    /// core busy.
+    fn grant(&self, task: &TaskRef, core: CoreId) {
+        let placement = classify_placement(&self.topo, task.preferred_core(), core);
+        SchedulerMetrics::inc(&self.metrics.grants);
+        SchedulerMetrics::inc(&task.stats.grants);
+        match placement {
+            PlacementKind::Affinity => SchedulerMetrics::inc(&self.metrics.affinity_hits),
+            PlacementKind::Numa => SchedulerMetrics::inc(&self.metrics.numa_hits),
+            PlacementKind::Remote => SchedulerMetrics::inc(&self.metrics.remote_grants),
+        }
+        task.record_core(core);
+        let mut g = task.grant.lock();
+        g.granted = Some(core);
+        g.queued = false;
+        g.state = TaskState::Running;
+        task.grant_cv.notify_one();
+    }
+
+    /// Place a freshly submitted task: grant it an idle core if one is available (honouring
+    /// affinity), otherwise leave it queued in the policy.
+    fn place_ready_task(&self, st: &mut SchedState, task: &TaskRef) {
+        let now = Instant::now();
+        match self.choose_idle_core(st, task.preferred_core()) {
+            Some(core) => {
+                // The task was marked queued by the caller; the grant clears it.
+                st.cores[core] = CoreSlot::Busy(task.id());
+                self.grant(task, core);
+            }
+            None => {
+                let meta = TaskMeta { id: task.id(), process: task.process(), preferred_core: task.preferred_core() };
+                st.policy.enqueue(&self.topo, meta, now);
+            }
+        }
+    }
+
+    /// Pick an idle core for a task with the given preference: preferred core if idle, else
+    /// an idle core in the same NUMA node, else any idle core.
+    fn choose_idle_core(&self, st: &SchedState, preferred: Option<CoreId>) -> Option<CoreId> {
+        let is_idle = |c: CoreId| matches!(st.cores[c], CoreSlot::Idle);
+        if let Some(p) = preferred {
+            if is_idle(p) {
+                return Some(p);
+            }
+            let node = self.topo.node_of(p);
+            if let Some(c) = self.topo.cores_in_node(node).find(|&c| is_idle(c)) {
+                return Some(c);
+            }
+        }
+        self.topo.cores().find(|&c| is_idle(c))
+    }
+
+    /// A core became free: hand it to the next ready task according to the policy, or mark
+    /// it idle.
+    fn release_core(&self, st: &mut SchedState, core: CoreId) {
+        st.cores[core] = CoreSlot::Idle;
+        self.dispatch_core(st, core, Instant::now());
+    }
+
+    /// Try to dispatch a ready task onto an idle core. Stale queue entries (tasks detached
+    /// while still queued) are skipped.
+    fn dispatch_core(&self, st: &mut SchedState, core: CoreId, now: Instant) {
+        debug_assert!(matches!(st.cores[core], CoreSlot::Idle));
+        while let Some(meta) = st.policy.pick(&self.topo, core, now) {
+            if let Some(task) = st.tasks.get(&meta.id).cloned() {
+                st.cores[core] = CoreSlot::Busy(meta.id);
+                self.grant(&task, core);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn sched(cores: usize) -> Arc<Scheduler> {
+        Arc::new(Scheduler::new(NosvConfig::with_cores(cores)))
+    }
+
+    #[test]
+    fn register_and_list_processes() {
+        let s = sched(2);
+        let a = s.register_process("a");
+        let b = s.register_process("b");
+        assert_ne!(a, b);
+        let procs = s.processes();
+        assert_eq!(procs.len(), 2);
+        assert_eq!(procs[0].1, "a");
+        s.deregister_process(a);
+        assert_eq!(s.processes().len(), 1);
+    }
+
+    #[test]
+    fn create_task_requires_known_process() {
+        let s = sched(1);
+        assert!(matches!(s.create_task(99, None), Err(NosvError::UnknownProcess(99))));
+        let p = s.register_process("p");
+        assert!(s.create_task(p, None).is_ok());
+    }
+
+    #[test]
+    fn submit_grants_idle_core_immediately() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        assert_eq!(t.state(), TaskState::Running);
+        assert!(t.current_core().is_some());
+        assert_eq!(s.busy_cores(), 1);
+        assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn submit_queues_when_cores_are_busy() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        s.submit(&t2);
+        assert_eq!(t1.state(), TaskState::Running);
+        assert_eq!(t2.state(), TaskState::Ready);
+        assert_eq!(s.ready_count(), 1);
+        // Detaching t1 hands the core to t2.
+        s.detach(&t1);
+        assert_eq!(t2.state(), TaskState::Running);
+        assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn never_more_running_tasks_than_cores() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        let tasks: Vec<_> = (0..8).map(|_| s.create_task(p, None).unwrap()).collect();
+        for t in &tasks {
+            s.submit(t);
+        }
+        let running = tasks.iter().filter(|t| t.state() == TaskState::Running).count();
+        assert_eq!(running, 2);
+        assert_eq!(s.ready_count(), 6);
+        assert_eq!(s.busy_cores(), 2);
+    }
+
+    #[test]
+    fn pending_wakeup_elides_pause() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t); // granted core 0
+        s.submit(&t); // arrives "early" -> counted
+        // The pause must not block (it consumes the counted wake-up).
+        s.pause(&t);
+        assert_eq!(t.state(), TaskState::Running);
+        let m = s.metrics().snapshot();
+        assert_eq!(m.pending_wakeups, 1);
+        assert_eq!(m.pauses_elided, 1);
+    }
+
+    #[test]
+    fn pause_releases_core_to_next_task() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        s.submit(&t2);
+        let s2 = Arc::clone(&s);
+        let t1c = TaskRef::clone(&t1);
+        let blocked = Arc::new(AtomicUsize::new(0));
+        let blocked2 = Arc::clone(&blocked);
+        let h = std::thread::spawn(move || {
+            blocked2.store(1, Ordering::SeqCst);
+            s2.pause(&t1c); // blocks until someone resubmits t1
+            blocked2.store(2, Ordering::SeqCst);
+        });
+        // Wait until t2 got the core (t1 paused).
+        while t2.state() != TaskState::Running {
+            std::thread::yield_now();
+        }
+        assert_eq!(t1.state(), TaskState::Blocked);
+        assert_eq!(blocked.load(Ordering::SeqCst), 1);
+        // Resume t1: t2 still holds the core, so t1 queues; release t2's core via detach.
+        s.submit(&t1);
+        assert_eq!(t1.state(), TaskState::Ready);
+        s.detach(&t2);
+        h.join().unwrap();
+        assert_eq!(blocked.load(Ordering::SeqCst), 2);
+        assert_eq!(t1.state(), TaskState::Running);
+        s.detach(&t1);
+    }
+
+    #[test]
+    fn waitfor_times_out_and_reschedules() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        let outcome = s.waitfor(&t, Duration::from_millis(5));
+        assert_eq!(outcome, WaitOutcome::TimedOut);
+        assert_eq!(t.state(), TaskState::Running);
+        let m = s.metrics().snapshot();
+        assert_eq!(m.waitfors, 1);
+        assert_eq!(m.waitfor_timeouts, 1);
+    }
+
+    #[test]
+    fn waitfor_woken_early_by_submit() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        let s2 = Arc::clone(&s);
+        let t2 = TaskRef::clone(&t);
+        let h = std::thread::spawn(move || s2.waitfor(&t2, Duration::from_secs(10)));
+        while t.state() != TaskState::Blocked {
+            std::thread::yield_now();
+        }
+        s.submit(&t);
+        let outcome = h.join().unwrap();
+        assert_eq!(outcome, WaitOutcome::Woken);
+    }
+
+    #[test]
+    fn yield_without_ready_tasks_keeps_core() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        assert!(!s.yield_now(&t));
+        assert_eq!(t.state(), TaskState::Running);
+        assert_eq!(s.metrics().snapshot().yields_noop, 1);
+    }
+
+    #[test]
+    fn yield_switches_to_queued_task() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        s.submit(&t2); // queued behind t1
+        let s2 = Arc::clone(&s);
+        let t1c = TaskRef::clone(&t1);
+        let h = std::thread::spawn(move || s2.yield_now(&t1c));
+        // t2 must get the core; t1 requeued.
+        while t2.state() != TaskState::Running {
+            std::thread::yield_now();
+        }
+        // Give the core back so t1 can resume and the yielding thread can finish.
+        s.detach(&t2);
+        assert!(h.join().unwrap());
+        assert_eq!(t1.state(), TaskState::Running);
+    }
+
+    #[test]
+    fn detach_frees_core_and_forgets_task() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        assert_eq!(s.live_tasks(), 1);
+        s.detach(&t);
+        assert_eq!(s.live_tasks(), 0);
+        assert_eq!(s.busy_cores(), 0);
+    }
+
+    #[test]
+    fn shutdown_releases_waiting_tasks() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        s.submit(&t2);
+        let t2c = TaskRef::clone(&t2);
+        // t2 waits for a core (attach blocks); shutdown must release it.
+        let h = std::thread::spawn(move || {
+            t2c.wait_grant() // returns None on release
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        s.shutdown();
+        assert_eq!(h.join().unwrap(), None);
+        assert!(s.is_shutdown());
+        // Operations after shutdown are inert.
+        assert!(matches!(s.create_task(p, None), Err(NosvError::ShutDown)));
+        s.pause(&t1);
+        assert!(!s.yield_now(&t1));
+    }
+
+    #[test]
+    fn affinity_preferred_on_resubmit() {
+        let s = sched(4);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        let first = t.current_core().unwrap();
+        // Pause (from this thread it would block, so emulate: pretend a wakeup is pending
+        // after releasing) — instead just detach-and-recreate pattern: pause on another thread.
+        let s2 = Arc::clone(&s);
+        let tc = TaskRef::clone(&t);
+        let h = std::thread::spawn(move || s2.pause(&tc));
+        while t.state() != TaskState::Blocked {
+            std::thread::yield_now();
+        }
+        s.submit(&t);
+        h.join().unwrap();
+        assert_eq!(t.current_core().unwrap(), first, "resubmit should honour the preferred core");
+        let m = s.metrics().snapshot();
+        assert!(m.affinity_hits >= 1);
+    }
+
+    #[test]
+    fn detached_queued_task_is_skipped() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        let t3 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        s.submit(&t2);
+        s.submit(&t3);
+        // t2 is queued; detach it while queued. Freeing t1's core must skip t2's stale queue
+        // entry and dispatch t3 directly.
+        s.detach(&t2);
+        s.detach(&t1);
+        assert_eq!(t3.state(), TaskState::Running);
+    }
+}

@@ -1,0 +1,260 @@
+//! Tasks — the schedulable entity of the substrate.
+//!
+//! In the USF use case (glibcv, §4.2 of the paper) every application thread is converted
+//! into a worker with exactly one associated task, and the task stays bound to that worker
+//! for its whole life. That is what keeps thread-local storage working. The task carries
+//! the scheduling state: which core it currently holds (if any), where it last ran (its
+//! preferred core), and a small per-task "grant" slot through which the scheduler hands it
+//! a core.
+
+use crate::process::ProcessId;
+use crate::topology::CoreId;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a task, unique within a scheduler instance.
+pub type TaskId = u64;
+
+/// Shared reference to a task.
+pub type TaskRef = Arc<Task>;
+
+/// Sentinel for "no preferred core recorded yet".
+const NO_CORE: usize = usize::MAX;
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Created but never submitted.
+    Created,
+    /// Ready and waiting in the scheduler queues.
+    Ready,
+    /// Currently granted a core.
+    Running,
+    /// Blocked at a scheduling point (pause / timed wait).
+    Blocked,
+    /// Finished (detached).
+    Finished,
+}
+
+/// Outcome of a timed wait ([`crate::instance::TaskHandle::waitfor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The task was woken by a submit before the timeout elapsed.
+    Woken,
+    /// The timeout elapsed; the task re-submitted itself and was rescheduled.
+    TimedOut,
+}
+
+/// The per-task slot through which the scheduler communicates with the task's worker.
+#[derive(Debug)]
+pub(crate) struct GrantSlot {
+    /// Core currently granted to (held by) the task. `Some` means the task occupies a core.
+    pub granted: Option<CoreId>,
+    /// Whether the task sits in the policy's ready queues.
+    pub queued: bool,
+    /// Counted wake-ups: submits that arrived while the task still held its core. The next
+    /// pause consumes one instead of blocking (nOS-V's event counter, avoids lost wake-ups
+    /// in the Listing 1 pattern).
+    pub pending_wakeups: u32,
+    /// Lifecycle state (kept here so it is updated under the same lock as the grant).
+    pub state: TaskState,
+    /// When set, the scheduler no longer manages this task: any wait returns immediately and
+    /// the task runs as a plain OS thread. Used on scheduler shutdown as a safety valve so
+    /// an application bug can never leave threads parked forever.
+    pub released: bool,
+}
+
+/// Per-task counters (diagnostics).
+#[derive(Debug, Default)]
+pub struct TaskStats {
+    /// Times this task was granted a core.
+    pub grants: AtomicU64,
+    /// Times this task blocked (pause / timed wait).
+    pub blocks: AtomicU64,
+    /// Times this task voluntarily yielded.
+    pub yields: AtomicU64,
+}
+
+/// A schedulable task. See the module documentation.
+#[derive(Debug)]
+pub struct Task {
+    id: TaskId,
+    process: ProcessId,
+    label: Option<String>,
+    /// Last core this task ran on; used as the preferred core by affinity-aware policies.
+    pref_core: AtomicUsize,
+    pub(crate) grant: Mutex<GrantSlot>,
+    pub(crate) grant_cv: Condvar,
+    /// Creation timestamp (diagnostics).
+    created_at: Instant,
+    /// Per-task counters.
+    pub stats: TaskStats,
+}
+
+impl Task {
+    /// Create a task in the [`TaskState::Created`] state.
+    pub(crate) fn new(id: TaskId, process: ProcessId, label: Option<String>) -> TaskRef {
+        Arc::new(Task {
+            id,
+            process,
+            label,
+            pref_core: AtomicUsize::new(NO_CORE),
+            grant: Mutex::new(GrantSlot {
+                granted: None,
+                queued: false,
+                pending_wakeups: 0,
+                state: TaskState::Created,
+                released: false,
+            }),
+            grant_cv: Condvar::new(),
+            created_at: Instant::now(),
+            stats: TaskStats::default(),
+        })
+    }
+
+    /// Task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Process domain the task belongs to.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Optional human-readable label.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Time at which the task was created.
+    pub fn created_at(&self) -> Instant {
+        self.created_at
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TaskState {
+        self.grant.lock().state
+    }
+
+    /// Core the task currently holds, if any.
+    pub fn current_core(&self) -> Option<CoreId> {
+        self.grant.lock().granted
+    }
+
+    /// Preferred core: the core the task last ran on, if any.
+    pub fn preferred_core(&self) -> Option<CoreId> {
+        let c = self.pref_core.load(Ordering::Relaxed);
+        if c == NO_CORE {
+            None
+        } else {
+            Some(c)
+        }
+    }
+
+    /// Record the core the task was just granted (becomes the new preference).
+    pub(crate) fn record_core(&self, core: CoreId) {
+        self.pref_core.store(core, Ordering::Relaxed);
+    }
+
+    /// Wait (blocking the calling OS thread) until the scheduler grants this task a core, or
+    /// until the task is released from scheduler control. Returns the granted core, or
+    /// `None` if released.
+    pub(crate) fn wait_grant(&self) -> Option<CoreId> {
+        let mut g = self.grant.lock();
+        loop {
+            if let Some(core) = g.granted {
+                return Some(core);
+            }
+            if g.released {
+                return None;
+            }
+            self.grant_cv.wait(&mut g);
+        }
+    }
+
+    /// Timed variant of [`Task::wait_grant`]: waits until `deadline`. Returns `Some(core)` if
+    /// granted (or `None` inside `Some` semantics is not needed — released counts as granted
+    /// for the caller), `None` on timeout.
+    pub(crate) fn wait_grant_until(&self, deadline: Instant) -> Option<Option<CoreId>> {
+        let mut g = self.grant.lock();
+        loop {
+            if let Some(core) = g.granted {
+                return Some(Some(core));
+            }
+            if g.released {
+                return Some(None);
+            }
+            if self.grant_cv.wait_until(&mut g, deadline).timed_out() {
+                // Re-check the predicate one final time: the grant may have arrived between
+                // the timeout and re-acquiring the lock.
+                if let Some(core) = g.granted {
+                    return Some(Some(core));
+                }
+                if g.released {
+                    return Some(None);
+                }
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn new_task_is_created_state_without_core() {
+        let t = Task::new(7, 1, Some("t".into()));
+        assert_eq!(t.id(), 7);
+        assert_eq!(t.process(), 1);
+        assert_eq!(t.label(), Some("t"));
+        assert_eq!(t.state(), TaskState::Created);
+        assert_eq!(t.current_core(), None);
+        assert_eq!(t.preferred_core(), None);
+    }
+
+    #[test]
+    fn record_core_sets_preference() {
+        let t = Task::new(1, 0, None);
+        t.record_core(3);
+        assert_eq!(t.preferred_core(), Some(3));
+    }
+
+    #[test]
+    fn wait_grant_until_times_out_when_never_granted() {
+        let t = Task::new(1, 0, None);
+        let r = t.wait_grant_until(Instant::now() + Duration::from_millis(10));
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn wait_grant_returns_after_grant_from_other_thread() {
+        let t = Task::new(1, 0, None);
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.wait_grant());
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let mut g = t.grant.lock();
+            g.granted = Some(5);
+            g.state = TaskState::Running;
+            t.grant_cv.notify_one();
+        }
+        assert_eq!(h.join().unwrap(), Some(5));
+    }
+
+    #[test]
+    fn released_task_wait_returns_none() {
+        let t = Task::new(1, 0, None);
+        {
+            let mut g = t.grant.lock();
+            g.released = true;
+        }
+        assert_eq!(t.wait_grant(), None);
+        assert_eq!(t.wait_grant_until(Instant::now() + Duration::from_millis(1)), Some(None));
+    }
+}

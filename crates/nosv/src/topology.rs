@@ -1,0 +1,173 @@
+//! Virtual core and NUMA topology description.
+//!
+//! USF does not pin threads to physical CPUs in this reproduction (that would require
+//! `libc`); instead the scheduler manages *core slots*. The invariant the paper relies on —
+//! exactly one runnable participating thread per core — is enforced on the slots. The NUMA
+//! structure is still modelled because SCHED_COOP's placement rule is
+//! affinity → same NUMA node → anywhere (§4.1).
+
+/// Identifier of a virtual core slot (0-based, dense).
+pub type CoreId = usize;
+
+/// Description of the virtual machine topology visible to the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    cores: usize,
+    numa_nodes: usize,
+    core_to_node: Vec<usize>,
+}
+
+impl Topology {
+    /// Build a topology with `cores` cores distributed in `numa_nodes` equally sized,
+    /// contiguous NUMA nodes (the layout of virtually every HPC node, including the
+    /// evaluation machine of the paper).
+    ///
+    /// If `cores` is not divisible by `numa_nodes`, the first nodes get one extra core.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0` or `numa_nodes == 0` or `numa_nodes > cores`.
+    pub fn new(cores: usize, numa_nodes: usize) -> Self {
+        assert!(cores > 0, "topology needs at least one core");
+        assert!(numa_nodes > 0, "topology needs at least one NUMA node");
+        assert!(numa_nodes <= cores, "cannot have more NUMA nodes than cores");
+        let base = cores / numa_nodes;
+        let extra = cores % numa_nodes;
+        let mut core_to_node = Vec::with_capacity(cores);
+        for node in 0..numa_nodes {
+            let count = base + usize::from(node < extra);
+            core_to_node.extend(std::iter::repeat(node).take(count));
+        }
+        debug_assert_eq!(core_to_node.len(), cores);
+        Topology { cores, numa_nodes, core_to_node }
+    }
+
+    /// A single-NUMA-node topology with `cores` cores.
+    pub fn single_node(cores: usize) -> Self {
+        Topology::new(cores, 1)
+    }
+
+    /// Detect a topology from the host: `std::thread::available_parallelism` cores in one
+    /// NUMA node. Used when the user does not specify a core count.
+    pub fn detect() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Topology::single_node(cores)
+    }
+
+    /// The topology of the paper's evaluation machine (Table 1): Marenostrum 5 node with
+    /// two 56-core Intel Sapphire Rapids 8480+ sockets (112 cores, 2 NUMA domains).
+    pub fn marenostrum5() -> Self {
+        Topology::new(112, 2)
+    }
+
+    /// Number of core slots.
+    pub fn num_cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of NUMA nodes.
+    pub fn num_numa_nodes(&self) -> usize {
+        self.numa_nodes
+    }
+
+    /// NUMA node of a core.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn node_of(&self, core: CoreId) -> usize {
+        self.core_to_node[core]
+    }
+
+    /// Whether two cores share a NUMA node.
+    pub fn same_node(&self, a: CoreId, b: CoreId) -> bool {
+        self.core_to_node[a] == self.core_to_node[b]
+    }
+
+    /// Iterator over the cores belonging to a NUMA node.
+    pub fn cores_in_node(&self, node: usize) -> impl Iterator<Item = CoreId> + '_ {
+        self.core_to_node
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| **n == node)
+            .map(|(c, _)| c)
+    }
+
+    /// Iterator over all core ids.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        0..self.cores
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::detect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let t = Topology::new(8, 2);
+        assert_eq!(t.num_cores(), 8);
+        assert_eq!(t.num_numa_nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(7), 1);
+        assert!(t.same_node(0, 3));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn uneven_split_gives_extra_to_first_nodes() {
+        let t = Topology::new(7, 3);
+        let counts: Vec<usize> = (0..3).map(|n| t.cores_in_node(n).count()).collect();
+        assert_eq!(counts, vec![3, 2, 2]);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let t = Topology::single_node(4);
+        assert_eq!(t.num_numa_nodes(), 1);
+        assert!(t.cores().all(|c| t.node_of(c) == 0));
+    }
+
+    #[test]
+    fn marenostrum_layout() {
+        let t = Topology::marenostrum5();
+        assert_eq!(t.num_cores(), 112);
+        assert_eq!(t.num_numa_nodes(), 2);
+        assert_eq!(t.cores_in_node(0).count(), 56);
+        assert_eq!(t.cores_in_node(1).count(), 56);
+        assert_eq!(t.node_of(55), 0);
+        assert_eq!(t.node_of(56), 1);
+    }
+
+    #[test]
+    fn detect_is_nonempty() {
+        let t = Topology::detect();
+        assert!(t.num_cores() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_panics() {
+        let _ = Topology::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_nodes_than_cores_panics() {
+        let _ = Topology::new(2, 4);
+    }
+
+    #[test]
+    fn cores_iterator_is_dense() {
+        let t = Topology::new(5, 2);
+        let ids: Vec<_> = t.cores().collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,15 @@
+//! OpenMP-like fork-join runtime.
+//!
+//! A [`Team`] owns a persistent set of worker threads (created once, reused by every
+//! parallel region — like an OpenMP thread team). [`Team::parallel`] runs a closure on every
+//! team member; [`Team::parallel_for`] distributes an index range with a static, dynamic or
+//! guided [`LoopSchedule`]; [`RegionCtx::barrier`] is the team barrier. Idle workers wait
+//! for the next region according to the configured [`WaitPolicy`], which is exactly the
+//! OMP_WAIT_POLICY discussion of §5.2: active waiting wastes the core that another
+//! oversubscribed runtime needs.
+
+mod schedule;
+mod team;
+
+pub use schedule::LoopSchedule;
+pub use team::{RegionCtx, Team, TeamConfig};

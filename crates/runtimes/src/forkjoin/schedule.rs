@@ -1,0 +1,171 @@
+//! Loop iteration schedules for [`super::Team::parallel_for`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How `parallel_for` iterations are distributed over the team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopSchedule {
+    /// Contiguous blocks of `chunk` iterations assigned round-robin at region start
+    /// (`schedule(static, chunk)`); `chunk = 0` means one block per thread.
+    Static {
+        /// Chunk size (0 = range divided evenly into one block per thread).
+        chunk: usize,
+    },
+    /// Chunks of `chunk` iterations claimed on demand from a shared counter
+    /// (`schedule(dynamic, chunk)`).
+    Dynamic {
+        /// Chunk size (minimum 1).
+        chunk: usize,
+    },
+    /// Exponentially decreasing chunks: each claim takes `remaining / (2 * nthreads)`,
+    /// bounded below by `min_chunk` (`schedule(guided)`).
+    Guided {
+        /// Minimum chunk size (minimum 1).
+        min_chunk: usize,
+    },
+}
+
+impl Default for LoopSchedule {
+    fn default() -> Self {
+        LoopSchedule::Static { chunk: 0 }
+    }
+}
+
+impl LoopSchedule {
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoopSchedule::Static { .. } => "static",
+            LoopSchedule::Dynamic { .. } => "dynamic",
+            LoopSchedule::Guided { .. } => "guided",
+        }
+    }
+}
+
+/// Shared iteration dispenser for one `parallel_for` region.
+#[derive(Debug)]
+pub(crate) struct IterationDispenser {
+    len: usize,
+    nthreads: usize,
+    schedule: LoopSchedule,
+    next: AtomicUsize,
+}
+
+impl IterationDispenser {
+    pub(crate) fn new(len: usize, nthreads: usize, schedule: LoopSchedule) -> Self {
+        IterationDispenser { len, nthreads: nthreads.max(1), schedule, next: AtomicUsize::new(0) }
+    }
+
+    /// The chunks a given thread should execute, as an iterator of `(start, end)` pairs.
+    /// Static schedules compute chunks locally; dynamic/guided schedules pull from the
+    /// shared counter, so this must be called repeatedly (returns `None` when exhausted).
+    pub(crate) fn next_chunk(&self, thread_num: usize, already_taken: usize) -> Option<(usize, usize)> {
+        match self.schedule {
+            LoopSchedule::Static { chunk } => {
+                let chunk = if chunk == 0 { self.len.div_ceil(self.nthreads).max(1) } else { chunk };
+                // The k-th chunk of this thread is (thread_num + k * nthreads) * chunk.
+                let k = already_taken;
+                let idx = thread_num + k * self.nthreads;
+                let start = idx.checked_mul(chunk)?;
+                if start >= self.len {
+                    return None;
+                }
+                Some((start, (start + chunk).min(self.len)))
+            }
+            LoopSchedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                let start = self.next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= self.len {
+                    return None;
+                }
+                Some((start, (start + chunk).min(self.len)))
+            }
+            LoopSchedule::Guided { min_chunk } => {
+                let min_chunk = min_chunk.max(1);
+                loop {
+                    let current = self.next.load(Ordering::Relaxed);
+                    if current >= self.len {
+                        return None;
+                    }
+                    let remaining = self.len - current;
+                    let chunk = (remaining / (2 * self.nthreads)).max(min_chunk).min(remaining);
+                    if self
+                        .next
+                        .compare_exchange(current, current + chunk, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return Some((current, current + chunk));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn collect_all(d: &IterationDispenser, nthreads: usize) -> Vec<(usize, usize)> {
+        let mut chunks = Vec::new();
+        for t in 0..nthreads {
+            let mut taken = 0;
+            while let Some(c) = d.next_chunk(t, taken) {
+                chunks.push(c);
+                taken += 1;
+            }
+        }
+        chunks
+    }
+
+    fn covers_exactly(chunks: &[(usize, usize)], len: usize) -> bool {
+        let mut seen = HashSet::new();
+        for &(s, e) in chunks {
+            for i in s..e {
+                if !seen.insert(i) {
+                    return false; // duplicate
+                }
+            }
+        }
+        seen.len() == len
+    }
+
+    #[test]
+    fn static_schedule_covers_range_exactly() {
+        for (len, nt, chunk) in [(100, 4, 0), (100, 4, 7), (5, 8, 0), (5, 8, 2), (0, 3, 0), (64, 1, 16)] {
+            let d = IterationDispenser::new(len, nt, LoopSchedule::Static { chunk });
+            let chunks = collect_all(&d, nt);
+            assert!(covers_exactly(&chunks, len), "static len={len} nt={nt} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_range_exactly() {
+        // Dynamic pulls from a shared counter, so collecting sequentially still covers all.
+        for (len, nt, chunk) in [(100, 4, 3), (7, 2, 10), (0, 2, 1), (33, 5, 1)] {
+            let d = IterationDispenser::new(len, nt, LoopSchedule::Dynamic { chunk });
+            let chunks = collect_all(&d, nt);
+            assert!(covers_exactly(&chunks, len), "dynamic len={len} nt={nt} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn guided_schedule_covers_range_and_shrinks() {
+        let len = 1000;
+        let d = IterationDispenser::new(len, 4, LoopSchedule::Guided { min_chunk: 4 });
+        let chunks = collect_all(&d, 4);
+        assert!(covers_exactly(&chunks, len));
+        // First chunk should be the largest.
+        let first = chunks[0].1 - chunks[0].0;
+        let last = chunks.last().unwrap().1 - chunks.last().unwrap().0;
+        assert!(first >= last);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LoopSchedule::default().label(), "static");
+        assert_eq!(LoopSchedule::Dynamic { chunk: 1 }.label(), "dynamic");
+        assert_eq!(LoopSchedule::Guided { min_chunk: 1 }.label(), "guided");
+    }
+}

@@ -1,0 +1,33 @@
+//! `usf-runtimes` — the parallel runtime substrates used by the paper's evaluation.
+//!
+//! The paper studies *runtime composition*: an application blocks its work with an **outer**
+//! runtime (OmpSs-2/Nanos6 tasks, GNU or LLVM OpenMP, oneTBB) and each block calls a BLAS
+//! kernel parallelized by an **inner** runtime (an OpenMP team or a pthread pool). Nesting
+//! the two multiplies the thread count and oversubscribes the node (§5.1, §5.3, §5.4).
+//!
+//! This crate provides from-scratch Rust equivalents of those substrates, all written
+//! against the USF primitives so the very same code runs under the plain OS scheduler
+//! ([`usf_core::ExecMode::Os`], the baseline) or under SCHED_COOP
+//! ([`usf_core::ExecMode::Usf`]):
+//!
+//! * [`taskrt::TaskRuntime`] — an OmpSs-like task runtime: tasks with `in`/`inout` data
+//!   dependencies, a ready queue served by a worker team, and `taskwait`.
+//! * [`forkjoin::Team`] — an OpenMP-like fork-join runtime: a persistent worker team,
+//!   `parallel` regions, `parallel_for` with static/dynamic/guided schedules, team barriers
+//!   and the OMP_WAIT_POLICY-style [`WaitPolicy`] knob (§5.2).
+//! * [`threadpool::TransientPool`] — a pthreadpool/BLIS-"pth"-style pool that creates and
+//!   destroys threads at every call, the pattern whose cost the USF thread cache removes
+//!   (Table 2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod forkjoin;
+pub mod taskrt;
+pub mod threadpool;
+pub mod waitpolicy;
+
+pub use forkjoin::{LoopSchedule, RegionCtx, Team, TeamConfig};
+pub use taskrt::{DataKey, TaskDeps, TaskRuntime, TaskRuntimeConfig};
+pub use threadpool::TransientPool;
+pub use waitpolicy::WaitPolicy;

@@ -1,0 +1,312 @@
+//! Data-dependency tracking (the OmpSs-2 `in`/`inout` model used in Listing 2).
+//!
+//! Every task declares the data it reads (`in`) and the data it reads **and** writes
+//! (`inout`/`out`). The registry serializes writers on the same datum, lets readers of the
+//! same version run concurrently, and makes later writers wait for all earlier readers —
+//! i.e. the usual read-after-write, write-after-read and write-after-write edges.
+
+use std::collections::HashMap;
+
+/// Key identifying a datum in the dependency domain.
+///
+/// The paper's pragmas use memory addresses of matrix blocks; [`DataKey::of`] derives a key
+/// from a reference's address the same way, and [`DataKey::index2`] builds keys from logical
+/// block coordinates when no stable address exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataKey(pub u64);
+
+impl DataKey {
+    /// Key derived from the address of `value` (stable while `value` is not moved).
+    pub fn of<T: ?Sized>(value: &T) -> DataKey {
+        DataKey(value as *const T as *const () as usize as u64)
+    }
+
+    /// Key for a logical 2-D block coordinate (e.g. a tile of a blocked matrix).
+    pub fn index2(matrix: u64, i: usize, j: usize) -> DataKey {
+        // Interleave a matrix tag with the coordinates; collisions across different matrices
+        // are avoided by the caller choosing distinct tags.
+        DataKey((matrix << 48) ^ ((i as u64) << 24) ^ (j as u64))
+    }
+}
+
+/// The data accesses declared by one task.
+#[derive(Debug, Clone, Default)]
+pub struct TaskDeps {
+    /// Data read by the task.
+    pub ins: Vec<DataKey>,
+    /// Data read and written by the task.
+    pub inouts: Vec<DataKey>,
+}
+
+impl TaskDeps {
+    /// No dependencies (an independent task).
+    pub fn none() -> Self {
+        TaskDeps::default()
+    }
+
+    /// Add a read access.
+    pub fn input(mut self, key: DataKey) -> Self {
+        self.ins.push(key);
+        self
+    }
+
+    /// Add a read-write access.
+    pub fn inout(mut self, key: DataKey) -> Self {
+        self.inouts.push(key);
+        self
+    }
+
+    /// Add several read accesses.
+    pub fn inputs(mut self, keys: impl IntoIterator<Item = DataKey>) -> Self {
+        self.ins.extend(keys);
+        self
+    }
+
+    /// Add several read-write accesses.
+    pub fn inouts_iter(mut self, keys: impl IntoIterator<Item = DataKey>) -> Self {
+        self.inouts.extend(keys);
+        self
+    }
+
+    /// Whether the task declares no accesses at all.
+    pub fn is_empty(&self) -> bool {
+        self.ins.is_empty() && self.inouts.is_empty()
+    }
+}
+
+/// Internal id of a task in the dependency graph.
+pub(crate) type DepTaskId = u64;
+
+/// Per-datum version state.
+#[derive(Debug, Default)]
+struct DatumState {
+    /// The last task that wrote this datum (if still live).
+    last_writer: Option<DepTaskId>,
+    /// Tasks that read the current version and have not finished yet.
+    readers: Vec<DepTaskId>,
+}
+
+/// Per-task node.
+#[derive(Debug, Default)]
+struct TaskNode {
+    /// Number of unfinished predecessors.
+    preds: usize,
+    /// Tasks that depend on this one.
+    succs: Vec<DepTaskId>,
+    /// Whether the task has finished (kept until the datum state forgets it).
+    finished: bool,
+}
+
+/// Aggregate statistics of the dependency graph (diagnostics / tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepGraphStats {
+    /// Tasks registered so far.
+    pub tasks_registered: u64,
+    /// Dependency edges created so far.
+    pub edges_created: u64,
+    /// Tasks that were immediately ready at registration.
+    pub ready_at_registration: u64,
+}
+
+/// The dependency registry. All methods are called with the runtime's lock held.
+#[derive(Debug, Default)]
+pub(crate) struct DepRegistry {
+    data: HashMap<DataKey, DatumState>,
+    tasks: HashMap<DepTaskId, TaskNode>,
+    stats: DepGraphStats,
+}
+
+impl DepRegistry {
+    pub(crate) fn new() -> Self {
+        DepRegistry::default()
+    }
+
+    pub(crate) fn stats(&self) -> DepGraphStats {
+        self.stats
+    }
+
+    /// Register a task with its declared accesses. Returns `true` if the task is immediately
+    /// ready (no unfinished predecessors).
+    pub(crate) fn register(&mut self, id: DepTaskId, deps: &TaskDeps) -> bool {
+        self.stats.tasks_registered += 1;
+        self.tasks.entry(id).or_default();
+        let mut preds: Vec<DepTaskId> = Vec::new();
+
+        // Read accesses depend on the last writer of the datum.
+        for key in &deps.ins {
+            let datum = self.data.entry(*key).or_default();
+            if let Some(w) = datum.last_writer {
+                preds.push(w);
+            }
+            datum.readers.push(id);
+        }
+        // Read-write accesses depend on the last writer *and* on all current readers, and
+        // become the new last writer.
+        for key in &deps.inouts {
+            let datum = self.data.entry(*key).or_default();
+            if let Some(w) = datum.last_writer {
+                preds.push(w);
+            }
+            preds.extend(datum.readers.iter().copied());
+            datum.readers.clear();
+            datum.last_writer = Some(id);
+        }
+
+        // Deduplicate and drop already-finished predecessors and self-references.
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|p| *p != id);
+        let mut live_preds = 0;
+        for p in preds {
+            let finished = self.tasks.get(&p).map(|n| n.finished).unwrap_or(true);
+            if finished {
+                continue;
+            }
+            self.tasks.get_mut(&p).expect("live predecessor must exist").succs.push(id);
+            live_preds += 1;
+            self.stats.edges_created += 1;
+        }
+        let node = self.tasks.get_mut(&id).expect("node just inserted");
+        node.preds = live_preds;
+        if live_preds == 0 {
+            self.stats.ready_at_registration += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark a task finished; returns the tasks that became ready.
+    pub(crate) fn complete(&mut self, id: DepTaskId) -> Vec<DepTaskId> {
+        let succs = {
+            let node = match self.tasks.get_mut(&id) {
+                Some(n) => n,
+                None => return Vec::new(),
+            };
+            node.finished = true;
+            std::mem::take(&mut node.succs)
+        };
+        let mut ready = Vec::new();
+        for s in succs {
+            if let Some(node) = self.tasks.get_mut(&s) {
+                node.preds -= 1;
+                if node.preds == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        // Clean up datum bookkeeping pointing at the finished task so the maps do not grow
+        // without bound in long runs.
+        self.data.retain(|_, d| {
+            d.readers.retain(|r| *r != id);
+            if d.last_writer == Some(id) {
+                d.last_writer = None;
+            }
+            d.last_writer.is_some() || !d.readers.is_empty()
+        });
+        self.tasks.remove(&id);
+        ready
+    }
+
+    /// Number of live (registered, unfinished) tasks.
+    pub(crate) fn live_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: u64) -> DataKey {
+        DataKey(k)
+    }
+
+    #[test]
+    fn independent_tasks_are_ready_immediately() {
+        let mut reg = DepRegistry::new();
+        assert!(reg.register(1, &TaskDeps::none()));
+        assert!(reg.register(2, &TaskDeps::none().input(key(1))));
+        assert!(reg.register(3, &TaskDeps::none().inout(key(2))));
+        assert_eq!(reg.stats().ready_at_registration, 3);
+    }
+
+    #[test]
+    fn write_after_write_serializes() {
+        let mut reg = DepRegistry::new();
+        assert!(reg.register(1, &TaskDeps::none().inout(key(7))));
+        assert!(!reg.register(2, &TaskDeps::none().inout(key(7))));
+        assert!(!reg.register(3, &TaskDeps::none().inout(key(7))));
+        // Completing 1 readies 2 but not 3.
+        assert_eq!(reg.complete(1), vec![2]);
+        assert_eq!(reg.complete(2), vec![3]);
+        assert_eq!(reg.complete(3), Vec::<DepTaskId>::new());
+        assert_eq!(reg.live_tasks(), 0);
+    }
+
+    #[test]
+    fn readers_run_concurrently_then_block_writer() {
+        let mut reg = DepRegistry::new();
+        assert!(reg.register(1, &TaskDeps::none().inout(key(1)))); // writer
+        assert!(!reg.register(2, &TaskDeps::none().input(key(1)))); // reader
+        assert!(!reg.register(3, &TaskDeps::none().input(key(1)))); // reader
+        assert!(!reg.register(4, &TaskDeps::none().inout(key(1)))); // next writer
+
+        // Finishing the writer readies both readers but not the next writer.
+        let mut ready = reg.complete(1);
+        ready.sort_unstable();
+        assert_eq!(ready, vec![2, 3]);
+        assert_eq!(reg.complete(2), Vec::<DepTaskId>::new());
+        assert_eq!(reg.complete(3), vec![4]);
+    }
+
+    #[test]
+    fn read_after_write_on_different_data_is_independent() {
+        let mut reg = DepRegistry::new();
+        assert!(reg.register(1, &TaskDeps::none().inout(key(1))));
+        assert!(reg.register(2, &TaskDeps::none().input(key(2))));
+    }
+
+    #[test]
+    fn gemm_like_pattern() {
+        // C[i][j] inout, A[i][k] in, B[k][j] in — the Listing 2 pattern: tasks writing the
+        // same C block serialize; tasks writing different C blocks are independent.
+        let mut reg = DepRegistry::new();
+        let c00 = key(100);
+        let c01 = key(101);
+        let a = key(200);
+        let b = key(300);
+        assert!(reg.register(1, &TaskDeps::none().inout(c00).input(a).input(b)));
+        assert!(reg.register(2, &TaskDeps::none().inout(c01).input(a).input(b)));
+        // Second update of C[0][0] must wait for task 1.
+        assert!(!reg.register(3, &TaskDeps::none().inout(c00).input(a).input(b)));
+        assert_eq!(reg.complete(1), vec![3]);
+    }
+
+    #[test]
+    fn duplicate_deps_counted_once() {
+        let mut reg = DepRegistry::new();
+        assert!(reg.register(1, &TaskDeps::none().inout(key(5))));
+        // Task 2 reads and writes the same datum twice; it must still need only task 1.
+        let deps = TaskDeps::none().input(key(5)).inout(key(5)).inout(key(5));
+        assert!(!reg.register(2, &deps));
+        assert_eq!(reg.complete(1), vec![2]);
+        assert_eq!(reg.stats().edges_created, 1);
+    }
+
+    #[test]
+    fn data_key_helpers() {
+        let x = 5u64;
+        let y = 6u64;
+        assert_ne!(DataKey::of(&x), DataKey::of(&y));
+        assert_eq!(DataKey::of(&x), DataKey::of(&x));
+        assert_ne!(DataKey::index2(0, 1, 2), DataKey::index2(0, 2, 1));
+        assert_ne!(DataKey::index2(0, 1, 2), DataKey::index2(1, 1, 2));
+    }
+
+    #[test]
+    fn completing_unknown_task_is_harmless() {
+        let mut reg = DepRegistry::new();
+        assert!(reg.complete(99).is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! OmpSs-like task runtime with data dependencies.
+//!
+//! This is the *outer* runtime of the paper's nested workloads (Listing 2): the application
+//! submits tasks annotated with `in`/`inout` data accesses; the runtime builds the
+//! dependency graph, keeps a ready queue, and a team of workers executes ready tasks;
+//! `taskwait` blocks until all previously submitted tasks have finished. Workers are created
+//! through [`usf_core::ExecMode`], so the whole runtime runs either on plain OS threads
+//! (baseline) or as cooperative USF workers (SCHED_COOP).
+
+mod deps;
+mod runtime;
+
+pub use deps::{DataKey, DepGraphStats, TaskDeps};
+pub use runtime::{TaskRuntime, TaskRuntimeConfig};

@@ -1,0 +1,159 @@
+//! Transient (spawn-per-call) thread pool.
+//!
+//! Some inner runtimes do not keep a persistent worker pool: the BLIS pthread backend
+//! ("pth" in Table 2) and PyTorch's pthreadpool create a fresh set of threads for every
+//! parallel kernel and destroy them when it finishes. Under the baseline OS scheduler this
+//! pattern pays thread creation/destruction and wake-up costs on every call; under USF the
+//! thread cache (§4.3.1) absorbs most of it — which is exactly why the "pth" rows of Table 2
+//! show the largest SCHED_COOP speedups.
+
+use usf_core::exec::ExecMode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pool that spawns `n` threads per call and joins them before returning.
+#[derive(Debug, Clone)]
+pub struct TransientPool {
+    exec: ExecMode,
+    calls: std::sync::Arc<AtomicU64>,
+    threads_spawned: std::sync::Arc<AtomicU64>,
+}
+
+impl TransientPool {
+    /// Create a pool using the given thread backend.
+    pub fn new(exec: ExecMode) -> Self {
+        TransientPool {
+            exec,
+            calls: std::sync::Arc::new(AtomicU64::new(0)),
+            threads_spawned: std::sync::Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The thread backend in use.
+    pub fn exec(&self) -> &ExecMode {
+        &self.exec
+    }
+
+    /// Number of `run` calls performed.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total threads spawned across all calls.
+    pub fn threads_spawned(&self) -> u64 {
+        self.threads_spawned.load(Ordering::Relaxed)
+    }
+
+    /// Run `f(0..n)` on `n` freshly spawned threads (the calling thread does not
+    /// participate) and join them all before returning.
+    pub fn run<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.threads_spawned.fetch_add(n as u64, Ordering::Relaxed);
+        // Threads created per call must not outlive `f`, which lives on this stack frame; we
+        // join every handle before returning, so erasing the lifetime is sound (same
+        // discipline as `Team::parallel`).
+        let f_ref: &(dyn Fn(usize) + Send + Sync) = &f;
+        let f_static: &'static (dyn Fn(usize) + Send + Sync) = unsafe { std::mem::transmute(f_ref) };
+        let handles: Vec<_> = (0..n)
+            .map(|i| self.exec.spawn_named(format!("transient-{i}"), move || f_static(i)))
+            .collect();
+        for h in handles {
+            h.join().expect("transient pool worker panicked");
+        }
+    }
+
+    /// Run `f` over `0..len` split into `n` contiguous chunks, one per spawned thread.
+    pub fn run_chunked<F>(&self, n: usize, len: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Send + Sync,
+    {
+        if len == 0 || n == 0 {
+            return;
+        }
+        let n = n.min(len);
+        let chunk = len.div_ceil(n);
+        self.run(n, |i| {
+            let start = i * chunk;
+            let end = ((i + 1) * chunk).min(len);
+            if start < end {
+                f(start..end);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use usf_core::runtime::Usf;
+
+    #[test]
+    fn run_spawns_exactly_n_threads() {
+        let pool = TransientPool::new(ExecMode::Os);
+        let count = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        assert_eq!(pool.calls(), 1);
+        assert_eq!(pool.threads_spawned(), 4);
+        pool.run(0, |_| panic!("must not run"));
+        assert_eq!(pool.calls(), 1);
+    }
+
+    #[test]
+    fn run_chunked_covers_range() {
+        let pool = TransientPool::new(ExecMode::Os);
+        let len = 103;
+        let seen = Arc::new((0..len).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        pool.run_chunked(4, len, |range| {
+            for i in range {
+                seen[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn usf_backend_reuses_threads_via_cache() {
+        let usf = Usf::builder().cores(2).cache_capacity(16).build();
+        let p = usf.process("transient-test");
+        let pool = TransientPool::new(ExecMode::Usf(p));
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = Arc::clone(&count);
+            pool.run(3, move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            // Let finished workers park in the cache before the next burst.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 15);
+        let stats = usf.thread_cache_stats();
+        assert_eq!(stats.created + stats.reused, 15);
+        assert!(
+            stats.reused > 0,
+            "repeated transient-pool calls must reuse cached threads (the Table 2 effect): {stats:?}"
+        );
+        usf.shutdown();
+    }
+
+    #[test]
+    fn borrows_caller_data() {
+        let pool = TransientPool::new(ExecMode::Os);
+        let data: Vec<usize> = (0..32).collect();
+        let sum = AtomicUsize::new(0);
+        pool.run(4, |i| {
+            let part: usize = data.iter().skip(i).step_by(4).sum();
+            sum.fetch_add(part, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), data.iter().sum::<usize>());
+    }
+}

@@ -1,0 +1,88 @@
+//! Worker wait policies (the `OMP_WAIT_POLICY` knob, §5.2).
+//!
+//! When a runtime worker has no work it can either spin (low wake-up latency, but it burns a
+//! core — disastrous when oversubscribed), block immediately (recommended by the paper under
+//! oversubscription), or spin briefly and then block (the default hybrid of most OpenMP
+//! implementations).
+
+use std::time::Duration;
+
+/// How idle runtime workers wait for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Block immediately on the runtime's condition variable ("passive"). This is the
+    /// setting the paper uses for every oversubscribed experiment.
+    Passive,
+    /// Busy-wait, optionally yielding every `yield_every` spin iterations ("active").
+    Active {
+        /// Spin iterations between yields; `None` never yields (the pathological case).
+        yield_every: Option<u32>,
+    },
+    /// Busy-wait for `spin` and then fall back to blocking ("hybrid", the usual default).
+    Hybrid {
+        /// How long to spin before blocking.
+        spin: Duration,
+        /// Spin iterations between yields while in the active phase.
+        yield_every: Option<u32>,
+    },
+}
+
+impl WaitPolicy {
+    /// The paper's recommended policy for oversubscribed runs.
+    pub fn passive() -> Self {
+        WaitPolicy::Passive
+    }
+
+    /// An active policy that yields every 64 iterations (a busy-wait barrier "with the fix").
+    pub fn active_yielding() -> Self {
+        WaitPolicy::Active { yield_every: Some(64) }
+    }
+
+    /// An active policy that never yields (the "Original" pathological configuration).
+    pub fn active_spinning() -> Self {
+        WaitPolicy::Active { yield_every: None }
+    }
+
+    /// The common hybrid default: spin ~100 µs, then block.
+    pub fn hybrid_default() -> Self {
+        WaitPolicy::Hybrid { spin: Duration::from_micros(100), yield_every: Some(64) }
+    }
+
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WaitPolicy::Passive => "passive",
+            WaitPolicy::Active { yield_every: Some(_) } => "active+yield",
+            WaitPolicy::Active { yield_every: None } => "active",
+            WaitPolicy::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+impl Default for WaitPolicy {
+    fn default() -> Self {
+        WaitPolicy::Passive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            WaitPolicy::passive().label(),
+            WaitPolicy::active_yielding().label(),
+            WaitPolicy::active_spinning().label(),
+            WaitPolicy::hybrid_default().label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn default_is_passive() {
+        assert_eq!(WaitPolicy::default(), WaitPolicy::Passive);
+    }
+}

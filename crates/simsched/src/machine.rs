@@ -1,0 +1,104 @@
+//! Simulated machine description.
+
+use crate::time::SimTime;
+
+/// Description of the simulated node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Total number of cores.
+    pub cores: usize,
+    /// Number of sockets (NUMA domains); cores are split contiguously.
+    pub sockets: usize,
+    /// Cost charged when a core switches from one thread to another (direct context-switch
+    /// cost: register save/restore, scheduler work).
+    pub ctx_switch_cost: SimTime,
+    /// Extra cost charged when a thread resumes on a different core than it last ran on
+    /// (cold caches, possibly remote NUMA traffic).
+    pub migration_cost: SimTime,
+    /// Additional migration cost when the new core is on a different socket.
+    pub cross_socket_penalty: SimTime,
+    /// Preemption quantum used by preemptive policies.
+    pub preemption_quantum: SimTime,
+    /// Node memory bandwidth cap in GB/s (processor-shared among running compute phases that
+    /// declare a bandwidth demand).
+    pub memory_bw_gbps: f64,
+}
+
+impl Machine {
+    /// A small machine useful for unit tests: `cores` cores, one socket, microsecond-scale
+    /// costs, 100 GB/s.
+    pub fn small(cores: usize) -> Self {
+        Machine {
+            cores,
+            sockets: 1,
+            ctx_switch_cost: SimTime::from_micros(2),
+            migration_cost: SimTime::from_micros(5),
+            cross_socket_penalty: SimTime::from_micros(5),
+            preemption_quantum: SimTime::from_millis(4),
+            memory_bw_gbps: 100.0,
+        }
+    }
+
+    /// The evaluation machine of the paper (Table 1): a Marenostrum 5 node with two 56-core
+    /// Intel Sapphire Rapids 8480+ sockets and 256 GiB of DDR5. The bandwidth cap matches
+    /// the ~250 GB/s the paper's Figure 5b saturates at; the scheduling costs are typical
+    /// Linux numbers (a few microseconds per context switch).
+    pub fn marenostrum5() -> Self {
+        Machine {
+            cores: 112,
+            sockets: 2,
+            ctx_switch_cost: SimTime::from_micros(3),
+            migration_cost: SimTime::from_micros(8),
+            cross_socket_penalty: SimTime::from_micros(12),
+            preemption_quantum: SimTime::from_millis(4),
+            memory_bw_gbps: 250.0,
+        }
+    }
+
+    /// One socket (56 cores) of the evaluation machine — the configuration used by the
+    /// matmul and Cholesky experiments (§5.3, §5.4).
+    pub fn marenostrum5_socket() -> Self {
+        Machine { cores: 56, sockets: 1, ..Machine::marenostrum5() }
+    }
+
+    /// Socket (NUMA domain) of a core.
+    pub fn socket_of(&self, core: usize) -> usize {
+        let per = self.cores.div_ceil(self.sockets.max(1));
+        (core / per).min(self.sockets - 1)
+    }
+
+    /// Whether two cores share a socket.
+    pub fn same_socket(&self, a: usize, b: usize) -> bool {
+        self.socket_of(a) == self.socket_of(b)
+    }
+
+    /// Cores belonging to a socket.
+    pub fn cores_in_socket(&self, socket: usize) -> Vec<usize> {
+        (0..self.cores).filter(|c| self.socket_of(*c) == socket).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marenostrum_layout_matches_table1() {
+        let m = Machine::marenostrum5();
+        assert_eq!(m.cores, 112);
+        assert_eq!(m.sockets, 2);
+        assert_eq!(m.cores_in_socket(0).len(), 56);
+        assert_eq!(m.cores_in_socket(1).len(), 56);
+        assert!(m.same_socket(0, 55));
+        assert!(!m.same_socket(55, 56));
+        assert_eq!(Machine::marenostrum5_socket().cores, 56);
+    }
+
+    #[test]
+    fn small_machine_single_socket() {
+        let m = Machine::small(4);
+        assert_eq!(m.sockets, 1);
+        assert!(m.same_socket(0, 3));
+        assert_eq!(m.socket_of(3), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulation metrics and reports.
+
+use crate::thread::{ProcessId, ThreadId, ThreadStats};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Aggregate counters of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    /// Total context switches (a core changing from one thread to another).
+    pub context_switches: u64,
+    /// Involuntary preemptions (quantum expiry under a preemptive policy).
+    pub preemptions: u64,
+    /// Dispatches on a core different from the thread's previous one.
+    pub migrations: u64,
+    /// Total useful CPU time across all cores.
+    pub busy_time: SimTime,
+    /// Total CPU time burnt busy-waiting.
+    pub spin_time: SimTime,
+    /// Total core-idle time (cores with nothing to run).
+    pub idle_time: SimTime,
+    /// Times a lock holder was preempted while holding a lock (LHP events).
+    pub lock_holder_preemptions: u64,
+    /// Voluntary yields executed.
+    pub yields: u64,
+    /// Threads that finished.
+    pub threads_finished: u64,
+}
+
+impl SimMetrics {
+    /// Fraction of consumed core time that was useful (busy / (busy + spin)).
+    pub fn useful_fraction(&self) -> f64 {
+        let busy = self.busy_time.as_secs_f64();
+        let spin = self.spin_time.as_secs_f64();
+        if busy + spin == 0.0 {
+            0.0
+        } else {
+            busy / (busy + spin)
+        }
+    }
+}
+
+/// A sample of the node memory-bandwidth consumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BwSample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Consumed bandwidth in GB/s at that time.
+    pub gbps: f64,
+}
+
+/// Full report of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReportData {
+    /// Simulated time at which the last thread finished.
+    pub makespan: SimTime,
+    /// Aggregate counters.
+    pub metrics: SimMetrics,
+    /// Per-thread accounting, keyed by thread id.
+    pub thread_stats: BTreeMap<ThreadId, ThreadStats>,
+    /// Per-thread (arrival, finish) pairs, keyed by thread id.
+    pub thread_times: BTreeMap<ThreadId, (SimTime, Option<SimTime>)>,
+    /// Per-process completion time of the last thread of that process.
+    pub process_completion: BTreeMap<ProcessId, SimTime>,
+    /// Bandwidth consumption trace (one sample per change).
+    pub bw_trace: Vec<BwSample>,
+    /// Whether the run ended in deadlock (unfinished threads but no runnable work). The
+    /// paper's §4.4 limitation — un-yielding busy-wait barriers under a cooperative
+    /// scheduler — shows up as this flag.
+    pub deadlocked: bool,
+}
+
+impl SimReportData {
+    /// Mean turnaround of the threads selected by `filter` (e.g. request threads).
+    pub fn mean_turnaround(&self, filter: impl Fn(ThreadId) -> bool) -> Option<SimTime> {
+        let vals: Vec<SimTime> = self
+            .thread_times
+            .iter()
+            .filter(|(id, _)| filter(**id))
+            .filter_map(|(_, (a, f))| f.map(|f| f.saturating_sub(*a)))
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            let total: SimTime = vals.iter().copied().sum();
+            Some(total / vals.len() as u64)
+        }
+    }
+
+    /// Average consumed bandwidth over the run (GB/s), integrating the trace.
+    pub fn average_bandwidth(&self) -> f64 {
+        if self.bw_trace.len() < 2 || self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        let mut integral = 0.0;
+        for w in self.bw_trace.windows(2) {
+            let dt = w[1].time.saturating_sub(w[0].time).as_secs_f64();
+            integral += w[0].gbps * dt;
+        }
+        // Extend the last sample to the makespan.
+        if let Some(last) = self.bw_trace.last() {
+            integral += last.gbps * self.makespan.saturating_sub(last.time).as_secs_f64();
+        }
+        integral / self.makespan.as_secs_f64()
+    }
+
+    /// Peak consumed bandwidth (GB/s).
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.bw_trace.iter().map(|s| s.gbps).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn useful_fraction_handles_zero() {
+        let m = SimMetrics::default();
+        assert_eq!(m.useful_fraction(), 0.0);
+        let m = SimMetrics {
+            busy_time: SimTime::from_secs(3),
+            spin_time: SimTime::from_secs(1),
+            ..Default::default()
+        };
+        assert!((m.useful_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_turnaround_filters_threads() {
+        let mut r = SimReportData::default();
+        r.thread_times.insert(1, (SimTime::ZERO, Some(SimTime::from_secs(2))));
+        r.thread_times.insert(2, (SimTime::from_secs(1), Some(SimTime::from_secs(2))));
+        r.thread_times.insert(3, (SimTime::ZERO, None));
+        let all = r.mean_turnaround(|_| true).unwrap();
+        assert_eq!(all, SimTime::from_millis(1500));
+        let only2 = r.mean_turnaround(|id| id == 2).unwrap();
+        assert_eq!(only2, SimTime::from_secs(1));
+        assert!(r.mean_turnaround(|id| id == 99).is_none());
+    }
+
+    #[test]
+    fn bandwidth_integration() {
+        let r = SimReportData {
+            makespan: SimTime::from_secs(4),
+            bw_trace: vec![
+                BwSample { time: SimTime::ZERO, gbps: 100.0 },
+                BwSample { time: SimTime::from_secs(2), gbps: 0.0 },
+            ],
+            ..Default::default()
+        };
+        // 100 GB/s for 2s out of 4s → average 50.
+        assert!((r.average_bandwidth() - 50.0).abs() < 1e-9);
+        assert_eq!(r.peak_bandwidth(), 100.0);
+    }
+}

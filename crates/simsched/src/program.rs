@@ -1,0 +1,253 @@
+//! Thread programs: the synthetic workload description executed by the simulator.
+
+use crate::thread::ProcessId;
+use crate::time::SimTime;
+use std::sync::Arc;
+
+/// Identifier of a simulated mutex.
+pub type LockId = u64;
+/// Identifier of a simulated barrier.
+pub type BarrierId = u64;
+/// Identifier of a simulated one-shot event (counting).
+pub type EventId = u64;
+
+/// How a thread waits at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierWaitKind {
+    /// Block: the core is released while waiting (a well-behaved pthread barrier).
+    Block,
+    /// Busy-wait without ever yielding (the unmodified OpenBLAS/BLIS/MPICH barrier,
+    /// "Original" in §5.3): the waiter burns its core until preempted or released.
+    Spin,
+    /// Busy-wait but call `sched_yield` every `slice` of spinning (the paper's one-line
+    /// fix, "Baseline"/"SCHED_COOP").
+    SpinYield {
+        /// How long the waiter spins before each yield.
+        slice: SimTime,
+    },
+}
+
+/// One operation of a thread program.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Execute on-core for `work` of nominal time; while running, demand `bw_gbps` of memory
+    /// bandwidth (0.0 = fully compute bound). If the node bandwidth is oversubscribed the
+    /// compute takes proportionally longer.
+    Compute {
+        /// Nominal duration at full speed.
+        work: SimTime,
+        /// Memory bandwidth demand while running, in GB/s.
+        bw_gbps: f64,
+    },
+    /// Acquire a mutex (blocks if held; FIFO handoff on release).
+    Lock(LockId),
+    /// Release a mutex.
+    Unlock(LockId),
+    /// Wait at barrier `id` until `participants` threads have arrived, with the given wait
+    /// behaviour.
+    Barrier {
+        /// Barrier identity (shared by all participants).
+        id: BarrierId,
+        /// Number of arrivals that release one round of the barrier.
+        participants: usize,
+        /// Blocking or busy-waiting behaviour.
+        kind: BarrierWaitKind,
+    },
+    /// Sleep (off-core) for the given duration.
+    Sleep(SimTime),
+    /// Voluntarily yield the core (a scheduling point; under preemptive policies it simply
+    /// requeues the thread).
+    Yield,
+    /// Increment event `0`'s counter by one and wake threads waiting for it.
+    Signal(EventId),
+    /// Block until event `id` has been signalled at least `count` times.
+    WaitEvent {
+        /// Event identity.
+        id: EventId,
+        /// Number of signals to wait for.
+        count: u64,
+    },
+    /// Spawn `count` child threads running `program` in process `process`, recording them as
+    /// children of the current thread (for `JoinChildren`).
+    Spawn {
+        /// The child program.
+        program: ProgramRef,
+        /// The process the children belong to.
+        process: ProcessId,
+        /// Number of children.
+        count: usize,
+    },
+    /// Block until every child spawned so far by this thread has finished.
+    JoinChildren,
+}
+
+/// A shareable, immutable thread program.
+pub type ProgramRef = Arc<Program>;
+
+/// A sequence of [`Op`]s with a builder API.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    ops: Vec<Op>,
+    /// Label used in traces and reports.
+    pub label: String,
+}
+
+impl Program {
+    /// Empty program with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Program { ops: Vec::new(), label: label.into() }
+    }
+
+    /// The operations of the program.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append an arbitrary op.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append a compute phase without bandwidth demand.
+    pub fn compute(self, work: SimTime) -> Self {
+        self.op(Op::Compute { work, bw_gbps: 0.0 })
+    }
+
+    /// Append a compute phase with a bandwidth demand.
+    pub fn compute_bw(self, work: SimTime, bw_gbps: f64) -> Self {
+        self.op(Op::Compute { work, bw_gbps })
+    }
+
+    /// Append a lock acquisition.
+    pub fn lock(self, id: LockId) -> Self {
+        self.op(Op::Lock(id))
+    }
+
+    /// Append a lock release.
+    pub fn unlock(self, id: LockId) -> Self {
+        self.op(Op::Unlock(id))
+    }
+
+    /// Append a critical section: lock, compute, unlock.
+    pub fn critical_section(self, id: LockId, work: SimTime) -> Self {
+        self.lock(id).compute(work).unlock(id)
+    }
+
+    /// Append a barrier wait.
+    pub fn barrier(self, id: BarrierId, participants: usize, kind: BarrierWaitKind) -> Self {
+        self.op(Op::Barrier { id, participants, kind })
+    }
+
+    /// Append a sleep.
+    pub fn sleep(self, d: SimTime) -> Self {
+        self.op(Op::Sleep(d))
+    }
+
+    /// Append a yield.
+    pub fn yield_now(self) -> Self {
+        self.op(Op::Yield)
+    }
+
+    /// Append an event signal.
+    pub fn signal(self, id: EventId) -> Self {
+        self.op(Op::Signal(id))
+    }
+
+    /// Append an event wait.
+    pub fn wait_event(self, id: EventId, count: u64) -> Self {
+        self.op(Op::WaitEvent { id, count })
+    }
+
+    /// Append a spawn of `count` children.
+    pub fn spawn(self, program: ProgramRef, process: ProcessId, count: usize) -> Self {
+        self.op(Op::Spawn { program, process, count })
+    }
+
+    /// Append a join of all children spawned so far.
+    pub fn join_children(self) -> Self {
+        self.op(Op::JoinChildren)
+    }
+
+    /// Append `body`'s operations `n` times.
+    pub fn repeat(mut self, n: usize, body: &Program) -> Self {
+        for _ in 0..n {
+            self.ops.extend(body.ops.iter().cloned());
+        }
+        self
+    }
+
+    /// Freeze into a shareable reference.
+    pub fn build(self) -> ProgramRef {
+        Arc::new(self)
+    }
+
+    /// Total nominal compute time of the program (ignores contention and spawned children).
+    pub fn nominal_compute(&self) -> SimTime {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute { work, .. } => *work,
+                _ => SimTime::ZERO,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_ops_in_order() {
+        let p = Program::new("t")
+            .compute(SimTime::from_micros(10))
+            .lock(1)
+            .unlock(1)
+            .sleep(SimTime::from_millis(1))
+            .yield_now()
+            .signal(3)
+            .wait_event(3, 2)
+            .barrier(7, 4, BarrierWaitKind::Block)
+            .join_children();
+        assert_eq!(p.len(), 9);
+        assert!(matches!(p.ops()[0], Op::Compute { .. }));
+        assert!(matches!(p.ops()[8], Op::JoinChildren));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn repeat_expands_body() {
+        let body = Program::new("body").compute(SimTime::from_micros(1)).yield_now();
+        let p = Program::new("outer").repeat(3, &body);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.nominal_compute(), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn critical_section_is_three_ops() {
+        let p = Program::new("cs").critical_section(9, SimTime::from_micros(5));
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.ops()[0], Op::Lock(9)));
+        assert!(matches!(p.ops()[2], Op::Unlock(9)));
+    }
+
+    #[test]
+    fn nominal_compute_sums_compute_ops_only() {
+        let p = Program::new("x")
+            .compute(SimTime::from_micros(4))
+            .sleep(SimTime::from_secs(10))
+            .compute_bw(SimTime::from_micros(6), 5.0);
+        assert_eq!(p.nominal_compute(), SimTime::from_micros(10));
+    }
+}

@@ -1,0 +1,288 @@
+//! The simulated SCHED_COOP policy.
+//!
+//! Mirrors the real implementation in `usf-nosv`: ready threads are kept in per-process
+//! per-core FIFO queues (keyed by the core they last ran on, or an unbound queue), an idle
+//! core is offered its own affine threads first, then threads from its socket, then anything
+//! else, and the policy serves one process for a quantum before rotating to the next — but
+//! only at scheduling points, never by interrupting a running thread
+//! ([`SimPolicy::preemption_quantum`] returns `None`).
+
+use super::{ReadyThread, SimPolicy};
+use crate::machine::Machine;
+use crate::thread::{ProcessDesc, ProcessId, ThreadId};
+use crate::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct ProcQueues {
+    per_core: Vec<VecDeque<ThreadId>>,
+    unbound: VecDeque<ThreadId>,
+    count: usize,
+}
+
+impl ProcQueues {
+    fn new(cores: usize) -> Self {
+        ProcQueues { per_core: (0..cores).map(|_| VecDeque::new()).collect(), unbound: VecDeque::new(), count: 0 }
+    }
+
+    fn push(&mut self, t: &ReadyThread) {
+        match t.last_core {
+            Some(c) => self.per_core[c].push_back(t.id),
+            None => self.unbound.push_back(t.id),
+        }
+        self.count += 1;
+    }
+
+    fn pop_for(&mut self, machine: &Machine, core: usize) -> Option<ThreadId> {
+        if let Some(t) = self.per_core[core].pop_front() {
+            self.count -= 1;
+            return Some(t);
+        }
+        let socket = machine.socket_of(core);
+        for c in 0..self.per_core.len() {
+            if c == core || machine.socket_of(c) != socket {
+                continue;
+            }
+            if let Some(t) = self.per_core[c].pop_front() {
+                self.count -= 1;
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.unbound.pop_front() {
+            self.count -= 1;
+            return Some(t);
+        }
+        for c in 0..self.per_core.len() {
+            if machine.socket_of(c) == socket {
+                continue;
+            }
+            if let Some(t) = self.per_core[c].pop_front() {
+                self.count -= 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// See the module documentation.
+pub struct CoopScheduler {
+    machine: Machine,
+    queues: HashMap<ProcessId, ProcQueues>,
+    order: Vec<ProcessId>,
+    current: usize,
+    quantum: SimTime,
+    quantum_started: Option<SimTime>,
+    rotations: u64,
+}
+
+impl std::fmt::Debug for CoopScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoopScheduler")
+            .field("processes", &self.order.len())
+            .field("quantum", &self.quantum)
+            .finish()
+    }
+}
+
+impl CoopScheduler {
+    /// Create a SCHED_COOP policy with the given per-process quantum.
+    pub fn new(process_quantum: SimTime) -> Self {
+        CoopScheduler {
+            machine: Machine::small(1),
+            queues: HashMap::new(),
+            order: Vec::new(),
+            current: 0,
+            quantum: process_quantum,
+            quantum_started: None,
+            rotations: 0,
+        }
+    }
+
+    /// Process-quantum rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    fn ensure_process(&mut self, p: ProcessId) {
+        if !self.queues.contains_key(&p) {
+            self.queues.insert(p, ProcQueues::new(self.machine.cores));
+            self.order.push(p);
+        }
+    }
+
+    fn rotate_if_expired(&mut self, now: SimTime) {
+        if self.order.len() <= 1 {
+            return;
+        }
+        let expired = match self.quantum_started {
+            Some(start) => now.saturating_sub(start) >= self.quantum,
+            None => false,
+        };
+        if expired {
+            let len = self.order.len();
+            let mut next = (self.current + 1) % len;
+            for off in 0..len {
+                let cand = (self.current + 1 + off) % len;
+                let pid = self.order[cand];
+                if self.queues.get(&pid).map(|q| q.count > 0).unwrap_or(false) {
+                    next = cand;
+                    break;
+                }
+            }
+            if next != self.current {
+                self.rotations += 1;
+            }
+            self.current = next;
+            self.quantum_started = Some(now);
+        }
+    }
+}
+
+impl SimPolicy for CoopScheduler {
+    fn name(&self) -> &str {
+        "sched_coop"
+    }
+
+    fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]) {
+        self.machine = machine.clone();
+        for p in processes {
+            self.ensure_process(p.id);
+        }
+        // Re-create queues with the right core count (init may be called after new()).
+        for q in self.queues.values_mut() {
+            if q.per_core.len() != machine.cores {
+                *q = ProcQueues::new(machine.cores);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, thread: ReadyThread, _now: SimTime) {
+        self.ensure_process(thread.process);
+        self.queues
+            .get_mut(&thread.process)
+            .expect("process just ensured")
+            .push(&thread);
+    }
+
+    fn pick(&mut self, core: usize, now: SimTime) -> Option<ThreadId> {
+        if self.order.is_empty() {
+            return None;
+        }
+        if self.quantum_started.is_none() {
+            self.quantum_started = Some(now);
+        }
+        self.rotate_if_expired(now);
+        let len = self.order.len();
+        for off in 0..len {
+            let idx = (self.current + off) % len;
+            let pid = self.order[idx];
+            if let Some(q) = self.queues.get_mut(&pid) {
+                if let Some(t) = q.pop_for(&self.machine, core) {
+                    if off != 0 {
+                        self.current = idx;
+                        self.quantum_started = Some(now);
+                        self.rotations += 1;
+                    }
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn pick_affine(&mut self, core: usize, _now: SimTime) -> Option<ThreadId> {
+        // Serve only threads whose preferred core is exactly this one, regardless of the
+        // process rotation (affinity placement is checked before quantum fairness, §4.1).
+        for pid in self.order.clone() {
+            if let Some(q) = self.queues.get_mut(&pid) {
+                if let Some(t) = q.per_core[core].pop_front() {
+                    q.count -= 1;
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn has_ready(&self) -> bool {
+        self.queues.values().any(|q| q.count > 0)
+    }
+
+    fn ready_count(&self) -> usize {
+        self.queues.values().map(|q| q.count).sum()
+    }
+
+    fn preemption_quantum(&self) -> Option<SimTime> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready(id: ThreadId, process: ProcessId, last_core: Option<usize>) -> ReadyThread {
+        ReadyThread { id, process, last_core, vruntime: 0.0 }
+    }
+
+    fn setup(cores: usize, sockets: usize, procs: usize) -> CoopScheduler {
+        let mut machine = Machine::small(cores);
+        machine.sockets = sockets;
+        let mut s = CoopScheduler::new(SimTime::from_millis(20));
+        let descs: Vec<ProcessDesc> = (0..procs).map(|p| ProcessDesc::new(p, format!("p{p}"))).collect();
+        s.init(&machine, &descs);
+        s
+    }
+
+    #[test]
+    fn affinity_first_then_socket_then_remote() {
+        let mut s = setup(4, 2, 1);
+        let now = SimTime::ZERO;
+        s.enqueue(ready(1, 0, Some(1)), now); // socket 0
+        s.enqueue(ready(2, 0, Some(3)), now); // socket 1
+        s.enqueue(ready(3, 0, Some(0)), now); // affine to core 0
+        assert_eq!(s.pick(0, now), Some(3), "core 0 takes its affine thread first");
+        assert_eq!(s.pick(0, now), Some(1), "then a same-socket thread");
+        assert_eq!(s.pick(0, now), Some(2), "then a remote one");
+        assert!(!s.has_ready());
+    }
+
+    #[test]
+    fn never_preempts() {
+        let s = CoopScheduler::new(SimTime::from_millis(20));
+        assert!(s.preemption_quantum().is_none());
+    }
+
+    #[test]
+    fn quantum_rotates_between_processes_at_pick_time() {
+        let mut s = setup(1, 1, 2);
+        let t0 = SimTime::ZERO;
+        s.enqueue(ready(10, 0, None), t0);
+        s.enqueue(ready(20, 1, None), t0);
+        s.enqueue(ready(11, 0, None), t0);
+        s.enqueue(ready(21, 1, None), t0);
+        assert_eq!(s.pick(0, t0), Some(10));
+        assert_eq!(s.pick(0, t0 + SimTime::from_millis(5)), Some(11));
+        // Quantum expired → process 1's turn.
+        assert_eq!(s.pick(0, t0 + SimTime::from_millis(25)), Some(20));
+        assert_eq!(s.pick(0, t0 + SimTime::from_millis(30)), Some(21));
+        assert!(s.rotations() >= 1);
+    }
+
+    #[test]
+    fn falls_through_to_other_process_when_current_empty() {
+        let mut s = setup(2, 1, 2);
+        let now = SimTime::ZERO;
+        s.enqueue(ready(5, 1, None), now);
+        assert_eq!(s.pick(0, now), Some(5));
+        assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn unknown_process_is_registered_on_enqueue() {
+        let mut s = setup(2, 1, 1);
+        s.enqueue(ready(9, 7, Some(1)), SimTime::ZERO);
+        assert_eq!(s.pick(1, SimTime::ZERO), Some(9));
+    }
+}

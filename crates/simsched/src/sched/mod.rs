@@ -1,0 +1,125 @@
+//! Simulated scheduling policies.
+
+mod coop;
+mod fair;
+mod partitioned;
+
+pub use coop::CoopScheduler;
+pub use fair::FairScheduler;
+pub use partitioned::PartitionedScheduler;
+
+use crate::machine::Machine;
+use crate::thread::{ProcessDesc, ProcessId, ThreadId};
+use crate::time::SimTime;
+
+/// The scheduling-relevant view of a ready thread handed to a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyThread {
+    /// Thread identifier.
+    pub id: ThreadId,
+    /// Owning process.
+    pub process: ProcessId,
+    /// Core the thread last ran on, if any.
+    pub last_core: Option<usize>,
+    /// Virtual runtime accumulated so far (seconds, weighted).
+    pub vruntime: f64,
+}
+
+/// A simulated scheduling policy: decides which ready thread an idle core runs next and
+/// whether running threads are preempted on a quantum.
+pub trait SimPolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Called once before the simulation starts.
+    fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]);
+
+    /// A thread became ready.
+    fn enqueue(&mut self, thread: ReadyThread, now: SimTime);
+
+    /// Core `core` is idle: pick the next thread for it (or leave it idle).
+    fn pick(&mut self, core: usize, now: SimTime) -> Option<ThreadId>;
+
+    /// Like [`SimPolicy::pick`], but only return a thread that *prefers* this core (its last
+    /// core). Affinity-aware policies override this so the engine can fill idle cores with
+    /// their affine threads before falling back to stealing; the default simply delegates to
+    /// [`SimPolicy::pick`].
+    fn pick_affine(&mut self, core: usize, now: SimTime) -> Option<ThreadId> {
+        self.pick(core, now)
+    }
+
+    /// Whether any thread is currently queued.
+    fn has_ready(&self) -> bool;
+
+    /// Number of queued threads.
+    fn ready_count(&self) -> usize;
+
+    /// `Some(quantum)` if running threads must be preempted after the quantum when other
+    /// work is ready; `None` for purely cooperative policies.
+    fn preemption_quantum(&self) -> Option<SimTime>;
+}
+
+/// Convenience descriptions of the built-in policies, used by workloads and benches.
+#[derive(Debug, Clone)]
+pub enum SchedModel {
+    /// Preemptive weighted-fair scheduling (the Linux EEVDF/CFS baseline).
+    Fair,
+    /// The paper's SCHED_COOP cooperative policy with the given per-process quantum.
+    Coop {
+        /// Per-process quantum evaluated at scheduling points (20 ms in the paper).
+        process_quantum: SimTime,
+    },
+    /// Static core partitioning: each process only runs on its assigned cores, scheduled
+    /// fairly (preemptively) within the partition. Processes absent from the map may run
+    /// anywhere.
+    Partitioned {
+        /// `(process, cores)` assignments.
+        assignments: Vec<(ProcessId, Vec<usize>)>,
+    },
+}
+
+impl SchedModel {
+    /// The SCHED_COOP model with the paper's default 20 ms process quantum.
+    pub fn coop_default() -> Self {
+        SchedModel::Coop { process_quantum: SimTime::from_millis(20) }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedModel::Fair => "linux-fair",
+            SchedModel::Coop { .. } => "sched_coop",
+            SchedModel::Partitioned { .. } => "partitioned",
+        }
+    }
+
+    /// Instantiate the policy object.
+    pub fn build(&self, machine: &Machine) -> Box<dyn SimPolicy> {
+        match self {
+            SchedModel::Fair => Box::new(FairScheduler::new(machine.preemption_quantum)),
+            SchedModel::Coop { process_quantum } => Box::new(CoopScheduler::new(*process_quantum)),
+            SchedModel::Partitioned { assignments } => {
+                Box::new(PartitionedScheduler::new(assignments.clone(), machine.preemption_quantum))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_build() {
+        let m = Machine::small(4);
+        assert_eq!(SchedModel::Fair.label(), "linux-fair");
+        assert_eq!(SchedModel::coop_default().label(), "sched_coop");
+        let part = SchedModel::Partitioned { assignments: vec![(0, vec![0, 1])] };
+        assert_eq!(part.label(), "partitioned");
+        assert_eq!(SchedModel::Fair.build(&m).name(), "linux-fair");
+        assert_eq!(SchedModel::coop_default().build(&m).name(), "sched_coop");
+        assert_eq!(part.build(&m).name(), "partitioned");
+        assert!(SchedModel::Fair.build(&m).preemption_quantum().is_some());
+        assert!(SchedModel::coop_default().build(&m).preemption_quantum().is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Static core partitioning (the bl-eq / bl-opt baselines of §5.5).
+//!
+//! Every process is assigned a fixed set of cores; its threads are scheduled fairly
+//! (preemptively, by vruntime) *within* that set and never run elsewhere. Processes without
+//! an assignment may run on any core that is not reserved.
+
+use super::{ReadyThread, SimPolicy};
+use crate::machine::Machine;
+use crate::thread::{ProcessDesc, ProcessId, ThreadId};
+use crate::time::SimTime;
+use std::collections::{BTreeSet, HashMap};
+
+/// See the module documentation.
+#[derive(Debug)]
+pub struct PartitionedScheduler {
+    /// Owner process of each core (`None` = shared core usable by unassigned processes).
+    core_owner: Vec<Option<ProcessId>>,
+    /// Requested assignments (applied in `init`).
+    assignments: Vec<(ProcessId, Vec<usize>)>,
+    /// Per-process ready queues ordered by scaled vruntime.
+    queues: HashMap<ProcessId, BTreeSet<(u64, ThreadId)>>,
+    /// Queue for processes without an assignment.
+    shared_queue: BTreeSet<(u64, ThreadId)>,
+    /// Which processes have an assignment.
+    assigned: HashMap<ProcessId, bool>,
+    quantum: SimTime,
+    min_vruntime: f64,
+}
+
+impl PartitionedScheduler {
+    /// Create a partitioned scheduler from `(process, cores)` assignments.
+    pub fn new(assignments: Vec<(ProcessId, Vec<usize>)>, quantum: SimTime) -> Self {
+        PartitionedScheduler {
+            core_owner: Vec::new(),
+            assignments,
+            queues: HashMap::new(),
+            shared_queue: BTreeSet::new(),
+            assigned: HashMap::new(),
+            quantum,
+            min_vruntime: 0.0,
+        }
+    }
+
+    fn key(vruntime: f64, id: ThreadId) -> (u64, ThreadId) {
+        ((vruntime.max(0.0) * 1e9).min(u64::MAX as f64 / 2.0) as u64, id)
+    }
+}
+
+impl SimPolicy for PartitionedScheduler {
+    fn name(&self) -> &str {
+        "partitioned"
+    }
+
+    fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]) {
+        self.core_owner = vec![None; machine.cores];
+        for (pid, cores) in &self.assignments {
+            self.assigned.insert(*pid, true);
+            self.queues.entry(*pid).or_default();
+            for &c in cores {
+                if c < machine.cores {
+                    self.core_owner[c] = Some(*pid);
+                }
+            }
+        }
+        for p in processes {
+            self.assigned.entry(p.id).or_insert(false);
+        }
+    }
+
+    fn enqueue(&mut self, thread: ReadyThread, _now: SimTime) {
+        let vr = thread.vruntime.max(self.min_vruntime);
+        let key = Self::key(vr, thread.id);
+        if *self.assigned.get(&thread.process).unwrap_or(&false) {
+            self.queues.entry(thread.process).or_default().insert(key);
+        } else {
+            self.shared_queue.insert(key);
+        }
+    }
+
+    fn pick(&mut self, core: usize, _now: SimTime) -> Option<ThreadId> {
+        let picked = match self.core_owner.get(core).copied().flatten() {
+            Some(owner) => {
+                let q = self.queues.entry(owner).or_default();
+                let first = q.iter().next().copied();
+                if let Some(k) = first {
+                    q.remove(&k);
+                    Some(k)
+                } else {
+                    // The owner has nothing ready; let unassigned processes use the core so
+                    // reserved-but-idle cores are not wasted on system work.
+                    let first = self.shared_queue.iter().next().copied();
+                    if let Some(k) = first {
+                        self.shared_queue.remove(&k);
+                        Some(k)
+                    } else {
+                        None
+                    }
+                }
+            }
+            None => {
+                let first = self.shared_queue.iter().next().copied();
+                if let Some(k) = first {
+                    self.shared_queue.remove(&k);
+                    Some(k)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some((vr, id)) = picked {
+            self.min_vruntime = self.min_vruntime.max(vr as f64 / 1e9);
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.shared_queue.is_empty() || self.queues.values().any(|q| !q.is_empty())
+    }
+
+    fn ready_count(&self) -> usize {
+        self.shared_queue.len() + self.queues.values().map(|q| q.len()).sum::<usize>()
+    }
+
+    fn preemption_quantum(&self) -> Option<SimTime> {
+        Some(self.quantum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready(id: ThreadId, process: ProcessId) -> ReadyThread {
+        ReadyThread { id, process, last_core: None, vruntime: 0.0 }
+    }
+
+    #[test]
+    fn threads_only_run_on_their_partition() {
+        let machine = Machine::small(4);
+        let mut s = PartitionedScheduler::new(vec![(0, vec![0, 1]), (1, vec![2, 3])], SimTime::from_millis(4));
+        s.init(&machine, &[ProcessDesc::new(0, "a"), ProcessDesc::new(1, "b")]);
+        s.enqueue(ready(10, 0), SimTime::ZERO);
+        s.enqueue(ready(20, 1), SimTime::ZERO);
+        // Core 2 belongs to process 1: must not pick process 0's thread.
+        assert_eq!(s.pick(2, SimTime::ZERO), Some(20));
+        assert_eq!(s.pick(2, SimTime::ZERO), None);
+        assert_eq!(s.pick(0, SimTime::ZERO), Some(10));
+        assert!(!s.has_ready());
+    }
+
+    #[test]
+    fn unassigned_processes_use_free_or_idle_cores() {
+        let machine = Machine::small(3);
+        let mut s = PartitionedScheduler::new(vec![(0, vec![0, 1])], SimTime::from_millis(4));
+        s.init(&machine, &[ProcessDesc::new(0, "a"), ProcessDesc::new(9, "gw")]);
+        s.enqueue(ready(90, 9), SimTime::ZERO);
+        // Core 2 is unowned: the unassigned process runs there.
+        assert_eq!(s.pick(2, SimTime::ZERO), Some(90));
+        // An owned core whose owner is idle also serves unassigned work.
+        s.enqueue(ready(91, 9), SimTime::ZERO);
+        assert_eq!(s.pick(0, SimTime::ZERO), Some(91));
+    }
+
+    #[test]
+    fn fair_order_within_partition() {
+        let machine = Machine::small(2);
+        let mut s = PartitionedScheduler::new(vec![(0, vec![0, 1])], SimTime::from_millis(4));
+        s.init(&machine, &[ProcessDesc::new(0, "a")]);
+        s.enqueue(ReadyThread { id: 1, process: 0, last_core: None, vruntime: 2.0 }, SimTime::ZERO);
+        s.enqueue(ReadyThread { id: 2, process: 0, last_core: None, vruntime: 1.0 }, SimTime::ZERO);
+        assert_eq!(s.pick(0, SimTime::ZERO), Some(2));
+        assert_eq!(s.pick(0, SimTime::ZERO), Some(1));
+        assert_eq!(s.ready_count(), 0);
+        assert!(s.preemption_quantum().is_some());
+    }
+}

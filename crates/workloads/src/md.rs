@@ -1,0 +1,365 @@
+//! Simulated LAMMPS + DeePMD-kit ensembles — the workload behind Figure 5 (§5.6).
+//!
+//! Two molecular-dynamics ensembles run on one node. Each ensemble decomposes the simulation
+//! box along the x-axis over its MPI ranks; the atom distribution is deliberately imbalanced
+//! (14 interleaved dense/sparse regions holding 90% / 10% of the 100 K atoms), so per-step
+//! rank work differs by an order of magnitude and the per-step synchronization (halo
+//! exchange + allreduce, modelled as an ensemble-wide barrier using MPICH's yield-patched
+//! busy wait) makes every step as slow as its slowest rank. DeePMD inference is memory-
+//! bandwidth hungry, so rank compute phases carry a GB/s demand and contend for the node's
+//! bandwidth — which is what produces the bandwidth ordering of Figure 5b.
+//!
+//! The evaluated scenarios follow the paper: *exclusive* (ensembles one after the other),
+//! *co-location* (both concurrent, half the ranks each, disjoint core partitions),
+//! *co-execution* (both concurrent, full rank counts, oversubscribed under the fair
+//! scheduler) and *SCHED_COOP* (full rank counts under the cooperative scheduler), each in a
+//! "node" (ensembles interleaved across both sockets) and a "socket" (each ensemble confined
+//! to one socket) placement variant.
+
+use usf_simsched::{
+    BarrierWaitKind, Engine, Machine, Program, SchedModel, SimReport, SimTime,
+};
+
+/// The seven bars of Figure 5a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdScenario {
+    /// Ensembles run one after the other, each with the full rank count.
+    Exclusive,
+    /// Both ensembles concurrent with halved rank counts, partitioned; ranks of each ensemble
+    /// spread over both sockets.
+    ColocationNode,
+    /// Both ensembles concurrent with halved rank counts, partitioned; each ensemble confined
+    /// to one socket.
+    ColocationSocket,
+    /// Both ensembles concurrent with full rank counts under the fair scheduler; spread
+    /// placement.
+    CoexecutionNode,
+    /// Both ensembles concurrent with full rank counts under the fair scheduler; per-socket
+    /// placement.
+    CoexecutionSocket,
+    /// Both ensembles concurrent with full rank counts under SCHED_COOP; spread placement.
+    SchedCoopNode,
+    /// Both ensembles concurrent with full rank counts under SCHED_COOP; per-socket placement.
+    SchedCoopSocket,
+}
+
+impl MdScenario {
+    /// All scenarios in the order of Figure 5a.
+    pub const ALL: [MdScenario; 7] = [
+        MdScenario::Exclusive,
+        MdScenario::ColocationNode,
+        MdScenario::ColocationSocket,
+        MdScenario::CoexecutionNode,
+        MdScenario::CoexecutionSocket,
+        MdScenario::SchedCoopNode,
+        MdScenario::SchedCoopSocket,
+    ];
+
+    /// Label used in reports (matches the paper's x-axis).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MdScenario::Exclusive => "exclusive",
+            MdScenario::ColocationNode => "colocation_node",
+            MdScenario::ColocationSocket => "colocation_socket",
+            MdScenario::CoexecutionNode => "coexecution_node",
+            MdScenario::CoexecutionSocket => "coexecution_socket",
+            MdScenario::SchedCoopNode => "schedcoop_node",
+            MdScenario::SchedCoopSocket => "schedcoop_socket",
+        }
+    }
+
+    fn halves_ranks(&self) -> bool {
+        matches!(self, MdScenario::ColocationNode | MdScenario::ColocationSocket)
+    }
+
+    fn runs_sequentially(&self) -> bool {
+        matches!(self, MdScenario::Exclusive)
+    }
+
+    fn uses_coop(&self) -> bool {
+        matches!(self, MdScenario::SchedCoopNode | MdScenario::SchedCoopSocket)
+    }
+
+    fn partitions(&self) -> bool {
+        self.halves_ranks()
+    }
+
+    fn per_socket_placement(&self) -> bool {
+        matches!(
+            self,
+            MdScenario::ColocationSocket | MdScenario::CoexecutionSocket | MdScenario::SchedCoopSocket
+        )
+    }
+}
+
+/// Configuration of a Figure 5 run.
+#[derive(Debug, Clone)]
+pub struct MdConfig {
+    /// Scenario to simulate.
+    pub scenario: MdScenario,
+    /// Simulated machine (full node by default).
+    pub machine: Machine,
+    /// MPI ranks per ensemble in the full configuration (56 in the paper; co-location halves it).
+    pub ranks_per_ensemble: usize,
+    /// OpenMP threads per rank (2 in the paper).
+    pub threads_per_rank: usize,
+    /// Simulation steps per ensemble (100 in the paper).
+    pub steps: usize,
+    /// Total atoms per ensemble (100 000 in the paper).
+    pub atoms: usize,
+    /// Interleaved dense/sparse regions along x (14 in the paper).
+    pub regions: usize,
+    /// Fraction of atoms in the dense regions (0.9 in the paper).
+    pub dense_fraction: f64,
+    /// Per-atom per-step compute cost on one core.
+    pub per_atom_cost: SimTime,
+    /// Memory-bandwidth demand of one fully busy rank thread (GB/s).
+    pub bw_per_thread_gbps: f64,
+    /// Sequential initialization time per ensemble (the bandwidth valleys of Figure 5b).
+    pub init_time: SimTime,
+    /// Yield period of the (patched) MPI/BLAS busy waits.
+    pub yield_slice: SimTime,
+}
+
+impl MdConfig {
+    /// A Figure 5 scenario with the paper's parameters.
+    pub fn new(scenario: MdScenario) -> Self {
+        MdConfig {
+            scenario,
+            machine: Machine::marenostrum5(),
+            ranks_per_ensemble: 56,
+            threads_per_rank: 2,
+            steps: 100,
+            atoms: 100_000,
+            regions: 14,
+            dense_fraction: 0.9,
+            per_atom_cost: SimTime::from_micros(1),
+            bw_per_thread_gbps: 2.2,
+            init_time: SimTime::from_secs(5),
+            yield_slice: SimTime::from_millis(1),
+        }
+    }
+}
+
+/// Result of one Figure 5 scenario.
+#[derive(Debug, Clone)]
+pub struct MdResult {
+    /// Aggregate performance in Katom-step/s across both ensembles.
+    pub katom_steps_per_sec: f64,
+    /// Average node memory bandwidth over the run (GB/s) — Figure 5b.
+    pub average_bandwidth_gbps: f64,
+    /// Peak node memory bandwidth (GB/s).
+    pub peak_bandwidth_gbps: f64,
+    /// Total wall-clock (simulated) time for both ensembles.
+    pub total_time: SimTime,
+    /// Full simulator report (the second report for the Exclusive scenario's second run is
+    /// merged into the totals).
+    pub report: SimReport,
+}
+
+/// Atom count of each rank given the dense/sparse imbalance profile.
+pub fn rank_atoms(cfg: &MdConfig, ranks: usize) -> Vec<usize> {
+    let regions = cfg.regions.max(1);
+    let dense_regions = regions.div_ceil(2);
+    let sparse_regions = regions - dense_regions;
+    let dense_atoms_per_region = cfg.dense_fraction * cfg.atoms as f64 / dense_regions as f64;
+    let sparse_atoms_per_region = if sparse_regions == 0 {
+        0.0
+    } else {
+        (1.0 - cfg.dense_fraction) * cfg.atoms as f64 / sparse_regions as f64
+    };
+    (0..ranks)
+        .map(|r| {
+            // Rank r covers a slab of the x-axis; find its region (regions alternate
+            // dense/sparse along x).
+            let region = r * regions / ranks;
+            let per_region = if region % 2 == 0 { dense_atoms_per_region } else { sparse_atoms_per_region };
+            let ranks_in_region = (ranks / regions).max(1);
+            (per_region / ranks_in_region as f64).round() as usize
+        })
+        .collect()
+}
+
+/// Run one scenario and compute its aggregate metrics.
+pub fn run_md_scenario(cfg: &MdConfig) -> MdResult {
+    if cfg.scenario.runs_sequentially() {
+        // Two back-to-back exclusive runs: total time is the sum; bandwidth averages over both.
+        let first = run_ensembles(cfg, 1);
+        let second = run_ensembles(cfg, 1);
+        let total = first.makespan + second.makespan;
+        let atom_steps = 2.0 * cfg.atoms as f64 * cfg.steps as f64;
+        let avg_bw = (first.average_bandwidth() * first.makespan.as_secs_f64()
+            + second.average_bandwidth() * second.makespan.as_secs_f64())
+            / total.as_secs_f64().max(1e-9);
+        MdResult {
+            katom_steps_per_sec: atom_steps / total.as_secs_f64().max(1e-9) / 1e3,
+            average_bandwidth_gbps: avg_bw,
+            peak_bandwidth_gbps: first.peak_bandwidth().max(second.peak_bandwidth()),
+            total_time: total,
+            report: first,
+        }
+    } else {
+        let report = run_ensembles(cfg, 2);
+        let atom_steps = 2.0 * cfg.atoms as f64 * cfg.steps as f64;
+        MdResult {
+            katom_steps_per_sec: atom_steps / report.makespan.as_secs_f64().max(1e-9) / 1e3,
+            average_bandwidth_gbps: report.average_bandwidth(),
+            peak_bandwidth_gbps: report.peak_bandwidth(),
+            total_time: report.makespan,
+            report,
+        }
+    }
+}
+
+/// Build and run the simulation for `ensembles` concurrent ensembles.
+fn run_ensembles(cfg: &MdConfig, ensembles: usize) -> SimReport {
+    let ranks = if cfg.scenario.halves_ranks() { cfg.ranks_per_ensemble / 2 } else { cfg.ranks_per_ensemble };
+    let threads = cfg.threads_per_rank.max(1);
+    let model = build_model(cfg, ensembles, ranks * threads);
+    let mut engine = Engine::new(cfg.machine.clone(), &model);
+    engine.set_max_sim_time(SimTime::from_secs(24 * 3600));
+
+    let atoms = rank_atoms(cfg, ranks);
+    for e in 0..ensembles {
+        let process = engine.add_process(format!("ensemble-{e}"), 1.0);
+        let barrier_base = (e as u64 + 1) * 1_000_000;
+        for (r, &n_atoms) in atoms.iter().enumerate() {
+            // Per-step per-thread work: the rank's atoms split over its OpenMP threads.
+            let per_thread_secs = n_atoms as f64 * cfg.per_atom_cost.as_secs_f64() / threads as f64;
+            let per_thread = SimTime::from_secs_f64(per_thread_secs.max(1e-7));
+            // Each rank thread: init (rank 0 models the sequential ensemble initialization),
+            // then `steps` iterations of compute + ensemble-wide barrier (halo exchange +
+            // allreduce over all rank threads of this ensemble).
+            for t in 0..threads {
+                let mut prog = Program::new(format!("e{e}-r{r}-t{t}"));
+                if r == 0 && t == 0 {
+                    prog = prog.compute(cfg.init_time);
+                }
+                let step_body = Program::new("step")
+                    .compute_bw(per_thread, cfg.bw_per_thread_gbps)
+                    .barrier(
+                        barrier_base,
+                        ranks * threads,
+                        BarrierWaitKind::SpinYield { slice: cfg.yield_slice },
+                    );
+                prog = prog.repeat(cfg.steps, &step_body);
+                engine.add_thread(process, prog.build());
+            }
+        }
+    }
+    engine.run()
+}
+
+/// Scheduler model for the scenario.
+fn build_model(cfg: &MdConfig, ensembles: usize, threads_per_ensemble: usize) -> SchedModel {
+    let cores = cfg.machine.cores;
+    if cfg.scenario.uses_coop() {
+        return SchedModel::coop_default();
+    }
+    if cfg.scenario.partitions() && ensembles == 2 {
+        // Co-location: each ensemble gets a disjoint core set sized to its thread count.
+        let per = threads_per_ensemble.min(cores / 2);
+        let assignments = if cfg.scenario.per_socket_placement() {
+            vec![
+                (0usize, (0..per).collect::<Vec<_>>()),
+                (1usize, (cores / 2..cores / 2 + per).collect::<Vec<_>>()),
+            ]
+        } else {
+            // Spread placement: even cores to ensemble 0, odd cores to ensemble 1.
+            vec![
+                (0usize, (0..cores).filter(|c| c % 2 == 0).take(per).collect::<Vec<_>>()),
+                (1usize, (0..cores).filter(|c| c % 2 == 1).take(per).collect::<Vec<_>>()),
+            ]
+        };
+        return SchedModel::Partitioned { assignments };
+    }
+    SchedModel::Fair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scenario: MdScenario) -> MdResult {
+        let mut cfg = MdConfig::new(scenario);
+        cfg.machine = Machine::small(8);
+        cfg.machine.sockets = 2;
+        cfg.machine.memory_bw_gbps = 40.0;
+        cfg.ranks_per_ensemble = 4;
+        cfg.threads_per_rank = 2;
+        cfg.steps = 5;
+        cfg.atoms = 2_000;
+        cfg.regions = 4;
+        cfg.init_time = SimTime::from_millis(50);
+        cfg.per_atom_cost = SimTime::from_micros(10);
+        cfg.bw_per_thread_gbps = 8.0;
+        cfg.yield_slice = SimTime::from_micros(200);
+        run_md_scenario(&cfg)
+    }
+
+    #[test]
+    fn imbalance_profile_sums_to_total_atoms_roughly() {
+        let cfg = MdConfig::new(MdScenario::Exclusive);
+        let atoms = rank_atoms(&cfg, 56);
+        let total: usize = atoms.iter().sum();
+        assert!((total as f64 - 100_000.0).abs() / 100_000.0 < 0.05, "total {total}");
+        let max = *atoms.iter().max().unwrap();
+        let min = *atoms.iter().min().unwrap();
+        assert!(max > 3 * min, "dense ranks must carry much more work ({max} vs {min})");
+    }
+
+    #[test]
+    fn all_scenarios_complete() {
+        for s in MdScenario::ALL {
+            let r = quick(s);
+            assert!(!r.report.deadlocked, "{s:?} deadlocked");
+            assert!(r.katom_steps_per_sec > 0.0);
+            assert!(r.total_time > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn concurrent_ensembles_beat_exclusive_in_aggregate() {
+        // The paper's takeaway: co-executing both ensembles fills the imbalance gaps, so the
+        // aggregate Katom-step/s exceeds running them back to back.
+        let exclusive = quick(MdScenario::Exclusive);
+        let coop = quick(MdScenario::SchedCoopNode);
+        assert!(
+            coop.katom_steps_per_sec > exclusive.katom_steps_per_sec,
+            "SCHED_COOP co-execution ({:.1}) must beat exclusive ({:.1})",
+            coop.katom_steps_per_sec,
+            exclusive.katom_steps_per_sec
+        );
+    }
+
+    #[test]
+    fn sched_coop_at_least_matches_coexecution() {
+        let coex = quick(MdScenario::CoexecutionNode);
+        let coop = quick(MdScenario::SchedCoopNode);
+        assert!(
+            coop.katom_steps_per_sec >= coex.katom_steps_per_sec * 0.95,
+            "SCHED_COOP ({:.1}) must not lose to preemptive co-execution ({:.1})",
+            coop.katom_steps_per_sec,
+            coex.katom_steps_per_sec
+        );
+    }
+
+    #[test]
+    fn bandwidth_usage_is_higher_when_co_executing() {
+        let exclusive = quick(MdScenario::Exclusive);
+        let coop = quick(MdScenario::SchedCoopNode);
+        assert!(
+            coop.average_bandwidth_gbps > exclusive.average_bandwidth_gbps,
+            "two concurrent ensembles must consume more bandwidth ({:.1} vs {:.1})",
+            coop.average_bandwidth_gbps,
+            exclusive.average_bandwidth_gbps
+        );
+        assert!(coop.peak_bandwidth_gbps <= 40.0 + 1e-6);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = MdScenario::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), MdScenario::ALL.len());
+    }
+}

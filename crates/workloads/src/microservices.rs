@@ -1,0 +1,359 @@
+//! Simulated AI microservices benchmark — the workload behind Figure 4 (§5.5).
+//!
+//! Four processes share a 112-core node: a Gateway and three CPU-inference servers (LLaMA
+//! 3.2 1B, GPT-2 124M, RoBERTa 355M). Requests arrive following a Poisson process; for each
+//! request the gateway runs a small planning phase and forwards it to the three servers in
+//! parallel, blocking until all three answer. Each server processes the request as 8 batches;
+//! every batch is an OpenBLAS-parallelized inference using the server's ideal thread count
+//! (LLaMA 28, GPT-2 8, RoBERTa 8 — the strong-scaling optima reported in the paper) with a
+//! busy-wait (yield-patched) end-of-kernel barrier. At high request rates the overlapping
+//! requests oversubscribe the node.
+//!
+//! The five evaluated schemes map to scheduler models exactly as in the paper:
+//! `bl-eq` and `bl-opt` are static partitionings under the fair scheduler, `bl-none` is the
+//! unpartitioned fair scheduler, `bl-none-seq` disables inference parallelism, and
+//! `SCHED_COOP` is the cooperative scheduler with no partitioning and no priorities.
+
+use crate::poisson::PoissonProcess;
+use usf_simsched::{BarrierWaitKind, Engine, Machine, Program, SchedModel, SimReport, SimTime};
+
+/// The three inference models hosted by the servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Meta LLaMA 3.2 (1B parameters): 5.4 s per request at 28 cores.
+    Llama,
+    /// OpenAI GPT-2 (124M): 1.8 s per request at 8 cores.
+    Gpt2,
+    /// Fine-tuned RoBERTa-large (355M): 1.2 s per request at 8 cores.
+    Roberta,
+}
+
+impl Model {
+    /// All models, in the paper's order.
+    pub const ALL: [Model; 3] = [Model::Llama, Model::Gpt2, Model::Roberta];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Llama => "llama-3.2-1b",
+            Model::Gpt2 => "gpt2-124m",
+            Model::Roberta => "roberta-355m",
+        }
+    }
+
+    /// Ideal inner thread count (the isolated strong-scaling optimum of §5.5).
+    pub fn ideal_threads(&self) -> usize {
+        match self {
+            Model::Llama => 28,
+            Model::Gpt2 => 8,
+            Model::Roberta => 8,
+        }
+    }
+
+    /// Isolated per-request inference time at the ideal thread count.
+    pub fn isolated_latency(&self) -> SimTime {
+        match self {
+            Model::Llama => SimTime::from_millis(5400),
+            Model::Gpt2 => SimTime::from_millis(1800),
+            Model::Roberta => SimTime::from_millis(1200),
+        }
+    }
+}
+
+/// Resource-management scheme (the five curves of Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Equal static partition: the three servers split the cores evenly, the gateway gets 2.
+    BlEq,
+    /// Optimized partition: 71 cores for LLaMA, 23 for GPT-2, 16 for RoBERTa (§5.5).
+    BlOpt,
+    /// No partitioning; the Linux fair scheduler manages everything.
+    BlNone,
+    /// No partitioning and sequential (single-threaded) inference.
+    BlNoneSeq,
+    /// USF's SCHED_COOP, no partitioning, no priorities.
+    SchedCoop,
+}
+
+impl PartitionScheme {
+    /// All schemes, in the paper's legend order.
+    pub const ALL: [PartitionScheme; 5] = [
+        PartitionScheme::BlEq,
+        PartitionScheme::BlOpt,
+        PartitionScheme::BlNone,
+        PartitionScheme::BlNoneSeq,
+        PartitionScheme::SchedCoop,
+    ];
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionScheme::BlEq => "bl-eq",
+            PartitionScheme::BlOpt => "bl-opt",
+            PartitionScheme::BlNone => "bl-none",
+            PartitionScheme::BlNoneSeq => "bl-none-seq",
+            PartitionScheme::SchedCoop => "sched_coop",
+        }
+    }
+}
+
+/// Configuration of one Figure 4 run (one request rate × one scheme).
+#[derive(Debug, Clone)]
+pub struct MicroservicesConfig {
+    /// Average request rate (requests per second).
+    pub request_rate: f64,
+    /// Resource-management scheme.
+    pub scheme: PartitionScheme,
+    /// Number of requests per run (28 in the paper).
+    pub requests: usize,
+    /// Batches per request (8 in the paper).
+    pub batches: usize,
+    /// Simulated machine (full Marenostrum 5 node).
+    pub machine: Machine,
+    /// Gateway planning time per request.
+    pub gateway_planning: SimTime,
+    /// Scale factor applied to all inference times (1.0 = the paper's durations; smaller
+    /// values keep unit tests fast while preserving the shape).
+    pub time_scale: f64,
+    /// Busy-wait yield period of the inference barriers.
+    pub yield_slice: SimTime,
+    /// Seed of the Poisson arrival process.
+    pub seed: u64,
+}
+
+impl MicroservicesConfig {
+    /// A Figure 4 point with the paper's parameters.
+    pub fn new(request_rate: f64, scheme: PartitionScheme) -> Self {
+        MicroservicesConfig {
+            request_rate,
+            scheme,
+            requests: 28,
+            batches: 8,
+            machine: Machine::marenostrum5(),
+            gateway_planning: SimTime::from_millis(50),
+            time_scale: 1.0,
+            yield_slice: SimTime::from_millis(1),
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one Figure 4 run.
+#[derive(Debug, Clone)]
+pub struct MicroservicesResult {
+    /// Mean end-to-end request latency.
+    pub mean_latency: SimTime,
+    /// 95th-percentile latency.
+    pub p95_latency: SimTime,
+    /// Achieved throughput in requests per second.
+    pub throughput: f64,
+    /// Per-request `(arrival, completion)` pairs in submission order (Figure 4 bottom).
+    pub request_timeline: Vec<(SimTime, SimTime)>,
+    /// Full simulator report.
+    pub report: SimReport,
+}
+
+/// Run one Figure 4 configuration.
+pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
+    let scale = cfg.time_scale.max(1e-6);
+    let (model, partitions) = scheme_to_model(cfg);
+    let mut engine = Engine::new(cfg.machine.clone(), &model);
+
+    // Processes: gateway (nice 0 → weight 1.0) and the three servers (nice 20 → low weight)
+    // for the baselines; SCHED_COOP does not use priorities, but the weights only matter to
+    // the fair policy anyway.
+    let gw = engine.add_process("gateway", 1.0);
+    let llama = engine.add_process("llama-server", 0.1);
+    let gpt2 = engine.add_process("gpt2-server", 0.1);
+    let roberta = engine.add_process("roberta-server", 0.1);
+    let proc_of = |m: Model| match m {
+        Model::Llama => llama,
+        Model::Gpt2 => gpt2,
+        Model::Roberta => roberta,
+    };
+    drop(partitions); // partitions were already baked into the scheduling model
+
+    engine.set_max_sim_time(SimTime::from_secs(4 * 3600));
+
+    // Request arrivals.
+    let mut poisson = PoissonProcess::new(cfg.request_rate, cfg.seed);
+    let arrivals: Vec<SimTime> = poisson
+        .arrival_times(cfg.requests)
+        .into_iter()
+        .map(|d| SimTime::from_secs_f64(d.as_secs_f64()))
+        .collect();
+
+    let sequential = cfg.scheme == PartitionScheme::BlNoneSeq;
+    let mut gateway_threads = Vec::new();
+    let mut next_id: u64 = 1;
+    for (r, &arrival) in arrivals.iter().enumerate() {
+        // Each server's per-request program: `batches` inferences, each an inner team of the
+        // model's ideal thread count with a busy-wait (yielding) barrier.
+        let mut server_programs = Vec::new();
+        for m in Model::ALL {
+            let threads = if sequential { 1 } else { m.ideal_threads() };
+            let per_batch_thread =
+                SimTime::from_secs_f64(m.isolated_latency().as_secs_f64() * scale / cfg.batches as f64);
+            let mut prog = Program::new(format!("{}-req{r}", m.name()));
+            for _ in 0..cfg.batches {
+                let barrier = next_id;
+                next_id += 1;
+                if threads > 1 {
+                    let child = Program::new("blas")
+                        .compute(per_batch_thread)
+                        .barrier(barrier, threads, BarrierWaitKind::SpinYield { slice: cfg.yield_slice })
+                        .build();
+                    prog = prog
+                        .spawn(child, proc_of(m), threads - 1)
+                        .compute(per_batch_thread)
+                        .barrier(barrier, threads, BarrierWaitKind::SpinYield { slice: cfg.yield_slice })
+                        .join_children();
+                } else {
+                    prog = prog.compute(per_batch_thread);
+                }
+            }
+            // Tell the gateway this model's answer is ready.
+            let done_event = 1_000_000 + r as u64;
+            prog = prog.signal(done_event);
+            server_programs.push((proc_of(m), prog.build()));
+        }
+
+        // Gateway request thread: plan, fan out to the three servers, wait for all three,
+        // then assemble the response.
+        let done_event = 1_000_000 + r as u64;
+        let mut gw_prog = Program::new(format!("request-{r}"))
+            .compute(SimTime::from_secs_f64(cfg.gateway_planning.as_secs_f64() * scale));
+        for (proc, prog) in server_programs {
+            gw_prog = gw_prog.spawn(prog, proc, 1);
+        }
+        gw_prog = gw_prog
+            .wait_event(done_event, Model::ALL.len() as u64)
+            .compute(SimTime::from_secs_f64(cfg.gateway_planning.as_secs_f64() * scale / 2.0))
+            .join_children();
+        let tid = engine.add_thread_at(gw, gw_prog.build(), arrival);
+        gateway_threads.push((tid, arrival));
+    }
+
+    let report = engine.run();
+    let mut latencies = Vec::new();
+    let mut timeline = Vec::new();
+    for (tid, arrival) in &gateway_threads {
+        let finish = report.thread_times.get(tid).and_then(|(_, f)| *f).unwrap_or(report.makespan);
+        latencies.push(finish.saturating_sub(*arrival).as_secs_f64());
+        timeline.push((*arrival, finish));
+    }
+    let mean_latency = SimTime::from_secs_f64(crate::stats::mean(&latencies));
+    let p95_latency = SimTime::from_secs_f64(crate::stats::percentile(&latencies, 95.0));
+    let throughput = cfg.requests as f64 / report.makespan.as_secs_f64().max(1e-9);
+
+    MicroservicesResult { mean_latency, p95_latency, throughput, request_timeline: timeline, report }
+}
+
+/// Map a scheme to a scheduler model (and the partition table, for reporting).
+fn scheme_to_model(cfg: &MicroservicesConfig) -> (SchedModel, Vec<(usize, Vec<usize>)>) {
+    let cores = cfg.machine.cores;
+    match cfg.scheme {
+        PartitionScheme::BlNone | PartitionScheme::BlNoneSeq => (SchedModel::Fair, Vec::new()),
+        PartitionScheme::SchedCoop => (SchedModel::coop_default(), Vec::new()),
+        PartitionScheme::BlEq => {
+            // Gateway: 2 cores; the rest split evenly among the three servers.
+            let per = (cores - 2) / 3;
+            let mut next = 2;
+            let mut assignments = Vec::new();
+            for p in [1usize, 2, 3] {
+                assignments.push((p, (next..next + per).collect()));
+                next += per;
+            }
+            assignments.push((0, vec![0, 1]));
+            (SchedModel::Partitioned { assignments: assignments.clone() }, assignments)
+        }
+        PartitionScheme::BlOpt => {
+            // 71 / 23 / 16 cores for LLaMA / GPT-2 / RoBERTa minus the 2 gateway cores, as in
+            // §5.5 (scaled if the machine is smaller than 112 cores).
+            let fractions = [(1usize, 0.64), (2, 0.21), (3, 0.14)];
+            let avail = cores.saturating_sub(2);
+            let mut next = 2;
+            let mut assignments = vec![(0usize, vec![0, 1])];
+            for (p, frac) in fractions {
+                let count = ((avail as f64 * frac).round() as usize).max(1).min(cores - next);
+                assignments.push((p, (next..next + count).collect()));
+                next += count;
+            }
+            (SchedModel::Partitioned { assignments: assignments.clone() }, assignments)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(rate: f64, scheme: PartitionScheme) -> MicroservicesResult {
+        let mut cfg = MicroservicesConfig::new(rate, scheme);
+        cfg.requests = 4;
+        cfg.batches = 2;
+        cfg.time_scale = 0.01; // ~54 ms LLaMA inference
+        cfg.machine = Machine::small(16);
+        cfg.machine.sockets = 2;
+        cfg.yield_slice = SimTime::from_micros(200);
+        run_microservices(&cfg)
+    }
+
+    #[test]
+    fn all_schemes_complete_and_report_latencies() {
+        for scheme in PartitionScheme::ALL {
+            let r = quick(0.5, scheme);
+            assert!(!r.report.deadlocked, "{scheme:?} deadlocked");
+            assert_eq!(r.request_timeline.len(), 4);
+            assert!(r.mean_latency > SimTime::ZERO);
+            assert!(r.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_request_rate_for_bl_none() {
+        let slow = quick(0.05, PartitionScheme::BlNone);
+        let fast = quick(5.0, PartitionScheme::BlNone);
+        assert!(
+            fast.mean_latency.as_secs_f64() >= slow.mean_latency.as_secs_f64() * 0.95,
+            "higher request rates must not reduce latency: {} vs {}",
+            fast.mean_latency,
+            slow.mean_latency
+        );
+    }
+
+    #[test]
+    fn sched_coop_handles_overload_at_least_as_well_as_equal_partitioning() {
+        let coop = quick(5.0, PartitionScheme::SchedCoop);
+        let bleq = quick(5.0, PartitionScheme::BlEq);
+        assert!(
+            coop.mean_latency.as_secs_f64() <= bleq.mean_latency.as_secs_f64() * 1.1,
+            "SCHED_COOP ({}) should not lose to the rigid equal partitioning ({})",
+            coop.mean_latency,
+            bleq.mean_latency
+        );
+    }
+
+    #[test]
+    fn sequential_baseline_uses_single_threaded_inference() {
+        let seq = quick(0.05, PartitionScheme::BlNoneSeq);
+        let par = quick(0.05, PartitionScheme::BlNone);
+        // At low rates, sequential inference must be slower per request.
+        assert!(
+            seq.mean_latency > par.mean_latency,
+            "sequential inference should have higher latency at low rates: {} vs {}",
+            seq.mean_latency,
+            par.mean_latency
+        );
+    }
+
+    #[test]
+    fn model_constants_match_paper() {
+        assert_eq!(Model::Llama.ideal_threads(), 28);
+        assert_eq!(Model::Gpt2.ideal_threads(), 8);
+        assert_eq!(Model::Roberta.ideal_threads(), 8);
+        assert_eq!(Model::Llama.isolated_latency(), SimTime::from_millis(5400));
+        assert_eq!(PartitionScheme::ALL.len(), 5);
+        assert_eq!(PartitionScheme::SchedCoop.label(), "sched_coop");
+    }
+}

@@ -1,0 +1,73 @@
+//! Poisson arrival process (the request generator of §5.5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Generator of exponentially distributed inter-arrival times with a given average rate.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate_per_sec: f64,
+    rng: StdRng,
+}
+
+impl PoissonProcess {
+    /// A Poisson process with `rate_per_sec` average arrivals per second and a fixed seed
+    /// (experiments must be reproducible).
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        PoissonProcess { rate_per_sec, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured average rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Next inter-arrival gap.
+    pub fn next_gap(&mut self) -> Duration {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        Duration::from_secs_f64(-u.ln() / self.rate_per_sec)
+    }
+
+    /// Absolute arrival times (from 0) of the next `n` arrivals.
+    pub fn arrival_times(&mut self, n: usize) -> Vec<Duration> {
+        let mut t = Duration::ZERO;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap();
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotonic_and_roughly_match_rate() {
+        let mut p = PoissonProcess::new(10.0, 42);
+        let times = p.arrival_times(2000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let total = times.last().unwrap().as_secs_f64();
+        let observed_rate = 2000.0 / total;
+        assert!((observed_rate - 10.0).abs() < 1.0, "observed {observed_rate}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = PoissonProcess::new(0.5, 7).arrival_times(10);
+        let b = PoissonProcess::new(0.5, 7).arrival_times(10);
+        let c = PoissonProcess::new(0.5, 8).arrival_times(10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        let _ = PoissonProcess::new(0.0, 1);
+    }
+}

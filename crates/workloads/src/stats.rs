@@ -1,0 +1,78 @@
+//! Small summary-statistics helpers used by benchmark harnesses.
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (0.0 for fewer than two values).
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Percentile by nearest-rank (p in [0, 100]); 0.0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Geometric mean (0.0 for an empty slice; ignores non-positive entries).
+pub fn geomean(values: &[f64]) -> f64 {
+    let positives: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positives.is_empty() {
+        return 0.0;
+    }
+    (positives.iter().map(|v| v.ln()).sum::<f64>() / positives.len() as f64).exp()
+}
+
+/// Speedup of `new` over `baseline` (values are "higher is better" throughputs).
+pub fn speedup(baseline: f64, new: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        new / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert!((percentile(&v, 50.0) - 50.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_and_speedup() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(speedup(2.0, 4.0), 2.0);
+        assert_eq!(speedup(0.0, 4.0), 0.0);
+    }
+}

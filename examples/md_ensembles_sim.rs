@@ -1,0 +1,42 @@
+//! Simulated MD ensembles (the §5.6 / Figure 5 scenario): compare running two LAMMPS+DeePMD
+//! ensembles exclusively, co-located, co-executed and under SCHED_COOP on the simulated
+//! Marenostrum 5 node, reporting aggregate Katom-step/s and memory-bandwidth usage.
+//!
+//! Run with: `cargo run --release --example md_ensembles_sim`
+
+use usf::simsched::SimTime;
+use usf::workloads::md::{run_md_scenario, MdConfig, MdScenario};
+
+fn main() {
+    println!("Two-ensemble MD study on the simulated 112-core node (reduced step count for the example).\n");
+    println!(
+        "{:>22} | {:>16} | {:>14} | {:>12}",
+        "scenario", "Katom-step/s", "avg BW (GB/s)", "time (s)"
+    );
+    let mut exclusive_perf = None;
+    for scenario in MdScenario::ALL {
+        let mut cfg = MdConfig::new(scenario);
+        cfg.steps = 10;
+        cfg.atoms = 50_000;
+        cfg.init_time = SimTime::from_secs(2);
+        let r = run_md_scenario(&cfg);
+        println!(
+            "{:>22} | {:>16.1} | {:>14.1} | {:>12.1}",
+            scenario.label(),
+            r.katom_steps_per_sec,
+            r.average_bandwidth_gbps,
+            r.total_time.as_secs_f64()
+        );
+        if scenario == MdScenario::Exclusive {
+            exclusive_perf = Some(r.katom_steps_per_sec);
+        } else if scenario == MdScenario::SchedCoopNode {
+            if let Some(excl) = exclusive_perf {
+                println!(
+                    "{:>22}   (SCHED_COOP co-execution vs exclusive: {:.2}x aggregate throughput)",
+                    "", r.katom_steps_per_sec / excl
+                );
+            }
+        }
+    }
+    println!("\nFull sweep (paper parameters): cargo run -p usf-bench --release --bin fig5_lammps --full");
+}

@@ -1,0 +1,95 @@
+//! Multi-process AI microservices (the §5.5 scenario): a gateway process domain and three
+//! "inference server" domains share one USF instance. Requests arrive over time; each
+//! request fans out to the three servers, which run their (synthetic) inference kernels on
+//! inner teams. This is the real-execution, laptop-scale companion of the Figure 4
+//! simulation (`cargo run -p usf-bench --bin fig4_microservices`).
+//!
+//! Run with: `cargo run --release --example multiprocess_inference`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use usf::prelude::*;
+use usf_blas::{BlasConfig, BlasHandle, Matrix};
+use usf_core::sync::WaitGroup;
+use usf_workloads::poisson::PoissonProcess;
+
+/// One synthetic "model": a gemm of the given size on `threads` inner threads.
+fn inference(blas: &BlasHandle, size: usize) -> f64 {
+    let a = Matrix::pseudo_random(size, size, 7);
+    let b = Matrix::pseudo_random(size, size, 8);
+    let c = blas.gemm(&a, &b);
+    c.frobenius_norm()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let usf = Usf::builder().cores(cores).build();
+
+    // One process domain per service, exactly like the four Python processes of the paper.
+    let gateway = usf.process("gateway");
+    let servers = [
+        (usf.process("llama-server"), 96usize, 4usize),   // (domain, matrix size, inner threads)
+        (usf.process("gpt2-server"), 64, 2),
+        (usf.process("roberta-server"), 48, 2),
+    ];
+
+    let requests = 6;
+    let mut poisson = PoissonProcess::new(4.0, 11);
+    let arrivals = poisson.arrival_times(requests);
+
+    println!("dispatching {requests} requests over ~{:.1}s onto {cores} cores\n", arrivals.last().unwrap().as_secs_f64());
+
+    let start = Instant::now();
+    let mut request_handles = Vec::new();
+    for (r, arrival) in arrivals.into_iter().enumerate() {
+        // The gateway thread for this request: wait until the arrival time, fan out to the
+        // three servers, wait for all answers.
+        let servers = servers.clone();
+        let handle = gateway.spawn_named(format!("request-{r}"), move || {
+            let now = start.elapsed();
+            if arrival > now {
+                usf_core::timing::sleep(arrival - now);
+            }
+            let submitted = start.elapsed();
+            let done = Arc::new(WaitGroup::with_count(servers.len()));
+            for (domain, size, threads) in servers.iter() {
+                let done = Arc::clone(&done);
+                let size = *size;
+                let threads = *threads;
+                let domain = domain.clone();
+                let exec = ExecMode::Usf(domain.clone());
+                domain.spawn_named(format!("req{r}-{}", domain.name()), move || {
+                    let blas = BlasHandle::new(BlasConfig::omp(threads, exec));
+                    let norm = inference(&blas, size);
+                    std::hint::black_box(norm);
+                    done.done();
+                });
+            }
+            done.wait();
+            (submitted, start.elapsed())
+        });
+        request_handles.push(handle);
+    }
+
+    println!("{:>10} {:>14} {:>14} {:>12}", "request", "submitted (s)", "completed (s)", "latency (s)");
+    for (r, h) in request_handles.into_iter().enumerate() {
+        let (submitted, completed) = h.join().unwrap();
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>12.3}",
+            r,
+            submitted.as_secs_f64(),
+            completed.as_secs_f64(),
+            (completed - submitted).as_secs_f64()
+        );
+    }
+
+    let m = usf.metrics();
+    println!("\nscheduler: {} attaches, {} blocks, {} yields, {} process-quantum rotations", m.attaches, m.pauses, m.yields, usf.nosv().scheduler().policy_rotations());
+    println!("total wall time: {:.3}s", start.elapsed().as_secs_f64());
+    println!("\nFor the paper-scale version (112 simulated cores, LLaMA/GPT-2/RoBERTa service times,");
+    println!("all five partitioning schemes) run: cargo run -p usf-bench --release --bin fig4_microservices");
+
+    // Give detached server threads time to be recycled before shutdown joins the cache.
+    std::thread::sleep(Duration::from_millis(50));
+    usf.shutdown();
+}
