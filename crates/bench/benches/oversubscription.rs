@@ -27,21 +27,43 @@ fn bench_nested_matmul(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(5));
     group.sample_size(10);
     for inner in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("baseline-os", inner), &inner, |b, &inner| {
-            b.iter(|| {
-                let r = run_matmul(&matmul_cfg(ExecMode::Os, inner, BarrierKind::BusyYield { yield_every: 64 }));
-                criterion::black_box(r.mflops)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sched_coop", inner), &inner, |b, &inner| {
-            b.iter(|| {
-                let usf = Usf::builder().cores(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)).build();
-                let p = usf.process("matmul");
-                let r = run_matmul(&matmul_cfg(ExecMode::Usf(p), inner, BarrierKind::BusyYield { yield_every: 64 }));
-                usf.shutdown();
-                criterion::black_box(r.mflops)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline-os", inner),
+            &inner,
+            |b, &inner| {
+                b.iter(|| {
+                    let r = run_matmul(&matmul_cfg(
+                        ExecMode::Os,
+                        inner,
+                        BarrierKind::BusyYield { yield_every: 64 },
+                    ));
+                    criterion::black_box(r.mflops)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sched_coop", inner),
+            &inner,
+            |b, &inner| {
+                b.iter(|| {
+                    let usf = Usf::builder()
+                        .cores(
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(2),
+                        )
+                        .build();
+                    let p = usf.process("matmul");
+                    let r = run_matmul(&matmul_cfg(
+                        ExecMode::Usf(p),
+                        inner,
+                        BarrierKind::BusyYield { yield_every: 64 },
+                    ));
+                    usf.shutdown();
+                    criterion::black_box(r.mflops)
+                })
+            },
+        );
     }
     group.finish();
 }

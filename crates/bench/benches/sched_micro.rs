@@ -29,7 +29,9 @@ fn bench_thread_creation(c: &mut Criterion) {
 
     group.bench_function("std_spawn_join", |b| {
         b.iter(|| {
-            std::thread::spawn(|| criterion::black_box(1 + 1)).join().unwrap();
+            std::thread::spawn(|| criterion::black_box(1 + 1))
+                .join()
+                .unwrap();
         })
     });
 
@@ -57,7 +59,9 @@ fn bench_oversubscribed_spawn_wave(c: &mut Criterion) {
             let usf = Usf::builder().cores(2).cache_capacity(64).build();
             let p = usf.process("wave");
             b.iter(|| {
-                let handles: Vec<_> = (0..n).map(|i| p.spawn(move || criterion::black_box(i * 2))).collect();
+                let handles: Vec<_> = (0..n)
+                    .map(|i| p.spawn(move || criterion::black_box(i * 2)))
+                    .collect();
                 let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
                 criterion::black_box(sum)
             });
@@ -65,7 +69,9 @@ fn bench_oversubscribed_spawn_wave(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("os", threads), &threads, |b, &n| {
             b.iter(|| {
-                let handles: Vec<_> = (0..n).map(|i| std::thread::spawn(move || criterion::black_box(i * 2))).collect();
+                let handles: Vec<_> = (0..n)
+                    .map(|i| std::thread::spawn(move || criterion::black_box(i * 2)))
+                    .collect();
                 let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
                 criterion::black_box(sum)
             });
@@ -74,5 +80,10 @@ fn bench_oversubscribed_spawn_wave(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pause_submit, bench_thread_creation, bench_oversubscribed_spawn_wave);
+criterion_group!(
+    benches,
+    bench_pause_submit,
+    bench_thread_creation,
+    bench_oversubscribed_spawn_wave
+);
 criterion_main!(benches);

@@ -46,7 +46,12 @@ fn main() {
 
     // Baseline performance (Figure 3a) plus element-wise speedups for the other variants.
     let mut results: Vec<Vec<Vec<f64>>> = Vec::new(); // [variant][row][col] -> mflops
-    for variant in [MatmulVariant::Baseline, MatmulVariant::Manual, MatmulVariant::SchedCoop, MatmulVariant::Original] {
+    for variant in [
+        MatmulVariant::Baseline,
+        MatmulVariant::Manual,
+        MatmulVariant::SchedCoop,
+        MatmulVariant::Original,
+    ] {
         let mut grid = Vec::new();
         for ts in &task_sizes {
             let mut row = Vec::new();
@@ -64,7 +69,12 @@ fn main() {
         results.push(grid);
     }
 
-    let variants = ["a) Baseline performance (MFLOP/s)", "b) Manual speedup", "c) SCHED_COOP speedup", "d) Original speedup"];
+    let variants = [
+        "a) Baseline performance (MFLOP/s)",
+        "b) Manual speedup",
+        "c) SCHED_COOP speedup",
+        "d) Original speedup",
+    ];
     for (vi, title) in variants.iter().enumerate() {
         header(title);
         usf_bench::print_table("tasks \\ threads", &rows, &cols, 10, |ri, ci| {
@@ -78,11 +88,28 @@ fn main() {
 
     // Headline comparison of §5.3: the best SCHED_COOP configuration vs. the best Baseline.
     let best = |vi: usize| -> f64 {
-        results[vi].iter().flat_map(|r| r.iter().copied()).fold(0.0, f64::max)
+        results[vi]
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(0.0, f64::max)
     };
-    header("Best-configuration comparison (paper: SCHED_COOP ≈ +9.8%, Manual ≈ +11.8% over Baseline)");
+    header(
+        "Best-configuration comparison (paper: SCHED_COOP ≈ +9.8%, Manual ≈ +11.8% over Baseline)",
+    );
     println!("best Baseline   : {:>12} MFLOP/s", fmt_mflops(best(0)));
-    println!("best Manual     : {:>12} MFLOP/s ({} vs best Baseline)", fmt_mflops(best(1)), fmt_speedup(best(1) / best(0)));
-    println!("best SCHED_COOP : {:>12} MFLOP/s ({} vs best Baseline)", fmt_mflops(best(2)), fmt_speedup(best(2) / best(0)));
-    println!("best Original   : {:>12} MFLOP/s ({} vs best Baseline)", fmt_mflops(best(3)), fmt_speedup(best(3) / best(0)));
+    println!(
+        "best Manual     : {:>12} MFLOP/s ({} vs best Baseline)",
+        fmt_mflops(best(1)),
+        fmt_speedup(best(1) / best(0))
+    );
+    println!(
+        "best SCHED_COOP : {:>12} MFLOP/s ({} vs best Baseline)",
+        fmt_mflops(best(2)),
+        fmt_speedup(best(2) / best(0))
+    );
+    println!(
+        "best Original   : {:>12} MFLOP/s ({} vs best Baseline)",
+        fmt_mflops(best(3)),
+        fmt_speedup(best(3) / best(0))
+    );
 }

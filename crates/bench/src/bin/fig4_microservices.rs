@@ -72,8 +72,12 @@ fn main() {
         }
     }
     println!();
-    println!("Expected shape (paper): bl-eq saturates first (load imbalance across partitions), bl-opt");
+    println!(
+        "Expected shape (paper): bl-eq saturates first (load imbalance across partitions), bl-opt"
+    );
     println!("follows, bl-none collapses at high rates as all requests progress evenly and finish together,");
-    println!("bl-none-seq is flat but slow at low rates, and SCHED_COOP keeps both low latency and high");
+    println!(
+        "bl-none-seq is flat but slow at low rates, and SCHED_COOP keeps both low latency and high"
+    );
     println!("throughput across the whole range (up to 2.4x vs bl-none).");
 }

@@ -51,19 +51,33 @@ fn main() {
     }
 
     header("Figure 5b — bandwidth trace of the SCHED_COOP (node) scenario");
-    if let Some((_, r)) = results.iter().find(|(s, _)| *s == MdScenario::SchedCoopNode) {
+    if let Some((_, r)) = results
+        .iter()
+        .find(|(s, _)| *s == MdScenario::SchedCoopNode)
+    {
         // Print a down-sampled trace (at most ~40 samples) so the valleys/plateaus are visible.
         let trace = &r.report.bw_trace;
         let step = (trace.len() / 40).max(1);
         for sample in trace.iter().step_by(step) {
             let bars = (sample.gbps / machine.memory_bw_gbps * 50.0).round() as usize;
-            println!("  t={:>8.1}s {:>7.1} GB/s |{}", sample.time.as_secs_f64(), sample.gbps, "#".repeat(bars));
+            println!(
+                "  t={:>8.1}s {:>7.1} GB/s |{}",
+                sample.time.as_secs_f64(),
+                sample.gbps,
+                "#".repeat(bars)
+            );
         }
     }
 
     println!();
-    println!("Expected shape (paper): the aggregated Katom-step/s of every concurrent scenario beats");
-    println!("Exclusive; co-location suffers from load imbalance; co-execution recovers most of it but");
+    println!(
+        "Expected shape (paper): the aggregated Katom-step/s of every concurrent scenario beats"
+    );
+    println!(
+        "Exclusive; co-location suffers from load imbalance; co-execution recovers most of it but"
+    );
     println!("pays oversubscription noise; SCHED_COOP attains both the highest throughput and the highest");
-    println!("average memory bandwidth (paper: 214.8 GB/s for schedcoop_node vs 165.4 GB/s Exclusive).");
+    println!(
+        "average memory bandwidth (paper: 214.8 GB/s for schedcoop_node vs 165.4 GB/s Exclusive)."
+    );
 }

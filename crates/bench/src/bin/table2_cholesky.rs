@@ -18,17 +18,23 @@ fn main() {
 
     header("Table 2 — Cholesky runtime compositions (simulated)");
     machine_line(&machine);
-    println!("task size {task_size}; cells show `Baseline MFLOP/s, SCHED_COOP speedup` (paper format)");
+    println!(
+        "task size {task_size}; cells show `Baseline MFLOP/s, SCHED_COOP speedup` (paper format)"
+    );
 
     let rows = Composition::table2_rows();
     let row_labels: Vec<String> = rows.iter().map(|c| c.label()).collect();
-    let col_labels: Vec<String> = Parallelism::ALL.iter().map(|p| p.label().to_string()).collect();
+    let col_labels: Vec<String> = Parallelism::ALL
+        .iter()
+        .map(|p| p.label().to_string())
+        .collect();
 
     let mut cells: Vec<Vec<String>> = Vec::new();
     for comp in &rows {
         let mut row = Vec::new();
         for par in Parallelism::ALL {
-            let mut base_cfg = SimCholeskyConfig::new(comp.clone(), par, CholeskyScheduler::Baseline);
+            let mut base_cfg =
+                SimCholeskyConfig::new(comp.clone(), par, CholeskyScheduler::Baseline);
             base_cfg.machine = machine.clone();
             base_cfg.task_size = task_size;
             base_cfg.tasks_per_worker = tasks_per_worker;
@@ -45,10 +51,14 @@ fn main() {
         cells.push(row);
     }
 
-    usf_bench::print_table("out/inn/blas", &row_labels, &col_labels, 18, |r, c| cells[r][c].clone());
+    usf_bench::print_table("out/inn/blas", &row_labels, &col_labels, 18, |r, c| {
+        cells[r][c].clone()
+    });
 
     println!();
     println!("Expected shape (paper): speedups grow with oversubscription (Mild < Medium < High) and the");
-    println!("pth compositions benefit the most because the USF thread cache removes their per-call");
+    println!(
+        "pth compositions benefit the most because the USF thread cache removes their per-call"
+    );
     println!("thread creation/destruction cost (the paper reports up to 14.7x for gnu/pth/blis at High).");
 }

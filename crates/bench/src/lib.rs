@@ -8,6 +8,9 @@
 //!   laptop;
 //! * `--full`: the paper-scale parameters (56/112 simulated cores, full sweeps).
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 /// Harness scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

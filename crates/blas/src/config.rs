@@ -85,7 +85,10 @@ impl BlasConfig {
 
     /// A spawn-per-call ("pth") configuration with `threads` workers on the given backend.
     pub fn pth(threads: usize, exec: ExecMode) -> Self {
-        BlasConfig { threading: BlasThreading::PthreadPerCall, ..BlasConfig::omp(threads, exec) }
+        BlasConfig {
+            threading: BlasThreading::PthreadPerCall,
+            ..BlasConfig::omp(threads, exec)
+        }
     }
 
     /// Set the barrier kind.

@@ -155,7 +155,11 @@ mod tests {
                 rebuilt[(i, j)] = s;
             }
         }
-        assert!(rebuilt.max_abs_diff(&a) < 1e-8, "diff {}", rebuilt.max_abs_diff(&a));
+        assert!(
+            rebuilt.max_abs_diff(&a) < 1e-8,
+            "diff {}",
+            rebuilt.max_abs_diff(&a)
+        );
     }
 
     #[test]
@@ -182,7 +186,11 @@ mod tests {
         let b0 = Matrix::multiply_reference(&x_true, &l.transpose());
         let mut b = b0.clone();
         trsm_right_lower_transpose(n, l.as_slice(), b.as_mut_slice());
-        assert!(b.max_abs_diff(&x_true) < 1e-9, "diff {}", b.max_abs_diff(&x_true));
+        assert!(
+            b.max_abs_diff(&x_true) < 1e-9,
+            "diff {}",
+            b.max_abs_diff(&x_true)
+        );
     }
 
     #[test]

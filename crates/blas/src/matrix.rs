@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A square identity matrix.
@@ -39,7 +43,10 @@ impl Matrix {
     /// A deterministic pseudo-random matrix (xorshift; no external RNG needed) with entries
     /// in `[-0.5, 0.5)`.
     pub fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) | 1;
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            | 1;
         Matrix::from_fn(rows, cols, |_, _| {
             state ^= state << 13;
             state ^= state >> 7;

@@ -111,7 +111,8 @@ impl BlasHandle {
             if r0 < r1 {
                 // Safety: each worker writes only rows [r0, r1) of C, and the ranges are
                 // disjoint across workers; A and B are read-only.
-                let c_chunk = unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r0 * n), (r1 - r0) * n) };
+                let c_chunk =
+                    unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r0 * n), (r1 - r0) * n) };
                 let a_chunk = &a[r0 * k..r1 * k];
                 kernels::gemm_acc(r1 - r0, k, n, a_chunk, b, c_chunk);
             }
@@ -128,7 +129,14 @@ impl BlasHandle {
     pub fn gemm(&self, a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.cols(), b.rows(), "dimension mismatch");
         let mut c = Matrix::zeros(a.rows(), b.cols());
-        self.gemm_acc(a.rows(), a.cols(), b.cols(), a.as_slice(), b.as_slice(), c.as_mut_slice());
+        self.gemm_acc(
+            a.rows(),
+            a.cols(),
+            b.cols(),
+            a.as_slice(),
+            b.as_slice(),
+            c.as_mut_slice(),
+        );
         c
     }
 
@@ -211,7 +219,11 @@ mod tests {
         let b = Matrix::pseudo_random(17, 29, 2);
         let c = handle.gemm(&a, &b);
         let reference = Matrix::multiply_reference(&a, &b);
-        assert!(c.max_abs_diff(&reference) < 1e-10, "diff {}", c.max_abs_diff(&reference));
+        assert!(
+            c.max_abs_diff(&reference) < 1e-10,
+            "diff {}",
+            c.max_abs_diff(&reference)
+        );
     }
 
     #[test]
@@ -236,7 +248,9 @@ mod tests {
             BarrierKind::BusyYield { yield_every: 16 },
             BarrierKind::BusySpin,
         ] {
-            check_gemm(&BlasHandle::new(BlasConfig::omp(2, ExecMode::Os).barrier(kind)));
+            check_gemm(&BlasHandle::new(
+                BlasConfig::omp(2, ExecMode::Os).barrier(kind),
+            ));
         }
     }
 
@@ -245,7 +259,8 @@ mod tests {
         let usf = Usf::builder().cores(2).build();
         let p = usf.process("blas-test");
         check_gemm(&BlasHandle::new(
-            BlasConfig::omp(3, ExecMode::Usf(p.clone())).barrier(BarrierKind::BusyYield { yield_every: 32 }),
+            BlasConfig::omp(3, ExecMode::Usf(p.clone()))
+                .barrier(BarrierKind::BusyYield { yield_every: 32 }),
         ));
         check_gemm(&BlasHandle::new(BlasConfig::pth(2, ExecMode::Usf(p))));
         usf.shutdown();

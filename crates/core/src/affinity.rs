@@ -78,10 +78,11 @@ impl CpuSet {
 
     /// Iterate over the cores in the set, in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
-        self.words
-            .iter()
-            .enumerate()
-            .flat_map(|(wi, w)| (0..64).filter(move |b| (w >> b) & 1 == 1).map(move |b| wi * 64 + b))
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64)
+                .filter(move |b| (w >> b) & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
     }
 }
 
@@ -190,8 +191,11 @@ mod tests {
     #[test]
     fn hints_are_per_thread() {
         set_affinity_hint(CpuSet::single(1));
-        let other = std::thread::spawn(|| get_affinity_hint()).join().unwrap();
-        assert!(other.is_none(), "another thread must not see this thread's hint");
+        let other = std::thread::spawn(get_affinity_hint).join().unwrap();
+        assert!(
+            other.is_none(),
+            "another thread must not see this thread's hint"
+        );
         assert_eq!(get_affinity_hint(), Some(CpuSet::single(1)));
         clear_affinity_hint();
         assert!(get_affinity_hint().is_none());

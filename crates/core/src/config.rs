@@ -32,7 +32,9 @@ pub struct UsfConfig {
 impl UsfConfig {
     /// Default configuration: detected cores, one NUMA node, SCHED_COOP, 20 ms quantum.
     pub fn detect() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         UsfConfig {
             cores,
             numa_nodes: 1,
@@ -46,7 +48,10 @@ impl UsfConfig {
 
     /// Configuration with an explicit core count (single NUMA node).
     pub fn with_cores(cores: usize) -> Self {
-        UsfConfig { cores, ..UsfConfig::detect() }
+        UsfConfig {
+            cores,
+            ..UsfConfig::detect()
+        }
     }
 
     /// Read the configuration from `USF_*` environment variables.
@@ -86,7 +91,11 @@ impl UsfConfig {
             cfg.policy = match v.trim().to_ascii_lowercase().as_str() {
                 "coop" | "sched_coop" => PolicyKind::Coop,
                 "fifo" => PolicyKind::Fifo,
-                other => return Err(UsfError::InvalidConfig(format!("USF_POLICY={other} (expected coop|fifo)"))),
+                other => {
+                    return Err(UsfError::InvalidConfig(format!(
+                        "USF_POLICY={other} (expected coop|fifo)"
+                    )))
+                }
             };
         }
         if let Ok(v) = std::env::var("USF_QUANTUM_MS") {
@@ -122,7 +131,9 @@ impl Default for UsfConfig {
 }
 
 fn parse<T: std::str::FromStr>(v: &str, name: &str) -> Result<T, UsfError> {
-    v.trim().parse::<T>().map_err(|_| UsfError::InvalidConfig(format!("{name}={v}")))
+    v.trim()
+        .parse::<T>()
+        .map_err(|_| UsfError::InvalidConfig(format!("{name}={v}")))
 }
 
 #[cfg(test)]

@@ -66,7 +66,11 @@ mod tests {
         let nosv = NosvInstance::new(NosvConfig::with_cores(1));
         let pid = nosv.register_process("p");
         let handle = nosv.attach(pid, Some("ctx-test"));
-        set_current(CurrentCtx { task: handle.task().clone(), nosv: nosv.clone(), process: pid });
+        set_current(CurrentCtx {
+            task: handle.task().clone(),
+            nosv: nosv.clone(),
+            process: pid,
+        });
         assert!(is_attached());
         assert_eq!(current().unwrap().process, pid);
         let prev = clear_current();

@@ -10,9 +10,9 @@
 //!   primitives are scheduling points; SCHED_COOP (or another installed policy) decides who
 //!   runs. This is the paper's *SCHED_COOP* configuration.
 
+use crate::error::UsfError;
 use crate::runtime::ProcessHandle;
 use crate::thread::JoinHandle;
-use crate::error::UsfError;
 
 /// How threads of a workload are created and scheduled.
 #[derive(Clone, Debug)]
@@ -158,7 +158,7 @@ mod tests {
         for mode in modes {
             let hs: Vec<_> = (0..4).map(|i| mode.spawn(move || i * i)).collect();
             let total: i32 = hs.into_iter().map(|h| h.join().unwrap()).sum();
-            assert_eq!(total, 0 + 1 + 4 + 9);
+            assert_eq!(total, 14);
         }
         usf.shutdown();
     }

@@ -41,9 +41,15 @@ impl Waiter {
     pub fn new_for_current() -> Arc<Waiter> {
         let mode = match current() {
             Some(CurrentCtx { task, nosv, .. }) => Mode::Usf { task, nosv },
-            None => Mode::Os { thread: std::thread::current() },
+            None => Mode::Os {
+                thread: std::thread::current(),
+            },
         };
-        Arc::new(Waiter { mode, signalled: AtomicBool::new(false), woken_once: AtomicBool::new(false) })
+        Arc::new(Waiter {
+            mode,
+            signalled: AtomicBool::new(false),
+            woken_once: AtomicBool::new(false),
+        })
     }
 
     /// Whether this waiter uses the cooperative (USF) path.
@@ -303,7 +309,11 @@ mod tests {
         let (tx, rx) = std::sync::mpsc::channel::<Arc<Waiter>>();
         let h = std::thread::spawn(move || {
             let handle = nosv2.attach(pid, Some("waiter"));
-            set_current(CurrentCtx { task: handle.task().clone(), nosv: nosv2.clone(), process: pid });
+            set_current(CurrentCtx {
+                task: handle.task().clone(),
+                nosv: nosv2.clone(),
+                process: pid,
+            });
             let w = Waiter::new_for_current();
             assert!(w.is_cooperative());
             tx.send(Arc::clone(&w)).unwrap();

@@ -74,13 +74,20 @@ mod tests {
 
     #[test]
     fn ready_immediately() {
-        assert_eq!(poll_until(|| true, Duration::from_millis(100), None), PollOutcome::Ready);
+        assert_eq!(
+            poll_until(|| true, Duration::from_millis(100), None),
+            PollOutcome::Ready
+        );
     }
 
     #[test]
     fn times_out_when_never_ready() {
         let start = Instant::now();
-        let out = poll_until(|| false, Duration::from_millis(30), Some(Duration::from_millis(5)));
+        let out = poll_until(
+            || false,
+            Duration::from_millis(30),
+            Some(Duration::from_millis(5)),
+        );
         assert_eq!(out, PollOutcome::TimedOut);
         assert!(start.elapsed() >= Duration::from_millis(25));
     }
@@ -93,7 +100,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(30));
             f2.store(true, Ordering::SeqCst);
         });
-        let out = poll_until(|| flag.load(Ordering::SeqCst), Duration::from_secs(5), Some(Duration::from_millis(2)));
+        let out = poll_until(
+            || flag.load(Ordering::SeqCst),
+            Duration::from_secs(5),
+            Some(Duration::from_millis(2)),
+        );
         assert_eq!(out, PollOutcome::Ready);
         setter.join().unwrap();
     }
@@ -108,7 +119,11 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(false));
         let f1 = Arc::clone(&flag);
         let poller = p.spawn(move || {
-            poll_until(|| f1.load(Ordering::SeqCst), Duration::from_secs(10), Some(Duration::from_millis(2)))
+            poll_until(
+                || f1.load(Ordering::SeqCst),
+                Duration::from_secs(10),
+                Some(Duration::from_millis(2)),
+            )
         });
         std::thread::sleep(Duration::from_millis(20));
         let f2 = Arc::clone(&flag);

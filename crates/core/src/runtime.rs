@@ -40,7 +40,10 @@ pub struct UsfBuilder {
 impl UsfBuilder {
     /// Start from the default configuration (detected cores, SCHED_COOP).
     pub fn new() -> Self {
-        UsfBuilder { config: UsfConfig::detect(), connect_name: None }
+        UsfBuilder {
+            config: UsfConfig::detect(),
+            connect_name: None,
+        }
     }
 
     /// Number of virtual cores.
@@ -117,7 +120,13 @@ impl Usf {
             None => NosvInstance::new(config.to_nosv()),
         };
         let cache = ThreadCache::new(config.thread_cache_capacity);
-        Usf { inner: Arc::new(UsfInner { nosv, cache, config }) }
+        Usf {
+            inner: Arc::new(UsfInner {
+                nosv,
+                cache,
+                config,
+            }),
+        }
     }
 
     /// Create an instance from the `USF_*` environment variables; `None` when `USF_ENABLE`
@@ -140,7 +149,11 @@ impl Usf {
     pub fn process(&self, name: impl Into<String>) -> ProcessHandle {
         let name = name.into();
         let pid = self.inner.nosv.register_process(name.clone());
-        ProcessHandle { inner: Arc::clone(&self.inner), pid, name }
+        ProcessHandle {
+            inner: Arc::clone(&self.inner),
+            pid,
+            name,
+        }
     }
 
     /// The underlying nOS-V instance (advanced use).
@@ -187,7 +200,10 @@ pub struct ProcessHandle {
 
 impl std::fmt::Debug for ProcessHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProcessHandle").field("pid", &self.pid).field("name", &self.name).finish()
+        f.debug_struct("ProcessHandle")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -204,7 +220,9 @@ impl ProcessHandle {
 
     /// The owning instance.
     pub fn usf(&self) -> Usf {
-        Usf { inner: Arc::clone(&self.inner) }
+        Usf {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Spawn a cooperative thread in this process domain (the `pthread_create` analog): the
@@ -224,7 +242,13 @@ impl ProcessHandle {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        spawn_on(&self.inner.nosv, &self.inner.cache, self.pid, Some(name.into()), f)
+        spawn_on(
+            &self.inner.nosv,
+            &self.inner.cache,
+            self.pid,
+            Some(name.into()),
+            f,
+        )
     }
 
     /// Attach the *calling* thread to this process domain (the main thread of a process in
@@ -237,7 +261,9 @@ impl ProcessHandle {
             nosv: self.inner.nosv.clone(),
             process: self.pid,
         });
-        AttachGuard { handle: Some(handle) }
+        AttachGuard {
+            handle: Some(handle),
+        }
     }
 
     /// Deregister the process domain from the scheduler's quantum rotation. Live threads of
@@ -276,7 +302,11 @@ mod tests {
 
     #[test]
     fn builder_configures_instance() {
-        let usf = Usf::builder().cores(3).numa_nodes(1).cache_capacity(4).build();
+        let usf = Usf::builder()
+            .cores(3)
+            .numa_nodes(1)
+            .cache_capacity(4)
+            .build();
         assert_eq!(usf.topology().num_cores(), 3);
         assert_eq!(usf.config().thread_cache_capacity, 4);
         usf.shutdown();
@@ -331,7 +361,11 @@ mod tests {
         let a = Usf::connect("usf-runtime-shared-test", UsfConfig::with_cores(5));
         let b = Usf::connect("usf-runtime-shared-test", UsfConfig::with_cores(9));
         assert_eq!(a.topology().num_cores(), 5);
-        assert_eq!(b.topology().num_cores(), 5, "second connect joins the existing instance");
+        assert_eq!(
+            b.topology().num_cores(),
+            5,
+            "second connect joins the existing instance"
+        );
         usf_nosv::NosvInstance::disconnect_name("usf-runtime-shared-test");
         a.shutdown();
     }
@@ -361,7 +395,10 @@ mod tests {
         }
         let stats = usf.thread_cache_stats();
         assert_eq!(stats.created + stats.reused, 5);
-        assert!(stats.reused >= 1, "sequential spawn/join must hit the cache: {stats:?}");
+        assert!(
+            stats.reused >= 1,
+            "sequential spawn/join must hit the cache: {stats:?}"
+        );
         usf.shutdown();
     }
 

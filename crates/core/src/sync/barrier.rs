@@ -47,7 +47,10 @@ impl Barrier {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
-        Barrier { n, state: RawMutex::new(BarrierState::default()) }
+        Barrier {
+            n,
+            state: RawMutex::new(BarrierState::default()),
+        }
     }
 
     /// Number of participants.
@@ -86,7 +89,9 @@ impl Barrier {
 
 impl std::fmt::Debug for Barrier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Barrier").field("participants", &self.n).finish()
+        f.debug_struct("Barrier")
+            .field("participants", &self.n)
+            .finish()
     }
 }
 
@@ -258,7 +263,10 @@ mod tests {
                 p.spawn(move || b.wait().is_leader())
             })
             .collect();
-        let leaders: usize = handles.into_iter().map(|h| usize::from(h.join().unwrap())).sum();
+        let leaders: usize = handles
+            .into_iter()
+            .map(|h| usize::from(h.join().unwrap()))
+            .sum();
         assert_eq!(leaders, 1);
         usf.shutdown();
     }
@@ -279,7 +287,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(b.total_spins() > 0, "staggered arrivals must cause some spinning");
+        assert!(
+            b.total_spins() > 0,
+            "staggered arrivals must cause some spinning"
+        );
     }
 
     #[test]
@@ -328,7 +339,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(b.total_yields() > 0, "the waiter must have yielded its core");
+        assert!(
+            b.total_yields() > 0,
+            "the waiter must have yielded its core"
+        );
         usf.shutdown();
     }
 }

@@ -85,7 +85,12 @@ fn make_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
             recv_waiters: VecDeque::new(),
         }),
     });
-    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
 }
 
 /// Sending half of a channel. Cloneable (MPMC).
@@ -101,14 +106,18 @@ pub struct Receiver<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().senders += 1;
-        Sender { chan: Arc::clone(&self.chan) }
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().receivers += 1;
-        Receiver { chan: Arc::clone(&self.chan) }
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
     }
 }
 
@@ -319,7 +328,9 @@ impl<T> std::fmt::Debug for Sender<T> {
 
 impl<T> std::fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Receiver").field("len", &self.len()).finish()
+        f.debug_struct("Receiver")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -370,7 +381,10 @@ mod tests {
     fn recv_timeout_expires() {
         let (tx, rx) = unbounded::<i32>();
         let start = Instant::now();
-        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Err(TryRecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(TryRecvError::Empty)
+        );
         assert!(start.elapsed() >= Duration::from_millis(15));
         tx.send(9).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
@@ -404,9 +418,14 @@ mod tests {
         for p in producers {
             p.join().unwrap();
         }
-        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
         all.sort_unstable();
-        let mut expected: Vec<u32> = (0..3u32).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        let mut expected: Vec<u32> = (0..3u32)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }

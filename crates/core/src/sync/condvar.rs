@@ -74,7 +74,12 @@ impl Condvar {
                 true
             }
         };
-        (mutex.lock(), WaitTimeoutResult { timed_out: !signalled })
+        (
+            mutex.lock(),
+            WaitTimeoutResult {
+                timed_out: !signalled,
+            },
+        )
     }
 
     /// Wait until `condition` returns `false` (i.e. block *while* the condition holds).
@@ -139,7 +144,9 @@ impl Condvar {
 
 impl std::fmt::Debug for Condvar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Condvar").field("waiters", &self.waiter_count()).finish()
+        f.debug_struct("Condvar")
+            .field("waiters", &self.waiter_count())
+            .finish()
     }
 }
 
@@ -187,7 +194,11 @@ mod tests {
         let (_g, r) = cv.wait_timeout(g, Duration::from_millis(30));
         assert!(r.timed_out());
         assert!(start.elapsed() >= Duration::from_millis(25));
-        assert_eq!(cv.waiter_count(), 0, "timed-out waiter must not linger in the queue");
+        assert_eq!(
+            cv.waiter_count(),
+            0,
+            "timed-out waiter must not linger in the queue"
+        );
     }
 
     #[test]

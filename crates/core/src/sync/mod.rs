@@ -23,7 +23,9 @@ mod semaphore;
 mod wait_group;
 
 pub use barrier::{Barrier, BarrierWaitResult, BusyBarrier};
-pub use channel::{channel, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+pub use channel::{
+    channel, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError,
+};
 pub use condvar::Condvar;
 pub use mutex::{Mutex, MutexGuard};
 pub use once::Once;

@@ -36,7 +36,10 @@ unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 impl<T> Mutex<T> {
     /// Create a new unlocked mutex.
     pub fn new(value: T) -> Self {
-        Mutex { state: RawMutex::new(State::default()), data: UnsafeCell::new(value) }
+        Mutex {
+            state: RawMutex::new(State::default()),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Consume the mutex and return the protected value.
@@ -255,6 +258,11 @@ mod tests {
         let usf = Usf::builder().cores(2).build();
         let p = usf.process("mutex-test");
         let m = Arc::new(Mutex::new(0u64));
+        // Hold the lock while the workers start so at least one of them observes it
+        // contended and takes the cooperative block path, however the host machine
+        // schedules the startup (on a single-CPU host, 500 tiny iterations can otherwise
+        // finish within one OS timeslice and never contend).
+        let gate = m.lock();
         let handles: Vec<_> = (0..6)
             .map(|_| {
                 let m = Arc::clone(&m);
@@ -265,6 +273,8 @@ mod tests {
                 })
             })
             .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(gate);
         for h in handles {
             h.join().unwrap();
         }

@@ -25,7 +25,9 @@ impl Default for Once {
 impl Once {
     /// Create a new `Once` in the not-yet-run state.
     pub fn new() -> Self {
-        Once { state: RawMutex::new(State::New) }
+        Once {
+            state: RawMutex::new(State::New),
+        }
     }
 
     /// Whether the initialization has completed.
@@ -78,7 +80,9 @@ impl Once {
 
 impl std::fmt::Debug for Once {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Once").field("completed", &self.is_completed()).finish()
+        f.debug_struct("Once")
+            .field("completed", &self.is_completed())
+            .finish()
     }
 }
 

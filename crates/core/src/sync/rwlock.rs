@@ -35,7 +35,11 @@ impl<T> RwLock<T> {
     /// Create a new unlocked lock.
     pub fn new(value: T) -> Self {
         RwLock {
-            state: RawMutex::new(State { readers: 0, writer: false, queue: VecDeque::new() }),
+            state: RawMutex::new(State {
+                readers: 0,
+                writer: false,
+                queue: VecDeque::new(),
+            }),
             data: UnsafeCell::new(value),
         }
     }
@@ -269,7 +273,10 @@ mod tests {
         while l.state.lock().queue.is_empty() {
             std::thread::yield_now();
         }
-        assert!(l.try_read().is_none(), "FIFO: new readers queue behind a waiting writer");
+        assert!(
+            l.try_read().is_none(),
+            "FIFO: new readers queue behind a waiting writer"
+        );
         drop(r);
         writer.join().unwrap();
         assert_eq!(*l.read(), 1);

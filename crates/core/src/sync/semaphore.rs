@@ -23,7 +23,12 @@ pub struct Semaphore {
 impl Semaphore {
     /// Create a semaphore with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
-        Semaphore { state: RawMutex::new(State { permits, queue: VecDeque::new() }) }
+        Semaphore {
+            state: RawMutex::new(State {
+                permits,
+                queue: VecDeque::new(),
+            }),
+        }
     }
 
     /// Currently available permits (diagnostic; racy by nature).

@@ -28,7 +28,12 @@ impl WaitGroup {
 
     /// Create a wait group with an initial counter.
     pub fn with_count(count: usize) -> Self {
-        WaitGroup { state: RawMutex::new(State { count, waiters: Vec::new() }) }
+        WaitGroup {
+            state: RawMutex::new(State {
+                count,
+                waiters: Vec::new(),
+            }),
+        }
     }
 
     /// Add `n` outstanding items.
@@ -107,7 +112,9 @@ impl WaitGroup {
 
 impl std::fmt::Debug for WaitGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WaitGroup").field("count", &self.count()).finish()
+        f.debug_struct("WaitGroup")
+            .field("count", &self.count())
+            .finish()
     }
 }
 

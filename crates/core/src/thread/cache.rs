@@ -31,7 +31,10 @@ struct Mailbox {
 
 impl Mailbox {
     fn new() -> Arc<Self> {
-        Arc::new(Mailbox { slot: Mutex::new(Slot::Idle), cv: Condvar::new() })
+        Arc::new(Mailbox {
+            slot: Mutex::new(Slot::Idle),
+            cv: Condvar::new(),
+        })
     }
 
     fn deliver(&self, s: Slot) {
@@ -75,7 +78,10 @@ pub struct ThreadCache {
 impl std::fmt::Debug for ThreadCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
-        f.debug_struct("ThreadCache").field("capacity", &self.capacity).field("stats", &stats).finish()
+        f.debug_struct("ThreadCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
     }
 }
 
@@ -130,11 +136,17 @@ impl ThreadCache {
     /// Worker side: park in the cache and serve further jobs until terminated or evicted.
     fn worker_loop(self: &Arc<Self>, mailbox: Arc<Mailbox>) {
         loop {
-            if self.shutdown.load(Ordering::Acquire) {
-                return;
-            }
             {
+                // The shutdown check must happen under the same lock as the idle push:
+                // checked before taking the lock, a concurrent `request_shutdown` could
+                // drain `idle` between the check and the push, and this thread would
+                // park in a list nobody will ever deliver `Terminate` to (hanging the
+                // final join). `request_shutdown` sets the flag before draining, so
+                // whichever side takes the lock second sees the other's write.
                 let mut idle = self.idle.lock();
+                if self.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
                 if idle.len() >= self.capacity {
                     // Cache full (or caching disabled): this thread really exits.
                     return;
@@ -182,16 +194,22 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..4 {
             let c = Arc::clone(&counter);
-            cache.dispatch(None, Box::new(move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            }));
+            cache.dispatch(
+                None,
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
             // Serialize so the previous thread has time to park before the next dispatch.
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(counter.load(Ordering::SeqCst), 4);
         let stats = cache.stats();
         assert_eq!(stats.created + stats.reused, 4);
-        assert!(stats.reused >= 1, "sequential spawns should reuse cached threads: {stats:?}");
+        assert!(
+            stats.reused >= 1,
+            "sequential spawns should reuse cached threads: {stats:?}"
+        );
         cache.shutdown();
     }
 
@@ -201,9 +219,12 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..3 {
             let c = Arc::clone(&counter);
-            cache.dispatch(None, Box::new(move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            }));
+            cache.dispatch(
+                None,
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
         cache.shutdown();
@@ -220,7 +241,8 @@ mod tests {
         cache.dispatch(
             Some("usf-worker-x".to_string()),
             Box::new(move || {
-                tx.send(std::thread::current().name().map(str::to_owned)).unwrap();
+                tx.send(std::thread::current().name().map(str::to_owned))
+                    .unwrap();
             }),
         );
         assert_eq!(rx.recv().unwrap().as_deref(), Some("usf-worker-x"));
@@ -249,9 +271,12 @@ mod tests {
             outer.push(std::thread::spawn(move || {
                 for _ in 0..16 {
                     let c = Arc::clone(&counter);
-                    cache.dispatch(None, Box::new(move || {
-                        c.fetch_add(1, Ordering::SeqCst);
-                    }));
+                    cache.dispatch(
+                        None,
+                        Box::new(move || {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        }),
+                    );
                 }
             }));
         }

@@ -39,7 +39,9 @@ pub struct JoinHandle<T> {
 
 impl<T> std::fmt::Debug for JoinHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JoinHandle").field("finished", &self.is_finished()).finish()
+        f.debug_struct("JoinHandle")
+            .field("finished", &self.is_finished())
+            .finish()
     }
 }
 
@@ -107,7 +109,11 @@ where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    let packet = Arc::new(Packet::<T> { result: Mutex::new(None), done: Event::new(), task: Mutex::new(None) });
+    let packet = Arc::new(Packet::<T> {
+        result: Mutex::new(None),
+        done: Event::new(),
+        task: Mutex::new(None),
+    });
     let packet2 = Arc::clone(&packet);
     let nosv = nosv.clone();
     let label = name.clone();
@@ -116,7 +122,11 @@ where
         // scheduler grants it a core (it can no longer run freely).
         let handle = nosv.attach(pid, label.as_deref());
         *packet2.task.lock() = Some(handle.task().clone());
-        set_current(CurrentCtx { task: handle.task().clone(), nosv: nosv.clone(), process: pid });
+        set_current(CurrentCtx {
+            task: handle.task().clone(),
+            nosv: nosv.clone(),
+            process: pid,
+        });
         let result = catch_unwind(AssertUnwindSafe(f));
         clear_current();
         handle.detach();
@@ -174,7 +184,9 @@ mod tests {
     fn oversubscribed_spawns_all_complete() {
         // 1 virtual core, 8 threads: they must run one at a time and all complete.
         let (nosv, cache, pid) = setup(1);
-        let handles: Vec<_> = (0..8).map(|i| spawn_on(&nosv, &cache, pid, None, move || i)).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|i| spawn_on(&nosv, &cache, pid, None, move || i))
+            .collect();
         let sum: i32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(sum, (0..8).sum());
         // The scheduler saw 8 attaches/detaches and never ran two at once.

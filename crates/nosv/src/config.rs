@@ -6,6 +6,9 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Factory building a [`Policy`] from the instance configuration.
+pub type PolicyFactory = Arc<dyn Fn(&NosvConfig) -> Box<dyn Policy> + Send + Sync>;
+
 /// Which scheduling policy a [`crate::scheduler::Scheduler`] should install.
 #[derive(Clone)]
 pub enum PolicyKind {
@@ -16,7 +19,7 @@ pub enum PolicyKind {
     /// locality-aware design and as an example of a user-defined policy.
     Fifo,
     /// A user-supplied policy factory (USF is a *framework*: ad-hoc policies are the point).
-    Custom(Arc<dyn Fn(&NosvConfig) -> Box<dyn Policy> + Send + Sync>),
+    Custom(PolicyFactory),
 }
 
 impl fmt::Debug for PolicyKind {
@@ -33,7 +36,10 @@ impl PolicyKind {
     /// Instantiate the policy object for this kind.
     pub fn build(&self, config: &NosvConfig) -> Box<dyn Policy> {
         match self {
-            PolicyKind::Coop => Box::new(CoopPolicy::new(config.topology.clone(), config.process_quantum)),
+            PolicyKind::Coop => Box::new(CoopPolicy::new(
+                config.topology.clone(),
+                config.process_quantum,
+            )),
             PolicyKind::Fifo => Box::new(FifoPolicy::new()),
             PolicyKind::Custom(factory) => factory(config),
         }

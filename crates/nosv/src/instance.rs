@@ -30,7 +30,9 @@ pub struct NosvInstance {
 impl NosvInstance {
     /// Create a new private scheduler instance.
     pub fn new(config: NosvConfig) -> Self {
-        NosvInstance { sched: Arc::new(Scheduler::new(config)) }
+        NosvInstance {
+            sched: Arc::new(Scheduler::new(config)),
+        }
     }
 
     /// Connect to the named instance, creating it with `config` if it does not exist yet.
@@ -85,14 +87,20 @@ impl NosvInstance {
             .create_task(process, label.map(str::to_owned))
             .expect("attach: process must be registered and scheduler running");
         self.sched.attach(&task);
-        TaskHandle { task, sched: Arc::clone(&self.sched) }
+        TaskHandle {
+            task,
+            sched: Arc::clone(&self.sched),
+        }
     }
 
     /// Fallible variant of [`NosvInstance::attach`].
     pub fn try_attach(&self, process: ProcessId, label: Option<&str>) -> Result<TaskHandle> {
         let task = self.sched.create_task(process, label.map(str::to_owned))?;
         self.sched.attach(&task);
-        Ok(TaskHandle { task, sched: Arc::clone(&self.sched) })
+        Ok(TaskHandle {
+            task,
+            sched: Arc::clone(&self.sched),
+        })
     }
 
     /// Make a (blocked or new) task ready. This is `nosv_submit` and is what unblocking
@@ -297,9 +305,7 @@ mod tests {
 
     #[test]
     fn multi_process_quantum_rotation_happens() {
-        let inst = NosvInstance::new(
-            NosvConfig::with_cores(1).quantum(Duration::from_millis(1)),
-        );
+        let inst = NosvInstance::new(NosvConfig::with_cores(1).quantum(Duration::from_millis(1)));
         let pa = inst.register_process("a");
         let pb = inst.register_process("b");
         let mut joins = Vec::new();
@@ -317,6 +323,9 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        assert!(inst.scheduler().policy_rotations() >= 1, "quantum should have rotated between processes");
+        assert!(
+            inst.scheduler().policy_rotations() >= 1,
+            "quantum should have rotated between processes"
+        );
     }
 }

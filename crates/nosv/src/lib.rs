@@ -3,7 +3,7 @@
 //! summarised in §2.3 of the USF paper).
 //!
 //! The crate provides the *mechanism* layer that the USF framework (crate
-//! [`usf-core`]) turns into a seamless scheduler:
+//! `usf-core`) turns into a seamless scheduler:
 //!
 //! * **Tasks** ([`task::Task`]) — the schedulable entity. In the USF use case every
 //!   application thread is permanently bound to exactly one task (which is what keeps

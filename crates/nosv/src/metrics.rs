@@ -155,7 +155,14 @@ mod tests {
 
     #[test]
     fn scheduling_points_sums_voluntary_events() {
-        let s = MetricsSnapshot { pauses: 2, yields: 3, yields_noop: 1, waitfors: 4, detaches: 5, ..Default::default() };
+        let s = MetricsSnapshot {
+            pauses: 2,
+            yields: 3,
+            yields_noop: 1,
+            waitfors: 4,
+            detaches: 5,
+            ..Default::default()
+        };
         assert_eq!(s.scheduling_points(), 15);
     }
 }

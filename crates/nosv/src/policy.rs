@@ -68,7 +68,11 @@ pub enum PlacementKind {
 }
 
 /// Classify a placement for metric purposes.
-pub fn classify_placement(topo: &Topology, preferred: Option<CoreId>, granted: CoreId) -> PlacementKind {
+pub fn classify_placement(
+    topo: &Topology,
+    preferred: Option<CoreId>,
+    granted: CoreId,
+) -> PlacementKind {
     match preferred {
         Some(p) if p == granted => PlacementKind::Affinity,
         Some(p) if topo.same_node(p, granted) => PlacementKind::Numa,
@@ -80,57 +84,160 @@ pub fn classify_placement(topo: &Topology, preferred: Option<CoreId>, granted: C
 // SCHED_COOP
 // ---------------------------------------------------------------------------------------
 
+/// One queued task: its metadata, a monotonically increasing enqueue sequence number
+/// (total FIFO order), and the enqueue time (drives the anti-starvation aging valve).
+#[derive(Debug)]
+struct QueueEntry {
+    meta: TaskMeta,
+    seq: u64,
+    at: Instant,
+}
+
 /// Per-process ready queues used by [`CoopPolicy`].
 #[derive(Debug)]
 struct ProcQueues {
     /// One FIFO per core, indexed by preferred core.
-    per_core: Vec<VecDeque<TaskMeta>>,
+    per_core: Vec<VecDeque<QueueEntry>>,
     /// Tasks without a recorded preference.
-    unbound: VecDeque<TaskMeta>,
+    unbound: VecDeque<QueueEntry>,
     /// Total queued in this process.
     count: usize,
+    /// Next enqueue sequence number.
+    next_seq: u64,
+    /// Earliest time the anti-starvation valve needs to look at the queues again. Keeps
+    /// the valve off the hot path: between deadlines, `pop_for` is the plain tiered pick.
+    next_valve_at: Option<Instant>,
 }
 
 impl ProcQueues {
     fn new(cores: usize) -> Self {
-        ProcQueues { per_core: (0..cores).map(|_| VecDeque::new()).collect(), unbound: VecDeque::new(), count: 0 }
+        ProcQueues {
+            per_core: (0..cores).map(|_| VecDeque::new()).collect(),
+            unbound: VecDeque::new(),
+            count: 0,
+            next_seq: 0,
+            next_valve_at: None,
+        }
     }
 
-    fn push(&mut self, task: TaskMeta) {
+    fn push(&mut self, task: TaskMeta, now: Instant) {
+        let entry = QueueEntry {
+            meta: task,
+            seq: self.next_seq,
+            at: now,
+        };
+        self.next_seq += 1;
         match task.preferred_core {
-            Some(c) => self.per_core[c].push_back(task),
-            None => self.unbound.push_back(task),
+            Some(c) => self.per_core[c].push_back(entry),
+            None => self.unbound.push_back(entry),
         }
         self.count += 1;
     }
 
-    /// Pop honouring affinity → same NUMA node → any other core queue → unbound.
-    fn pop_for(&mut self, topo: &Topology, core: CoreId) -> Option<TaskMeta> {
-        if let Some(t) = self.per_core[core].pop_front() {
-            self.count -= 1;
+    /// Head of the queue holding the oldest entry (by enqueue order) across every queue.
+    /// `Some(c)` identifies a per-core queue, `None` the unbound queue.
+    fn oldest_head(&self) -> Option<(u64, Instant, Option<CoreId>)> {
+        let mut best: Option<(u64, Instant, Option<CoreId>)> = None;
+        for (c, q) in self.per_core.iter().enumerate() {
+            if let Some(e) = q.front() {
+                if best.map_or(true, |(s, _, _)| e.seq < s) {
+                    best = Some((e.seq, e.at, Some(c)));
+                }
+            }
+        }
+        if let Some(e) = self.unbound.front() {
+            if best.map_or(true, |(s, _, _)| e.seq < s) {
+                best = Some((e.seq, e.at, None));
+            }
+        }
+        best
+    }
+
+    fn pop_from(&mut self, source: Option<CoreId>) -> TaskMeta {
+        let queue = match source {
+            Some(c) => &mut self.per_core[c],
+            None => &mut self.unbound,
+        };
+        let entry = queue.pop_front().expect("candidate queue has a head");
+        self.count -= 1;
+        entry.meta
+    }
+
+    /// The anti-starvation valve: at most once per `aging` window, serve the oldest
+    /// queued entry regardless of placement if it has waited longer than `aging`. Every
+    /// pop path must consult this first so no pick can bypass the liveness guarantee.
+    fn pop_aged(&mut self, now: Instant, aging: Duration) -> Option<TaskMeta> {
+        if self.next_valve_at.map_or(true, |t| now >= t) {
+            match self.oldest_head() {
+                Some((_, at, source)) => {
+                    if now.saturating_duration_since(at) >= aging {
+                        self.next_valve_at = Some(now + aging);
+                        return Some(self.pop_from(source));
+                    }
+                    // Nothing aged yet: the current oldest entry is the first that can
+                    // age (later entries age strictly later).
+                    self.next_valve_at = Some(at + aging);
+                }
+                None => self.next_valve_at = Some(now + aging),
+            }
+        }
+        None
+    }
+
+    /// Pop honouring affinity → same NUMA node / unbound (oldest head first) → remote,
+    /// with an anti-starvation valve in front: at most once per `aging` period, the
+    /// oldest queued entry anywhere is served regardless of placement if it has waited
+    /// longer than `aging`.
+    ///
+    /// Without the valve the policy is not starvation-free: tasks that have never been
+    /// granted a core sit in `unbound` (or a remote queue) and can wait forever while
+    /// woken tasks re-queue to their last core ahead of them. The valve is rate-limited
+    /// (one aged grant per `aging` window, tracked by `next_valve_at`) so that under
+    /// sustained oversubscription — where *every* entry is older than one quantum — the
+    /// policy stays affinity-first instead of degrading into a global FIFO; liveness
+    /// only needs the oldest entry to be served eventually, with bounded delay. The
+    /// deadline check also keeps the O(cores) oldest-head scan off the common path.
+    fn pop_for(
+        &mut self,
+        topo: &Topology,
+        core: CoreId,
+        now: Instant,
+        aging: Duration,
+    ) -> Option<TaskMeta> {
+        if let Some(t) = self.pop_aged(now, aging) {
             return Some(t);
         }
+        if self.per_core[core].front().is_some() {
+            return Some(self.pop_from(Some(core)));
+        }
         let node = topo.node_of(core);
+        // Same-node queues and the unbound queue compete by enqueue order; `None` marks
+        // the unbound queue.
+        let mut best: Option<(u64, Option<CoreId>)> = None;
         for c in topo.cores_in_node(node) {
             if c == core {
                 continue;
             }
-            if let Some(t) = self.per_core[c].pop_front() {
-                self.count -= 1;
-                return Some(t);
+            if let Some(e) = self.per_core[c].front() {
+                if best.map_or(true, |(s, _)| e.seq < s) {
+                    best = Some((e.seq, Some(c)));
+                }
             }
         }
-        if let Some(t) = self.unbound.pop_front() {
-            self.count -= 1;
-            return Some(t);
+        if let Some(e) = self.unbound.front() {
+            if best.map_or(true, |(s, _)| e.seq < s) {
+                best = Some((e.seq, None));
+            }
+        }
+        if let Some((_, source)) = best {
+            return Some(self.pop_from(source));
         }
         for c in topo.cores() {
             if topo.node_of(c) == node {
                 continue;
             }
-            if let Some(t) = self.per_core[c].pop_front() {
-                self.count -= 1;
-                return Some(t);
+            if self.per_core[c].front().is_some() {
+                return Some(self.pop_from(Some(c)));
             }
         }
         None
@@ -140,8 +247,11 @@ impl ProcQueues {
 /// The paper's SCHED_COOP ready-queue policy (§4.1).
 ///
 /// * Ready tasks are queued FIFO per process and per preferred core.
-/// * An idle core is first offered tasks that last ran on it, then tasks from its NUMA node,
-///   then unbound tasks, then anything else in the current process.
+/// * An idle core is first offered tasks that last ran on it, then — oldest enqueued first —
+///   tasks from its NUMA node or unbound tasks, then anything else in the current process.
+///   The FIFO aging between node-local and unbound queues keeps the policy
+///   starvation-free: never-granted tasks must not wait forever behind yielding tasks
+///   that re-queue to their last core (the oversubscribed busy-wait-barrier pattern).
 /// * Each process is served for a quantum (default 20 ms); the quantum is evaluated only at
 ///   scheduling points (i.e. inside [`Policy::pick`]), never by interrupting a running task.
 #[derive(Debug)]
@@ -228,7 +338,7 @@ impl Policy for CoopPolicy {
         }
     }
 
-    fn enqueue(&mut self, _topo: &Topology, task: TaskMeta, _now: Instant) {
+    fn enqueue(&mut self, _topo: &Topology, task: TaskMeta, now: Instant) {
         let q = self
             .queues
             .entry(task.process)
@@ -236,7 +346,7 @@ impl Policy for CoopPolicy {
         if !self.order.contains(&task.process) {
             self.order.push(task.process);
         }
-        q.push(task);
+        q.push(task, now);
     }
 
     fn pick(&mut self, topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
@@ -252,7 +362,9 @@ impl Policy for CoopPolicy {
             let idx = (self.current + off) % len;
             let pid = self.order[idx];
             if let Some(q) = self.queues.get_mut(&pid) {
-                if let Some(t) = q.pop_for(topo, core) {
+                // Entries older than one quantum are served oldest-first regardless of
+                // placement (the starvation valve in ProcQueues::pop_for).
+                if let Some(t) = q.pop_for(topo, core, now, self.quantum) {
                     if off != 0 {
                         // We skipped ahead because the current process had nothing ready;
                         // its turn effectively passes to this process.
@@ -331,7 +443,11 @@ mod tests {
     use super::*;
 
     fn meta(id: TaskId, process: ProcessId, pref: Option<CoreId>) -> TaskMeta {
-        TaskMeta { id, process, preferred_core: pref }
+        TaskMeta {
+            id,
+            process,
+            preferred_core: pref,
+        }
     }
 
     #[test]
@@ -372,7 +488,7 @@ mod tests {
         let now = Instant::now();
         p.enqueue(&topo, meta(1, 0, Some(1)), now); // node 0
         p.enqueue(&topo, meta(2, 0, Some(3)), now); // node 1
-        // Core 0 (node 0) should steal from core 1 (same node) before core 3.
+                                                    // Core 0 (node 0) should steal from core 1 (same node) before core 3.
         assert_eq!(p.pick(&topo, 0, now).unwrap().id, 1);
         // Now only the remote task remains; core 0 still gets it (anywhere placement).
         assert_eq!(p.pick(&topo, 0, now).unwrap().id, 2);
@@ -431,12 +547,21 @@ mod tests {
         p.enqueue(&topo, meta(4, 1, None), t0);
         // Within the quantum, process 0 is served.
         assert_eq!(p.pick(&topo, 0, t0).unwrap().id, 1);
-        assert_eq!(p.pick(&topo, 0, t0 + Duration::from_millis(5)).unwrap().id, 3);
+        assert_eq!(
+            p.pick(&topo, 0, t0 + Duration::from_millis(5)).unwrap().id,
+            3
+        );
         // After the quantum expires, process 1 gets its turn.
-        assert_eq!(p.pick(&topo, 0, t0 + Duration::from_millis(15)).unwrap().id, 2);
+        assert_eq!(
+            p.pick(&topo, 0, t0 + Duration::from_millis(15)).unwrap().id,
+            2
+        );
         assert_eq!(p.current_process(), Some(1));
         // And process 1 keeps the core for its own quantum.
-        assert_eq!(p.pick(&topo, 0, t0 + Duration::from_millis(20)).unwrap().id, 4);
+        assert_eq!(
+            p.pick(&topo, 0, t0 + Duration::from_millis(20)).unwrap().id,
+            4
+        );
     }
 
     #[test]
@@ -457,7 +582,10 @@ mod tests {
     #[test]
     fn classify_placement_kinds() {
         let topo = Topology::new(4, 2);
-        assert_eq!(classify_placement(&topo, Some(1), 1), PlacementKind::Affinity);
+        assert_eq!(
+            classify_placement(&topo, Some(1), 1),
+            PlacementKind::Affinity
+        );
         assert_eq!(classify_placement(&topo, Some(0), 1), PlacementKind::Numa);
         assert_eq!(classify_placement(&topo, Some(0), 3), PlacementKind::Remote);
         assert_eq!(classify_placement(&topo, None, 2), PlacementKind::Remote);

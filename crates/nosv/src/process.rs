@@ -25,7 +25,12 @@ pub struct ProcessInfo {
 impl ProcessInfo {
     /// Create bookkeeping for a new process domain.
     pub fn new(id: ProcessId, name: impl Into<String>) -> Self {
-        ProcessInfo { id, name: name.into(), tasks_created: 0, tasks_live: 0 }
+        ProcessInfo {
+            id,
+            name: name.into(),
+            tasks_created: 0,
+            tasks_live: 0,
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The centralized multi-process scheduler (the "shared memory segment" of nOS-V).
 //!
 //! One [`Scheduler`] instance owns the virtual core slots and the installed [`Policy`]. All
-//! mutation happens under a single mutex ([`SchedState`]); per-task grant slots have their
+//! mutation happens under a single mutex (`SchedState`); per-task grant slots have their
 //! own lock so a worker can wait for a core without holding the scheduler lock.
 //!
 //! **Lock ordering**: the scheduler lock may acquire a task's grant lock (to deliver a
@@ -110,7 +110,12 @@ impl Scheduler {
 
     /// Number of cores currently running a task.
     pub fn busy_cores(&self) -> usize {
-        self.state.lock().cores.iter().filter(|c| matches!(c, CoreSlot::Busy(_))).count()
+        self.state
+            .lock()
+            .cores
+            .iter()
+            .filter(|c| matches!(c, CoreSlot::Busy(_)))
+            .count()
     }
 
     /// Number of live (registered, unfinished) tasks.
@@ -143,7 +148,11 @@ impl Scheduler {
     /// Names and ids of the registered process domains.
     pub fn processes(&self) -> Vec<(ProcessId, String)> {
         let st = self.state.lock();
-        let mut v: Vec<_> = st.processes.values().map(|p| (p.id, p.name.clone())).collect();
+        let mut v: Vec<_> = st
+            .processes
+            .values()
+            .map(|p| (p.id, p.name.clone()))
+            .collect();
         v.sort_by_key(|(id, _)| *id);
         v
     }
@@ -322,7 +331,16 @@ impl Scheduler {
             g.queued = true;
             g.state = TaskState::Ready;
         }
-        let meta = TaskMeta { id: task.id(), process: task.process(), preferred_core: task.preferred_core() };
+        // A voluntary yield surrenders the affinity claim: requeueing with the last-ran
+        // core as preference would put the yielder in that core's queue, where
+        // affinity-first picking hands the core straight back to it (or a fellow
+        // yielder) ahead of older ready tasks — a yield storm between busy-wait barrier
+        // spinners would then starve every task that has never been granted a core.
+        let meta = TaskMeta {
+            id: task.id(),
+            process: task.process(),
+            preferred_core: None,
+        };
         st.policy.enqueue(&self.topo, meta, now);
         st.cores[core] = CoreSlot::Busy(next_task.id());
         self.grant(&next_task, core);
@@ -411,7 +429,11 @@ impl Scheduler {
                 self.grant(task, core);
             }
             None => {
-                let meta = TaskMeta { id: task.id(), process: task.process(), preferred_core: task.preferred_core() };
+                let meta = TaskMeta {
+                    id: task.id(),
+                    process: task.process(),
+                    preferred_core: task.preferred_core(),
+                };
                 st.policy.enqueue(&self.topo, meta, now);
             }
         }
@@ -480,7 +502,10 @@ mod tests {
     #[test]
     fn create_task_requires_known_process() {
         let s = sched(1);
-        assert!(matches!(s.create_task(99, None), Err(NosvError::UnknownProcess(99))));
+        assert!(matches!(
+            s.create_task(99, None),
+            Err(NosvError::UnknownProcess(99))
+        ));
         let p = s.register_process("p");
         assert!(s.create_task(p, None).is_ok());
     }
@@ -522,7 +547,10 @@ mod tests {
         for t in &tasks {
             s.submit(t);
         }
-        let running = tasks.iter().filter(|t| t.state() == TaskState::Running).count();
+        let running = tasks
+            .iter()
+            .filter(|t| t.state() == TaskState::Running)
+            .count();
         assert_eq!(running, 2);
         assert_eq!(s.ready_count(), 6);
         assert_eq!(s.busy_cores(), 2);
@@ -535,7 +563,7 @@ mod tests {
         let t = s.create_task(p, None).unwrap();
         s.submit(&t); // granted core 0
         s.submit(&t); // arrives "early" -> counted
-        // The pause must not block (it consumes the counted wake-up).
+                      // The pause must not block (it consumes the counted wake-up).
         s.pause(&t);
         assert_eq!(t.state(), TaskState::Running);
         let m = s.metrics().snapshot();
@@ -691,7 +719,11 @@ mod tests {
         }
         s.submit(&t);
         h.join().unwrap();
-        assert_eq!(t.current_core().unwrap(), first, "resubmit should honour the preferred core");
+        assert_eq!(
+            t.current_core().unwrap(),
+            first,
+            "resubmit should honour the preferred core"
+        );
         let m = s.metrics().snapshot();
         assert!(m.affinity_hits >= 1);
     }

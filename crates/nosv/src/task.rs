@@ -255,6 +255,9 @@ mod tests {
             g.released = true;
         }
         assert_eq!(t.wait_grant(), None);
-        assert_eq!(t.wait_grant_until(Instant::now() + Duration::from_millis(1)), Some(None));
+        assert_eq!(
+            t.wait_grant_until(Instant::now() + Duration::from_millis(1)),
+            Some(None)
+        );
     }
 }

@@ -29,7 +29,10 @@ impl Topology {
     pub fn new(cores: usize, numa_nodes: usize) -> Self {
         assert!(cores > 0, "topology needs at least one core");
         assert!(numa_nodes > 0, "topology needs at least one NUMA node");
-        assert!(numa_nodes <= cores, "cannot have more NUMA nodes than cores");
+        assert!(
+            numa_nodes <= cores,
+            "cannot have more NUMA nodes than cores"
+        );
         let base = cores / numa_nodes;
         let extra = cores % numa_nodes;
         let mut core_to_node = Vec::with_capacity(cores);
@@ -38,7 +41,11 @@ impl Topology {
             core_to_node.extend(std::iter::repeat(node).take(count));
         }
         debug_assert_eq!(core_to_node.len(), cores);
-        Topology { cores, numa_nodes, core_to_node }
+        Topology {
+            cores,
+            numa_nodes,
+            core_to_node,
+        }
     }
 
     /// A single-NUMA-node topology with `cores` cores.
@@ -49,7 +56,9 @@ impl Topology {
     /// Detect a topology from the host: `std::thread::available_parallelism` cores in one
     /// NUMA node. Used when the user does not specify a core count.
     pub fn detect() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Topology::single_node(cores)
     }
 

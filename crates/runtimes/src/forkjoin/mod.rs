@@ -4,7 +4,7 @@
 //! parallel region — like an OpenMP thread team). [`Team::parallel`] runs a closure on every
 //! team member; [`Team::parallel_for`] distributes an index range with a static, dynamic or
 //! guided [`LoopSchedule`]; [`RegionCtx::barrier`] is the team barrier. Idle workers wait
-//! for the next region according to the configured [`WaitPolicy`], which is exactly the
+//! for the next region according to the configured [`WaitPolicy`](crate::WaitPolicy), which is exactly the
 //! OMP_WAIT_POLICY discussion of §5.2: active waiting wastes the core that another
 //! oversubscribed runtime needs.
 

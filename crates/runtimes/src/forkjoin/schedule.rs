@@ -53,16 +53,29 @@ pub(crate) struct IterationDispenser {
 
 impl IterationDispenser {
     pub(crate) fn new(len: usize, nthreads: usize, schedule: LoopSchedule) -> Self {
-        IterationDispenser { len, nthreads: nthreads.max(1), schedule, next: AtomicUsize::new(0) }
+        IterationDispenser {
+            len,
+            nthreads: nthreads.max(1),
+            schedule,
+            next: AtomicUsize::new(0),
+        }
     }
 
     /// The chunks a given thread should execute, as an iterator of `(start, end)` pairs.
     /// Static schedules compute chunks locally; dynamic/guided schedules pull from the
     /// shared counter, so this must be called repeatedly (returns `None` when exhausted).
-    pub(crate) fn next_chunk(&self, thread_num: usize, already_taken: usize) -> Option<(usize, usize)> {
+    pub(crate) fn next_chunk(
+        &self,
+        thread_num: usize,
+        already_taken: usize,
+    ) -> Option<(usize, usize)> {
         match self.schedule {
             LoopSchedule::Static { chunk } => {
-                let chunk = if chunk == 0 { self.len.div_ceil(self.nthreads).max(1) } else { chunk };
+                let chunk = if chunk == 0 {
+                    self.len.div_ceil(self.nthreads).max(1)
+                } else {
+                    chunk
+                };
                 // The k-th chunk of this thread is (thread_num + k * nthreads) * chunk.
                 let k = already_taken;
                 let idx = thread_num + k * self.nthreads;
@@ -88,10 +101,17 @@ impl IterationDispenser {
                         return None;
                     }
                     let remaining = self.len - current;
-                    let chunk = (remaining / (2 * self.nthreads)).max(min_chunk).min(remaining);
+                    let chunk = (remaining / (2 * self.nthreads))
+                        .max(min_chunk)
+                        .min(remaining);
                     if self
                         .next
-                        .compare_exchange(current, current + chunk, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(
+                            current,
+                            current + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                     {
                         return Some((current, current + chunk));
@@ -133,10 +153,20 @@ mod tests {
 
     #[test]
     fn static_schedule_covers_range_exactly() {
-        for (len, nt, chunk) in [(100, 4, 0), (100, 4, 7), (5, 8, 0), (5, 8, 2), (0, 3, 0), (64, 1, 16)] {
+        for (len, nt, chunk) in [
+            (100, 4, 0),
+            (100, 4, 7),
+            (5, 8, 0),
+            (5, 8, 2),
+            (0, 3, 0),
+            (64, 1, 16),
+        ] {
             let d = IterationDispenser::new(len, nt, LoopSchedule::Static { chunk });
             let chunks = collect_all(&d, nt);
-            assert!(covers_exactly(&chunks, len), "static len={len} nt={nt} chunk={chunk}");
+            assert!(
+                covers_exactly(&chunks, len),
+                "static len={len} nt={nt} chunk={chunk}"
+            );
         }
     }
 
@@ -146,7 +176,10 @@ mod tests {
         for (len, nt, chunk) in [(100, 4, 3), (7, 2, 10), (0, 2, 1), (33, 5, 1)] {
             let d = IterationDispenser::new(len, nt, LoopSchedule::Dynamic { chunk });
             let chunks = collect_all(&d, nt);
-            assert!(covers_exactly(&chunks, len), "dynamic len={len} nt={nt} chunk={chunk}");
+            assert!(
+                covers_exactly(&chunks, len),
+                "dynamic len={len} nt={nt} chunk={chunk}"
+            );
         }
     }
 

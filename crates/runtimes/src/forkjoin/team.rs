@@ -26,7 +26,12 @@ pub struct TeamConfig {
 impl TeamConfig {
     /// A team of `num_threads` with the passive wait policy.
     pub fn new(num_threads: usize, exec: ExecMode) -> Self {
-        TeamConfig { num_threads, wait_policy: WaitPolicy::Passive, exec, name: "fj-team".to_string() }
+        TeamConfig {
+            num_threads,
+            wait_policy: WaitPolicy::Passive,
+            exec,
+            name: "fj-team".to_string(),
+        }
     }
 
     /// Set the wait policy.
@@ -123,9 +128,18 @@ impl Team {
             let shared = Arc::clone(&shared);
             let policy = config.wait_policy;
             let name = format!("{}-{i}", config.name);
-            workers.push(config.exec.spawn_named(name, move || worker_loop(shared, i, policy)));
+            workers.push(
+                config
+                    .exec
+                    .spawn_named(name, move || worker_loop(shared, i, policy)),
+            );
         }
-        Team { config, shared, workers, region_lock: Mutex::new(()) }
+        Team {
+            config,
+            shared,
+            workers,
+            region_lock: Mutex::new(()),
+        }
     }
 
     /// Convenience constructor with the default (passive) wait policy.
@@ -162,8 +176,12 @@ impl Team {
         // `done.done()`, and this function does not return (or drop `f`) until `done.wait()`
         // has observed every participant, so the pointee outlives every dereference.
         let f_borrow: &(dyn Fn(&RegionCtx<'_>) + Sync) = &f;
-        let f_erased: &'static (dyn Fn(&RegionCtx<'_>) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(&RegionCtx<'_>) + Sync), &'static (dyn Fn(&RegionCtx<'_>) + Sync)>(f_borrow) };
+        let f_erased: &'static (dyn Fn(&RegionCtx<'_>) + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(&RegionCtx<'_>) + Sync),
+                &'static (dyn Fn(&RegionCtx<'_>) + Sync),
+            >(f_borrow)
+        };
         let fptr = RegionFnPtr(f_erased as *const _);
         let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
         {
@@ -179,7 +197,11 @@ impl Team {
             self.shared.cv.notify_all();
         }
         // The master is thread 0 of the region.
-        let ctx = RegionCtx { thread_num: 0, num_threads: active, barrier: &barrier };
+        let ctx = RegionCtx {
+            thread_num: 0,
+            num_threads: active,
+            barrier: &barrier,
+        };
         f(&ctx);
         // Wait for the other participants; only then may `f` (on our stack) be dropped.
         done.wait();
@@ -262,7 +284,11 @@ fn worker_loop(shared: Arc<TeamShared>, index: usize, policy: WaitPolicy) {
         };
         seen = region.epoch;
         if index < region.active {
-            let ctx = RegionCtx { thread_num: index, num_threads: region.active, barrier: &region.barrier };
+            let ctx = RegionCtx {
+                thread_num: index,
+                num_threads: region.active,
+                barrier: &region.barrier,
+            };
             // Safety: see `RegionFnPtr` — the master does not return from `parallel` (and
             // therefore does not drop the closure) until we call `done.done()` below.
             unsafe { (&*region.f.0)(&ctx) };
@@ -401,7 +427,11 @@ mod tests {
             team.parallel_for(0..1000, schedule, |i| {
                 sum.fetch_add(i, Ordering::Relaxed);
             });
-            assert_eq!(sum.load(Ordering::Relaxed), (0..1000).sum::<usize>(), "schedule {schedule:?}");
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                (0..1000).sum::<usize>(),
+                "schedule {schedule:?}"
+            );
         }
     }
 

@@ -162,7 +162,11 @@ impl DepRegistry {
             if finished {
                 continue;
             }
-            self.tasks.get_mut(&p).expect("live predecessor must exist").succs.push(id);
+            self.tasks
+                .get_mut(&p)
+                .expect("live predecessor must exist")
+                .succs
+                .push(id);
             live_preds += 1;
             self.stats.edges_created += 1;
         }

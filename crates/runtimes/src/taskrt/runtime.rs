@@ -93,7 +93,11 @@ impl TaskRuntime {
     pub fn new(config: TaskRuntimeConfig) -> Self {
         let (ready_tx, ready_rx) = unbounded::<WorkItem>();
         let shared = Arc::new(RtShared {
-            state: Mutex::new(RtState { deps: DepRegistry::new(), waiting_jobs: HashMap::new(), next_id: 1 }),
+            state: Mutex::new(RtState {
+                deps: DepRegistry::new(),
+                waiting_jobs: HashMap::new(),
+                next_id: 1,
+            }),
             ready_tx,
             pending: WaitGroup::new(),
             submitted: AtomicU64::new(0),
@@ -105,9 +109,17 @@ impl TaskRuntime {
             let shared = Arc::clone(&shared);
             let rx = ready_rx.clone();
             let name = format!("{}-{i}", config.name);
-            workers.push(config.exec.spawn_named(name, move || worker_loop(shared, rx)));
+            workers.push(
+                config
+                    .exec
+                    .spawn_named(name, move || worker_loop(shared, rx)),
+            );
         }
-        TaskRuntime { shared, workers, config }
+        TaskRuntime {
+            shared,
+            workers,
+            config,
+        }
     }
 
     /// Convenience constructor.
@@ -277,7 +289,11 @@ mod tests {
             });
         }
         rt.taskwait();
-        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>(), "inout chain must serialize in submission order");
+        assert_eq!(
+            *log.lock(),
+            (0..10).collect::<Vec<_>>(),
+            "inout chain must serialize in submission order"
+        );
     }
 
     #[test]
@@ -294,7 +310,9 @@ mod tests {
         for _ in 0..6 {
             let v = Arc::clone(&value);
             let o = Arc::clone(&observed);
-            rt.submit(TaskDeps::none().input(key), move || o.lock().push(*v.lock()));
+            rt.submit(TaskDeps::none().input(key), move || {
+                o.lock().push(*v.lock())
+            });
         }
         {
             let v = Arc::clone(&value);
@@ -303,7 +321,10 @@ mod tests {
         rt.taskwait();
         let obs = observed.lock().clone();
         assert_eq!(obs.len(), 6);
-        assert!(obs.iter().all(|&x| x == 7), "readers must observe the first writer and precede the second: {obs:?}");
+        assert!(
+            obs.iter().all(|&x| x == 7),
+            "readers must observe the first writer and precede the second: {obs:?}"
+        );
         assert_eq!(*value.lock(), 9);
     }
 
@@ -351,9 +372,12 @@ mod tests {
                 });
             }
             let c = Arc::clone(&count);
-            rt.submit(TaskDeps::none().input(left).input(right).inout(top), move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            });
+            rt.submit(
+                TaskDeps::none().input(left).input(right).inout(top),
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                },
+            );
         }
         rt.taskwait();
         assert_eq!(count.load(Ordering::SeqCst), 8 * 4);

@@ -7,8 +7,8 @@
 //! thread cache (§4.3.1) absorbs most of it — which is exactly why the "pth" rows of Table 2
 //! show the largest SCHED_COOP speedups.
 
-use usf_core::exec::ExecMode;
 use std::sync::atomic::{AtomicU64, Ordering};
+use usf_core::exec::ExecMode;
 
 /// A pool that spawns `n` threads per call and joins them before returning.
 #[derive(Debug, Clone)]
@@ -58,9 +58,13 @@ impl TransientPool {
         // join every handle before returning, so erasing the lifetime is sound (same
         // discipline as `Team::parallel`).
         let f_ref: &(dyn Fn(usize) + Send + Sync) = &f;
-        let f_static: &'static (dyn Fn(usize) + Send + Sync) = unsafe { std::mem::transmute(f_ref) };
+        let f_static: &'static (dyn Fn(usize) + Send + Sync) =
+            unsafe { std::mem::transmute(f_ref) };
         let handles: Vec<_> = (0..n)
-            .map(|i| self.exec.spawn_named(format!("transient-{i}"), move || f_static(i)))
+            .map(|i| {
+                self.exec
+                    .spawn_named(format!("transient-{i}"), move || f_static(i))
+            })
             .collect();
         for h in handles {
             h.join().expect("transient pool worker panicked");

@@ -8,10 +8,11 @@
 use std::time::Duration;
 
 /// How idle runtime workers wait for work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WaitPolicy {
     /// Block immediately on the runtime's condition variable ("passive"). This is the
     /// setting the paper uses for every oversubscribed experiment.
+    #[default]
     Passive,
     /// Busy-wait, optionally yielding every `yield_every` spin iterations ("active").
     Active {
@@ -35,7 +36,9 @@ impl WaitPolicy {
 
     /// An active policy that yields every 64 iterations (a busy-wait barrier "with the fix").
     pub fn active_yielding() -> Self {
-        WaitPolicy::Active { yield_every: Some(64) }
+        WaitPolicy::Active {
+            yield_every: Some(64),
+        }
     }
 
     /// An active policy that never yields (the "Original" pathological configuration).
@@ -45,23 +48,22 @@ impl WaitPolicy {
 
     /// The common hybrid default: spin ~100 µs, then block.
     pub fn hybrid_default() -> Self {
-        WaitPolicy::Hybrid { spin: Duration::from_micros(100), yield_every: Some(64) }
+        WaitPolicy::Hybrid {
+            spin: Duration::from_micros(100),
+            yield_every: Some(64),
+        }
     }
 
     /// Short label for benchmark tables.
     pub fn label(&self) -> &'static str {
         match self {
             WaitPolicy::Passive => "passive",
-            WaitPolicy::Active { yield_every: Some(_) } => "active+yield",
+            WaitPolicy::Active {
+                yield_every: Some(_),
+            } => "active+yield",
             WaitPolicy::Active { yield_every: None } => "active",
             WaitPolicy::Hybrid { .. } => "hybrid",
         }
-    }
-}
-
-impl Default for WaitPolicy {
-    fn default() -> Self {
-        WaitPolicy::Passive
     }
 }
 

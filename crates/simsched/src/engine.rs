@@ -2,7 +2,7 @@
 //!
 //! The engine owns the simulated cores, threads and synchronization objects and advances
 //! virtual time event by event. Scheduling decisions are delegated to a
-//! [`SimPolicy`](crate::sched::SimPolicy); everything else — op execution, blocking,
+//! [`crate::sched::SimPolicy`]; everything else — op execution, blocking,
 //! barriers, busy-waiting, bandwidth contention, accounting — is handled here so that the
 //! fair, cooperative and partitioned policies are compared on exactly the same mechanics.
 
@@ -159,7 +159,8 @@ impl Engine {
     /// Register a process with a scheduling weight (1.0 = nice 0).
     pub fn add_process(&mut self, name: impl Into<String>, weight: f64) -> ProcessId {
         let id = self.processes.len();
-        self.processes.push(ProcessDesc::new(id, name).weight(weight));
+        self.processes
+            .push(ProcessDesc::new(id, name).weight(weight));
         id
     }
 
@@ -169,10 +170,16 @@ impl Engine {
     }
 
     /// Add a thread arriving at `arrival`.
-    pub fn add_thread_at(&mut self, process: ProcessId, program: ProgramRef, arrival: SimTime) -> ThreadId {
+    pub fn add_thread_at(
+        &mut self,
+        process: ProcessId,
+        program: ProgramRef,
+        arrival: SimTime,
+    ) -> ThreadId {
         assert!(process < self.processes.len(), "unknown process {process}");
         let id = self.threads.len();
-        self.threads.push(SimThread::new(id, process, program, arrival));
+        self.threads
+            .push(SimThread::new(id, process, program, arrival));
         self.op_seq.push(0);
         self.run_seq.push(0);
         self.locks_held.push(0);
@@ -200,7 +207,11 @@ impl Engine {
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         self.event_counter += 1;
-        self.queue.push(QueuedEvent { time, seq: self.event_counter, kind });
+        self.queue.push(QueuedEvent {
+            time,
+            seq: self.event_counter,
+            kind,
+        });
     }
 
     // -------------------------------------------------------------------------------------
@@ -234,9 +245,17 @@ impl Engine {
     /// Recompute the bandwidth share factor after the set of computing threads changed, and
     /// reschedule the completion events of affected threads.
     fn bandwidth_changed(&mut self) {
-        let total_demand: f64 = self.computing.iter().map(|t| self.threads[*t].current_bw).sum();
+        let total_demand: f64 = self
+            .computing
+            .iter()
+            .map(|t| self.threads[*t].current_bw)
+            .sum();
         let cap = self.machine.memory_bw_gbps;
-        let new_factor = if total_demand > cap && total_demand > 0.0 { cap / total_demand } else { 1.0 };
+        let new_factor = if total_demand > cap && total_demand > 0.0 {
+            cap / total_demand
+        } else {
+            1.0
+        };
         let consumed = total_demand.min(cap);
         if self
             .bw_trace
@@ -244,7 +263,10 @@ impl Engine {
             .map(|s| (s.gbps - consumed).abs() > 1e-9)
             .unwrap_or(true)
         {
-            self.bw_trace.push(BwSample { time: self.now, gbps: consumed });
+            self.bw_trace.push(BwSample {
+                time: self.now,
+                gbps: consumed,
+            });
         }
         let factor_changed = (new_factor - self.bw_factor).abs() > 1e-12;
         self.bw_factor = new_factor;
@@ -269,7 +291,13 @@ impl Engine {
         let remaining = self.threads[tid].remaining_work;
         let finish = self.now + remaining.scale(1.0 / factor);
         let seq = self.op_seq[tid];
-        self.push_event(finish, EventKind::OpComplete { thread: tid, op_seq: seq });
+        self.push_event(
+            finish,
+            EventKind::OpComplete {
+                thread: tid,
+                op_seq: seq,
+            },
+        );
     }
 
     // -------------------------------------------------------------------------------------
@@ -308,7 +336,12 @@ impl Engine {
         let t = &mut self.threads[tid];
         t.state = ThreadRunState::Ready;
         t.ready_since = self.now;
-        let ready = ReadyThread { id: tid, process: t.process, last_core: t.last_core, vruntime: t.vruntime };
+        let ready = ReadyThread {
+            id: tid,
+            process: t.process,
+            last_core: t.last_core,
+            vruntime: t.vruntime,
+        };
         self.policy.enqueue(ready, self.now);
     }
 
@@ -352,7 +385,16 @@ impl Engine {
         self.threads[tid].ready_since = self.now;
         let next = self.policy.pick(core, self.now);
         let t = &self.threads[tid];
-        let ready = ReadyThread { id: tid, process: t.process, last_core: t.last_core, vruntime: t.vruntime };
+        // A voluntary yield surrenders the affinity claim: requeueing with `last_core`
+        // set would put the yielder in its core's queue, where affinity-first picking
+        // hands the core back to it (or a fellow spinner) ahead of older ready threads —
+        // a yield storm between barrier spinners then starves everybody else.
+        let ready = ReadyThread {
+            id: tid,
+            process: t.process,
+            last_core: None,
+            vruntime: t.vruntime,
+        };
         self.policy.enqueue(ready, self.now);
         if let Some(next) = next {
             self.place(next, core);
@@ -390,16 +432,18 @@ impl Engine {
         }
     }
 
-    /// Dispatch ready threads onto every idle core. Two passes: first give every idle core a
-    /// thread that prefers it (affinity), then fill the remaining idle cores with anything
-    /// else (work conservation).
-    fn dispatch_idle_cores(&mut self) {
+    /// Dispatch ready threads onto every idle core, returning how many were placed. Two
+    /// passes: first give every idle core a thread that prefers it (affinity), then fill
+    /// the remaining idle cores with anything else (work conservation).
+    fn dispatch_idle_cores(&mut self) -> usize {
+        let mut placed = 0;
         for core in 0..self.cores.len() {
             if self.cores[core].is_some() {
                 continue;
             }
             if let Some(tid) = self.policy.pick_affine(core, self.now) {
                 self.place(tid, core);
+                placed += 1;
             }
         }
         for core in 0..self.cores.len() {
@@ -408,8 +452,10 @@ impl Engine {
             }
             if let Some(tid) = self.policy.pick(core, self.now) {
                 self.place(tid, core);
+                placed += 1;
             }
         }
+        placed
     }
 
     /// Put a ready thread on an idle core and continue its program.
@@ -450,7 +496,13 @@ impl Engine {
         // Arm the preemption quantum.
         if let Some(q) = self.policy.preemption_quantum() {
             let seq = self.run_seq[tid];
-            self.push_event(self.now + q, EventKind::Quantum { thread: tid, run_seq: seq });
+            self.push_event(
+                self.now + q,
+                EventKind::Quantum {
+                    thread: tid,
+                    run_seq: seq,
+                },
+            );
         }
         // Resume a preempted busy-waiter, or continue the program.
         if matches!(self.threads[tid].block_reason, BlockReason::BarrierSpin(_)) {
@@ -458,7 +510,13 @@ impl Engine {
             if let Some(BarrierWaitKind::SpinYield { slice }) = self.spin_kind[tid] {
                 self.op_seq[tid] += 1;
                 let seq = self.op_seq[tid];
-                self.push_event(self.now + slice, EventKind::SpinSlice { thread: tid, op_seq: seq });
+                self.push_event(
+                    self.now + slice,
+                    EventKind::SpinSlice {
+                        thread: tid,
+                        op_seq: seq,
+                    },
+                );
             }
             return;
         }
@@ -531,7 +589,11 @@ impl Engine {
                         self.make_ready(w);
                     }
                 }
-                Op::Barrier { id, participants, kind } => {
+                Op::Barrier {
+                    id,
+                    participants,
+                    kind,
+                } => {
                     self.threads[tid].pc += 1;
                     let (released, waiters) = {
                         let bar = self.barriers.entry(id).or_default();
@@ -567,7 +629,13 @@ impl Engine {
                                 self.set_spinning(tid, true);
                                 self.op_seq[tid] += 1;
                                 let seq = self.op_seq[tid];
-                                self.push_event(self.now + slice, EventKind::SpinSlice { thread: tid, op_seq: seq });
+                                self.push_event(
+                                    self.now + slice,
+                                    EventKind::SpinSlice {
+                                        thread: tid,
+                                        op_seq: seq,
+                                    },
+                                );
                                 return;
                             }
                         }
@@ -621,10 +689,15 @@ impl Engine {
                         return;
                     }
                 }
-                Op::Spawn { program, process, count } => {
+                Op::Spawn {
+                    program,
+                    process,
+                    count,
+                } => {
                     self.threads[tid].pc += 1;
                     for _ in 0..count {
-                        let child = self.add_thread_at(process, ProgramRef::clone(&program), self.now);
+                        let child =
+                            self.add_thread_at(process, ProgramRef::clone(&program), self.now);
                         self.threads[child].parent = Some(tid);
                         self.threads[tid].live_children += 1;
                     }
@@ -706,7 +779,13 @@ impl Engine {
                     self.preempt(thread);
                 } else if let Some(q) = self.policy.preemption_quantum() {
                     let seq = self.run_seq[thread];
-                    self.push_event(self.now + q, EventKind::Quantum { thread, run_seq: seq });
+                    self.push_event(
+                        self.now + q,
+                        EventKind::Quantum {
+                            thread,
+                            run_seq: seq,
+                        },
+                    );
                 }
             }
             EventKind::SleepDone { thread } => {
@@ -722,7 +801,10 @@ impl Engine {
                     return;
                 }
                 if !matches!(self.threads[thread].state, ThreadRunState::Running(_))
-                    || !matches!(self.threads[thread].block_reason, BlockReason::BarrierSpin(_))
+                    || !matches!(
+                        self.threads[thread].block_reason,
+                        BlockReason::BarrierSpin(_)
+                    )
                 {
                     return;
                 }
@@ -733,7 +815,13 @@ impl Engine {
                 } else if let Some(BarrierWaitKind::SpinYield { slice }) = self.spin_kind[thread] {
                     self.op_seq[thread] += 1;
                     let seq = self.op_seq[thread];
-                    self.push_event(self.now + slice, EventKind::SpinSlice { thread, op_seq: seq });
+                    self.push_event(
+                        self.now + slice,
+                        EventKind::SpinSlice {
+                            thread,
+                            op_seq: seq,
+                        },
+                    );
                 }
             }
         }
@@ -744,7 +832,18 @@ impl Engine {
         let processes = self.processes.clone();
         self.policy.init(&self.machine, &processes);
         loop {
-            let Some(ev) = self.queue.pop() else { break };
+            let Some(ev) = self.queue.pop() else {
+                // The timed-event queue drained, but placing ready threads can still make
+                // progress (a placement either schedules a new timed event or runs
+                // instant ops — barrier arrivals, joins — to completion). Without this,
+                // a policy with no periodic events (SCHED_COOP has no preemption
+                // quantum) ends the run spuriously whenever a release chain frees cores
+                // in the same step that emptied the queue, stranding Ready threads.
+                if self.dispatch_idle_cores() == 0 {
+                    break;
+                }
+                continue;
+            };
             if ev.time > self.max_sim_time {
                 self.deadlocked = true;
                 break;
@@ -780,6 +879,42 @@ impl Engine {
         let unfinished = self.threads.iter().any(|t| !t.is_finished());
         if unfinished {
             self.deadlocked = true;
+            if std::env::var_os("USF_SIM_DEBUG").is_some() {
+                let mut by_state: HashMap<String, usize> = HashMap::new();
+                for t in self.threads.iter().filter(|t| !t.is_finished()) {
+                    *by_state
+                        .entry(format!("{:?}/{:?}", t.state, t.block_reason))
+                        .or_insert(0) += 1;
+                }
+                eprintln!(
+                    "simsched deadlock at {:?}: ready_count={} idle_cores={} stuck={:?}",
+                    self.now,
+                    self.policy.ready_count(),
+                    self.cores.iter().filter(|c| c.is_none()).count(),
+                    by_state
+                );
+                let mut drained = Vec::new();
+                while let Some(t) = self.policy.pick(0, self.now) {
+                    drained.push(t);
+                    if drained.len() > 10_000 {
+                        break;
+                    }
+                }
+                let states: Vec<String> = drained
+                    .iter()
+                    .take(5)
+                    .map(|&t| {
+                        format!(
+                            "t{t}:{:?}/{:?}",
+                            self.threads[t].state, self.threads[t].block_reason
+                        )
+                    })
+                    .collect();
+                eprintln!(
+                    "post-mortem pick drained {} entries; first: {states:?}",
+                    drained.len()
+                );
+            }
         }
         let mut report = SimReportData {
             makespan,
@@ -792,7 +927,10 @@ impl Engine {
             report.thread_stats.insert(t.id, t.stats);
             report.thread_times.insert(t.id, (t.arrival, t.finish));
             if let Some(f) = t.finish {
-                let entry = report.process_completion.entry(t.process).or_insert(SimTime::ZERO);
+                let entry = report
+                    .process_completion
+                    .entry(t.process)
+                    .or_insert(SimTime::ZERO);
                 *entry = (*entry).max(f);
             }
         }
@@ -847,7 +985,11 @@ mod tests {
             e.add_thread(p, prog);
             let r = e.run();
             assert!(!r.deadlocked);
-            assert!(r.makespan < SimTime::from_millis(12), "parallel run should take ~10ms, got {}", r.makespan);
+            assert!(
+                r.makespan < SimTime::from_millis(12),
+                "parallel run should take ~10ms, got {}",
+                r.makespan
+            );
         }
     }
 
@@ -860,7 +1002,10 @@ mod tests {
         e.add_thread(p, prog);
         let r = e.run();
         assert!(!r.deadlocked);
-        assert!(r.metrics.preemptions > 0, "fair scheduling must preempt on the quantum");
+        assert!(
+            r.metrics.preemptions > 0,
+            "fair scheduling must preempt on the quantum"
+        );
         assert!(r.makespan >= SimTime::from_millis(40));
     }
 
@@ -881,7 +1026,9 @@ mod tests {
     fn lock_contention_serializes_critical_sections() {
         let mut e = fair_engine(2);
         let p = e.add_process("p", 1.0);
-        let prog = Program::new("cs").critical_section(1, SimTime::from_millis(5)).build();
+        let prog = Program::new("cs")
+            .critical_section(1, SimTime::from_millis(5))
+            .build();
         for _ in 0..4 {
             e.add_thread(p, ProgramRef::clone(&prog));
         }
@@ -914,12 +1061,17 @@ mod tests {
         // limitation — the spinner never releases the core, the second thread never runs.
         let mut e = coop_engine(1);
         let p = e.add_process("p", 1.0);
-        let prog = Program::new("b").barrier(1, 2, BarrierWaitKind::Spin).build();
+        let prog = Program::new("b")
+            .barrier(1, 2, BarrierWaitKind::Spin)
+            .build();
         e.add_thread(p, ProgramRef::clone(&prog));
         e.add_thread(p, prog);
         e.set_max_sim_time(SimTime::from_secs(10));
         let r = e.run();
-        assert!(r.deadlocked, "pure spin barrier must deadlock under SCHED_COOP when oversubscribed");
+        assert!(
+            r.deadlocked,
+            "pure spin barrier must deadlock under SCHED_COOP when oversubscribed"
+        );
     }
 
     #[test]
@@ -927,13 +1079,22 @@ mod tests {
         let mut e = coop_engine(1);
         let p = e.add_process("p", 1.0);
         let prog = Program::new("b")
-            .barrier(1, 2, BarrierWaitKind::SpinYield { slice: SimTime::from_micros(50) })
+            .barrier(
+                1,
+                2,
+                BarrierWaitKind::SpinYield {
+                    slice: SimTime::from_micros(50),
+                },
+            )
             .compute(SimTime::from_millis(1))
             .build();
         e.add_thread(p, ProgramRef::clone(&prog));
         e.add_thread(p, prog);
         let r = e.run();
-        assert!(!r.deadlocked, "yielding busy-wait must let the second thread run");
+        assert!(
+            !r.deadlocked,
+            "yielding busy-wait must let the second thread run"
+        );
         assert_eq!(r.metrics.threads_finished, 2);
         assert!(r.metrics.yields > 0);
     }
@@ -949,7 +1110,10 @@ mod tests {
         e.add_thread(p, ProgramRef::clone(&prog));
         e.add_thread(p, prog);
         let r = e.run();
-        assert!(!r.deadlocked, "the preemptive scheduler masks the busy-wait into a performance problem");
+        assert!(
+            !r.deadlocked,
+            "the preemptive scheduler masks the busy-wait into a performance problem"
+        );
         assert!(r.metrics.spin_time > SimTime::ZERO);
         // The spinner burnt at least one quantum before the other thread could arrive.
         assert!(r.makespan >= Machine::small(1).preemption_quantum);
@@ -959,7 +1123,10 @@ mod tests {
     fn sleep_releases_the_core() {
         let mut e = coop_engine(1);
         let p = e.add_process("p", 1.0);
-        let sleeper = Program::new("s").sleep(SimTime::from_millis(50)).compute(SimTime::from_millis(1)).build();
+        let sleeper = Program::new("s")
+            .sleep(SimTime::from_millis(50))
+            .compute(SimTime::from_millis(1))
+            .build();
         let worker = Program::new("w").compute(SimTime::from_millis(5)).build();
         e.add_thread(p, sleeper);
         e.add_thread(p, worker);
@@ -981,20 +1148,28 @@ mod tests {
             .compute(SimTime::from_millis(1))
             .signal(7)
             .build();
-        let consumer = Program::new("cons").wait_event(7, 2).compute(SimTime::from_millis(1)).build();
+        let consumer = Program::new("cons")
+            .wait_event(7, 2)
+            .compute(SimTime::from_millis(1))
+            .build();
         e.add_thread(p, consumer);
         e.add_thread(p, producer);
         let r = e.run();
         assert!(!r.deadlocked);
         let consumer_finish = r.thread_times[&0].1.unwrap();
-        assert!(consumer_finish >= SimTime::from_millis(3), "consumer must wait for both signals");
+        assert!(
+            consumer_finish >= SimTime::from_millis(3),
+            "consumer must wait for both signals"
+        );
     }
 
     #[test]
     fn spawn_and_join_children() {
         let mut e = coop_engine(2);
         let p = e.add_process("p", 1.0);
-        let child = Program::new("child").compute(SimTime::from_millis(3)).build();
+        let child = Program::new("child")
+            .compute(SimTime::from_millis(3))
+            .build();
         let parent = Program::new("parent")
             .compute(SimTime::from_millis(1))
             .spawn(child, p, 4)
@@ -1015,7 +1190,9 @@ mod tests {
         // cap and must take ~1.6x longer than alone.
         let mut solo = fair_engine(2);
         let p = solo.add_process("p", 1.0);
-        let prog = Program::new("bw").compute_bw(SimTime::from_millis(10), 80.0).build();
+        let prog = Program::new("bw")
+            .compute_bw(SimTime::from_millis(10), 80.0)
+            .build();
         solo.add_thread(p, ProgramRef::clone(&prog));
         let solo_time = solo.run().makespan;
 
@@ -1047,7 +1224,10 @@ mod tests {
         let r = e.run();
         let h_fin = r.thread_times[&h].1.unwrap();
         let l_fin = r.thread_times[&l].1.unwrap();
-        assert!(h_fin < l_fin, "heavier process must finish first ({h_fin} vs {l_fin})");
+        assert!(
+            h_fin < l_fin,
+            "heavier process must finish first ({h_fin} vs {l_fin})"
+        );
     }
 
     #[test]
@@ -1087,13 +1267,18 @@ mod tests {
         let p = e.add_process("p", 1.0);
         // Threads that repeatedly compute briefly and sleep: each wake-up should go back to
         // the same core under SCHED_COOP.
-        let body = Program::new("phase").compute(SimTime::from_millis(1)).sleep(SimTime::from_millis(1));
+        let body = Program::new("phase")
+            .compute(SimTime::from_millis(1))
+            .sleep(SimTime::from_millis(1));
         let prog = Program::new("t").repeat(10, &body).build();
         e.add_thread(p, ProgramRef::clone(&prog));
         e.add_thread(p, prog);
         let r = e.run();
         assert!(!r.deadlocked);
         let total_migrations: u64 = r.thread_stats.values().map(|s| s.migrations).sum();
-        assert_eq!(total_migrations, 0, "SCHED_COOP must keep waking threads on their preferred cores");
+        assert_eq!(
+            total_migrations, 0,
+            "SCHED_COOP must keep waking threads on their preferred cores"
+        );
     }
 }

@@ -58,7 +58,11 @@ impl Machine {
     /// One socket (56 cores) of the evaluation machine — the configuration used by the
     /// matmul and Cholesky experiments (§5.3, §5.4).
     pub fn marenostrum5_socket() -> Self {
-        Machine { cores: 56, sockets: 1, ..Machine::marenostrum5() }
+        Machine {
+            cores: 56,
+            sockets: 1,
+            ..Machine::marenostrum5()
+        }
     }
 
     /// Socket (NUMA domain) of a core.
@@ -74,7 +78,9 @@ impl Machine {
 
     /// Cores belonging to a socket.
     pub fn cores_in_socket(&self, socket: usize) -> Vec<usize> {
-        (0..self.cores).filter(|c| self.socket_of(*c) == socket).collect()
+        (0..self.cores)
+            .filter(|c| self.socket_of(*c) == socket)
+            .collect()
     }
 }
 

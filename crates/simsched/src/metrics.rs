@@ -129,8 +129,10 @@ mod tests {
     #[test]
     fn mean_turnaround_filters_threads() {
         let mut r = SimReportData::default();
-        r.thread_times.insert(1, (SimTime::ZERO, Some(SimTime::from_secs(2))));
-        r.thread_times.insert(2, (SimTime::from_secs(1), Some(SimTime::from_secs(2))));
+        r.thread_times
+            .insert(1, (SimTime::ZERO, Some(SimTime::from_secs(2))));
+        r.thread_times
+            .insert(2, (SimTime::from_secs(1), Some(SimTime::from_secs(2))));
         r.thread_times.insert(3, (SimTime::ZERO, None));
         let all = r.mean_turnaround(|_| true).unwrap();
         assert_eq!(all, SimTime::from_millis(1500));
@@ -144,8 +146,14 @@ mod tests {
         let r = SimReportData {
             makespan: SimTime::from_secs(4),
             bw_trace: vec![
-                BwSample { time: SimTime::ZERO, gbps: 100.0 },
-                BwSample { time: SimTime::from_secs(2), gbps: 0.0 },
+                BwSample {
+                    time: SimTime::ZERO,
+                    gbps: 100.0,
+                },
+                BwSample {
+                    time: SimTime::from_secs(2),
+                    gbps: 0.0,
+                },
             ],
             ..Default::default()
         };

@@ -95,7 +95,10 @@ pub struct Program {
 impl Program {
     /// Empty program with a label.
     pub fn new(label: impl Into<String>) -> Self {
-        Program { ops: Vec::new(), label: label.into() }
+        Program {
+            ops: Vec::new(),
+            label: label.into(),
+        }
     }
 
     /// The operations of the program.
@@ -146,7 +149,11 @@ impl Program {
 
     /// Append a barrier wait.
     pub fn barrier(self, id: BarrierId, participants: usize, kind: BarrierWaitKind) -> Self {
-        self.op(Op::Barrier { id, participants, kind })
+        self.op(Op::Barrier {
+            id,
+            participants,
+            kind,
+        })
     }
 
     /// Append a sleep.
@@ -171,7 +178,11 @@ impl Program {
 
     /// Append a spawn of `count` children.
     pub fn spawn(self, program: ProgramRef, process: ProcessId, count: usize) -> Self {
-        self.op(Op::Spawn { program, process, count })
+        self.op(Op::Spawn {
+            program,
+            process,
+            count,
+        })
     }
 
     /// Append a join of all children spawned so far.
@@ -228,7 +239,9 @@ mod tests {
 
     #[test]
     fn repeat_expands_body() {
-        let body = Program::new("body").compute(SimTime::from_micros(1)).yield_now();
+        let body = Program::new("body")
+            .compute(SimTime::from_micros(1))
+            .yield_now();
         let p = Program::new("outer").repeat(3, &body);
         assert_eq!(p.len(), 6);
         assert_eq!(p.nominal_compute(), SimTime::from_micros(3));

@@ -13,52 +13,156 @@ use crate::thread::{ProcessDesc, ProcessId, ThreadId};
 use crate::time::SimTime;
 use std::collections::{HashMap, VecDeque};
 
+/// One queued thread: its id, a monotonically increasing enqueue sequence number (total
+/// FIFO order) and the enqueue time (drives the anti-starvation aging valve). Mirrors
+/// `usf_nosv::policy::QueueEntry`.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    id: ThreadId,
+    seq: u64,
+    at: SimTime,
+}
+
 #[derive(Debug)]
 struct ProcQueues {
-    per_core: Vec<VecDeque<ThreadId>>,
-    unbound: VecDeque<ThreadId>,
+    per_core: Vec<VecDeque<QueueEntry>>,
+    unbound: VecDeque<QueueEntry>,
     count: usize,
+    next_seq: u64,
+    /// Earliest time the anti-starvation valve needs to look at the queues again.
+    next_valve_at: Option<SimTime>,
 }
 
 impl ProcQueues {
     fn new(cores: usize) -> Self {
-        ProcQueues { per_core: (0..cores).map(|_| VecDeque::new()).collect(), unbound: VecDeque::new(), count: 0 }
+        ProcQueues {
+            per_core: (0..cores).map(|_| VecDeque::new()).collect(),
+            unbound: VecDeque::new(),
+            count: 0,
+            next_seq: 0,
+            next_valve_at: None,
+        }
     }
 
-    fn push(&mut self, t: &ReadyThread) {
+    fn push(&mut self, t: &ReadyThread, now: SimTime) {
+        let entry = QueueEntry {
+            id: t.id,
+            seq: self.next_seq,
+            at: now,
+        };
+        self.next_seq += 1;
         match t.last_core {
-            Some(c) => self.per_core[c].push_back(t.id),
-            None => self.unbound.push_back(t.id),
+            Some(c) => self.per_core[c].push_back(entry),
+            None => self.unbound.push_back(entry),
         }
         self.count += 1;
     }
 
-    fn pop_for(&mut self, machine: &Machine, core: usize) -> Option<ThreadId> {
-        if let Some(t) = self.per_core[core].pop_front() {
-            self.count -= 1;
+    /// Head of the queue holding the oldest entry across every queue. `Some(c)` is a
+    /// per-core queue, `None` the unbound queue.
+    fn oldest_head(&self) -> Option<(u64, SimTime, Option<usize>)> {
+        let mut best: Option<(u64, SimTime, Option<usize>)> = None;
+        for (c, q) in self.per_core.iter().enumerate() {
+            if let Some(e) = q.front() {
+                if best.map_or(true, |(s, _, _)| e.seq < s) {
+                    best = Some((e.seq, e.at, Some(c)));
+                }
+            }
+        }
+        if let Some(e) = self.unbound.front() {
+            if best.map_or(true, |(s, _, _)| e.seq < s) {
+                best = Some((e.seq, e.at, None));
+            }
+        }
+        best
+    }
+
+    fn pop_from(&mut self, source: Option<usize>) -> ThreadId {
+        let queue = match source {
+            Some(c) => &mut self.per_core[c],
+            None => &mut self.unbound,
+        };
+        let entry = queue.pop_front().expect("candidate queue has a head");
+        self.count -= 1;
+        entry.id
+    }
+
+    /// The anti-starvation valve: at most once per `aging` window, serve the oldest
+    /// queued entry regardless of placement if it has waited longer than `aging`. Every
+    /// pop path (including the engine's affinity-first `pick_affine` pre-pass) must
+    /// consult this first, or a saturated dispatch that always finds affine candidates
+    /// starves the unbound queue anyway.
+    fn pop_aged(&mut self, now: SimTime, aging: SimTime) -> Option<ThreadId> {
+        if self.next_valve_at.map_or(true, |t| now >= t) {
+            match self.oldest_head() {
+                Some((_, at, source)) => {
+                    if now.saturating_sub(at) >= aging {
+                        self.next_valve_at = Some(now + aging);
+                        return Some(self.pop_from(source));
+                    }
+                    // Nothing aged yet: the current oldest entry is the first that can
+                    // age (later entries age strictly later).
+                    self.next_valve_at = Some(at + aging);
+                }
+                None => self.next_valve_at = Some(now + aging),
+            }
+        }
+        None
+    }
+
+    /// Pop honouring affinity → same socket / unbound (oldest head first) → remote, with
+    /// an anti-starvation valve in front: at most once per `aging` period, the oldest
+    /// queued entry anywhere is served regardless of placement if it has waited longer
+    /// than `aging`.
+    ///
+    /// Without the valve the policy is not starvation-free: threads that have never run
+    /// sit in `unbound` and can wait forever while woken threads re-queue to their last
+    /// core ahead of them. The valve is rate-limited (one aged grant per `aging` window,
+    /// tracked by `next_valve_at`) so that under sustained oversubscription — where
+    /// *every* entry is older than one quantum — the policy stays affinity-first instead
+    /// of degrading into a global FIFO; the deadline check also keeps the O(cores)
+    /// oldest-head scan off the common path. Mirrors `usf_nosv::policy::ProcQueues`.
+    fn pop_for(
+        &mut self,
+        machine: &Machine,
+        core: usize,
+        now: SimTime,
+        aging: SimTime,
+    ) -> Option<ThreadId> {
+        if let Some(t) = self.pop_aged(now, aging) {
             return Some(t);
         }
+        if self.per_core[core].front().is_some() {
+            return Some(self.pop_from(Some(core)));
+        }
         let socket = machine.socket_of(core);
+        // Same-socket queues and the unbound queue compete by enqueue order; `None`
+        // marks the unbound queue.
+        let mut best: Option<(u64, Option<usize>)> = None;
         for c in 0..self.per_core.len() {
             if c == core || machine.socket_of(c) != socket {
                 continue;
             }
-            if let Some(t) = self.per_core[c].pop_front() {
-                self.count -= 1;
-                return Some(t);
+            if let Some(e) = self.per_core[c].front() {
+                if best.map_or(true, |(s, _)| e.seq < s) {
+                    best = Some((e.seq, Some(c)));
+                }
             }
         }
-        if let Some(t) = self.unbound.pop_front() {
-            self.count -= 1;
-            return Some(t);
+        if let Some(e) = self.unbound.front() {
+            if best.map_or(true, |(s, _)| e.seq < s) {
+                best = Some((e.seq, None));
+            }
+        }
+        if let Some((_, source)) = best {
+            return Some(self.pop_from(source));
         }
         for c in 0..self.per_core.len() {
             if machine.socket_of(c) == socket {
                 continue;
             }
-            if let Some(t) = self.per_core[c].pop_front() {
-                self.count -= 1;
-                return Some(t);
+            if self.per_core[c].front().is_some() {
+                return Some(self.pop_from(Some(c)));
             }
         }
         None
@@ -157,12 +261,12 @@ impl SimPolicy for CoopScheduler {
         }
     }
 
-    fn enqueue(&mut self, thread: ReadyThread, _now: SimTime) {
+    fn enqueue(&mut self, thread: ReadyThread, now: SimTime) {
         self.ensure_process(thread.process);
         self.queues
             .get_mut(&thread.process)
             .expect("process just ensured")
-            .push(&thread);
+            .push(&thread, now);
     }
 
     fn pick(&mut self, core: usize, now: SimTime) -> Option<ThreadId> {
@@ -178,7 +282,9 @@ impl SimPolicy for CoopScheduler {
             let idx = (self.current + off) % len;
             let pid = self.order[idx];
             if let Some(q) = self.queues.get_mut(&pid) {
-                if let Some(t) = q.pop_for(&self.machine, core) {
+                // Entries older than one quantum are served oldest-first regardless of
+                // placement (the starvation valve in ProcQueues::pop_for).
+                if let Some(t) = q.pop_for(&self.machine, core, now, self.quantum) {
                     if off != 0 {
                         self.current = idx;
                         self.quantum_started = Some(now);
@@ -191,14 +297,20 @@ impl SimPolicy for CoopScheduler {
         None
     }
 
-    fn pick_affine(&mut self, core: usize, _now: SimTime) -> Option<ThreadId> {
-        // Serve only threads whose preferred core is exactly this one, regardless of the
-        // process rotation (affinity placement is checked before quantum fairness, §4.1).
+    fn pick_affine(&mut self, core: usize, now: SimTime) -> Option<ThreadId> {
+        // Serve threads whose preferred core is exactly this one, regardless of the
+        // process rotation (affinity placement is checked before quantum fairness,
+        // §4.1) — but the anti-starvation valve still comes first: a saturated
+        // dispatch that always finds affine candidates here would otherwise never
+        // reach the valve in `pop_for` (the real nosv runtime has no valve-free pick
+        // path, and the simulator must not either).
         for pid in self.order.clone() {
             if let Some(q) = self.queues.get_mut(&pid) {
-                if let Some(t) = q.per_core[core].pop_front() {
-                    q.count -= 1;
+                if let Some(t) = q.pop_aged(now, self.quantum) {
                     return Some(t);
+                }
+                if q.per_core[core].front().is_some() {
+                    return Some(q.pop_from(Some(core)));
                 }
             }
         }
@@ -223,14 +335,21 @@ mod tests {
     use super::*;
 
     fn ready(id: ThreadId, process: ProcessId, last_core: Option<usize>) -> ReadyThread {
-        ReadyThread { id, process, last_core, vruntime: 0.0 }
+        ReadyThread {
+            id,
+            process,
+            last_core,
+            vruntime: 0.0,
+        }
     }
 
     fn setup(cores: usize, sockets: usize, procs: usize) -> CoopScheduler {
         let mut machine = Machine::small(cores);
         machine.sockets = sockets;
         let mut s = CoopScheduler::new(SimTime::from_millis(20));
-        let descs: Vec<ProcessDesc> = (0..procs).map(|p| ProcessDesc::new(p, format!("p{p}"))).collect();
+        let descs: Vec<ProcessDesc> = (0..procs)
+            .map(|p| ProcessDesc::new(p, format!("p{p}")))
+            .collect();
         s.init(&machine, &descs);
         s
     }
@@ -242,7 +361,11 @@ mod tests {
         s.enqueue(ready(1, 0, Some(1)), now); // socket 0
         s.enqueue(ready(2, 0, Some(3)), now); // socket 1
         s.enqueue(ready(3, 0, Some(0)), now); // affine to core 0
-        assert_eq!(s.pick(0, now), Some(3), "core 0 takes its affine thread first");
+        assert_eq!(
+            s.pick(0, now),
+            Some(3),
+            "core 0 takes its affine thread first"
+        );
         assert_eq!(s.pick(0, now), Some(1), "then a same-socket thread");
         assert_eq!(s.pick(0, now), Some(2), "then a remote one");
         assert!(!s.has_ready());

@@ -29,12 +29,20 @@ pub struct FairScheduler {
 impl FairScheduler {
     /// Create a fair scheduler with the given preemption quantum.
     pub fn new(quantum: SimTime) -> Self {
-        FairScheduler { queue: BTreeSet::new(), weights: HashMap::new(), min_vruntime: 0.0, quantum }
+        FairScheduler {
+            queue: BTreeSet::new(),
+            weights: HashMap::new(),
+            min_vruntime: 0.0,
+            quantum,
+        }
     }
 
     fn key(vruntime: f64, id: ThreadId) -> (u64, ThreadId) {
         // Scale seconds to nanoseconds for a total order; clamp to avoid overflow.
-        ((vruntime.max(0.0) * 1e9).min(u64::MAX as f64 / 2.0) as u64, id)
+        (
+            (vruntime.max(0.0) * 1e9).min(u64::MAX as f64 / 2.0) as u64,
+            id,
+        )
     }
 }
 
@@ -81,7 +89,12 @@ mod tests {
     use super::*;
 
     fn ready(id: ThreadId, vr: f64) -> ReadyThread {
-        ReadyThread { id, process: 0, last_core: None, vruntime: vr }
+        ReadyThread {
+            id,
+            process: 0,
+            last_core: None,
+            vruntime: vr,
+        }
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub enum SchedModel {
 impl SchedModel {
     /// The SCHED_COOP model with the paper's default 20 ms process quantum.
     pub fn coop_default() -> Self {
-        SchedModel::Coop { process_quantum: SimTime::from_millis(20) }
+        SchedModel::Coop {
+            process_quantum: SimTime::from_millis(20),
+        }
     }
 
     /// Short label for tables.
@@ -98,9 +100,10 @@ impl SchedModel {
         match self {
             SchedModel::Fair => Box::new(FairScheduler::new(machine.preemption_quantum)),
             SchedModel::Coop { process_quantum } => Box::new(CoopScheduler::new(*process_quantum)),
-            SchedModel::Partitioned { assignments } => {
-                Box::new(PartitionedScheduler::new(assignments.clone(), machine.preemption_quantum))
-            }
+            SchedModel::Partitioned { assignments } => Box::new(PartitionedScheduler::new(
+                assignments.clone(),
+                machine.preemption_quantum,
+            )),
         }
     }
 }
@@ -114,12 +117,17 @@ mod tests {
         let m = Machine::small(4);
         assert_eq!(SchedModel::Fair.label(), "linux-fair");
         assert_eq!(SchedModel::coop_default().label(), "sched_coop");
-        let part = SchedModel::Partitioned { assignments: vec![(0, vec![0, 1])] };
+        let part = SchedModel::Partitioned {
+            assignments: vec![(0, vec![0, 1])],
+        };
         assert_eq!(part.label(), "partitioned");
         assert_eq!(SchedModel::Fair.build(&m).name(), "linux-fair");
         assert_eq!(SchedModel::coop_default().build(&m).name(), "sched_coop");
         assert_eq!(part.build(&m).name(), "partitioned");
         assert!(SchedModel::Fair.build(&m).preemption_quantum().is_some());
-        assert!(SchedModel::coop_default().build(&m).preemption_quantum().is_none());
+        assert!(SchedModel::coop_default()
+            .build(&m)
+            .preemption_quantum()
+            .is_none());
     }
 }

@@ -42,7 +42,10 @@ impl PartitionedScheduler {
     }
 
     fn key(vruntime: f64, id: ThreadId) -> (u64, ThreadId) {
-        ((vruntime.max(0.0) * 1e9).min(u64::MAX as f64 / 2.0) as u64, id)
+        (
+            (vruntime.max(0.0) * 1e9).min(u64::MAX as f64 / 2.0) as u64,
+            id,
+        )
     }
 }
 
@@ -133,14 +136,25 @@ mod tests {
     use super::*;
 
     fn ready(id: ThreadId, process: ProcessId) -> ReadyThread {
-        ReadyThread { id, process, last_core: None, vruntime: 0.0 }
+        ReadyThread {
+            id,
+            process,
+            last_core: None,
+            vruntime: 0.0,
+        }
     }
 
     #[test]
     fn threads_only_run_on_their_partition() {
         let machine = Machine::small(4);
-        let mut s = PartitionedScheduler::new(vec![(0, vec![0, 1]), (1, vec![2, 3])], SimTime::from_millis(4));
-        s.init(&machine, &[ProcessDesc::new(0, "a"), ProcessDesc::new(1, "b")]);
+        let mut s = PartitionedScheduler::new(
+            vec![(0, vec![0, 1]), (1, vec![2, 3])],
+            SimTime::from_millis(4),
+        );
+        s.init(
+            &machine,
+            &[ProcessDesc::new(0, "a"), ProcessDesc::new(1, "b")],
+        );
         s.enqueue(ready(10, 0), SimTime::ZERO);
         s.enqueue(ready(20, 1), SimTime::ZERO);
         // Core 2 belongs to process 1: must not pick process 0's thread.
@@ -154,7 +168,10 @@ mod tests {
     fn unassigned_processes_use_free_or_idle_cores() {
         let machine = Machine::small(3);
         let mut s = PartitionedScheduler::new(vec![(0, vec![0, 1])], SimTime::from_millis(4));
-        s.init(&machine, &[ProcessDesc::new(0, "a"), ProcessDesc::new(9, "gw")]);
+        s.init(
+            &machine,
+            &[ProcessDesc::new(0, "a"), ProcessDesc::new(9, "gw")],
+        );
         s.enqueue(ready(90, 9), SimTime::ZERO);
         // Core 2 is unowned: the unassigned process runs there.
         assert_eq!(s.pick(2, SimTime::ZERO), Some(90));
@@ -168,8 +185,24 @@ mod tests {
         let machine = Machine::small(2);
         let mut s = PartitionedScheduler::new(vec![(0, vec![0, 1])], SimTime::from_millis(4));
         s.init(&machine, &[ProcessDesc::new(0, "a")]);
-        s.enqueue(ReadyThread { id: 1, process: 0, last_core: None, vruntime: 2.0 }, SimTime::ZERO);
-        s.enqueue(ReadyThread { id: 2, process: 0, last_core: None, vruntime: 1.0 }, SimTime::ZERO);
+        s.enqueue(
+            ReadyThread {
+                id: 1,
+                process: 0,
+                last_core: None,
+                vruntime: 2.0,
+            },
+            SimTime::ZERO,
+        );
+        s.enqueue(
+            ReadyThread {
+                id: 2,
+                process: 0,
+                last_core: None,
+                vruntime: 1.0,
+            },
+            SimTime::ZERO,
+        );
         assert_eq!(s.pick(0, SimTime::ZERO), Some(2));
         assert_eq!(s.pick(0, SimTime::ZERO), Some(1));
         assert_eq!(s.ready_count(), 0);

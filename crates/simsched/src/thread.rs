@@ -23,7 +23,11 @@ pub struct ProcessDesc {
 impl ProcessDesc {
     /// A process with weight 1.0.
     pub fn new(id: ProcessId, name: impl Into<String>) -> Self {
-        ProcessDesc { id, name: name.into(), weight: 1.0 }
+        ProcessDesc {
+            id,
+            name: name.into(),
+            weight: 1.0,
+        }
     }
 
     /// Set the scheduling weight.

@@ -90,7 +90,10 @@ pub fn run_cholesky_verified(cfg: &CholeskyConfig) -> CholeskyResult {
 }
 
 fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
-    assert!(cfg.matrix_size % cfg.tile_size == 0, "tile size must divide the matrix size");
+    assert!(
+        cfg.matrix_size % cfg.tile_size == 0,
+        "tile size must divide the matrix size"
+    );
     let n = cfg.matrix_size;
     let ts = cfg.tile_size;
     let nb = n / ts;
@@ -125,11 +128,14 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
             // trsm for the panel below the diagonal.
             for i in (k + 1)..nb {
                 let tiles = Arc::clone(&tiles);
-                rt.submit(TaskDeps::none().input(key(k, k)).inout(key(i, k)), move || {
-                    let l = tiles[k * nb + k].lock().clone();
-                    let mut b = tiles[i * nb + k].lock();
-                    usf_blas::kernels::trsm_right_lower_transpose(ts, &l, &mut b);
-                });
+                rt.submit(
+                    TaskDeps::none().input(key(k, k)).inout(key(i, k)),
+                    move || {
+                        let l = tiles[k * nb + k].lock().clone();
+                        let mut b = tiles[i * nb + k].lock();
+                        usf_blas::kernels::trsm_right_lower_transpose(ts, &l, &mut b);
+                    },
+                );
                 tasks += 1;
             }
             // Trailing-matrix update.
@@ -137,11 +143,14 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
                 // syrk on the diagonal of the trailing matrix.
                 {
                     let tiles = Arc::clone(&tiles);
-                    rt.submit(TaskDeps::none().input(key(i, k)).inout(key(i, i)), move || {
-                        let a_ik = tiles[i * nb + k].lock().clone();
-                        let mut c = tiles[i * nb + i].lock();
-                        usf_blas::kernels::syrk_ln_sub(ts, &a_ik, &mut c);
-                    });
+                    rt.submit(
+                        TaskDeps::none().input(key(i, k)).inout(key(i, i)),
+                        move || {
+                            let a_ik = tiles[i * nb + k].lock().clone();
+                            let mut c = tiles[i * nb + i].lock();
+                            usf_blas::kernels::syrk_ln_sub(ts, &a_ik, &mut c);
+                        },
+                    );
                     tasks += 1;
                 }
                 // gemm updates below the diagonal — this is the kernel that opens the inner
@@ -150,7 +159,10 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
                     let tiles = Arc::clone(&tiles);
                     let blas_cfg = blas_cfg.clone();
                     rt.submit(
-                        TaskDeps::none().input(key(i, k)).input(key(j, k)).inout(key(i, j)),
+                        TaskDeps::none()
+                            .input(key(i, k))
+                            .input(key(j, k))
+                            .inout(key(i, j)),
                         move || {
                             let blas = BlasHandle::new(blas_cfg);
                             let a_ik = tiles[i * nb + k].lock().clone();
@@ -197,7 +209,12 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
         None
     };
 
-    CholeskyResult { elapsed, mflops, tasks, max_error }
+    CholeskyResult {
+        elapsed,
+        mflops,
+        tasks,
+        max_error,
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +254,11 @@ mod tests {
 
     #[test]
     fn task_count_matches_formula() {
-        let cfg = CholeskyConfig { matrix_size: 128, tile_size: 32, ..CholeskyConfig::small(ExecMode::Os) };
+        let cfg = CholeskyConfig {
+            matrix_size: 128,
+            tile_size: 32,
+            ..CholeskyConfig::small(ExecMode::Os)
+        };
         let r = run_cholesky(&cfg);
         let nb = 4u64;
         // potrf: nb, trsm: nb(nb-1)/2, syrk: nb(nb-1)/2, gemm: nb(nb-1)(nb-2)/6

@@ -34,6 +34,8 @@ pub mod stats;
 pub use cholesky::{run_cholesky, CholeskyConfig, CholeskyResult};
 pub use matmul::{run_matmul, MatmulConfig, MatmulResult};
 pub use md::{run_md_scenario, MdConfig, MdResult, MdScenario};
-pub use microservices::{run_microservices, MicroservicesConfig, MicroservicesResult, PartitionScheme};
+pub use microservices::{
+    run_microservices, MicroservicesConfig, MicroservicesResult, PartitionScheme,
+};
 pub use sim_cholesky::{run_sim_cholesky, SimCholeskyConfig, SimCholeskyResult};
 pub use sim_matmul::{run_sim_matmul, MatmulVariant, SimMatmulConfig, SimMatmulResult};

@@ -97,7 +97,11 @@ impl TiledMatrix {
 }
 
 fn output_tiles(nb: usize, ts: usize) -> Arc<Vec<Mutex<Vec<f64>>>> {
-    Arc::new((0..nb * nb).map(|_| Mutex::new(vec![0.0; ts * ts])).collect())
+    Arc::new(
+        (0..nb * nb)
+            .map(|_| Mutex::new(vec![0.0; ts * ts]))
+            .collect(),
+    )
 }
 
 /// Run the nested matmul and return its performance.
@@ -112,7 +116,10 @@ pub fn run_matmul_verified(cfg: &MatmulConfig) -> MatmulResult {
 }
 
 fn run_matmul_impl(cfg: &MatmulConfig, verify: bool) -> MatmulResult {
-    assert!(cfg.matrix_size % cfg.task_size == 0, "task size must divide the matrix size");
+    assert!(
+        cfg.matrix_size % cfg.task_size == 0,
+        "task size must divide the matrix size"
+    );
     let n = cfg.matrix_size;
     let ts = cfg.task_size;
     let nb = n / ts;
@@ -188,7 +195,12 @@ fn run_matmul_impl(cfg: &MatmulConfig, verify: bool) -> MatmulResult {
         None
     };
 
-    MatmulResult { elapsed, mflops, tasks: tasks_executed, max_error }
+    MatmulResult {
+        elapsed,
+        mflops,
+        tasks: tasks_executed,
+        max_error,
+    }
 }
 
 #[cfg(test)]

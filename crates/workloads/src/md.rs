@@ -16,9 +16,7 @@
 //! "node" (ensembles interleaved across both sockets) and a "socket" (each ensemble confined
 //! to one socket) placement variant.
 
-use usf_simsched::{
-    BarrierWaitKind, Engine, Machine, Program, SchedModel, SimReport, SimTime,
-};
+use usf_simsched::{BarrierWaitKind, Engine, Machine, Program, SchedModel, SimReport, SimTime};
 
 /// The seven bars of Figure 5a.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +67,10 @@ impl MdScenario {
     }
 
     fn halves_ranks(&self) -> bool {
-        matches!(self, MdScenario::ColocationNode | MdScenario::ColocationSocket)
+        matches!(
+            self,
+            MdScenario::ColocationNode | MdScenario::ColocationSocket
+        )
     }
 
     fn runs_sequentially(&self) -> bool {
@@ -77,7 +78,10 @@ impl MdScenario {
     }
 
     fn uses_coop(&self) -> bool {
-        matches!(self, MdScenario::SchedCoopNode | MdScenario::SchedCoopSocket)
+        matches!(
+            self,
+            MdScenario::SchedCoopNode | MdScenario::SchedCoopSocket
+        )
     }
 
     fn partitions(&self) -> bool {
@@ -87,7 +91,9 @@ impl MdScenario {
     fn per_socket_placement(&self) -> bool {
         matches!(
             self,
-            MdScenario::ColocationSocket | MdScenario::CoexecutionSocket | MdScenario::SchedCoopSocket
+            MdScenario::ColocationSocket
+                | MdScenario::CoexecutionSocket
+                | MdScenario::SchedCoopSocket
         )
     }
 }
@@ -173,7 +179,11 @@ pub fn rank_atoms(cfg: &MdConfig, ranks: usize) -> Vec<usize> {
             // Rank r covers a slab of the x-axis; find its region (regions alternate
             // dense/sparse along x).
             let region = r * regions / ranks;
-            let per_region = if region % 2 == 0 { dense_atoms_per_region } else { sparse_atoms_per_region };
+            let per_region = if region % 2 == 0 {
+                dense_atoms_per_region
+            } else {
+                sparse_atoms_per_region
+            };
             let ranks_in_region = (ranks / regions).max(1);
             (per_region / ranks_in_region as f64).round() as usize
         })
@@ -213,7 +223,11 @@ pub fn run_md_scenario(cfg: &MdConfig) -> MdResult {
 
 /// Build and run the simulation for `ensembles` concurrent ensembles.
 fn run_ensembles(cfg: &MdConfig, ensembles: usize) -> SimReport {
-    let ranks = if cfg.scenario.halves_ranks() { cfg.ranks_per_ensemble / 2 } else { cfg.ranks_per_ensemble };
+    let ranks = if cfg.scenario.halves_ranks() {
+        cfg.ranks_per_ensemble / 2
+    } else {
+        cfg.ranks_per_ensemble
+    };
     let threads = cfg.threads_per_rank.max(1);
     let model = build_model(cfg, ensembles, ranks * threads);
     let mut engine = Engine::new(cfg.machine.clone(), &model);
@@ -240,7 +254,9 @@ fn run_ensembles(cfg: &MdConfig, ensembles: usize) -> SimReport {
                     .barrier(
                         barrier_base,
                         ranks * threads,
-                        BarrierWaitKind::SpinYield { slice: cfg.yield_slice },
+                        BarrierWaitKind::SpinYield {
+                            slice: cfg.yield_slice,
+                        },
                     );
                 prog = prog.repeat(cfg.steps, &step_body);
                 engine.add_thread(process, prog.build());
@@ -267,8 +283,20 @@ fn build_model(cfg: &MdConfig, ensembles: usize, threads_per_ensemble: usize) ->
         } else {
             // Spread placement: even cores to ensemble 0, odd cores to ensemble 1.
             vec![
-                (0usize, (0..cores).filter(|c| c % 2 == 0).take(per).collect::<Vec<_>>()),
-                (1usize, (0..cores).filter(|c| c % 2 == 1).take(per).collect::<Vec<_>>()),
+                (
+                    0usize,
+                    (0..cores)
+                        .filter(|c| c % 2 == 0)
+                        .take(per)
+                        .collect::<Vec<_>>(),
+                ),
+                (
+                    1usize,
+                    (0..cores)
+                        .filter(|c| c % 2 == 1)
+                        .take(per)
+                        .collect::<Vec<_>>(),
+                ),
             ]
         };
         return SchedModel::Partitioned { assignments };
@@ -302,10 +330,16 @@ mod tests {
         let cfg = MdConfig::new(MdScenario::Exclusive);
         let atoms = rank_atoms(&cfg, 56);
         let total: usize = atoms.iter().sum();
-        assert!((total as f64 - 100_000.0).abs() / 100_000.0 < 0.05, "total {total}");
+        assert!(
+            (total as f64 - 100_000.0).abs() / 100_000.0 < 0.05,
+            "total {total}"
+        );
         let max = *atoms.iter().max().unwrap();
         let min = *atoms.iter().min().unwrap();
-        assert!(max > 3 * min, "dense ranks must carry much more work ({max} vs {min})");
+        assert!(
+            max > 3 * min,
+            "dense ranks must carry much more work ({max} vs {min})"
+        );
     }
 
     #[test]
@@ -359,7 +393,8 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> = MdScenario::ALL.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> =
+            MdScenario::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), MdScenario::ALL.len());
     }
 }

@@ -192,8 +192,15 @@ pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
         let mut server_programs = Vec::new();
         for m in Model::ALL {
             let threads = if sequential { 1 } else { m.ideal_threads() };
-            let per_batch_thread =
-                SimTime::from_secs_f64(m.isolated_latency().as_secs_f64() * scale / cfg.batches as f64);
+            // The model's total work per batch is fixed: `isolated_latency` is the wall
+            // time at `ideal_threads`, so one batch costs `isolated × ideal / batches`
+            // core-seconds, split across however many threads this scheme actually uses
+            // (1 for bl-none-seq — which is what makes sequential inference slow).
+            let per_batch_thread = SimTime::from_secs_f64(
+                m.isolated_latency().as_secs_f64() * scale * m.ideal_threads() as f64
+                    / threads as f64
+                    / cfg.batches as f64,
+            );
             let mut prog = Program::new(format!("{}-req{r}", m.name()));
             for _ in 0..cfg.batches {
                 let barrier = next_id;
@@ -201,12 +208,24 @@ pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
                 if threads > 1 {
                     let child = Program::new("blas")
                         .compute(per_batch_thread)
-                        .barrier(barrier, threads, BarrierWaitKind::SpinYield { slice: cfg.yield_slice })
+                        .barrier(
+                            barrier,
+                            threads,
+                            BarrierWaitKind::SpinYield {
+                                slice: cfg.yield_slice,
+                            },
+                        )
                         .build();
                     prog = prog
                         .spawn(child, proc_of(m), threads - 1)
                         .compute(per_batch_thread)
-                        .barrier(barrier, threads, BarrierWaitKind::SpinYield { slice: cfg.yield_slice })
+                        .barrier(
+                            barrier,
+                            threads,
+                            BarrierWaitKind::SpinYield {
+                                slice: cfg.yield_slice,
+                            },
+                        )
                         .join_children();
                 } else {
                     prog = prog.compute(per_batch_thread);
@@ -221,14 +240,17 @@ pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
         // Gateway request thread: plan, fan out to the three servers, wait for all three,
         // then assemble the response.
         let done_event = 1_000_000 + r as u64;
-        let mut gw_prog = Program::new(format!("request-{r}"))
-            .compute(SimTime::from_secs_f64(cfg.gateway_planning.as_secs_f64() * scale));
+        let mut gw_prog = Program::new(format!("request-{r}")).compute(SimTime::from_secs_f64(
+            cfg.gateway_planning.as_secs_f64() * scale,
+        ));
         for (proc, prog) in server_programs {
             gw_prog = gw_prog.spawn(prog, proc, 1);
         }
         gw_prog = gw_prog
             .wait_event(done_event, Model::ALL.len() as u64)
-            .compute(SimTime::from_secs_f64(cfg.gateway_planning.as_secs_f64() * scale / 2.0))
+            .compute(SimTime::from_secs_f64(
+                cfg.gateway_planning.as_secs_f64() * scale / 2.0,
+            ))
             .join_children();
         let tid = engine.add_thread_at(gw, gw_prog.build(), arrival);
         gateway_threads.push((tid, arrival));
@@ -238,7 +260,11 @@ pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
     let mut latencies = Vec::new();
     let mut timeline = Vec::new();
     for (tid, arrival) in &gateway_threads {
-        let finish = report.thread_times.get(tid).and_then(|(_, f)| *f).unwrap_or(report.makespan);
+        let finish = report
+            .thread_times
+            .get(tid)
+            .and_then(|(_, f)| *f)
+            .unwrap_or(report.makespan);
         latencies.push(finish.saturating_sub(*arrival).as_secs_f64());
         timeline.push((*arrival, finish));
     }
@@ -246,7 +272,13 @@ pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
     let p95_latency = SimTime::from_secs_f64(crate::stats::percentile(&latencies, 95.0));
     let throughput = cfg.requests as f64 / report.makespan.as_secs_f64().max(1e-9);
 
-    MicroservicesResult { mean_latency, p95_latency, throughput, request_timeline: timeline, report }
+    MicroservicesResult {
+        mean_latency,
+        p95_latency,
+        throughput,
+        request_timeline: timeline,
+        report,
+    }
 }
 
 /// Map a scheme to a scheduler model (and the partition table, for reporting).
@@ -265,7 +297,12 @@ fn scheme_to_model(cfg: &MicroservicesConfig) -> (SchedModel, Vec<(usize, Vec<us
                 next += per;
             }
             assignments.push((0, vec![0, 1]));
-            (SchedModel::Partitioned { assignments: assignments.clone() }, assignments)
+            (
+                SchedModel::Partitioned {
+                    assignments: assignments.clone(),
+                },
+                assignments,
+            )
         }
         PartitionScheme::BlOpt => {
             // 71 / 23 / 16 cores for LLaMA / GPT-2 / RoBERTa minus the 2 gateway cores, as in
@@ -275,11 +312,18 @@ fn scheme_to_model(cfg: &MicroservicesConfig) -> (SchedModel, Vec<(usize, Vec<us
             let mut next = 2;
             let mut assignments = vec![(0usize, vec![0, 1])];
             for (p, frac) in fractions {
-                let count = ((avail as f64 * frac).round() as usize).max(1).min(cores - next);
+                let count = ((avail as f64 * frac).round() as usize)
+                    .max(1)
+                    .min(cores - next);
                 assignments.push((p, (next..next + count).collect()));
                 next += count;
             }
-            (SchedModel::Partitioned { assignments: assignments.clone() }, assignments)
+            (
+                SchedModel::Partitioned {
+                    assignments: assignments.clone(),
+                },
+                assignments,
+            )
         }
     }
 }

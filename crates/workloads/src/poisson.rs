@@ -16,7 +16,10 @@ impl PoissonProcess {
     /// (experiments must be reproducible).
     pub fn new(rate_per_sec: f64, seed: u64) -> Self {
         assert!(rate_per_sec > 0.0, "rate must be positive");
-        PoissonProcess { rate_per_sec, rng: StdRng::seed_from_u64(seed) }
+        PoissonProcess {
+            rate_per_sec,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured average rate.
@@ -53,7 +56,10 @@ mod tests {
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
         let total = times.last().unwrap().as_secs_f64();
         let observed_rate = 2000.0 / total;
-        assert!((observed_rate - 10.0).abs() < 1.0, "observed {observed_rate}");
+        assert!(
+            (observed_rate - 10.0).abs() < 1.0,
+            "observed {observed_rate}"
+        );
     }
 
     #[test]

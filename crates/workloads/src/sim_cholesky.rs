@@ -44,11 +44,36 @@ impl Composition {
     /// The five compositions of Table 2, in row order.
     pub fn table2_rows() -> Vec<Composition> {
         vec![
-            Composition { outer: "gnu", inner: "llvm", blas: "opb", inner_kind: InnerRuntime::OpenMp },
-            Composition { outer: "tbb", inner: "llvm", blas: "opb", inner_kind: InnerRuntime::OpenMp },
-            Composition { outer: "tbb", inner: "gnu", blas: "blis", inner_kind: InnerRuntime::OpenMp },
-            Composition { outer: "tbb", inner: "pth", blas: "blis", inner_kind: InnerRuntime::PthreadPerCall },
-            Composition { outer: "gnu", inner: "pth", blas: "blis", inner_kind: InnerRuntime::PthreadPerCall },
+            Composition {
+                outer: "gnu",
+                inner: "llvm",
+                blas: "opb",
+                inner_kind: InnerRuntime::OpenMp,
+            },
+            Composition {
+                outer: "tbb",
+                inner: "llvm",
+                blas: "opb",
+                inner_kind: InnerRuntime::OpenMp,
+            },
+            Composition {
+                outer: "tbb",
+                inner: "gnu",
+                blas: "blis",
+                inner_kind: InnerRuntime::OpenMp,
+            },
+            Composition {
+                outer: "tbb",
+                inner: "pth",
+                blas: "blis",
+                inner_kind: InnerRuntime::PthreadPerCall,
+            },
+            Composition {
+                outer: "gnu",
+                inner: "pth",
+                blas: "blis",
+                inner_kind: InnerRuntime::PthreadPerCall,
+            },
         ]
     }
 
@@ -129,7 +154,11 @@ pub struct SimCholeskyConfig {
 
 impl SimCholeskyConfig {
     /// A Table 2 cell with the defaults used by the bench harness.
-    pub fn new(composition: Composition, parallelism: Parallelism, scheduler: CholeskyScheduler) -> Self {
+    pub fn new(
+        composition: Composition,
+        parallelism: Parallelism,
+        scheduler: CholeskyScheduler,
+    ) -> Self {
         SimCholeskyConfig {
             composition,
             parallelism,
@@ -165,10 +194,18 @@ pub fn run_sim_cholesky(cfg: &SimCholeskyConfig) -> SimCholeskyResult {
     let per_thread = SimTime::from_secs_f64(task_flops / inner as f64 / cfg.flops_per_core);
 
     let (model, barrier_kind) = match cfg.scheduler {
-        CholeskyScheduler::Baseline => (SchedModel::Fair, BarrierWaitKind::SpinYield { slice: cfg.yield_slice }),
-        CholeskyScheduler::SchedCoop => {
-            (SchedModel::coop_default(), BarrierWaitKind::SpinYield { slice: cfg.yield_slice })
-        }
+        CholeskyScheduler::Baseline => (
+            SchedModel::Fair,
+            BarrierWaitKind::SpinYield {
+                slice: cfg.yield_slice,
+            },
+        ),
+        CholeskyScheduler::SchedCoop => (
+            SchedModel::coop_default(),
+            BarrierWaitKind::SpinYield {
+                slice: cfg.yield_slice,
+            },
+        ),
     };
     // Per-call thread management cost of the inner runtime.
     let spawn_cost = match (cfg.composition.inner_kind, cfg.scheduler) {
@@ -209,15 +246,27 @@ pub fn run_sim_cholesky(cfg: &SimCholeskyConfig) -> SimCholeskyResult {
     let report = engine.run();
     let total_flops = task_flops * (outer * cfg.tasks_per_worker.max(1)) as f64;
     let secs = report.makespan.as_secs_f64().max(1e-9);
-    let mflops = if report.deadlocked { 0.0 } else { total_flops / secs / 1e6 };
-    SimCholeskyResult { mflops, makespan: report.makespan, report }
+    let mflops = if report.deadlocked {
+        0.0
+    } else {
+        total_flops / secs / 1e6
+    };
+    SimCholeskyResult {
+        mflops,
+        makespan: report.makespan,
+        report,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn quick(composition: Composition, parallelism: Parallelism, scheduler: CholeskyScheduler) -> SimCholeskyResult {
+    fn quick(
+        composition: Composition,
+        parallelism: Parallelism,
+        scheduler: CholeskyScheduler,
+    ) -> SimCholeskyResult {
         let mut cfg = SimCholeskyConfig::new(composition, parallelism, scheduler);
         cfg.machine = Machine::small(8);
         cfg.task_size = 256;
@@ -245,7 +294,10 @@ mod tests {
         };
         let s_omp = speedup(&omp);
         let s_pth = speedup(&pth);
-        assert!(s_pth > 1.0, "SCHED_COOP must beat the baseline for the pth backend (got {s_pth:.2})");
+        assert!(
+            s_pth > 1.0,
+            "SCHED_COOP must beat the baseline for the pth backend (got {s_pth:.2})"
+        );
         assert!(
             s_pth > s_omp,
             "the thread-churning pth backend must benefit more than the persistent team ({s_pth:.2} vs {s_omp:.2})"
@@ -267,7 +319,11 @@ mod tests {
     #[test]
     fn results_are_deterministic() {
         let row = Composition::table2_rows()[2].clone();
-        let a = quick(row.clone(), Parallelism::Medium, CholeskyScheduler::SchedCoop);
+        let a = quick(
+            row.clone(),
+            Parallelism::Medium,
+            CholeskyScheduler::SchedCoop,
+        );
         let b = quick(row, Parallelism::Medium, CholeskyScheduler::SchedCoop);
         assert_eq!(a.makespan, b.makespan);
     }

@@ -38,8 +38,12 @@ pub enum MatmulVariant {
 
 impl MatmulVariant {
     /// All variants in the order of Figure 3.
-    pub const ALL: [MatmulVariant; 4] =
-        [MatmulVariant::Baseline, MatmulVariant::Manual, MatmulVariant::SchedCoop, MatmulVariant::Original];
+    pub const ALL: [MatmulVariant; 4] = [
+        MatmulVariant::Baseline,
+        MatmulVariant::Manual,
+        MatmulVariant::SchedCoop,
+        MatmulVariant::Original,
+    ];
 
     /// Label used in the generated heatmaps.
     pub fn label(&self) -> &'static str {
@@ -61,7 +65,9 @@ impl MatmulVariant {
     fn barrier_kind(&self, yield_slice: SimTime) -> BarrierWaitKind {
         match self {
             MatmulVariant::Original => BarrierWaitKind::Spin,
-            MatmulVariant::Baseline | MatmulVariant::SchedCoop => BarrierWaitKind::SpinYield { slice: yield_slice },
+            MatmulVariant::Baseline | MatmulVariant::SchedCoop => {
+                BarrierWaitKind::SpinYield { slice: yield_slice }
+            }
             MatmulVariant::Manual => BarrierWaitKind::Block,
         }
     }
@@ -93,7 +99,12 @@ pub struct SimMatmulConfig {
 
 impl SimMatmulConfig {
     /// A Figure 3 cell with the defaults used by the bench harness.
-    pub fn new(matrix_size: usize, task_size: usize, inner_threads: usize, variant: MatmulVariant) -> Self {
+    pub fn new(
+        matrix_size: usize,
+        task_size: usize,
+        inner_threads: usize,
+        variant: MatmulVariant,
+    ) -> Self {
         SimMatmulConfig {
             matrix_size,
             task_size,
@@ -175,8 +186,17 @@ pub fn run_sim_matmul(cfg: &SimMatmulConfig) -> SimMatmulResult {
     let report = engine.run();
     let total_flops = task_flops * (outer_workers * cfg.tasks_per_worker.max(1)) as f64;
     let secs = report.makespan.as_secs_f64().max(1e-9);
-    let mflops = if report.deadlocked { 0.0 } else { total_flops / secs / 1e6 };
-    SimMatmulResult { mflops, makespan: report.makespan, deadlocked: report.deadlocked, report }
+    let mflops = if report.deadlocked {
+        0.0
+    } else {
+        total_flops / secs / 1e6
+    };
+    SimMatmulResult {
+        mflops,
+        makespan: report.makespan,
+        deadlocked: report.deadlocked,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +221,10 @@ mod tests {
         let max = results.iter().cloned().fold(0.0, f64::max);
         let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(min > 0.0);
-        assert!(max / min < 1.2, "variants should be within 20% when not oversubscribed: {results:?}");
+        assert!(
+            max / min < 1.2,
+            "variants should be within 20% when not oversubscribed: {results:?}"
+        );
     }
 
     #[test]

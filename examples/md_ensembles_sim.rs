@@ -33,7 +33,8 @@ fn main() {
             if let Some(excl) = exclusive_perf {
                 println!(
                     "{:>22}   (SCHED_COOP co-execution vs exclusive: {:.2}x aggregate throughput)",
-                    "", r.katom_steps_per_sec / excl
+                    "",
+                    r.katom_steps_per_sec / excl
                 );
             }
         }

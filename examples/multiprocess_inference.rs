@@ -22,13 +22,15 @@ fn inference(blas: &BlasHandle, size: usize) -> f64 {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let usf = Usf::builder().cores(cores).build();
 
     // One process domain per service, exactly like the four Python processes of the paper.
     let gateway = usf.process("gateway");
     let servers = [
-        (usf.process("llama-server"), 96usize, 4usize),   // (domain, matrix size, inner threads)
+        (usf.process("llama-server"), 96usize, 4usize), // (domain, matrix size, inner threads)
         (usf.process("gpt2-server"), 64, 2),
         (usf.process("roberta-server"), 48, 2),
     ];
@@ -37,7 +39,10 @@ fn main() {
     let mut poisson = PoissonProcess::new(4.0, 11);
     let arrivals = poisson.arrival_times(requests);
 
-    println!("dispatching {requests} requests over ~{:.1}s onto {cores} cores\n", arrivals.last().unwrap().as_secs_f64());
+    println!(
+        "dispatching {requests} requests over ~{:.1}s onto {cores} cores\n",
+        arrivals.last().unwrap().as_secs_f64()
+    );
 
     let start = Instant::now();
     let mut request_handles = Vec::new();
@@ -71,7 +76,10 @@ fn main() {
         request_handles.push(handle);
     }
 
-    println!("{:>10} {:>14} {:>14} {:>12}", "request", "submitted (s)", "completed (s)", "latency (s)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "request", "submitted (s)", "completed (s)", "latency (s)"
+    );
     for (r, h) in request_handles.into_iter().enumerate() {
         let (submitted, completed) = h.join().unwrap();
         println!(
@@ -84,9 +92,17 @@ fn main() {
     }
 
     let m = usf.metrics();
-    println!("\nscheduler: {} attaches, {} blocks, {} yields, {} process-quantum rotations", m.attaches, m.pauses, m.yields, usf.nosv().scheduler().policy_rotations());
+    println!(
+        "\nscheduler: {} attaches, {} blocks, {} yields, {} process-quantum rotations",
+        m.attaches,
+        m.pauses,
+        m.yields,
+        usf.nosv().scheduler().policy_rotations()
+    );
     println!("total wall time: {:.3}s", start.elapsed().as_secs_f64());
-    println!("\nFor the paper-scale version (112 simulated cores, LLaMA/GPT-2/RoBERTa service times,");
+    println!(
+        "\nFor the paper-scale version (112 simulated cores, LLaMA/GPT-2/RoBERTa service times,"
+    );
     println!("all five partitioning schemes) run: cargo run -p usf-bench --release --bin fig4_microservices");
 
     // Give detached server threads time to be recycled before shutdown joins the cache.

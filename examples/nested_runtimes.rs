@@ -24,7 +24,9 @@ fn config(exec: ExecMode) -> MatmulConfig {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     println!("host parallelism: {cores} cores");
     println!("outer tasks: 4 workers; inner BLAS teams: 4 threads each → oversubscribed\n");
 
@@ -52,9 +54,18 @@ fn main() {
     let cache = usf.thread_cache_stats();
     println!("\n--- SCHED_COOP run details ---");
     println!("worker threads attached : {}", m.attaches);
-    println!("cooperative blocks      : {} (+{} elided)", m.pauses, m.pauses_elided);
-    println!("yields                  : {} ({} kept the core)", m.yields, m.yields_noop);
-    println!("thread cache            : {} created / {} reused", cache.created, cache.reused);
+    println!(
+        "cooperative blocks      : {} (+{} elided)",
+        m.pauses, m.pauses_elided
+    );
+    println!(
+        "yields                  : {} ({} kept the core)",
+        m.yields, m.yields_noop
+    );
+    println!(
+        "thread cache            : {} created / {} reused",
+        cache.created, cache.reused
+    );
     println!(
         "speedup vs baseline     : {:.2}x (expect ≥1.0x under oversubscription; exact value depends on the host)",
         coop.mflops / baseline.mflops.max(1e-9)

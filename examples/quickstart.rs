@@ -59,10 +59,19 @@ fn main() {
     println!("cooperative blocks      : {}", m.pauses);
     println!("voluntary yields        : {}", m.yields + m.yields_noop);
     println!("core grants             : {}", m.grants);
-    println!("affinity hit rate       : {:?}", m.affinity_hit_rate().map(|r| format!("{:.0}%", r * 100.0)));
-    println!("process quantum switches: {}", usf.nosv().scheduler().policy_rotations());
+    println!(
+        "affinity hit rate       : {:?}",
+        m.affinity_hit_rate().map(|r| format!("{:.0}%", r * 100.0))
+    );
+    println!(
+        "process quantum switches: {}",
+        usf.nosv().scheduler().policy_rotations()
+    );
     let cache = usf.thread_cache_stats();
-    println!("thread cache            : {} created, {} reused", cache.created, cache.reused);
+    println!(
+        "thread cache            : {} created, {} reused",
+        cache.created, cache.reused
+    );
 
     usf.shutdown();
 }

@@ -19,6 +19,9 @@
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the paper-to-repo
 //! substitution table, and `EXPERIMENTS.md` for the reproduced tables and figures.
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub use usf_blas as blas;
 pub use usf_core as framework;
 pub use usf_nosv as nosv;

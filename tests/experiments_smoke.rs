@@ -75,7 +75,10 @@ fn table2_shape_holds() {
          pth High {pth_high_base:.0}->{pth_high_coop:.0} ({pth_high_speedup:.2}x), \
          pth Mild {pth_mild_base:.0}->{pth_mild_coop:.0} ({pth_mild_speedup:.2}x)"
     );
-    assert!(pth_high_speedup > 1.0, "SCHED_COOP must win for pth at high oversubscription ({pth_high_speedup:.2})");
+    assert!(
+        pth_high_speedup > 1.0,
+        "SCHED_COOP must win for pth at high oversubscription ({pth_high_speedup:.2})"
+    );
     assert!(
         pth_high_speedup > omp_high_speedup,
         "pth must gain more than the persistent team ({pth_high_speedup:.2} vs {omp_high_speedup:.2})"

@@ -11,7 +11,10 @@ use usf_core::sync::{Barrier, Condvar, Mutex, Semaphore};
 /// no involuntary preemption is ever recorded, and both processes' threads got served.
 #[test]
 fn two_process_domains_oversubscribed_complete() {
-    let usf = Usf::builder().cores(2).quantum(Duration::from_millis(2)).build();
+    let usf = Usf::builder()
+        .cores(2)
+        .quantum(Duration::from_millis(2))
+        .build();
     let a = usf.process("proc-a");
     let b = usf.process("proc-b");
     let counter = Arc::new(AtomicUsize::new(0));
@@ -119,7 +122,11 @@ fn run_to_block_ordering_on_one_core() {
     first.join().unwrap();
     second.join().unwrap();
     let order = order.lock().clone();
-    assert_eq!(order, vec!["first-done", "second-done"], "the running thread must not be preempted by the second");
+    assert_eq!(
+        order,
+        vec!["first-done", "second-done"],
+        "the running thread must not be preempted by the second"
+    );
     usf.shutdown();
 }
 
@@ -166,7 +173,10 @@ fn thread_cache_reuse_across_transient_pool_waves() {
     }
     let stats = usf.thread_cache_stats();
     assert_eq!(stats.created + stats.reused, 16);
-    assert!(stats.reused > 0, "later waves must reuse cached workers: {stats:?}");
+    assert!(
+        stats.reused > 0,
+        "later waves must reuse cached workers: {stats:?}"
+    );
     usf.shutdown();
 }
 

@@ -3,13 +3,13 @@
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use usf::blas::{BlasConfig, BlasHandle, Matrix};
 use usf::framework::exec::ExecMode;
 use usf::framework::sync::{BusyBarrier, Mutex, Semaphore};
 use usf::framework::Usf;
 use usf::nosv::{CoopPolicy, FifoPolicy, Policy, TaskMeta, Topology};
 use usf::simsched::{Engine, Machine, Program, SchedModel, SimTime};
-use std::time::{Duration, Instant};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]

@@ -1,0 +1,327 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Implements the harness API subset the USF benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a plain timing loop instead of
+//! the upstream statistics engine. Each benchmark is warmed up briefly, then run for
+//! `sample_size` samples of auto-calibrated iteration batches within (a fraction of)
+//! `measurement_time`, and the mean/min/max per-iteration times are printed as text.
+//!
+//! Passing `--test` (which `cargo test --benches` does) switches to smoke mode: every
+//! benchmark body runs exactly once so the harness stays fast under test runners.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measurement_time: Duration,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The benchmark manager: entry point handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    smoke_test: bool,
+}
+
+impl Criterion {
+    /// Applies harness command-line flags (`--test` selects run-once smoke mode; the
+    /// filter/`--bench` arguments upstream accepts are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke_test = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.settings, self.smoke_test, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks sharing measurement settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            smoke_test: self.smoke_test,
+            _criterion: self,
+        }
+    }
+
+    /// Prints the closing line upstream's report ends with.
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+/// A named benchmark group; benchmarks registered through it share its settings and
+/// report under `group/name`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    smoke_test: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target measurement time for each benchmark in the group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Sets how many timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time run before sampling starts.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.warm_up_time = time;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let full = format!("{}/{}", self.name, id.label());
+        run_benchmark(&full, self.settings, self.smoke_test, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label());
+        run_benchmark(
+            &full,
+            self.settings,
+            self.smoke_test,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for upstream API compatibility; reports print eagerly).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id labelled `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id labelled only by the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing-loop driver passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    settings: Settings,
+    smoke_test: bool,
+    f: &mut F,
+) {
+    if smoke_test {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name}: smoke ok");
+        return;
+    }
+
+    // Warm-up + calibration: find an iteration count that makes one sample take
+    // roughly measurement_time / sample_size.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        if warm_up_start.elapsed() >= settings.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 24);
+    }
+    let sample_budget = settings.measurement_time / settings.sample_size as u32;
+    let iters_per_sample =
+        (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut samples = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name}: mean {} (min {}, max {}) [{} samples x {} iters]",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_run_reports_sane_times() {
+        let mut c = Criterion::default();
+        c.settings.measurement_time = Duration::from_millis(50);
+        c.settings.warm_up_time = Duration::from_millis(5);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.settings.measurement_time = Duration::from_millis(20);
+        c.settings.warm_up_time = Duration::from_millis(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! Provides the API subset the USF workloads use: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open numeric ranges, and [`rngs::StdRng`] backed by
+//! xoshiro256++ (deterministic for a given seed, which is all the experiments require).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of randomness: the minimal core every generator implements.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling conveniences layered on [`RngCore`]; blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// A uniform sample from the half-open range `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// A uniform sample of a whole type (`bool` and `f64` in `[0, 1)` supported).
+    fn gen<T: SampleWhole>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_whole(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `range` using `rng`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Types that can be sampled uniformly over their natural whole domain.
+pub trait SampleWhole: Sized {
+    /// Uniform sample of the whole domain.
+    fn sample_whole<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased integer sample in `[0, bound)` by rejection (Lemire widening multiply).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty f64 sample range");
+        range.start + (range.end - range.start) * unit_f64(rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty integer sample range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleWhole for f64 {
+    fn sample_whole<R: RngCore>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl SampleWhole for bool {
+    fn sample_whole<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Statistically strong enough for workload generation and property tests; **not**
+    /// cryptographically secure (unlike the real `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let i = r.gen_range(3usize..9);
+            assert!((3..9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut r = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
