@@ -9,12 +9,17 @@
 //! depend on the assumed per-core FLOP rate; the element-wise speedups against Baseline are
 //! the quantities to compare with the paper.
 
-use usf_bench::{fmt_mflops, fmt_speedup, header, machine_line, Scale};
+use usf_bench::{cli, fmt_mflops, fmt_speedup, header, machine_line, Scale};
 use usf_simsched::Machine;
 use usf_workloads::sim_matmul::{run_sim_matmul, MatmulVariant, SimMatmulConfig};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cli::parse_or_exit(
+        "fig3_matmul",
+        "Regenerates Figure 3 (§5.3): nested-runtime matmul heatmaps for four software stacks.",
+        cli::SCALE_FLAGS,
+    )
+    .scale();
     let (matrix_size, task_sizes, thread_counts, machine) = match scale {
         Scale::Quick => (
             4096usize,

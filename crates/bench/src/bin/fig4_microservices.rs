@@ -7,12 +7,17 @@
 //! The quick sweep scales all inference times down by 10x (and the rates up accordingly) so
 //! the simulation finishes quickly; `--full` uses the paper's durations and rates.
 
-use usf_bench::{header, machine_line, Scale};
+use usf_bench::{cli, header, machine_line, Scale};
 use usf_simsched::{Machine, SimTime};
 use usf_workloads::microservices::{run_microservices, MicroservicesConfig, PartitionScheme};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cli::parse_or_exit(
+        "fig4_microservices",
+        "Regenerates Figure 4 (§5.5): agentic AI microservices latency/throughput.",
+        cli::SCALE_FLAGS,
+    )
+    .scale();
     // Request rates of the paper's x-axis.
     let paper_rates = [0.11, 0.12, 0.14, 0.17, 0.2, 0.25, 0.33, 0.5, 1.0];
     let (time_scale, requests, rates): (f64, usize, Vec<f64>) = match scale {

@@ -3,12 +3,17 @@
 //!
 //! Usage: `cargo run -p usf-bench --release --bin fig5_lammps [--full]`
 
-use usf_bench::{header, machine_line, Scale};
+use usf_bench::{cli, header, machine_line, Scale};
 use usf_simsched::{Machine, SimTime};
 use usf_workloads::md::{run_md_scenario, MdConfig, MdScenario};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cli::parse_or_exit(
+        "fig5_lammps",
+        "Regenerates Figure 5 (§5.6): LAMMPS + DeePMD MD ensembles co-execution.",
+        cli::SCALE_FLAGS,
+    )
+    .scale();
     let machine = Machine::marenostrum5();
 
     header("Figure 5 — LAMMPS + DeePMD ensembles (simulated)");

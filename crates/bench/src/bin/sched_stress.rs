@@ -1,0 +1,531 @@
+//! Scheduler submit-path stress: N producer threads submitting short tasks across M
+//! process domains on an oversubscribed virtual-core set, reporting submits/sec and
+//! p50/p99 scheduling-point latency, and writing `BENCH_sched.json`.
+//!
+//! Usage: `cargo run -p usf-bench --release --bin sched_stress [--smoke] [flags]`
+//!
+//! Two measurements, each run against both submit paths on fresh schedulers:
+//!
+//! * **saturated submit throughput** (the headline): every virtual core is kept busy, so
+//!   each submit of a fresh task is the pure publication cost — one CAS onto the lock-free
+//!   MPSC intake (`Scheduler::submit`) versus placement under the global scheduler lock
+//!   (`Scheduler::submit_locked`, the pre-intake baseline). The printed
+//!   `speedup_vs_locked` is the repo's perf trajectory for the scheduler hot path; with
+//!   8+ producers the intake path sustains ≥ 2× the locked baseline.
+//! * **wake churn** (context): worker tasks pause in a loop while producers re-wake them
+//!   (each producer owns a disjoint partner set and only wakes blocked partners, so every
+//!   submit is a real wake-up). Reports end-to-end grants/sec — this is condvar-bound,
+//!   not lock-bound, which is exactly the paper's point that scheduling-point overhead is
+//!   not the limiter.
+//!
+//! `--smoke` (used by CI) shrinks both runs and first executes a deterministic regression
+//! sentinel that panics if a submit to a fully busy system ever acquires the scheduler
+//! lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+use usf_bench::cli::{self, FlagSpec};
+use usf_nosv::scheduler::Scheduler;
+use usf_nosv::{NosvConfig, TaskRef, TaskState, Topology};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--smoke",
+        value_name: None,
+        help: "tiny run + fast-path regression sentinel (CI mode)",
+    },
+    FlagSpec {
+        name: "--cores",
+        value_name: Some("N"),
+        help: "virtual cores (default 8)",
+    },
+    FlagSpec {
+        name: "--processes",
+        value_name: Some("M"),
+        help: "process domains (default 2)",
+    },
+    FlagSpec {
+        name: "--producers",
+        value_name: Some("P"),
+        help: "producer threads (default 8)",
+    },
+    FlagSpec {
+        name: "--workers",
+        value_name: Some("W"),
+        help: "wake-churn worker tasks, oversubscribing the cores (default 4x cores)",
+    },
+    FlagSpec {
+        name: "--batch",
+        value_name: Some("B"),
+        help: "tasks submitted per producer per saturated round (default 20000)",
+    },
+    FlagSpec {
+        name: "--rounds",
+        value_name: Some("R"),
+        help: "saturated rounds per mode (default 8)",
+    },
+    FlagSpec {
+        name: "--duration-ms",
+        value_name: Some("MS"),
+        help: "wake-churn duration per mode (default 500)",
+    },
+    FlagSpec {
+        name: "--spin",
+        value_name: Some("ITERS"),
+        help: "spin iterations per short task body (default 2000)",
+    },
+    FlagSpec {
+        name: "--json",
+        value_name: Some("PATH"),
+        help: "output file (default BENCH_sched.json)",
+    },
+    FlagSpec {
+        name: "--no-baseline",
+        value_name: None,
+        help: "skip the locked-baseline comparison runs",
+    },
+];
+
+#[derive(Clone)]
+struct Cfg {
+    cores: usize,
+    processes: usize,
+    producers: usize,
+    workers: usize,
+    batch: usize,
+    rounds: usize,
+    duration: Duration,
+    spin: u32,
+}
+
+impl Cfg {
+    fn nosv(&self) -> NosvConfig {
+        let mut c = NosvConfig::with_cores(self.cores);
+        c.topology = Topology::new(self.cores, 2.min(self.cores));
+        c
+    }
+}
+
+fn spin_work(iters: u32) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Saturated submit throughput: with every core held busy by hog tasks, `producers`
+/// threads concurrently submit `batch` fresh tasks each. Returns
+/// `(submits/sec, sampled submit latencies ns, lock acquisitions during the timed phase)`.
+fn saturated_phase(cfg: &Cfg, locked: bool) -> (f64, Vec<u64>, u64) {
+    let mut best_rate = 0.0f64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut lock_acqs = 0u64;
+    for _ in 0..cfg.rounds {
+        let sched = Arc::new(Scheduler::new(cfg.nosv()));
+        let pids: Vec<_> = (0..cfg.processes)
+            .map(|i| sched.register_process(format!("domain-{i}")))
+            .collect();
+        // Hogs occupy every core so each measured submit hits the queue-publication path.
+        let hogs: Vec<TaskRef> = (0..cfg.cores)
+            .map(|i| {
+                let t = sched
+                    .create_task(pids[i % pids.len()], None)
+                    .expect("scheduler is live");
+                sched.submit(&t);
+                t
+            })
+            .collect();
+        assert_eq!(
+            sched.busy_cores(),
+            cfg.cores,
+            "hogs must saturate the cores"
+        );
+        let batches: Vec<Vec<TaskRef>> = (0..cfg.producers)
+            .map(|p| {
+                (0..cfg.batch)
+                    .map(|i| {
+                        sched
+                            .create_task(pids[(p + i) % pids.len()], None)
+                            .expect("scheduler is live")
+                    })
+                    .collect()
+            })
+            .collect();
+        let locks_before = sched.metrics().snapshot().lock_acquisitions;
+        let barrier = Arc::new(Barrier::new(cfg.producers + 1));
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                let sched = Arc::clone(&sched);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(batch.len() / 16 + 1);
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    for (i, task) in batch.iter().enumerate() {
+                        if i % 16 == 0 {
+                            let s0 = Instant::now();
+                            if locked {
+                                sched.submit_locked(task);
+                            } else {
+                                sched.submit(task);
+                            }
+                            lat.push(s0.elapsed().as_nanos() as u64);
+                        } else if locked {
+                            sched.submit_locked(task);
+                        } else {
+                            sched.submit(task);
+                        }
+                    }
+                    (t0.elapsed(), lat)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let mut slowest = Duration::ZERO;
+        for h in handles {
+            let (elapsed, lat) = h.join().expect("producer panicked");
+            slowest = slowest.max(elapsed);
+            latencies.extend(lat);
+        }
+        lock_acqs += sched
+            .metrics()
+            .snapshot()
+            .lock_acquisitions
+            .saturating_sub(locks_before);
+        let rate = (cfg.producers * cfg.batch) as f64 / slowest.as_secs_f64().max(1e-9);
+        best_rate = best_rate.max(rate);
+        drop(hogs);
+        sched.shutdown();
+    }
+    latencies.sort_unstable();
+    (best_rate, latencies, lock_acqs)
+}
+
+struct ChurnStats {
+    wakeups: u64,
+    grants: u64,
+    elapsed_s: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Wake churn: `workers` tasks pause in a loop (short spin per wake-up) while producers
+/// re-wake blocked partners from disjoint slices for `duration`.
+fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
+    let sched = Arc::new(Scheduler::new(cfg.nosv()));
+    let pids: Vec<_> = (0..cfg.processes)
+        .map(|i| sched.register_process(format!("domain-{i}")))
+        .collect();
+    let tasks: Vec<TaskRef> = (0..cfg.workers)
+        .map(|i| {
+            sched
+                .create_task(pids[i % pids.len()], Some(format!("worker-{i}")))
+                .expect("scheduler is live")
+        })
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = tasks
+        .iter()
+        .map(|t| {
+            let sched = Arc::clone(&sched);
+            let task = TaskRef::clone(t);
+            let stop = Arc::clone(&stop);
+            let spin = cfg.spin;
+            std::thread::spawn(move || {
+                sched.attach(&task);
+                while !stop.load(Ordering::Relaxed) {
+                    spin_work(spin);
+                    sched.pause(&task);
+                }
+                sched.detach(&task);
+            })
+        })
+        .collect();
+
+    let total = Arc::new(AtomicU64::new(0));
+    let all_lat = Arc::new(Mutex::new(Vec::new()));
+    let deadline = Instant::now() + cfg.duration;
+    let start = Instant::now();
+    let chunk = tasks.len().div_ceil(cfg.producers);
+    let producers: Vec<_> = (0..cfg.producers)
+        .map(|p| {
+            let sched = Arc::clone(&sched);
+            let mine: Vec<TaskRef> = tasks
+                .iter()
+                .skip(p * chunk)
+                .take(chunk)
+                .map(TaskRef::clone)
+                .collect();
+            let total = Arc::clone(&total);
+            let all_lat = Arc::clone(&all_lat);
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                let mut count = 0u64;
+                let mut probes = 0u64;
+                let mut i = 0usize;
+                while !mine.is_empty() {
+                    probes += 1;
+                    if probes % 128 == 0 && Instant::now() >= deadline {
+                        break;
+                    }
+                    let task = &mine[i % mine.len()];
+                    i += 1;
+                    // Only wake partners that actually blocked: every submit is then a
+                    // real wake-up rather than a counted or redundant one.
+                    if task.state() != TaskState::Blocked {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    if count % 16 == 0 {
+                        let t0 = Instant::now();
+                        if locked {
+                            sched.submit_locked(task);
+                        } else {
+                            sched.submit(task);
+                        }
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    } else if locked {
+                        sched.submit_locked(task);
+                    } else {
+                        sched.submit(task);
+                    }
+                    count += 1;
+                }
+                total.fetch_add(count, Ordering::Relaxed);
+                all_lat.lock().expect("latency sink").extend(lat);
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().expect("producer panicked");
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    sched.shutdown();
+    for h in workers {
+        h.join().expect("worker panicked");
+    }
+    let mut latencies = Arc::try_unwrap(all_lat)
+        .map(|m| m.into_inner().expect("latency sink"))
+        .unwrap_or_default();
+    latencies.sort_unstable();
+    ChurnStats {
+        wakeups: total.load(Ordering::Relaxed),
+        grants: sched.metrics().snapshot().grants,
+        elapsed_s: elapsed.as_secs_f64(),
+        p50_ns: percentile(&latencies, 50.0),
+        p99_ns: percentile(&latencies, 99.0),
+    }
+}
+
+/// Deterministic regression sentinel: a submit while every core is busy must be intake-only
+/// (no scheduler-lock acquisition). Panics — failing CI — on regression.
+fn fastpath_sentinel() {
+    let sched = Scheduler::new(NosvConfig::with_cores(1));
+    let pid = sched.register_process("sentinel");
+    let hog = sched.create_task(pid, None).expect("live");
+    sched.submit(&hog); // occupies the only core
+    let waiters: Vec<_> = (0..64)
+        .map(|_| sched.create_task(pid, None).expect("live"))
+        .collect();
+    let before = sched.metrics().snapshot().lock_acquisitions;
+    for t in &waiters {
+        sched.submit(t);
+    }
+    let after = sched.metrics().snapshot().lock_acquisitions;
+    assert_eq!(
+        before, after,
+        "regression: submit to a fully busy scheduler acquired the global lock"
+    );
+    assert_eq!(sched.ready_count(), waiters.len());
+    sched.shutdown();
+    println!("fast-path sentinel: OK (64 saturated submits, 0 lock acquisitions)");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    cfg: &Cfg,
+    intake_rate: f64,
+    lat: &[u64],
+    intake_locks: u64,
+    baseline_rate: Option<f64>,
+    churn: &ChurnStats,
+    churn_baseline: Option<&ChurnStats>,
+) {
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"sched_stress\",\n");
+    json.push_str(&format!("  \"cores\": {},\n", cfg.cores));
+    json.push_str(&format!("  \"processes\": {},\n", cfg.processes));
+    json.push_str(&format!("  \"producers\": {},\n", cfg.producers));
+    json.push_str(&format!("  \"workers\": {},\n", cfg.workers));
+    json.push_str(&format!("  \"batch\": {},\n", cfg.batch));
+    json.push_str(&format!("  \"rounds\": {},\n", cfg.rounds));
+    json.push_str(&format!("  \"submits_per_sec\": {intake_rate:.1},\n"));
+    json.push_str(&format!(
+        "  \"p50_submit_ns\": {},\n",
+        percentile(lat, 50.0)
+    ));
+    json.push_str(&format!(
+        "  \"p99_submit_ns\": {},\n",
+        percentile(lat, 99.0)
+    ));
+    json.push_str(&format!(
+        "  \"saturated_lock_acquisitions\": {intake_locks},\n"
+    ));
+    match baseline_rate {
+        Some(b) => {
+            json.push_str(&format!("  \"baseline_submits_per_sec\": {b:.1},\n"));
+            json.push_str(&format!(
+                "  \"speedup_vs_locked\": {:.2},\n",
+                intake_rate / b.max(1e-9)
+            ));
+        }
+        None => json.push_str("  \"speedup_vs_locked\": null,\n"),
+    }
+    json.push_str(&format!(
+        "  \"wake_grants_per_sec\": {:.1},\n",
+        churn.grants as f64 / churn.elapsed_s.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"wake_submits_per_sec\": {:.1},\n",
+        churn.wakeups as f64 / churn.elapsed_s.max(1e-9)
+    ));
+    json.push_str(&format!("  \"wake_p50_submit_ns\": {},\n", churn.p50_ns));
+    json.push_str(&format!("  \"wake_p99_submit_ns\": {},\n", churn.p99_ns));
+    match churn_baseline {
+        Some(b) => {
+            json.push_str(&format!(
+                "  \"wake_baseline_grants_per_sec\": {:.1},\n",
+                b.grants as f64 / b.elapsed_s.max(1e-9)
+            ));
+            json.push_str(&format!(
+                "  \"wake_baseline_p99_submit_ns\": {}\n",
+                b.p99_ns
+            ));
+        }
+        None => json.push_str("  \"wake_baseline_grants_per_sec\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args = cli::parse_or_exit(
+        "sched_stress",
+        "Scheduler submit-path stress: producers submitting short tasks across process domains.",
+        FLAGS,
+    );
+    let smoke = args.has("--smoke");
+    let cores = args.get_or("--cores", 8usize).unwrap_or_else(die);
+    let cfg = Cfg {
+        cores,
+        processes: args.get_or("--processes", 2usize).unwrap_or_else(die),
+        producers: args.get_or("--producers", 8usize).unwrap_or_else(die),
+        workers: args.get_or("--workers", 4 * cores).unwrap_or_else(die),
+        batch: args
+            .get_or("--batch", if smoke { 4_000 } else { 20_000usize })
+            .unwrap_or_else(die),
+        rounds: args
+            .get_or("--rounds", if smoke { 3 } else { 8usize })
+            .unwrap_or_else(die),
+        duration: Duration::from_millis(
+            args.get_or("--duration-ms", if smoke { 150 } else { 500u64 })
+                .unwrap_or_else(die),
+        ),
+        spin: args.get_or("--spin", 2000u32).unwrap_or_else(die),
+    };
+    let json_path = args.get("--json").unwrap_or("BENCH_sched.json").to_string();
+
+    usf_bench::header("sched_stress — scheduler submit-path throughput and latency");
+    println!(
+        "{} cores, {} processes, {} producers, {} workers, batch {} x {} rounds, churn {} ms",
+        cfg.cores,
+        cfg.processes,
+        cfg.producers,
+        cfg.workers,
+        cfg.batch,
+        cfg.rounds,
+        cfg.duration.as_millis(),
+    );
+
+    if smoke {
+        fastpath_sentinel();
+    }
+
+    let (intake_rate, lat, intake_locks) = saturated_phase(&cfg, false);
+    println!(
+        " intake: {:>12.0} submits/s  p50 {:>5} ns  p99 {:>6} ns  ({} lock acqs across {} rounds)",
+        intake_rate,
+        percentile(&lat, 50.0),
+        percentile(&lat, 99.0),
+        intake_locks,
+        cfg.rounds,
+    );
+    let baseline_rate = if args.has("--no-baseline") {
+        None
+    } else {
+        let (rate, blat, block) = saturated_phase(&cfg, true);
+        println!(
+            " locked: {:>12.0} submits/s  p50 {:>5} ns  p99 {:>6} ns  ({} lock acqs across {} rounds)",
+            rate,
+            percentile(&blat, 50.0),
+            percentile(&blat, 99.0),
+            block,
+            cfg.rounds,
+        );
+        println!(
+            "speedup vs locked baseline: {:.2}x (target: >= 2x at 8+ producers)",
+            intake_rate / rate.max(1e-9)
+        );
+        Some(rate)
+    };
+
+    let churn = churn_phase(&cfg, false);
+    println!(
+        "  churn: {:>12.0} wakeups/s  {:>9.0} grants/s  p50 {:>5} ns  p99 {:>6} ns",
+        churn.wakeups as f64 / churn.elapsed_s.max(1e-9),
+        churn.grants as f64 / churn.elapsed_s.max(1e-9),
+        churn.p50_ns,
+        churn.p99_ns,
+    );
+    let churn_baseline = if args.has("--no-baseline") {
+        None
+    } else {
+        let b = churn_phase(&cfg, true);
+        println!(
+            "  churn (locked): {:>4.0} wakeups/s  {:>9.0} grants/s  p50 {:>5} ns  p99 {:>6} ns",
+            b.wakeups as f64 / b.elapsed_s.max(1e-9),
+            b.grants as f64 / b.elapsed_s.max(1e-9),
+            b.p50_ns,
+            b.p99_ns,
+        );
+        Some(b)
+    };
+
+    write_json(
+        &json_path,
+        &cfg,
+        intake_rate,
+        &lat,
+        intake_locks,
+        baseline_rate,
+        &churn,
+        churn_baseline.as_ref(),
+    );
+}
+
+fn die<T>(msg: String) -> T {
+    eprintln!("sched_stress: {msg}");
+    std::process::exit(2);
+}

@@ -3,14 +3,19 @@
 //!
 //! Usage: `cargo run -p usf-bench --release --bin table2_cholesky [--full]`
 
-use usf_bench::{fmt_mflops, fmt_speedup, header, machine_line, Scale};
+use usf_bench::{cli, fmt_mflops, fmt_speedup, header, machine_line, Scale};
 use usf_simsched::Machine;
 use usf_workloads::sim_cholesky::{
     run_sim_cholesky, CholeskyScheduler, Composition, Parallelism, SimCholeskyConfig,
 };
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cli::parse_or_exit(
+        "table2_cholesky",
+        "Regenerates Table 2 (§5.4): Cholesky runtime compositions under oversubscription.",
+        cli::SCALE_FLAGS,
+    )
+    .scale();
     let (machine, task_size, tasks_per_worker) = match scale {
         Scale::Quick => (Machine::marenostrum5_socket(), 512usize, 2usize),
         Scale::Full => (Machine::marenostrum5_socket(), 1024usize, 4usize),

@@ -32,6 +32,12 @@ pub fn sleep(duration: Duration) {
 /// otherwise keep the core. Returns `true` when a switch happened (always `false` in OS
 /// mode, where the kernel gives no feedback). This is the `sched_yield` interposition that
 /// makes busy-wait barriers cooperate (§5.3).
+///
+/// Fast path: when nothing is ready — the overwhelmingly common case for a spinning
+/// busy-wait barrier that is *not* oversubscribed — `Scheduler::yield_now` is a single
+/// atomic load on the scheduler's ready gauge; neither the task's grant lock nor the
+/// global scheduler lock is touched, so yield storms cannot contend with submitters on
+/// other cores.
 pub fn yield_now() -> bool {
     match current() {
         Some(ctx) => ctx.nosv.scheduler().yield_now(&ctx.task),

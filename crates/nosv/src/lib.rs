@@ -64,6 +64,7 @@ pub mod instance;
 pub mod metrics;
 pub mod policy;
 pub mod process;
+pub mod readyq;
 pub mod scheduler;
 pub mod task;
 pub mod topology;
@@ -74,6 +75,7 @@ pub use instance::{NosvInstance, TaskHandle};
 pub use metrics::{MetricsSnapshot, SchedulerMetrics};
 pub use policy::{CoopPolicy, FifoPolicy, Policy, TaskMeta};
 pub use process::ProcessId;
+pub use readyq::{CoopCore, CoreMap, ProcQueues, ReadyTime, TopologyView};
 pub use task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
 pub use topology::{CoreId, Topology};
 

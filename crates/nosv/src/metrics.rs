@@ -17,6 +17,12 @@ pub struct SchedulerMetrics {
     pub pending_wakeups: AtomicU64,
     /// Submits dropped because the task was already queued.
     pub redundant_submits: AtomicU64,
+    /// Submits published through the lock-free intake stack (the fast path: one CAS, no
+    /// scheduler-lock acquisition).
+    pub intake_submits: AtomicU64,
+    /// Global scheduler-lock acquisitions (debug counter). Lets tests and the
+    /// `sched_stress` harness verify that the submit fast path never touches the lock.
+    pub lock_acquisitions: AtomicU64,
     /// `nosv_pause` calls that actually blocked (released their core).
     pub pauses: AtomicU64,
     /// `nosv_pause` calls satisfied immediately by a counted wake-up.
@@ -54,6 +60,10 @@ pub struct MetricsSnapshot {
     pub pending_wakeups: u64,
     /// See [`SchedulerMetrics::redundant_submits`].
     pub redundant_submits: u64,
+    /// See [`SchedulerMetrics::intake_submits`].
+    pub intake_submits: u64,
+    /// See [`SchedulerMetrics::lock_acquisitions`].
+    pub lock_acquisitions: u64,
     /// See [`SchedulerMetrics::pauses`].
     pub pauses: u64,
     /// See [`SchedulerMetrics::pauses_elided`].
@@ -95,6 +105,8 @@ impl SchedulerMetrics {
             submits: self.submits.load(Ordering::Relaxed),
             pending_wakeups: self.pending_wakeups.load(Ordering::Relaxed),
             redundant_submits: self.redundant_submits.load(Ordering::Relaxed),
+            intake_submits: self.intake_submits.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
             pauses: self.pauses.load(Ordering::Relaxed),
             pauses_elided: self.pauses_elided.load(Ordering::Relaxed),
             yields: self.yields.load(Ordering::Relaxed),

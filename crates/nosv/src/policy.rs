@@ -7,9 +7,10 @@
 //! as a template for user-defined policies.
 
 use crate::process::ProcessId;
+use crate::readyq::CoopCore;
 use crate::task::TaskId;
 use crate::topology::{CoreId, Topology};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// The per-task information a policy is allowed to base its decisions on.
@@ -84,234 +85,37 @@ pub fn classify_placement(
 // SCHED_COOP
 // ---------------------------------------------------------------------------------------
 
-/// One queued task: its metadata, a monotonically increasing enqueue sequence number
-/// (total FIFO order), and the enqueue time (drives the anti-starvation aging valve).
-#[derive(Debug)]
-struct QueueEntry {
-    meta: TaskMeta,
-    seq: u64,
-    at: Instant,
-}
-
-/// Per-process ready queues used by [`CoopPolicy`].
-#[derive(Debug)]
-struct ProcQueues {
-    /// One FIFO per core, indexed by preferred core.
-    per_core: Vec<VecDeque<QueueEntry>>,
-    /// Tasks without a recorded preference.
-    unbound: VecDeque<QueueEntry>,
-    /// Total queued in this process.
-    count: usize,
-    /// Next enqueue sequence number.
-    next_seq: u64,
-    /// Earliest time the anti-starvation valve needs to look at the queues again. Keeps
-    /// the valve off the hot path: between deadlines, `pop_for` is the plain tiered pick.
-    next_valve_at: Option<Instant>,
-}
-
-impl ProcQueues {
-    fn new(cores: usize) -> Self {
-        ProcQueues {
-            per_core: (0..cores).map(|_| VecDeque::new()).collect(),
-            unbound: VecDeque::new(),
-            count: 0,
-            next_seq: 0,
-            next_valve_at: None,
-        }
-    }
-
-    fn push(&mut self, task: TaskMeta, now: Instant) {
-        let entry = QueueEntry {
-            meta: task,
-            seq: self.next_seq,
-            at: now,
-        };
-        self.next_seq += 1;
-        match task.preferred_core {
-            Some(c) => self.per_core[c].push_back(entry),
-            None => self.unbound.push_back(entry),
-        }
-        self.count += 1;
-    }
-
-    /// Head of the queue holding the oldest entry (by enqueue order) across every queue.
-    /// `Some(c)` identifies a per-core queue, `None` the unbound queue.
-    fn oldest_head(&self) -> Option<(u64, Instant, Option<CoreId>)> {
-        let mut best: Option<(u64, Instant, Option<CoreId>)> = None;
-        for (c, q) in self.per_core.iter().enumerate() {
-            if let Some(e) = q.front() {
-                if best.map_or(true, |(s, _, _)| e.seq < s) {
-                    best = Some((e.seq, e.at, Some(c)));
-                }
-            }
-        }
-        if let Some(e) = self.unbound.front() {
-            if best.map_or(true, |(s, _, _)| e.seq < s) {
-                best = Some((e.seq, e.at, None));
-            }
-        }
-        best
-    }
-
-    fn pop_from(&mut self, source: Option<CoreId>) -> TaskMeta {
-        let queue = match source {
-            Some(c) => &mut self.per_core[c],
-            None => &mut self.unbound,
-        };
-        let entry = queue.pop_front().expect("candidate queue has a head");
-        self.count -= 1;
-        entry.meta
-    }
-
-    /// The anti-starvation valve: at most once per `aging` window, serve the oldest
-    /// queued entry regardless of placement if it has waited longer than `aging`. Every
-    /// pop path must consult this first so no pick can bypass the liveness guarantee.
-    fn pop_aged(&mut self, now: Instant, aging: Duration) -> Option<TaskMeta> {
-        if self.next_valve_at.map_or(true, |t| now >= t) {
-            match self.oldest_head() {
-                Some((_, at, source)) => {
-                    if now.saturating_duration_since(at) >= aging {
-                        self.next_valve_at = Some(now + aging);
-                        return Some(self.pop_from(source));
-                    }
-                    // Nothing aged yet: the current oldest entry is the first that can
-                    // age (later entries age strictly later).
-                    self.next_valve_at = Some(at + aging);
-                }
-                None => self.next_valve_at = Some(now + aging),
-            }
-        }
-        None
-    }
-
-    /// Pop honouring affinity → same NUMA node / unbound (oldest head first) → remote,
-    /// with an anti-starvation valve in front: at most once per `aging` period, the
-    /// oldest queued entry anywhere is served regardless of placement if it has waited
-    /// longer than `aging`.
-    ///
-    /// Without the valve the policy is not starvation-free: tasks that have never been
-    /// granted a core sit in `unbound` (or a remote queue) and can wait forever while
-    /// woken tasks re-queue to their last core ahead of them. The valve is rate-limited
-    /// (one aged grant per `aging` window, tracked by `next_valve_at`) so that under
-    /// sustained oversubscription — where *every* entry is older than one quantum — the
-    /// policy stays affinity-first instead of degrading into a global FIFO; liveness
-    /// only needs the oldest entry to be served eventually, with bounded delay. The
-    /// deadline check also keeps the O(cores) oldest-head scan off the common path.
-    fn pop_for(
-        &mut self,
-        topo: &Topology,
-        core: CoreId,
-        now: Instant,
-        aging: Duration,
-    ) -> Option<TaskMeta> {
-        if let Some(t) = self.pop_aged(now, aging) {
-            return Some(t);
-        }
-        if self.per_core[core].front().is_some() {
-            return Some(self.pop_from(Some(core)));
-        }
-        let node = topo.node_of(core);
-        // Same-node queues and the unbound queue compete by enqueue order; `None` marks
-        // the unbound queue.
-        let mut best: Option<(u64, Option<CoreId>)> = None;
-        for c in topo.cores_in_node(node) {
-            if c == core {
-                continue;
-            }
-            if let Some(e) = self.per_core[c].front() {
-                if best.map_or(true, |(s, _)| e.seq < s) {
-                    best = Some((e.seq, Some(c)));
-                }
-            }
-        }
-        if let Some(e) = self.unbound.front() {
-            if best.map_or(true, |(s, _)| e.seq < s) {
-                best = Some((e.seq, None));
-            }
-        }
-        if let Some((_, source)) = best {
-            return Some(self.pop_from(source));
-        }
-        for c in topo.cores() {
-            if topo.node_of(c) == node {
-                continue;
-            }
-            if self.per_core[c].front().is_some() {
-                return Some(self.pop_from(Some(c)));
-            }
-        }
-        None
-    }
-}
-
 /// The paper's SCHED_COOP ready-queue policy (§4.1).
 ///
 /// * Ready tasks are queued FIFO per process and per preferred core.
 /// * An idle core is first offered tasks that last ran on it, then — oldest enqueued first —
-///   tasks from its NUMA node or unbound tasks, then anything else in the current process.
+///   tasks from its NUMA node or unbound tasks, then the oldest remote task.
 ///   The FIFO aging between node-local and unbound queues keeps the policy
 ///   starvation-free: never-granted tasks must not wait forever behind yielding tasks
 ///   that re-queue to their last core (the oversubscribed busy-wait-barrier pattern).
 /// * Each process is served for a quantum (default 20 ms); the quantum is evaluated only at
 ///   scheduling points (i.e. inside [`Policy::pick`]), never by interrupting a running task.
+///
+/// The queue structure itself lives in [`crate::readyq`], shared verbatim with the
+/// discrete-event simulator (`usf-simsched`); this type is a thin adapter binding it to
+/// real time and [`TaskMeta`]. The topology is snapshotted at construction, so the
+/// `topo` arguments of the [`Policy`] methods are ignored.
 #[derive(Debug)]
 pub struct CoopPolicy {
-    queues: HashMap<ProcessId, ProcQueues>,
-    /// Registration order; quantum rotation walks this ring.
-    order: Vec<ProcessId>,
-    current: usize,
-    quantum: Duration,
-    quantum_started: Option<Instant>,
-    rotations: u64,
-    cores: usize,
+    core: CoopCore<ProcessId, TaskMeta, Instant>,
 }
 
 impl CoopPolicy {
     /// Create a SCHED_COOP policy for the given topology and per-process quantum.
     pub fn new(topo: Topology, quantum: Duration) -> Self {
         CoopPolicy {
-            queues: HashMap::new(),
-            order: Vec::new(),
-            current: 0,
-            quantum,
-            quantum_started: None,
-            rotations: 0,
-            cores: topo.num_cores(),
+            core: CoopCore::new(&topo, quantum),
         }
     }
 
     /// The process whose quantum is currently active, if any.
     pub fn current_process(&self) -> Option<ProcessId> {
-        self.order.get(self.current).copied()
-    }
-
-    fn rotate_if_expired(&mut self, now: Instant) {
-        if self.order.len() <= 1 {
-            return;
-        }
-        let expired = match self.quantum_started {
-            Some(start) => now.duration_since(start) >= self.quantum,
-            None => false,
-        };
-        if expired {
-            // Advance to the next process that has ready work (or just the next process if
-            // none do — the quantum restarts either way).
-            let len = self.order.len();
-            let mut next = (self.current + 1) % len;
-            for off in 0..len {
-                let cand = (self.current + 1 + off) % len;
-                let pid = self.order[cand];
-                if self.queues.get(&pid).map(|q| q.count > 0).unwrap_or(false) {
-                    next = cand;
-                    break;
-                }
-            }
-            if next != self.current {
-                self.rotations += 1;
-            }
-            self.current = next;
-            self.quantum_started = Some(now);
-        }
+        self.core.current_process()
     }
 }
 
@@ -321,74 +125,32 @@ impl Policy for CoopPolicy {
     }
 
     fn register_process(&mut self, process: ProcessId) {
-        if self.queues.contains_key(&process) {
-            return;
-        }
-        self.queues.insert(process, ProcQueues::new(self.cores));
-        self.order.push(process);
+        self.core.register_process(process);
     }
 
     fn deregister_process(&mut self, process: ProcessId) {
-        self.queues.remove(&process);
-        if let Some(pos) = self.order.iter().position(|p| *p == process) {
-            self.order.remove(pos);
-            if self.current >= self.order.len() {
-                self.current = 0;
-            }
-        }
+        self.core.deregister_process(process);
     }
 
     fn enqueue(&mut self, _topo: &Topology, task: TaskMeta, now: Instant) {
-        let q = self
-            .queues
-            .entry(task.process)
-            .or_insert_with(|| ProcQueues::new(self.cores));
-        if !self.order.contains(&task.process) {
-            self.order.push(task.process);
-        }
-        q.push(task, now);
+        self.core
+            .enqueue(task.process, task, task.preferred_core, now);
     }
 
-    fn pick(&mut self, topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
-        if self.order.is_empty() {
-            return None;
-        }
-        if self.quantum_started.is_none() {
-            self.quantum_started = Some(now);
-        }
-        self.rotate_if_expired(now);
-        let len = self.order.len();
-        for off in 0..len {
-            let idx = (self.current + off) % len;
-            let pid = self.order[idx];
-            if let Some(q) = self.queues.get_mut(&pid) {
-                // Entries older than one quantum are served oldest-first regardless of
-                // placement (the starvation valve in ProcQueues::pop_for).
-                if let Some(t) = q.pop_for(topo, core, now, self.quantum) {
-                    if off != 0 {
-                        // We skipped ahead because the current process had nothing ready;
-                        // its turn effectively passes to this process.
-                        self.current = idx;
-                        self.quantum_started = Some(now);
-                        self.rotations += 1;
-                    }
-                    return Some(t);
-                }
-            }
-        }
-        None
+    fn pick(&mut self, _topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
+        self.core.pick(core, now)
     }
 
     fn has_ready(&self) -> bool {
-        self.queues.values().any(|q| q.count > 0)
+        self.core.has_ready()
     }
 
     fn ready_count(&self) -> usize {
-        self.queues.values().map(|q| q.count).sum()
+        self.core.ready_count()
     }
 
     fn rotations(&self) -> u64 {
-        self.rotations
+        self.core.rotations()
     }
 }
 

@@ -1,0 +1,876 @@
+//! The unified SCHED_COOP ready-queue.
+//!
+//! This module is the **single** implementation of the paper's SCHED_COOP ready-queue
+//! structure (§4.1): per-process, per-preferred-core FIFO queues with an unbound queue, an
+//! affinity → NUMA-node → remote tiered pop, a rate-limited anti-starvation aging valve,
+//! and a per-process quantum ring. It is generic over
+//!
+//! * the **time type** ([`ReadyTime`]): the real runtime instantiates it with
+//!   [`std::time::Instant`], the discrete-event simulator with its virtual `SimTime`, and
+//!   tests/benches with plain `u64` nanoseconds; and
+//! * the **topology view** ([`TopologyView`]): any type that can say how many cores exist
+//!   and which NUMA node each belongs to (the runtime's `Topology`, the simulator's
+//!   `Machine`).
+//!
+//! Both `usf_nosv::policy::CoopPolicy` and `usf_simsched`'s `CoopScheduler` are thin
+//! adapters over [`CoopCore`], which is what guarantees the simulator always validates the
+//! exact policy code the real runtime ships (previously the two crates hand-mirrored this
+//! structure and had to be kept in sync by review).
+//!
+//! # Complexity
+//!
+//! The seed implementation located the oldest queued entry with an O(#cores) scan of every
+//! queue head on each aging-valve deadline and on every NUMA-tier pop. Here every queue
+//! *head* is registered in lazy min-heaps keyed by the entry's global enqueue sequence
+//! number — one heap over all queues plus one per NUMA node — so `oldest head` queries are
+//! O(log cores) amortised. Registrations are appended when a queue's head changes
+//! (push-to-empty or pop) and stale registrations are discarded lazily when they surface;
+//! a size-triggered compaction (rebuild from the ≤ cores+1 live heads) bounds heap memory
+//! regardless of how rarely the slow tiers run.
+//!
+//! # Ordering specification
+//!
+//! `pop_for(core)` serves, in order:
+//!
+//! 1. the **aging valve**: at most once per `aging` window, the globally oldest entry if
+//!    it has waited ≥ `aging` (the starvation-freedom guarantee);
+//! 2. the core's own FIFO (**affinity**);
+//! 3. the oldest entry among the core's **NUMA node** queues and the **unbound** queue;
+//! 4. the oldest **remote** entry. (The seed picked the first non-empty remote queue in
+//!    core order; serving the oldest instead is strictly fairer and is what the heaps give
+//!    for free. The property tests in `tests/readyq_equivalence.rs` pin this spec.)
+
+use crate::topology::Topology;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point in time the ready-queue can do arithmetic on.
+///
+/// Implemented for [`Instant`] (the real scheduler), for `u64` nanoseconds (tests and
+/// benches), and by `usf-simsched` for its virtual `SimTime`.
+pub trait ReadyTime: Copy + PartialOrd {
+    /// The duration type separating two points.
+    type Delta: Copy + PartialOrd;
+
+    /// Time elapsed from `earlier` to `self`, saturating at zero.
+    fn since(self, earlier: Self) -> Self::Delta;
+
+    /// The point `delta` after `self`.
+    fn advance(self, delta: Self::Delta) -> Self;
+}
+
+impl ReadyTime for Instant {
+    type Delta = Duration;
+
+    fn since(self, earlier: Self) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+
+    fn advance(self, delta: Duration) -> Self {
+        self + delta
+    }
+}
+
+impl ReadyTime for u64 {
+    type Delta = u64;
+
+    fn since(self, earlier: Self) -> u64 {
+        self.saturating_sub(earlier)
+    }
+
+    fn advance(self, delta: u64) -> Self {
+        self.saturating_add(delta)
+    }
+}
+
+/// The scheduling-relevant view of a machine topology: a dense core id space partitioned
+/// into NUMA nodes.
+pub trait TopologyView {
+    /// Number of cores (dense ids `0..cores`).
+    fn view_cores(&self) -> usize;
+
+    /// NUMA node of a core.
+    fn view_node_of(&self, core: usize) -> usize;
+}
+
+impl TopologyView for Topology {
+    fn view_cores(&self) -> usize {
+        self.num_cores()
+    }
+
+    fn view_node_of(&self, core: usize) -> usize {
+        self.node_of(core)
+    }
+}
+
+/// An immutable core → NUMA-node map snapshotted from a [`TopologyView`].
+///
+/// [`ProcQueues`] stores one (shared via `Arc`, so per-process clones are cheap) instead of
+/// borrowing the topology on every call, which keeps the hot-path signatures free of a view
+/// parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreMap {
+    core_node: Vec<usize>,
+    node_cores: Vec<Vec<usize>>,
+}
+
+impl CoreMap {
+    /// Snapshot a view.
+    pub fn from_view(view: &impl TopologyView) -> Self {
+        let cores = view.view_cores();
+        let core_node: Vec<usize> = (0..cores).map(|c| view.view_node_of(c)).collect();
+        let nodes = core_node.iter().copied().max().map_or(1, |m| m + 1);
+        let mut node_cores = vec![Vec::new(); nodes];
+        for (c, &n) in core_node.iter().enumerate() {
+            node_cores[n].push(c);
+        }
+        CoreMap {
+            core_node,
+            node_cores,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_node.len()
+    }
+
+    /// Number of NUMA nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_cores.len()
+    }
+
+    /// NUMA node of a core.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn node_of(&self, core: usize) -> usize {
+        self.core_node[core]
+    }
+
+    /// Cores belonging to a node.
+    pub fn cores_in_node(&self, node: usize) -> &[usize] {
+        &self.node_cores[node]
+    }
+}
+
+/// Queue source identifier inside the head heaps: a core id, or [`UNBOUND`].
+const UNBOUND: usize = usize::MAX;
+
+/// One queued item: its payload, a monotonically increasing enqueue sequence number (total
+/// FIFO order across all of the process's queues) and the enqueue time (drives the
+/// anti-starvation aging valve).
+#[derive(Debug)]
+struct Entry<T, C> {
+    item: T,
+    seq: u64,
+    at: C,
+}
+
+/// Per-process ready queues: one FIFO per preferred core plus an unbound FIFO, with lazy
+/// min-heaps over the queue heads for O(log cores) oldest-head queries.
+///
+/// See the [module documentation](self) for the ordering specification.
+#[derive(Debug)]
+pub struct ProcQueues<T, C: ReadyTime> {
+    map: Arc<CoreMap>,
+    per_core: Vec<VecDeque<Entry<T, C>>>,
+    unbound: VecDeque<Entry<T, C>>,
+    count: usize,
+    next_seq: u64,
+    /// Earliest time the anti-starvation valve needs to look at the queues again. Keeps
+    /// the valve off the hot path: between deadlines, `pop_for` is the plain tiered pick.
+    next_valve_at: Option<C>,
+    /// Lazy min-heap over `(head seq, source)` of every non-empty queue (`source` is a
+    /// core id or [`UNBOUND`]). Each entry is registered at most once — when it becomes a
+    /// queue head — and discarded when it surfaces stale.
+    heads: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-NUMA-node lazy min-heaps over that node's per-core queue heads (the unbound
+    /// queue is tracked separately: it competes in every node).
+    node_heads: Vec<BinaryHeap<Reverse<(u64, usize)>>>,
+}
+
+impl<T, C: ReadyTime> ProcQueues<T, C> {
+    /// Empty queues for the given core map.
+    pub fn new(map: Arc<CoreMap>) -> Self {
+        let cores = map.cores();
+        let nodes = map.nodes();
+        ProcQueues {
+            map,
+            per_core: (0..cores).map(|_| VecDeque::new()).collect(),
+            unbound: VecDeque::new(),
+            count: 0,
+            next_seq: 0,
+            next_valve_at: None,
+            heads: BinaryHeap::new(),
+            node_heads: (0..nodes).map(|_| BinaryHeap::new()).collect(),
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no item is queued.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The core map these queues were built for.
+    pub fn core_map(&self) -> &CoreMap {
+        &self.map
+    }
+
+    /// Enqueue an item. A preference outside the core id range (e.g. recorded before a
+    /// topology change) is treated as unbound.
+    pub fn push(&mut self, item: T, preferred: Option<usize>, now: C) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { item, seq, at: now };
+        let source = match preferred {
+            Some(c) if c < self.per_core.len() => c,
+            _ => UNBOUND,
+        };
+        let was_empty = if source == UNBOUND {
+            self.unbound.is_empty()
+        } else {
+            self.per_core[source].is_empty()
+        };
+        // Enqueue BEFORE registering: registration can trigger a heap compaction, which
+        // rebuilds from the queue fronts — the entry must already be visible there or its
+        // registration is lost and the item becomes unreachable to every heap-based tier.
+        if source == UNBOUND {
+            self.unbound.push_back(entry);
+        } else {
+            self.per_core[source].push_back(entry);
+        }
+        self.count += 1;
+        if was_empty {
+            // The entry became this queue's head: register it.
+            self.register_head(seq, source);
+        }
+    }
+
+    /// Current head sequence number of a queue, if non-empty.
+    fn head_seq(&self, source: usize) -> Option<u64> {
+        if source == UNBOUND {
+            self.unbound.front().map(|e| e.seq)
+        } else {
+            self.per_core[source].front().map(|e| e.seq)
+        }
+    }
+
+    /// Register a new queue head in the heaps, compacting the ones this registration
+    /// touched if stale entries have piled up.
+    fn register_head(&mut self, seq: u64, source: usize) {
+        self.heads.push(Reverse((seq, source)));
+        if self.heads.len() > 2 * (self.per_core.len() + 1) + 16 {
+            self.compact_global();
+        }
+        if source != UNBOUND {
+            let node = self.map.node_of(source);
+            self.node_heads[node].push(Reverse((seq, source)));
+            if self.node_heads[node].len() > 2 * self.map.cores_in_node(node).len() + 8 {
+                self.compact_node(node);
+            }
+        }
+    }
+
+    /// Rebuild the global heap from the ≤ cores+1 live heads. Registrations are only
+    /// discarded lazily at the top, so a workload that always exits at the affinity tier
+    /// would otherwise grow the heap without bound; the rebuild is O(cores) and triggered
+    /// at most once per O(cores) head changes, so it amortises to O(1). (Only the heaps a
+    /// registration touched can have grown, so `register_head` checks just those — the
+    /// threshold comparisons themselves are O(1) and allocation-free.)
+    fn compact_global(&mut self) {
+        self.heads.clear();
+        for (c, q) in self.per_core.iter().enumerate() {
+            if let Some(e) = q.front() {
+                self.heads.push(Reverse((e.seq, c)));
+            }
+        }
+        if let Some(e) = self.unbound.front() {
+            self.heads.push(Reverse((e.seq, UNBOUND)));
+        }
+    }
+
+    /// Rebuild one node heap from that node's live per-core heads (see
+    /// [`ProcQueues::compact_global`]).
+    fn compact_node(&mut self, node: usize) {
+        self.node_heads[node].clear();
+        let cores = self.map.cores_in_node(node).len();
+        for i in 0..cores {
+            let c = self.map.cores_in_node(node)[i];
+            if let Some(e) = self.per_core[c].front() {
+                let seq = e.seq;
+                self.node_heads[node].push(Reverse((seq, c)));
+            }
+        }
+    }
+
+    /// Oldest live head in the global heap, discarding stale registrations.
+    fn peek_global(&mut self) -> Option<(u64, usize)> {
+        loop {
+            let (seq, src) = match self.heads.peek() {
+                Some(&Reverse(top)) => top,
+                None => return None,
+            };
+            if self.head_seq(src) == Some(seq) {
+                return Some((seq, src));
+            }
+            self.heads.pop();
+        }
+    }
+
+    /// Oldest live per-core head in `node`'s heap, discarding stale registrations.
+    fn peek_node(&mut self, node: usize) -> Option<(u64, usize)> {
+        loop {
+            let (seq, src) = match self.node_heads[node].peek() {
+                Some(&Reverse(top)) => top,
+                None => return None,
+            };
+            if self.head_seq(src) == Some(seq) {
+                return Some((seq, src));
+            }
+            self.node_heads[node].pop();
+        }
+    }
+
+    /// Pop the head of `source`, registering the queue's new head if any.
+    fn pop_from(&mut self, source: usize) -> Entry<T, C> {
+        let entry = if source == UNBOUND {
+            self.unbound.pop_front()
+        } else {
+            self.per_core[source].pop_front()
+        }
+        .expect("candidate queue has a head");
+        self.count -= 1;
+        if let Some(seq) = self.head_seq(source) {
+            self.register_head(seq, source);
+        }
+        entry
+    }
+
+    /// The anti-starvation valve: at most once per `aging` window, serve the oldest queued
+    /// entry regardless of placement if it has waited longer than `aging`. Every pop path
+    /// (including affinity-only pre-passes like the simulator's `pick_affine`) must consult
+    /// this first so no pick can bypass the liveness guarantee.
+    ///
+    /// The valve is rate-limited (one aged grant per `aging` window, tracked by
+    /// `next_valve_at`) so that under sustained oversubscription — where *every* entry is
+    /// older than one quantum — the policy stays affinity-first instead of degrading into a
+    /// global FIFO; liveness only needs the oldest entry to be served eventually, with
+    /// bounded delay. The deadline check also keeps the oldest-head query off the common
+    /// path entirely.
+    pub fn pop_aged(&mut self, now: C, aging: C::Delta) -> Option<T> {
+        if self.next_valve_at.map_or(true, |t| now >= t) {
+            match self.peek_global() {
+                Some((_, src)) => {
+                    let at = if src == UNBOUND {
+                        self.unbound.front().expect("live head").at
+                    } else {
+                        self.per_core[src].front().expect("live head").at
+                    };
+                    if now.since(at) >= aging {
+                        self.next_valve_at = Some(now.advance(aging));
+                        return Some(self.pop_from(src).item);
+                    }
+                    // Nothing aged yet: the current oldest entry is the first that can
+                    // age (later entries age strictly later).
+                    self.next_valve_at = Some(at.advance(aging));
+                }
+                None => self.next_valve_at = Some(now.advance(aging)),
+            }
+        }
+        None
+    }
+
+    /// Pop the head of `core`'s own FIFO, if any. Used by affinity-only pre-passes; callers
+    /// must run [`ProcQueues::pop_aged`] first (see there).
+    pub fn pop_affine(&mut self, core: usize) -> Option<T> {
+        if self.per_core[core].front().is_some() {
+            Some(self.pop_from(core).item)
+        } else {
+            None
+        }
+    }
+
+    /// Tiered pop for an idle core: aging valve → own FIFO → oldest of (same-node FIFOs,
+    /// unbound FIFO) → oldest remote entry. See the module documentation for the rationale
+    /// of each tier.
+    ///
+    /// # Panics
+    /// Panics if `core` is outside the core map.
+    pub fn pop_for(&mut self, core: usize, now: C, aging: C::Delta) -> Option<T> {
+        if let Some(t) = self.pop_aged(now, aging) {
+            return Some(t);
+        }
+        if self.per_core[core].front().is_some() {
+            return Some(self.pop_from(core).item);
+        }
+        // Same-node queues and the unbound queue compete by enqueue order. The core's own
+        // queue is empty here, so any of its registrations in the node heap are stale and
+        // get discarded by the peek.
+        let node = self.map.node_of(core);
+        let node_best = self.peek_node(node);
+        let unbound_seq = self.unbound.front().map(|e| e.seq);
+        let best = match (node_best, unbound_seq) {
+            (Some((s, src)), Some(us)) => Some(if us < s { UNBOUND } else { src }),
+            (Some((_, src)), None) => Some(src),
+            (None, Some(_)) => Some(UNBOUND),
+            (None, None) => None,
+        };
+        if let Some(src) = best {
+            return Some(self.pop_from(src).item);
+        }
+        // Every same-node queue and the unbound queue are empty, so the global minimum (if
+        // any) is the oldest entry on a remote node.
+        if let Some((_, src)) = self.peek_global() {
+            debug_assert!(src != UNBOUND && self.map.node_of(src) != node);
+            return Some(self.pop_from(src).item);
+        }
+        None
+    }
+
+    /// Number of heap registrations currently held (diagnostics: bounded by compaction).
+    #[cfg(test)]
+    fn heap_len(&self) -> usize {
+        self.heads.len() + self.node_heads.iter().map(|h| h.len()).sum::<usize>()
+    }
+}
+
+/// The shared SCHED_COOP policy core: [`ProcQueues`] per process domain plus the
+/// per-process quantum ring, generic over process id, queued item and time type.
+///
+/// `usf_nosv::policy::CoopPolicy` instantiates it as
+/// `CoopCore<ProcessId, TaskMeta, Instant>`; the simulator's `CoopScheduler` as
+/// `CoopCore<ProcessId, ThreadId, SimTime>`.
+#[derive(Debug)]
+pub struct CoopCore<P, T, C: ReadyTime> {
+    map: Arc<CoreMap>,
+    queues: HashMap<P, ProcQueues<T, C>>,
+    /// Registration order; quantum rotation walks this ring.
+    order: Vec<P>,
+    current: usize,
+    quantum: C::Delta,
+    quantum_started: Option<C>,
+    rotations: u64,
+    /// Total queued across every process (O(1) `has_ready`/`ready_count`).
+    total: usize,
+}
+
+impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
+    /// Create a policy core for the given topology view and per-process quantum
+    /// (the quantum doubles as the aging-valve window).
+    pub fn new(view: &impl TopologyView, quantum: C::Delta) -> Self {
+        CoopCore {
+            map: Arc::new(CoreMap::from_view(view)),
+            queues: HashMap::new(),
+            order: Vec::new(),
+            current: 0,
+            quantum,
+            quantum_started: None,
+            rotations: 0,
+            total: 0,
+        }
+    }
+
+    /// Re-snapshot the topology. Queues built for a different core map are recreated
+    /// empty (their entries are dropped — callers only do this before work is queued,
+    /// e.g. the simulator's `init`).
+    pub fn set_topology(&mut self, view: &impl TopologyView) {
+        let map = Arc::new(CoreMap::from_view(view));
+        if *map == *self.map {
+            return;
+        }
+        self.map = Arc::clone(&map);
+        for q in self.queues.values_mut() {
+            self.total -= q.len();
+            *q = ProcQueues::new(Arc::clone(&map));
+        }
+    }
+
+    /// The process whose quantum is currently active, if any.
+    pub fn current_process(&self) -> Option<P> {
+        self.order.get(self.current).copied()
+    }
+
+    /// Number of process-quantum rotations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Total queued items.
+    pub fn ready_count(&self) -> usize {
+        self.total
+    }
+
+    /// Whether anything is queued.
+    pub fn has_ready(&self) -> bool {
+        self.total > 0
+    }
+
+    /// Register a process domain (idempotent).
+    pub fn register_process(&mut self, process: P) {
+        if self.queues.contains_key(&process) {
+            return;
+        }
+        self.queues
+            .insert(process, ProcQueues::new(Arc::clone(&self.map)));
+        self.order.push(process);
+    }
+
+    /// Deregister a process domain, dropping any queued entries.
+    pub fn deregister_process(&mut self, process: P) {
+        if let Some(q) = self.queues.remove(&process) {
+            self.total -= q.len();
+        }
+        if let Some(pos) = self.order.iter().position(|p| *p == process) {
+            self.order.remove(pos);
+            if self.current >= self.order.len() {
+                self.current = 0;
+            }
+        }
+    }
+
+    /// Enqueue a ready item for `process` (auto-registering unknown processes).
+    pub fn enqueue(&mut self, process: P, item: T, preferred: Option<usize>, now: C) {
+        self.register_process(process);
+        self.queues
+            .get_mut(&process)
+            .expect("process just registered")
+            .push(item, preferred, now);
+        self.total += 1;
+    }
+
+    fn rotate_if_expired(&mut self, now: C) {
+        if self.order.len() <= 1 {
+            return;
+        }
+        let expired = match self.quantum_started {
+            Some(start) => now.since(start) >= self.quantum,
+            None => false,
+        };
+        if expired {
+            // Advance to the next process that has ready work (or just the next process if
+            // none do — the quantum restarts either way).
+            let len = self.order.len();
+            let mut next = (self.current + 1) % len;
+            for off in 0..len {
+                let cand = (self.current + 1 + off) % len;
+                let pid = self.order[cand];
+                if self
+                    .queues
+                    .get(&pid)
+                    .map(|q| !q.is_empty())
+                    .unwrap_or(false)
+                {
+                    next = cand;
+                    break;
+                }
+            }
+            if next != self.current {
+                self.rotations += 1;
+            }
+            self.current = next;
+            self.quantum_started = Some(now);
+        }
+    }
+
+    /// Pick the next item an idle `core` should run: rotate the quantum ring if expired,
+    /// then tiered-pop ([`ProcQueues::pop_for`]) from the current process, falling through
+    /// to the other processes (which passes the turn to whichever one had work).
+    pub fn pick(&mut self, core: usize, now: C) -> Option<T> {
+        if self.order.is_empty() {
+            return None;
+        }
+        if self.quantum_started.is_none() {
+            self.quantum_started = Some(now);
+        }
+        self.rotate_if_expired(now);
+        let len = self.order.len();
+        for off in 0..len {
+            let idx = (self.current + off) % len;
+            let pid = self.order[idx];
+            if let Some(q) = self.queues.get_mut(&pid) {
+                // Entries older than one quantum are served oldest-first regardless of
+                // placement (the starvation valve in ProcQueues::pop_for).
+                if let Some(t) = q.pop_for(core, now, self.quantum) {
+                    if off != 0 {
+                        // We skipped ahead because the current process had nothing ready;
+                        // its turn effectively passes to this process.
+                        self.current = idx;
+                        self.quantum_started = Some(now);
+                        self.rotations += 1;
+                    }
+                    self.total -= 1;
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Affinity-only pick: serve items whose preferred core is exactly `core`, regardless
+    /// of the process rotation (affinity placement is checked before quantum fairness,
+    /// §4.1) — but the anti-starvation valve still comes first: a saturated dispatch that
+    /// always finds affine candidates here would otherwise never reach the valve in
+    /// [`ProcQueues::pop_for`] (the real nOS-V runtime has no valve-free pick path, and no
+    /// user of this core must have one either).
+    pub fn pick_affine(&mut self, core: usize, now: C) -> Option<T> {
+        for i in 0..self.order.len() {
+            let pid = self.order[i];
+            if let Some(q) = self.queues.get_mut(&pid) {
+                if let Some(t) = q.pop_aged(now, self.quantum) {
+                    self.total -= 1;
+                    return Some(t);
+                }
+                if let Some(t) = q.pop_affine(core) {
+                    self.total -= 1;
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(cores: usize, nodes: usize) -> Arc<CoreMap> {
+        Arc::new(CoreMap::from_view(&Topology::new(cores, nodes)))
+    }
+
+    #[test]
+    fn core_map_snapshots_topology() {
+        let m = map(7, 3);
+        assert_eq!(m.cores(), 7);
+        assert_eq!(m.nodes(), 3);
+        assert_eq!(m.cores_in_node(0), &[0, 1, 2]);
+        assert_eq!(m.node_of(6), 2);
+    }
+
+    #[test]
+    fn fifo_order_within_one_queue() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(1, 1));
+        for id in 1..=5 {
+            q.push(id, Some(0), 0);
+        }
+        let got: Vec<u32> = (0..5).map(|_| q.pop_for(0, 0, 100).unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn affinity_beats_older_node_entry() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(4, 2));
+        q.push(1, Some(2), 0);
+        q.push(2, Some(0), 0);
+        // Core 0 takes its affine entry even though core 2's is older.
+        assert_eq!(q.pop_for(0, 0, 1_000), Some(2));
+        assert_eq!(q.pop_for(2, 0, 1_000), Some(1));
+    }
+
+    #[test]
+    fn node_tier_serves_oldest_of_node_and_unbound() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(4, 2));
+        q.push(1, None, 0); // unbound, oldest
+        q.push(2, Some(1), 0); // same node as core 0
+        assert_eq!(q.pop_for(0, 0, 1_000), Some(1), "unbound entry is older");
+        assert_eq!(q.pop_for(0, 0, 1_000), Some(2));
+    }
+
+    #[test]
+    fn remote_tier_serves_oldest_remote() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(6, 3));
+        // Core 0 is in node 0; push remote entries out of core order.
+        q.push(1, Some(4), 0); // node 2, older
+        q.push(2, Some(2), 1); // node 1, newer but smaller core id
+        assert_eq!(q.pop_for(0, 1, 1_000), Some(1), "oldest remote wins");
+        assert_eq!(q.pop_for(0, 1, 1_000), Some(2));
+    }
+
+    #[test]
+    fn out_of_range_preference_is_unbound() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(2, 1));
+        q.push(7, Some(99), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_for(0, 0, 1_000), Some(7));
+    }
+
+    #[test]
+    fn aging_valve_serves_oldest_once_per_window() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(2, 1));
+        q.push(1, Some(1), 0); // will age
+        q.push(2, Some(0), 5); // core 0's affine entry
+        q.push(3, Some(1), 5);
+        // At t=100 with aging=50, entry 1 has aged: the valve serves it ahead of core 0's
+        // own queue.
+        assert_eq!(q.pop_for(0, 100, 50), Some(1));
+        // The valve is rate-limited: the next pop within the window is the plain tiered
+        // pick (affinity first), even though entry 3 has also aged.
+        assert_eq!(q.pop_for(0, 101, 50), Some(2));
+        // After the window, the valve fires again.
+        assert_eq!(q.pop_for(0, 200, 50), Some(3));
+    }
+
+    #[test]
+    fn pop_aged_nothing_old_enough_sets_deadline() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(1, 1));
+        q.push(1, Some(0), 10);
+        assert_eq!(q.pop_aged(20, 100), None);
+        // Deadline is entry age + window (110); before it the valve stays closed even for
+        // aged entries (rate limit), after it the oldest is served.
+        assert_eq!(q.pop_aged(109, 100), None);
+        assert_eq!(q.pop_aged(115, 100), Some(1));
+    }
+
+    #[test]
+    fn heap_registrations_stay_bounded() {
+        // A workload that always exits at the affinity tier never consults the heaps; the
+        // compaction must still bound their size.
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(4, 2));
+        q.push(0, None, 0); // ancient unbound entry pins the global minimum
+        for i in 0..10_000u32 {
+            q.push(i, Some(1), u64::from(i));
+            assert_eq!(q.pop_affine(1), Some(i));
+        }
+        assert!(
+            q.heap_len() <= 4 * (4 + 1) + 48,
+            "heaps grew to {}",
+            q.heap_len()
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_for(0, 0, 1 << 40), Some(0));
+    }
+
+    #[test]
+    fn push_to_empty_queue_survives_compaction() {
+        // Regression: `push` used to register the new head *before* enqueueing the entry.
+        // A compaction triggered inside that registration rebuilds the heaps from the
+        // queue fronts — which did not yet contain the entry — permanently dropping its
+        // registration: the item stayed queued (`len() == 1`) but the valve, node and
+        // remote tiers could never find it (a lost ready task in the scheduler).
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(4, 2));
+        // Accumulate stale global registrations: each push-to-empty registers a head, the
+        // pop leaves that registration stale without cleaning it.
+        while q.heads.len() < 2 * (4 + 1) + 16 {
+            q.push(1, None, 0);
+            let _ = q.pop_from(UNBOUND);
+        }
+        // The next registration crosses the compaction threshold mid-push.
+        q.push(777, Some(3), 0);
+        assert_eq!(q.len(), 1);
+        // Core 0 (other NUMA node) can only reach the entry through the heaps.
+        assert_eq!(q.pop_for(0, 10, 5), Some(777));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_global_order_per_tier() {
+        // Stress the lazy-heap bookkeeping: pops must always return the oldest entry the
+        // tier specification allows, across many interleavings.
+        let mut q: ProcQueues<u64, u64> = ProcQueues::new(map(4, 2));
+        let mut expected: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        for round in 0..200u64 {
+            for k in 0..(round % 5 + 1) {
+                let pref = match (round + k) % 6 {
+                    0 => None,
+                    m => Some((m as usize - 1) % 4),
+                };
+                q.push(seq, pref, round);
+                expected.push(seq);
+                seq += 1;
+            }
+            if round % 3 == 0 {
+                // Aging window of zero: the valve serves strictly oldest-first, which makes
+                // the expected order the global FIFO.
+                if let Some(got) = q.pop_for((round % 4) as usize, round, 0) {
+                    let want = expected.remove(0);
+                    assert_eq!(got, want, "round {round}");
+                }
+            }
+        }
+        while let Some(got) = q.pop_for(0, u64::MAX - 1, 0) {
+            let want = expected.remove(0);
+            assert_eq!(got, want);
+        }
+        assert!(expected.is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn coop_core_rotates_quantum() {
+        let topo = Topology::single_node(1);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 10);
+        core.enqueue(0, 1, None, 0);
+        core.enqueue(1, 2, None, 0);
+        core.enqueue(0, 3, None, 0);
+        core.enqueue(1, 4, None, 0);
+        assert_eq!(core.pick(0, 0), Some(1));
+        assert_eq!(core.pick(0, 5), Some(3));
+        // Quantum expired → process 1's turn.
+        assert_eq!(core.pick(0, 15), Some(2));
+        assert_eq!(core.current_process(), Some(1));
+        assert_eq!(core.pick(0, 20), Some(4));
+        assert!(core.rotations() >= 1);
+        assert!(!core.has_ready());
+    }
+
+    #[test]
+    fn coop_core_passes_turn_to_nonempty_process() {
+        let topo = Topology::single_node(2);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 1_000);
+        core.register_process(0);
+        core.register_process(1);
+        core.enqueue(1, 10, None, 0);
+        assert_eq!(core.pick(0, 0), Some(10));
+        assert!(core.rotations() >= 1);
+        assert_eq!(core.ready_count(), 0);
+    }
+
+    #[test]
+    fn coop_core_deregister_drops_entries() {
+        let topo = Topology::single_node(1);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 10);
+        core.enqueue(0, 1, None, 0);
+        core.enqueue(1, 2, None, 0);
+        assert_eq!(core.ready_count(), 2);
+        core.deregister_process(0);
+        assert_eq!(core.ready_count(), 1);
+        assert_eq!(core.pick(0, 0), Some(2));
+    }
+
+    #[test]
+    fn coop_core_pick_affine_respects_valve() {
+        let topo = Topology::single_node(2);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 50);
+        core.enqueue(0, 1, Some(1), 0); // will age
+        core.enqueue(0, 2, Some(0), 60);
+        // At t=100 entry 1 (waiting 100 ≥ 50) must be served by the valve even though the
+        // affine pick for core 0 would find entry 2.
+        assert_eq!(core.pick_affine(0, 100), Some(1));
+        assert_eq!(core.pick_affine(0, 101), Some(2));
+        assert_eq!(core.pick_affine(0, 102), None);
+    }
+
+    #[test]
+    fn coop_core_set_topology_rebuilds() {
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&Topology::single_node(1), 10);
+        core.register_process(0);
+        core.set_topology(&Topology::new(4, 2));
+        core.enqueue(0, 1, Some(3), 0);
+        assert_eq!(core.pick(3, 0), Some(1));
+        // Same topology again is a no-op (queues kept).
+        core.enqueue(0, 2, Some(3), 0);
+        core.set_topology(&Topology::new(4, 2));
+        assert_eq!(core.ready_count(), 1);
+    }
+}

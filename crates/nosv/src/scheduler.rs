@@ -1,8 +1,26 @@
 //! The centralized multi-process scheduler (the "shared memory segment" of nOS-V).
 //!
-//! One [`Scheduler`] instance owns the virtual core slots and the installed [`Policy`]. All
-//! mutation happens under a single mutex (`SchedState`); per-task grant slots have their
-//! own lock so a worker can wait for a core without holding the scheduler lock.
+//! One [`Scheduler`] instance owns the virtual core slots and the installed [`Policy`].
+//! Structural mutation (core slots, policy queues, task registry) happens under a single
+//! mutex (`SchedState`); per-task grant slots have their own lock so a worker can wait for
+//! a core without holding the scheduler lock.
+//!
+//! **The de-contended hot path.** The paper's central claim is that scheduling points are
+//! cheap enough for a centralized scheduler to arbitrate oversubscription, so the
+//! operations that fire on every wake-up must not serialize on the global lock:
+//!
+//! * `submit` to a busy system publishes the ready task onto a **lock-free MPSC intake
+//!   stack** with one CAS and returns. The intake is drained — under the lock — by
+//!   whichever core reaches the next scheduling point (release/dispatch/yield), i.e. by
+//!   threads that were taking the lock anyway. Only when idle cores exist does `submit`
+//!   take the lock itself to place the task immediately (an idle system is uncontended by
+//!   definition).
+//! * `has_ready`, `ready_count` and `busy_cores` read relaxed-ish atomic gauges
+//!   (`ready_tasks`, `idle_cores`), so `yield_now`'s "is switching useful" check never
+//!   contends with submitters.
+//! * Every scheduler-lock acquisition bumps the `lock_acquisitions` debug counter, which
+//!   is how tests (and `sched_stress --smoke` in CI) verify the submit fast path performs
+//!   no global-lock acquisition.
 //!
 //! **Lock ordering**: the scheduler lock may acquire a task's grant lock (to deliver a
 //! grant), but a grant lock is never held while acquiring the scheduler lock. The public
@@ -18,6 +36,8 @@ use crate::task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
 use crate::topology::{CoreId, Topology};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// State of one virtual core slot.
@@ -27,6 +47,72 @@ enum CoreSlot {
     Idle,
     /// The given task currently holds this core.
     Busy(TaskId),
+}
+
+/// One node of the lock-free intake stack.
+struct IntakeNode {
+    task: TaskRef,
+    next: *mut IntakeNode,
+}
+
+/// A Treiber stack used as the MPSC submit intake: any thread pushes with one CAS;
+/// draining swaps the whole list out (only ever done while holding the scheduler lock,
+/// so drains never race each other) and reverses it to restore submission order.
+struct Intake {
+    head: AtomicPtr<IntakeNode>,
+}
+
+// SAFETY: the raw pointers only ever reference heap nodes owned by the stack; pushes are
+// CAS-published and the single drainer takes ownership of the whole list atomically.
+unsafe impl Send for Intake {}
+unsafe impl Sync for Intake {}
+
+impl Intake {
+    fn new() -> Self {
+        Intake {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Publish a ready task. Lock-free: one allocation plus a CAS loop.
+    fn push(&self, task: TaskRef) {
+        let node = Box::into_raw(Box::new(IntakeNode {
+            task,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            // SAFETY: `node` is not yet published; we have exclusive access.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Take every queued task, oldest first.
+    fn drain(&self) -> Vec<TaskRef> {
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+        let mut out = Vec::new();
+        while !p.is_null() {
+            // SAFETY: the swap transferred ownership of the whole list to us.
+            let node = unsafe { Box::from_raw(p) };
+            out.push(node.task);
+            p = node.next;
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl Drop for Intake {
+    fn drop(&mut self) {
+        let _ = self.drain();
+    }
 }
 
 /// Scheduler state protected by the central lock.
@@ -46,6 +132,19 @@ pub struct Scheduler {
     config: NosvConfig,
     state: Mutex<SchedState>,
     metrics: SchedulerMetrics,
+    /// Lock-free submit intake (see the module documentation).
+    intake: Intake,
+    /// Number of idle core slots; maintained under the lock, read lock-free by `submit`
+    /// to decide whether immediate placement is worth taking the lock for.
+    idle_cores: AtomicUsize,
+    /// Ready-task gauge: intake entries plus policy-queued entries. Signed because stale
+    /// entries of detached tasks are only reconciled when they are popped, and shutdown
+    /// zeroes it; readers clamp at zero.
+    ready_tasks: AtomicI64,
+    /// Lock-free mirror of `SchedState::shutdown`, set before the shutdown drain so a
+    /// submit racing shutdown can detect it after publishing and self-heal (see
+    /// [`Scheduler::submit`]).
+    shutting_down: AtomicBool,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -75,7 +174,18 @@ impl Scheduler {
             }),
             metrics: SchedulerMetrics::default(),
             config,
+            intake: Intake::new(),
+            idle_cores: AtomicUsize::new(cores),
+            ready_tasks: AtomicI64::new(0),
+            shutting_down: AtomicBool::new(false),
         }
+    }
+
+    /// Acquire the global scheduler lock, bumping the debug counter that lets tests prove
+    /// which paths stay off it.
+    fn lock_state(&self) -> parking_lot::MutexGuard<'_, SchedState> {
+        SchedulerMetrics::inc(&self.metrics.lock_acquisitions);
+        self.state.lock()
     }
 
     /// The topology this scheduler manages.
@@ -95,32 +205,36 @@ impl Scheduler {
 
     /// Name of the installed policy.
     pub fn policy_name(&self) -> String {
-        self.state.lock().policy.name().to_string()
+        self.lock_state().policy.name().to_string()
     }
 
     /// Number of process-quantum rotations performed by the policy.
     pub fn policy_rotations(&self) -> u64 {
-        self.state.lock().policy.rotations()
+        self.lock_state().policy.rotations()
     }
 
-    /// Number of tasks currently ready (queued, not running).
+    /// Number of tasks currently ready (queued, not running). Lock-free: reads the atomic
+    /// gauge, which may transiently include entries of tasks detached while queued.
     pub fn ready_count(&self) -> usize {
-        self.state.lock().policy.ready_count()
+        self.ready_tasks.load(Ordering::SeqCst).max(0) as usize
     }
 
-    /// Number of cores currently running a task.
+    /// Whether any task is ready. Lock-free (see [`Scheduler::ready_count`]); this is what
+    /// makes yield-storm "is switching useful" checks free of contention.
+    pub fn has_ready(&self) -> bool {
+        self.ready_tasks.load(Ordering::SeqCst) > 0
+    }
+
+    /// Number of cores currently running a task. Lock-free.
     pub fn busy_cores(&self) -> usize {
-        self.state
-            .lock()
-            .cores
-            .iter()
-            .filter(|c| matches!(c, CoreSlot::Busy(_)))
-            .count()
+        self.topo
+            .num_cores()
+            .saturating_sub(self.idle_cores.load(Ordering::SeqCst))
     }
 
     /// Number of live (registered, unfinished) tasks.
     pub fn live_tasks(&self) -> usize {
-        self.state.lock().tasks.len()
+        self.lock_state().tasks.len()
     }
 
     // -------------------------------------------------------------------------------------
@@ -129,7 +243,7 @@ impl Scheduler {
 
     /// Register a process domain and return its identifier.
     pub fn register_process(&self, name: impl Into<String>) -> ProcessId {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         let id = st.next_process_id;
         st.next_process_id += 1;
         st.processes.insert(id, ProcessInfo::new(id, name));
@@ -137,17 +251,47 @@ impl Scheduler {
         id
     }
 
-    /// Deregister a process domain. Live tasks of the process keep running; only the
-    /// bookkeeping and its place in the quantum rotation are removed.
+    /// Deregister a process domain. Running tasks of the process keep their cores; only
+    /// the bookkeeping and its place in the quantum rotation are removed. Tasks of the
+    /// process still *queued* can never be picked again once their entries are dropped,
+    /// so they are released from scheduler control (their waiters resume as plain OS
+    /// threads, the same safety valve as [`Scheduler::shutdown`]) — a deregister must
+    /// never leave a waiter parked forever.
     pub fn deregister_process(&self, process: ProcessId) {
-        let mut st = self.state.lock();
-        st.processes.remove(&process);
-        st.policy.deregister_process(process);
+        let stranded: Vec<TaskRef> = {
+            let mut st = self.lock_state();
+            st.processes.remove(&process);
+            // Flush the intake first: a task of this process still sitting in the intake
+            // would otherwise be enqueued at a later drain and auto-re-register the
+            // process in the quantum rotation after it was purged.
+            self.drain_intake(&mut st);
+            // The policy drops any entries still queued for the process; the lock-free
+            // ready gauge must shed them too or has_ready() would stay stuck true and
+            // permanently defeat the yield fast path.
+            let before = st.policy.ready_count();
+            st.policy.deregister_process(process);
+            let dropped = before.saturating_sub(st.policy.ready_count());
+            if dropped > 0 {
+                self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
+            }
+            st.tasks
+                .values()
+                .filter(|t| t.process() == process)
+                .cloned()
+                .collect()
+        };
+        for t in stranded {
+            let mut g = t.grant.lock();
+            if g.queued && g.granted.is_none() && !g.released {
+                g.released = true;
+                t.grant_cv.notify_all();
+            }
+        }
     }
 
     /// Names and ids of the registered process domains.
     pub fn processes(&self) -> Vec<(ProcessId, String)> {
-        let st = self.state.lock();
+        let st = self.lock_state();
         let mut v: Vec<_> = st
             .processes
             .values()
@@ -163,7 +307,7 @@ impl Scheduler {
 
     /// Create (but do not submit) a task belonging to `process`.
     pub fn create_task(&self, process: ProcessId, label: Option<String>) -> Result<TaskRef> {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         if st.shutdown {
             return Err(NosvError::ShutDown);
         }
@@ -190,32 +334,79 @@ impl Scheduler {
         let _ = task.wait_grant();
     }
 
-    /// Make a task ready. If an appropriate idle core exists it is granted immediately;
-    /// otherwise the task is queued in the policy. Safe to call from any thread.
+    /// Mark the task ready in its grant slot. Returns `false` if nothing more to do (task
+    /// released, already queued, or wake-up counted against a held core).
+    fn mark_ready(&self, task: &TaskRef) -> bool {
+        let mut g = task.grant.lock();
+        if g.released {
+            return false;
+        }
+        if g.granted.is_some() {
+            // The task still holds a core (it has not reached its pause yet): count the
+            // wake-up so the upcoming pause returns immediately (nOS-V event counter).
+            g.pending_wakeups += 1;
+            SchedulerMetrics::inc(&self.metrics.pending_wakeups);
+            return false;
+        }
+        if g.queued {
+            // Already sitting in the ready queues; nothing to do.
+            SchedulerMetrics::inc(&self.metrics.redundant_submits);
+            return false;
+        }
+        g.queued = true;
+        g.state = TaskState::Ready;
+        true
+    }
+
+    /// Make a task ready. If an idle core exists it is granted immediately (honouring
+    /// affinity); otherwise — the oversubscribed fast path — the task is published onto
+    /// the lock-free intake with a single CAS and the call returns without touching the
+    /// scheduler lock. Safe to call from any thread.
     pub fn submit(&self, task: &TaskRef) {
         SchedulerMetrics::inc(&self.metrics.submits);
-        {
-            let mut g = task.grant.lock();
-            if g.released {
-                return;
-            }
-            if g.granted.is_some() {
-                // The task still holds a core (it has not reached its pause yet): count the
-                // wake-up so the upcoming pause returns immediately (nOS-V event counter).
-                g.pending_wakeups += 1;
-                SchedulerMetrics::inc(&self.metrics.pending_wakeups);
-                return;
-            }
-            if g.queued {
-                // Already sitting in the ready queues; nothing to do.
-                SchedulerMetrics::inc(&self.metrics.redundant_submits);
-                return;
-            }
-            g.queued = true;
-            g.state = TaskState::Ready;
+        if !self.mark_ready(task) {
+            return;
         }
-        let mut st = self.state.lock();
+        self.ready_tasks.fetch_add(1, Ordering::SeqCst);
+        self.intake.push(TaskRef::clone(task));
+        SchedulerMetrics::inc(&self.metrics.intake_submits);
+        // SeqCst pairs with `mark_idle`: if a core went idle before our push became
+        // visible to its drain, we observe `idle_cores > 0` here and place the task
+        // ourselves; otherwise its drain (which runs after its idle-store) sees our node.
+        if self.idle_cores.load(Ordering::SeqCst) > 0 {
+            let mut st = self.lock_state();
+            self.drain_intake(&mut st);
+            // If stale entries made the drain enqueue instead of granting, fill the idle
+            // cores from the policy now.
+            self.dispatch_idle_cores(&mut st);
+        } else if self.shutting_down.load(Ordering::SeqCst) {
+            // We published after shutdown's drain: self-heal so the gauge does not stay
+            // stuck positive and the node does not pin the task until Scheduler drop.
+            // (The waiter itself is safe either way — the task was registered before the
+            // shutdown flag was set, so the release loop covers it.)
+            let mut st = self.lock_state();
+            self.drain_intake(&mut st);
+        }
+    }
+
+    /// The pre-intake submit path, kept for comparison benchmarking (`sched_stress
+    /// --baseline`): the grant-slot bookkeeping is identical but the task is placed under
+    /// the global scheduler lock, which is what every submit contended on before the
+    /// intake stack existed.
+    pub fn submit_locked(&self, task: &TaskRef) {
+        SchedulerMetrics::inc(&self.metrics.submits);
+        if !self.mark_ready(task) {
+            return;
+        }
+        self.ready_tasks.fetch_add(1, Ordering::SeqCst);
+        let mut st = self.lock_state();
+        self.drain_intake(&mut st);
+        if st.shutdown || !st.tasks.contains_key(&task.id()) {
+            self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
         self.place_ready_task(&mut st, task);
+        self.dispatch_idle_cores(&mut st);
     }
 
     /// Block the calling task: release its core (handing it to the next ready task) and wait
@@ -238,7 +429,7 @@ impl Scheduler {
         SchedulerMetrics::inc(&self.metrics.pauses);
         SchedulerMetrics::inc(&task.stats.blocks);
         if let Some(core) = released {
-            let mut st = self.state.lock();
+            let mut st = self.lock_state();
             self.release_core(&mut st, core);
         }
         let _ = task.wait_grant();
@@ -265,7 +456,7 @@ impl Scheduler {
         }
         SchedulerMetrics::inc(&task.stats.blocks);
         if let Some(core) = released {
-            let mut st = self.state.lock();
+            let mut st = self.lock_state();
             self.release_core(&mut st, core);
         }
         let deadline = Instant::now() + timeout;
@@ -285,6 +476,13 @@ impl Scheduler {
     /// its queue. Returns `true` if a switch happened, `false` if the core was kept because
     /// nothing else was ready. This is the `sched_yield` → `nosv_yield` path of §5.3.
     pub fn yield_now(&self, task: &TaskRef) -> bool {
+        // The "is switching useful" check reads the atomic gauge first: a yield storm
+        // with nothing ready (the busy-wait-barrier pattern) touches neither the task's
+        // grant lock nor the scheduler lock.
+        if !self.has_ready() {
+            SchedulerMetrics::inc(&self.metrics.yields_noop);
+            return false;
+        }
         let core = {
             let g = task.grant.lock();
             if g.released {
@@ -295,30 +493,17 @@ impl Scheduler {
                 None => return false,
             }
         };
-        let mut st = self.state.lock();
-        if !st.policy.has_ready() {
-            SchedulerMetrics::inc(&self.metrics.yields_noop);
-            return false;
-        }
+        let mut st = self.lock_state();
+        self.drain_intake(&mut st);
         // Pick the successor *before* requeueing ourselves: with per-core FIFO affinity the
         // yielding task would otherwise be at the head of its own core's queue and the yield
         // would hand the core straight back to it, starving everyone else.
         let now = Instant::now();
-        let next = loop {
-            match st.policy.pick(&self.topo, core, now) {
-                Some(meta) => {
-                    if let Some(t) = st.tasks.get(&meta.id).cloned() {
-                        break Some(t);
-                    }
-                    // Stale entry (task detached while queued): keep looking.
-                }
-                None => break None,
-            }
-        };
-        let next_task = match next {
+        let next_task = match self.pick_live(&mut st, core, now) {
             Some(t) => t,
             None => {
-                // Every queued entry was stale; nothing to switch to.
+                // The gauge raced or every queued entry was stale; nothing to switch to.
+                drop(st);
                 SchedulerMetrics::inc(&self.metrics.yields_noop);
                 return false;
             }
@@ -342,7 +527,8 @@ impl Scheduler {
             preferred_core: None,
         };
         st.policy.enqueue(&self.topo, meta, now);
-        st.cores[core] = CoreSlot::Busy(next_task.id());
+        self.ready_tasks.fetch_add(1, Ordering::SeqCst);
+        self.mark_busy(&mut st, core, next_task.id());
         self.grant(&next_task, core);
         drop(st);
         SchedulerMetrics::inc(&self.metrics.yields);
@@ -362,7 +548,7 @@ impl Scheduler {
             g.state = TaskState::Finished;
             g.released = true;
         }
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         if let Some(core) = released {
             self.release_core(&mut st, core);
         }
@@ -377,13 +563,25 @@ impl Scheduler {
     /// control and resumes as a plain OS thread. This is a safety valve used by the USF
     /// layer at instance teardown so that buggy applications can never leave threads parked
     /// forever.
+    ///
+    /// The intake stack is drained under the same lock acquisition that sets the shutdown
+    /// flag, so a submit racing shutdown can never leave a waiter parked: either its push
+    /// lands before the drain (released below alongside the registered tasks), or its
+    /// grant-slot update ran before the task's release (the task is in `tasks` — it was
+    /// created before the flag was set — so it is released below and `wait_grant` returns
+    /// immediately).
     pub fn shutdown(&self) {
-        let tasks: Vec<TaskRef> = {
-            let mut st = self.state.lock();
+        let (tasks, queued) = {
+            let mut st = self.lock_state();
             st.shutdown = true;
-            st.tasks.values().cloned().collect()
+            // Published before the drain: a submit that pushes after this drain will
+            // observe the flag and self-heal (see `submit`).
+            self.shutting_down.store(true, Ordering::SeqCst);
+            let tasks: Vec<TaskRef> = st.tasks.values().cloned().collect();
+            (tasks, self.intake.drain())
         };
-        for t in tasks {
+        self.ready_tasks.store(0, Ordering::SeqCst);
+        for t in tasks.iter().chain(queued.iter()) {
             let mut g = t.grant.lock();
             g.released = true;
             t.grant_cv.notify_all();
@@ -392,7 +590,7 @@ impl Scheduler {
 
     /// Whether the scheduler has been shut down.
     pub fn is_shutdown(&self) -> bool {
-        self.state.lock().shutdown
+        self.lock_state().shutdown
     }
 
     // -------------------------------------------------------------------------------------
@@ -418,25 +616,71 @@ impl Scheduler {
         task.grant_cv.notify_one();
     }
 
-    /// Place a freshly submitted task: grant it an idle core if one is available (honouring
-    /// affinity), otherwise leave it queued in the policy.
+    /// Transition a core slot to busy, maintaining the idle-core gauge.
+    fn mark_busy(&self, st: &mut SchedState, core: CoreId, id: TaskId) {
+        if matches!(st.cores[core], CoreSlot::Idle) {
+            self.idle_cores.fetch_sub(1, Ordering::SeqCst);
+        }
+        st.cores[core] = CoreSlot::Busy(id);
+    }
+
+    /// Transition a core slot to idle, maintaining the idle-core gauge.
+    fn mark_idle(&self, st: &mut SchedState, core: CoreId) {
+        if !matches!(st.cores[core], CoreSlot::Idle) {
+            self.idle_cores.fetch_add(1, Ordering::SeqCst);
+        }
+        st.cores[core] = CoreSlot::Idle;
+    }
+
+    /// Move every intake entry into the scheduler proper: stale entries (task detached, or
+    /// shutdown) are dropped, tasks whose process was deregistered while they sat in the
+    /// intake are released (placing them would resurrect the purged process in the
+    /// rotation, and they could never be picked once purged again), and live ones are
+    /// placed ([`Scheduler::place_ready_task`]). Callers hold the scheduler lock, which
+    /// is what serializes drains.
+    fn drain_intake(&self, st: &mut SchedState) {
+        for task in self.intake.drain() {
+            if st.shutdown || !st.tasks.contains_key(&task.id()) {
+                self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            if !st.processes.contains_key(&task.process()) {
+                self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+                let mut g = task.grant.lock();
+                if !g.released {
+                    g.released = true;
+                    task.grant_cv.notify_all();
+                }
+                continue;
+            }
+            self.place_ready_task(st, &task);
+        }
+    }
+
+    /// Place a ready task: grant it an idle core if one is available (honouring affinity)
+    /// and no older work is queued, otherwise enqueue it in the policy.
+    ///
+    /// The `has_ready` guard keeps intake draining fair: a task published after older
+    /// tasks were queued in the policy must not jump them just because a core went idle in
+    /// between — it is enqueued instead, and the pop tiers (which include the aging valve)
+    /// decide.
     fn place_ready_task(&self, st: &mut SchedState, task: &TaskRef) {
         let now = Instant::now();
-        match self.choose_idle_core(st, task.preferred_core()) {
-            Some(core) => {
+        if !st.policy.has_ready() {
+            if let Some(core) = self.choose_idle_core(st, task.preferred_core()) {
                 // The task was marked queued by the caller; the grant clears it.
-                st.cores[core] = CoreSlot::Busy(task.id());
+                self.mark_busy(st, core, task.id());
                 self.grant(task, core);
-            }
-            None => {
-                let meta = TaskMeta {
-                    id: task.id(),
-                    process: task.process(),
-                    preferred_core: task.preferred_core(),
-                };
-                st.policy.enqueue(&self.topo, meta, now);
+                self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+                return;
             }
         }
+        let meta = TaskMeta {
+            id: task.id(),
+            process: task.process(),
+            preferred_core: task.preferred_core(),
+        };
+        st.policy.enqueue(&self.topo, meta, now);
     }
 
     /// Pick an idle core for a task with the given preference: preferred core if idle, else
@@ -455,22 +699,61 @@ impl Scheduler {
         self.topo.cores().find(|&c| is_idle(c))
     }
 
-    /// A core became free: hand it to the next ready task according to the policy, or mark
-    /// it idle.
+    /// A core became free: drain the intake, then hand the core to the next ready task
+    /// according to the policy (if the drain did not already fill it), or leave it idle.
     fn release_core(&self, st: &mut SchedState, core: CoreId) {
-        st.cores[core] = CoreSlot::Idle;
-        self.dispatch_core(st, core, Instant::now());
+        self.mark_idle(st, core);
+        self.drain_intake(st);
+        // Hot path: only the freed core can normally be idle while work is queued
+        // (place_ready_task grants idle cores whenever the policy is empty), so dispatch
+        // it directly instead of scanning all slots under the lock.
+        if matches!(st.cores[core], CoreSlot::Idle) {
+            self.dispatch_core(st, core, Instant::now());
+        }
+        // Rare: stale entries of detached tasks can leave *other* cores idle while the
+        // policy still reports ready work — fall back to the full scan only then.
+        if st.policy.has_ready() && self.idle_cores.load(Ordering::SeqCst) > 0 {
+            self.dispatch_idle_cores(st);
+        }
     }
 
-    /// Try to dispatch a ready task onto an idle core. Stale queue entries (tasks detached
-    /// while still queued) are skipped.
+    /// Pop ready tasks from the policy until a live one is found, maintaining the ready
+    /// gauge. Stale queue entries (tasks detached while still queued) are skipped and
+    /// reconciled here.
+    fn pick_live(&self, st: &mut SchedState, core: CoreId, now: Instant) -> Option<TaskRef> {
+        while let Some(meta) = st.policy.pick(&self.topo, core, now) {
+            self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+            if let Some(task) = st.tasks.get(&meta.id).cloned() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Try to dispatch a ready task onto an idle core.
     fn dispatch_core(&self, st: &mut SchedState, core: CoreId, now: Instant) {
         debug_assert!(matches!(st.cores[core], CoreSlot::Idle));
-        while let Some(meta) = st.policy.pick(&self.topo, core, now) {
-            if let Some(task) = st.tasks.get(&meta.id).cloned() {
-                st.cores[core] = CoreSlot::Busy(meta.id);
-                self.grant(&task, core);
-                return;
+        if st.shutdown {
+            return;
+        }
+        if let Some(task) = self.pick_live(st, core, now) {
+            self.mark_busy(st, core, task.id());
+            self.grant(&task, core);
+        }
+    }
+
+    /// Dispatch ready work onto every idle core (cheap early-exit when nothing is ready).
+    fn dispatch_idle_cores(&self, st: &mut SchedState) {
+        if st.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        for core in 0..st.cores.len() {
+            if !st.policy.has_ready() {
+                break;
+            }
+            if matches!(st.cores[core], CoreSlot::Idle) {
+                self.dispatch_core(st, core, now);
             }
         }
     }
@@ -726,6 +1009,174 @@ mod tests {
         );
         let m = s.metrics().snapshot();
         assert!(m.affinity_hits >= 1);
+    }
+
+    #[test]
+    fn submit_fast_path_takes_no_scheduler_lock() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        s.submit(&t1); // occupies the only core
+        let tasks: Vec<_> = (0..8).map(|_| s.create_task(p, None).unwrap()).collect();
+        let before = s.metrics().snapshot().lock_acquisitions;
+        for t in &tasks {
+            s.submit(t); // all cores busy: intake CAS only
+        }
+        let snap = s.metrics().snapshot();
+        assert_eq!(
+            snap.lock_acquisitions, before,
+            "submit to a fully busy system must not acquire the scheduler lock"
+        );
+        assert_eq!(snap.intake_submits, 9);
+        assert_eq!(s.ready_count(), 8);
+        assert!(s.has_ready());
+        for t in &tasks {
+            assert_eq!(t.state(), TaskState::Ready);
+        }
+        // The intake is drained at the next scheduling point: detaching t1 dispatches the
+        // oldest waiter.
+        s.detach(&t1);
+        assert_eq!(tasks[0].state(), TaskState::Running);
+        assert_eq!(s.ready_count(), 7);
+    }
+
+    #[test]
+    fn yield_noop_check_is_lock_free() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        let before = s.metrics().snapshot().lock_acquisitions;
+        for _ in 0..16 {
+            assert!(!s.yield_now(&t));
+        }
+        let snap = s.metrics().snapshot();
+        assert_eq!(
+            snap.lock_acquisitions, before,
+            "yield with nothing ready must not acquire the scheduler lock"
+        );
+        assert_eq!(snap.yields_noop, 16);
+    }
+
+    #[test]
+    fn shutdown_drains_intake_without_parking_waiters() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        s.submit(&t1); // occupies the only core
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t2); // sits in the intake stack (no idle core)
+        s.shutdown();
+        // The waiter must be released, not parked forever.
+        assert_eq!(t2.wait_grant(), None);
+        assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn submit_racing_shutdown_never_parks_a_waiter() {
+        for _ in 0..50 {
+            let s = sched(1);
+            let p = s.register_process("p");
+            let t1 = s.create_task(p, None).unwrap();
+            s.submit(&t1); // keep the core busy so racing submits hit the intake
+            let t2 = s.create_task(p, None).unwrap();
+            let s2 = Arc::clone(&s);
+            let t2c = TaskRef::clone(&t2);
+            let h = std::thread::spawn(move || {
+                s2.submit(&t2c);
+                t2c.wait_grant() // must terminate: granted or released, never parked
+            });
+            s.shutdown();
+            let _ = h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn deregister_process_reconciles_ready_gauge() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        let t3 = s.create_task(p, None).unwrap();
+        s.submit(&t1); // granted the only core
+        s.submit(&t2); // intake
+        s.submit(&t3); // intake
+        let s2 = Arc::clone(&s);
+        let t1c = TaskRef::clone(&t1);
+        // Pausing t1 drains the intake: t2 takes the core, t3 lands in the policy queues.
+        let h = std::thread::spawn(move || s2.pause(&t1c));
+        while t2.state() != TaskState::Running {
+            std::thread::yield_now();
+        }
+        assert_eq!(s.ready_count(), 1);
+        // Deregistering drops t3's queued entry; the gauge must follow, or has_ready()
+        // stays stuck true and every future yield takes the slow path.
+        s.deregister_process(p);
+        assert_eq!(s.ready_count(), 0);
+        assert!(!s.has_ready());
+        s.shutdown();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn deregister_releases_queued_waiters() {
+        // A queued task whose process is deregistered can never be picked again; its
+        // waiter must be released (the shutdown safety valve), not parked forever.
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        s.submit(&t1); // occupies the only core
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t2); // queued
+        let t2c = TaskRef::clone(&t2);
+        let h = std::thread::spawn(move || t2c.wait_grant());
+        s.deregister_process(p);
+        assert_eq!(
+            h.join().unwrap(),
+            None,
+            "waiter must resume, not stay parked"
+        );
+        // t1 keeps running (deregister does not touch granted tasks).
+        assert_eq!(t1.state(), TaskState::Running);
+    }
+
+    #[test]
+    fn deregister_purges_intake_tasks_of_process() {
+        // Regression: a task still sitting in the lock-free intake when its process is
+        // deregistered must be flushed and purged with the process — a later drain must
+        // not re-enqueue it and resurrect the process in the quantum rotation.
+        let s = sched(1);
+        let pa = s.register_process("a");
+        let pb = s.register_process("b");
+        let t1 = s.create_task(pb, None).unwrap();
+        s.submit(&t1); // occupies the only core
+        let t2 = s.create_task(pa, None).unwrap();
+        s.submit(&t2); // sits in the intake
+        s.deregister_process(pa);
+        assert_eq!(s.ready_count(), 0);
+        assert_eq!(s.processes().len(), 1);
+        // The next scheduling point must find nothing ready (t2 was purged, not parked
+        // in the policy under a resurrected process).
+        s.detach(&t1);
+        assert_eq!(s.busy_cores(), 0);
+        assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn busy_cores_gauge_tracks_slots() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        assert_eq!(s.busy_cores(), 0);
+        let t1 = s.create_task(p, None).unwrap();
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        assert_eq!(s.busy_cores(), 1);
+        s.submit(&t2);
+        assert_eq!(s.busy_cores(), 2);
+        s.detach(&t2);
+        assert_eq!(s.busy_cores(), 1);
+        s.detach(&t1);
+        assert_eq!(s.busy_cores(), 0);
     }
 
     #[test]

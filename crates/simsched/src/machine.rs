@@ -84,6 +84,18 @@ impl Machine {
     }
 }
 
+/// The machine model doubles as the topology view of the shared SCHED_COOP ready-queue
+/// (`usf_nosv::readyq`): sockets are the NUMA nodes.
+impl usf_nosv::readyq::TopologyView for Machine {
+    fn view_cores(&self) -> usize {
+        self.cores
+    }
+
+    fn view_node_of(&self, core: usize) -> usize {
+        self.socket_of(core)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

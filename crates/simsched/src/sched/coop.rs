@@ -1,189 +1,30 @@
 //! The simulated SCHED_COOP policy.
 //!
-//! Mirrors the real implementation in `usf-nosv`: ready threads are kept in per-process
-//! per-core FIFO queues (keyed by the core they last ran on, or an unbound queue), an idle
-//! core is offered its own affine threads first, then threads from its socket, then anything
-//! else, and the policy serves one process for a quantum before rotating to the next — but
-//! only at scheduling points, never by interrupting a running thread
+//! This is **the same implementation** as the real runtime's `usf_nosv::CoopPolicy`: both
+//! are thin adapters over the generic `usf_nosv::readyq::CoopCore` (per-process per-core
+//! FIFO queues keyed by last-run core, affinity → socket → remote tiered pop, rate-limited
+//! anti-starvation aging valve, per-process quantum ring) — here instantiated with virtual
+//! [`SimTime`] and the [`Machine`] topology view instead of `Instant` and `Topology`. An
+//! idle core is offered its own affine threads first, then threads from its socket, then
+//! anything else, and the policy serves one process for a quantum before rotating to the
+//! next — but only at scheduling points, never by interrupting a running thread
 //! ([`SimPolicy::preemption_quantum`] returns `None`).
 
 use super::{ReadyThread, SimPolicy};
 use crate::machine::Machine;
 use crate::thread::{ProcessDesc, ProcessId, ThreadId};
 use crate::time::SimTime;
-use std::collections::{HashMap, VecDeque};
-
-/// One queued thread: its id, a monotonically increasing enqueue sequence number (total
-/// FIFO order) and the enqueue time (drives the anti-starvation aging valve). Mirrors
-/// `usf_nosv::policy::QueueEntry`.
-#[derive(Debug, Clone, Copy)]
-struct QueueEntry {
-    id: ThreadId,
-    seq: u64,
-    at: SimTime,
-}
-
-#[derive(Debug)]
-struct ProcQueues {
-    per_core: Vec<VecDeque<QueueEntry>>,
-    unbound: VecDeque<QueueEntry>,
-    count: usize,
-    next_seq: u64,
-    /// Earliest time the anti-starvation valve needs to look at the queues again.
-    next_valve_at: Option<SimTime>,
-}
-
-impl ProcQueues {
-    fn new(cores: usize) -> Self {
-        ProcQueues {
-            per_core: (0..cores).map(|_| VecDeque::new()).collect(),
-            unbound: VecDeque::new(),
-            count: 0,
-            next_seq: 0,
-            next_valve_at: None,
-        }
-    }
-
-    fn push(&mut self, t: &ReadyThread, now: SimTime) {
-        let entry = QueueEntry {
-            id: t.id,
-            seq: self.next_seq,
-            at: now,
-        };
-        self.next_seq += 1;
-        match t.last_core {
-            Some(c) => self.per_core[c].push_back(entry),
-            None => self.unbound.push_back(entry),
-        }
-        self.count += 1;
-    }
-
-    /// Head of the queue holding the oldest entry across every queue. `Some(c)` is a
-    /// per-core queue, `None` the unbound queue.
-    fn oldest_head(&self) -> Option<(u64, SimTime, Option<usize>)> {
-        let mut best: Option<(u64, SimTime, Option<usize>)> = None;
-        for (c, q) in self.per_core.iter().enumerate() {
-            if let Some(e) = q.front() {
-                if best.map_or(true, |(s, _, _)| e.seq < s) {
-                    best = Some((e.seq, e.at, Some(c)));
-                }
-            }
-        }
-        if let Some(e) = self.unbound.front() {
-            if best.map_or(true, |(s, _, _)| e.seq < s) {
-                best = Some((e.seq, e.at, None));
-            }
-        }
-        best
-    }
-
-    fn pop_from(&mut self, source: Option<usize>) -> ThreadId {
-        let queue = match source {
-            Some(c) => &mut self.per_core[c],
-            None => &mut self.unbound,
-        };
-        let entry = queue.pop_front().expect("candidate queue has a head");
-        self.count -= 1;
-        entry.id
-    }
-
-    /// The anti-starvation valve: at most once per `aging` window, serve the oldest
-    /// queued entry regardless of placement if it has waited longer than `aging`. Every
-    /// pop path (including the engine's affinity-first `pick_affine` pre-pass) must
-    /// consult this first, or a saturated dispatch that always finds affine candidates
-    /// starves the unbound queue anyway.
-    fn pop_aged(&mut self, now: SimTime, aging: SimTime) -> Option<ThreadId> {
-        if self.next_valve_at.map_or(true, |t| now >= t) {
-            match self.oldest_head() {
-                Some((_, at, source)) => {
-                    if now.saturating_sub(at) >= aging {
-                        self.next_valve_at = Some(now + aging);
-                        return Some(self.pop_from(source));
-                    }
-                    // Nothing aged yet: the current oldest entry is the first that can
-                    // age (later entries age strictly later).
-                    self.next_valve_at = Some(at + aging);
-                }
-                None => self.next_valve_at = Some(now + aging),
-            }
-        }
-        None
-    }
-
-    /// Pop honouring affinity → same socket / unbound (oldest head first) → remote, with
-    /// an anti-starvation valve in front: at most once per `aging` period, the oldest
-    /// queued entry anywhere is served regardless of placement if it has waited longer
-    /// than `aging`.
-    ///
-    /// Without the valve the policy is not starvation-free: threads that have never run
-    /// sit in `unbound` and can wait forever while woken threads re-queue to their last
-    /// core ahead of them. The valve is rate-limited (one aged grant per `aging` window,
-    /// tracked by `next_valve_at`) so that under sustained oversubscription — where
-    /// *every* entry is older than one quantum — the policy stays affinity-first instead
-    /// of degrading into a global FIFO; the deadline check also keeps the O(cores)
-    /// oldest-head scan off the common path. Mirrors `usf_nosv::policy::ProcQueues`.
-    fn pop_for(
-        &mut self,
-        machine: &Machine,
-        core: usize,
-        now: SimTime,
-        aging: SimTime,
-    ) -> Option<ThreadId> {
-        if let Some(t) = self.pop_aged(now, aging) {
-            return Some(t);
-        }
-        if self.per_core[core].front().is_some() {
-            return Some(self.pop_from(Some(core)));
-        }
-        let socket = machine.socket_of(core);
-        // Same-socket queues and the unbound queue compete by enqueue order; `None`
-        // marks the unbound queue.
-        let mut best: Option<(u64, Option<usize>)> = None;
-        for c in 0..self.per_core.len() {
-            if c == core || machine.socket_of(c) != socket {
-                continue;
-            }
-            if let Some(e) = self.per_core[c].front() {
-                if best.map_or(true, |(s, _)| e.seq < s) {
-                    best = Some((e.seq, Some(c)));
-                }
-            }
-        }
-        if let Some(e) = self.unbound.front() {
-            if best.map_or(true, |(s, _)| e.seq < s) {
-                best = Some((e.seq, None));
-            }
-        }
-        if let Some((_, source)) = best {
-            return Some(self.pop_from(source));
-        }
-        for c in 0..self.per_core.len() {
-            if machine.socket_of(c) == socket {
-                continue;
-            }
-            if self.per_core[c].front().is_some() {
-                return Some(self.pop_from(Some(c)));
-            }
-        }
-        None
-    }
-}
+use usf_nosv::readyq::CoopCore;
 
 /// See the module documentation.
 pub struct CoopScheduler {
-    machine: Machine,
-    queues: HashMap<ProcessId, ProcQueues>,
-    order: Vec<ProcessId>,
-    current: usize,
+    core: CoopCore<ProcessId, ThreadId, SimTime>,
     quantum: SimTime,
-    quantum_started: Option<SimTime>,
-    rotations: u64,
 }
 
 impl std::fmt::Debug for CoopScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoopScheduler")
-            .field("processes", &self.order.len())
             .field("quantum", &self.quantum)
             .finish()
     }
@@ -193,53 +34,14 @@ impl CoopScheduler {
     /// Create a SCHED_COOP policy with the given per-process quantum.
     pub fn new(process_quantum: SimTime) -> Self {
         CoopScheduler {
-            machine: Machine::small(1),
-            queues: HashMap::new(),
-            order: Vec::new(),
-            current: 0,
+            core: CoopCore::new(&Machine::small(1), process_quantum),
             quantum: process_quantum,
-            quantum_started: None,
-            rotations: 0,
         }
     }
 
     /// Process-quantum rotations performed.
     pub fn rotations(&self) -> u64 {
-        self.rotations
-    }
-
-    fn ensure_process(&mut self, p: ProcessId) {
-        if !self.queues.contains_key(&p) {
-            self.queues.insert(p, ProcQueues::new(self.machine.cores));
-            self.order.push(p);
-        }
-    }
-
-    fn rotate_if_expired(&mut self, now: SimTime) {
-        if self.order.len() <= 1 {
-            return;
-        }
-        let expired = match self.quantum_started {
-            Some(start) => now.saturating_sub(start) >= self.quantum,
-            None => false,
-        };
-        if expired {
-            let len = self.order.len();
-            let mut next = (self.current + 1) % len;
-            for off in 0..len {
-                let cand = (self.current + 1 + off) % len;
-                let pid = self.order[cand];
-                if self.queues.get(&pid).map(|q| q.count > 0).unwrap_or(false) {
-                    next = cand;
-                    break;
-                }
-            }
-            if next != self.current {
-                self.rotations += 1;
-            }
-            self.current = next;
-            self.quantum_started = Some(now);
-        }
+        self.core.rotations()
     }
 }
 
@@ -249,80 +51,36 @@ impl SimPolicy for CoopScheduler {
     }
 
     fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]) {
-        self.machine = machine.clone();
+        // Re-snapshot the topology (init may be called after new(), with the real
+        // machine); queues built for a different core count are recreated.
+        self.core.set_topology(machine);
         for p in processes {
-            self.ensure_process(p.id);
-        }
-        // Re-create queues with the right core count (init may be called after new()).
-        for q in self.queues.values_mut() {
-            if q.per_core.len() != machine.cores {
-                *q = ProcQueues::new(machine.cores);
-            }
+            self.core.register_process(p.id);
         }
     }
 
     fn enqueue(&mut self, thread: ReadyThread, now: SimTime) {
-        self.ensure_process(thread.process);
-        self.queues
-            .get_mut(&thread.process)
-            .expect("process just ensured")
-            .push(&thread, now);
+        self.core
+            .enqueue(thread.process, thread.id, thread.last_core, now);
     }
 
     fn pick(&mut self, core: usize, now: SimTime) -> Option<ThreadId> {
-        if self.order.is_empty() {
-            return None;
-        }
-        if self.quantum_started.is_none() {
-            self.quantum_started = Some(now);
-        }
-        self.rotate_if_expired(now);
-        let len = self.order.len();
-        for off in 0..len {
-            let idx = (self.current + off) % len;
-            let pid = self.order[idx];
-            if let Some(q) = self.queues.get_mut(&pid) {
-                // Entries older than one quantum are served oldest-first regardless of
-                // placement (the starvation valve in ProcQueues::pop_for).
-                if let Some(t) = q.pop_for(&self.machine, core, now, self.quantum) {
-                    if off != 0 {
-                        self.current = idx;
-                        self.quantum_started = Some(now);
-                        self.rotations += 1;
-                    }
-                    return Some(t);
-                }
-            }
-        }
-        None
+        self.core.pick(core, now)
     }
 
     fn pick_affine(&mut self, core: usize, now: SimTime) -> Option<ThreadId> {
         // Serve threads whose preferred core is exactly this one, regardless of the
-        // process rotation (affinity placement is checked before quantum fairness,
-        // §4.1) — but the anti-starvation valve still comes first: a saturated
-        // dispatch that always finds affine candidates here would otherwise never
-        // reach the valve in `pop_for` (the real nosv runtime has no valve-free pick
-        // path, and the simulator must not either).
-        for pid in self.order.clone() {
-            if let Some(q) = self.queues.get_mut(&pid) {
-                if let Some(t) = q.pop_aged(now, self.quantum) {
-                    return Some(t);
-                }
-                if q.per_core[core].front().is_some() {
-                    return Some(q.pop_from(Some(core)));
-                }
-            }
-        }
-        None
+        // process rotation (affinity placement is checked before quantum fairness, §4.1).
+        // The anti-starvation valve still runs first — see `CoopCore::pick_affine`.
+        self.core.pick_affine(core, now)
     }
 
     fn has_ready(&self) -> bool {
-        self.queues.values().any(|q| q.count > 0)
+        self.core.has_ready()
     }
 
     fn ready_count(&self) -> usize {
-        self.queues.values().map(|q| q.count).sum()
+        self.core.ready_count()
     }
 
     fn preemption_quantum(&self) -> Option<SimTime> {

@@ -75,6 +75,21 @@ impl SimTime {
     }
 }
 
+/// Virtual time plugs into the shared SCHED_COOP ready-queue (`usf_nosv::readyq`) the same
+/// way real [`std::time::Instant`] does, which is what lets the simulator instantiate the
+/// exact policy implementation the runtime ships.
+impl usf_nosv::readyq::ReadyTime for SimTime {
+    type Delta = SimTime;
+
+    fn since(self, earlier: Self) -> SimTime {
+        self.saturating_sub(earlier)
+    }
+
+    fn advance(self, delta: SimTime) -> Self {
+        self + delta
+    }
+}
+
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {

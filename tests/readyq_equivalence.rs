@@ -1,0 +1,243 @@
+//! Property tests pinning the unified SCHED_COOP ready-queue (`usf_nosv::readyq`) to its
+//! specification, and enforcing the simulator-validates-runtime invariant:
+//!
+//! 1. for random enqueue/pop/aging traces, `ProcQueues` (lazy head-heaps, compaction)
+//!    picks the identical item sequence as a straightforward reference model written with
+//!    plain linear scans; and
+//! 2. `CoopPolicy` (real time, `Instant`) and the simulator's `CoopScheduler` (virtual
+//!    time, `SimTime`) agree on the task sequence for the same trace — they are the same
+//!    `CoopCore` instantiated at two time types, and this test keeps it that way.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use usf::nosv::readyq::{CoreMap, ProcQueues};
+use usf::nosv::{CoopPolicy, Policy, TaskMeta, Topology};
+use usf::simsched::sched::{CoopScheduler, ReadyThread, SimPolicy};
+use usf::simsched::{Machine, SimTime};
+
+const CORES: usize = 4;
+const NODES: usize = 2;
+const AGING: u64 = 50_000; // ns
+
+/// Straightforward executable specification of the tiered pop: linear scans everywhere.
+struct RefQueues {
+    per_core: Vec<VecDeque<(u64, u64, u64)>>, // (item, seq, enqueued_at)
+    unbound: VecDeque<(u64, u64, u64)>,
+    next_seq: u64,
+    next_valve_at: Option<u64>,
+    topo: Topology,
+}
+
+impl RefQueues {
+    fn new(topo: Topology) -> Self {
+        RefQueues {
+            per_core: (0..topo.num_cores()).map(|_| VecDeque::new()).collect(),
+            unbound: VecDeque::new(),
+            next_seq: 0,
+            next_valve_at: None,
+            topo,
+        }
+    }
+
+    fn push(&mut self, item: u64, pref: Option<usize>, now: u64) {
+        let e = (item, self.next_seq, now);
+        self.next_seq += 1;
+        match pref {
+            Some(c) if c < self.per_core.len() => self.per_core[c].push_back(e),
+            _ => self.unbound.push_back(e),
+        }
+    }
+
+    /// `(seq, at, source)` of the globally oldest head; `None` source is the unbound queue.
+    fn oldest(&self) -> Option<(u64, u64, Option<usize>)> {
+        let mut best: Option<(u64, u64, Option<usize>)> = None;
+        for (c, q) in self.per_core.iter().enumerate() {
+            if let Some(&(_, seq, at)) = q.front() {
+                if best.map_or(true, |(s, _, _)| seq < s) {
+                    best = Some((seq, at, Some(c)));
+                }
+            }
+        }
+        if let Some(&(_, seq, at)) = self.unbound.front() {
+            if best.map_or(true, |(s, _, _)| seq < s) {
+                best = Some((seq, at, None));
+            }
+        }
+        best
+    }
+
+    fn pop_from(&mut self, source: Option<usize>) -> u64 {
+        let q = match source {
+            Some(c) => &mut self.per_core[c],
+            None => &mut self.unbound,
+        };
+        q.pop_front().expect("candidate queue has a head").0
+    }
+
+    fn pop_for(&mut self, core: usize, now: u64, aging: u64) -> Option<u64> {
+        // Tier 1: the rate-limited aging valve.
+        if self.next_valve_at.map_or(true, |t| now >= t) {
+            match self.oldest() {
+                Some((_, at, src)) => {
+                    if now.saturating_sub(at) >= aging {
+                        self.next_valve_at = Some(now + aging);
+                        return Some(self.pop_from(src));
+                    }
+                    self.next_valve_at = Some(at + aging);
+                }
+                None => self.next_valve_at = Some(now + aging),
+            }
+        }
+        // Tier 2: affinity.
+        if !self.per_core[core].is_empty() {
+            return Some(self.pop_from(Some(core)));
+        }
+        // Tier 3: oldest of (same-node queues, unbound).
+        let node = self.topo.node_of(core);
+        let mut best: Option<(u64, Option<usize>)> = None;
+        for c in self.topo.cores_in_node(node) {
+            if c == core {
+                continue;
+            }
+            if let Some(&(_, seq, _)) = self.per_core[c].front() {
+                if best.map_or(true, |(s, _)| seq < s) {
+                    best = Some((seq, Some(c)));
+                }
+            }
+        }
+        if let Some(&(_, seq, _)) = self.unbound.front() {
+            if best.map_or(true, |(s, _)| seq < s) {
+                best = Some((seq, None));
+            }
+        }
+        if let Some((_, src)) = best {
+            return Some(self.pop_from(src));
+        }
+        // Tier 4: oldest remote entry.
+        let mut best: Option<(u64, usize)> = None;
+        for c in self.topo.cores() {
+            if self.topo.node_of(c) == node {
+                continue;
+            }
+            if let Some(&(_, seq, _)) = self.per_core[c].front() {
+                if best.map_or(true, |(s, _)| seq < s) {
+                    best = Some((seq, c));
+                }
+            }
+        }
+        best.map(|(_, c)| self.pop_from(Some(c)))
+    }
+}
+
+/// Decode a preference selector: values below `CORES` are a core, the rest `None`. Each
+/// trace step is a `(kind, sel, core, dt)` tuple — `kind < 2` enqueues, otherwise picks,
+/// with `dt` the time advance in ns.
+fn pref_of(sel: u8) -> Option<usize> {
+    if sel < CORES as u8 {
+        Some(sel as usize)
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// The heap-indexed `ProcQueues` and the linear-scan reference model serve identical
+    /// item sequences for arbitrary traces (including aging-valve service and empty pops).
+    #[test]
+    fn proc_queues_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..8, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let mut fast: ProcQueues<u64, u64> =
+            ProcQueues::new(std::sync::Arc::new(CoreMap::from_view(&topo)));
+        let mut reference = RefQueues::new(topo);
+        let mut now = 0u64;
+        let mut next_item = 0u64;
+        for (kind, sel, core, dt) in ops {
+            now += u64::from(dt);
+            if kind < 2 {
+                fast.push(next_item, pref_of(sel), now);
+                reference.push(next_item, pref_of(sel), now);
+                next_item += 1;
+            } else {
+                let core = core as usize;
+                let got = fast.pop_for(core, now, AGING);
+                let want = reference.pop_for(core, now, AGING);
+                prop_assert_eq!(got, want, "divergence at t={}", now);
+            }
+        }
+        // Drain both completely: the tails must agree too.
+        loop {
+            now += 1_000;
+            let got = fast.pop_for(0, now, AGING);
+            let want = reference.pop_for(0, now, AGING);
+            prop_assert_eq!(got, want);
+            if want.is_none() { break; }
+        }
+        prop_assert!(fast.is_empty());
+    }
+
+    /// The real-time `CoopPolicy` and the virtual-time simulated `CoopScheduler` pick the
+    /// same task sequence for the same trace — the simulator validates the exact policy
+    /// the runtime ships.
+    #[test]
+    fn coop_policy_matches_simulated_coop(
+        ops in proptest::collection::vec((0u8..4, 0u8..10, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let mut machine = Machine::small(CORES);
+        machine.sockets = NODES; // contiguous split, identical to Topology::new(4, 2)
+        let quantum = 50_000u64; // ns; doubles as the aging window in both
+
+        let mut real = CoopPolicy::new(topo.clone(), Duration::from_nanos(quantum));
+        let mut sim = CoopScheduler::new(SimTime::from_nanos(quantum));
+        sim.init(&machine, &[]);
+
+        let base = Instant::now();
+        let mut now = 0u64;
+        let mut next_id = 1u64;
+        for (kind, sel, core, dt) in ops {
+            now += u64::from(dt);
+            let real_now = base + Duration::from_nanos(now);
+            let sim_now = SimTime::from_nanos(now);
+            if kind < 2 {
+                // Processes 0/1, preference from the same selector for both.
+                let process = u32::from(sel % 2);
+                let pref = pref_of(sel / 2);
+                real.enqueue(&topo, TaskMeta {
+                    id: next_id,
+                    process,
+                    preferred_core: pref,
+                }, real_now);
+                sim.enqueue(ReadyThread {
+                    id: next_id as usize,
+                    process: process as usize,
+                    last_core: pref,
+                    vruntime: 0.0,
+                }, sim_now);
+                next_id += 1;
+            } else {
+                let core = core as usize;
+                let got_real = real.pick(&topo, core, real_now).map(|m| m.id);
+                let got_sim = sim.pick(core, sim_now).map(|t| t as u64);
+                prop_assert_eq!(got_real, got_sim, "divergence at t={}ns", now);
+                prop_assert_eq!(real.ready_count(), sim.ready_count());
+            }
+        }
+        // Drain both: every queued task must come out, in the same order.
+        loop {
+            now += 1_000;
+            let got_real = real
+                .pick(&topo, 0, base + Duration::from_nanos(now))
+                .map(|m| m.id);
+            let got_sim = sim.pick(0, SimTime::from_nanos(now)).map(|t| t as u64);
+            prop_assert_eq!(got_real, got_sim);
+            if got_sim.is_none() { break; }
+        }
+        prop_assert!(!real.has_ready());
+        prop_assert!(!sim.has_ready());
+    }
+}
