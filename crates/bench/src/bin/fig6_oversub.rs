@@ -1,0 +1,315 @@
+//! Figure 6 (repo experiment): per-process slowdown under 1×–8× co-run oversubscription.
+//!
+//! One canned [`usf_scenarios`] spec — the oversubscription *ramp*: `factor` identical
+//! MD-ensemble processes, each demanding every core — is driven unmodified through all
+//! three execution stacks:
+//!
+//! * `OsExecutor` / `UsfExecutor` run the spec for real (small sizes) to demonstrate the
+//!   engine end to end: real threads, the kernel scheduler vs. one shared SCHED_COOP
+//!   instance;
+//! * `SimExecutor` runs the headline sweep at paper-scale core counts under the
+//!   preemptive fair model (the Linux baseline) and under SCHED_COOP, reporting the mean
+//!   slowdown-vs-solo per oversubscription factor.
+//!
+//! The paper's qualitative shape: the SCHED_COOP slowdown hugs the ideal `factor ×`
+//! time-sharing line while the preemptive baseline drifts above it (involuntary
+//! preemptions, migrations and barrier-straggler spin waste). `--smoke` (CI) asserts
+//! `USF slowdown ≤ OS slowdown` at every factor ≥ 2 and writes `BENCH_corun.json`.
+//!
+//! Usage: `cargo run -p usf-bench --release --bin fig6_oversub [--quick|--full|--smoke]`
+
+use std::time::Duration;
+use usf_bench::cli::{self, FlagSpec};
+use usf_bench::json::{JsonObject, JsonValue};
+use usf_bench::Scale;
+use usf_scenarios::{
+    library, Executor, OsExecutor, ProblemSize, ScenarioReport, SimExecutor, UsfExecutor,
+};
+use usf_simsched::{Machine, SchedModel};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--quick",
+        value_name: None,
+        help: "reduced sweep: 16 simulated cores, factors 1/2/4 (default)",
+    },
+    FlagSpec {
+        name: "--full",
+        value_name: None,
+        help: "paper-scale sweep: 112 simulated cores, factors 1/2/4/8",
+    },
+    FlagSpec {
+        name: "--smoke",
+        value_name: None,
+        help: "tiny run asserting USF slowdown <= OS slowdown at >=2x (CI mode)",
+    },
+    FlagSpec {
+        name: "--json",
+        value_name: Some("PATH"),
+        help: "output file (default BENCH_corun.json)",
+    },
+];
+
+/// One point of the sweep.
+struct SweepPoint {
+    factor: usize,
+    os: ScenarioReport,
+    usf: ScenarioReport,
+}
+
+impl SweepPoint {
+    fn os_slowdown(&self) -> f64 {
+        self.os.mean_slowdown().unwrap_or(0.0)
+    }
+
+    fn usf_slowdown(&self) -> f64 {
+        self.usf.mean_slowdown().unwrap_or(0.0)
+    }
+}
+
+/// Run the ramp sweep on one simulator model, applying the factor-1 solo baseline.
+fn sweep_model(
+    machine: &Machine,
+    model: SchedModel,
+    cores: usize,
+    size: ProblemSize,
+    factors: &[usize],
+) -> Vec<ScenarioReport> {
+    let exec = SimExecutor::new(machine.clone(), model);
+    let solo = exec.run_spec(&library::oversub_ramp(cores, 1, size));
+    let solo_makespan = solo.processes[0].makespan;
+    factors
+        .iter()
+        .map(|&factor| {
+            let mut r = exec.run_spec(&library::oversub_ramp(cores, factor, size));
+            let solos = vec![Some(solo_makespan); r.processes.len()];
+            r.apply_solo_baseline(&solos);
+            r
+        })
+        .collect()
+}
+
+fn report_json(r: &ScenarioReport) -> JsonObject {
+    let procs: Vec<JsonValue> = r
+        .processes
+        .iter()
+        .map(|p| {
+            let s = p.unit_summary();
+            JsonValue::from(
+                JsonObject::new()
+                    .field("name", p.name.as_str())
+                    .field("threads", p.threads)
+                    .num("arrival_s", p.arrival.as_secs_f64(), 6)
+                    .num("makespan_s", p.makespan.as_secs_f64(), 6)
+                    .num("p50_unit_s", s.p50, 6)
+                    .num("p99_unit_s", s.p99, 6)
+                    .opt(
+                        "slowdown_vs_solo",
+                        p.slowdown_vs_solo.map(|v| JsonValue::num(v, 3)),
+                    ),
+            )
+        })
+        .collect();
+    let mut doc = JsonObject::new()
+        .field("executor", r.executor.as_str())
+        .num("total_makespan_s", r.total_makespan.as_secs_f64(), 6)
+        .num("jain_fairness", r.jain_fairness(), 4)
+        .field("processes", procs);
+    if let Some(sched) = &r.sched {
+        let mut counters = JsonObject::new();
+        for (name, v) in &sched.counters {
+            counters = counters.num(name.clone(), *v, 3);
+        }
+        doc = doc.field(
+            "sched",
+            JsonObject::new()
+                .field("scheduler", sched.scheduler.as_str())
+                .field("counters", counters),
+        );
+    }
+    doc
+}
+
+fn print_report_line(r: &ScenarioReport) {
+    let worst = r
+        .worst_slowdown()
+        .map(|s| format!("{s:.2}x"))
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "  {:<16} makespan {:>8.3}s  fairness {:.3}  worst slowdown {}",
+        r.executor,
+        r.total_makespan.as_secs_f64(),
+        r.jain_fairness(),
+        worst,
+    );
+    for p in &r.processes {
+        let s = p.unit_summary();
+        println!(
+            "    {:<12} arrival {:>7.3}s  makespan {:>8.3}s  p50 {:>8.4}s  p99 {:>8.4}s",
+            p.name,
+            p.arrival.as_secs_f64(),
+            p.makespan.as_secs_f64(),
+            s.p50,
+            s.p99,
+        );
+    }
+}
+
+fn main() {
+    let args = cli::parse_or_exit(
+        "fig6_oversub",
+        "Figure 6: per-process slowdown under 1x-8x co-run oversubscription (OS vs USF).",
+        FLAGS,
+    );
+    let smoke = args.has("--smoke");
+    let full = args.scale() == Scale::Full && !smoke;
+    let json_path = args.get("--json").unwrap_or("BENCH_corun.json").to_string();
+
+    // Sweep geometry. The simulated machine is paper-scale in --full; the reduced modes
+    // keep the same 2-socket shape at 16 cores so CI finishes in seconds. Per-thread unit
+    // work is held well above the 4 ms preemption quantum so the fair baseline actually
+    // preempts mid-unit (the mechanism behind the curve separation).
+    let (machine, cores, factors, per_thread_ms): (Machine, usize, Vec<usize>, u64) = if full {
+        (Machine::marenostrum5(), 112, vec![1, 2, 4, 8], 10)
+    } else {
+        let mut m = Machine::small(16);
+        m.sockets = 2;
+        (m, 16, if smoke { vec![1, 2] } else { vec![1, 2, 4] }, 10)
+    };
+    let size = ProblemSize::Custom {
+        unit_work_us: per_thread_ms * 1_000 * cores as u64,
+    };
+
+    usf_bench::header("fig6_oversub — co-run slowdown under oversubscription");
+    usf_bench::machine_line(&machine);
+    println!(
+        "ramp: N identical MD-ensemble processes x {cores} threads each, factors {factors:?}, \
+         {per_thread_ms} ms/unit/thread"
+    );
+
+    // ---------------------------------------------------------------------------------
+    // 1. The same canned spec through the two *real* stacks (engine demonstration).
+    // ---------------------------------------------------------------------------------
+    let real_cores = 2;
+    let real_spec = library::oversub_ramp(real_cores, 2, ProblemSize::Tiny);
+    usf_bench::header(&format!(
+        "real execution — '{}' on {} real cores (2x oversubscribed)",
+        real_spec.name, real_cores
+    ));
+    let real_os = OsExecutor.run_with_solo_baselines(&real_spec);
+    print_report_line(&real_os);
+    let real_usf = UsfExecutor::new().run_with_solo_baselines(&real_spec);
+    print_report_line(&real_usf);
+
+    // ---------------------------------------------------------------------------------
+    // 2. The headline sweep on the simulator (deterministic, paper-scale).
+    // ---------------------------------------------------------------------------------
+    usf_bench::header("simulated sweep — mean slowdown vs solo per oversubscription factor");
+    let os_reports = sweep_model(&machine, SchedModel::Fair, cores, size, &factors);
+    let usf_reports = sweep_model(&machine, SchedModel::coop_default(), cores, size, &factors);
+    let points: Vec<SweepPoint> = factors
+        .iter()
+        .zip(os_reports.into_iter().zip(usf_reports))
+        .map(|(&factor, (os, usf))| SweepPoint { factor, os, usf })
+        .collect();
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "factor", "os-slowdown", "usf-slowdown", "os-norm", "usf-norm", "os-fair", "usf-fair"
+    );
+    for p in &points {
+        let ideal = p.factor as f64;
+        println!(
+            "{:>7}x {:>12} {:>12} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+            p.factor,
+            usf_bench::fmt_speedup(p.os_slowdown()),
+            usf_bench::fmt_speedup(p.usf_slowdown()),
+            p.os_slowdown() / ideal,
+            p.usf_slowdown() / ideal,
+            p.os.jain_fairness(),
+            p.usf.jain_fairness(),
+        );
+    }
+
+    // The paper's qualitative claim, checked on the deterministic stack.
+    let mut usf_wins_at_oversub = true;
+    for p in points.iter().filter(|p| p.factor >= 2) {
+        if p.usf_slowdown() > p.os_slowdown() * 1.001 {
+            usf_wins_at_oversub = false;
+            eprintln!(
+                "shape violation at {}x: usf {:.3} > os {:.3}",
+                p.factor,
+                p.usf_slowdown(),
+                p.os_slowdown()
+            );
+        }
+    }
+    println!(
+        "USF slowdown <= OS slowdown at every factor >= 2: {}",
+        if usf_wins_at_oversub { "yes" } else { "NO" }
+    );
+
+    // ---------------------------------------------------------------------------------
+    // 3. BENCH_corun.json — the perf-trajectory record.
+    // ---------------------------------------------------------------------------------
+    let sweep_json: Vec<JsonValue> = points
+        .iter()
+        .map(|p| {
+            JsonValue::from(
+                JsonObject::new()
+                    .field("factor", p.factor)
+                    .num("os_slowdown", p.os_slowdown(), 3)
+                    .num("usf_slowdown", p.usf_slowdown(), 3)
+                    .num("os_normalized", p.os_slowdown() / p.factor as f64, 3)
+                    .num("usf_normalized", p.usf_slowdown() / p.factor as f64, 3)
+                    .num("os_fairness", p.os.jain_fairness(), 4)
+                    .num("usf_fairness", p.usf.jain_fairness(), 4)
+                    .field("os", report_json(&p.os))
+                    .field("usf", report_json(&p.usf)),
+            )
+        })
+        .collect();
+    JsonObject::new()
+        .field("benchmark", "fig6_oversub")
+        .field(
+            "mode",
+            if full {
+                "full"
+            } else if smoke {
+                "smoke"
+            } else {
+                "quick"
+            },
+        )
+        .field("sim_cores", machine.cores)
+        .field("spec_cores", cores)
+        .field("per_thread_unit_ms", per_thread_ms)
+        .field(
+            "factors",
+            factors
+                .iter()
+                .map(|&f| JsonValue::Int(f as i64))
+                .collect::<Vec<_>>(),
+        )
+        .field("usf_slowdown_le_os_at_oversub", usf_wins_at_oversub)
+        .field("real_os", report_json(&real_os))
+        .field("real_usf", report_json(&real_usf))
+        .field("sweep", sweep_json)
+        .write_file(&json_path);
+
+    if smoke {
+        // Real stacks must have completed every unit of every process.
+        for r in [&real_os, &real_usf] {
+            assert_eq!(r.processes.len(), real_spec.procs.len(), "{}", r.executor);
+            for (p, spec) in r.processes.iter().zip(&real_spec.procs) {
+                assert_eq!(p.unit_latencies_s.len(), spec.units, "{}", r.executor);
+                assert!(p.makespan > Duration::ZERO);
+            }
+        }
+        assert!(
+            usf_wins_at_oversub,
+            "regression: SCHED_COOP slowdown exceeded the OS baseline under oversubscription"
+        );
+        println!("smoke: OK (3 executors ran the canned spec; USF <= OS at >=2x)");
+    }
+}

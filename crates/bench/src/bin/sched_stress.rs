@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 use usf_bench::cli::{self, FlagSpec};
+use usf_bench::json::{JsonObject, JsonValue};
 use usf_nosv::scheduler::Scheduler;
 use usf_nosv::{NosvConfig, TaskRef, TaskState, Topology};
 
@@ -362,62 +363,50 @@ fn write_json(
     churn: &ChurnStats,
     churn_baseline: Option<&ChurnStats>,
 ) {
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"sched_stress\",\n");
-    json.push_str(&format!("  \"cores\": {},\n", cfg.cores));
-    json.push_str(&format!("  \"processes\": {},\n", cfg.processes));
-    json.push_str(&format!("  \"producers\": {},\n", cfg.producers));
-    json.push_str(&format!("  \"workers\": {},\n", cfg.workers));
-    json.push_str(&format!("  \"batch\": {},\n", cfg.batch));
-    json.push_str(&format!("  \"rounds\": {},\n", cfg.rounds));
-    json.push_str(&format!("  \"submits_per_sec\": {intake_rate:.1},\n"));
-    json.push_str(&format!(
-        "  \"p50_submit_ns\": {},\n",
-        percentile(lat, 50.0)
-    ));
-    json.push_str(&format!(
-        "  \"p99_submit_ns\": {},\n",
-        percentile(lat, 99.0)
-    ));
-    json.push_str(&format!(
-        "  \"saturated_lock_acquisitions\": {intake_locks},\n"
-    ));
-    match baseline_rate {
-        Some(b) => {
-            json.push_str(&format!("  \"baseline_submits_per_sec\": {b:.1},\n"));
-            json.push_str(&format!(
-                "  \"speedup_vs_locked\": {:.2},\n",
-                intake_rate / b.max(1e-9)
-            ));
-        }
-        None => json.push_str("  \"speedup_vs_locked\": null,\n"),
-    }
-    json.push_str(&format!(
-        "  \"wake_grants_per_sec\": {:.1},\n",
-        churn.grants as f64 / churn.elapsed_s.max(1e-9)
-    ));
-    json.push_str(&format!(
-        "  \"wake_submits_per_sec\": {:.1},\n",
-        churn.wakeups as f64 / churn.elapsed_s.max(1e-9)
-    ));
-    json.push_str(&format!("  \"wake_p50_submit_ns\": {},\n", churn.p50_ns));
-    json.push_str(&format!("  \"wake_p99_submit_ns\": {},\n", churn.p99_ns));
-    match churn_baseline {
-        Some(b) => {
-            json.push_str(&format!(
-                "  \"wake_baseline_grants_per_sec\": {:.1},\n",
-                b.grants as f64 / b.elapsed_s.max(1e-9)
-            ));
-            json.push_str(&format!(
-                "  \"wake_baseline_p99_submit_ns\": {}\n",
-                b.p99_ns
-            ));
-        }
-        None => json.push_str("  \"wake_baseline_grants_per_sec\": null\n"),
-    }
-    json.push_str("}\n");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("wrote {path}");
+    let mut doc = JsonObject::new()
+        .field("benchmark", "sched_stress")
+        .field("cores", cfg.cores)
+        .field("processes", cfg.processes)
+        .field("producers", cfg.producers)
+        .field("workers", cfg.workers)
+        .field("batch", cfg.batch)
+        .field("rounds", cfg.rounds)
+        .num("submits_per_sec", intake_rate, 1)
+        .field("p50_submit_ns", percentile(lat, 50.0))
+        .field("p99_submit_ns", percentile(lat, 99.0))
+        .field("saturated_lock_acquisitions", intake_locks);
+    doc = match baseline_rate {
+        Some(b) => doc.num("baseline_submits_per_sec", b, 1).num(
+            "speedup_vs_locked",
+            intake_rate / b.max(1e-9),
+            2,
+        ),
+        None => doc.field("speedup_vs_locked", JsonValue::Null),
+    };
+    doc = doc
+        .num(
+            "wake_grants_per_sec",
+            churn.grants as f64 / churn.elapsed_s.max(1e-9),
+            1,
+        )
+        .num(
+            "wake_submits_per_sec",
+            churn.wakeups as f64 / churn.elapsed_s.max(1e-9),
+            1,
+        )
+        .field("wake_p50_submit_ns", churn.p50_ns)
+        .field("wake_p99_submit_ns", churn.p99_ns);
+    doc = match churn_baseline {
+        Some(b) => doc
+            .num(
+                "wake_baseline_grants_per_sec",
+                b.grants as f64 / b.elapsed_s.max(1e-9),
+                1,
+            )
+            .field("wake_baseline_p99_submit_ns", b.p99_ns),
+        None => doc.field("wake_baseline_grants_per_sec", JsonValue::Null),
+    };
+    doc.write_file(path);
 }
 
 fn main() {

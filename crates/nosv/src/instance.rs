@@ -45,7 +45,11 @@ impl NosvInstance {
         let map = reg.get_or_insert_with(HashMap::new);
         if let Some(weak) = map.get(name) {
             if let Some(sched) = weak.upgrade() {
-                return NosvInstance { sched };
+                // Never join a dead scheduler: `shutdown` deregisters the name, but a racy
+                // or direct `Scheduler::shutdown` could still leave one behind.
+                if !sched.is_shutdown() {
+                    return NosvInstance { sched };
+                }
             }
         }
         let inst = NosvInstance::new(config);
@@ -120,8 +124,19 @@ impl NosvInstance {
     }
 
     /// Shut down the scheduler, releasing every task from scheduler control.
+    ///
+    /// If the instance was published under a name via [`NosvInstance::connect`], the name
+    /// is removed from the registry so that a later `connect` with the same name creates a
+    /// fresh scheduler instead of joining this dead one.
     pub fn shutdown(&self) {
-        self.sched.shutdown()
+        self.sched.shutdown();
+        let mut reg = REGISTRY.lock();
+        if let Some(map) = reg.as_mut() {
+            map.retain(|_, weak| match weak.upgrade() {
+                Some(sched) => !Arc::ptr_eq(&sched, &self.sched),
+                None => false, // opportunistically drop entries whose scheduler is gone
+            });
+        }
     }
 }
 
@@ -265,6 +280,34 @@ mod tests {
         let c = NosvInstance::connect("instance-test-shared", NosvConfig::with_cores(7));
         assert_eq!(c.num_cores(), 7);
         NosvInstance::disconnect_name("instance-test-shared");
+    }
+
+    #[test]
+    fn shutdown_auto_disconnects_named_instance() {
+        // Regression: `shutdown` used to leave the name in the registry, so a later
+        // `connect` with the same name joined a dead scheduler whose `attach` panicked.
+        let a = NosvInstance::connect("instance-test-shutdown-leak", NosvConfig::with_cores(2));
+        let pid = a.register_process("p");
+        let h = a.attach(pid, None);
+        h.detach();
+        a.shutdown();
+        assert!(a.scheduler().is_shutdown());
+        let b = NosvInstance::connect("instance-test-shutdown-leak", NosvConfig::with_cores(5));
+        assert!(
+            !Arc::ptr_eq(a.scheduler(), b.scheduler()),
+            "connect after shutdown must create a fresh scheduler"
+        );
+        assert!(!b.scheduler().is_shutdown());
+        assert_eq!(b.num_cores(), 5);
+        // The fresh instance is fully functional.
+        let pid = b.register_process("p2");
+        let h = b.attach(pid, None);
+        h.detach();
+        b.shutdown();
+        // Shutdown of the fresh instance cleans its own entry up too.
+        let c = NosvInstance::connect("instance-test-shutdown-leak", NosvConfig::with_cores(3));
+        assert_eq!(c.num_cores(), 3);
+        c.shutdown();
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! The [`Executor`] trait and the two real-execution stacks.
+//!
+//! [`OsExecutor`] runs every process of a spec on plain OS threads (the paper's baseline:
+//! the kernel time-slices the oversubscribed node), [`UsfExecutor`] runs the *same spec*
+//! on cooperative USF threads of one shared scheduler instance — each [`ProcSpec`](crate::ProcSpec) becomes
+//! a process domain of the shared `NosvInstance`, exactly the multi-process attachment
+//! model of §2.3/§4.3.3. The third stack, [`crate::SimExecutor`], lowers the spec into the
+//! discrete-event simulator at paper-scale core counts.
+
+use crate::plan::{ProcPlan, MD_IMBALANCE};
+use crate::report::{ProcessOutcome, ScenarioReport, SchedDelta};
+use crate::spec::{ScenarioSpec, WorkloadKind};
+use std::time::{Duration, Instant};
+use usf_core::exec::ExecMode;
+use usf_core::runtime::Usf;
+use usf_nosv::MetricsSnapshot;
+use usf_workloads::workload::{
+    CholeskyWorkload, MatmulWorkload, RuntimeFlavor, SyntheticWorkload, Workload,
+};
+use usf_workloads::{CholeskyConfig, MatmulConfig};
+
+/// An execution stack that can run any [`ScenarioSpec`].
+pub trait Executor {
+    /// Label used in reports (`baseline-os`, `sched_coop`, `sim-linux-fair`, …).
+    fn label(&self) -> String;
+
+    /// Run the scenario and report per-process outcomes.
+    fn run_spec(&self, spec: &ScenarioSpec) -> ScenarioReport;
+
+    /// Run the scenario *and* each process's solo baseline, filling in
+    /// `slowdown_vs_solo` — the one-call version of every slowdown figure.
+    fn run_with_solo_baselines(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let mut report = self.run_spec(spec);
+        let solos: Vec<Option<Duration>> = (0..spec.procs.len())
+            .map(|i| {
+                let solo = self.run_spec(&spec.solo_of(i));
+                solo.processes.first().map(|p| p.makespan)
+            })
+            .collect();
+        report.apply_solo_baseline(&solos);
+        report
+    }
+}
+
+/// Map one planned process to a real workload over the given thread backend.
+///
+/// The open-loop kinds (microservices, poisson-burst) are built *without* internal pacing:
+/// the driver injects the plan's seeded arrival gaps so that all three executors pace
+/// units identically (the lowering-equivalence invariant).
+fn build_workload(p: &ProcPlan, exec: ExecMode) -> Box<dyn Workload> {
+    let threads = p.threads;
+    match p.kind {
+        WorkloadKind::Matmul => {
+            let (n, ts) = p.spec.size.matrix_dims();
+            Box::new(MatmulWorkload::new(MatmulConfig {
+                matrix_size: n,
+                task_size: ts,
+                inner_threads: inner_threads(threads),
+                outer_workers: outer_workers(threads),
+                inner_threading: blas_threading(p.flavor),
+                barrier: usf_blas::BarrierKind::BusyYield { yield_every: 64 },
+                exec,
+                iterations: 1,
+            }))
+        }
+        WorkloadKind::Cholesky => {
+            let (n, ts) = p.spec.size.matrix_dims();
+            Box::new(CholeskyWorkload::new(CholeskyConfig {
+                matrix_size: n,
+                tile_size: ts,
+                outer_workers: outer_workers(threads),
+                inner_threads: inner_threads(threads),
+                inner_threading: blas_threading(p.flavor),
+                barrier: usf_blas::BarrierKind::BusyYield { yield_every: 64 },
+                exec,
+            }))
+        }
+        WorkloadKind::Md => Box::new(SyntheticWorkload::md_steps(
+            threads,
+            p.flavor,
+            exec,
+            p.unit_work,
+            MD_IMBALANCE,
+        )),
+        WorkloadKind::SpinSleep => Box::new(SyntheticWorkload::spin_sleep(
+            threads,
+            p.flavor,
+            exec,
+            p.unit_work,
+            p.post_unit_sleep().unwrap_or(Duration::ZERO),
+        )),
+        WorkloadKind::Microservices | WorkloadKind::PoissonBurst => {
+            // Uniform parallel request/burst region; the arrival gaps come from the plan.
+            Box::new(SyntheticWorkload::spin_sleep(
+                threads,
+                p.flavor,
+                exec,
+                p.unit_work,
+                Duration::ZERO,
+            ))
+        }
+    }
+}
+
+fn outer_workers(threads: usize) -> usize {
+    threads.div_ceil(2).max(1)
+}
+
+fn inner_threads(threads: usize) -> usize {
+    if threads > 1 {
+        2
+    } else {
+        1
+    }
+}
+
+fn blas_threading(flavor: RuntimeFlavor) -> usf_blas::BlasThreading {
+    match flavor {
+        RuntimeFlavor::ThreadPool => usf_blas::BlasThreading::PthreadPerCall,
+        _ => usf_blas::BlasThreading::OpenMpLike,
+    }
+}
+
+/// What one driver thread returns.
+struct ProcRun {
+    makespan: Duration,
+    unit_latencies_s: Vec<f64>,
+}
+
+/// Drive one planned process: wait for its arrival, set the workload up, run the units
+/// (injecting the plan's pacing gaps), tear down. `attach` is called after the arrival
+/// sleep and its result dropped after teardown — the USF stack passes the cooperative
+/// attach guard through it, the OS stack a no-op.
+fn drive_process<G>(
+    p: &ProcPlan,
+    epoch: Instant,
+    exec: ExecMode,
+    attach: impl FnOnce() -> G,
+) -> ProcRun {
+    let since = epoch.elapsed();
+    if p.arrival > since {
+        std::thread::sleep(p.arrival - since);
+    }
+    let _guard = attach();
+    let gaps = p.pacing_gaps();
+    let mut workload = build_workload(p, exec);
+    workload.setup();
+    let start = Instant::now();
+    let mut unit_latencies_s = Vec::with_capacity(p.units);
+    for unit in 0..p.units {
+        let u0 = Instant::now();
+        if let Some(gap) = gaps.get(unit) {
+            usf_core::timing::sleep(*gap);
+        }
+        workload.run_unit(unit);
+        unit_latencies_s.push(u0.elapsed().as_secs_f64());
+    }
+    let makespan = start.elapsed();
+    workload.teardown();
+    ProcRun {
+        makespan,
+        unit_latencies_s,
+    }
+}
+
+fn collect_outcomes(
+    plan: &crate::plan::ScenarioPlan,
+    runs: Vec<ProcRun>,
+    total: Duration,
+    scenario: &str,
+    executor: String,
+    sched: Option<SchedDelta>,
+) -> ScenarioReport {
+    let processes = plan
+        .procs
+        .iter()
+        .zip(runs)
+        .map(|(p, r)| ProcessOutcome {
+            name: p.name.clone(),
+            arrival: p.arrival,
+            threads: p.threads,
+            makespan: r.makespan,
+            unit_latencies_s: r.unit_latencies_s,
+            slowdown_vs_solo: None,
+        })
+        .collect();
+    ScenarioReport {
+        scenario: scenario.to_string(),
+        executor,
+        total_makespan: total,
+        processes,
+        sched,
+    }
+}
+
+/// The OS baseline stack: plain `std::thread`s under the kernel's preemptive scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsExecutor;
+
+impl Executor for OsExecutor {
+    fn label(&self) -> String {
+        "baseline-os".to_string()
+    }
+
+    fn run_spec(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let plan = spec.plan();
+        let epoch = Instant::now();
+        let handles: Vec<_> = plan
+            .procs
+            .iter()
+            .map(|p| {
+                let p = p.clone();
+                std::thread::spawn(move || drive_process(&p, epoch, ExecMode::Os, || ()))
+            })
+            .collect();
+        let runs: Vec<ProcRun> = handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario driver panicked"))
+            .collect();
+        let total = epoch.elapsed();
+        collect_outcomes(&plan, runs, total, &spec.name, self.label(), None)
+    }
+}
+
+/// The USF stack: one shared scheduler instance, one process domain per [`ProcSpec`](crate::ProcSpec), all
+/// threads cooperative (SCHED_COOP).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UsfExecutor {
+    /// Virtual cores of the shared instance; defaults to the spec's core budget.
+    pub cores: Option<usize>,
+}
+
+impl UsfExecutor {
+    /// Executor over the spec's own core budget.
+    pub fn new() -> Self {
+        UsfExecutor::default()
+    }
+}
+
+impl Executor for UsfExecutor {
+    fn label(&self) -> String {
+        "sched_coop".to_string()
+    }
+
+    fn run_spec(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let cores = self.cores.unwrap_or(spec.cores).max(1);
+        let plan = spec.plan();
+        let usf = Usf::builder().cores(cores).build();
+        let before = usf.metrics();
+        let epoch = Instant::now();
+        let handles: Vec<_> = plan
+            .procs
+            .iter()
+            .map(|p| {
+                let p = p.clone();
+                // Every ProcSpec is its own process domain of the shared scheduler: the
+                // per-process quantum rotates among them like nOS-V processes on one shm
+                // segment.
+                let domain = usf.process(p.name.clone());
+                std::thread::spawn(move || {
+                    let exec = ExecMode::Usf(domain.clone());
+                    // The driver is the process's "main thread": it attaches after the
+                    // arrival sleep and participates cooperatively from then on.
+                    drive_process(&p, epoch, exec, || domain.attach_current())
+                })
+            })
+            .collect();
+        let runs: Vec<ProcRun> = handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario driver panicked"))
+            .collect();
+        let total = epoch.elapsed();
+        let after = usf.metrics();
+        usf.shutdown();
+        let sched = Some(usf_sched_delta(&before, &after));
+        collect_outcomes(&plan, runs, total, &spec.name, self.label(), sched)
+    }
+}
+
+/// Scheduler-metrics delta of a USF run.
+fn usf_sched_delta(before: &MetricsSnapshot, after: &MetricsSnapshot) -> SchedDelta {
+    let d = |b: u64, a: u64| (a - b) as f64;
+    SchedDelta {
+        scheduler: "sched_coop".to_string(),
+        counters: vec![
+            ("submits".into(), d(before.submits, after.submits)),
+            ("grants".into(), d(before.grants, after.grants)),
+            ("yields".into(), d(before.yields, after.yields)),
+            (
+                "yields_noop".into(),
+                d(before.yields_noop, after.yields_noop),
+            ),
+            ("pauses".into(), d(before.pauses, after.pauses)),
+            ("attaches".into(), d(before.attaches, after.attaches)),
+            (
+                "affinity_hits".into(),
+                d(before.affinity_hits, after.affinity_hits),
+            ),
+            (
+                "process_rotations".into(),
+                d(before.process_rotations, after.process_rotations),
+            ),
+            (
+                "lock_acquisitions".into(),
+                d(before.lock_acquisitions, after.lock_acquisitions),
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Arrival, ProblemSize, ProcSpec};
+
+    fn tiny_pair() -> ScenarioSpec {
+        ScenarioSpec::new("exec-test-pair", 2)
+            .process(
+                ProcSpec::new("md", WorkloadKind::Md)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(2),
+            )
+            .process(
+                ProcSpec::new("spin", WorkloadKind::SpinSleep)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(2)
+                    .arrival(Arrival::Delayed(Duration::from_millis(1))),
+            )
+    }
+
+    #[test]
+    fn os_executor_runs_a_pair() {
+        let r = OsExecutor.run_spec(&tiny_pair());
+        assert_eq!(r.executor, "baseline-os");
+        assert_eq!(r.processes.len(), 2);
+        for p in &r.processes {
+            assert_eq!(p.unit_latencies_s.len(), 2);
+            assert!(p.makespan > Duration::ZERO);
+        }
+        assert!(r.sched.is_none());
+        assert!(r.total_makespan >= r.processes[0].makespan);
+    }
+
+    #[test]
+    fn usf_executor_runs_the_same_spec_cooperatively() {
+        let r = UsfExecutor::new().run_spec(&tiny_pair());
+        assert_eq!(r.executor, "sched_coop");
+        assert_eq!(r.processes.len(), 2);
+        let sched = r.sched.expect("USF runs report scheduler metrics");
+        assert!(sched.get("attaches").unwrap() >= 2.0, "{sched:?}");
+        assert!(sched.get("grants").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn solo_baselines_fill_slowdowns() {
+        let r = OsExecutor.run_with_solo_baselines(&tiny_pair());
+        for p in &r.processes {
+            let s = p.slowdown_vs_solo.expect("solo baseline ran");
+            assert!(s > 0.0);
+        }
+        assert!(r.jain_fairness() > 0.0);
+    }
+
+    #[test]
+    fn hpc_kinds_run_for_real_on_both_stacks() {
+        let spec = ScenarioSpec::new("hpc-tiny", 2)
+            .process(
+                ProcSpec::new("mm", WorkloadKind::Matmul)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(1),
+            )
+            .process(
+                ProcSpec::new("chol", WorkloadKind::Cholesky)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(1),
+            );
+        for report in [
+            OsExecutor.run_spec(&spec),
+            UsfExecutor::new().run_spec(&spec),
+        ] {
+            assert_eq!(report.processes.len(), 2);
+            for p in &report.processes {
+                assert_eq!(p.unit_latencies_s.len(), 1);
+            }
+        }
+    }
+}

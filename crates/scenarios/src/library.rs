@@ -1,0 +1,109 @@
+//! Canned scenario library — the co-run experiments the paper argues about, as data.
+
+use crate::spec::{Arrival, ProblemSize, ProcSpec, ScenarioSpec, WorkloadKind};
+use std::time::Duration;
+use usf_workloads::workload::RuntimeFlavor;
+
+/// A solo run: one process of the given kind using the whole core budget (the baseline
+/// every slowdown is measured against).
+pub fn solo(kind: WorkloadKind, cores: usize, size: ProblemSize) -> ScenarioSpec {
+    ScenarioSpec::new(format!("solo-{}", kind.label()), cores).process(
+        ProcSpec::new(kind.label(), kind)
+            .size(size)
+            .threads(cores)
+            .units(4),
+    )
+}
+
+/// The HPC pair (§5.3/§5.4 shape): a nested matmul and a Cholesky factorization co-run,
+/// each sized for the whole node — 2× mutual oversubscription between two task-parallel
+/// runtimes.
+pub fn hpc_pair(cores: usize, size: ProblemSize) -> ScenarioSpec {
+    ScenarioSpec::new("hpc-pair", cores)
+        .process(
+            ProcSpec::new("matmul", WorkloadKind::Matmul)
+                .size(size)
+                .flavor(RuntimeFlavor::TaskRt)
+                .threads(cores)
+                .units(2),
+        )
+        .process(
+            ProcSpec::new("cholesky", WorkloadKind::Cholesky)
+                .size(size)
+                .flavor(RuntimeFlavor::ThreadPool)
+                .threads(cores)
+                .units(2),
+        )
+}
+
+/// Latency-vs-batch co-location (§5.5 shape): an open-loop inference service sharing the
+/// node with an imbalanced MD batch job that wants every core.
+pub fn latency_batch(cores: usize, size: ProblemSize) -> ScenarioSpec {
+    ScenarioSpec::new("latency-batch", cores)
+        .process(
+            ProcSpec::new("service", WorkloadKind::Microservices)
+                .size(size)
+                .flavor(RuntimeFlavor::ThreadPool)
+                .threads(cores.div_ceil(2))
+                .units(8),
+        )
+        .process(
+            ProcSpec::new("batch", WorkloadKind::Md)
+                .size(size)
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(4),
+        )
+}
+
+/// The oversubscription ramp behind `fig6_oversub`: `factor` identical MD-ensemble
+/// processes, each demanding the whole core budget (so total demand = `factor ×` the
+/// node), arriving in a short ramp. Under SCHED_COOP the per-process slowdown stays near
+/// the ideal `factor ×` time-sharing line; under the preemptive baseline the busy-wait
+/// unit joins burn quanta and the slowdown grows past it.
+pub fn oversub_ramp(cores: usize, factor: usize, size: ProblemSize) -> ScenarioSpec {
+    // Stagger by roughly one per-thread unit so the ramp is visible but every process
+    // overlaps all the others for most of its run (unit_work is the demand summed over
+    // the process's `cores` threads).
+    let stagger = Duration::from_secs_f64(size.unit_work().as_secs_f64() / cores.max(1) as f64);
+    let mut spec = ScenarioSpec::new(format!("oversub-ramp-{factor}x"), cores);
+    for i in 0..factor.max(1) {
+        spec = spec.process(
+            ProcSpec::new(format!("ensemble-{i}"), WorkloadKind::Md)
+                .size(size)
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(6)
+                .arrival(Arrival::Ramp { stagger }),
+        );
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_specs_have_the_advertised_shape() {
+        let solo = solo(WorkloadKind::Matmul, 4, ProblemSize::Tiny);
+        assert_eq!(solo.procs.len(), 1);
+        assert_eq!(solo.oversubscription(), 1.0);
+
+        let pair = hpc_pair(4, ProblemSize::Tiny);
+        assert_eq!(pair.procs.len(), 2);
+        assert_eq!(pair.oversubscription(), 2.0);
+
+        let lb = latency_batch(4, ProblemSize::Tiny);
+        assert_eq!(lb.procs.len(), 2);
+        assert!(lb.oversubscription() > 1.0);
+
+        for factor in [1, 2, 4, 8] {
+            let ramp = oversub_ramp(4, factor, ProblemSize::Tiny);
+            assert_eq!(ramp.procs.len(), factor);
+            assert_eq!(ramp.oversubscription(), factor as f64);
+            // The ramp arrives strictly in spec order.
+            assert_eq!(ramp.plan().arrival_order(), (0..factor).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic lowering of a [`ScenarioSpec`] into a concrete [`ScenarioPlan`].
+//!
+//! The plan is the single source of truth all three executors consume: arrival phases are
+//! expanded into absolute arrival times (Poisson draws are seeded, so the plan of a spec
+//! is a pure function of the spec), and every process carries its resolved unit count,
+//! thread demand and nominal unit cost. The lowering-equivalence property test pins the
+//! executors to this structure.
+
+use crate::spec::{Arrival, ProcSpec, ScenarioSpec, WorkloadKind};
+use std::time::Duration;
+use usf_workloads::poisson::PoissonProcess;
+use usf_workloads::workload::RuntimeFlavor;
+
+/// One process of a resolved plan.
+#[derive(Debug, Clone)]
+pub struct ProcPlan {
+    /// Position in the spec (stable identifier across executors).
+    pub index: usize,
+    /// Display name.
+    pub name: String,
+    /// Absolute arrival time relative to scenario start.
+    pub arrival: Duration,
+    /// Thread/core demand.
+    pub threads: usize,
+    /// Units of work.
+    pub units: usize,
+    /// Nominal on-core work per unit, summed over the process's threads.
+    pub unit_work: Duration,
+    /// Workload kind.
+    pub kind: WorkloadKind,
+    /// Runtime flavour.
+    pub flavor: RuntimeFlavor,
+    /// The original process spec (sizes etc. for the real workload constructors).
+    pub spec: ProcSpec,
+}
+
+impl ProcPlan {
+    /// Per-thread imbalance weights of the parallel region, normalized to sum to 1.0 —
+    /// uniform except for the MD kind, whose alternating dense/sparse profile (§5.6) is
+    /// part of the shared cost model.
+    pub fn weights(&self) -> Vec<f64> {
+        self.weights_for(self.threads)
+    }
+
+    /// [`ProcPlan::weights`] for an explicit region width — the simulator uses this when
+    /// it scales the thread demand up to paper-scale core counts.
+    pub fn weights_for(&self, n: usize) -> Vec<f64> {
+        let n = n.max(1);
+        let raw: Vec<f64> = match self.kind {
+            WorkloadKind::Md => (0..n)
+                .map(|i| if i % 2 == 0 { MD_IMBALANCE } else { 1.0 })
+                .collect(),
+            _ => vec![1.0; n],
+        };
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Mean pacing gap before each unit (`None` for back-to-back kinds). Part of the
+    /// shared cost model: the real workloads draw seeded exponential gaps with this mean,
+    /// the simulator lowers the same gaps as off-core sleeps.
+    pub fn pacing_gap(&self) -> Option<Duration> {
+        let unit_secs = self.unit_work.as_secs_f64();
+        match self.kind {
+            // A loaded service: gaps ~ unit work (utilization near 1 when solo).
+            WorkloadKind::Microservices => Some(Duration::from_secs_f64(unit_secs)),
+            // A sparse burst source: long think times between bursts.
+            WorkloadKind::PoissonBurst => Some(Duration::from_secs_f64(3.0 * unit_secs)),
+            _ => None,
+        }
+    }
+
+    /// Off-core sleep after each unit's parallel region (`None` for kinds that run units
+    /// back to back). Part of the shared cost model: the real spin-sleep workload sleeps
+    /// it through the cooperative timer, the simulator lowers it as an off-core sleep op.
+    pub fn post_unit_sleep(&self) -> Option<Duration> {
+        match self.kind {
+            WorkloadKind::SpinSleep => Some(self.unit_work / 4),
+            _ => None,
+        }
+    }
+
+    /// The seeded per-unit pacing gaps (empty for back-to-back kinds).
+    pub fn pacing_gaps(&self) -> Vec<Duration> {
+        match self.pacing_gap() {
+            None => Vec::new(),
+            Some(mean) => {
+                let rate = 1.0 / mean.as_secs_f64().max(1e-9);
+                let mut p = PoissonProcess::new(rate, PACING_SEED_BASE + self.index as u64);
+                (0..self.units).map(|_| p.next_gap()).collect()
+            }
+        }
+    }
+}
+
+/// Dense-to-sparse per-thread work ratio of the MD kind (the 90/10 atom split of §5.6
+/// collapses to roughly one order of magnitude between heavy and light ranks).
+pub const MD_IMBALANCE: f64 = 9.0;
+
+/// Seed base of the per-process pacing draws.
+const PACING_SEED_BASE: u64 = 0x5eed_0000;
+
+/// Seed base of the Poisson arrival draws.
+const ARRIVAL_SEED_BASE: u64 = 0xa441_0000;
+
+/// A fully resolved scenario: what every executor instantiates.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    /// Scenario name.
+    pub name: String,
+    /// Core budget the demands are sized against.
+    pub cores: usize,
+    /// Resolved processes, in spec order.
+    pub procs: Vec<ProcPlan>,
+}
+
+impl ScenarioPlan {
+    /// Process indices sorted by `(arrival, index)` — the deterministic arrival order the
+    /// lowering-equivalence test compares across executors.
+    pub fn arrival_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.procs.len()).collect();
+        order.sort_by_key(|&i| (self.procs[i].arrival, i));
+        order
+    }
+}
+
+impl ScenarioSpec {
+    /// Resolve the spec into the concrete plan (pure: same spec, same plan).
+    pub fn plan(&self) -> ScenarioPlan {
+        let procs = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(index, p)| {
+                let arrival = match p.arrival {
+                    Arrival::Immediate => Duration::ZERO,
+                    Arrival::Delayed(d) => d,
+                    Arrival::Poisson { rate_per_sec, seed } => {
+                        let mut draw = PoissonProcess::new(
+                            rate_per_sec.max(1e-6),
+                            ARRIVAL_SEED_BASE ^ seed.wrapping_add(index as u64),
+                        );
+                        draw.next_gap()
+                    }
+                    Arrival::Ramp { stagger } => stagger * index as u32,
+                };
+                ProcPlan {
+                    index,
+                    name: p.name.clone(),
+                    arrival,
+                    threads: p.threads.max(1),
+                    units: p.units.max(1),
+                    unit_work: p.size.unit_work(),
+                    kind: p.kind,
+                    flavor: p.flavor,
+                    spec: p.clone(),
+                }
+            })
+            .collect();
+        ScenarioPlan {
+            name: self.name.clone(),
+            cores: self.cores,
+            procs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProblemSize;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let spec = ScenarioSpec::new("det", 4)
+            .process(
+                ProcSpec::new("a", WorkloadKind::Microservices).arrival(Arrival::Poisson {
+                    rate_per_sec: 100.0,
+                    seed: 3,
+                }),
+            )
+            .process(ProcSpec::new("b", WorkloadKind::Md).arrival(Arrival::Ramp {
+                stagger: Duration::from_millis(2),
+            }));
+        let (p1, p2) = (spec.plan(), spec.plan());
+        for (a, b) in p1.procs.iter().zip(&p2.procs) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.pacing_gaps(), b.pacing_gaps());
+        }
+    }
+
+    #[test]
+    fn ramp_staggers_by_index() {
+        let stagger = Duration::from_millis(5);
+        let mut spec = ScenarioSpec::new("ramp", 2);
+        for i in 0..4 {
+            spec = spec.process(
+                ProcSpec::new(format!("p{i}"), WorkloadKind::SpinSleep)
+                    .arrival(Arrival::Ramp { stagger }),
+            );
+        }
+        let plan = spec.plan();
+        for (i, p) in plan.procs.iter().enumerate() {
+            assert_eq!(p.arrival, stagger * i as u32);
+        }
+        assert_eq!(plan.arrival_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn arrival_order_breaks_ties_by_index() {
+        let spec = ScenarioSpec::new("ties", 2)
+            .process(
+                ProcSpec::new("late", WorkloadKind::SpinSleep)
+                    .arrival(Arrival::Delayed(Duration::from_millis(9))),
+            )
+            .process(ProcSpec::new("a", WorkloadKind::SpinSleep))
+            .process(ProcSpec::new("b", WorkloadKind::SpinSleep));
+        assert_eq!(spec.plan().arrival_order(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn md_weights_are_imbalanced_normalized() {
+        let plan = ScenarioSpec::new("md", 4)
+            .process(
+                ProcSpec::new("e0", WorkloadKind::Md)
+                    .threads(4)
+                    .size(ProblemSize::Tiny),
+            )
+            .plan();
+        let w = plan.procs[0].weights();
+        assert_eq!(w.len(), 4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > 5.0 * w[1]);
+    }
+
+    #[test]
+    fn pacing_only_for_open_loop_kinds() {
+        let plan = ScenarioSpec::new("pace", 2)
+            .process(ProcSpec::new("svc", WorkloadKind::Microservices).units(3))
+            .process(ProcSpec::new("hpc", WorkloadKind::Matmul).units(3))
+            .plan();
+        assert_eq!(plan.procs[0].pacing_gaps().len(), 3);
+        assert!(plan.procs[1].pacing_gaps().is_empty());
+    }
+
+    #[test]
+    fn post_unit_sleep_only_for_spin_sleep() {
+        let plan = ScenarioSpec::new("post", 2)
+            .process(ProcSpec::new("ss", WorkloadKind::SpinSleep).size(ProblemSize::Tiny))
+            .process(ProcSpec::new("md", WorkloadKind::Md).size(ProblemSize::Tiny))
+            .plan();
+        assert_eq!(
+            plan.procs[0].post_unit_sleep(),
+            Some(ProblemSize::Tiny.unit_work() / 4)
+        );
+        assert_eq!(plan.procs[1].post_unit_sleep(), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Scenario reports: per-process makespans, unit latencies, slowdowns and fairness.
+
+use std::time::Duration;
+use usf_workloads::stats::{self, Summary};
+
+/// Outcome of one process of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ProcessOutcome {
+    /// Process name (from the spec).
+    pub name: String,
+    /// Planned arrival time relative to scenario start.
+    pub arrival: Duration,
+    /// Parallel-region width the process ran with.
+    pub threads: usize,
+    /// Time from the process's arrival to its last unit completing.
+    pub makespan: Duration,
+    /// Per-unit wall-clock latencies in seconds (includes each unit's arrival gap for
+    /// open-loop kinds; the simulator reports the uniform per-unit share of the process
+    /// makespan).
+    pub unit_latencies_s: Vec<f64>,
+    /// `corun_makespan / solo_makespan`, filled in by
+    /// [`ScenarioReport::apply_solo_baseline`]; `None` until a solo baseline is known.
+    pub slowdown_vs_solo: Option<f64>,
+}
+
+impl ProcessOutcome {
+    /// Percentile bundle of the unit latencies.
+    pub fn unit_summary(&self) -> Summary {
+        Summary::of(&self.unit_latencies_s)
+    }
+}
+
+/// A named counter delta of the scheduler that ran the scenario (USF scheduler metrics or
+/// simulator metrics — the counters differ per stack, so they are reported as pairs).
+#[derive(Debug, Clone, Default)]
+pub struct SchedDelta {
+    /// Which scheduler the counters describe.
+    pub scheduler: String,
+    /// `(counter name, value)` pairs, in display order.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl SchedDelta {
+    /// Value of a counter by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Result of running one [`crate::ScenarioSpec`] on one executor.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Executor label (`baseline-os`, `sched_coop`, `sim-fair`, `sim-coop`, …).
+    pub executor: String,
+    /// Time from scenario start to the last process finishing.
+    pub total_makespan: Duration,
+    /// Per-process outcomes, in spec order.
+    pub processes: Vec<ProcessOutcome>,
+    /// Scheduler metrics delta over the run, when the stack exposes one.
+    pub sched: Option<SchedDelta>,
+}
+
+impl ScenarioReport {
+    /// Fill in each process's `slowdown_vs_solo` from a slice of solo makespans in spec
+    /// order (entries may be `None` when a solo run is unavailable).
+    pub fn apply_solo_baseline(&mut self, solo_makespans: &[Option<Duration>]) {
+        for (p, solo) in self.processes.iter_mut().zip(solo_makespans) {
+            p.slowdown_vs_solo =
+                solo.map(|s| stats::slowdown(s.as_secs_f64(), p.makespan.as_secs_f64()));
+        }
+    }
+
+    /// Jain fairness index of the co-run. When solo baselines are known, fairness is
+    /// computed over normalized progress (`1 / slowdown`, the standard definition — how
+    /// evenly the interference is spread); otherwise over raw per-process unit throughput.
+    pub fn jain_fairness(&self) -> f64 {
+        let norm: Vec<f64> = if self.processes.iter().all(|p| p.slowdown_vs_solo.is_some()) {
+            self.processes
+                .iter()
+                .map(|p| {
+                    let s = p.slowdown_vs_solo.unwrap_or(0.0);
+                    if s > 0.0 {
+                        1.0 / s
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        } else {
+            self.processes
+                .iter()
+                .map(|p| p.unit_latencies_s.len() as f64 / p.makespan.as_secs_f64().max(1e-9))
+                .collect()
+        };
+        stats::jain_fairness(&norm)
+    }
+
+    /// Largest per-process slowdown (`None` until baselines are applied).
+    pub fn worst_slowdown(&self) -> Option<f64> {
+        self.processes
+            .iter()
+            .filter_map(|p| p.slowdown_vs_solo)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+
+    /// Geometric-mean slowdown across processes (`None` until baselines are applied).
+    pub fn mean_slowdown(&self) -> Option<f64> {
+        let v: Vec<f64> = self
+            .processes
+            .iter()
+            .filter_map(|p| p.slowdown_vs_solo)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(stats::geomean(&v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, makespan_ms: u64, units: usize) -> ProcessOutcome {
+        ProcessOutcome {
+            name: name.into(),
+            arrival: Duration::ZERO,
+            threads: 2,
+            makespan: Duration::from_millis(makespan_ms),
+            unit_latencies_s: vec![makespan_ms as f64 / 1e3 / units as f64; units],
+            slowdown_vs_solo: None,
+        }
+    }
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            scenario: "t".into(),
+            executor: "x".into(),
+            total_makespan: Duration::from_millis(40),
+            processes: vec![outcome("a", 20, 4), outcome("b", 40, 4)],
+            sched: None,
+        }
+    }
+
+    #[test]
+    fn solo_baseline_fills_slowdowns() {
+        let mut r = report();
+        r.apply_solo_baseline(&[
+            Some(Duration::from_millis(10)),
+            Some(Duration::from_millis(40)),
+        ]);
+        assert_eq!(r.processes[0].slowdown_vs_solo, Some(2.0));
+        assert_eq!(r.processes[1].slowdown_vs_solo, Some(1.0));
+        assert_eq!(r.worst_slowdown(), Some(2.0));
+        let gm = r.mean_slowdown().unwrap();
+        assert!((gm - 2.0f64.sqrt()).abs() < 1e-9);
+        // Fairness over 1/slowdown of (2, 1): (0.5+1)²/(2·(0.25+1)) = 0.9.
+        assert!((r.jain_fairness() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_without_baseline_uses_throughput() {
+        let r = report();
+        // Throughputs 200/s and 100/s → Jain = (300²)/(2·(200²+100²)) = 0.9.
+        assert!((r.jain_fairness() - 0.9).abs() < 1e-9);
+        assert_eq!(r.worst_slowdown(), None);
+        assert_eq!(r.mean_slowdown(), None);
+    }
+
+    #[test]
+    fn partial_baseline_leaves_missing_entries_none() {
+        let mut r = report();
+        r.apply_solo_baseline(&[Some(Duration::from_millis(10)), None]);
+        assert_eq!(r.processes[0].slowdown_vs_solo, Some(2.0));
+        assert_eq!(r.processes[1].slowdown_vs_solo, None);
+        assert_eq!(r.worst_slowdown(), Some(2.0));
+    }
+
+    #[test]
+    fn unit_summary_and_sched_delta() {
+        let r = report();
+        let s = r.processes[0].unit_summary();
+        assert_eq!(s.count, 4);
+        assert!((s.p50 - 0.005).abs() < 1e-12);
+        let d = SchedDelta {
+            scheduler: "sched_coop".into(),
+            counters: vec![("grants".into(), 7.0)],
+        };
+        assert_eq!(d.get("grants"), Some(7.0));
+        assert_eq!(d.get("missing"), None);
+    }
+}

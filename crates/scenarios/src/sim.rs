@@ -1,0 +1,392 @@
+//! [`SimExecutor`] — lowering a scenario spec into the discrete-event simulator.
+//!
+//! The same [`ScenarioSpec`] that runs for real on the OS and USF
+//! stacks is lowered into a `usf-simsched` program at *paper-scale* core counts: thread
+//! demands are scaled by `machine.cores / spec.cores`, every unit becomes a compute phase
+//! (with the plan's MD imbalance weights) joined by a busy-wait-with-yield barrier (the
+//! patched OpenBLAS/MPICH join of §5.2), and open-loop kinds sleep the plan's seeded
+//! arrival gaps. The scheduling model is pluggable, so the identical spec compares the
+//! preemptive fair baseline against SCHED_COOP — Figure-6-style — without touching the
+//! spec.
+
+use crate::executor::Executor;
+use crate::plan::{ProcPlan, ScenarioPlan};
+use crate::report::{ProcessOutcome, ScenarioReport, SchedDelta};
+use crate::spec::{ScenarioSpec, WorkloadKind};
+use std::time::Duration;
+use usf_simsched::{
+    BarrierWaitKind, Engine, Machine, ProcessId, Program, SchedModel, SimReport, SimTime, ThreadId,
+};
+
+/// Structural shape of one lowered process — what the lowering-equivalence property test
+/// compares against the real executors.
+#[derive(Debug, Clone)]
+pub struct SimProcShape {
+    /// Process name (from the spec).
+    pub name: String,
+    /// Simulator process id.
+    pub process: ProcessId,
+    /// Thread ids instantiated for the process.
+    pub thread_ids: Vec<ThreadId>,
+    /// Scaled region width (threads actually spawned).
+    pub threads: usize,
+    /// Units each thread executes.
+    pub units: usize,
+    /// Arrival time (unscaled, as planned).
+    pub arrival: Duration,
+}
+
+/// A lowered scenario: the engine plus the per-process shapes.
+pub struct LoweredScenario {
+    /// The ready-to-run engine.
+    pub engine: Engine,
+    /// Per-process structure, in spec order.
+    pub shapes: Vec<SimProcShape>,
+    /// The demand scale factor applied (`machine.cores / spec.cores`, at least 1).
+    pub scale: usize,
+}
+
+/// The simulator stack: runs any spec on a simulated machine under a pluggable
+/// scheduling model.
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    /// The simulated machine (defaults drive paper-scale core counts).
+    pub machine: Machine,
+    /// The scheduling model (fair = OS baseline, coop = SCHED_COOP).
+    pub model: SchedModel,
+    /// Scale factor applied to all durations (smaller = faster tests, same shape).
+    pub time_scale: f64,
+    /// Yield period of the busy-wait unit-join barriers.
+    pub spin_slice: Duration,
+}
+
+impl SimExecutor {
+    /// An executor over the given machine and model.
+    pub fn new(machine: Machine, model: SchedModel) -> Self {
+        SimExecutor {
+            machine,
+            model,
+            time_scale: 1.0,
+            spin_slice: Duration::from_micros(200),
+        }
+    }
+
+    /// The preemptive-fair (Linux baseline) simulator over the paper's full node.
+    pub fn os_baseline() -> Self {
+        SimExecutor::new(Machine::marenostrum5(), SchedModel::Fair)
+    }
+
+    /// The SCHED_COOP simulator over the paper's full node.
+    pub fn sched_coop() -> Self {
+        SimExecutor::new(Machine::marenostrum5(), SchedModel::coop_default())
+    }
+
+    /// Override the time scale (builder style).
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale.max(1e-9);
+        self
+    }
+
+    /// Lower a spec into an engine without running it — exposed so tests can inspect the
+    /// spawned structure.
+    pub fn lower(&self, spec: &ScenarioSpec) -> LoweredScenario {
+        let plan = spec.plan();
+        self.lower_plan(&plan)
+    }
+
+    fn lower_plan(&self, plan: &ScenarioPlan) -> LoweredScenario {
+        let scale = (self.machine.cores / plan.cores.max(1)).max(1);
+        let mut engine = Engine::new(self.machine.clone(), &self.model);
+        engine.set_max_sim_time(SimTime::from_secs(24 * 3600));
+        let mut shapes = Vec::with_capacity(plan.procs.len());
+        for p in &plan.procs {
+            let pid = engine.add_process(p.name.clone(), 1.0);
+            let threads = p.threads * scale;
+            let weights = p.weights_for(threads);
+            let gaps = p.pacing_gaps();
+            let arrival = self.sim_time(p.arrival);
+            // Uniform-weight kinds share one program across the region; only imbalanced
+            // kinds (MD) need a distinct per-thread program.
+            let uniform = weights.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12);
+            let thread_ids = if uniform {
+                let prog = self.thread_program(p, pid, 0, threads, &weights, &gaps);
+                engine.add_threads_at(pid, prog, threads, arrival)
+            } else {
+                (0..threads)
+                    .map(|t| {
+                        let prog = self.thread_program(p, pid, t, threads, &weights, &gaps);
+                        engine.add_thread_at(pid, prog, arrival)
+                    })
+                    .collect()
+            };
+            shapes.push(SimProcShape {
+                name: p.name.clone(),
+                process: pid,
+                thread_ids,
+                threads,
+                units: p.units,
+                arrival: p.arrival,
+            });
+        }
+        LoweredScenario {
+            engine,
+            shapes,
+            scale,
+        }
+    }
+
+    /// Build thread `t`'s program for process `p`: per unit, the plan's pacing gap (an
+    /// off-core sleep), the thread's weighted share of the unit work, the unit-join
+    /// barrier (busy wait with yield — the patched BLAS/MPI join), and the plan's
+    /// post-unit off-core sleep (the spin-sleep duty cycle).
+    fn thread_program(
+        &self,
+        p: &ProcPlan,
+        pid: ProcessId,
+        t: usize,
+        threads: usize,
+        weights: &[f64],
+        gaps: &[Duration],
+    ) -> usf_simsched::ProgramRef {
+        let barrier_base = (pid as u64 + 1) * 1_000_000;
+        let share = weights.get(t).copied().unwrap_or(1.0 / threads as f64);
+        let work = self.sim_time(p.unit_work.mul_f64(share));
+        let slice = self.sim_time(self.spin_slice);
+        // The HPC-pair kinds carry a memory-bandwidth appetite in the simulator (the
+        // DeePMD contention of §5.6); service/synthetic kinds are compute-only.
+        let bw = match p.kind {
+            WorkloadKind::Md => 2.2 * self.machine.cores as f64 / 112.0,
+            _ => 0.0,
+        };
+        Program::new(format!("{}-t{t}", p.name))
+            .extend_with(p.units, |prog, unit| {
+                let mut prog = prog;
+                if let Some(gap) = gaps.get(unit) {
+                    prog = prog.sleep(self.sim_time(*gap));
+                }
+                prog = prog.compute_bw(work, bw);
+                if threads > 1 {
+                    prog = prog.barrier(
+                        barrier_base + unit as u64,
+                        threads,
+                        BarrierWaitKind::SpinYield { slice },
+                    );
+                }
+                if let Some(post) = p.post_unit_sleep() {
+                    prog = prog.sleep(self.sim_time(post));
+                }
+                prog
+            })
+            .build()
+    }
+
+    fn sim_time(&self, d: Duration) -> SimTime {
+        SimTime::from_secs_f64(d.as_secs_f64() * self.time_scale)
+    }
+
+    /// Turn the simulator report into a scenario report.
+    fn report_from(
+        &self,
+        plan: &ScenarioPlan,
+        shapes: &[SimProcShape],
+        report: &SimReport,
+    ) -> ScenarioReport {
+        assert!(
+            !report.deadlocked,
+            "scenario '{}' deadlocked under {}",
+            plan.name,
+            self.model.label()
+        );
+        let processes = shapes
+            .iter()
+            .map(|s| {
+                let completion = report
+                    .process_completion
+                    .get(&s.process)
+                    .copied()
+                    .unwrap_or(report.makespan);
+                let arrival = self.sim_time(s.arrival);
+                let makespan_s = completion.saturating_sub(arrival).as_secs_f64() / self.time_scale;
+                let makespan = Duration::from_secs_f64(makespan_s);
+                // The simulator paces units with barriers, so per-unit boundaries are
+                // uniform across the process: report the per-unit share (documented
+                // approximation; percentiles collapse onto the mean).
+                let unit_latencies_s = vec![makespan_s / s.units.max(1) as f64; s.units];
+                ProcessOutcome {
+                    name: s.name.clone(),
+                    arrival: s.arrival,
+                    threads: s.threads,
+                    makespan,
+                    unit_latencies_s,
+                    slowdown_vs_solo: None,
+                }
+            })
+            .collect();
+        let m = &report.metrics;
+        ScenarioReport {
+            scenario: plan.name.clone(),
+            executor: self.label(),
+            total_makespan: Duration::from_secs_f64(
+                report.makespan.as_secs_f64() / self.time_scale,
+            ),
+            processes,
+            sched: Some(SchedDelta {
+                scheduler: self.model.label().to_string(),
+                counters: vec![
+                    ("context_switches".into(), m.context_switches as f64),
+                    ("preemptions".into(), m.preemptions as f64),
+                    ("migrations".into(), m.migrations as f64),
+                    ("yields".into(), m.yields as f64),
+                    ("busy_time_s".into(), m.busy_time.as_secs_f64()),
+                    ("spin_time_s".into(), m.spin_time.as_secs_f64()),
+                    ("idle_time_s".into(), m.idle_time.as_secs_f64()),
+                    ("useful_fraction".into(), m.useful_fraction()),
+                    (
+                        "lock_holder_preemptions".into(),
+                        m.lock_holder_preemptions as f64,
+                    ),
+                ],
+            }),
+        }
+    }
+}
+
+impl Executor for SimExecutor {
+    fn label(&self) -> String {
+        format!("sim-{}", self.model.label())
+    }
+
+    fn run_spec(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let plan = spec.plan();
+        let lowered = self.lower_plan(&plan);
+        let report = lowered.engine.run();
+        self.report_from(&plan, &lowered.shapes, &report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Arrival, ProblemSize, ProcSpec};
+
+    fn small_sim(model: SchedModel) -> SimExecutor {
+        let mut m = Machine::small(8);
+        m.sockets = 2;
+        SimExecutor::new(m, model)
+    }
+
+    fn ramp(procs: usize, threads: usize) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new("sim-ramp", 8);
+        for i in 0..procs {
+            spec = spec.process(
+                ProcSpec::new(format!("p{i}"), WorkloadKind::Md)
+                    .size(ProblemSize::Tiny)
+                    .threads(threads)
+                    .units(3)
+                    .arrival(Arrival::Ramp {
+                        stagger: Duration::from_micros(100),
+                    }),
+            );
+        }
+        spec
+    }
+
+    #[test]
+    fn lowering_matches_the_plan_structure() {
+        let spec = ramp(3, 4);
+        let lowered = small_sim(SchedModel::Fair).lower(&spec);
+        assert_eq!(lowered.scale, 1);
+        assert_eq!(lowered.shapes.len(), 3);
+        for (i, s) in lowered.shapes.iter().enumerate() {
+            assert_eq!(s.threads, 4);
+            assert_eq!(s.units, 3);
+            assert_eq!(s.thread_ids.len(), 4);
+            assert_eq!(s.arrival, Duration::from_micros(100) * i as u32);
+        }
+        assert_eq!(lowered.engine.thread_count(), 12);
+    }
+
+    #[test]
+    fn demand_scales_to_machine_cores() {
+        let spec = ScenarioSpec::new("scaled", 4).process(
+            ProcSpec::new("p", WorkloadKind::SpinSleep)
+                .threads(4)
+                .units(1),
+        );
+        let exec = SimExecutor::new(Machine::small(16), SchedModel::Fair);
+        let lowered = exec.lower(&spec);
+        assert_eq!(lowered.scale, 4);
+        assert_eq!(lowered.shapes[0].threads, 16);
+    }
+
+    #[test]
+    fn same_spec_runs_under_fair_and_coop() {
+        let spec = ramp(2, 8); // 2x oversubscription on 8 cores
+        for model in [SchedModel::Fair, SchedModel::coop_default()] {
+            let r = small_sim(model).run_spec(&spec);
+            assert_eq!(r.processes.len(), 2);
+            for p in &r.processes {
+                assert!(p.makespan > Duration::ZERO);
+                assert_eq!(p.unit_latencies_s.len(), 3);
+            }
+            let sched = r.sched.as_ref().unwrap();
+            assert!(sched.get("busy_time_s").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn coop_does_not_preempt() {
+        // Units must outlast the 4 ms preemption quantum for the fair policy to preempt.
+        let mut spec = ScenarioSpec::new("preempt", 8);
+        for i in 0..2 {
+            spec = spec.process(
+                ProcSpec::new(format!("p{i}"), WorkloadKind::Md)
+                    .size(ProblemSize::Custom {
+                        unit_work_us: 200_000,
+                    })
+                    .threads(8)
+                    .units(2),
+            );
+        }
+        let r = small_sim(SchedModel::coop_default()).run_spec(&spec);
+        assert_eq!(r.sched.unwrap().get("preemptions"), Some(0.0));
+        let r = small_sim(SchedModel::Fair).run_spec(&spec);
+        assert!(r.sched.unwrap().get("preemptions").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn spin_sleep_lowering_includes_the_off_core_duty_cycle() {
+        // The real spin-sleep workload sleeps unit_work/4 off-core after each unit; the
+        // lowering must model the same duty cycle or the stacks diverge.
+        let units = 4;
+        let spec = ScenarioSpec::new("duty", 8).process(
+            ProcSpec::new("ss", WorkloadKind::SpinSleep)
+                .size(ProblemSize::Tiny)
+                .threads(4)
+                .units(units),
+        );
+        let r = small_sim(SchedModel::Fair).run_spec(&spec);
+        let post = ProblemSize::Tiny.unit_work() / 4;
+        assert!(
+            r.processes[0].makespan >= post * units as u32,
+            "makespan {:?} must cover {units} post-unit sleeps of {post:?}",
+            r.processes[0].makespan
+        );
+    }
+
+    #[test]
+    fn solo_baselines_give_near_one_slowdown_when_alone() {
+        let spec = ScenarioSpec::new("solo-ish", 8).process(
+            ProcSpec::new("only", WorkloadKind::SpinSleep)
+                .size(ProblemSize::Tiny)
+                .threads(4)
+                .units(2),
+        );
+        let r = small_sim(SchedModel::Fair).run_with_solo_baselines(&spec);
+        let s = r.processes[0].slowdown_vs_solo.unwrap();
+        assert!(
+            (s - 1.0).abs() < 0.05,
+            "solo vs itself must be ~1.0, got {s}"
+        );
+    }
+}

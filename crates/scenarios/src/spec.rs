@@ -1,0 +1,311 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] describes a co-run experiment as *data*: N processes, each with a
+//! workload kind, a problem size, a runtime flavour, a thread demand and an arrival phase.
+//! The same spec runs unmodified on all three execution stacks (OS baseline, USF/SCHED_COOP,
+//! discrete-event simulator) via the [`crate::Executor`] implementations — solo runs, HPC
+//! pairs, latency-vs-batch co-location and 1×–8× oversubscription sweeps stop being
+//! hand-wired binaries and become entries of the canned [`library`](crate::library).
+
+use std::time::Duration;
+pub use usf_workloads::workload::RuntimeFlavor;
+
+/// The kind of work one process of a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Nested tiled matmul (§5.3): outer task graph, inner BLAS regions.
+    Matmul,
+    /// Blocked Cholesky factorization (§5.4).
+    Cholesky,
+    /// Latency-sensitive inference service: Poisson-arriving requests, each a parallel
+    /// region (§5.5 shape).
+    Microservices,
+    /// MD ensemble member: imbalanced fork-join steps synchronized per step (§5.6 shape).
+    Md,
+    /// Open-loop bursty batch job: sparse Poisson-paced parallel bursts.
+    PoissonBurst,
+    /// Synthetic spin-then-sleep co-runner (the simplest interference generator).
+    SpinSleep,
+}
+
+impl WorkloadKind {
+    /// All kinds.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::Matmul,
+        WorkloadKind::Cholesky,
+        WorkloadKind::Microservices,
+        WorkloadKind::Md,
+        WorkloadKind::PoissonBurst,
+        WorkloadKind::SpinSleep,
+    ];
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Matmul => "matmul",
+            WorkloadKind::Cholesky => "cholesky",
+            WorkloadKind::Microservices => "microservices",
+            WorkloadKind::Md => "md",
+            WorkloadKind::PoissonBurst => "poisson-burst",
+            WorkloadKind::SpinSleep => "spin-sleep",
+        }
+    }
+}
+
+/// Problem size of one process — scales both the real workloads and the simulator's
+/// nominal per-unit cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemSize {
+    /// Sub-millisecond units: CI smoke tests and property tests.
+    Tiny,
+    /// Millisecond units: laptop-scale demonstrations (default).
+    Small,
+    /// Tens-of-millisecond units: the `--full` sweeps.
+    Medium,
+    /// Explicit nominal per-unit work in microseconds (summed over the process threads).
+    Custom {
+        /// Nominal on-core work per unit, in microseconds.
+        unit_work_us: u64,
+    },
+}
+
+impl ProblemSize {
+    /// Nominal on-core work of one unit, summed across the process's threads. This is the
+    /// cost model shared by the synthetic real workloads and the simulator lowering.
+    pub fn unit_work(&self) -> Duration {
+        match self {
+            ProblemSize::Tiny => Duration::from_micros(300),
+            ProblemSize::Small => Duration::from_millis(3),
+            ProblemSize::Medium => Duration::from_millis(20),
+            ProblemSize::Custom { unit_work_us } => Duration::from_micros(*unit_work_us),
+        }
+    }
+
+    /// `(matrix_size, tile_size)` of the real matmul/Cholesky workload at this size.
+    pub fn matrix_dims(&self) -> (usize, usize) {
+        match self {
+            ProblemSize::Tiny => (64, 32),
+            ProblemSize::Small => (128, 32),
+            ProblemSize::Medium => (192, 32),
+            // Pick the largest power-of-two-ish size whose unit cost is in the same
+            // ballpark as the requested work; custom sizes are primarily for synthetics.
+            ProblemSize::Custom { unit_work_us } => {
+                if *unit_work_us < 1_000 {
+                    (64, 32)
+                } else if *unit_work_us < 10_000 {
+                    (128, 32)
+                } else {
+                    (192, 32)
+                }
+            }
+        }
+    }
+}
+
+/// When a process of a scenario starts relative to scenario start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// At scenario start.
+    Immediate,
+    /// After a fixed delay.
+    Delayed(Duration),
+    /// After an exponentially distributed delay with the given mean rate (deterministic
+    /// per seed): open-loop job arrivals.
+    Poisson {
+        /// Mean arrival rate in processes per second.
+        rate_per_sec: f64,
+        /// Seed of the exponential draw.
+        seed: u64,
+    },
+    /// Staggered by position: process `i` of the spec arrives at `i × stagger` — the
+    /// oversubscription *ramp*.
+    Ramp {
+        /// Per-position stagger.
+        stagger: Duration,
+    },
+}
+
+/// One process of a scenario.
+#[derive(Debug, Clone)]
+pub struct ProcSpec {
+    /// Display name (unique within the spec by convention).
+    pub name: String,
+    /// What the process runs.
+    pub kind: WorkloadKind,
+    /// How big each unit of work is.
+    pub size: ProblemSize,
+    /// Which runtime parallelizes the units.
+    pub flavor: RuntimeFlavor,
+    /// Thread/core demand of the process (width of its parallel regions).
+    pub threads: usize,
+    /// Units of work (products, factorizations, requests, steps) the process runs.
+    pub units: usize,
+    /// Arrival phase.
+    pub arrival: Arrival,
+}
+
+impl ProcSpec {
+    /// A process with the given name and kind; size Small, fork-join flavour, 2 threads,
+    /// 4 units, immediate arrival. Override with the builder methods.
+    pub fn new(name: impl Into<String>, kind: WorkloadKind) -> Self {
+        ProcSpec {
+            name: name.into(),
+            kind,
+            size: ProblemSize::Small,
+            flavor: RuntimeFlavor::ForkJoin,
+            threads: 2,
+            units: 4,
+            arrival: Arrival::Immediate,
+        }
+    }
+
+    /// Set the problem size.
+    pub fn size(mut self, size: ProblemSize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Set the runtime flavour.
+    pub fn flavor(mut self, flavor: RuntimeFlavor) -> Self {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Set the thread/core demand.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the unit count.
+    pub fn units(mut self, units: usize) -> Self {
+        self.units = units.max(1);
+        self
+    }
+
+    /// Set the arrival phase.
+    pub fn arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+}
+
+/// A complete co-run scenario: a named set of processes over a core budget.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and JSON).
+    pub name: String,
+    /// Virtual cores of the execution stack the thread demands are sized against. The
+    /// real executors build their scheduler with exactly this many cores; the simulator
+    /// scales demands up to its machine's core count.
+    pub cores: usize,
+    /// The co-running processes.
+    pub procs: Vec<ProcSpec>,
+}
+
+impl ScenarioSpec {
+    /// An empty scenario over `cores` virtual cores.
+    pub fn new(name: impl Into<String>, cores: usize) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            cores: cores.max(1),
+            procs: Vec::new(),
+        }
+    }
+
+    /// Add a process.
+    pub fn process(mut self, proc_spec: ProcSpec) -> Self {
+        self.procs.push(proc_spec);
+        self
+    }
+
+    /// Total thread demand over the core budget: `1.0` = fully subscribed, `2.0` = 2×
+    /// oversubscribed.
+    pub fn oversubscription(&self) -> f64 {
+        let demand: usize = self.procs.iter().map(|p| p.threads).sum();
+        demand as f64 / self.cores as f64
+    }
+
+    /// The solo spec of process `index`: the same process alone on the same cores with
+    /// immediate arrival — the baseline of every slowdown figure.
+    pub fn solo_of(&self, index: usize) -> ScenarioSpec {
+        let mut p = self.procs[index].clone();
+        p.arrival = Arrival::Immediate;
+        ScenarioSpec {
+            name: format!("{}-solo-{}", self.name, p.name),
+            cores: self.cores,
+            procs: vec![p],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let p = ProcSpec::new("svc", WorkloadKind::Microservices)
+            .threads(0)
+            .units(0)
+            .size(ProblemSize::Tiny)
+            .flavor(RuntimeFlavor::ThreadPool)
+            .arrival(Arrival::Delayed(Duration::from_millis(5)));
+        assert_eq!(p.threads, 1, "thread demand is clamped to >= 1");
+        assert_eq!(p.units, 1, "unit count is clamped to >= 1");
+        assert_eq!(p.size.unit_work(), Duration::from_micros(300));
+        assert_eq!(p.flavor.label(), "threadpool");
+    }
+
+    #[test]
+    fn oversubscription_is_demand_over_cores() {
+        let spec = ScenarioSpec::new("s", 4)
+            .process(ProcSpec::new("a", WorkloadKind::SpinSleep).threads(4))
+            .process(ProcSpec::new("b", WorkloadKind::SpinSleep).threads(4));
+        assert_eq!(spec.oversubscription(), 2.0);
+    }
+
+    #[test]
+    fn solo_of_isolates_one_process() {
+        let spec = ScenarioSpec::new("pair", 2)
+            .process(ProcSpec::new("a", WorkloadKind::Matmul))
+            .process(ProcSpec::new("b", WorkloadKind::Md).arrival(Arrival::Ramp {
+                stagger: Duration::from_millis(1),
+            }));
+        let solo = spec.solo_of(1);
+        assert_eq!(solo.procs.len(), 1);
+        assert_eq!(solo.procs[0].name, "b");
+        assert_eq!(solo.procs[0].arrival, Arrival::Immediate);
+        assert_eq!(solo.cores, 2);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            WorkloadKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), WorkloadKind::ALL.len());
+    }
+
+    #[test]
+    fn custom_size_maps_to_dims() {
+        assert_eq!(
+            ProblemSize::Custom { unit_work_us: 500 }.matrix_dims(),
+            (64, 32)
+        );
+        assert_eq!(
+            ProblemSize::Custom {
+                unit_work_us: 5_000
+            }
+            .matrix_dims(),
+            (128, 32)
+        );
+        assert_eq!(
+            ProblemSize::Custom {
+                unit_work_us: 50_000
+            }
+            .matrix_dims(),
+            (192, 32)
+        );
+        assert_eq!(ProblemSize::Medium.matrix_dims(), (192, 32));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property test: the three executors spawn the *same structure* for the same spec.
+//!
+//! For random small scenario specs, the simulator lowering ([`SimExecutor::lower`]) and a
+//! real cooperative run ([`UsfExecutor::run_spec`]) must agree with the deterministic
+//! [`ScenarioPlan`] on process count, per-process thread demand, per-process unit counts
+//! and arrival order — the invariant that makes "one spec, three stacks" trustworthy.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use usf_scenarios::{
+    Arrival, Executor, ProblemSize, ProcSpec, ScenarioSpec, SimExecutor, UsfExecutor, WorkloadKind,
+};
+use usf_simsched::{Machine, SchedModel};
+use usf_workloads::workload::RuntimeFlavor;
+
+/// Decode a drawn `(kind, flavor, arrival)` triple. The kinds stay synthetic so each
+/// proptest case runs in milliseconds; matmul/Cholesky lowering shares the exact same
+/// plan path.
+fn decode(
+    kind: usize,
+    flavor: usize,
+    arrival: usize,
+    threads: usize,
+    units: usize,
+    i: usize,
+) -> ProcSpec {
+    let kind = match kind % 4 {
+        0 => WorkloadKind::SpinSleep,
+        1 => WorkloadKind::Md,
+        2 => WorkloadKind::Microservices,
+        _ => WorkloadKind::PoissonBurst,
+    };
+    let flavor = RuntimeFlavor::ALL[flavor % RuntimeFlavor::ALL.len()];
+    let arrival = match arrival % 4 {
+        0 => Arrival::Immediate,
+        1 => Arrival::Delayed(Duration::from_millis((i as u64 + 1) % 3)),
+        2 => Arrival::Ramp {
+            stagger: Duration::from_micros(500),
+        },
+        _ => Arrival::Poisson {
+            rate_per_sec: 400.0,
+            seed: 11 + i as u64,
+        },
+    };
+    ProcSpec::new(format!("p{i}"), kind)
+        .size(ProblemSize::Tiny)
+        .threads(threads)
+        .units(units)
+        .flavor(flavor)
+        .arrival(arrival)
+}
+
+fn build_spec(cores: usize, draws: &[(usize, usize, usize, usize, usize)]) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("prop-lowering", cores);
+    for (i, &(kind, flavor, arrival, threads, units)) in draws.iter().enumerate() {
+        spec = spec.process(decode(kind, flavor, arrival, threads, units, i));
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sim_and_usf_spawn_the_same_structure(
+        cores in 2..4usize,
+        draws in proptest::collection::vec(
+            (0..4usize, 0..3usize, 0..4usize, 1..3usize, 1..4usize),
+            1..4,
+        ),
+    ) {
+        let spec = build_spec(cores, &draws);
+        let plan = spec.plan();
+
+        // --- Simulator lowering (machine cores == spec cores, so demand scale is 1). ---
+        let mut machine = Machine::small(cores);
+        machine.sockets = 1;
+        let sim = SimExecutor::new(machine, SchedModel::coop_default());
+        let lowered = sim.lower(&spec);
+        prop_assert_eq!(lowered.scale, 1);
+        prop_assert_eq!(lowered.shapes.len(), plan.procs.len());
+        let mut total_threads = 0;
+        for (shape, p) in lowered.shapes.iter().zip(&plan.procs) {
+            prop_assert_eq!(&shape.name, &p.name);
+            prop_assert_eq!(shape.threads, p.threads);
+            prop_assert_eq!(shape.thread_ids.len(), p.threads);
+            prop_assert_eq!(shape.units, p.units);
+            prop_assert_eq!(shape.arrival, p.arrival);
+            total_threads += shape.threads;
+        }
+        prop_assert_eq!(lowered.engine.thread_count(), total_threads);
+
+        // Arrival order of the lowered shapes matches the plan's deterministic order.
+        let mut sim_order: Vec<usize> = (0..lowered.shapes.len()).collect();
+        sim_order.sort_by_key(|&i| (lowered.shapes[i].arrival, i));
+        prop_assert_eq!(&sim_order, &plan.arrival_order());
+
+        // --- Real cooperative run: same process/unit structure, actually executed. ---
+        let report = UsfExecutor::new().run_spec(&spec);
+        prop_assert_eq!(report.processes.len(), plan.procs.len());
+        for (outcome, p) in report.processes.iter().zip(&plan.procs) {
+            prop_assert_eq!(&outcome.name, &p.name);
+            prop_assert_eq!(outcome.threads, p.threads);
+            prop_assert_eq!(outcome.unit_latencies_s.len(), p.units);
+            prop_assert_eq!(outcome.arrival, p.arrival);
+            prop_assert!(outcome.makespan > Duration::ZERO);
+        }
+        let mut usf_order: Vec<usize> = (0..report.processes.len()).collect();
+        usf_order.sort_by_key(|&i| (report.processes[i].arrival, i));
+        prop_assert_eq!(&usf_order, &plan.arrival_order());
+
+        // Every USF process attached at least one cooperative worker (the structure ran,
+        // it was not just planned).
+        let sched = report.sched.expect("USF reports scheduler metrics");
+        prop_assert!(sched.get("attaches").unwrap() >= plan.procs.len() as f64);
+    }
+}

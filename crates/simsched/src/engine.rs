@@ -191,6 +191,21 @@ impl Engine {
         id
     }
 
+    /// Add `count` threads of the same program arriving together at `arrival` — the bulk
+    /// entry point scenario lowering uses for processes whose region threads all run the
+    /// same program (imbalanced processes add distinct per-thread programs instead).
+    pub fn add_threads_at(
+        &mut self,
+        process: ProcessId,
+        program: ProgramRef,
+        count: usize,
+        arrival: SimTime,
+    ) -> Vec<ThreadId> {
+        (0..count)
+            .map(|_| self.add_thread_at(process, ProgramRef::clone(&program), arrival))
+            .collect()
+    }
+
     /// Abort the run (reporting a deadlock) if simulated time exceeds this bound.
     pub fn set_max_sim_time(&mut self, t: SimTime) {
         self.max_sim_time = t;

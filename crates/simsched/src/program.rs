@@ -198,6 +198,14 @@ impl Program {
         self
     }
 
+    /// Program-builder hook: thread the builder through `build` once per unit in
+    /// `0..units`, so callers can append per-unit op sequences that differ by index
+    /// (different barrier ids, ramped compute costs, per-unit events) without breaking the
+    /// chain. This is how scenario lowering turns "N units of work" into a program.
+    pub fn extend_with(self, units: usize, build: impl FnMut(Self, usize) -> Self) -> Self {
+        (0..units).fold(self, build)
+    }
+
     /// Freeze into a shareable reference.
     pub fn build(self) -> ProgramRef {
         Arc::new(self)
@@ -245,6 +253,23 @@ mod tests {
         let p = Program::new("outer").repeat(3, &body);
         assert_eq!(p.len(), 6);
         assert_eq!(p.nominal_compute(), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn extend_with_threads_the_builder_per_unit() {
+        let p = Program::new("units").extend_with(3, |p, unit| {
+            p.compute(SimTime::from_micros(unit as u64 + 1)).barrier(
+                100 + unit as u64,
+                2,
+                BarrierWaitKind::Block,
+            )
+        });
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.nominal_compute(), SimTime::from_micros(6));
+        assert!(matches!(p.ops()[5], Op::Barrier { id: 102, .. }));
+        // Zero units is a no-op.
+        let empty = Program::new("none").extend_with(0, |p, _| p.yield_now());
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -79,41 +79,56 @@ fn split_into_tiles(a: &Matrix, ts: usize) -> Tiles {
     Arc::new(tiles)
 }
 
-/// Run the blocked Cholesky factorization.
-pub fn run_cholesky(cfg: &CholeskyConfig) -> CholeskyResult {
-    run_cholesky_impl(cfg, false)
+/// A set-up blocked Cholesky: the SPD input is generated once, then
+/// [`CholeskyInstance::factorize_once`] runs complete factorizations on fresh tile copies —
+/// the reusable unit of work driven by the scenario engine and [`run_cholesky`].
+pub struct CholeskyInstance {
+    cfg: CholeskyConfig,
+    a: Matrix,
+    blas_cfg: BlasConfig,
+    nb: usize,
+    ts: usize,
+    last_tiles: Option<Tiles>,
+    tasks: u64,
 }
 
-/// Run the blocked Cholesky and verify `L·Lᵀ ≈ A` (small sizes only).
-pub fn run_cholesky_verified(cfg: &CholeskyConfig) -> CholeskyResult {
-    run_cholesky_impl(cfg, true)
-}
+impl CholeskyInstance {
+    /// Set up the workload: generate the SPD matrix (the part shared by all units).
+    pub fn new(cfg: &CholeskyConfig) -> Self {
+        assert!(
+            cfg.matrix_size % cfg.tile_size == 0,
+            "tile size must divide the matrix size"
+        );
+        let n = cfg.matrix_size;
+        let ts = cfg.tile_size;
+        let a = Matrix::spd(n, 9);
+        let blas_cfg = BlasConfig {
+            threads: cfg.inner_threads,
+            threading: cfg.inner_threading,
+            barrier: cfg.barrier,
+            wait_policy: usf_runtimes::WaitPolicy::Passive,
+            exec: cfg.exec.clone(),
+        };
+        CholeskyInstance {
+            cfg: cfg.clone(),
+            a,
+            blas_cfg,
+            nb: n / ts,
+            ts,
+            last_tiles: None,
+            tasks: 0,
+        }
+    }
 
-fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
-    assert!(
-        cfg.matrix_size % cfg.tile_size == 0,
-        "tile size must divide the matrix size"
-    );
-    let n = cfg.matrix_size;
-    let ts = cfg.tile_size;
-    let nb = n / ts;
-    let a = Matrix::spd(n, 9);
-    let tiles = split_into_tiles(&a, ts);
-
-    let blas_cfg = BlasConfig {
-        threads: cfg.inner_threads,
-        threading: cfg.inner_threading,
-        barrier: cfg.barrier,
-        wait_policy: usf_runtimes::WaitPolicy::Passive,
-        exec: cfg.exec.clone(),
-    };
-
-    let key = |i: usize, j: usize| DataKey::index2(11, i, j);
-    let mut tasks = 0u64;
-    let start = Instant::now();
-    {
+    /// Run one complete factorization (one unit) on a fresh copy of the input tiles.
+    pub fn factorize_once(&mut self) {
+        let (nb, ts) = (self.nb, self.ts);
+        let tiles = split_into_tiles(&self.a, ts);
+        let blas_cfg = &self.blas_cfg;
+        let key = |i: usize, j: usize| DataKey::index2(11, i, j);
         let rt = TaskRuntime::new(
-            TaskRuntimeConfig::new(cfg.outer_workers, cfg.exec.clone()).name("chol-outer"),
+            TaskRuntimeConfig::new(self.cfg.outer_workers, self.cfg.exec.clone())
+                .name("chol-outer"),
         );
         for k in 0..nb {
             // potrf on the diagonal tile.
@@ -123,7 +138,7 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
                     let mut d = tiles[k * nb + k].lock();
                     usf_blas::kernels::potrf(ts, &mut d).expect("matrix must stay SPD");
                 });
-                tasks += 1;
+                self.tasks += 1;
             }
             // trsm for the panel below the diagonal.
             for i in (k + 1)..nb {
@@ -136,7 +151,7 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
                         usf_blas::kernels::trsm_right_lower_transpose(ts, &l, &mut b);
                     },
                 );
-                tasks += 1;
+                self.tasks += 1;
             }
             // Trailing-matrix update.
             for i in (k + 1)..nb {
@@ -151,7 +166,7 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
                             usf_blas::kernels::syrk_ln_sub(ts, &a_ik, &mut c);
                         },
                     );
-                    tasks += 1;
+                    self.tasks += 1;
                 }
                 // gemm updates below the diagonal — this is the kernel that opens the inner
                 // parallel region (the BLAS call of Listing 2 / Table 2).
@@ -171,17 +186,25 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
                             blas.gemm_nt_sub(ts, &a_ik, &a_jk, &mut c);
                         },
                     );
-                    tasks += 1;
+                    self.tasks += 1;
                 }
             }
         }
         rt.taskwait();
+        self.last_tiles = Some(tiles);
     }
-    let elapsed = start.elapsed();
-    let flops = (n as f64).powi(3) / 3.0;
-    let mflops = flops / elapsed.as_secs_f64() / 1e6;
 
-    let max_error = if verify {
+    /// Outer tasks executed so far across all units.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Maximum absolute error of `L·Lᵀ` of the last factorization vs. the input (`None`
+    /// before the first unit; small sizes only).
+    pub fn verify_last(&self) -> Option<f64> {
+        let tiles = self.last_tiles.as_ref()?;
+        let (nb, ts) = (self.nb, self.ts);
+        let n = self.cfg.matrix_size;
         // Rebuild L·Lᵀ from the lower-triangular tiles and compare with A.
         let mut l = Matrix::zeros(n, n);
         for bi in 0..nb {
@@ -201,18 +224,36 @@ fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
         let mut err: f64 = 0.0;
         for i in 0..n {
             for j in 0..=i {
-                err = err.max((rebuilt[(i, j)] - a[(i, j)]).abs());
+                err = err.max((rebuilt[(i, j)] - self.a[(i, j)]).abs());
             }
         }
         Some(err)
-    } else {
-        None
-    };
+    }
+}
+
+/// Run the blocked Cholesky factorization.
+pub fn run_cholesky(cfg: &CholeskyConfig) -> CholeskyResult {
+    run_cholesky_impl(cfg, false)
+}
+
+/// Run the blocked Cholesky and verify `L·Lᵀ ≈ A` (small sizes only).
+pub fn run_cholesky_verified(cfg: &CholeskyConfig) -> CholeskyResult {
+    run_cholesky_impl(cfg, true)
+}
+
+fn run_cholesky_impl(cfg: &CholeskyConfig, verify: bool) -> CholeskyResult {
+    let mut inst = CholeskyInstance::new(cfg);
+    let start = Instant::now();
+    inst.factorize_once();
+    let elapsed = start.elapsed();
+    let flops = (cfg.matrix_size as f64).powi(3) / 3.0;
+    let mflops = flops / elapsed.as_secs_f64() / 1e6;
+    let max_error = if verify { inst.verify_last() } else { None };
 
     CholeskyResult {
         elapsed,
         mflops,
-        tasks,
+        tasks: inst.tasks_executed(),
         max_error,
     }
 }

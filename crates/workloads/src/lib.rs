@@ -30,12 +30,14 @@ pub mod poisson;
 pub mod sim_cholesky;
 pub mod sim_matmul;
 pub mod stats;
+pub mod workload;
 
-pub use cholesky::{run_cholesky, CholeskyConfig, CholeskyResult};
-pub use matmul::{run_matmul, MatmulConfig, MatmulResult};
+pub use cholesky::{run_cholesky, CholeskyConfig, CholeskyInstance, CholeskyResult};
+pub use matmul::{run_matmul, MatmulConfig, MatmulInstance, MatmulResult};
 pub use md::{run_md_scenario, MdConfig, MdResult, MdScenario};
 pub use microservices::{
     run_microservices, MicroservicesConfig, MicroservicesResult, PartitionScheme,
 };
 pub use sim_cholesky::{run_sim_cholesky, SimCholeskyConfig, SimCholeskyResult};
 pub use sim_matmul::{run_sim_matmul, MatmulVariant, SimMatmulConfig, SimMatmulResult};
+pub use workload::{CholeskyWorkload, MatmulWorkload, RuntimeFlavor, SyntheticWorkload, Workload};

@@ -104,54 +104,74 @@ fn output_tiles(nb: usize, ts: usize) -> Arc<Vec<Mutex<Vec<f64>>>> {
     )
 }
 
-/// Run the nested matmul and return its performance.
-pub fn run_matmul(cfg: &MatmulConfig) -> MatmulResult {
-    run_matmul_impl(cfg, false)
+/// A set-up nested matmul: the inputs are tiled once, then [`MatmulInstance::run_once`]
+/// executes complete `C = A·B` products — the reusable *unit of work* the scenario engine
+/// (and [`run_matmul`]) drive. Extracting this from the old inlined driver is what lets
+/// the same workload run under any executor instead of only the figure binary.
+pub struct MatmulInstance {
+    cfg: MatmulConfig,
+    a: Matrix,
+    b: Matrix,
+    a_tiles: Arc<TiledMatrix>,
+    b_tiles: Arc<TiledMatrix>,
+    blas_cfg: BlasConfig,
+    nb: usize,
+    ts: usize,
+    last_c: Option<Arc<Vec<Mutex<Vec<f64>>>>>,
+    tasks: u64,
 }
 
-/// Run the nested matmul and additionally verify the product against a reference
-/// multiplication (only sensible for small sizes).
-pub fn run_matmul_verified(cfg: &MatmulConfig) -> MatmulResult {
-    run_matmul_impl(cfg, true)
-}
+impl MatmulInstance {
+    /// Set up the workload: generate the inputs and tile them (the part that must not be
+    /// re-done per unit).
+    pub fn new(cfg: &MatmulConfig) -> Self {
+        assert!(
+            cfg.matrix_size % cfg.task_size == 0,
+            "task size must divide the matrix size"
+        );
+        let n = cfg.matrix_size;
+        let ts = cfg.task_size;
+        let a = Matrix::pseudo_random(n, n, 1);
+        let b = Matrix::pseudo_random(n, n, 2);
+        let a_tiles = Arc::new(TiledMatrix::from_matrix(&a, ts));
+        let b_tiles = Arc::new(TiledMatrix::from_matrix(&b, ts));
+        let blas_cfg = BlasConfig {
+            threads: cfg.inner_threads,
+            threading: cfg.inner_threading,
+            barrier: cfg.barrier,
+            wait_policy: usf_runtimes::WaitPolicy::Passive,
+            exec: cfg.exec.clone(),
+        };
+        MatmulInstance {
+            cfg: cfg.clone(),
+            a,
+            b,
+            a_tiles,
+            b_tiles,
+            blas_cfg,
+            nb: n / ts,
+            ts,
+            last_c: None,
+            tasks: 0,
+        }
+    }
 
-fn run_matmul_impl(cfg: &MatmulConfig, verify: bool) -> MatmulResult {
-    assert!(
-        cfg.matrix_size % cfg.task_size == 0,
-        "task size must divide the matrix size"
-    );
-    let n = cfg.matrix_size;
-    let ts = cfg.task_size;
-    let nb = n / ts;
-
-    let a = Matrix::pseudo_random(n, n, 1);
-    let b = Matrix::pseudo_random(n, n, 2);
-    let a_tiles = Arc::new(TiledMatrix::from_matrix(&a, ts));
-    let b_tiles = Arc::new(TiledMatrix::from_matrix(&b, ts));
-
-    let blas_cfg = BlasConfig {
-        threads: cfg.inner_threads,
-        threading: cfg.inner_threading,
-        barrier: cfg.barrier,
-        wait_policy: usf_runtimes::WaitPolicy::Passive,
-        exec: cfg.exec.clone(),
-    };
-
-    let mut tasks_executed = 0u64;
-    let mut c_tiles = output_tiles(nb, ts);
-    let start = Instant::now();
-    for _ in 0..cfg.iterations.max(1) {
-        c_tiles = output_tiles(nb, ts);
+    /// Run one complete `C = A·B` product (one unit): an outer task runtime with the
+    /// Listing 2 dependencies, each task opening its inner BLAS parallel region.
+    pub fn run_once(&mut self) {
+        let (nb, ts) = (self.nb, self.ts);
+        let c_tiles = output_tiles(nb, ts);
         let rt = TaskRuntime::new(
-            TaskRuntimeConfig::new(cfg.outer_workers, cfg.exec.clone()).name("matmul-outer"),
+            TaskRuntimeConfig::new(self.cfg.outer_workers, self.cfg.exec.clone())
+                .name("matmul-outer"),
         );
         for k in 0..nb {
             for i in 0..nb {
                 for j in 0..nb {
-                    let a_blk = a_tiles.tile(i, k);
-                    let b_blk = b_tiles.tile(k, j);
+                    let a_blk = self.a_tiles.tile(i, k);
+                    let b_blk = self.b_tiles.tile(k, j);
                     let c_all = Arc::clone(&c_tiles);
-                    let blas_cfg = blas_cfg.clone();
+                    let blas_cfg = self.blas_cfg.clone();
                     let deps = TaskDeps::none()
                         .inout(DataKey::index2(3, i, j))
                         .input(DataKey::index2(1, i, k))
@@ -164,20 +184,25 @@ fn run_matmul_impl(cfg: &MatmulConfig, verify: bool) -> MatmulResult {
                         let mut c_blk = c_all[idx].lock();
                         blas.gemm_acc(ts, ts, ts, &a_blk, &b_blk, &mut c_blk);
                     });
-                    tasks_executed += 1;
+                    self.tasks += 1;
                 }
             }
         }
         rt.taskwait();
-        drop(rt);
+        self.last_c = Some(c_tiles);
     }
-    let elapsed = start.elapsed();
 
-    let flops = 2.0 * (n as f64).powi(3) * cfg.iterations.max(1) as f64;
-    let mflops = flops / elapsed.as_secs_f64() / 1e6;
+    /// Outer tasks executed so far across all units.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks
+    }
 
-    let max_error = if verify {
-        let reference = Matrix::multiply_reference(&a, &b);
+    /// Maximum absolute error of the last product vs. the reference multiplication
+    /// (`None` before the first unit; only sensible for small sizes).
+    pub fn verify_last(&self) -> Option<f64> {
+        let c_tiles = self.last_c.as_ref()?;
+        let reference = Matrix::multiply_reference(&self.a, &self.b);
+        let (nb, ts) = (self.nb, self.ts);
         let mut err: f64 = 0.0;
         for bi in 0..nb {
             for bj in 0..nb {
@@ -191,14 +216,37 @@ fn run_matmul_impl(cfg: &MatmulConfig, verify: bool) -> MatmulResult {
             }
         }
         Some(err)
-    } else {
-        None
-    };
+    }
+}
+
+/// Run the nested matmul and return its performance.
+pub fn run_matmul(cfg: &MatmulConfig) -> MatmulResult {
+    run_matmul_impl(cfg, false)
+}
+
+/// Run the nested matmul and additionally verify the product against a reference
+/// multiplication (only sensible for small sizes).
+pub fn run_matmul_verified(cfg: &MatmulConfig) -> MatmulResult {
+    run_matmul_impl(cfg, true)
+}
+
+fn run_matmul_impl(cfg: &MatmulConfig, verify: bool) -> MatmulResult {
+    let mut inst = MatmulInstance::new(cfg);
+    let start = Instant::now();
+    for _ in 0..cfg.iterations.max(1) {
+        inst.run_once();
+    }
+    let elapsed = start.elapsed();
+
+    let n = cfg.matrix_size;
+    let flops = 2.0 * (n as f64).powi(3) * cfg.iterations.max(1) as f64;
+    let mflops = flops / elapsed.as_secs_f64() / 1e6;
+    let max_error = if verify { inst.verify_last() } else { None };
 
     MatmulResult {
         elapsed,
         mflops,
-        tasks: tasks_executed,
+        tasks: inst.tasks_executed(),
         max_error,
     }
 }

@@ -47,6 +47,77 @@ pub fn speedup(baseline: f64, new: f64) -> f64 {
     }
 }
 
+/// Slowdown of a co-run time versus the solo time (values are "lower is better"
+/// durations): `corun / solo`, so `1.0` means no interference and `2.0` means the
+/// workload took twice as long next to its co-runners. Returns 0.0 when the solo
+/// baseline is missing or non-positive.
+pub fn slowdown(solo: f64, corun: f64) -> f64 {
+    if solo <= 0.0 {
+        0.0
+    } else {
+        corun / solo
+    }
+}
+
+/// Jain fairness index of a set of per-process allocations or progress rates:
+/// `(Σx)² / (n · Σx²)`. 1.0 means perfectly even; `1/n` means one process got
+/// everything. By convention an empty slice scores 0.0 and a single element 1.0
+/// (one process is trivially treated fairly).
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq_sum: f64 = values.iter().map(|v| v * v).sum();
+    if sq_sum <= 0.0 {
+        // All-zero allocations: everyone got the same (nothing).
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sq_sum)
+}
+
+/// Summary bundle of a latency/duration sample: count, mean/stddev and the percentile
+/// points the scenario reports use. All fields are 0.0/0 for an empty sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Empty slices produce the all-zero summary; a single element
+    /// reports that element for every percentile point.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            count: values.len(),
+            mean: mean(values),
+            stddev: stddev(values),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            p50: percentile(values, 50.0),
+            p90: percentile(values, 90.0),
+            p99: percentile(values, 99.0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +145,58 @@ mod tests {
         assert_eq!(geomean(&[]), 0.0);
         assert_eq!(speedup(2.0, 4.0), 2.0);
         assert_eq!(speedup(0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn slowdown_is_corun_over_solo() {
+        assert_eq!(slowdown(2.0, 4.0), 2.0);
+        assert_eq!(slowdown(4.0, 4.0), 1.0);
+        assert_eq!(slowdown(0.0, 4.0), 0.0);
+        assert_eq!(slowdown(-1.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        // Perfectly even.
+        assert!((jain_fairness(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One process hogs everything: 1/n.
+        assert!((jain_fairness(&[6.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // Monotone between the extremes.
+        let skewed = jain_fairness(&[4.0, 1.0, 1.0]);
+        assert!(skewed > 1.0 / 3.0 && skewed < 1.0, "skewed {skewed}");
+    }
+
+    #[test]
+    fn jain_fairness_edge_cases() {
+        assert_eq!(jain_fairness(&[]), 0.0);
+        assert_eq!(jain_fairness(&[7.0]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p90 - 90.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+        assert!(s.stddev > 0.0);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let one = Summary::of(&[4.5]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.mean, 4.5);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.min, 4.5);
+        assert_eq!(one.max, 4.5);
+        assert_eq!(one.p50, 4.5);
+        assert_eq!(one.p99, 4.5);
     }
 }

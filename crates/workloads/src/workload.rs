@@ -1,0 +1,490 @@
+//! The reusable [`Workload`] abstraction behind the scenario engine.
+//!
+//! Every real-execution workload is split into the classic benchmark lifecycle —
+//! **setup** (generate inputs, spawn persistent runtimes), **run one unit** (one complete
+//! product / factorization / request / simulation step), **teardown** — so that any driver
+//! (a figure binary, the `usf-scenarios` executors, a test) can pace, interleave and
+//! co-run workloads instead of each binary inlining its own driver loop. The units of the
+//! HPC workloads are the existing [`MatmulInstance`] and
+//! [`CholeskyInstance`]; the service/MD-shaped kinds
+//! are calibrated synthetic kernels whose *scheduling structure* (parallel regions,
+//! imbalance, arrival gaps, busy-wait-with-yield) matches the paper's workloads at sizes a
+//! test machine can run for real.
+
+use crate::cholesky::{CholeskyConfig, CholeskyInstance};
+use crate::matmul::{MatmulConfig, MatmulInstance};
+use crate::poisson::PoissonProcess;
+use std::time::{Duration, Instant};
+use usf_core::exec::ExecMode;
+use usf_runtimes::taskrt::{TaskRuntime, TaskRuntimeConfig};
+use usf_runtimes::{Team, TeamConfig, TransientPool, WaitPolicy};
+
+/// A workload that can be set up once and then driven unit by unit.
+///
+/// `run_unit` is called with increasing unit indices; implementations may use the index
+/// (e.g. for seeded arrival gaps) but must not assume it starts at zero.
+pub trait Workload: Send {
+    /// Display name (used in reports).
+    fn name(&self) -> &str;
+
+    /// One-time preparation: generate inputs, spawn persistent worker pools. Drivers call
+    /// this exactly once before the first unit; the default does nothing.
+    fn setup(&mut self) {}
+
+    /// Execute one unit of work (one product, one factorization, one request, one step).
+    fn run_unit(&mut self, unit: usize);
+
+    /// Release resources the workload holds (worker pools, caches). Drivers call this
+    /// exactly once after the last unit; the default does nothing.
+    fn teardown(&mut self) {}
+}
+
+/// The inner-runtime flavour a workload parallelizes its units with — the "which runtime
+/// is underneath" axis of the paper's composition experiments (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFlavor {
+    /// A task runtime with a persistent worker pool (OmpSs-2/TBB-like).
+    TaskRt,
+    /// A persistent fork-join team (OpenMP-like; the calling thread is thread 0).
+    ForkJoin,
+    /// A transient spawn-per-call pool (BLIS-pth / pthreadpool-like thread churn).
+    ThreadPool,
+}
+
+impl RuntimeFlavor {
+    /// All flavours.
+    pub const ALL: [RuntimeFlavor; 3] = [
+        RuntimeFlavor::TaskRt,
+        RuntimeFlavor::ForkJoin,
+        RuntimeFlavor::ThreadPool,
+    ];
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeFlavor::TaskRt => "taskrt",
+            RuntimeFlavor::ForkJoin => "forkjoin",
+            RuntimeFlavor::ThreadPool => "threadpool",
+        }
+    }
+}
+
+/// Busy-work for roughly `d`, yielding periodically (the paper's patched busy wait): under
+/// SCHED_COOP the yields are the scheduling points that let co-runners make progress.
+pub fn spin_for(d: Duration) {
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        usf_core::timing::spin_wait_hint(256, Some(128));
+    }
+}
+
+/// A parallel region runner for one [`RuntimeFlavor`]: runs `f(0..n)` concurrently and
+/// joins before returning.
+enum Region {
+    TaskRt(TaskRuntime),
+    ForkJoin(Team),
+    ThreadPool(TransientPool),
+}
+
+impl Region {
+    fn new(flavor: RuntimeFlavor, threads: usize, exec: &ExecMode, name: &str) -> Self {
+        match flavor {
+            RuntimeFlavor::TaskRt => Region::TaskRt(TaskRuntime::new(
+                TaskRuntimeConfig::new(threads, exec.clone()).name(name),
+            )),
+            RuntimeFlavor::ForkJoin => Region::ForkJoin(Team::new(
+                TeamConfig::new(threads, exec.clone())
+                    .wait_policy(WaitPolicy::Passive)
+                    .name(name),
+            )),
+            RuntimeFlavor::ThreadPool => Region::ThreadPool(TransientPool::new(exec.clone())),
+        }
+    }
+
+    fn run(&self, threads: usize, f: impl Fn(usize) + Send + Sync) {
+        match self {
+            Region::TaskRt(rt) => {
+                // Same lifetime-erasure discipline as `Team::parallel` and
+                // `TransientPool::run`: every submitted task is joined by `taskwait`
+                // before this frame (and `f`) can be dropped.
+                let f_ref: &(dyn Fn(usize) + Send + Sync) = &f;
+                let f_static: &'static (dyn Fn(usize) + Send + Sync) =
+                    unsafe { std::mem::transmute(f_ref) };
+                for i in 0..threads {
+                    rt.submit_independent(move || f_static(i));
+                }
+                rt.taskwait();
+            }
+            Region::ForkJoin(team) => team.parallel(threads, |ctx| f(ctx.thread_num())),
+            Region::ThreadPool(pool) => pool.run(threads, f),
+        }
+    }
+}
+
+/// How a synthetic workload spaces its units out in time.
+#[derive(Debug, Clone)]
+enum UnitPacing {
+    /// Back to back.
+    None,
+    /// A fixed off-core sleep before each unit.
+    FixedGap(Duration),
+    /// Seeded exponential gaps before each unit (open-loop request arrivals).
+    Poisson(PoissonProcess),
+}
+
+/// A calibrated synthetic workload: per unit, an optional arrival gap, then one parallel
+/// region of `threads` spinning workers (with per-thread imbalance weights), then an
+/// optional off-core sleep — enough to express the service, MD-step, burst and spin-sleep
+/// shapes of the scenario library with real threads and real scheduling points.
+pub struct SyntheticWorkload {
+    label: String,
+    threads: usize,
+    flavor: RuntimeFlavor,
+    exec: ExecMode,
+    /// Nominal on-core work per unit summed over all threads.
+    unit_work: Duration,
+    /// Per-thread share of `unit_work` (normalized at setup; uniform when empty).
+    weights: Vec<f64>,
+    pacing: UnitPacing,
+    /// Off-core sleep after each unit's region.
+    post_sleep: Duration,
+    region: Option<Region>,
+    units_run: u64,
+}
+
+impl SyntheticWorkload {
+    /// Uniform spin-then-sleep workload (the simplest co-runner: `unit_work` on-core per
+    /// unit split over `threads`, then `post_sleep` off-core).
+    pub fn spin_sleep(
+        threads: usize,
+        flavor: RuntimeFlavor,
+        exec: ExecMode,
+        unit_work: Duration,
+        post_sleep: Duration,
+    ) -> Self {
+        SyntheticWorkload {
+            label: format!("spin-sleep-{}", flavor.label()),
+            threads: threads.max(1),
+            flavor,
+            exec,
+            unit_work,
+            weights: Vec::new(),
+            pacing: UnitPacing::None,
+            post_sleep,
+            region: None,
+            units_run: 0,
+        }
+    }
+
+    /// Latency-service stand-in: one unit is one request — a parallel inference-like
+    /// region of `threads` workers; requests arrive open-loop as a seeded Poisson process
+    /// of `rate` requests/second.
+    pub fn service_requests(
+        threads: usize,
+        flavor: RuntimeFlavor,
+        exec: ExecMode,
+        unit_work: Duration,
+        rate: f64,
+        seed: u64,
+    ) -> Self {
+        SyntheticWorkload {
+            label: format!("service-{}", flavor.label()),
+            threads: threads.max(1),
+            flavor,
+            exec,
+            unit_work,
+            weights: Vec::new(),
+            pacing: UnitPacing::Poisson(PoissonProcess::new(rate.max(1e-3), seed)),
+            post_sleep: Duration::ZERO,
+            region: None,
+            units_run: 0,
+        }
+    }
+
+    /// MD-step stand-in: one unit is one simulation step — a fork-join region whose
+    /// per-thread work follows the dense/sparse imbalance profile of §5.6 (`imbalance` =
+    /// heaviest/lightest ratio), synchronized by the region join (the halo exchange).
+    pub fn md_steps(
+        threads: usize,
+        flavor: RuntimeFlavor,
+        exec: ExecMode,
+        unit_work: Duration,
+        imbalance: f64,
+    ) -> Self {
+        let threads = threads.max(1);
+        let ratio = imbalance.max(1.0);
+        // Alternate heavy/light threads (the interleaved dense/sparse regions).
+        let weights: Vec<f64> = (0..threads)
+            .map(|i| if i % 2 == 0 { ratio } else { 1.0 })
+            .collect();
+        SyntheticWorkload {
+            label: format!("md-steps-{}", flavor.label()),
+            threads,
+            flavor,
+            exec,
+            unit_work,
+            weights,
+            pacing: UnitPacing::None,
+            post_sleep: Duration::ZERO,
+            region: None,
+            units_run: 0,
+        }
+    }
+
+    /// Bursty batch stand-in: units separated by a fixed think-time gap, each a uniform
+    /// parallel burst (poisson-burst's fixed-gap sibling).
+    pub fn bursts(
+        threads: usize,
+        flavor: RuntimeFlavor,
+        exec: ExecMode,
+        unit_work: Duration,
+        gap: Duration,
+    ) -> Self {
+        SyntheticWorkload {
+            label: format!("burst-{}", flavor.label()),
+            threads: threads.max(1),
+            flavor,
+            exec,
+            unit_work,
+            weights: Vec::new(),
+            pacing: UnitPacing::FixedGap(gap),
+            post_sleep: Duration::ZERO,
+            region: None,
+            units_run: 0,
+        }
+    }
+
+    /// Number of units executed so far.
+    pub fn units_run(&self) -> u64 {
+        self.units_run
+    }
+
+    /// The parallel-region width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn setup(&mut self) {
+        if self.weights.is_empty() {
+            self.weights = vec![1.0; self.threads];
+        }
+        let total: f64 = self.weights.iter().sum();
+        // Normalize so the weights distribute exactly `unit_work` across the region.
+        for w in &mut self.weights {
+            *w = if total > 0.0 {
+                *w / total
+            } else {
+                1.0 / self.threads as f64
+            };
+        }
+        self.region = Some(Region::new(
+            self.flavor,
+            self.threads,
+            &self.exec,
+            &self.label,
+        ));
+    }
+
+    fn run_unit(&mut self, _unit: usize) {
+        match &mut self.pacing {
+            UnitPacing::None => {}
+            UnitPacing::FixedGap(gap) => usf_core::timing::sleep(*gap),
+            UnitPacing::Poisson(p) => usf_core::timing::sleep(p.next_gap()),
+        }
+        let region = self.region.as_ref().expect("setup() must run before units");
+        let unit_work = self.unit_work;
+        let weights = &self.weights;
+        region.run(self.threads, |i| {
+            spin_for(unit_work.mul_f64(weights[i.min(weights.len() - 1)]));
+        });
+        if self.post_sleep > Duration::ZERO {
+            usf_core::timing::sleep(self.post_sleep);
+        }
+        self.units_run += 1;
+    }
+
+    fn teardown(&mut self) {
+        self.region = None; // drops the pool/team, joining its workers
+    }
+}
+
+/// [`Workload`] adapter over [`MatmulInstance`]: one unit = one complete `C = A·B`.
+pub struct MatmulWorkload {
+    cfg: MatmulConfig,
+    inst: Option<MatmulInstance>,
+}
+
+impl MatmulWorkload {
+    /// Wrap a matmul configuration (instance built at `setup`).
+    pub fn new(cfg: MatmulConfig) -> Self {
+        MatmulWorkload { cfg, inst: None }
+    }
+}
+
+impl Workload for MatmulWorkload {
+    fn name(&self) -> &str {
+        "matmul"
+    }
+
+    fn setup(&mut self) {
+        self.inst = Some(MatmulInstance::new(&self.cfg));
+    }
+
+    fn run_unit(&mut self, _unit: usize) {
+        self.inst
+            .as_mut()
+            .expect("setup() must run before units")
+            .run_once();
+    }
+
+    fn teardown(&mut self) {
+        self.inst = None;
+    }
+}
+
+/// [`Workload`] adapter over [`CholeskyInstance`]: one unit = one complete factorization.
+pub struct CholeskyWorkload {
+    cfg: CholeskyConfig,
+    inst: Option<CholeskyInstance>,
+}
+
+impl CholeskyWorkload {
+    /// Wrap a Cholesky configuration (instance built at `setup`).
+    pub fn new(cfg: CholeskyConfig) -> Self {
+        CholeskyWorkload { cfg, inst: None }
+    }
+}
+
+impl Workload for CholeskyWorkload {
+    fn name(&self) -> &str {
+        "cholesky"
+    }
+
+    fn setup(&mut self) {
+        self.inst = Some(CholeskyInstance::new(&self.cfg));
+    }
+
+    fn run_unit(&mut self, _unit: usize) {
+        self.inst
+            .as_mut()
+            .expect("setup() must run before units")
+            .factorize_once();
+    }
+
+    fn teardown(&mut self) {
+        self.inst = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usf_core::runtime::Usf;
+
+    fn tiny(flavor: RuntimeFlavor, exec: ExecMode) -> SyntheticWorkload {
+        SyntheticWorkload::spin_sleep(
+            2,
+            flavor,
+            exec,
+            Duration::from_micros(200),
+            Duration::from_micros(50),
+        )
+    }
+
+    #[test]
+    fn synthetic_lifecycle_runs_units_under_all_flavors() {
+        for flavor in RuntimeFlavor::ALL {
+            let mut w = tiny(flavor, ExecMode::Os);
+            w.setup();
+            w.run_unit(0);
+            w.run_unit(1);
+            w.teardown();
+            assert_eq!(w.units_run(), 2, "{flavor:?}");
+        }
+    }
+
+    #[test]
+    fn synthetic_runs_cooperatively_under_usf() {
+        let usf = Usf::builder().cores(2).build();
+        let p = usf.process("synthetic");
+        let mut w = tiny(RuntimeFlavor::ForkJoin, ExecMode::Usf(p));
+        w.setup();
+        w.run_unit(0);
+        w.teardown();
+        assert!(usf.metrics().attaches > 0, "must use cooperative threads");
+        usf.shutdown();
+    }
+
+    #[test]
+    fn md_weights_are_imbalanced_and_normalized() {
+        let mut w = SyntheticWorkload::md_steps(
+            4,
+            RuntimeFlavor::ForkJoin,
+            ExecMode::Os,
+            Duration::from_micros(100),
+            8.0,
+        );
+        w.setup();
+        let total: f64 = w.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(w.weights[0] > 3.0 * w.weights[1]);
+        w.run_unit(0);
+        w.teardown();
+    }
+
+    #[test]
+    fn service_pacing_is_deterministic_per_seed() {
+        let mk = || {
+            SyntheticWorkload::service_requests(
+                1,
+                RuntimeFlavor::ThreadPool,
+                ExecMode::Os,
+                Duration::from_micros(50),
+                10_000.0,
+                7,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        a.setup();
+        b.setup();
+        a.run_unit(0);
+        b.run_unit(0);
+        assert_eq!(a.units_run(), b.units_run());
+    }
+
+    #[test]
+    fn matmul_and_cholesky_adapters_drive_instances() {
+        let mut m = MatmulWorkload::new(MatmulConfig {
+            matrix_size: 64,
+            task_size: 32,
+            ..MatmulConfig::small(ExecMode::Os)
+        });
+        m.setup();
+        m.run_unit(0);
+        assert!(m.inst.as_ref().unwrap().verify_last().unwrap() < 1e-9);
+        m.teardown();
+
+        let mut c = CholeskyWorkload::new(CholeskyConfig {
+            matrix_size: 64,
+            tile_size: 32,
+            ..CholeskyConfig::small(ExecMode::Os)
+        });
+        c.setup();
+        c.run_unit(0);
+        assert!(c.inst.as_ref().unwrap().verify_last().unwrap() < 1e-6);
+        c.teardown();
+    }
+
+    #[test]
+    fn spin_for_busy_waits_roughly_the_requested_time() {
+        let start = Instant::now();
+        spin_for(Duration::from_millis(2));
+        assert!(start.elapsed() >= Duration::from_millis(2));
+    }
+}

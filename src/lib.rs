@@ -15,6 +15,8 @@
 //!   reproduce the paper's 112-core evaluation.
 //! * [`workloads`] (`usf-workloads`) — the evaluation workloads (nested matmul, Cholesky,
 //!   AI microservices, MD ensembles).
+//! * [`scenarios`] (`usf-scenarios`) — the declarative co-run/oversubscription scenario
+//!   engine: one spec runs unmodified on the OS baseline, the USF stack and the simulator.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the paper-to-repo
 //! substitution table, and `EXPERIMENTS.md` for the reproduced tables and figures.
@@ -26,6 +28,7 @@ pub use usf_blas as blas;
 pub use usf_core as framework;
 pub use usf_nosv as nosv;
 pub use usf_runtimes as runtimes;
+pub use usf_scenarios as scenarios;
 pub use usf_simsched as simsched;
 pub use usf_workloads as workloads;
 
@@ -33,4 +36,7 @@ pub use usf_workloads as workloads;
 pub mod prelude {
     pub use usf_core::prelude::*;
     pub use usf_runtimes::{LoopSchedule, TaskDeps, TaskRuntime, Team, TransientPool, WaitPolicy};
+    pub use usf_scenarios::{
+        Executor, OsExecutor, ProcSpec, ScenarioSpec, SimExecutor, UsfExecutor,
+    };
 }

@@ -176,3 +176,53 @@ fn fig5_shape_holds() {
         exclusive.average_bandwidth_gbps
     );
 }
+
+/// Figure 6 (scenario engine): the canned oversubscription ramp runs unmodified on all
+/// three executors, and on the deterministic simulated stack SCHED_COOP's slowdown does
+/// not exceed the preemptive baseline's at >= 2x oversubscription.
+#[test]
+fn fig6_shape_holds() {
+    use std::time::Duration;
+    use usf::scenarios::spec::ProblemSize;
+    use usf::scenarios::{library, Executor, OsExecutor, SimExecutor, UsfExecutor};
+    use usf::simsched::SchedModel;
+
+    // One spec, three stacks: tiny real runs just demonstrate completion.
+    let tiny = library::oversub_ramp(2, 2, ProblemSize::Tiny);
+    for report in [
+        OsExecutor.run_spec(&tiny),
+        UsfExecutor::new().run_spec(&tiny),
+    ] {
+        assert_eq!(report.processes.len(), 2, "{}", report.executor);
+        for p in &report.processes {
+            assert_eq!(p.unit_latencies_s.len(), 6, "{}", report.executor);
+            assert!(p.makespan > Duration::ZERO);
+        }
+    }
+
+    // Deterministic shape on the simulator: 16 cores, units well above the quantum.
+    let size = ProblemSize::Custom {
+        unit_work_us: 10_000 * 16,
+    };
+    let mut slowdowns = Vec::new();
+    for model in [SchedModel::Fair, SchedModel::coop_default()] {
+        let mut machine = usf::simsched::Machine::small(16);
+        machine.sockets = 2;
+        let exec = SimExecutor::new(machine, model);
+        let solo = exec.run_spec(&library::oversub_ramp(16, 1, size));
+        let solo_makespan = solo.processes[0].makespan;
+        let mut corun = exec.run_spec(&library::oversub_ramp(16, 2, size));
+        corun.apply_solo_baseline(&[Some(solo_makespan), Some(solo_makespan)]);
+        slowdowns.push(corun.mean_slowdown().expect("baseline applied"));
+    }
+    let (os, coop) = (slowdowns[0], slowdowns[1]);
+    eprintln!("fig6: mean slowdown at 2x — os {os:.3}, sched_coop {coop:.3}");
+    assert!(
+        os > 1.0,
+        "co-running must cost something under the baseline ({os:.3})"
+    );
+    assert!(
+        coop <= os * 1.001,
+        "SCHED_COOP slowdown ({coop:.3}) must not exceed the OS baseline ({os:.3})"
+    );
+}

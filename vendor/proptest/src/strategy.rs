@@ -42,6 +42,8 @@ impl_strategy_for_tuple!(A.0);
 impl_strategy_for_tuple!(A.0, B.1);
 impl_strategy_for_tuple!(A.0, B.1, C.2);
 impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
