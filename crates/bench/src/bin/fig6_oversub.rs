@@ -21,6 +21,7 @@
 use std::time::Duration;
 use usf_bench::cli::{self, FlagSpec};
 use usf_bench::json::{JsonObject, JsonValue};
+use usf_bench::scenario_json::report_json;
 use usf_bench::Scale;
 use usf_scenarios::{
     library, Executor, OsExecutor, ProblemSize, ScenarioReport, SimExecutor, UsfExecutor,
@@ -87,47 +88,6 @@ fn sweep_model(
             r
         })
         .collect()
-}
-
-fn report_json(r: &ScenarioReport) -> JsonObject {
-    let procs: Vec<JsonValue> = r
-        .processes
-        .iter()
-        .map(|p| {
-            let s = p.unit_summary();
-            JsonValue::from(
-                JsonObject::new()
-                    .field("name", p.name.as_str())
-                    .field("threads", p.threads)
-                    .num("arrival_s", p.arrival.as_secs_f64(), 6)
-                    .num("makespan_s", p.makespan.as_secs_f64(), 6)
-                    .num("p50_unit_s", s.p50, 6)
-                    .num("p99_unit_s", s.p99, 6)
-                    .opt(
-                        "slowdown_vs_solo",
-                        p.slowdown_vs_solo.map(|v| JsonValue::num(v, 3)),
-                    ),
-            )
-        })
-        .collect();
-    let mut doc = JsonObject::new()
-        .field("executor", r.executor.as_str())
-        .num("total_makespan_s", r.total_makespan.as_secs_f64(), 6)
-        .num("jain_fairness", r.jain_fairness(), 4)
-        .field("processes", procs);
-    if let Some(sched) = &r.sched {
-        let mut counters = JsonObject::new();
-        for (name, v) in &sched.counters {
-            counters = counters.num(name.clone(), *v, 3);
-        }
-        doc = doc.field(
-            "sched",
-            JsonObject::new()
-                .field("scheduler", sched.scheduler.as_str())
-                .field("counters", counters),
-        );
-    }
-    doc
 }
 
 fn print_report_line(r: &ScenarioReport) {

@@ -1,0 +1,295 @@
+//! Figure 7 (repo experiment): the scheduler-model matrix over the canned scenario
+//! library.
+//!
+//! The paper never compares SCHED_COOP against the preemptive baseline alone — every
+//! figure also pits it against *static partitioning* (the bl-eq / bl-opt core splits of
+//! §5.5). This binary drives every canned [`usf_scenarios::library`] entry through the
+//! full [`ModelSel`] matrix on the simulator:
+//!
+//! * `linux-fair` — preemptive weighted-fair scheduling (the OS baseline);
+//! * `sched_coop` — the paper's cooperative policy;
+//! * `bl-eq` — cores split equally among the spec's processes;
+//! * `bl-opt` — cores split proportionally to each process's total nominal work.
+//!
+//! Per-process slowdowns are measured against the *solo-on-the-full-node* baseline
+//! (`linux-fair`, one process alone), the paper's definition. The expected shape: at ≥2×
+//! oversubscription SCHED_COOP's mean slowdown stays at or below bl-eq's, because a
+//! static partition cannot donate its idle cores — a process's imbalance gaps and
+//! arrival ramps strand capacity that the cooperative scheduler hands to whoever is
+//! ready. `--smoke` asserts exactly that and is wired into CI; every mode writes
+//! `BENCH_models.json` with the full per-model, per-process reports (measured unit-latency
+//! percentiles included).
+//!
+//! Usage: `cargo run -p usf-bench --release --bin fig7_models [--quick|--full|--smoke]`
+
+use std::time::Duration;
+use usf_bench::cli::{self, FlagSpec};
+use usf_bench::json::{JsonObject, JsonValue};
+use usf_bench::scenario_json::report_json;
+use usf_bench::Scale;
+use usf_scenarios::{
+    library, Executor, ModelSel, ProblemSize, ScenarioReport, ScenarioSpec, SimExecutor,
+};
+use usf_simsched::{Machine, SchedModel};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--quick",
+        value_name: None,
+        help: "reduced sweep: 16 simulated cores (default)",
+    },
+    FlagSpec {
+        name: "--full",
+        value_name: None,
+        help: "paper-scale sweep: 112 simulated cores, full library",
+    },
+    FlagSpec {
+        name: "--smoke",
+        value_name: None,
+        help: "tiny run asserting Coop mean slowdown <= bl-eq at >=2x oversubscription (CI mode)",
+    },
+    FlagSpec {
+        name: "--json",
+        value_name: Some("PATH"),
+        help: "output file (default BENCH_models.json)",
+    },
+];
+
+/// One library entry swept over the model matrix, with solo baselines applied.
+struct ScenarioPoint {
+    name: String,
+    oversub: f64,
+    /// Reports in [`ModelSel::ALL`] order.
+    reports: Vec<ScenarioReport>,
+}
+
+impl ScenarioPoint {
+    fn report(&self, sel: ModelSel) -> &ScenarioReport {
+        self.reports
+            .iter()
+            .find(|r| r.model == Some(sel))
+            .unwrap_or_else(|| panic!("{}: no report for {}", self.name, sel.label()))
+    }
+
+    /// `None` when the solo baseline degenerated (zero-makespan solo) — callers must
+    /// treat that as "no verdict", never as a passing 0.0.
+    fn mean_slowdown(&self, sel: ModelSel) -> Option<f64> {
+        self.report(sel).mean_slowdown()
+    }
+}
+
+/// The simulated solo baseline is a pure function of the process's workload shape (the
+/// sim lowers kind + unit work + threads + units; names and arrival phases are
+/// normalized away by `solo_of`), so identical co-runners — the ramp's N clones, the
+/// library's repeated shapes — share one simulation.
+type SoloCache =
+    std::collections::HashMap<(&'static str, u128, &'static str, usize, usize), Option<Duration>>;
+
+/// Sweep one spec: solo baselines under fair scheduling on the whole node (the paper's
+/// slowdown denominator, memoized by workload shape), then the full model matrix.
+fn sweep_spec(machine: &Machine, spec: &ScenarioSpec, cache: &mut SoloCache) -> ScenarioPoint {
+    let solo_exec = SimExecutor::new(machine.clone(), SchedModel::Fair);
+    let solos: Vec<Option<Duration>> = spec
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let key = (
+                p.kind.label(),
+                p.size.unit_work().as_nanos(),
+                p.flavor.label(),
+                p.threads,
+                p.units,
+            );
+            *cache.entry(key).or_insert_with(|| {
+                let solo = solo_exec.run_spec(&spec.solo_of(i));
+                solo.processes.first().map(|o| o.makespan)
+            })
+        })
+        .collect();
+    let mut reports = SimExecutor::sweep_models(machine, spec);
+    for r in &mut reports {
+        r.apply_solo_baseline(&solos);
+    }
+    ScenarioPoint {
+        name: spec.name.clone(),
+        oversub: spec.oversubscription(),
+        reports,
+    }
+}
+
+fn print_point(point: &ScenarioPoint) {
+    println!();
+    println!(
+        "scenario {:<20} ({:.2}x oversubscribed)",
+        point.name, point.oversub
+    );
+    println!(
+        "  {:<12} {:>14} {:>14} {:>8} {:>12}",
+        "model", "mean-slowdown", "worst-slowdown", "jain", "p99-unit"
+    );
+    for r in &point.reports {
+        let p99 = r
+            .processes
+            .iter()
+            .map(|p| p.unit_summary().p99)
+            .fold(0.0, f64::max);
+        println!(
+            "  {:<12} {:>14} {:>14} {:>8.3} {:>11.4}s",
+            r.model.map(|m| m.label()).unwrap_or("?"),
+            usf_bench::fmt_speedup(r.mean_slowdown().unwrap_or(0.0)),
+            usf_bench::fmt_speedup(r.worst_slowdown().unwrap_or(0.0)),
+            r.jain_fairness(),
+            p99,
+        );
+    }
+}
+
+fn main() {
+    let args = cli::parse_or_exit(
+        "fig7_models",
+        "Figure 7: the Fair/Coop/bl-eq/bl-opt scheduler matrix over the canned scenario library.",
+        FLAGS,
+    );
+    let smoke = args.has("--smoke");
+    let full = args.scale() == Scale::Full && !smoke;
+    let json_path = args
+        .get("--json")
+        .unwrap_or("BENCH_models.json")
+        .to_string();
+
+    // Sweep geometry mirrors fig6: paper-scale node in --full, the same 2-socket shape at
+    // 16 cores otherwise; per-thread unit work stays well above the 4 ms preemption
+    // quantum so the preemptive models actually preempt mid-unit.
+    let (machine, cores, per_thread_ms): (Machine, usize, u64) = if full {
+        (Machine::marenostrum5(), 112, 10)
+    } else {
+        let mut m = Machine::small(16);
+        m.sockets = 2;
+        (m, 16, 10)
+    };
+    let size = ProblemSize::Custom {
+        unit_work_us: per_thread_ms * 1_000 * cores as u64,
+    };
+
+    usf_bench::header("fig7_models — scheduler-model matrix over the scenario library");
+    usf_bench::machine_line(&machine);
+    let specs = library::all(cores, size);
+    println!(
+        "library x models: {} canned scenarios x {:?}, {per_thread_ms} ms/unit/thread, \
+         solo baselines under linux-fair on the whole node",
+        specs.len(),
+        ModelSel::ALL.map(|m| m.label()),
+    );
+
+    let mut solo_cache = SoloCache::new();
+    let points: Vec<ScenarioPoint> = specs
+        .into_iter()
+        .map(|spec| {
+            let point = sweep_spec(
+                &machine,
+                &spec.models(ModelSel::ALL.to_vec()),
+                &mut solo_cache,
+            );
+            print_point(&point);
+            point
+        })
+        .collect();
+
+    // The paper's partitioning claim, checked on the deterministic stack: wherever the
+    // node is >= 2x oversubscribed, SCHED_COOP's mean slowdown must not exceed bl-eq's
+    // (idle partition cores cannot be donated; shared cooperative cores can). A missing
+    // baseline is a violation too — a degenerate solo must never pass the gate vacuously.
+    let mut coop_le_bleq = true;
+    for p in points.iter().filter(|p| p.oversub >= 2.0) {
+        match (
+            p.mean_slowdown(ModelSel::Coop),
+            p.mean_slowdown(ModelSel::BlEq),
+        ) {
+            (Some(coop), Some(bleq)) if coop <= bleq * 1.001 => {}
+            (coop, bleq) => {
+                coop_le_bleq = false;
+                eprintln!(
+                    "shape violation in '{}' ({:.2}x): coop {coop:?} vs bl-eq {bleq:?}",
+                    p.name, p.oversub
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "Coop mean slowdown <= bl-eq at every >=2x scenario: {}",
+        if coop_le_bleq { "yes" } else { "NO" }
+    );
+
+    let scenarios_json: Vec<JsonValue> = points
+        .iter()
+        .map(|p| {
+            let mut models = JsonObject::new();
+            for r in &p.reports {
+                let label = r.model.map(|m| m.label()).unwrap_or("?");
+                models = models.field(label, report_json(r));
+            }
+            let slowdown = |sel: ModelSel| p.mean_slowdown(sel).map(|v| JsonValue::num(v, 3));
+            JsonValue::from(
+                JsonObject::new()
+                    .field("scenario", p.name.as_str())
+                    .num("oversubscription", p.oversub, 2)
+                    .opt("coop_mean_slowdown", slowdown(ModelSel::Coop))
+                    .opt("bl_eq_mean_slowdown", slowdown(ModelSel::BlEq))
+                    .opt("bl_opt_mean_slowdown", slowdown(ModelSel::BlOpt))
+                    .opt("fair_mean_slowdown", slowdown(ModelSel::Fair))
+                    .field("models", models),
+            )
+        })
+        .collect();
+    JsonObject::new()
+        .field("benchmark", "fig7_models")
+        .field(
+            "mode",
+            if full {
+                "full"
+            } else if smoke {
+                "smoke"
+            } else {
+                "quick"
+            },
+        )
+        .field("sim_cores", machine.cores)
+        .field("spec_cores", cores)
+        .field("per_thread_unit_ms", per_thread_ms)
+        .field(
+            "models",
+            ModelSel::ALL
+                .iter()
+                .map(|m| JsonValue::from(m.label()))
+                .collect::<Vec<_>>(),
+        )
+        .field("coop_le_bleq_at_oversub", coop_le_bleq)
+        .field("scenarios", scenarios_json)
+        .write_file(&json_path);
+
+    if smoke {
+        // Every scenario must have produced a full matrix with applied baselines.
+        for p in &points {
+            assert_eq!(p.reports.len(), ModelSel::ALL.len(), "{}", p.name);
+            for sel in ModelSel::ALL {
+                assert!(
+                    p.report(sel).mean_slowdown().is_some(),
+                    "{}: {} lost its solo baseline",
+                    p.name,
+                    sel.label()
+                );
+            }
+        }
+        assert!(
+            points.iter().filter(|p| p.oversub >= 2.0).count() >= 4,
+            "the library must cover the >=2x regime"
+        );
+        assert!(
+            coop_le_bleq,
+            "regression: SCHED_COOP mean slowdown exceeded bl-eq under >=2x oversubscription"
+        );
+        println!("smoke: OK (full model matrix over the library; Coop <= bl-eq at >=2x)");
+    }
+}

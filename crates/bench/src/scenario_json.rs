@@ -1,0 +1,91 @@
+//! Shared JSON rendering of [`usf_scenarios::ScenarioReport`]s.
+//!
+//! `fig6_oversub` and `fig7_models` both persist scenario reports into their
+//! `BENCH_*.json` perf-trajectory records; this module is the single place that decides
+//! what a report looks like on disk (per-process makespans, measured unit-latency
+//! percentiles, slowdowns, fairness, scheduler-counter deltas).
+
+use crate::json::{JsonObject, JsonValue};
+use usf_scenarios::ScenarioReport;
+
+/// Render one scenario report as an ordered JSON object.
+pub fn report_json(r: &ScenarioReport) -> JsonObject {
+    let procs: Vec<JsonValue> = r
+        .processes
+        .iter()
+        .map(|p| {
+            let s = p.unit_summary();
+            JsonValue::from(
+                JsonObject::new()
+                    .field("name", p.name.as_str())
+                    .field("threads", p.threads)
+                    .num("arrival_s", p.arrival.as_secs_f64(), 6)
+                    .num("makespan_s", p.makespan.as_secs_f64(), 6)
+                    .num("p50_unit_s", s.p50, 6)
+                    .num("p90_unit_s", s.p90, 6)
+                    .num("p99_unit_s", s.p99, 6)
+                    .opt(
+                        "slowdown_vs_solo",
+                        p.slowdown_vs_solo.map(|v| JsonValue::num(v, 3)),
+                    ),
+            )
+        })
+        .collect();
+    let mut doc = JsonObject::new()
+        .field("executor", r.executor.as_str())
+        .opt("model", r.model.map(|m| m.label()))
+        .num("total_makespan_s", r.total_makespan.as_secs_f64(), 6)
+        .num("jain_fairness", r.jain_fairness(), 4)
+        .opt(
+            "mean_slowdown",
+            r.mean_slowdown().map(|v| JsonValue::num(v, 3)),
+        )
+        .field("processes", procs);
+    if let Some(sched) = &r.sched {
+        let mut counters = JsonObject::new();
+        for (name, v) in &sched.counters {
+            counters = counters.num(name.clone(), *v, 3);
+        }
+        doc = doc.field(
+            "sched",
+            JsonObject::new()
+                .field("scheduler", sched.scheduler.as_str())
+                .field("counters", counters),
+        );
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use usf_scenarios::{ModelSel, ProcessOutcome, SchedDelta};
+
+    #[test]
+    fn report_json_carries_model_and_percentiles() {
+        let r = ScenarioReport {
+            scenario: "t".into(),
+            executor: "sim-bl-eq".into(),
+            total_makespan: Duration::from_millis(10),
+            processes: vec![ProcessOutcome {
+                name: "p".into(),
+                arrival: Duration::ZERO,
+                threads: 2,
+                makespan: Duration::from_millis(10),
+                unit_latencies_s: vec![0.004, 0.006],
+                slowdown_vs_solo: Some(1.5),
+            }],
+            sched: Some(SchedDelta {
+                scheduler: "partitioned".into(),
+                counters: vec![("migrations".into(), 3.0)],
+            }),
+            model: Some(ModelSel::BlEq),
+        };
+        let s = report_json(&r).render();
+        assert!(s.contains("\"model\": \"bl-eq\""), "{s}");
+        assert!(s.contains("\"p99_unit_s\": 0.006000"), "{s}");
+        assert!(s.contains("\"mean_slowdown\": 1.500"), "{s}");
+        assert!(s.contains("\"migrations\": 3.000"), "{s}");
+    }
+}

@@ -190,6 +190,7 @@ fn collect_outcomes(
         total_makespan: total,
         processes,
         sched,
+        model: None,
     }
 }
 

@@ -43,4 +43,6 @@ pub use executor::{Executor, OsExecutor, UsfExecutor};
 pub use plan::{ProcPlan, ScenarioPlan};
 pub use report::{ProcessOutcome, ScenarioReport, SchedDelta};
 pub use sim::{LoweredScenario, SimExecutor, SimProcShape};
-pub use spec::{Arrival, ProblemSize, ProcSpec, RuntimeFlavor, ScenarioSpec, WorkloadKind};
+pub use spec::{
+    Arrival, ModelSel, ProblemSize, ProcSpec, RuntimeFlavor, ScenarioSpec, WorkloadKind,
+};

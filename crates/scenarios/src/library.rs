@@ -80,6 +80,102 @@ pub fn oversub_ramp(cores: usize, factor: usize, size: ProblemSize) -> ScenarioS
     spec
 }
 
+/// The mixed-size ramp: processes of *different* widths and unit costs arriving in a
+/// staggered ramp — a wide imbalanced MD job, a half-width medium co-runner, a narrow
+/// fast one, and a late-arriving half-cost spike, together ~2.75× oversubscribed. The
+/// heterogeneous demands are what separate the static splits (bl-eq strands cores on the
+/// narrow processes while the wide one starves) from the cooperative scheduler.
+pub fn mixed_size_ramp(cores: usize, size: ProblemSize) -> ScenarioSpec {
+    let base = size.unit_work();
+    let stagger = Duration::from_secs_f64(base.as_secs_f64() / cores.max(1) as f64);
+    let custom = |frac: u64| ProblemSize::Custom {
+        unit_work_us: (base.as_micros() as u64 / frac).max(1),
+    };
+    ScenarioSpec::new("mixed-size-ramp", cores)
+        .process(
+            ProcSpec::new("wide-md", WorkloadKind::Md)
+                .size(size)
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(4)
+                .arrival(Arrival::Ramp { stagger }),
+        )
+        .process(
+            ProcSpec::new("half-spin", WorkloadKind::SpinSleep)
+                .size(custom(2))
+                .flavor(RuntimeFlavor::ThreadPool)
+                .threads(cores.div_ceil(2))
+                .units(6)
+                .arrival(Arrival::Ramp { stagger }),
+        )
+        .process(
+            ProcSpec::new("narrow-spin", WorkloadKind::SpinSleep)
+                .size(custom(4))
+                .flavor(RuntimeFlavor::TaskRt)
+                .threads(cores.div_ceil(4))
+                .units(8)
+                .arrival(Arrival::Ramp { stagger }),
+        )
+        .process(
+            ProcSpec::new("late-spike", WorkloadKind::Md)
+                .size(custom(2))
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(2)
+                .arrival(Arrival::Delayed(Duration::from_secs_f64(
+                    base.as_secs_f64() / 2.0,
+                ))),
+        )
+}
+
+/// The bursty antagonist: an open-loop inference service sharing the node with a sparse
+/// Poisson-paced burst source *and* a full-width imbalanced batch antagonist that arrives
+/// mid-run — ~2.5× oversubscribed at peak. The service's tail latency under each
+/// scheduling model is the interesting output (the §5.5 tension: partitioning isolates
+/// the service but strands its idle cores; SCHED_COOP donates them).
+pub fn bursty_antagonist(cores: usize, size: ProblemSize) -> ScenarioSpec {
+    let base = size.unit_work();
+    ScenarioSpec::new("bursty-antagonist", cores)
+        .process(
+            ProcSpec::new("service", WorkloadKind::Microservices)
+                .size(size)
+                .flavor(RuntimeFlavor::ThreadPool)
+                .threads(cores.div_ceil(2))
+                .units(8),
+        )
+        .process(
+            ProcSpec::new("bursts", WorkloadKind::PoissonBurst)
+                .size(size)
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(3),
+        )
+        .process(
+            ProcSpec::new("antagonist", WorkloadKind::Md)
+                .size(size)
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(4)
+                .arrival(Arrival::Delayed(Duration::from_secs_f64(
+                    base.as_secs_f64(),
+                ))),
+        )
+}
+
+/// Every canned entry at one `(cores, size)` point — what `fig7_models` sweeps and the
+/// library-coverage tests run. Order: solo, the pairs, the ramps, the new mixed entries.
+pub fn all(cores: usize, size: ProblemSize) -> Vec<ScenarioSpec> {
+    vec![
+        solo(WorkloadKind::Md, cores, size),
+        hpc_pair(cores, size),
+        latency_batch(cores, size),
+        oversub_ramp(cores, 2, size),
+        oversub_ramp(cores, 4, size),
+        mixed_size_ramp(cores, size),
+        bursty_antagonist(cores, size),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +201,49 @@ mod tests {
             // The ramp arrives strictly in spec order.
             assert_eq!(ramp.plan().arrival_order(), (0..factor).collect::<Vec<_>>());
         }
+
+        let mixed = mixed_size_ramp(8, ProblemSize::Tiny);
+        assert_eq!(mixed.procs.len(), 4);
+        assert!(
+            mixed.oversubscription() >= 2.0,
+            "mixed ramp must oversubscribe ≥2x ({})",
+            mixed.oversubscription()
+        );
+        // Heterogeneous widths are the point of the entry.
+        let widths: std::collections::HashSet<usize> =
+            mixed.procs.iter().map(|p| p.threads).collect();
+        assert!(widths.len() >= 3, "{widths:?}");
+
+        let bursty = bursty_antagonist(8, ProblemSize::Tiny);
+        assert_eq!(bursty.procs.len(), 3);
+        assert!(bursty.oversubscription() >= 2.0);
+        assert!(bursty
+            .procs
+            .iter()
+            .any(|p| p.kind == WorkloadKind::Microservices));
+        assert!(bursty.procs.iter().any(|p| p.kind == WorkloadKind::Md));
+    }
+
+    #[test]
+    fn all_enumerates_every_entry_with_unique_names() {
+        let entries = all(8, ProblemSize::Tiny);
+        assert!(entries.len() >= 7);
+        let names: std::collections::HashSet<String> =
+            entries.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), entries.len(), "scenario names must be unique");
+        for spec in &entries {
+            assert!(!spec.procs.is_empty(), "{}", spec.name);
+            // Every entry lowers into a plan (pure, deterministic).
+            assert_eq!(spec.plan().procs.len(), spec.procs.len());
+        }
+        // The library spans the oversubscription axis, including >= 2x points.
+        assert!(entries.iter().any(|s| s.oversubscription() <= 1.0));
+        assert!(
+            entries
+                .iter()
+                .filter(|s| s.oversubscription() >= 2.0)
+                .count()
+                >= 4
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Scenario reports: per-process makespans, unit latencies, slowdowns and fairness.
 
+use crate::spec::ModelSel;
 use std::time::Duration;
 use usf_workloads::stats::{self, Summary};
 
@@ -15,8 +16,9 @@ pub struct ProcessOutcome {
     /// Time from the process's arrival to its last unit completing.
     pub makespan: Duration,
     /// Per-unit wall-clock latencies in seconds (includes each unit's arrival gap for
-    /// open-loop kinds; the simulator reports the uniform per-unit share of the process
-    /// makespan).
+    /// open-loop kinds). All three stacks report *measured* values: the real executors
+    /// time each unit on the driver thread, the simulator differentiates the per-unit
+    /// completion timestamps its `UnitMark` instrumentation records.
     pub unit_latencies_s: Vec<f64>,
     /// `corun_makespan / solo_makespan`, filled in by
     /// [`ScenarioReport::apply_solo_baseline`]; `None` until a solo baseline is known.
@@ -63,28 +65,39 @@ pub struct ScenarioReport {
     pub processes: Vec<ProcessOutcome>,
     /// Scheduler metrics delta over the run, when the stack exposes one.
     pub sched: Option<SchedDelta>,
+    /// Which [`ModelSel`] of the spec's model matrix produced this report (`None` for the
+    /// real stacks, whose scheduling model is fixed by the executor).
+    pub model: Option<ModelSel>,
 }
 
 impl ScenarioReport {
     /// Fill in each process's `slowdown_vs_solo` from a slice of solo makespans in spec
-    /// order (entries may be `None` when a solo run is unavailable).
+    /// order (entries may be `None` when a solo run is unavailable). Degenerate baselines
+    /// — zero/near-zero solo or co-run makespans (empty process, zero units), which would
+    /// turn the ratio into `inf`/`NaN` or a meaningless 0 — leave the entry `None` rather
+    /// than poisoning the fairness and slowdown aggregates.
     pub fn apply_solo_baseline(&mut self, solo_makespans: &[Option<Duration>]) {
         for (p, solo) in self.processes.iter_mut().zip(solo_makespans) {
-            p.slowdown_vs_solo =
-                solo.map(|s| stats::slowdown(s.as_secs_f64(), p.makespan.as_secs_f64()));
+            p.slowdown_vs_solo = solo.and_then(|s| {
+                let (solo_s, corun_s) = (s.as_secs_f64(), p.makespan.as_secs_f64());
+                let ratio = stats::slowdown(solo_s, corun_s);
+                (solo_s > 0.0 && corun_s > 0.0 && ratio.is_finite()).then_some(ratio)
+            });
         }
     }
 
     /// Jain fairness index of the co-run. When solo baselines are known, fairness is
     /// computed over normalized progress (`1 / slowdown`, the standard definition — how
     /// evenly the interference is spread); otherwise over raw per-process unit throughput.
+    /// Processes with a zero/near-zero makespan contribute zero progress (instead of an
+    /// unbounded throughput), so the index stays finite and within `[0, 1]`.
     pub fn jain_fairness(&self) -> f64 {
         let norm: Vec<f64> = if self.processes.iter().all(|p| p.slowdown_vs_solo.is_some()) {
             self.processes
                 .iter()
                 .map(|p| {
                     let s = p.slowdown_vs_solo.unwrap_or(0.0);
-                    if s > 0.0 {
+                    if s > 0.0 && s.is_finite() {
                         1.0 / s
                     } else {
                         0.0
@@ -94,26 +107,36 @@ impl ScenarioReport {
         } else {
             self.processes
                 .iter()
-                .map(|p| p.unit_latencies_s.len() as f64 / p.makespan.as_secs_f64().max(1e-9))
+                .map(|p| {
+                    let secs = p.makespan.as_secs_f64();
+                    if secs > 1e-12 {
+                        p.unit_latencies_s.len() as f64 / secs
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         };
         stats::jain_fairness(&norm)
     }
 
-    /// Largest per-process slowdown (`None` until baselines are applied).
+    /// Largest finite per-process slowdown (`None` until baselines are applied).
     pub fn worst_slowdown(&self) -> Option<f64> {
         self.processes
             .iter()
             .filter_map(|p| p.slowdown_vs_solo)
+            .filter(|s| s.is_finite())
             .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
     }
 
-    /// Geometric-mean slowdown across processes (`None` until baselines are applied).
+    /// Geometric-mean slowdown across processes with a finite baseline (`None` until
+    /// baselines are applied).
     pub fn mean_slowdown(&self) -> Option<f64> {
         let v: Vec<f64> = self
             .processes
             .iter()
             .filter_map(|p| p.slowdown_vs_solo)
+            .filter(|s| s.is_finite())
             .collect();
         if v.is_empty() {
             None
@@ -145,6 +168,7 @@ mod tests {
             total_makespan: Duration::from_millis(40),
             processes: vec![outcome("a", 20, 4), outcome("b", 40, 4)],
             sched: None,
+            model: None,
         }
     }
 
@@ -180,6 +204,49 @@ mod tests {
         assert_eq!(r.processes[0].slowdown_vs_solo, Some(2.0));
         assert_eq!(r.processes[1].slowdown_vs_solo, None);
         assert_eq!(r.worst_slowdown(), Some(2.0));
+    }
+
+    #[test]
+    fn zero_makespan_processes_keep_reports_finite() {
+        // An empty process (zero units, zero makespan) next to a normal one: every
+        // aggregate must stay finite and slowdowns vs a zero solo must stay None.
+        let mut r = report();
+        r.processes.push(ProcessOutcome {
+            name: "empty".into(),
+            arrival: Duration::ZERO,
+            threads: 1,
+            makespan: Duration::ZERO,
+            unit_latencies_s: Vec::new(),
+            slowdown_vs_solo: None,
+        });
+        let jain = r.jain_fairness();
+        assert!(jain.is_finite() && (0.0..=1.0).contains(&jain), "{jain}");
+
+        r.apply_solo_baseline(&[
+            Some(Duration::from_millis(10)),
+            Some(Duration::ZERO), // degenerate solo: stays None, not inf/0
+            Some(Duration::from_millis(1)), // degenerate corun (zero makespan): stays None
+        ]);
+        assert_eq!(r.processes[0].slowdown_vs_solo, Some(2.0));
+        assert_eq!(r.processes[1].slowdown_vs_solo, None);
+        assert_eq!(r.processes[2].slowdown_vs_solo, None);
+        assert_eq!(r.worst_slowdown(), Some(2.0));
+        assert!(r.mean_slowdown().unwrap().is_finite());
+        let jain = r.jain_fairness();
+        assert!(jain.is_finite() && (0.0..=1.0).contains(&jain), "{jain}");
+
+        // The fully-degenerate report: no processes at all.
+        let empty = ScenarioReport {
+            scenario: "none".into(),
+            executor: "x".into(),
+            total_makespan: Duration::ZERO,
+            processes: Vec::new(),
+            sched: None,
+            model: None,
+        };
+        assert!(empty.jain_fairness().is_finite());
+        assert_eq!(empty.mean_slowdown(), None);
+        assert_eq!(empty.worst_slowdown(), None);
     }
 
     #[test]

@@ -5,14 +5,18 @@
 //! demands are scaled by `machine.cores / spec.cores`, every unit becomes a compute phase
 //! (with the plan's MD imbalance weights) joined by a busy-wait-with-yield barrier (the
 //! patched OpenBLAS/MPICH join of §5.2), and open-loop kinds sleep the plan's seeded
-//! arrival gaps. The scheduling model is pluggable, so the identical spec compares the
-//! preemptive fair baseline against SCHED_COOP — Figure-6-style — without touching the
-//! spec.
+//! arrival gaps. Every unit ends in a `UnitMark` instrumentation op, so reports carry
+//! *measured* per-unit completion latencies rather than a fabricated uniform share. The
+//! scheduling model is pluggable — the identical spec compares the preemptive fair
+//! baseline, SCHED_COOP, and the bl-eq/bl-opt static-partitioning baselines (core maps
+//! derived from the plan by [`SimExecutor::partitioned_eq`]/[`SimExecutor::partitioned_opt`])
+//! without touching the spec; [`SimExecutor::sweep_models`] runs the whole
+//! [`ModelSel`] matrix in one call.
 
 use crate::executor::Executor;
 use crate::plan::{ProcPlan, ScenarioPlan};
 use crate::report::{ProcessOutcome, ScenarioReport, SchedDelta};
-use crate::spec::{ScenarioSpec, WorkloadKind};
+use crate::spec::{ModelSel, ScenarioSpec, WorkloadKind};
 use std::time::Duration;
 use usf_simsched::{
     BarrierWaitKind, Engine, Machine, ProcessId, Program, SchedModel, SimReport, SimTime, ThreadId,
@@ -52,8 +56,11 @@ pub struct LoweredScenario {
 pub struct SimExecutor {
     /// The simulated machine (defaults drive paper-scale core counts).
     pub machine: Machine,
-    /// The scheduling model (fair = OS baseline, coop = SCHED_COOP).
+    /// The scheduling model (fair = OS baseline, coop = SCHED_COOP, partitioned = bl-*).
     pub model: SchedModel,
+    /// Which selector of the spec's model matrix this executor realizes, when it was built
+    /// through one (distinguishes bl-eq from bl-opt, which share `SchedModel::Partitioned`).
+    pub sel: Option<ModelSel>,
     /// Scale factor applied to all durations (smaller = faster tests, same shape).
     pub time_scale: f64,
     /// Yield period of the busy-wait unit-join barriers.
@@ -63,9 +70,15 @@ pub struct SimExecutor {
 impl SimExecutor {
     /// An executor over the given machine and model.
     pub fn new(machine: Machine, model: SchedModel) -> Self {
+        let sel = match &model {
+            SchedModel::Fair => Some(ModelSel::Fair),
+            SchedModel::Coop { .. } => Some(ModelSel::Coop),
+            SchedModel::Partitioned { .. } => None,
+        };
         SimExecutor {
             machine,
             model,
+            sel,
             time_scale: 1.0,
             spin_slice: Duration::from_micros(200),
         }
@@ -79,6 +92,57 @@ impl SimExecutor {
     /// The SCHED_COOP simulator over the paper's full node.
     pub fn sched_coop() -> Self {
         SimExecutor::new(Machine::marenostrum5(), SchedModel::coop_default())
+    }
+
+    /// The bl-eq static-partitioning baseline over the paper's full node: the machine's
+    /// cores are split *equally* among the spec's processes (in spec order, contiguously,
+    /// so partitions respect socket boundaries where the split allows).
+    pub fn partitioned_eq(spec: &ScenarioSpec) -> Self {
+        SimExecutor::partitioned_eq_on(Machine::marenostrum5(), spec)
+    }
+
+    /// [`SimExecutor::partitioned_eq`] over an explicit machine (smoke/test scale).
+    pub fn partitioned_eq_on(machine: Machine, spec: &ScenarioSpec) -> Self {
+        SimExecutor::partitioned_on(machine, spec, ModelSel::BlEq)
+    }
+
+    /// The bl-opt static-partitioning baseline over the paper's full node: cores are split
+    /// proportionally to each process's total nominal work (`units × unit_work`) — the
+    /// demand-weighted "optimal" static split an oracle operator would pick.
+    pub fn partitioned_opt(spec: &ScenarioSpec) -> Self {
+        SimExecutor::partitioned_opt_on(Machine::marenostrum5(), spec)
+    }
+
+    /// [`SimExecutor::partitioned_opt`] over an explicit machine (smoke/test scale).
+    pub fn partitioned_opt_on(machine: Machine, spec: &ScenarioSpec) -> Self {
+        SimExecutor::partitioned_on(machine, spec, ModelSel::BlOpt)
+    }
+
+    fn partitioned_on(machine: Machine, spec: &ScenarioSpec, sel: ModelSel) -> Self {
+        let assignments = partition_assignments(&machine, &spec.plan(), sel == ModelSel::BlOpt);
+        let mut exec = SimExecutor::new(machine, SchedModel::Partitioned { assignments });
+        exec.sel = Some(sel);
+        exec
+    }
+
+    /// Resolve one [`ModelSel`] of a spec's model matrix into a concrete executor over the
+    /// given machine.
+    pub fn for_model(machine: Machine, sel: ModelSel, spec: &ScenarioSpec) -> Self {
+        match sel {
+            ModelSel::Fair => SimExecutor::new(machine, SchedModel::Fair),
+            ModelSel::Coop => SimExecutor::new(machine, SchedModel::coop_default()),
+            ModelSel::BlEq => SimExecutor::partitioned_eq_on(machine, spec),
+            ModelSel::BlOpt => SimExecutor::partitioned_opt_on(machine, spec),
+        }
+    }
+
+    /// Run the spec once per entry of its model matrix ([`ScenarioSpec::models`]),
+    /// returning the reports in matrix order — "one spec sweeps Fair/Coop/bl-eq/bl-opt".
+    pub fn sweep_models(machine: &Machine, spec: &ScenarioSpec) -> Vec<ScenarioReport> {
+        spec.models
+            .iter()
+            .map(|&sel| SimExecutor::for_model(machine.clone(), sel, spec).run_spec(spec))
+            .collect()
     }
 
     /// Override the time scale (builder style).
@@ -175,13 +239,36 @@ impl SimExecutor {
                 if let Some(post) = p.post_unit_sleep() {
                     prog = prog.sleep(self.sim_time(post));
                 }
-                prog
+                // Close the unit with a completion mark so the report carries *measured*
+                // per-unit latencies (the unit is complete once its last thread gets here).
+                prog.unit_mark(unit)
             })
             .build()
     }
 
     fn sim_time(&self, d: Duration) -> SimTime {
         SimTime::from_secs_f64(d.as_secs_f64() * self.time_scale)
+    }
+
+    /// Measured per-unit latencies of one process, in seconds: consecutive differences of
+    /// the unit-completion timestamps the engine recorded via `UnitMark` ops (unit 0 is
+    /// measured from the process's arrival). Falls back to the uniform per-unit share only
+    /// if the run produced no marks — which scenario lowering always emits, so the
+    /// fallback exists for robustness, not as a reporting path.
+    fn unit_latencies(&self, s: &SimProcShape, report: &SimReport, makespan_s: f64) -> Vec<f64> {
+        let completions = report.unit_completions_for(&s.thread_ids);
+        if completions.len() != s.units {
+            return vec![makespan_s / s.units.max(1) as f64; s.units];
+        }
+        let mut prev = self.sim_time(s.arrival);
+        completions
+            .into_iter()
+            .map(|(_, at)| {
+                let lat = at.saturating_sub(prev).as_secs_f64() / self.time_scale;
+                prev = prev.max(at);
+                lat
+            })
+            .collect()
     }
 
     /// Turn the simulator report into a scenario report.
@@ -208,10 +295,7 @@ impl SimExecutor {
                 let arrival = self.sim_time(s.arrival);
                 let makespan_s = completion.saturating_sub(arrival).as_secs_f64() / self.time_scale;
                 let makespan = Duration::from_secs_f64(makespan_s);
-                // The simulator paces units with barriers, so per-unit boundaries are
-                // uniform across the process: report the per-unit share (documented
-                // approximation; percentiles collapse onto the mean).
-                let unit_latencies_s = vec![makespan_s / s.units.max(1) as f64; s.units];
+                let unit_latencies_s = self.unit_latencies(s, report, makespan_s);
                 ProcessOutcome {
                     name: s.name.clone(),
                     arrival: s.arrival,
@@ -226,6 +310,7 @@ impl SimExecutor {
         ScenarioReport {
             scenario: plan.name.clone(),
             executor: self.label(),
+            model: self.sel,
             total_makespan: Duration::from_secs_f64(
                 report.makespan.as_secs_f64() / self.time_scale,
             ),
@@ -251,9 +336,68 @@ impl SimExecutor {
     }
 }
 
+/// Derive the `(process, cores)` map of a static-partitioning baseline from a plan:
+/// contiguous core ranges in process order, apportioned equally (`weighted = false`,
+/// bl-eq) or proportionally to each process's total nominal work — `units × unit_work`,
+/// already summed over the process's threads — (`weighted = true`, bl-opt), by largest
+/// remainder with every process guaranteed at least one core. Processes beyond the core
+/// count (a degenerate spec) are left unassigned and fall back to the scheduler's shared
+/// queue.
+fn partition_assignments(
+    machine: &Machine,
+    plan: &ScenarioPlan,
+    weighted: bool,
+) -> Vec<(ProcessId, Vec<usize>)> {
+    let n = plan.procs.len().min(machine.cores);
+    if n == 0 {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = plan.procs[..n]
+        .iter()
+        .map(|p| {
+            if weighted {
+                (p.units as f64 * p.unit_work.as_secs_f64()).max(1e-12)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    // Ideal share with a 1-core floor, then largest-remainder apportionment of the rest.
+    let spare = machine.cores - n;
+    let ideals: Vec<f64> = weights.iter().map(|w| spare as f64 * (w / total)).collect();
+    let mut counts: Vec<usize> = ideals.iter().map(|i| 1 + i.floor() as usize).collect();
+    let mut leftover = machine.cores - counts.iter().sum::<usize>();
+    let mut by_remainder: Vec<usize> = (0..n).collect();
+    by_remainder.sort_by(|&a, &b| {
+        let ra = ideals[a] - ideals[a].floor();
+        let rb = ideals[b] - ideals[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut k = 0;
+    while leftover > 0 {
+        counts[by_remainder[k % n]] += 1;
+        leftover -= 1;
+        k += 1;
+    }
+    let mut next_core = 0;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(pid, &count)| {
+            let cores: Vec<usize> = (next_core..next_core + count).collect();
+            next_core += count;
+            (pid, cores)
+        })
+        .collect()
+}
+
 impl Executor for SimExecutor {
     fn label(&self) -> String {
-        format!("sim-{}", self.model.label())
+        match self.sel {
+            Some(sel) => format!("sim-{}", sel.label()),
+            None => format!("sim-{}", self.model.label()),
+        }
     }
 
     fn run_spec(&self, spec: &ScenarioSpec) -> ScenarioReport {
@@ -372,6 +516,105 @@ mod tests {
             "makespan {:?} must cover {units} post-unit sleeps of {post:?}",
             r.processes[0].makespan
         );
+    }
+
+    #[test]
+    fn unit_latencies_are_measured_not_fabricated() {
+        // Two ramped MD co-runners: process 0's early units run with less interference
+        // than its late ones, so its measured per-unit latencies must NOT be uniform (the
+        // old placeholder divided the makespan evenly).
+        let spec = ramp(2, 8);
+        let r = small_sim(SchedModel::Fair).run_spec(&spec);
+        let p0 = &r.processes[0];
+        assert_eq!(p0.unit_latencies_s.len(), 3);
+        let total: f64 = p0.unit_latencies_s.iter().sum();
+        assert!(
+            (total - p0.makespan.as_secs_f64()).abs() <= 1e-6 + p0.makespan.as_secs_f64() * 1e-3,
+            "unit latencies ({total}) must telescope to the makespan ({})",
+            p0.makespan.as_secs_f64()
+        );
+        let min = p0
+            .unit_latencies_s
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = p0.unit_latencies_s.iter().copied().fold(0.0, f64::max);
+        assert!(
+            max > min * 1.01,
+            "ramped co-run latencies must be non-uniform: {:?}",
+            p0.unit_latencies_s
+        );
+    }
+
+    #[test]
+    fn partitioned_constructors_cover_the_machine() {
+        let spec = ramp(3, 4);
+        let eq = small_sim(SchedModel::Fair); // for the machine shape only
+        let exec = SimExecutor::partitioned_eq_on(eq.machine.clone(), &spec);
+        assert_eq!(exec.label(), "sim-bl-eq");
+        let SchedModel::Partitioned { assignments } = &exec.model else {
+            panic!("bl-eq must build a partitioned model");
+        };
+        assert_eq!(assignments.len(), 3);
+        let mut all_cores: Vec<usize> = assignments.iter().flat_map(|(_, c)| c.clone()).collect();
+        all_cores.sort_unstable();
+        assert_eq!(
+            all_cores,
+            (0..8).collect::<Vec<_>>(),
+            "cores partition the machine"
+        );
+        // Equal split of 8 cores over 3 processes: 3/3/2 in some order.
+        let mut sizes: Vec<usize> = assignments.iter().map(|(_, c)| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3, 3]);
+
+        // bl-opt weights by units × unit_work: give one process 3× the work.
+        let heavy = ScenarioSpec::new("opt", 8)
+            .process(
+                ProcSpec::new("heavy", WorkloadKind::SpinSleep)
+                    .size(ProblemSize::Custom {
+                        unit_work_us: 3_000,
+                    })
+                    .threads(4)
+                    .units(4),
+            )
+            .process(
+                ProcSpec::new("light", WorkloadKind::SpinSleep)
+                    .size(ProblemSize::Custom {
+                        unit_work_us: 1_000,
+                    })
+                    .threads(4)
+                    .units(4),
+            );
+        let exec = SimExecutor::partitioned_opt_on(exec.machine.clone(), &heavy);
+        assert_eq!(exec.label(), "sim-bl-opt");
+        let SchedModel::Partitioned { assignments } = &exec.model else {
+            panic!("bl-opt must build a partitioned model");
+        };
+        let sizes: Vec<usize> = assignments.iter().map(|(_, c)| c.len()).collect();
+        assert_eq!(
+            sizes,
+            vec![6, 2],
+            "demand-weighted split favours the heavy process"
+        );
+    }
+
+    #[test]
+    fn model_matrix_sweeps_one_spec_across_all_models() {
+        let spec = ramp(2, 8).models(crate::spec::ModelSel::ALL.to_vec());
+        let mut m = Machine::small(8);
+        m.sockets = 2;
+        let reports = SimExecutor::sweep_models(&m, &spec);
+        assert_eq!(reports.len(), 4);
+        let labels: Vec<&str> = reports.iter().map(|r| r.model.unwrap().label()).collect();
+        assert_eq!(labels, vec!["linux-fair", "sched_coop", "bl-eq", "bl-opt"]);
+        for r in &reports {
+            assert_eq!(r.processes.len(), 2, "{}", r.executor);
+            for p in &r.processes {
+                assert_eq!(p.unit_latencies_s.len(), 3);
+                assert!(p.makespan > Duration::ZERO);
+            }
+        }
     }
 
     #[test]

@@ -102,6 +102,47 @@ impl ProblemSize {
     }
 }
 
+/// Which simulator scheduling model a scenario runs under — the full comparison matrix of
+/// the paper's figures: the preemptive Linux baseline, SCHED_COOP, and the two static
+/// core-partitioning baselines (equal split vs demand-weighted split).
+///
+/// A [`ScenarioSpec`] carries the list of models it should be swept over
+/// ([`ScenarioSpec::models`]); [`crate::SimExecutor::sweep_models`] resolves each selector
+/// into a concrete executor so *one spec* produces the whole Fair/Coop/bl-eq/bl-opt
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSel {
+    /// Preemptive weighted-fair scheduling (the Linux baseline).
+    Fair,
+    /// The paper's SCHED_COOP cooperative policy (default quantum).
+    Coop,
+    /// Static partitioning, cores split *equally* among the spec's processes (bl-eq).
+    BlEq,
+    /// Static partitioning, cores split proportionally to each process's total nominal
+    /// work — `units × unit_work` (bl-opt).
+    BlOpt,
+}
+
+impl ModelSel {
+    /// The full model matrix, in display order.
+    pub const ALL: [ModelSel; 4] = [
+        ModelSel::Fair,
+        ModelSel::Coop,
+        ModelSel::BlEq,
+        ModelSel::BlOpt,
+    ];
+
+    /// Label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelSel::Fair => "linux-fair",
+            ModelSel::Coop => "sched_coop",
+            ModelSel::BlEq => "bl-eq",
+            ModelSel::BlOpt => "bl-opt",
+        }
+    }
+}
+
 /// When a process of a scenario starts relative to scenario start.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Arrival {
@@ -201,6 +242,9 @@ pub struct ScenarioSpec {
     pub cores: usize,
     /// The co-running processes.
     pub procs: Vec<ProcSpec>,
+    /// The simulator scheduling models this scenario should be swept over (defaults to
+    /// Fair + Coop, the fig6 comparison; set [`ModelSel::ALL`] for the full matrix).
+    pub models: Vec<ModelSel>,
 }
 
 impl ScenarioSpec {
@@ -210,12 +254,19 @@ impl ScenarioSpec {
             name: name.into(),
             cores: cores.max(1),
             procs: Vec::new(),
+            models: vec![ModelSel::Fair, ModelSel::Coop],
         }
     }
 
     /// Add a process.
     pub fn process(mut self, proc_spec: ProcSpec) -> Self {
         self.procs.push(proc_spec);
+        self
+    }
+
+    /// Set the simulator model matrix the spec sweeps (builder style).
+    pub fn models(mut self, models: impl Into<Vec<ModelSel>>) -> Self {
+        self.models = models.into();
         self
     }
 
@@ -235,6 +286,7 @@ impl ScenarioSpec {
             name: format!("{}-solo-{}", self.name, p.name),
             cores: self.cores,
             procs: vec![p],
+            models: self.models.clone(),
         }
     }
 }
@@ -284,6 +336,18 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             WorkloadKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), WorkloadKind::ALL.len());
+        let models: std::collections::HashSet<_> =
+            ModelSel::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(models.len(), ModelSel::ALL.len());
+    }
+
+    #[test]
+    fn model_matrix_defaults_and_propagates_to_solo() {
+        let spec = ScenarioSpec::new("m", 2).process(ProcSpec::new("a", WorkloadKind::SpinSleep));
+        assert_eq!(spec.models, vec![ModelSel::Fair, ModelSel::Coop]);
+        let full = spec.models(ModelSel::ALL.to_vec());
+        assert_eq!(full.models.len(), 4);
+        assert_eq!(full.solo_of(0).models, full.models);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Coverage of the canned scenario library: every entry (old and new) lowers, runs on the
+//! simulator at smoke scale under the full model matrix, and its report satisfies the
+//! invariants the figures depend on — Jain fairness in (0, 1], slowdown ≥ 1 − ε, and a
+//! non-empty unit-latency percentile bundle per process.
+
+use std::time::Duration;
+use usf_scenarios::{library, Executor, ModelSel, ProblemSize, ScenarioSpec, SimExecutor};
+use usf_simsched::Machine;
+
+fn smoke_machine() -> Machine {
+    let mut m = Machine::small(8);
+    m.sockets = 2;
+    m
+}
+
+fn entries() -> Vec<ScenarioSpec> {
+    library::all(8, ProblemSize::Tiny)
+}
+
+/// Every entry lowers into the simulator with the plan's structure intact.
+#[test]
+fn every_entry_lowers() {
+    for spec in entries() {
+        let plan = spec.plan();
+        let lowered = SimExecutor::for_model(smoke_machine(), ModelSel::Coop, &spec).lower(&spec);
+        assert_eq!(lowered.shapes.len(), plan.procs.len(), "{}", spec.name);
+        for (shape, p) in lowered.shapes.iter().zip(&plan.procs) {
+            assert_eq!(shape.threads, p.threads * lowered.scale, "{}", spec.name);
+            assert_eq!(shape.units, p.units, "{}", spec.name);
+        }
+    }
+}
+
+/// Every entry runs to completion under every model of the matrix and produces a report
+/// satisfying the invariants.
+#[test]
+fn every_entry_runs_under_the_full_model_matrix() {
+    for spec in entries() {
+        let spec = spec.models(ModelSel::ALL.to_vec());
+        let reports = SimExecutor::sweep_models(&smoke_machine(), &spec);
+        assert_eq!(reports.len(), ModelSel::ALL.len(), "{}", spec.name);
+        for r in &reports {
+            let tag = format!("{} under {}", r.scenario, r.executor);
+            assert_eq!(r.processes.len(), spec.procs.len(), "{tag}");
+            let jain = r.jain_fairness();
+            assert!(
+                jain > 0.0 && jain <= 1.0 + 1e-9,
+                "Jain must be in (0,1]: {jain} ({tag})"
+            );
+            for (p, ps) in r.processes.iter().zip(&spec.procs) {
+                assert!(p.makespan > Duration::ZERO, "{tag}/{}", p.name);
+                let s = p.unit_summary();
+                assert_eq!(
+                    s.count, ps.units,
+                    "percentile bundle non-empty ({tag}/{})",
+                    p.name
+                );
+                assert!(s.p50 > 0.0 && s.p99 >= s.p50, "{tag}/{}: {s:?}", p.name);
+            }
+        }
+    }
+}
+
+/// Slowdown vs the solo baseline is ≥ 1 − ε for every process of every entry: co-running
+/// can cost nothing, but it cannot (beyond scheduling noise) make a process faster than
+/// having the node to itself.
+#[test]
+fn slowdowns_are_at_least_one_under_fair_and_coop() {
+    const EPS: f64 = 0.05;
+    for spec in entries() {
+        for sel in [ModelSel::Fair, ModelSel::Coop] {
+            let exec = SimExecutor::for_model(smoke_machine(), sel, &spec);
+            let r = exec.run_with_solo_baselines(&spec);
+            for p in &r.processes {
+                let s = p
+                    .slowdown_vs_solo
+                    .unwrap_or_else(|| panic!("{}/{}: no baseline", r.executor, p.name));
+                assert!(
+                    s >= 1.0 - EPS,
+                    "{} under {}: process {} sped up past solo ({s})",
+                    r.scenario,
+                    r.executor,
+                    p.name
+                );
+            }
+        }
+    }
+}

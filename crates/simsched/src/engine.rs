@@ -12,7 +12,7 @@ use crate::program::{BarrierId, BarrierWaitKind, EventId, LockId, Op, ProgramRef
 use crate::sched::{ReadyThread, SchedModel, SimPolicy};
 use crate::thread::{BlockReason, ProcessDesc, ProcessId, SimThread, ThreadId, ThreadRunState};
 use crate::time::SimTime;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// Full report of a simulation run (re-exported as the crate-level `SimReport`).
 pub type SimReport = SimReportData;
@@ -87,6 +87,8 @@ pub struct Engine {
     on_core_since: Vec<SimTime>,
     spinning: Vec<bool>,
     spin_kind: Vec<Option<BarrierWaitKind>>,
+    unit_marks: Vec<Vec<(usize, SimTime)>>,
+    cores_used: Vec<BTreeSet<usize>>,
 
     // Cores.
     cores: Vec<Option<ThreadId>>,
@@ -131,6 +133,8 @@ impl Engine {
             on_core_since: Vec::new(),
             spinning: Vec::new(),
             spin_kind: Vec::new(),
+            unit_marks: Vec::new(),
+            cores_used: Vec::new(),
             cores: vec![None; cores],
             core_idle_since: vec![SimTime::ZERO; cores],
             core_last_thread: vec![None; cores],
@@ -187,6 +191,8 @@ impl Engine {
         self.on_core_since.push(SimTime::ZERO);
         self.spinning.push(false);
         self.spin_kind.push(None);
+        self.unit_marks.push(Vec::new());
+        self.cores_used.push(BTreeSet::new());
         self.push_event(arrival, EventKind::Arrival(id));
         id
     }
@@ -500,6 +506,7 @@ impl Engine {
         }
         self.pending_overhead[tid] += overhead;
         // Mount the thread.
+        self.cores_used[tid].insert(core);
         self.cores[core] = Some(tid);
         self.core_last_thread[core] = Some(tid);
         self.threads[tid].state = ThreadRunState::Running(core);
@@ -725,6 +732,10 @@ impl Engine {
                         return;
                     }
                 }
+                Op::UnitMark(unit) => {
+                    self.threads[tid].pc += 1;
+                    self.unit_marks[tid].push((unit, self.now));
+                }
             }
         }
     }
@@ -941,6 +952,14 @@ impl Engine {
         for t in &self.threads {
             report.thread_stats.insert(t.id, t.stats);
             report.thread_times.insert(t.id, (t.arrival, t.finish));
+            if !self.unit_marks[t.id].is_empty() {
+                report
+                    .unit_marks
+                    .insert(t.id, std::mem::take(&mut self.unit_marks[t.id]));
+            }
+            report
+                .thread_cores
+                .insert(t.id, std::mem::take(&mut self.cores_used[t.id]));
             if let Some(f) = t.finish {
                 let entry = report
                     .process_completion
@@ -1274,6 +1293,34 @@ mod tests {
         assert!(r.process_completion[&pb] > r.process_completion[&pa]);
         let mean = r.mean_turnaround(|_| true).unwrap();
         assert!(mean >= SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn unit_marks_stamp_virtual_time_without_cost() {
+        let mut e = coop_engine(1);
+        let p = e.add_process("p", 1.0);
+        let prog = Program::new("m")
+            .compute(SimTime::from_millis(3))
+            .unit_mark(0)
+            .compute(SimTime::from_millis(5))
+            .unit_mark(1)
+            .build();
+        e.add_thread(p, prog);
+        let r = e.run();
+        assert!(!r.deadlocked);
+        let marks = &r.unit_marks[&0];
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].0, 0);
+        assert_eq!(marks[1].0, 1);
+        // Marks land at the compute boundaries (plus the context-switch overhead) and the
+        // second is ~5ms after the first — the mark itself costs nothing.
+        assert!(marks[0].1 >= SimTime::from_millis(3));
+        assert!(marks[0].1 < SimTime::from_millis(4));
+        let delta = marks[1].1.saturating_sub(marks[0].1);
+        assert_eq!(delta, SimTime::from_millis(5));
+        assert_eq!(marks[1].1, r.makespan);
+        // The placement trace records the single core.
+        assert_eq!(r.thread_cores[&0].iter().copied().collect::<Vec<_>>(), [0]);
     }
 
     #[test]

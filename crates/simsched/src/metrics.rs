@@ -2,7 +2,7 @@
 
 use crate::thread::{ProcessId, ThreadId, ThreadStats};
 use crate::time::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregate counters of one simulation run.
 #[derive(Debug, Clone, Default)]
@@ -62,6 +62,13 @@ pub struct SimReportData {
     pub thread_times: BTreeMap<ThreadId, (SimTime, Option<SimTime>)>,
     /// Per-process completion time of the last thread of that process.
     pub process_completion: BTreeMap<ProcessId, SimTime>,
+    /// Per-thread `(unit, completion time)` marks recorded by
+    /// [`crate::program::Op::UnitMark`], in program order. Threads whose program contains
+    /// no marks are absent.
+    pub unit_marks: BTreeMap<ThreadId, Vec<(usize, SimTime)>>,
+    /// The set of cores each thread was dispatched on over the run (the placement trace
+    /// the partitioned-model property tests assert containment on).
+    pub thread_cores: BTreeMap<ThreadId, BTreeSet<usize>>,
     /// Bandwidth consumption trace (one sample per change).
     pub bw_trace: Vec<BwSample>,
     /// Whether the run ended in deadlock (unfinished threads but no runnable work). The
@@ -108,6 +115,21 @@ impl SimReportData {
     pub fn peak_bandwidth(&self) -> f64 {
         self.bw_trace.iter().map(|s| s.gbps).fold(0.0, f64::max)
     }
+
+    /// Completion time of each unit across the given threads (typically one process's
+    /// parallel region): for every unit index marked by any of the threads, the *latest*
+    /// mark — a unit of a region is complete when its last thread passes the mark.
+    /// Returned sorted by unit index.
+    pub fn unit_completions_for(&self, threads: &[ThreadId]) -> Vec<(usize, SimTime)> {
+        let mut latest: BTreeMap<usize, SimTime> = BTreeMap::new();
+        for tid in threads {
+            for (unit, at) in self.unit_marks.get(tid).map_or(&[][..], |m| &m[..]) {
+                let entry = latest.entry(*unit).or_insert(SimTime::ZERO);
+                *entry = (*entry).max(*at);
+            }
+        }
+        latest.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +161,30 @@ mod tests {
         let only2 = r.mean_turnaround(|id| id == 2).unwrap();
         assert_eq!(only2, SimTime::from_secs(1));
         assert!(r.mean_turnaround(|id| id == 99).is_none());
+    }
+
+    #[test]
+    fn unit_completions_take_the_latest_mark_per_unit() {
+        let mut r = SimReportData::default();
+        r.unit_marks.insert(
+            1,
+            vec![(0, SimTime::from_millis(2)), (1, SimTime::from_millis(9))],
+        );
+        r.unit_marks.insert(
+            2,
+            vec![(0, SimTime::from_millis(5)), (1, SimTime::from_millis(7))],
+        );
+        let c = r.unit_completions_for(&[1, 2]);
+        assert_eq!(
+            c,
+            vec![(0, SimTime::from_millis(5)), (1, SimTime::from_millis(9))]
+        );
+        // A thread subset only sees its own marks; unknown threads contribute nothing.
+        assert_eq!(
+            r.unit_completions_for(&[2, 99]),
+            vec![(0, SimTime::from_millis(5)), (1, SimTime::from_millis(7))]
+        );
+        assert!(r.unit_completions_for(&[]).is_empty());
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub enum Op {
     },
     /// Block until every child spawned so far by this thread has finished.
     JoinChildren,
+    /// Record that this thread completed the given unit of its workload: the engine stamps
+    /// the current virtual time into the report's per-thread unit-mark trace. Costs no
+    /// time — it is pure instrumentation, which is how scenario lowering extracts
+    /// *measured* per-unit latencies instead of dividing the makespan uniformly.
+    UnitMark(usize),
 }
 
 /// A shareable, immutable thread program.
@@ -190,6 +195,11 @@ impl Program {
         self.op(Op::JoinChildren)
     }
 
+    /// Append a unit-completion mark (pure instrumentation, costs no simulated time).
+    pub fn unit_mark(self, unit: usize) -> Self {
+        self.op(Op::UnitMark(unit))
+    }
+
     /// Append `body`'s operations `n` times.
     pub fn repeat(mut self, n: usize, body: &Program) -> Self {
         for _ in 0..n {
@@ -270,6 +280,18 @@ mod tests {
         // Zero units is a no-op.
         let empty = Program::new("none").extend_with(0, |p, _| p.yield_now());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn unit_mark_is_instrumentation_only() {
+        let p = Program::new("m").extend_with(2, |p, unit| {
+            p.compute(SimTime::from_micros(5)).unit_mark(unit)
+        });
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.ops()[1], Op::UnitMark(0)));
+        assert!(matches!(p.ops()[3], Op::UnitMark(1)));
+        // Marks add no nominal work.
+        assert_eq!(p.nominal_compute(), SimTime::from_micros(10));
     }
 
     #[test]

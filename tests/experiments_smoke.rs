@@ -1,6 +1,6 @@
 //! Integration smoke tests of the experiment harness: every paper experiment (Figure 3,
-//! Table 2, Figure 4, Figure 5) can be regenerated at reduced scale, and the headline
-//! qualitative results hold.
+//! Table 2, Figure 4, Figure 5, and the repo's own scenario-engine figures 6/7) can be
+//! regenerated at reduced scale, and the headline qualitative results hold.
 
 use usf::simsched::{Machine, SimTime};
 use usf::workloads::md::{run_md_scenario, MdConfig, MdScenario};
@@ -225,4 +225,62 @@ fn fig6_shape_holds() {
         coop <= os * 1.001,
         "SCHED_COOP slowdown ({coop:.3}) must not exceed the OS baseline ({os:.3})"
     );
+}
+
+/// Figure 7 (scheduler-model matrix): one canned ≥2×-oversubscribed spec swept over
+/// Fair/Coop/bl-eq/bl-opt — SCHED_COOP's mean slowdown must not exceed the equal static
+/// partition's, because an idle partition core cannot be donated to the other process.
+#[test]
+fn fig7_shape_holds() {
+    use std::time::Duration;
+    use usf::scenarios::spec::ProblemSize;
+    use usf::scenarios::{library, Executor, ModelSel, SimExecutor};
+    use usf::simsched::SchedModel;
+
+    let mut machine = usf::simsched::Machine::small(16);
+    machine.sockets = 2;
+    let size = ProblemSize::Custom {
+        unit_work_us: 10_000 * 16,
+    };
+    let spec = library::oversub_ramp(16, 2, size).models(ModelSel::ALL.to_vec());
+    assert!(spec.oversubscription() >= 2.0);
+
+    // Solo baseline under fair scheduling on the whole node (the paper's denominator).
+    let solo = SimExecutor::new(machine.clone(), SchedModel::Fair).run_spec(&spec.solo_of(0));
+    let solo_makespan: Vec<Option<Duration>> =
+        vec![solo.processes.first().map(|p| p.makespan); spec.procs.len()];
+
+    let mut reports = SimExecutor::sweep_models(&machine, &spec);
+    for r in &mut reports {
+        r.apply_solo_baseline(&solo_makespan);
+    }
+    let mean = |sel: ModelSel| {
+        reports
+            .iter()
+            .find(|r| r.model == Some(sel))
+            .and_then(|r| r.mean_slowdown())
+            .expect("baseline applied")
+    };
+    let (coop, bleq, blopt, fair) = (
+        mean(ModelSel::Coop),
+        mean(ModelSel::BlEq),
+        mean(ModelSel::BlOpt),
+        mean(ModelSel::Fair),
+    );
+    eprintln!("fig7: mean slowdown at 2x — fair {fair:.3}, coop {coop:.3}, bl-eq {bleq:.3}, bl-opt {blopt:.3}");
+    assert!(
+        bleq > 1.0 && blopt > 1.0,
+        "partitioned co-runs must cost something ({bleq:.3}/{blopt:.3})"
+    );
+    assert!(
+        coop <= bleq * 1.001,
+        "SCHED_COOP ({coop:.3}) must not lose to equal partitioning ({bleq:.3})"
+    );
+    // The matrix reports measured per-unit latencies everywhere (non-degenerate bundles).
+    for r in &reports {
+        for p in &r.processes {
+            let s = p.unit_summary();
+            assert!(s.count > 0 && s.p99 > 0.0, "{}: {s:?}", r.executor);
+        }
+    }
 }
