@@ -132,8 +132,7 @@ fn main() {
     let (machine, cores, factors, per_thread_ms): (Machine, usize, Vec<usize>, u64) = if full {
         (Machine::marenostrum5(), 112, vec![1, 2, 4, 8], 10)
     } else {
-        let mut m = Machine::small(16);
-        m.sockets = 2;
+        let m = Machine::small_numa(16, 2);
         (m, 16, if smoke { vec![1, 2] } else { vec![1, 2, 4] }, 10)
     };
     let size = ProblemSize::Custom {
@@ -241,7 +240,7 @@ fn main() {
                 "quick"
             },
         )
-        .field("sim_cores", machine.cores)
+        .field("sim_cores", machine.cores())
         .field("spec_cores", cores)
         .field("per_thread_unit_ms", per_thread_ms)
         .field(

@@ -164,9 +164,7 @@ fn main() {
     let (machine, cores, per_thread_ms): (Machine, usize, u64) = if full {
         (Machine::marenostrum5(), 112, 10)
     } else {
-        let mut m = Machine::small(16);
-        m.sockets = 2;
-        (m, 16, 10)
+        (Machine::small_numa(16, 2), 16, 10)
     };
     let size = ProblemSize::Custom {
         unit_work_us: per_thread_ms * 1_000 * cores as u64,
@@ -255,7 +253,7 @@ fn main() {
                 "quick"
             },
         )
-        .field("sim_cores", machine.cores)
+        .field("sim_cores", machine.cores())
         .field("spec_cores", cores)
         .field("per_thread_unit_ms", per_thread_ms)
         .field(

@@ -1,0 +1,270 @@
+//! Figure 8 (repo experiment): the §5.6 socket-placement variants on the two-socket node.
+//!
+//! The paper's §5.6 argues that SCHED_COOP's affinity → same-NUMA-node → anywhere rule
+//! matters most when co-run processes are *deliberately placed*. This binary reproduces
+//! the socket-placement variants as data: one canned spec (the HPC pair — matmul +
+//! Cholesky, each demanding the whole node) is swept over placement × {Fair, Coop} on the
+//! two-socket machine:
+//!
+//! * `anywhere`  — no restriction (the scheduler's default rule decides);
+//! * `pinned`    — one process per socket (`Node(0)` / `Node(1)`);
+//! * `spread`    — the `Placement::Spread` lowering (round-robin over sockets);
+//! * `colocated` — both processes on socket 0 (the deliberate same-socket contention
+//!   variant; socket 1 idles under the pin).
+//!
+//! Placement lowers once in the plan ([`usf_scenarios::ScenarioPlan::placement_masks`])
+//! and is enforced by the simulator models, so the reported cross-socket migration counts
+//! are *measured* counters, not inferences from latency. Expected shape: node-pinned
+//! variants record exactly **zero** cross-socket migrations, and pinning the pair per
+//! socket keeps SCHED_COOP's p99 unit latency at or below the anywhere variant (no
+//! cross-process quantum stalls, no remote placements). `--smoke` asserts both and is
+//! wired into CI; every mode writes `BENCH_numa.json`.
+//!
+//! Usage: `cargo run -p usf-bench --release --bin fig8_numa [--quick|--full|--smoke]`
+
+use usf_bench::cli::{self, FlagSpec};
+use usf_bench::json::{JsonObject, JsonValue};
+use usf_bench::scenario_json::report_json;
+use usf_bench::Scale;
+use usf_scenarios::{
+    library, Executor, ModelSel, Placement, ProblemSize, ScenarioReport, ScenarioSpec, SimExecutor,
+};
+use usf_simsched::Machine;
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--quick",
+        value_name: None,
+        help: "reduced sweep: 16 simulated cores, 2 sockets (default)",
+    },
+    FlagSpec {
+        name: "--full",
+        value_name: None,
+        help: "paper-scale sweep: 112 simulated cores, 2 sockets",
+    },
+    FlagSpec {
+        name: "--smoke",
+        value_name: None,
+        help: "CI mode: assert zero cross-socket migrations when node-pinned and \
+               pinned-Coop p99 <= anywhere-Coop p99 for the hpc_pair",
+    },
+    FlagSpec {
+        name: "--json",
+        value_name: Some("PATH"),
+        help: "output file (default BENCH_numa.json)",
+    },
+];
+
+/// The placement variants of §5.6, as data.
+fn variants() -> Vec<(&'static str, Vec<Placement>)> {
+    vec![
+        ("anywhere", vec![Placement::Anywhere]),
+        ("pinned", vec![Placement::Node(0), Placement::Node(1)]),
+        ("spread", vec![Placement::Spread]),
+        ("colocated", vec![Placement::Node(0)]),
+    ]
+}
+
+/// One (variant, model) cell of the sweep.
+struct Cell {
+    variant: &'static str,
+    model: ModelSel,
+    report: ScenarioReport,
+}
+
+impl Cell {
+    /// Worst per-process p99 unit latency, seconds.
+    fn p99(&self) -> f64 {
+        self.report
+            .processes
+            .iter()
+            .map(|p| p.unit_summary().p99)
+            .fold(0.0, f64::max)
+    }
+
+    fn cross_socket(&self) -> u64 {
+        self.report
+            .total_cross_socket_migrations()
+            .expect("the simulator measures migrations")
+    }
+
+    fn migrations(&self) -> u64 {
+        self.report
+            .processes
+            .iter()
+            .map(|p| p.migrations.unwrap_or(0))
+            .sum()
+    }
+}
+
+fn sweep(machine: &Machine, base: &ScenarioSpec) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (variant, placements) in variants() {
+        let spec = base.clone().with_placements(&placements);
+        for model in [ModelSel::Fair, ModelSel::Coop] {
+            let report = SimExecutor::for_model(machine.clone(), model, &spec).run_spec(&spec);
+            cells.push(Cell {
+                variant,
+                model,
+                report,
+            });
+        }
+    }
+    cells
+}
+
+fn find<'a>(cells: &'a [Cell], variant: &str, model: ModelSel) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.variant == variant && c.model == model)
+        .unwrap_or_else(|| panic!("missing cell {variant}/{}", model.label()))
+}
+
+/// Variants whose lowered masks confine every process to one socket — these must record
+/// exactly zero cross-socket migrations (the measured-counter regression gate).
+const NODE_CONFINED: [&str; 3] = ["pinned", "spread", "colocated"];
+
+fn main() {
+    let args = cli::parse_or_exit(
+        "fig8_numa",
+        "Figure 8: the socket-placement variants of §5.6 (placement x {Fair, Coop}).",
+        FLAGS,
+    );
+    let smoke = args.has("--smoke");
+    let full = args.scale() == Scale::Full && !smoke;
+    let json_path = args.get("--json").unwrap_or("BENCH_numa.json").to_string();
+
+    // The same geometry as fig6/fig7: paper-scale two-socket node in --full, the
+    // 16-core 2-socket miniature otherwise; 10 ms of work per unit per thread. Unlike
+    // fig6/fig7, the §5.6 pair is *memory-bound*: the machine's NUMA-locality model is
+    // switched on (threads computing off their process's first-touch node run 30%
+    // slower — remote DRAM), which is exactly what deliberate socket placement controls.
+    let (mut machine, cores, per_thread_ms): (Machine, usize, u64) = if full {
+        (Machine::marenostrum5(), 112, 10)
+    } else {
+        (Machine::small_numa(16, 2), 16, 10)
+    };
+    machine.remote_numa_penalty = 1.3;
+    let size = ProblemSize::Custom {
+        unit_work_us: per_thread_ms * 1_000 * cores as u64,
+    };
+    let base = library::hpc_pair(cores, size);
+
+    usf_bench::header("fig8_numa — §5.6 socket-placement variants (placement x model)");
+    usf_bench::machine_line(&machine);
+    println!(
+        "scenario '{}' ({:.1}x oversubscribed), variants {:?}, {per_thread_ms} ms/unit/thread",
+        base.name,
+        base.oversubscription(),
+        variants().iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+    );
+
+    let cells = sweep(&machine, &base);
+
+    println!();
+    println!(
+        "  {:<10} {:<12} {:>11} {:>11} {:>12} {:>14}",
+        "variant", "model", "makespan", "p99-unit", "migrations", "cross-socket"
+    );
+    for c in &cells {
+        println!(
+            "  {:<10} {:<12} {:>10.3}s {:>10.4}s {:>12} {:>14}",
+            c.variant,
+            c.model.label(),
+            c.report.total_makespan.as_secs_f64(),
+            c.p99(),
+            c.migrations(),
+            c.cross_socket(),
+        );
+    }
+
+    // Shape checks (reported in every mode, asserted in --smoke).
+    let mut pinned_zero_cross = true;
+    for variant in NODE_CONFINED {
+        for model in [ModelSel::Fair, ModelSel::Coop] {
+            let c = find(&cells, variant, model);
+            if c.cross_socket() != 0 {
+                pinned_zero_cross = false;
+                eprintln!(
+                    "shape violation: {variant}/{} recorded {} cross-socket migrations",
+                    model.label(),
+                    c.cross_socket()
+                );
+            }
+        }
+    }
+    let pinned_coop = find(&cells, "pinned", ModelSel::Coop);
+    let anywhere_coop = find(&cells, "anywhere", ModelSel::Coop);
+    let pinned_beats_anywhere = pinned_coop.p99() <= anywhere_coop.p99() * 1.001;
+    println!();
+    println!(
+        "node-pinned co-runs record 0 cross-socket migrations: {}",
+        if pinned_zero_cross { "yes" } else { "NO" }
+    );
+    println!(
+        "pinned-Coop p99 ({:.4}s) <= anywhere-Coop p99 ({:.4}s): {}",
+        pinned_coop.p99(),
+        anywhere_coop.p99(),
+        if pinned_beats_anywhere { "yes" } else { "NO" }
+    );
+
+    let cells_json: Vec<JsonValue> = cells
+        .iter()
+        .map(|c| {
+            JsonValue::from(
+                JsonObject::new()
+                    .field("variant", c.variant)
+                    .field("model", c.model.label())
+                    .num("p99_unit_s", c.p99(), 6)
+                    .field("migrations", c.migrations())
+                    .field("cross_socket_migrations", c.cross_socket())
+                    .field("report", report_json(&c.report)),
+            )
+        })
+        .collect();
+    JsonObject::new()
+        .field("benchmark", "fig8_numa")
+        .field(
+            "mode",
+            if full {
+                "full"
+            } else if smoke {
+                "smoke"
+            } else {
+                "quick"
+            },
+        )
+        .field("sim_cores", machine.cores())
+        .field("sockets", machine.sockets())
+        .field("spec_cores", cores)
+        .field("per_thread_unit_ms", per_thread_ms)
+        .field("scenario", base.name.as_str())
+        .field("pinned_zero_cross_socket", pinned_zero_cross)
+        .field("pinned_coop_p99_le_anywhere", pinned_beats_anywhere)
+        .field("cells", cells_json)
+        .write_file(&json_path);
+
+    if smoke {
+        assert!(
+            pinned_zero_cross,
+            "regression: a node-pinned co-run migrated across sockets (measured counter)"
+        );
+        assert!(
+            pinned_beats_anywhere,
+            "regression: pinned-Coop p99 ({:.4}s) exceeded anywhere-Coop p99 ({:.4}s) \
+             for the hpc_pair",
+            pinned_coop.p99(),
+            anywhere_coop.p99(),
+        );
+        // The anywhere variants must actually exercise the migration machinery, or the
+        // zero-cross-socket gate above would pass vacuously.
+        let anywhere_migrates = [ModelSel::Fair, ModelSel::Coop]
+            .iter()
+            .any(|&m| find(&cells, "anywhere", m).migrations() > 0);
+        assert!(
+            anywhere_migrates,
+            "the anywhere variant never migrated — the counter gate is vacuous"
+        );
+        println!("smoke: OK (0 cross-socket when pinned; pinned-Coop p99 <= anywhere-Coop)");
+    }
+}

@@ -206,7 +206,10 @@ pub fn header(title: &str) {
 pub fn machine_line(machine: &usf_simsched::Machine) {
     println!(
         "simulated machine: {} cores / {} sockets, {:.0} GB/s memory bandwidth, quantum {}",
-        machine.cores, machine.sockets, machine.memory_bw_gbps, machine.preemption_quantum
+        machine.cores(),
+        machine.sockets(),
+        machine.memory_bw_gbps,
+        machine.preemption_quantum
     );
 }
 

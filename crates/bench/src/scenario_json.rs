@@ -27,6 +27,11 @@ pub fn report_json(r: &ScenarioReport) -> JsonObject {
                     .opt(
                         "slowdown_vs_solo",
                         p.slowdown_vs_solo.map(|v| JsonValue::num(v, 3)),
+                    )
+                    .opt("migrations", p.migrations.map(JsonValue::from))
+                    .opt(
+                        "cross_socket_migrations",
+                        p.cross_socket_migrations.map(JsonValue::from),
                     ),
             )
         })
@@ -75,6 +80,8 @@ mod tests {
                 makespan: Duration::from_millis(10),
                 unit_latencies_s: vec![0.004, 0.006],
                 slowdown_vs_solo: Some(1.5),
+                migrations: Some(3),
+                cross_socket_migrations: Some(1),
             }],
             sched: Some(SchedDelta {
                 scheduler: "partitioned".into(),

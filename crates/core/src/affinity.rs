@@ -118,7 +118,29 @@ fn hint_table() -> &'static Mutex<HashMap<HintKey, CpuSet>> {
 
 /// Record an affinity request for the current thread. The scheduler ignores it (it is a
 /// *hint*); queries echo it back. Returns the previously stored hint, if any.
+///
+/// When the calling thread is attached to an instance, the mask is validated against the
+/// instance topology first: cores at or beyond the core count are dropped (with a debug
+/// log), so a query never echoes back cores that cannot exist — previously such dead
+/// hints round-tripped silently. Unattached threads have no topology to validate against
+/// and store the mask verbatim.
 pub fn set_affinity_hint(set: CpuSet) -> Option<CpuSet> {
+    let set = match current() {
+        Some(ctx) => {
+            let cores = ctx.nosv.scheduler().topology().num_cores();
+            let clamped: CpuSet = set.iter().filter(|&c| c < cores).collect();
+            if clamped != set && cfg!(debug_assertions) {
+                eprintln!(
+                    "usf: affinity hint clamped to the {cores}-core instance topology \
+                     ({} of {} requested cores kept)",
+                    clamped.count(),
+                    set.count()
+                );
+            }
+            clamped
+        }
+        None => set,
+    };
     hint_table().lock().insert(current_key(), set)
 }
 
@@ -175,8 +197,8 @@ mod tests {
         let usf = Usf::builder().cores(2).build();
         let p = usf.process("affinity-test");
         let h = p.spawn(|| {
-            // Ask for core 57 — far outside the 2-core instance.
-            let requested = CpuSet::single(57);
+            // Ask for core 1 — inside the 2-core instance, so it round-trips verbatim.
+            let requested = CpuSet::single(1);
             set_affinity_hint(requested.clone());
             let echoed = get_affinity_hint().unwrap();
             let actual = current_scheduler_core().unwrap();
@@ -185,6 +207,26 @@ mod tests {
         let (echoed_ok, actual) = h.join().unwrap();
         assert!(echoed_ok, "the stored hint must be echoed back verbatim");
         assert!(actual < 2, "the scheduler placement ignores the hint");
+        usf.shutdown();
+    }
+
+    #[test]
+    fn attached_hints_are_clamped_to_the_instance_topology() {
+        // Regression: a hint naming cores >= the topology size used to round-trip
+        // silently — a dead hint no scheduler could ever honour. It is now clamped.
+        let usf = Usf::builder().cores(2).build();
+        let p = usf.process("affinity-clamp-test");
+        let h = p.spawn(|| {
+            let requested: CpuSet = [0usize, 1, 57, 130].into_iter().collect();
+            set_affinity_hint(requested);
+            get_affinity_hint().unwrap()
+        });
+        let echoed = h.join().unwrap();
+        assert_eq!(
+            echoed.iter().collect::<Vec<_>>(),
+            vec![0, 1],
+            "cores beyond the 2-core topology must be dropped"
+        );
         usf.shutdown();
     }
 

@@ -266,6 +266,18 @@ impl ProcessHandle {
         }
     }
 
+    /// Restrict (or, with `None`, un-restrict) this process domain to a set of virtual
+    /// cores — NUMA-aware placement (§5.6): the scheduler only grants the domain's
+    /// threads cores from the set, on the immediate-grant path and on every policy pick
+    /// tier. Cores outside the instance topology are dropped; a fully out-of-range set
+    /// leaves the domain unrestricted.
+    pub fn restrict_to_cores(&self, cores: Option<Vec<usf_nosv::CoreId>>) {
+        self.inner
+            .nosv
+            .scheduler()
+            .set_process_domain(self.pid, cores);
+    }
+
     /// Deregister the process domain from the scheduler's quantum rotation. Live threads of
     /// the domain keep running.
     pub fn deregister(&self) {
@@ -353,6 +365,21 @@ mod tests {
         assert_eq!(hb.join().unwrap(), "b");
         let m = usf.metrics();
         assert_eq!(m.attaches, 2);
+        usf.shutdown();
+    }
+
+    #[test]
+    fn restricted_process_domain_runs_only_on_its_cores() {
+        let usf = Usf::builder().cores(4).numa_nodes(2).build();
+        let p = usf.process("pinned");
+        p.restrict_to_cores(Some(vec![2, 3]));
+        let handles: Vec<_> = (0..8)
+            .map(|_| p.spawn(|| crate::affinity::current_scheduler_core().unwrap()))
+            .collect();
+        for h in handles {
+            let core = h.join().unwrap();
+            assert!(core >= 2, "pinned thread observed on core {core}");
+        }
         usf.shutdown();
     }
 

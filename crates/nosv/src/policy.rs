@@ -38,6 +38,14 @@ pub trait Policy: Send {
     /// finished; the policy only needs to drop its bookkeeping.
     fn deregister_process(&mut self, process: ProcessId);
 
+    /// Restrict (or, with `None`, un-restrict) a process to a set of cores — NUMA-aware
+    /// placement (§5.6 socket pinning). Placement-aware policies honour it on every pick
+    /// path; the default is a no-op, so placement-oblivious policies (e.g. the FIFO
+    /// ablation) keep treating the restriction as a hint.
+    fn set_process_domain(&mut self, process: ProcessId, cores: Option<Vec<CoreId>>) {
+        let _ = (process, cores);
+    }
+
     /// A task became ready. The policy must keep it until a later [`Policy::pick`] returns it.
     fn enqueue(&mut self, topo: &Topology, task: TaskMeta, now: Instant);
 
@@ -130,6 +138,10 @@ impl Policy for CoopPolicy {
 
     fn deregister_process(&mut self, process: ProcessId) {
         self.core.deregister_process(process);
+    }
+
+    fn set_process_domain(&mut self, process: ProcessId, cores: Option<Vec<CoreId>>) {
+        self.core.set_process_domain(process, cores);
     }
 
     fn enqueue(&mut self, _topo: &Topology, task: TaskMeta, now: Instant) {
@@ -339,6 +351,17 @@ mod tests {
         // Registering twice is a no-op.
         p.register_process(1);
         assert_eq!(p.ready_count(), 0);
+    }
+
+    #[test]
+    fn coop_process_domain_restricts_picks() {
+        let topo = Topology::new(4, 2);
+        let mut p = CoopPolicy::new(topo.clone(), Duration::from_millis(20));
+        p.set_process_domain(0, Some(vec![2, 3])); // pin to node 1
+        let now = Instant::now();
+        p.enqueue(&topo, meta(1, 0, None), now);
+        assert!(p.pick(&topo, 0, now).is_none(), "core 0 is outside the pin");
+        assert_eq!(p.pick(&topo, 3, now).unwrap().id, 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 /// Identifier of a process domain registered with a scheduler instance.
 pub type ProcessId = u32;
 
+use crate::topology::CoreId;
+
 /// Bookkeeping for one registered process domain.
 #[derive(Debug, Clone)]
 pub struct ProcessInfo {
@@ -20,6 +22,9 @@ pub struct ProcessInfo {
     pub tasks_created: u64,
     /// Number of live (not yet finished) tasks.
     pub tasks_live: u64,
+    /// Placement domain: the cores this process's tasks may be granted, when restricted
+    /// (NUMA-aware pinning, §5.6). `None` means anywhere.
+    pub domain: Option<Vec<CoreId>>,
 }
 
 impl ProcessInfo {
@@ -30,6 +35,7 @@ impl ProcessInfo {
             name: name.into(),
             tasks_created: 0,
             tasks_live: 0,
+            domain: None,
         }
     }
 }

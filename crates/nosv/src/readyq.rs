@@ -40,7 +40,7 @@
 //!    core order; serving the oldest instead is strictly fairer and is what the heaps give
 //!    for free. The property tests in `tests/readyq_equivalence.rs` pin this spec.)
 
-use crate::topology::Topology;
+use crate::topology::{CoreId, Topology};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::hash::Hash;
@@ -86,14 +86,16 @@ impl ReadyTime for u64 {
     }
 }
 
-/// The scheduling-relevant view of a machine topology: a dense core id space partitioned
-/// into NUMA nodes.
+/// The scheduling-relevant view of a machine topology: a dense [`CoreId`] space
+/// partitioned into NUMA nodes. [`Topology`] is the canonical implementation — the
+/// simulator's `Machine` embeds one and delegates — so every consumer speaks the same
+/// core-id/node vocabulary.
 pub trait TopologyView {
     /// Number of cores (dense ids `0..cores`).
     fn view_cores(&self) -> usize;
 
     /// NUMA node of a core.
-    fn view_node_of(&self, core: usize) -> usize;
+    fn view_node_of(&self, core: CoreId) -> usize;
 }
 
 impl TopologyView for Topology {
@@ -101,7 +103,7 @@ impl TopologyView for Topology {
         self.num_cores()
     }
 
-    fn view_node_of(&self, core: usize) -> usize {
+    fn view_node_of(&self, core: CoreId) -> usize {
         self.node_of(core)
     }
 }
@@ -179,6 +181,10 @@ pub struct ProcQueues<T, C: ReadyTime> {
     map: Arc<CoreMap>,
     per_core: Vec<VecDeque<Entry<T, C>>>,
     unbound: VecDeque<Entry<T, C>>,
+    /// Per-process placement domain: when `Some`, only the flagged cores may pop from
+    /// these queues (NUMA-aware pinning — the §5.6 socket-placement variants). `None`
+    /// means any core (the default "anywhere" rule).
+    domain: Option<Vec<bool>>,
     count: usize,
     next_seq: u64,
     /// Earliest time the anti-starvation valve needs to look at the queues again. Keeps
@@ -202,6 +208,7 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
             map,
             per_core: (0..cores).map(|_| VecDeque::new()).collect(),
             unbound: VecDeque::new(),
+            domain: None,
             count: 0,
             next_seq: 0,
             next_valve_at: None,
@@ -225,14 +232,42 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
         &self.map
     }
 
+    /// Restrict (or, with `None`, un-restrict) these queues to a placement domain: only
+    /// the given cores may pop. Cores outside the core map are ignored; an empty or fully
+    /// out-of-range list leaves the domain unrestricted (a dead domain would strand every
+    /// entry forever, which no caller can mean).
+    pub fn set_domain(&mut self, cores: Option<&[CoreId]>) {
+        self.domain = cores.and_then(|cs| {
+            let mut mask = vec![false; self.map.cores()];
+            let mut any = false;
+            for &c in cs {
+                if c < mask.len() {
+                    mask[c] = true;
+                    any = true;
+                }
+            }
+            any.then_some(mask)
+        });
+    }
+
+    /// Whether `core` may pop from these queues under the current placement domain.
+    pub fn allows(&self, core: CoreId) -> bool {
+        match &self.domain {
+            Some(mask) => core < mask.len() && mask[core],
+            None => true,
+        }
+    }
+
     /// Enqueue an item. A preference outside the core id range (e.g. recorded before a
-    /// topology change) is treated as unbound.
+    /// topology change) or outside the placement domain is treated as unbound — a pinned
+    /// process's stale affinity to a core it can no longer run on must not strand the
+    /// entry in a queue only the domain tiers can reach.
     pub fn push(&mut self, item: T, preferred: Option<usize>, now: C) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let entry = Entry { item, seq, at: now };
         let source = match preferred {
-            Some(c) if c < self.per_core.len() => c,
+            Some(c) if c < self.per_core.len() && self.allows(c) => c,
             _ => UNBOUND,
         };
         let was_empty = if source == UNBOUND {
@@ -390,8 +425,12 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
     }
 
     /// Pop the head of `core`'s own FIFO, if any. Used by affinity-only pre-passes; callers
-    /// must run [`ProcQueues::pop_aged`] first (see there).
+    /// must run [`ProcQueues::pop_aged`] first (see there). Returns `None` for cores
+    /// outside the placement domain.
     pub fn pop_affine(&mut self, core: usize) -> Option<T> {
+        if !self.allows(core) {
+            return None;
+        }
         if self.per_core[core].front().is_some() {
             Some(self.pop_from(core).item)
         } else {
@@ -401,11 +440,17 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
 
     /// Tiered pop for an idle core: aging valve → own FIFO → oldest of (same-node FIFOs,
     /// unbound FIFO) → oldest remote entry. See the module documentation for the rationale
-    /// of each tier.
+    /// of each tier. A core outside the placement domain gets nothing — not even the aging
+    /// valve may violate a pin; the valve's liveness guarantee holds because every domain
+    /// contains at least one core ([`ProcQueues::set_domain`]) and domain cores still run
+    /// the valve first.
     ///
     /// # Panics
     /// Panics if `core` is outside the core map.
     pub fn pop_for(&mut self, core: usize, now: C, aging: C::Delta) -> Option<T> {
+        if !self.allows(core) {
+            return None;
+        }
         if let Some(t) = self.pop_aged(now, aging) {
             return Some(t);
         }
@@ -453,6 +498,9 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
 pub struct CoopCore<P, T, C: ReadyTime> {
     map: Arc<CoreMap>,
     queues: HashMap<P, ProcQueues<T, C>>,
+    /// Requested per-process placement domains (survive topology re-snapshots, which
+    /// rebuild the queues).
+    domains: HashMap<P, Vec<CoreId>>,
     /// Registration order; quantum rotation walks this ring.
     order: Vec<P>,
     current: usize,
@@ -470,6 +518,7 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
         CoopCore {
             map: Arc::new(CoreMap::from_view(view)),
             queues: HashMap::new(),
+            domains: HashMap::new(),
             order: Vec::new(),
             current: 0,
             quantum,
@@ -488,10 +537,36 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
             return;
         }
         self.map = Arc::clone(&map);
-        for q in self.queues.values_mut() {
+        for (pid, q) in self.queues.iter_mut() {
             self.total -= q.len();
             *q = ProcQueues::new(Arc::clone(&map));
+            q.set_domain(self.domains.get(pid).map(|d| d.as_slice()));
         }
+    }
+
+    /// Restrict (or, with `None`, un-restrict) a process domain to a set of cores — the
+    /// scheduler-level half of NUMA-aware placement: once set, no pop path (not even the
+    /// aging valve) serves this process's entries to a core outside the set. Unknown
+    /// processes are registered first; the restriction survives topology re-snapshots.
+    pub fn set_process_domain(&mut self, process: P, cores: Option<Vec<CoreId>>) {
+        self.register_process(process);
+        match &cores {
+            Some(cs) => {
+                self.domains.insert(process, cs.clone());
+            }
+            None => {
+                self.domains.remove(&process);
+            }
+        }
+        self.queues
+            .get_mut(&process)
+            .expect("process just registered")
+            .set_domain(cores.as_deref());
+    }
+
+    /// The placement domain of a process, if one was set.
+    pub fn process_domain(&self, process: P) -> Option<&[CoreId]> {
+        self.domains.get(&process).map(|d| d.as_slice())
     }
 
     /// The process whose quantum is currently active, if any.
@@ -514,21 +589,36 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
         self.total > 0
     }
 
-    /// Register a process domain (idempotent).
+    /// Whether anything is queued that `core` would be allowed to run — i.e. some
+    /// process with a non-empty queue whose placement domain (if any) contains the core.
+    /// Equals [`CoopCore::has_ready`] when no domains are set.
+    pub fn has_ready_for(&self, core: usize) -> bool {
+        self.total > 0
+            && self
+                .queues
+                .values()
+                .any(|q| !q.is_empty() && q.allows(core))
+    }
+
+    /// Register a process domain (idempotent). A placement restriction recorded for the
+    /// process is (re)applied.
     pub fn register_process(&mut self, process: P) {
         if self.queues.contains_key(&process) {
             return;
         }
-        self.queues
-            .insert(process, ProcQueues::new(Arc::clone(&self.map)));
+        let mut q = ProcQueues::new(Arc::clone(&self.map));
+        q.set_domain(self.domains.get(&process).map(|d| d.as_slice()));
+        self.queues.insert(process, q);
         self.order.push(process);
     }
 
-    /// Deregister a process domain, dropping any queued entries.
+    /// Deregister a process domain, dropping any queued entries and its placement
+    /// restriction.
     pub fn deregister_process(&mut self, process: P) {
         if let Some(q) = self.queues.remove(&process) {
             self.total -= q.len();
         }
+        self.domains.remove(&process);
         if let Some(pos) = self.order.iter().position(|p| *p == process) {
             self.order.remove(pos);
             if self.current >= self.order.len() {
@@ -583,7 +673,8 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
 
     /// Pick the next item an idle `core` should run: rotate the quantum ring if expired,
     /// then tiered-pop ([`ProcQueues::pop_for`]) from the current process, falling through
-    /// to the other processes (which passes the turn to whichever one had work).
+    /// to the other processes (which passes the turn to whichever one had work — but only
+    /// when the current process is genuinely *empty*, see below).
     pub fn pick(&mut self, core: usize, now: C) -> Option<T> {
         if self.order.is_empty() {
             return None;
@@ -592,6 +683,18 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
             self.quantum_started = Some(now);
         }
         self.rotate_if_expired(now);
+        // The turn passes on a fall-through only if the current process has nothing
+        // queued at all. With placement domains, pop_for also returns None when this
+        // *core* is outside the process's pin while work is still queued — a foreign
+        // core serving another process is then a courtesy fill, not a turn steal;
+        // otherwise every pick from outside the pin would reset the quantum and the
+        // pinned process would only ever be served through the aging valve.
+        // (Without domains, pop_for == None implies empty, so this is the old rule.)
+        let current_empty = self
+            .order
+            .get(self.current)
+            .and_then(|pid| self.queues.get(pid))
+            .map_or(true, |q| q.is_empty());
         let len = self.order.len();
         for off in 0..len {
             let idx = (self.current + off) % len;
@@ -600,7 +703,7 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
                 // Entries older than one quantum are served oldest-first regardless of
                 // placement (the starvation valve in ProcQueues::pop_for).
                 if let Some(t) = q.pop_for(core, now, self.quantum) {
-                    if off != 0 {
+                    if off != 0 && current_empty {
                         // We skipped ahead because the current process had nothing ready;
                         // its turn effectively passes to this process.
                         self.current = idx;
@@ -625,6 +728,11 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
         for i in 0..self.order.len() {
             let pid = self.order[i];
             if let Some(q) = self.queues.get_mut(&pid) {
+                // A pinned process is skipped entirely on foreign cores — its aging valve
+                // runs when one of its own cores reaches a scheduling point.
+                if !q.allows(core) {
+                    continue;
+                }
                 if let Some(t) = q.pop_aged(now, self.quantum) {
                     self.total -= 1;
                     return Some(t);
@@ -859,6 +967,117 @@ mod tests {
         assert_eq!(core.pick_affine(0, 100), Some(1));
         assert_eq!(core.pick_affine(0, 101), Some(2));
         assert_eq!(core.pick_affine(0, 102), None);
+    }
+
+    #[test]
+    fn domain_restricts_every_pop_tier() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(4, 2));
+        q.set_domain(Some(&[0, 1])); // node 0 only
+        q.push(1, Some(0), 0); // affine inside the domain
+        q.push(2, None, 0); // unbound
+                            // A core outside the domain gets nothing from any tier — even with an aged entry.
+        assert_eq!(q.pop_for(2, 1_000_000, 1), None);
+        assert_eq!(q.pop_affine(2), None);
+        // Domain cores are served normally (valve first at aged times).
+        assert_eq!(q.pop_for(1, 1_000_000, 1), Some(1));
+        assert_eq!(q.pop_for(0, 1_000_000, 1), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn domain_clamps_out_of_domain_preference_to_unbound() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(4, 2));
+        q.set_domain(Some(&[2, 3]));
+        // Stale affinity to core 0 (outside the domain): must still be reachable by the
+        // domain cores through the unbound queue.
+        q.push(7, Some(0), 0);
+        assert_eq!(q.pop_for(2, 0, 1_000), Some(7));
+    }
+
+    #[test]
+    fn empty_or_out_of_range_domain_is_unrestricted() {
+        let mut q: ProcQueues<u32, u64> = ProcQueues::new(map(2, 1));
+        q.set_domain(Some(&[99])); // fully out of range: ignored, not a dead pin
+        q.push(1, None, 0);
+        assert_eq!(q.pop_for(0, 0, 1_000), Some(1));
+        q.set_domain(Some(&[]));
+        q.push(2, None, 0);
+        assert_eq!(q.pop_for(1, 0, 1_000), Some(2));
+    }
+
+    #[test]
+    fn coop_core_process_domains_route_picks() {
+        let topo = Topology::new(4, 2);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 10);
+        core.set_process_domain(0, Some(vec![0, 1]));
+        core.set_process_domain(1, Some(vec![2, 3]));
+        core.enqueue(0, 100, None, 0);
+        core.enqueue(1, 200, None, 0);
+        // Each core only serves the process pinned to its node, regardless of rotation.
+        assert_eq!(core.pick(2, 0), Some(200));
+        assert_eq!(core.pick(0, 0), Some(100));
+        assert_eq!(core.process_domain(0), Some(&[0usize, 1][..]));
+        // pick_affine on a foreign core must not fire process 0's aging valve.
+        core.enqueue(0, 101, Some(0), 0);
+        assert_eq!(core.pick_affine(3, 1_000_000), None);
+        assert_eq!(core.pick_affine(0, 1_000_000), Some(101));
+    }
+
+    #[test]
+    fn foreign_core_pick_does_not_steal_pinned_quantum() {
+        // Regression: process 0 is pinned to node 0 and holds the quantum with queued
+        // work; a pick from a node-1 core serves process 1 (courtesy fill) but must NOT
+        // pass the turn — the pinned process would otherwise only ever be served through
+        // the aging valve while any foreign core is active.
+        let topo = Topology::new(4, 2);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 10);
+        core.set_process_domain(0, Some(vec![0, 1]));
+        core.register_process(1);
+        core.enqueue(0, 100, None, 0);
+        core.enqueue(0, 101, None, 0);
+        core.enqueue(1, 200, None, 0);
+        assert_eq!(core.pick(2, 1), Some(200), "foreign core serves process 1");
+        assert_eq!(
+            core.current_process(),
+            Some(0),
+            "the pinned process keeps its quantum"
+        );
+        assert_eq!(core.rotations(), 0);
+        // Its own cores still serve it inside the quantum.
+        assert_eq!(core.pick(0, 2), Some(100));
+        assert_eq!(core.pick(1, 3), Some(101));
+        // Once it IS empty, a fall-through passes the turn as before.
+        core.enqueue(1, 201, None, 4);
+        assert_eq!(core.pick(2, 5), Some(201));
+        assert_eq!(core.current_process(), Some(1));
+    }
+
+    #[test]
+    fn has_ready_for_respects_domains() {
+        let topo = Topology::new(4, 2);
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&topo, 10);
+        core.set_process_domain(0, Some(vec![2, 3]));
+        assert!(!core.has_ready_for(0));
+        core.enqueue(0, 1, None, 0);
+        assert!(core.has_ready());
+        assert!(!core.has_ready_for(0), "core 0 is outside the only pin");
+        assert!(core.has_ready_for(2));
+        core.enqueue(1, 2, None, 0); // unrestricted process
+        assert!(core.has_ready_for(0));
+    }
+
+    #[test]
+    fn coop_core_domains_survive_topology_resnapshot() {
+        let mut core: CoopCore<u32, u64, u64> = CoopCore::new(&Topology::new(4, 2), 10);
+        core.set_process_domain(0, Some(vec![2, 3]));
+        core.set_topology(&Topology::new(8, 2)); // queues rebuilt
+        core.enqueue(0, 1, None, 0);
+        assert_eq!(core.pick(0, 0), None, "domain must survive the rebuild");
+        assert_eq!(core.pick(2, 0), Some(1));
+        // Clearing the domain un-restricts.
+        core.set_process_domain(0, None);
+        core.enqueue(0, 2, None, 0);
+        assert_eq!(core.pick(7, 0), Some(2));
     }
 
     #[test]

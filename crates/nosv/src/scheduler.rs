@@ -289,6 +289,30 @@ impl Scheduler {
         }
     }
 
+    /// Restrict (or, with `None`, un-restrict) a process domain to a set of cores — the
+    /// NUMA-aware placement hook behind the §5.6 socket-pinning variants. Cores outside
+    /// the topology are dropped; a fully out-of-range set leaves the process unrestricted
+    /// (a dead domain would strand its tasks). Both the immediate-grant path and the
+    /// installed policy honour the restriction (placement-oblivious policies like the FIFO
+    /// ablation only receive it as a hint — see [`crate::policy::Policy::set_process_domain`]).
+    pub fn set_process_domain(&self, process: ProcessId, cores: Option<Vec<CoreId>>) {
+        let filtered = cores.and_then(|cs| {
+            let kept: Vec<CoreId> = cs
+                .into_iter()
+                .filter(|&c| c < self.topo.num_cores())
+                .collect();
+            (!kept.is_empty()).then_some(kept)
+        });
+        let mut st = self.lock_state();
+        // Unknown (never-registered or already-deregistered) processes are ignored
+        // entirely: forwarding to the policy would re-register the pid into the quantum
+        // rotation as a ghost the grant path knows nothing about.
+        if let Some(p) = st.processes.get_mut(&process) {
+            p.domain = filtered.clone();
+            st.policy.set_process_domain(process, filtered);
+        }
+    }
+
     /// Names and ids of the registered process domains.
     pub fn processes(&self) -> Vec<(ProcessId, String)> {
         let st = self.lock_state();
@@ -667,7 +691,13 @@ impl Scheduler {
     fn place_ready_task(&self, st: &mut SchedState, task: &TaskRef) {
         let now = Instant::now();
         if !st.policy.has_ready() {
-            if let Some(core) = self.choose_idle_core(st, task.preferred_core()) {
+            // Borrow the domain, never clone it: this runs on the submit hot path under
+            // the scheduler lock.
+            let domain = st
+                .processes
+                .get(&task.process())
+                .and_then(|p| p.domain.as_deref());
+            if let Some(core) = self.choose_idle_core(st, task.preferred_core(), domain) {
                 // The task was marked queued by the caller; the grant clears it.
                 self.mark_busy(st, core, task.id());
                 self.grant(task, core);
@@ -684,16 +714,25 @@ impl Scheduler {
     }
 
     /// Pick an idle core for a task with the given preference: preferred core if idle, else
-    /// an idle core in the same NUMA node, else any idle core.
-    fn choose_idle_core(&self, st: &SchedState, preferred: Option<CoreId>) -> Option<CoreId> {
-        let is_idle = |c: CoreId| matches!(st.cores[c], CoreSlot::Idle);
+    /// an idle core in the same NUMA node, else any idle core — all restricted to the
+    /// task's process placement domain when one is set.
+    fn choose_idle_core(
+        &self,
+        st: &SchedState,
+        preferred: Option<CoreId>,
+        domain: Option<&[CoreId]>,
+    ) -> Option<CoreId> {
+        let allowed = |c: CoreId| domain.map_or(true, |d| d.contains(&c));
+        let is_idle = |c: CoreId| matches!(st.cores[c], CoreSlot::Idle) && allowed(c);
         if let Some(p) = preferred {
-            if is_idle(p) {
-                return Some(p);
-            }
-            let node = self.topo.node_of(p);
-            if let Some(c) = self.topo.cores_in_node(node).find(|&c| is_idle(c)) {
-                return Some(c);
+            if p < self.topo.num_cores() {
+                if is_idle(p) {
+                    return Some(p);
+                }
+                let node = self.topo.node_of(p);
+                if let Some(c) = self.topo.cores_in_node(node).find(|&c| is_idle(c)) {
+                    return Some(c);
+                }
             }
         }
         self.topo.cores().find(|&c| is_idle(c))
@@ -983,6 +1022,69 @@ mod tests {
         assert!(matches!(s.create_task(p, None), Err(NosvError::ShutDown)));
         s.pause(&t1);
         assert!(!s.yield_now(&t1));
+    }
+
+    #[test]
+    fn process_domain_restricts_immediate_grants_and_picks() {
+        let s = Arc::new(Scheduler::new(NosvConfig::with_topology(Topology::new(
+            4, 2,
+        ))));
+        let p = s.register_process("pinned");
+        // Pin the process to node 1 (cores 2, 3); out-of-range cores are dropped.
+        s.set_process_domain(p, Some(vec![2, 3, 99]));
+        let t1 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        assert!(
+            t1.current_core().unwrap() >= 2,
+            "immediate grant must stay inside the domain (got {:?})",
+            t1.current_core()
+        );
+        let t2 = s.create_task(p, None).unwrap();
+        s.submit(&t2);
+        assert!(t2.current_core().unwrap() >= 2);
+        // Both domain cores busy: the next task queues even though cores 0/1 are idle.
+        let t3 = s.create_task(p, None).unwrap();
+        s.submit(&t3);
+        assert_eq!(t3.state(), TaskState::Ready);
+        assert_eq!(s.busy_cores(), 2);
+        // Freeing a domain core dispatches the queued task onto it.
+        s.detach(&t1);
+        assert!(t3.current_core().unwrap() >= 2);
+        // Clearing the domain un-restricts placement.
+        s.set_process_domain(p, None);
+        let t4 = s.create_task(p, None).unwrap();
+        s.submit(&t4);
+        assert!(t4.current_core().unwrap() < 2, "unrestricted grant");
+    }
+
+    #[test]
+    fn set_domain_on_deregistered_process_is_a_noop() {
+        // Restricting a process after deregistration must not resurrect it in the
+        // policy's quantum rotation (a ghost the grant path knows nothing about).
+        let s = sched(2);
+        let p = s.register_process("gone");
+        s.deregister_process(p);
+        s.set_process_domain(p, Some(vec![0]));
+        assert!(s.processes().is_empty());
+        // A live process still schedules normally afterwards.
+        let q = s.register_process("live");
+        let t = s.create_task(q, None).unwrap();
+        s.submit(&t);
+        assert_eq!(t.state(), TaskState::Running);
+    }
+
+    #[test]
+    fn fully_out_of_range_domain_is_ignored() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        s.set_process_domain(p, Some(vec![57]));
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        assert_eq!(
+            t.state(),
+            TaskState::Running,
+            "a dead domain must not strand the task"
+        );
     }
 
     #[test]

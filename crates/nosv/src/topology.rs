@@ -53,13 +53,40 @@ impl Topology {
         Topology::new(cores, 1)
     }
 
-    /// Detect a topology from the host: `std::thread::available_parallelism` cores in one
-    /// NUMA node. Used when the user does not specify a core count.
+    /// A topology from explicit per-node core counts — non-uniform NUMA layouts
+    /// (e.g. a 6+2 big.LITTLE split or an asymmetric cloud slice). Core ids are dense and
+    /// node-contiguous: node 0 owns `0..sizes[0]`, node 1 the next `sizes[1]` ids, …
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty or any node size is zero.
+    pub fn from_node_sizes(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "topology needs at least one NUMA node");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "every NUMA node needs at least one core"
+        );
+        let cores = sizes.iter().sum();
+        let mut core_to_node = Vec::with_capacity(cores);
+        for (node, &count) in sizes.iter().enumerate() {
+            core_to_node.extend(std::iter::repeat(node).take(count));
+        }
+        Topology {
+            cores,
+            numa_nodes: sizes.len(),
+            core_to_node,
+        }
+    }
+
+    /// Detect a topology from the host: `std::thread::available_parallelism` cores, split
+    /// into the number of NUMA nodes named by the `USF_NUMA_NODES` environment variable
+    /// when it holds a valid count (at least 1, at most the core count) — so real-host
+    /// runs can model a multi-socket layout — and one node otherwise.
     pub fn detect() -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Topology::single_node(cores)
+        let raw = std::env::var("USF_NUMA_NODES").ok();
+        Topology::new(cores, parse_numa_override(raw.as_deref(), cores))
     }
 
     /// The topology of the paper's evaluation machine (Table 1): Marenostrum 5 node with
@@ -112,6 +139,16 @@ impl Default for Topology {
     }
 }
 
+/// Validate a `USF_NUMA_NODES` override against the core count: a parseable value in
+/// `1..=cores` is honoured, anything else falls back to a single node. Factored out of
+/// [`Topology::detect`] so it is testable without mutating the process environment
+/// (`setenv` races concurrent `getenv`s in the multi-threaded test harness).
+fn parse_numa_override(raw: Option<&str>, cores: usize) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1 && n <= cores)
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +196,42 @@ mod tests {
     fn detect_is_nonempty() {
         let t = Topology::detect();
         assert!(t.num_cores() >= 1);
+    }
+
+    #[test]
+    fn numa_nodes_override_is_validated() {
+        // The parsing/validation half of `detect()`, tested without touching the process
+        // environment (setenv would race concurrent getenv in the parallel harness; the
+        // env round-trip itself is covered by the single-process `tests/env_config.rs`).
+        assert_eq!(parse_numa_override(Some("2"), 8), 2, "valid override");
+        assert_eq!(parse_numa_override(Some(" 4 "), 8), 4, "whitespace trimmed");
+        assert_eq!(parse_numa_override(Some("8"), 8), 8, "one core per node ok");
+        assert_eq!(parse_numa_override(None, 8), 1, "unset falls back");
+        for bad in ["0", "9", "not-a-number", "-1", ""] {
+            assert_eq!(
+                parse_numa_override(Some(bad), 8),
+                1,
+                "override {bad:?} must fall back to one node"
+            );
+        }
+    }
+
+    #[test]
+    fn from_node_sizes_builds_non_uniform_maps() {
+        let t = Topology::from_node_sizes(&[3, 1, 2]);
+        assert_eq!(t.num_cores(), 6);
+        assert_eq!(t.num_numa_nodes(), 3);
+        assert_eq!(t.cores_in_node(0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(t.cores_in_node(1).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(t.cores_in_node(2).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(t.same_node(4, 5));
+        assert!(!t.same_node(2, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_node_sizes_rejects_empty_nodes() {
+        let _ = Topology::from_node_sizes(&[2, 0]);
     }
 
     #[test]

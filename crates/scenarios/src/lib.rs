@@ -44,5 +44,5 @@ pub use plan::{ProcPlan, ScenarioPlan};
 pub use report::{ProcessOutcome, ScenarioReport, SchedDelta};
 pub use sim::{LoweredScenario, SimExecutor, SimProcShape};
 pub use spec::{
-    Arrival, ModelSel, ProblemSize, ProcSpec, RuntimeFlavor, ScenarioSpec, WorkloadKind,
+    Arrival, ModelSel, Placement, ProblemSize, ProcSpec, RuntimeFlavor, ScenarioSpec, WorkloadKind,
 };

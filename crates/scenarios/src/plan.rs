@@ -6,8 +6,9 @@
 //! thread demand and nominal unit cost. The lowering-equivalence property test pins the
 //! executors to this structure.
 
-use crate::spec::{Arrival, ProcSpec, ScenarioSpec, WorkloadKind};
+use crate::spec::{Arrival, Placement, ProcSpec, ScenarioSpec, WorkloadKind};
 use std::time::Duration;
+use usf_nosv::{CoreId, Topology};
 use usf_workloads::poisson::PoissonProcess;
 use usf_workloads::workload::RuntimeFlavor;
 
@@ -30,6 +31,9 @@ pub struct ProcPlan {
     pub kind: WorkloadKind,
     /// Runtime flavour.
     pub flavor: RuntimeFlavor,
+    /// NUMA placement (§5.6); lowered into a core mask by
+    /// [`ScenarioPlan::placement_masks`].
+    pub placement: Placement,
     /// The original process spec (sizes etc. for the real workload constructors).
     pub spec: ProcSpec,
 }
@@ -122,6 +126,117 @@ impl ScenarioPlan {
         order.sort_by_key(|&i| (self.procs[i].arrival, i));
         order
     }
+
+    /// Lower each process's [`Placement`] into a core mask over the given topology — the
+    /// single deterministic lowering every executor consumes (`None` = unrestricted).
+    ///
+    /// * [`Placement::Node`]`(k)` pins to node `k % nodes` (the full node; co-naming a
+    ///   node is the deliberate same-socket contention variant).
+    /// * [`Placement::Spread`] processes are assigned to nodes round-robin in spec order;
+    ///   the processes landing on one node split its cores contiguously, apportioned by
+    ///   thread demand with a one-core floor.
+    /// * [`Placement::Packed`] processes split the whole core range contiguously from
+    ///   core 0 upward (node-contiguous ids ⇒ fewest sockets), apportioned by thread
+    ///   demand with a one-core floor.
+    ///
+    /// `Spread` and `Packed` masks are therefore pairwise disjoint within each group —
+    /// the invariant the placement property test pins. Degenerate specs with more
+    /// grouped processes than assignable cores leave the overflow unrestricted rather
+    /// than fabricating dead masks.
+    pub fn placement_masks(&self, topo: &Topology) -> Vec<Option<Vec<CoreId>>> {
+        let nodes = topo.num_numa_nodes();
+        let mut masks: Vec<Option<Vec<CoreId>>> = vec![None; self.procs.len()];
+        for (i, p) in self.procs.iter().enumerate() {
+            if let Placement::Node(k) = p.placement {
+                masks[i] = Some(topo.cores_in_node(k % nodes).collect());
+            }
+        }
+        // Spread: round-robin the group over nodes, then split each node among its
+        // assignees.
+        let spread: Vec<usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.placement == Placement::Spread)
+            .map(|(i, _)| i)
+            .collect();
+        for node in 0..nodes {
+            let assignees: Vec<usize> = spread
+                .iter()
+                .enumerate()
+                .filter(|(rank, _)| rank % nodes == node)
+                .map(|(_, &i)| i)
+                .collect();
+            if assignees.is_empty() {
+                continue;
+            }
+            let cores: Vec<CoreId> = topo.cores_in_node(node).collect();
+            self.split_among(&assignees, &cores, &mut masks);
+        }
+        // Packed: split the whole (node-contiguous) core range in spec order.
+        let packed: Vec<usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.placement == Placement::Packed)
+            .map(|(i, _)| i)
+            .collect();
+        if !packed.is_empty() {
+            let cores: Vec<CoreId> = topo.cores().collect();
+            self.split_among(&packed, &cores, &mut masks);
+        }
+        masks
+    }
+
+    /// Split `cores` contiguously among the processes at `indices`, apportioned by thread
+    /// demand (largest remainder, one-core floor), writing the resulting masks. Processes
+    /// beyond the core count stay unrestricted.
+    fn split_among(&self, indices: &[usize], cores: &[CoreId], masks: &mut [Option<Vec<CoreId>>]) {
+        let fits = indices.len().min(cores.len());
+        if fits == 0 {
+            return;
+        }
+        let weights: Vec<f64> = indices[..fits]
+            .iter()
+            .map(|&i| self.procs[i].threads.max(1) as f64)
+            .collect();
+        let counts = apportion_counts(&weights, cores.len());
+        let mut next = 0;
+        for (slot, &i) in indices[..fits].iter().enumerate() {
+            let take = counts[slot];
+            masks[i] = Some(cores[next..next + take].to_vec());
+            next += take;
+        }
+    }
+}
+
+/// Apportion `total` items among weighted claimants: everyone gets at least one, the rest
+/// by largest remainder of the ideal share. `total` must be at least `weights.len()`.
+/// Shared by the placement lowering and the bl-eq/bl-opt partition derivation.
+pub(crate) fn apportion_counts(weights: &[f64], total: usize) -> Vec<usize> {
+    let n = weights.len();
+    debug_assert!(total >= n);
+    let sum: f64 = weights.iter().sum();
+    let spare = total - n;
+    let ideals: Vec<f64> = weights
+        .iter()
+        .map(|w| spare as f64 * (w / sum.max(1e-12)))
+        .collect();
+    let mut counts: Vec<usize> = ideals.iter().map(|i| 1 + i.floor() as usize).collect();
+    let mut leftover = total - counts.iter().sum::<usize>();
+    let mut by_remainder: Vec<usize> = (0..n).collect();
+    by_remainder.sort_by(|&a, &b| {
+        let ra = ideals[a] - ideals[a].floor();
+        let rb = ideals[b] - ideals[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut k = 0;
+    while leftover > 0 {
+        counts[by_remainder[k % n]] += 1;
+        leftover -= 1;
+        k += 1;
+    }
+    counts
 }
 
 impl ScenarioSpec {
@@ -153,6 +268,7 @@ impl ScenarioSpec {
                     unit_work: p.size.unit_work(),
                     kind: p.kind,
                     flavor: p.flavor,
+                    placement: p.placement,
                     spec: p.clone(),
                 }
             })
@@ -241,6 +357,78 @@ mod tests {
             .plan();
         assert_eq!(plan.procs[0].pacing_gaps().len(), 3);
         assert!(plan.procs[1].pacing_gaps().is_empty());
+    }
+
+    #[test]
+    fn node_placement_pins_to_the_full_node() {
+        let topo = Topology::new(8, 2);
+        let plan = ScenarioSpec::new("pin", 8)
+            .process(ProcSpec::new("a", WorkloadKind::Md).placement(Placement::Node(0)))
+            .process(ProcSpec::new("b", WorkloadKind::Md).placement(Placement::Node(1)))
+            .process(ProcSpec::new("c", WorkloadKind::Md).placement(Placement::Node(5)))
+            .process(ProcSpec::new("d", WorkloadKind::Md))
+            .plan();
+        let masks = plan.placement_masks(&topo);
+        assert_eq!(masks[0].as_deref(), Some(&[0usize, 1, 2, 3][..]));
+        assert_eq!(masks[1].as_deref(), Some(&[4usize, 5, 6, 7][..]));
+        assert_eq!(masks[2], masks[1], "node index wraps modulo the node count");
+        assert_eq!(masks[3], None, "Anywhere stays unrestricted");
+    }
+
+    #[test]
+    fn spread_distributes_over_nodes_then_splits_disjointly() {
+        let topo = Topology::new(8, 2);
+        let mut spec = ScenarioSpec::new("spread", 8);
+        for i in 0..3 {
+            spec = spec.process(
+                ProcSpec::new(format!("p{i}"), WorkloadKind::Md)
+                    .threads(2)
+                    .placement(Placement::Spread),
+            );
+        }
+        let masks = spec.plan().placement_masks(&topo);
+        // Ranks 0 and 2 land on node 0 and split it; rank 1 owns node 1.
+        assert_eq!(masks[0].as_deref(), Some(&[0usize, 1][..]));
+        assert_eq!(masks[2].as_deref(), Some(&[2usize, 3][..]));
+        assert_eq!(masks[1].as_deref(), Some(&[4usize, 5, 6, 7][..]));
+    }
+
+    #[test]
+    fn packed_splits_contiguously_by_demand() {
+        let topo = Topology::new(8, 2);
+        let spec = ScenarioSpec::new("packed", 8)
+            .process(
+                ProcSpec::new("heavy", WorkloadKind::Md)
+                    .threads(6)
+                    .placement(Placement::Packed),
+            )
+            .process(
+                ProcSpec::new("light", WorkloadKind::Md)
+                    .threads(2)
+                    .placement(Placement::Packed),
+            );
+        let masks = spec.plan().placement_masks(&topo);
+        assert_eq!(masks[0].as_deref(), Some(&[0usize, 1, 2, 3, 4, 5][..]));
+        assert_eq!(masks[1].as_deref(), Some(&[6usize, 7][..]));
+    }
+
+    #[test]
+    fn degenerate_placement_groups_leave_overflow_unrestricted() {
+        // Three spread processes on a node of one core each: the third spread rank maps
+        // back to node 0 whose single core is already taken by rank 0's one-core floor —
+        // both fit (1 core each would exceed node size), so fits clamps.
+        let topo = Topology::new(2, 2);
+        let mut spec = ScenarioSpec::new("degenerate", 2);
+        for i in 0..3 {
+            spec = spec.process(
+                ProcSpec::new(format!("p{i}"), WorkloadKind::SpinSleep)
+                    .placement(Placement::Spread),
+            );
+        }
+        let masks = spec.plan().placement_masks(&topo);
+        assert_eq!(masks[0].as_deref(), Some(&[0usize][..]));
+        assert_eq!(masks[1].as_deref(), Some(&[1usize][..]));
+        assert_eq!(masks[2], None, "overflow process stays unrestricted");
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub struct ProcessOutcome {
     /// `corun_makespan / solo_makespan`, filled in by
     /// [`ScenarioReport::apply_solo_baseline`]; `None` until a solo baseline is known.
     pub slowdown_vs_solo: Option<f64>,
+    /// Total core migrations of the process's threads over the run — `None` on stacks
+    /// that cannot observe placement (the real executors), measured on the simulator.
+    pub migrations: Option<u64>,
+    /// The subset of migrations that crossed a socket (NUMA-node) boundary. The §5.6
+    /// placement assertions read this *measured* counter rather than inferring from
+    /// latency.
+    pub cross_socket_migrations: Option<u64>,
 }
 
 impl ProcessOutcome {
@@ -120,6 +127,15 @@ impl ScenarioReport {
         stats::jain_fairness(&norm)
     }
 
+    /// Sum of the per-process *measured* cross-socket migration counters; `None` when any
+    /// process lacks one (the real stacks cannot observe placement).
+    pub fn total_cross_socket_migrations(&self) -> Option<u64> {
+        self.processes
+            .iter()
+            .map(|p| p.cross_socket_migrations)
+            .try_fold(0u64, |acc, x| x.map(|v| acc + v))
+    }
+
     /// Largest finite per-process slowdown (`None` until baselines are applied).
     pub fn worst_slowdown(&self) -> Option<f64> {
         self.processes
@@ -158,6 +174,8 @@ mod tests {
             makespan: Duration::from_millis(makespan_ms),
             unit_latencies_s: vec![makespan_ms as f64 / 1e3 / units as f64; units],
             slowdown_vs_solo: None,
+            migrations: None,
+            cross_socket_migrations: None,
         }
     }
 
@@ -218,6 +236,8 @@ mod tests {
             makespan: Duration::ZERO,
             unit_latencies_s: Vec::new(),
             slowdown_vs_solo: None,
+            migrations: None,
+            cross_socket_migrations: None,
         });
         let jain = r.jain_fairness();
         assert!(jain.is_finite() && (0.0..=1.0).contains(&jain), "{jain}");

@@ -159,12 +159,21 @@ impl SimExecutor {
     }
 
     fn lower_plan(&self, plan: &ScenarioPlan) -> LoweredScenario {
-        let scale = (self.machine.cores / plan.cores.max(1)).max(1);
+        let scale = (self.machine.cores() / plan.cores.max(1)).max(1);
         let mut engine = Engine::new(self.machine.clone(), &self.model);
         engine.set_max_sim_time(SimTime::from_secs(24 * 3600));
+        // Lower the plan's placements into core masks over the machine's topology (the
+        // shared `usf_nosv::Topology`) and install them as per-process restrictions. The
+        // fair model enforces them (OS affinity is a hard limit), the Coop model turns
+        // them into scheduler process domains; the partitioned models express placement
+        // through their own assignments and ignore the masks.
+        let masks = plan.placement_masks(&self.machine.topology);
         let mut shapes = Vec::with_capacity(plan.procs.len());
         for p in &plan.procs {
             let pid = engine.add_process(p.name.clone(), 1.0);
+            if let Some(mask) = &masks[p.index] {
+                engine.restrict_process(pid, mask.clone());
+            }
             let threads = p.threads * scale;
             let weights = p.weights_for(threads);
             let gaps = p.pacing_gaps();
@@ -219,7 +228,7 @@ impl SimExecutor {
         // The HPC-pair kinds carry a memory-bandwidth appetite in the simulator (the
         // DeePMD contention of §5.6); service/synthetic kinds are compute-only.
         let bw = match p.kind {
-            WorkloadKind::Md => 2.2 * self.machine.cores as f64 / 112.0,
+            WorkloadKind::Md => 2.2 * self.machine.cores() as f64 / 112.0,
             _ => 0.0,
         };
         Program::new(format!("{}-t{t}", p.name))
@@ -296,6 +305,7 @@ impl SimExecutor {
                 let makespan_s = completion.saturating_sub(arrival).as_secs_f64() / self.time_scale;
                 let makespan = Duration::from_secs_f64(makespan_s);
                 let unit_latencies_s = self.unit_latencies(s, report, makespan_s);
+                let (migrations, cross_socket) = report.migrations_for(&s.thread_ids);
                 ProcessOutcome {
                     name: s.name.clone(),
                     arrival: s.arrival,
@@ -303,6 +313,8 @@ impl SimExecutor {
                     makespan,
                     unit_latencies_s,
                     slowdown_vs_solo: None,
+                    migrations: Some(migrations),
+                    cross_socket_migrations: Some(cross_socket),
                 }
             })
             .collect();
@@ -321,6 +333,10 @@ impl SimExecutor {
                     ("context_switches".into(), m.context_switches as f64),
                     ("preemptions".into(), m.preemptions as f64),
                     ("migrations".into(), m.migrations as f64),
+                    (
+                        "cross_socket_migrations".into(),
+                        m.cross_socket_migrations as f64,
+                    ),
                     ("yields".into(), m.yields as f64),
                     ("busy_time_s".into(), m.busy_time.as_secs_f64()),
                     ("spin_time_s".into(), m.spin_time.as_secs_f64()),
@@ -348,7 +364,7 @@ fn partition_assignments(
     plan: &ScenarioPlan,
     weighted: bool,
 ) -> Vec<(ProcessId, Vec<usize>)> {
-    let n = plan.procs.len().min(machine.cores);
+    let n = plan.procs.len().min(machine.cores());
     if n == 0 {
         return Vec::new();
     }
@@ -362,24 +378,9 @@ fn partition_assignments(
             }
         })
         .collect();
-    let total: f64 = weights.iter().sum();
-    // Ideal share with a 1-core floor, then largest-remainder apportionment of the rest.
-    let spare = machine.cores - n;
-    let ideals: Vec<f64> = weights.iter().map(|w| spare as f64 * (w / total)).collect();
-    let mut counts: Vec<usize> = ideals.iter().map(|i| 1 + i.floor() as usize).collect();
-    let mut leftover = machine.cores - counts.iter().sum::<usize>();
-    let mut by_remainder: Vec<usize> = (0..n).collect();
-    by_remainder.sort_by(|&a, &b| {
-        let ra = ideals[a] - ideals[a].floor();
-        let rb = ideals[b] - ideals[b].floor();
-        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut k = 0;
-    while leftover > 0 {
-        counts[by_remainder[k % n]] += 1;
-        leftover -= 1;
-        k += 1;
-    }
+    // Ideal share with a 1-core floor, then largest-remainder apportionment of the rest
+    // (the same rule the placement lowering uses).
+    let counts = crate::plan::apportion_counts(&weights, machine.cores());
     let mut next_core = 0;
     counts
         .iter()
@@ -414,9 +415,7 @@ mod tests {
     use crate::spec::{Arrival, ProblemSize, ProcSpec};
 
     fn small_sim(model: SchedModel) -> SimExecutor {
-        let mut m = Machine::small(8);
-        m.sockets = 2;
-        SimExecutor::new(m, model)
+        SimExecutor::new(Machine::small_numa(8, 2), model)
     }
 
     fn ramp(procs: usize, threads: usize) -> ScenarioSpec {
@@ -602,8 +601,7 @@ mod tests {
     #[test]
     fn model_matrix_sweeps_one_spec_across_all_models() {
         let spec = ramp(2, 8).models(crate::spec::ModelSel::ALL.to_vec());
-        let mut m = Machine::small(8);
-        m.sockets = 2;
+        let m = Machine::small_numa(8, 2);
         let reports = SimExecutor::sweep_models(&m, &spec);
         assert_eq!(reports.len(), 4);
         let labels: Vec<&str> = reports.iter().map(|r| r.model.unwrap().label()).collect();

@@ -143,6 +143,46 @@ impl ModelSel {
     }
 }
 
+/// Where a process of a scenario is placed on the NUMA topology — the §5.6
+/// socket-placement variants as data.
+///
+/// Placement lowers deterministically in the plan
+/// ([`crate::ScenarioPlan::placement_masks`]) into per-process core masks over the
+/// execution stack's [`usf_nosv::Topology`]. The stacks apply the mask according to their
+/// nature: the simulator's fair model *enforces* it (Linux affinity is a hard limit), the
+/// simulator's SCHED_COOP model and the real `UsfExecutor` install it as a per-process
+/// scheduler domain (plus the recorded-but-unapplied affinity hint of §4.3.2), and the
+/// real `OsExecutor` only records the hint — this reproduction cannot pin OS threads, by
+/// design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// No restriction: the scheduler's affinity → same-node → anywhere rule decides
+    /// (the default).
+    Anywhere,
+    /// Pin to one NUMA node (modulo the node count). Several processes may name the same
+    /// node — that is the deliberate "both on socket 0" contention variant.
+    Node(usize),
+    /// The `Spread` processes of the spec are distributed across NUMA nodes round-robin
+    /// (maximum inter-process distance); processes landing on the same node split its
+    /// cores disjointly, weighted by thread demand.
+    Spread,
+    /// The `Packed` processes of the spec split the cores contiguously from core 0
+    /// upward, weighted by thread demand — the fewest-sockets co-location variant.
+    Packed,
+}
+
+impl Placement {
+    /// Label used in reports and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            Placement::Anywhere => "anywhere".to_string(),
+            Placement::Node(n) => format!("node{n}"),
+            Placement::Spread => "spread".to_string(),
+            Placement::Packed => "packed".to_string(),
+        }
+    }
+}
+
 /// When a process of a scenario starts relative to scenario start.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Arrival {
@@ -183,6 +223,8 @@ pub struct ProcSpec {
     pub units: usize,
     /// Arrival phase.
     pub arrival: Arrival,
+    /// NUMA placement of the process (§5.6 socket-placement variants).
+    pub placement: Placement,
 }
 
 impl ProcSpec {
@@ -197,6 +239,7 @@ impl ProcSpec {
             threads: 2,
             units: 4,
             arrival: Arrival::Immediate,
+            placement: Placement::Anywhere,
         }
     }
 
@@ -227,6 +270,12 @@ impl ProcSpec {
     /// Set the arrival phase.
     pub fn arrival(mut self, arrival: Arrival) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Set the NUMA placement.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -267,6 +316,20 @@ impl ScenarioSpec {
     /// Set the simulator model matrix the spec sweeps (builder style).
     pub fn models(mut self, models: impl Into<Vec<ModelSel>>) -> Self {
         self.models = models.into();
+        self
+    }
+
+    /// The same spec with process `i` placed according to `placements[i %
+    /// placements.len()]` — how one canned scenario derives its §5.6 socket-placement
+    /// variants (e.g. `&[Node(0), Node(1)]` pins an HPC pair to opposite sockets). An
+    /// empty slice leaves the spec unchanged.
+    pub fn with_placements(mut self, placements: &[Placement]) -> ScenarioSpec {
+        if placements.is_empty() {
+            return self;
+        }
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            p.placement = placements[i % placements.len()];
+        }
         self
     }
 
@@ -348,6 +411,24 @@ mod tests {
         let full = spec.models(ModelSel::ALL.to_vec());
         assert_eq!(full.models.len(), 4);
         assert_eq!(full.solo_of(0).models, full.models);
+    }
+
+    #[test]
+    fn placement_defaults_anywhere_and_applies_per_process() {
+        let p = ProcSpec::new("a", WorkloadKind::Md);
+        assert_eq!(p.placement, Placement::Anywhere);
+        let spec = ScenarioSpec::new("place", 4)
+            .process(ProcSpec::new("a", WorkloadKind::Md))
+            .process(ProcSpec::new("b", WorkloadKind::Md))
+            .process(ProcSpec::new("c", WorkloadKind::Md))
+            .with_placements(&[Placement::Node(0), Placement::Node(1)]);
+        assert_eq!(spec.procs[0].placement, Placement::Node(0));
+        assert_eq!(spec.procs[1].placement, Placement::Node(1));
+        assert_eq!(spec.procs[2].placement, Placement::Node(0), "cycled");
+        // solo_of keeps the pin (a pinned solo baseline measures the pinned capacity).
+        assert_eq!(spec.solo_of(1).procs[0].placement, Placement::Node(1));
+        assert_eq!(Placement::Node(1).label(), "node1");
+        assert_eq!(Placement::Spread.label(), "spread");
     }
 
     #[test]

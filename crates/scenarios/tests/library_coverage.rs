@@ -8,9 +8,7 @@ use usf_scenarios::{library, Executor, ModelSel, ProblemSize, ScenarioSpec, SimE
 use usf_simsched::Machine;
 
 fn smoke_machine() -> Machine {
-    let mut m = Machine::small(8);
-    m.sockets = 2;
-    m
+    Machine::small_numa(8, 2)
 }
 
 fn entries() -> Vec<ScenarioSpec> {

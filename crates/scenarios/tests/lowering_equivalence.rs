@@ -73,8 +73,7 @@ proptest! {
         let plan = spec.plan();
 
         // --- Simulator lowering (machine cores == spec cores, so demand scale is 1). ---
-        let mut machine = Machine::small(cores);
-        machine.sockets = 1;
+        let machine = Machine::small(cores);
         let sim = SimExecutor::new(machine, SchedModel::coop_default());
         let lowered = sim.lower(&spec);
         prop_assert_eq!(lowered.scale, 1);

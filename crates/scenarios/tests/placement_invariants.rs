@@ -1,0 +1,154 @@
+//! Property tests for NUMA-aware placement (§5.6).
+//!
+//! For random specs × placements on random two-to-four-node topologies:
+//!
+//! 1. the `Spread`/`Packed` lowerings of [`ScenarioPlan::placement_masks`] assign
+//!    pairwise-disjoint core masks within each group (and every mask is non-empty and
+//!    inside the topology);
+//! 2. node-pinned processes never execute outside their node in the simulator's placement
+//!    trace (`thread_cores`), under both the fair and SCHED_COOP models — and therefore
+//!    record zero *measured* cross-socket migrations.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use usf_nosv::Topology;
+use usf_scenarios::{
+    Placement, ProblemSize, ProcSpec, ScenarioPlan, ScenarioSpec, SimExecutor, WorkloadKind,
+};
+use usf_simsched::{Machine, SchedModel};
+
+fn decode_placement(p: usize, nodes: usize) -> Placement {
+    match p % 4 {
+        0 => Placement::Anywhere,
+        1 => Placement::Node(p % nodes),
+        2 => Placement::Spread,
+        _ => Placement::Packed,
+    }
+}
+
+fn build_spec(cores: usize, nodes: usize, draws: &[(usize, usize, usize, usize)]) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("prop-placement", cores);
+    for (i, &(kind, placement, threads, units)) in draws.iter().enumerate() {
+        let kind = if kind % 2 == 0 {
+            WorkloadKind::SpinSleep
+        } else {
+            WorkloadKind::Md
+        };
+        spec = spec.process(
+            ProcSpec::new(format!("p{i}"), kind)
+                .size(ProblemSize::Tiny)
+                .threads(threads)
+                .units(units)
+                .placement(decode_placement(placement, nodes)),
+        );
+    }
+    spec
+}
+
+/// The disjointness half, shared by both properties (panics on violation — the vendored
+/// proptest's `prop_assert!` is panic-based).
+fn assert_group_masks_disjoint(plan: &ScenarioPlan, topo: &Topology) {
+    let masks = plan.placement_masks(topo);
+    for group in [Placement::Spread, Placement::Packed] {
+        let mut seen: HashSet<usize> = HashSet::new();
+        for (i, p) in plan.procs.iter().enumerate() {
+            if p.placement != group {
+                continue;
+            }
+            let Some(mask) = &masks[i] else {
+                // Degenerate overflow (more grouped processes than assignable cores) is
+                // allowed to stay unrestricted — but only then.
+                prop_assert!(
+                    plan.procs.iter().filter(|q| q.placement == group).count()
+                        > topo.num_cores() / topo.num_numa_nodes().max(1),
+                    "process {i} lost its {group:?} mask without a capacity excuse"
+                );
+                continue;
+            };
+            prop_assert!(!mask.is_empty(), "process {i}: empty mask");
+            for &c in mask {
+                prop_assert!(c < topo.num_cores(), "process {i}: core {c} out of range");
+                prop_assert!(
+                    seen.insert(c),
+                    "process {i}: core {c} already assigned to another {group:?} process"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spread_and_packed_masks_partition_disjointly(
+        nodes in 2..5usize,
+        cores_per_node in 1..4usize,
+        draws in proptest::collection::vec(
+            (0..2usize, 0..8usize, 1..4usize, 1..3usize),
+            1..5,
+        ),
+    ) {
+        let cores = nodes * cores_per_node;
+        let topo = Topology::new(cores, nodes);
+        let plan = build_spec(cores, nodes, &draws).plan();
+        assert_group_masks_disjoint(&plan, &topo);
+    }
+
+    #[test]
+    fn node_pinned_processes_never_execute_outside_their_node(
+        nodes in 2..5usize,
+        cores_per_node in 1..3usize,
+        model_sel in 0..2usize,
+        draws in proptest::collection::vec(
+            (0..2usize, 0..8usize, 1..3usize, 1..3usize),
+            1..4,
+        ),
+    ) {
+        let cores = nodes * cores_per_node;
+        let topo = Topology::new(cores, nodes);
+        let spec = build_spec(cores, nodes, &draws);
+        let plan = spec.plan();
+        assert_group_masks_disjoint(&plan, &topo);
+        let masks = plan.placement_masks(&topo);
+
+        let machine = Machine::small(cores).with_topology(topo.clone());
+        let model = if model_sel == 0 {
+            SchedModel::Fair
+        } else {
+            SchedModel::coop_default()
+        };
+        let lowered = SimExecutor::new(machine, model).lower(&spec);
+        let report = lowered.engine.run();
+        prop_assert!(!report.deadlocked);
+
+        for (i, shape) in lowered.shapes.iter().enumerate() {
+            let Some(mask) = &masks[i] else { continue };
+            let allowed: HashSet<usize> = mask.iter().copied().collect();
+            for tid in &shape.thread_ids {
+                for &core in report.thread_cores.get(tid).into_iter().flatten() {
+                    prop_assert!(
+                        allowed.contains(&core),
+                        "process {i} ({:?}) thread {tid} ran on core {core}, mask {mask:?}",
+                        plan.procs[i].placement
+                    );
+                }
+            }
+            // A mask confined to one node can never migrate across sockets — the
+            // measured counter must agree.
+            let one_node = mask
+                .iter()
+                .map(|&c| topo.node_of(c))
+                .collect::<HashSet<_>>()
+                .len()
+                == 1;
+            if one_node {
+                let (_, cross) = report.migrations_for(&shape.thread_ids);
+                prop_assert_eq!(
+                    cross, 0,
+                    "node-confined process {} recorded cross-socket migrations", i
+                );
+            }
+        }
+    }
+}

@@ -19,8 +19,7 @@ use usf_scenarios::{
 use usf_simsched::{Machine, SchedModel};
 
 fn sim(model: SchedModel) -> SimExecutor {
-    let mut m = Machine::small(8);
-    m.sockets = 2;
+    let m = Machine::small_numa(8, 2);
     SimExecutor::new(m, model)
 }
 

@@ -110,6 +110,10 @@ pub struct Engine {
     bw_last_update: SimTime,
     bw_trace: Vec<BwSample>,
 
+    /// First-touch home node of each process (set when its first thread is dispatched);
+    /// drives the NUMA-locality compute penalty (`Machine::remote_numa_penalty`).
+    process_home: Vec<Option<usize>>,
+
     now: SimTime,
     metrics: SimMetrics,
     max_sim_time: SimTime,
@@ -120,7 +124,7 @@ impl Engine {
     /// Create an engine for the given machine and scheduling model.
     pub fn new(machine: Machine, model: &SchedModel) -> Self {
         let policy = model.build(&machine);
-        let cores = machine.cores;
+        let cores = machine.cores();
         Engine {
             policy_label: model.label().to_string(),
             policy,
@@ -147,6 +151,7 @@ impl Engine {
             bw_factor: 1.0,
             bw_last_update: SimTime::ZERO,
             bw_trace: Vec::new(),
+            process_home: Vec::new(),
             now: SimTime::ZERO,
             metrics: SimMetrics::default(),
             max_sim_time: SimTime::from_secs(24 * 3600),
@@ -165,7 +170,23 @@ impl Engine {
         let id = self.processes.len();
         self.processes
             .push(ProcessDesc::new(id, name).weight(weight));
+        self.process_home.push(None);
         id
+    }
+
+    /// Restrict a process to a set of cores (NUMA-aware placement): its threads will only
+    /// ever be dispatched there by the placement-aware policies (fair, SCHED_COOP). Cores
+    /// outside the machine are dropped; an empty or fully out-of-range set clears the
+    /// restriction. Call before [`Engine::run`].
+    ///
+    /// # Panics
+    /// Panics if `process` is unknown.
+    pub fn restrict_process(&mut self, process: ProcessId, cores: Vec<usize>) {
+        let kept: Vec<usize> = cores
+            .into_iter()
+            .filter(|&c| c < self.machine.cores())
+            .collect();
+        self.processes[process].allowed_cores = (!kept.is_empty()).then_some(kept);
     }
 
     /// Add a thread arriving at time zero.
@@ -240,10 +261,31 @@ impl Engine {
     // -------------------------------------------------------------------------------------
 
     fn per_thread_factor(&self, tid: ThreadId) -> f64 {
-        if self.threads[tid].current_bw <= 0.0 {
+        let bw = if self.threads[tid].current_bw <= 0.0 {
             1.0
         } else {
             self.bw_factor
+        };
+        bw * self.numa_factor(tid)
+    }
+
+    /// NUMA-locality factor of a computing thread: `1 / remote_numa_penalty` while it
+    /// runs on a core outside its process's first-touch home node, `1.0` otherwise (or
+    /// when the machine disables the model). Constant for the duration of one dispatch —
+    /// the home node never changes and a migration passes through `leave_core`, which
+    /// reschedules the completion with the new factor.
+    fn numa_factor(&self, tid: ThreadId) -> f64 {
+        if self.machine.remote_numa_penalty <= 1.0 {
+            return 1.0;
+        }
+        let ThreadRunState::Running(core) = self.threads[tid].state else {
+            return 1.0;
+        };
+        match self.process_home[self.threads[tid].process] {
+            Some(home) if self.machine.socket_of(core) != home => {
+                1.0 / self.machine.remote_numa_penalty
+            }
+            _ => 1.0,
         }
     }
 
@@ -500,11 +542,18 @@ impl Engine {
                 self.threads[tid].stats.migrations += 1;
                 overhead += self.machine.migration_cost;
                 if !self.machine.same_socket(prev, core) {
+                    self.metrics.cross_socket_migrations += 1;
+                    self.threads[tid].stats.cross_socket_migrations += 1;
                     overhead += self.machine.cross_socket_penalty;
                 }
             }
         }
         self.pending_overhead[tid] += overhead;
+        // First-touch: the process's home node is wherever its first thread lands.
+        let process = self.threads[tid].process;
+        if self.process_home[process].is_none() {
+            self.process_home[process] = Some(self.machine.socket_of(core));
+        }
         // Mount the thread.
         self.cores_used[tid].insert(core);
         self.cores[core] = Some(tid);
@@ -672,7 +721,13 @@ impl Engine {
                 Op::Yield => {
                     self.threads[tid].pc += 1;
                     self.metrics.yields += 1;
-                    if self.policy.has_ready() {
+                    let useful = match self.threads[tid].state {
+                        // Only threads eligible on *this* core make switching useful —
+                        // work pinned to other cores cannot take it over.
+                        ThreadRunState::Running(core) => self.policy.has_ready_for(core),
+                        _ => self.policy.has_ready(),
+                    };
+                    if useful {
                         self.yield_core(tid);
                         return;
                     }
@@ -798,10 +853,13 @@ impl Engine {
                 if self.run_seq[thread] != run_seq {
                     return;
                 }
-                if !matches!(self.threads[thread].state, ThreadRunState::Running(_)) {
+                let ThreadRunState::Running(core) = self.threads[thread].state else {
                     return;
-                }
-                if self.policy.has_ready() {
+                };
+                // Preempt only when some queued thread may actually run on this core;
+                // preempting for work that is pinned elsewhere would inflate the
+                // preemption counters and re-dispatch the same thread.
+                if self.policy.has_ready_for(core) {
                     self.preempt(thread);
                 } else if let Some(q) = self.policy.preemption_quantum() {
                     let seq = self.run_seq[thread];
@@ -836,7 +894,11 @@ impl Engine {
                 }
                 // The spinning thread reaches its sched_yield.
                 self.metrics.yields += 1;
-                if self.policy.has_ready() {
+                let useful = match self.threads[thread].state {
+                    ThreadRunState::Running(core) => self.policy.has_ready_for(core),
+                    _ => self.policy.has_ready(),
+                };
+                if useful {
                     self.yield_core(thread);
                 } else if let Some(BarrierWaitKind::SpinYield { slice }) = self.spin_kind[thread] {
                     self.op_seq[thread] += 1;
@@ -976,7 +1038,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("policy", &self.policy_label)
-            .field("cores", &self.machine.cores)
+            .field("cores", &self.machine.cores())
             .field("threads", &self.threads.len())
             .finish()
     }
@@ -1321,6 +1383,152 @@ mod tests {
         assert_eq!(marks[1].1, r.makespan);
         // The placement trace records the single core.
         assert_eq!(r.thread_cores[&0].iter().copied().collect::<Vec<_>>(), [0]);
+    }
+
+    #[test]
+    fn restricted_processes_never_leave_their_cores() {
+        // Two processes pinned to opposite sockets, both oversubscribing their half: under
+        // both placement-aware policies no thread may ever be dispatched outside its pin,
+        // so the measured cross-socket migration counter must be exactly zero.
+        for model in [SchedModel::Fair, SchedModel::coop_default()] {
+            let mut e = Engine::new(Machine::small_numa(4, 2), &model);
+            let a = e.add_process("a", 1.0);
+            let b = e.add_process("b", 1.0);
+            e.restrict_process(a, vec![0, 1]);
+            e.restrict_process(b, vec![2, 3]);
+            let body = Program::new("phase")
+                .compute(SimTime::from_millis(1))
+                .sleep(SimTime::from_millis(1));
+            let prog = Program::new("t").repeat(8, &body).build();
+            for _ in 0..4 {
+                e.add_thread(a, ProgramRef::clone(&prog));
+                e.add_thread(b, ProgramRef::clone(&prog));
+            }
+            let r = e.run();
+            assert!(!r.deadlocked, "{model:?}");
+            for (tid, cores) in &r.thread_cores {
+                let node0 = tid % 2 == 0; // threads alternate a, b, a, b, …
+                for &c in cores {
+                    assert_eq!(
+                        c < 2,
+                        node0,
+                        "thread {tid} escaped its pin to core {c} under {model:?}"
+                    );
+                }
+            }
+            assert_eq!(r.metrics.cross_socket_migrations, 0, "{model:?}");
+            let (migs, cross) = r.migrations_for(&[0, 2, 4, 6]);
+            assert_eq!(cross, 0);
+            let _ = migs;
+        }
+    }
+
+    #[test]
+    fn work_pinned_elsewhere_does_not_preempt_a_full_node() {
+        // Process A exactly fills node 0; process B is pinned to node 1 and
+        // oversubscribes it, so B's masked queue is never empty. A's threads must not be
+        // quantum-preempted for work that can only run on node 1 — only B's threads pay
+        // preemptions.
+        let mut e = Engine::new(Machine::small_numa(4, 2), &SchedModel::Fair);
+        let a = e.add_process("a", 1.0);
+        let b = e.add_process("b", 1.0);
+        e.restrict_process(a, vec![0, 1]);
+        e.restrict_process(b, vec![2, 3]);
+        let prog = Program::new("t").compute(SimTime::from_millis(20)).build();
+        let a_threads: Vec<ThreadId> = (0..2)
+            .map(|_| e.add_thread(a, ProgramRef::clone(&prog)))
+            .collect();
+        for _ in 0..4 {
+            e.add_thread(b, ProgramRef::clone(&prog));
+        }
+        let r = e.run();
+        assert!(!r.deadlocked);
+        for tid in &a_threads {
+            assert_eq!(
+                r.thread_stats[tid].preemptions, 0,
+                "thread {tid} of the full node was preempted for unrunnable work"
+            );
+        }
+        let b_preemptions: u64 = r
+            .thread_stats
+            .iter()
+            .filter(|(tid, _)| !a_threads.contains(tid))
+            .map(|(_, s)| s.preemptions)
+            .sum();
+        assert!(
+            b_preemptions > 0,
+            "the oversubscribed pinned node must still time-slice"
+        );
+    }
+
+    #[test]
+    fn remote_numa_penalty_slows_off_home_compute() {
+        // Two threads of one process on a 2-core, 2-socket machine with a 2x remote
+        // penalty: the first dispatch (core 0) fixes the home node; the thread mounted on
+        // core 1 computes at half speed.
+        let mut machine = Machine::small_numa(2, 2);
+        machine.remote_numa_penalty = 2.0;
+        let mut e = Engine::new(machine, &SchedModel::coop_default());
+        let p = e.add_process("p", 1.0);
+        let prog = Program::new("t").compute(SimTime::from_millis(10)).build();
+        let local = e.add_thread(p, ProgramRef::clone(&prog));
+        let remote = e.add_thread(p, prog);
+        let r = e.run();
+        assert!(!r.deadlocked);
+        let local_fin = r.thread_times[&local].1.unwrap();
+        let remote_fin = r.thread_times[&remote].1.unwrap();
+        assert!(
+            local_fin < SimTime::from_millis(11),
+            "home-node thread runs at full speed ({local_fin})"
+        );
+        assert!(
+            remote_fin >= SimTime::from_millis(20),
+            "remote thread must take ~2x ({remote_fin})"
+        );
+        assert!(remote_fin < SimTime::from_millis(22));
+        // With the penalty disabled (the default), both finish together.
+        let mut e = Engine::new(Machine::small_numa(2, 2), &SchedModel::coop_default());
+        let p = e.add_process("p", 1.0);
+        let prog = Program::new("t").compute(SimTime::from_millis(10)).build();
+        e.add_thread(p, ProgramRef::clone(&prog));
+        e.add_thread(p, prog);
+        let r = e.run();
+        assert!(r.makespan < SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn cross_socket_migrations_are_counted_when_they_happen() {
+        // A staggered arrival on a 2-core, 2-socket machine forces one deterministic
+        // cross-socket hop under the fair policy: A and B mount cores 0/1 at t=0, C
+        // arrives at 1 ms and queues; at the 4 ms quantum A is preempted from core 0 (C
+        // takes it, lowest clamped vruntime), B is preempted from core 1 and A — now the
+        // lowest-vruntime ready thread — is dispatched there: core 0 → core 1 crosses
+        // the socket boundary.
+        let mut e = Engine::new(Machine::small_numa(2, 2), &SchedModel::Fair);
+        let p = e.add_process("p", 1.0);
+        let long = Program::new("long")
+            .compute(SimTime::from_millis(30))
+            .build();
+        e.add_thread(
+            p,
+            Program::new("a").compute(SimTime::from_millis(10)).build(),
+        );
+        e.add_thread(p, ProgramRef::clone(&long));
+        e.add_thread_at(p, long, SimTime::from_millis(1));
+        let r = e.run();
+        assert!(!r.deadlocked);
+        let total_cross: u64 = r
+            .thread_stats
+            .values()
+            .map(|s| s.cross_socket_migrations)
+            .sum();
+        assert_eq!(r.metrics.cross_socket_migrations, total_cross);
+        assert!(
+            total_cross > 0,
+            "an unpinned oversubscribed run on a 2-socket machine must migrate across \
+             sockets at least once"
+        );
+        assert!(r.metrics.migrations >= total_cross);
     }
 
     #[test]

@@ -1,14 +1,21 @@
 //! Simulated machine description.
+//!
+//! The NUMA structure is **not** described here with private core→socket math any more:
+//! [`Machine`] embeds the runtime's [`usf_nosv::Topology`] — the one topology type every
+//! layer (real scheduler, ready-queue, simulator, scenario lowering) shares — and all
+//! socket queries delegate to it. Non-uniform node maps
+//! ([`Topology::from_node_sizes`](usf_nosv::Topology::from_node_sizes)) work unchanged.
 
 use crate::time::SimTime;
+use usf_nosv::readyq::TopologyView;
+use usf_nosv::{CoreId, Topology};
 
 /// Description of the simulated node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
-    /// Total number of cores.
-    pub cores: usize,
-    /// Number of sockets (NUMA domains); cores are split contiguously.
-    pub sockets: usize,
+    /// Core/NUMA layout of the node — the shared topology vocabulary ("sockets" in the
+    /// simulator's terms are the topology's NUMA nodes).
+    pub topology: Topology,
     /// Cost charged when a core switches from one thread to another (direct context-switch
     /// cost: register save/restore, scheduler work).
     pub ctx_switch_cost: SimTime,
@@ -22,6 +29,13 @@ pub struct Machine {
     /// Node memory bandwidth cap in GB/s (processor-shared among running compute phases that
     /// declare a bandwidth demand).
     pub memory_bw_gbps: f64,
+    /// NUMA-locality compute penalty: a thread computing on a core whose node differs
+    /// from its process's *home node* (first-touch: the node where the process's first
+    /// thread was dispatched) progresses `1 / remote_numa_penalty` as fast — remote DRAM
+    /// latency/bandwidth, the §5.6 physics that makes socket placement matter for
+    /// memory-bound pairs. `1.0` (the default everywhere) disables the model; `fig8_numa`
+    /// enables it explicitly.
+    pub remote_numa_penalty: f64,
 }
 
 impl Machine {
@@ -29,14 +43,25 @@ impl Machine {
     /// costs, 100 GB/s.
     pub fn small(cores: usize) -> Self {
         Machine {
-            cores,
-            sockets: 1,
+            topology: Topology::single_node(cores),
             ctx_switch_cost: SimTime::from_micros(2),
             migration_cost: SimTime::from_micros(5),
             cross_socket_penalty: SimTime::from_micros(5),
             preemption_quantum: SimTime::from_millis(4),
             memory_bw_gbps: 100.0,
+            remote_numa_penalty: 1.0,
         }
+    }
+
+    /// [`Machine::small`] with the cores split into `sockets` NUMA nodes.
+    pub fn small_numa(cores: usize, sockets: usize) -> Self {
+        Machine::small(cores).with_topology(Topology::new(cores, sockets))
+    }
+
+    /// Replace the topology (builder style), keeping the cost model.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// The evaluation machine of the paper (Table 1): a Marenostrum 5 node with two 56-core
@@ -45,13 +70,13 @@ impl Machine {
     /// Linux numbers (a few microseconds per context switch).
     pub fn marenostrum5() -> Self {
         Machine {
-            cores: 112,
-            sockets: 2,
+            topology: Topology::marenostrum5(),
             ctx_switch_cost: SimTime::from_micros(3),
             migration_cost: SimTime::from_micros(8),
             cross_socket_penalty: SimTime::from_micros(12),
             preemption_quantum: SimTime::from_millis(4),
             memory_bw_gbps: 250.0,
+            remote_numa_penalty: 1.0,
         }
     }
 
@@ -59,40 +84,46 @@ impl Machine {
     /// matmul and Cholesky experiments (§5.3, §5.4).
     pub fn marenostrum5_socket() -> Self {
         Machine {
-            cores: 56,
-            sockets: 1,
+            topology: Topology::single_node(56),
             ..Machine::marenostrum5()
         }
     }
 
+    /// Total number of cores.
+    pub fn cores(&self) -> usize {
+        self.topology.num_cores()
+    }
+
+    /// Number of sockets (the topology's NUMA nodes).
+    pub fn sockets(&self) -> usize {
+        self.topology.num_numa_nodes()
+    }
+
     /// Socket (NUMA domain) of a core.
-    pub fn socket_of(&self, core: usize) -> usize {
-        let per = self.cores.div_ceil(self.sockets.max(1));
-        (core / per).min(self.sockets - 1)
+    pub fn socket_of(&self, core: CoreId) -> usize {
+        self.topology.node_of(core)
     }
 
     /// Whether two cores share a socket.
-    pub fn same_socket(&self, a: usize, b: usize) -> bool {
-        self.socket_of(a) == self.socket_of(b)
+    pub fn same_socket(&self, a: CoreId, b: CoreId) -> bool {
+        self.topology.same_node(a, b)
     }
 
     /// Cores belonging to a socket.
-    pub fn cores_in_socket(&self, socket: usize) -> Vec<usize> {
-        (0..self.cores)
-            .filter(|c| self.socket_of(*c) == socket)
-            .collect()
+    pub fn cores_in_socket(&self, socket: usize) -> Vec<CoreId> {
+        self.topology.cores_in_node(socket).collect()
     }
 }
 
-/// The machine model doubles as the topology view of the shared SCHED_COOP ready-queue
-/// (`usf_nosv::readyq`): sockets are the NUMA nodes.
-impl usf_nosv::readyq::TopologyView for Machine {
+/// The machine doubles as the topology view of the shared SCHED_COOP ready-queue
+/// (`usf_nosv::readyq`) by delegating to its embedded [`Topology`].
+impl TopologyView for Machine {
     fn view_cores(&self) -> usize {
-        self.cores
+        self.topology.num_cores()
     }
 
-    fn view_node_of(&self, core: usize) -> usize {
-        self.socket_of(core)
+    fn view_node_of(&self, core: CoreId) -> usize {
+        self.topology.node_of(core)
     }
 }
 
@@ -103,20 +134,37 @@ mod tests {
     #[test]
     fn marenostrum_layout_matches_table1() {
         let m = Machine::marenostrum5();
-        assert_eq!(m.cores, 112);
-        assert_eq!(m.sockets, 2);
+        assert_eq!(m.cores(), 112);
+        assert_eq!(m.sockets(), 2);
         assert_eq!(m.cores_in_socket(0).len(), 56);
         assert_eq!(m.cores_in_socket(1).len(), 56);
         assert!(m.same_socket(0, 55));
         assert!(!m.same_socket(55, 56));
-        assert_eq!(Machine::marenostrum5_socket().cores, 56);
+        assert_eq!(Machine::marenostrum5_socket().cores(), 56);
+        assert_eq!(m.topology, Topology::marenostrum5());
     }
 
     #[test]
     fn small_machine_single_socket() {
         let m = Machine::small(4);
-        assert_eq!(m.sockets, 1);
+        assert_eq!(m.sockets(), 1);
         assert!(m.same_socket(0, 3));
         assert_eq!(m.socket_of(3), 0);
+    }
+
+    #[test]
+    fn small_numa_splits_sockets() {
+        let m = Machine::small_numa(8, 2);
+        assert_eq!(m.sockets(), 2);
+        assert!(!m.same_socket(3, 4));
+    }
+
+    #[test]
+    fn non_uniform_topologies_are_supported() {
+        let m = Machine::small(1).with_topology(Topology::from_node_sizes(&[6, 2]));
+        assert_eq!(m.cores(), 8);
+        assert_eq!(m.cores_in_socket(0).len(), 6);
+        assert_eq!(m.cores_in_socket(1), vec![6, 7]);
+        assert_eq!(m.socket_of(6), 1);
     }
 }

@@ -13,6 +13,11 @@ pub struct SimMetrics {
     pub preemptions: u64,
     /// Dispatches on a core different from the thread's previous one.
     pub migrations: u64,
+    /// The subset of migrations that crossed a socket (NUMA-node) boundary. The engine
+    /// has always *charged* `cross_socket_penalty` for these; now it also counts them, so
+    /// placement experiments assert on measured counters instead of inferring from
+    /// latency.
+    pub cross_socket_migrations: u64,
     /// Total useful CPU time across all cores.
     pub busy_time: SimTime,
     /// Total CPU time burnt busy-waiting.
@@ -114,6 +119,18 @@ impl SimReportData {
     /// Peak consumed bandwidth (GB/s).
     pub fn peak_bandwidth(&self) -> f64 {
         self.bw_trace.iter().map(|s| s.gbps).fold(0.0, f64::max)
+    }
+
+    /// Total `(migrations, cross-socket migrations)` over the given threads (typically
+    /// one process's parallel region) — the per-process counters the §5.6 placement
+    /// figures report.
+    pub fn migrations_for(&self, threads: &[ThreadId]) -> (u64, u64) {
+        threads
+            .iter()
+            .filter_map(|t| self.thread_stats.get(t))
+            .fold((0, 0), |(m, x), s| {
+                (m + s.migrations, x + s.cross_socket_migrations)
+            })
     }
 
     /// Completion time of each unit across the given threads (typically one process's

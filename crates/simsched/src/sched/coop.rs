@@ -15,6 +15,7 @@ use crate::machine::Machine;
 use crate::thread::{ProcessDesc, ProcessId, ThreadId};
 use crate::time::SimTime;
 use usf_nosv::readyq::CoopCore;
+use usf_nosv::Topology;
 
 /// See the module documentation.
 pub struct CoopScheduler {
@@ -34,7 +35,7 @@ impl CoopScheduler {
     /// Create a SCHED_COOP policy with the given per-process quantum.
     pub fn new(process_quantum: SimTime) -> Self {
         CoopScheduler {
-            core: CoopCore::new(&Machine::small(1), process_quantum),
+            core: CoopCore::new(&Topology::single_node(1), process_quantum),
             quantum: process_quantum,
         }
     }
@@ -52,10 +53,14 @@ impl SimPolicy for CoopScheduler {
 
     fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]) {
         // Re-snapshot the topology (init may be called after new(), with the real
-        // machine); queues built for a different core count are recreated.
-        self.core.set_topology(machine);
+        // machine); queues built for a different core count are recreated. The machine's
+        // embedded `Topology` is the same type the real runtime's policy consumes.
+        self.core.set_topology(&machine.topology);
         for p in processes {
             self.core.register_process(p.id);
+            // A placement restriction becomes a CoopCore process domain: the affinity →
+            // node → anywhere tiers (and the aging valve) all stay inside it.
+            self.core.set_process_domain(p.id, p.allowed_cores.clone());
         }
     }
 
@@ -77,6 +82,10 @@ impl SimPolicy for CoopScheduler {
 
     fn has_ready(&self) -> bool {
         self.core.has_ready()
+    }
+
+    fn has_ready_for(&self, core: usize) -> bool {
+        self.core.has_ready_for(core)
     }
 
     fn ready_count(&self) -> usize {
@@ -102,8 +111,7 @@ mod tests {
     }
 
     fn setup(cores: usize, sockets: usize, procs: usize) -> CoopScheduler {
-        let mut machine = Machine::small(cores);
-        machine.sockets = sockets;
+        let machine = Machine::small_numa(cores, sockets);
         let mut s = CoopScheduler::new(SimTime::from_millis(20));
         let descs: Vec<ProcessDesc> = (0..procs)
             .map(|p| ProcessDesc::new(p, format!("p{p}")))
@@ -158,6 +166,22 @@ mod tests {
         s.enqueue(ready(5, 1, None), now);
         assert_eq!(s.pick(0, now), Some(5));
         assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn allowed_cores_become_process_domains() {
+        let machine = Machine::small_numa(4, 2);
+        let mut s = CoopScheduler::new(SimTime::from_millis(20));
+        let free = ProcessDesc::new(0, "free");
+        let pinned = ProcessDesc::new(1, "pinned").allowed_cores(vec![2, 3]);
+        s.init(&machine, &[free, pinned]);
+        s.enqueue(ready(10, 1, None), SimTime::ZERO);
+        assert_eq!(s.pick(0, SimTime::ZERO), None, "core 0 is outside the pin");
+        assert_eq!(s.pick_affine(0, SimTime::ZERO), None);
+        assert_eq!(s.pick(3, SimTime::ZERO), Some(10));
+        // The unrestricted process still runs anywhere.
+        s.enqueue(ready(20, 0, None), SimTime::ZERO);
+        assert_eq!(s.pick(0, SimTime::ZERO), Some(20));
     }
 
     #[test]

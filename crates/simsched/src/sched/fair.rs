@@ -7,6 +7,13 @@
 //! interrupted regardless of what they are doing — including while holding locks or while
 //! other threads spin on them) and fairness (all oversubscribed requests progress evenly,
 //! the Figure 4 bl-none collapse).
+//!
+//! Unlike the real USF scheduler — which treats affinity as a hint (§4.3.2) — the OS
+//! baseline *enforces* placement restrictions: `sched_setaffinity` masks are hard limits
+//! under Linux. A process registered with
+//! [`ProcessDesc::allowed_cores`](crate::thread::ProcessDesc) therefore keeps its own
+//! vruntime-ordered queue, consulted only by the cores its mask names; everything else
+//! shares the global queue.
 
 use super::{ReadyThread, SimPolicy};
 use crate::machine::Machine;
@@ -17,8 +24,12 @@ use std::collections::{BTreeSet, HashMap};
 /// See the module documentation.
 #[derive(Debug)]
 pub struct FairScheduler {
-    /// Ready threads ordered by (scaled vruntime, id).
+    /// Ready threads of unrestricted processes, ordered by (scaled vruntime, id).
     queue: BTreeSet<(u64, ThreadId)>,
+    /// Ready threads of mask-restricted processes, one queue per process.
+    masked_queues: HashMap<ProcessId, BTreeSet<(u64, ThreadId)>>,
+    /// Per-core allowance of each restricted process (dense bool mask).
+    masks: HashMap<ProcessId, Vec<bool>>,
     /// Weight per process (from the process table).
     weights: HashMap<ProcessId, f64>,
     /// Monotonic floor for vruntime so newly woken threads do not starve older ones.
@@ -31,6 +42,8 @@ impl FairScheduler {
     pub fn new(quantum: SimTime) -> Self {
         FairScheduler {
             queue: BTreeSet::new(),
+            masked_queues: HashMap::new(),
+            masks: HashMap::new(),
             weights: HashMap::new(),
             min_vruntime: 0.0,
             quantum,
@@ -51,9 +64,23 @@ impl SimPolicy for FairScheduler {
         "linux-fair"
     }
 
-    fn init(&mut self, _machine: &Machine, processes: &[ProcessDesc]) {
+    fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]) {
         for p in processes {
             self.weights.insert(p.id, p.weight);
+            if let Some(cores) = &p.allowed_cores {
+                let mut mask = vec![false; machine.cores()];
+                let mut any = false;
+                for &c in cores {
+                    if c < mask.len() {
+                        mask[c] = true;
+                        any = true;
+                    }
+                }
+                if any {
+                    self.masks.insert(p.id, mask);
+                    self.masked_queues.entry(p.id).or_default();
+                }
+            }
         }
     }
 
@@ -61,22 +88,65 @@ impl SimPolicy for FairScheduler {
         // CFS-style: place newly woken threads no earlier than the current minimum so a
         // thread that slept for a long time does not monopolize the CPU when it wakes.
         let vr = thread.vruntime.max(self.min_vruntime);
-        self.queue.insert(Self::key(vr, thread.id));
+        let key = Self::key(vr, thread.id);
+        match self.masked_queues.get_mut(&thread.process) {
+            Some(q) => {
+                q.insert(key);
+            }
+            None => {
+                self.queue.insert(key);
+            }
+        }
     }
 
-    fn pick(&mut self, _core: usize, _now: SimTime) -> Option<ThreadId> {
-        let first = self.queue.iter().next().copied()?;
-        self.queue.remove(&first);
-        self.min_vruntime = self.min_vruntime.max(first.0 as f64 / 1e9);
-        Some(first.1)
+    fn pick(&mut self, core: usize, _now: SimTime) -> Option<ThreadId> {
+        // The lowest vruntime among the shared queue and every masked queue whose mask
+        // allows this core (the number of restricted processes is tiny, so the scan is
+        // cheap relative to the BTree operations).
+        let mut best: Option<(u64, ThreadId, Option<ProcessId>)> = None;
+        if let Some(&(vr, id)) = self.queue.iter().next() {
+            best = Some((vr, id, None));
+        }
+        for (pid, q) in &self.masked_queues {
+            if !self.masks.get(pid).is_some_and(|m| m[core]) {
+                continue;
+            }
+            if let Some(&(vr, id)) = q.iter().next() {
+                if best.map_or(true, |(bvr, bid, _)| (vr, id) < (bvr, bid)) {
+                    best = Some((vr, id, Some(*pid)));
+                }
+            }
+        }
+        let (vr, id, owner) = best?;
+        match owner {
+            Some(pid) => {
+                self.masked_queues
+                    .get_mut(&pid)
+                    .expect("queue existed above")
+                    .remove(&(vr, id));
+            }
+            None => {
+                self.queue.remove(&(vr, id));
+            }
+        }
+        self.min_vruntime = self.min_vruntime.max(vr as f64 / 1e9);
+        Some(id)
     }
 
     fn has_ready(&self) -> bool {
+        !self.queue.is_empty() || self.masked_queues.values().any(|q| !q.is_empty())
+    }
+
+    fn has_ready_for(&self, core: usize) -> bool {
         !self.queue.is_empty()
+            || self
+                .masked_queues
+                .iter()
+                .any(|(pid, q)| !q.is_empty() && self.masks.get(pid).is_some_and(|m| m[core]))
     }
 
     fn ready_count(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.masked_queues.values().map(|q| q.len()).sum::<usize>()
     }
 
     fn preemption_quantum(&self) -> Option<SimTime> {
@@ -128,5 +198,51 @@ mod tests {
     fn quantum_is_exposed() {
         let s = FairScheduler::new(SimTime::from_millis(7));
         assert_eq!(s.preemption_quantum(), Some(SimTime::from_millis(7)));
+    }
+
+    #[test]
+    fn masked_process_only_served_to_allowed_cores() {
+        let machine = Machine::small_numa(4, 2);
+        let mut s = FairScheduler::new(SimTime::from_millis(4));
+        let pinned = ProcessDesc::new(1, "pinned").allowed_cores(vec![2, 3]);
+        s.init(&machine, &[ProcessDesc::new(0, "free"), pinned]);
+        s.enqueue(
+            ReadyThread {
+                id: 10,
+                process: 1,
+                last_core: None,
+                vruntime: 0.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(s.has_ready());
+        assert_eq!(s.ready_count(), 1);
+        assert_eq!(s.pick(0, SimTime::ZERO), None, "core 0 is outside the mask");
+        assert_eq!(s.pick(2, SimTime::ZERO), Some(10));
+        // Unrestricted threads still compete everywhere, in vruntime order.
+        s.enqueue(
+            ReadyThread {
+                id: 20,
+                process: 0,
+                last_core: None,
+                vruntime: 0.5,
+            },
+            SimTime::ZERO,
+        );
+        s.enqueue(
+            ReadyThread {
+                id: 11,
+                process: 1,
+                last_core: None,
+                vruntime: 0.1,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            s.pick(3, SimTime::ZERO),
+            Some(11),
+            "masked thread wins on its core by vruntime"
+        );
+        assert_eq!(s.pick(0, SimTime::ZERO), Some(20));
     }
 }

@@ -51,6 +51,15 @@ pub trait SimPolicy: Send {
     /// Whether any thread is currently queued.
     fn has_ready(&self) -> bool;
 
+    /// Whether any queued thread is *eligible to run on `core`* — placement-aware
+    /// policies override this so the engine's "is switching useful" checks (quantum
+    /// preemption, yields) do not vacate a core for threads that are pinned elsewhere.
+    /// The default ignores placement and delegates to [`SimPolicy::has_ready`].
+    fn has_ready_for(&self, core: usize) -> bool {
+        let _ = core;
+        self.has_ready()
+    }
+
     /// Number of queued threads.
     fn ready_count(&self) -> usize;
 

@@ -55,12 +55,12 @@ impl SimPolicy for PartitionedScheduler {
     }
 
     fn init(&mut self, machine: &Machine, processes: &[ProcessDesc]) {
-        self.core_owner = vec![None; machine.cores];
+        self.core_owner = vec![None; machine.cores()];
         for (pid, cores) in &self.assignments {
             self.assigned.insert(*pid, true);
             self.queues.entry(*pid).or_default();
             for &c in cores {
-                if c < machine.cores {
+                if c < machine.cores() {
                     self.core_owner[c] = Some(*pid);
                 }
             }
@@ -122,6 +122,19 @@ impl SimPolicy for PartitionedScheduler {
         !self.shared_queue.is_empty() || self.queues.values().any(|q| !q.is_empty())
     }
 
+    fn has_ready_for(&self, core: usize) -> bool {
+        // Mirror of `pick`'s reachability: an owned core serves its owner's queue and
+        // falls back to the shared queue; an unowned core serves only the shared queue.
+        // Work queued for *other* partitions must not preempt this core's thread.
+        if !self.shared_queue.is_empty() {
+            return true;
+        }
+        match self.core_owner.get(core).copied().flatten() {
+            Some(owner) => self.queues.get(&owner).is_some_and(|q| !q.is_empty()),
+            None => false,
+        }
+    }
+
     fn ready_count(&self) -> usize {
         self.shared_queue.len() + self.queues.values().map(|q| q.len()).sum::<usize>()
     }
@@ -178,6 +191,29 @@ mod tests {
         // An owned core whose owner is idle also serves unassigned work.
         s.enqueue(ready(91, 9), SimTime::ZERO);
         assert_eq!(s.pick(0, SimTime::ZERO), Some(91));
+    }
+
+    #[test]
+    fn has_ready_for_ignores_other_partitions() {
+        let machine = Machine::small(4);
+        let mut s = PartitionedScheduler::new(
+            vec![(0, vec![0, 1]), (1, vec![2, 3])],
+            SimTime::from_millis(4),
+        );
+        s.init(
+            &machine,
+            &[ProcessDesc::new(0, "a"), ProcessDesc::new(1, "b")],
+        );
+        s.enqueue(ready(20, 1), SimTime::ZERO);
+        assert!(s.has_ready());
+        assert!(
+            !s.has_ready_for(0),
+            "process 1's backlog cannot run on process 0's cores"
+        );
+        assert!(s.has_ready_for(2));
+        // Shared (unassigned-process) work makes every core preemptible.
+        s.enqueue(ready(90, 9), SimTime::ZERO);
+        assert!(s.has_ready_for(0));
     }
 
     #[test]

@@ -18,21 +18,33 @@ pub struct ProcessDesc {
     /// Scheduling weight (CFS-style: higher weight → more CPU under the fair policy). A
     /// nice value of 0 corresponds to 1.0; nice 20 to roughly 0.1.
     pub weight: f64,
+    /// Placement restriction: when `Some`, the process's threads may only be dispatched
+    /// on these cores (NUMA-aware pinning, the §5.6 socket-placement variants). Honoured
+    /// by the fair and SCHED_COOP policies; the partitioned policy expresses placement
+    /// through its own assignments and ignores this field.
+    pub allowed_cores: Option<Vec<usize>>,
 }
 
 impl ProcessDesc {
-    /// A process with weight 1.0.
+    /// A process with weight 1.0 and no placement restriction.
     pub fn new(id: ProcessId, name: impl Into<String>) -> Self {
         ProcessDesc {
             id,
             name: name.into(),
             weight: 1.0,
+            allowed_cores: None,
         }
     }
 
     /// Set the scheduling weight.
     pub fn weight(mut self, weight: f64) -> Self {
         self.weight = weight.max(0.001);
+        self
+    }
+
+    /// Restrict the process to a set of cores (builder style).
+    pub fn allowed_cores(mut self, cores: Vec<usize>) -> Self {
+        self.allowed_cores = (!cores.is_empty()).then_some(cores);
         self
     }
 }
@@ -84,6 +96,9 @@ pub struct ThreadStats {
     pub preemptions: u64,
     /// Times the thread was dispatched on a different core than the previous one.
     pub migrations: u64,
+    /// The subset of migrations that crossed a socket (NUMA-node) boundary — the costly
+    /// kind the §5.6 placement variants are designed to avoid.
+    pub cross_socket_migrations: u64,
     /// Times the thread was dispatched on a core.
     pub dispatches: u64,
 }

@@ -82,8 +82,7 @@ proptest! {
         let assignments: Vec<(usize, Vec<usize>)> =
             partitions.iter().cloned().enumerate().collect();
 
-        let mut machine = Machine::small(cores);
-        machine.sockets = if cores >= 6 { 2 } else { 1 };
+        let machine = Machine::small_numa(cores, if cores >= 6 { 2 } else { 1 });
         let mut engine = Engine::new(machine, &SchedModel::Partitioned { assignments });
         engine.set_max_sim_time(SimTime::from_secs(60));
 

@@ -268,7 +268,7 @@ fn run_ensembles(cfg: &MdConfig, ensembles: usize) -> SimReport {
 
 /// Scheduler model for the scenario.
 fn build_model(cfg: &MdConfig, ensembles: usize, threads_per_ensemble: usize) -> SchedModel {
-    let cores = cfg.machine.cores;
+    let cores = cfg.machine.cores();
     if cfg.scenario.uses_coop() {
         return SchedModel::coop_default();
     }
@@ -310,8 +310,7 @@ mod tests {
 
     fn quick(scenario: MdScenario) -> MdResult {
         let mut cfg = MdConfig::new(scenario);
-        cfg.machine = Machine::small(8);
-        cfg.machine.sockets = 2;
+        cfg.machine = Machine::small_numa(8, 2);
         cfg.machine.memory_bw_gbps = 40.0;
         cfg.ranks_per_ensemble = 4;
         cfg.threads_per_rank = 2;

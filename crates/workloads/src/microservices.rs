@@ -283,7 +283,7 @@ pub fn run_microservices(cfg: &MicroservicesConfig) -> MicroservicesResult {
 
 /// Map a scheme to a scheduler model (and the partition table, for reporting).
 fn scheme_to_model(cfg: &MicroservicesConfig) -> (SchedModel, Vec<(usize, Vec<usize>)>) {
-    let cores = cfg.machine.cores;
+    let cores = cfg.machine.cores();
     match cfg.scheme {
         PartitionScheme::BlNone | PartitionScheme::BlNoneSeq => (SchedModel::Fair, Vec::new()),
         PartitionScheme::SchedCoop => (SchedModel::coop_default(), Vec::new()),
@@ -337,8 +337,7 @@ mod tests {
         cfg.requests = 4;
         cfg.batches = 2;
         cfg.time_scale = 0.01; // ~54 ms LLaMA inference
-        cfg.machine = Machine::small(16);
-        cfg.machine.sockets = 2;
+        cfg.machine = Machine::small_numa(16, 2);
         cfg.yield_slice = SimTime::from_micros(200);
         run_microservices(&cfg)
     }

@@ -37,6 +37,6 @@ pub mod prelude {
     pub use usf_core::prelude::*;
     pub use usf_runtimes::{LoopSchedule, TaskDeps, TaskRuntime, Team, TransientPool, WaitPolicy};
     pub use usf_scenarios::{
-        Executor, ModelSel, OsExecutor, ProcSpec, ScenarioSpec, SimExecutor, UsfExecutor,
+        Executor, ModelSel, OsExecutor, Placement, ProcSpec, ScenarioSpec, SimExecutor, UsfExecutor,
     };
 }

@@ -100,8 +100,7 @@ fn fig4_shape_holds() {
         cfg.requests = 8;
         cfg.batches = 2;
         cfg.time_scale = 0.02;
-        cfg.machine = Machine::small(32);
-        cfg.machine.sockets = 2;
+        cfg.machine = Machine::small_numa(32, 2);
         cfg.yield_slice = SimTime::from_micros(500);
         run_microservices(&cfg)
     };
@@ -130,8 +129,7 @@ fn fig4_shape_holds() {
 fn fig5_shape_holds() {
     let run = |scenario| {
         let mut cfg = MdConfig::new(scenario);
-        cfg.machine = Machine::small(16);
-        cfg.machine.sockets = 2;
+        cfg.machine = Machine::small_numa(16, 2);
         cfg.machine.memory_bw_gbps = 60.0;
         cfg.ranks_per_ensemble = 8;
         cfg.threads_per_rank = 2;
@@ -206,8 +204,7 @@ fn fig6_shape_holds() {
     };
     let mut slowdowns = Vec::new();
     for model in [SchedModel::Fair, SchedModel::coop_default()] {
-        let mut machine = usf::simsched::Machine::small(16);
-        machine.sockets = 2;
+        let machine = usf::simsched::Machine::small_numa(16, 2);
         let exec = SimExecutor::new(machine, model);
         let solo = exec.run_spec(&library::oversub_ramp(16, 1, size));
         let solo_makespan = solo.processes[0].makespan;
@@ -237,8 +234,7 @@ fn fig7_shape_holds() {
     use usf::scenarios::{library, Executor, ModelSel, SimExecutor};
     use usf::simsched::SchedModel;
 
-    let mut machine = usf::simsched::Machine::small(16);
-    machine.sockets = 2;
+    let machine = usf::simsched::Machine::small_numa(16, 2);
     let size = ProblemSize::Custom {
         unit_work_us: 10_000 * 16,
     };
@@ -283,4 +279,54 @@ fn fig7_shape_holds() {
             assert!(s.count > 0 && s.p99 > 0.0, "{}: {s:?}", r.executor);
         }
     }
+}
+
+/// Figure 8 (socket placement, §5.6): on the two-socket machine with the NUMA-locality
+/// compute model on, node-pinning the HPC pair must record exactly zero *measured*
+/// cross-socket migrations and beat the anywhere placement on p99 unit latency under
+/// SCHED_COOP, while the anywhere variant demonstrably pays cross-socket traffic.
+#[test]
+fn fig8_shape_holds() {
+    use usf::scenarios::spec::ProblemSize;
+    use usf::scenarios::{library, Executor, ModelSel, Placement, SimExecutor};
+
+    let mut machine = usf::simsched::Machine::small_numa(16, 2);
+    machine.remote_numa_penalty = 1.3;
+    let size = ProblemSize::Custom {
+        unit_work_us: 10_000 * 16,
+    };
+    let base = library::hpc_pair(16, size);
+    let p99 = |r: &usf::scenarios::ScenarioReport| {
+        r.processes
+            .iter()
+            .map(|p| p.unit_summary().p99)
+            .fold(0.0, f64::max)
+    };
+
+    let anywhere = SimExecutor::for_model(machine.clone(), ModelSel::Coop, &base).run_spec(&base);
+    let pinned_spec = base
+        .clone()
+        .with_placements(&[Placement::Node(0), Placement::Node(1)]);
+    let pinned = SimExecutor::for_model(machine.clone(), ModelSel::Coop, &pinned_spec)
+        .run_spec(&pinned_spec);
+
+    let (any_p99, pin_p99) = (p99(&anywhere), p99(&pinned));
+    eprintln!(
+        "fig8: coop p99 — anywhere {any_p99:.4}s ({} cross-socket), pinned {pin_p99:.4}s ({} cross-socket)",
+        anywhere.total_cross_socket_migrations().unwrap(),
+        pinned.total_cross_socket_migrations().unwrap(),
+    );
+    assert_eq!(
+        pinned.total_cross_socket_migrations(),
+        Some(0),
+        "node-pinned co-runs must never migrate across sockets (measured counter)"
+    );
+    assert!(
+        anywhere.total_cross_socket_migrations().unwrap() > 0,
+        "the anywhere placement must actually exercise cross-socket migration"
+    );
+    assert!(
+        pin_p99 <= any_p99 * 1.001,
+        "pinned-Coop p99 ({pin_p99:.4}) must not exceed anywhere-Coop p99 ({any_p99:.4})"
+    );
 }

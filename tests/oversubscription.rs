@@ -181,19 +181,30 @@ fn thread_cache_reuse_across_transient_pool_waves() {
 }
 
 /// Affinity hints are stored and echoed back but the scheduler keeps control (§4.3.2).
+/// Hints are validated against the instance topology: cores that cannot exist are
+/// clamped away instead of round-tripping as silently dead hints.
 #[test]
 fn affinity_hints_are_stored_not_applied() {
     use usf_core::affinity::{get_affinity_hint, set_affinity_hint, CpuSet};
     let usf = Usf::builder().cores(2).build();
     let p = usf.process("affinity");
     let h = p.spawn(|| {
-        set_affinity_hint(CpuSet::single(99));
+        let mut mask = CpuSet::single(1);
+        mask.set(99); // outside the 2-core instance: clamped
+        set_affinity_hint(mask);
         let echoed = get_affinity_hint();
         let actual = usf_core::affinity::current_scheduler_core();
         (echoed, actual)
     });
     let (echoed, actual) = h.join().unwrap();
-    assert_eq!(echoed, Some(CpuSet::single(99)));
-    assert!(actual.unwrap() < 2);
+    assert_eq!(
+        echoed,
+        Some(CpuSet::single(1)),
+        "in-range cores echo back, out-of-range cores are clamped"
+    );
+    assert!(
+        actual.unwrap() < 2,
+        "the scheduler placement ignores the hint"
+    );
     usf.shutdown();
 }

@@ -188,8 +188,7 @@ proptest! {
         ops in proptest::collection::vec((0u8..4, 0u8..10, 0u8..4, 0u32..40_000), 1..80),
     ) {
         let topo = Topology::new(CORES, NODES);
-        let mut machine = Machine::small(CORES);
-        machine.sockets = NODES; // contiguous split, identical to Topology::new(4, 2)
+        let machine = Machine::small_numa(CORES, NODES); // contiguous split, identical to Topology::new(4, 2)
         let quantum = 50_000u64; // ns; doubles as the aging window in both
 
         let mut real = CoopPolicy::new(topo.clone(), Duration::from_nanos(quantum));
