@@ -1,0 +1,778 @@
+//! Deterministic, seeded schedule fuzzing of the real [`Scheduler`].
+//!
+//! The fuzzer drives a single-threaded [`Scheduler`] through a generated sequence of
+//! [`FuzzOp`]s — the scheduler's *non-blocking* entry points only (`submit`,
+//! `submit_locked`, `detach`, `set_process_domain`, `deregister_process`, `shutdown`;
+//! the blocking points `attach`/`pause`/`yield_now`/`waitfor` would park the fuzzing
+//! thread in `wait_grant` forever) — and checks a set of invariants after **every** op:
+//!
+//! * **No double grant** — at most one running task per core ([`Violation::DoubleGrant`]).
+//! * **Gauge consistency** — the busy-core gauge equals the number of running tasks
+//!   ([`Violation::BusyGaugeMismatch`]).
+//! * **Domains respected** — a task newly granted while its process is pinned must land
+//!   inside the pinned core set ([`Violation::DomainViolation`]). Only *new* grants are
+//!   checked: a pin does not preempt tasks already running outside it (domains are
+//!   evaluated at scheduling points, paper §4.1).
+//! * **No ghost grants** — a task must never be granted after its process was
+//!   deregistered ([`Violation::GhostGrant`]).
+//! * **No lost task** — at quiescence (all running work detached, queues drained) every
+//!   task the model still expects to run must have been granted at least once
+//!   ([`Violation::LostTask`]), and the lock-free ready gauge must have reconciled to
+//!   zero ([`Violation::ReadyGaugeStuck`]).
+//!
+//! Sequences come from a seeded [`StdRng`], so every failure is reproducible from
+//! `(config, seed)` alone, and [`shrink`] reduces a failing sequence to a (locally)
+//! minimal one with a ddmin-style greedy pass. [`Mutation::DropSubmit`] injects a
+//! lost-submit bug into an otherwise healthy run — the canary that proves the harness
+//! actually catches lost tasks.
+//!
+//! The interleavings explored here are exactly the record/replay choice points of
+//! [`crate::sched_trace`]: submits racing intake drains (`submit` vs `submit_locked`),
+//! grants delayed behind `Detach`-driven dispatches, domain changes and deregistrations
+//! between placement decisions, and shutdown cutting through all of them.
+//!
+//! [`Scheduler`]: crate::scheduler::Scheduler
+
+use crate::config::NosvConfig;
+use crate::process::ProcessId;
+use crate::scheduler::Scheduler;
+use crate::task::{TaskId, TaskRef, TaskState};
+use crate::topology::{CoreId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Duration;
+
+/// Shape of a fuzzed scheduler instance and op sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Number of virtual cores.
+    pub cores: usize,
+    /// Number of NUMA nodes (cores are split evenly).
+    pub nodes: usize,
+    /// Number of process domains registered up front.
+    pub processes: usize,
+    /// Number of task slots; slot `i` belongs to process `i % processes`.
+    pub slots: usize,
+    /// The per-process quantum / aging-valve window.
+    pub quantum: Duration,
+    /// Ops per generated sequence.
+    pub ops: usize,
+    /// Whether [`FuzzOp::Shutdown`] may be generated (ops after it keep running, which
+    /// exercises the shutdown-vs-submit interleavings).
+    pub allow_shutdown: bool,
+    /// Bias generation towards domain pin/unpin churn.
+    pub pin_bias: bool,
+}
+
+impl FuzzConfig {
+    /// The baseline configuration: 4 cores / 2 nodes, 3 processes, 8 slots, a quantum far
+    /// longer than any run (the valve never fires), no shutdown.
+    pub fn base() -> Self {
+        FuzzConfig {
+            cores: 4,
+            nodes: 2,
+            processes: 3,
+            slots: 8,
+            quantum: Duration::from_millis(20),
+            ops: 64,
+            allow_shutdown: false,
+            pin_bias: false,
+        }
+    }
+
+    /// Oversubscribed single-core variant with a 1 ns quantum: every pop crosses the
+    /// quantum and aging-valve deadlines, exercising the anti-starvation tiers.
+    pub fn valve() -> Self {
+        FuzzConfig {
+            cores: 1,
+            nodes: 1,
+            slots: 12,
+            quantum: Duration::from_nanos(1),
+            ..Self::base()
+        }
+    }
+
+    /// Like [`FuzzConfig::base`] but [`FuzzOp::Shutdown`] can appear mid-sequence, with
+    /// submits and domain changes continuing after it.
+    pub fn shutdown_biased() -> Self {
+        FuzzConfig {
+            allow_shutdown: true,
+            ..Self::base()
+        }
+    }
+
+    /// Domain-churn variant: placement pins and unpins dominate the op mix.
+    pub fn domain_heavy() -> Self {
+        FuzzConfig {
+            pin_bias: true,
+            ..Self::base()
+        }
+    }
+}
+
+/// One fuzzed scheduler operation. Slots index the harness's task table (slot `i` maps to
+/// process `i % processes`); process and node indices are taken modulo the configured
+/// counts, so any `usize` is valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzOp {
+    /// Submit the slot's task via the lock-free intake path (creating the task first if
+    /// the slot is empty).
+    Submit {
+        /// Task-slot index.
+        slot: usize,
+    },
+    /// Submit the slot's task via the pre-intake locked path.
+    SubmitLocked {
+        /// Task-slot index.
+        slot: usize,
+    },
+    /// Detach the slot's task (no-op on an empty slot).
+    Detach {
+        /// Task-slot index.
+        slot: usize,
+    },
+    /// Pin a process to the cores of one NUMA node.
+    PinNode {
+        /// Process index (modulo the process count).
+        proc_index: usize,
+        /// NUMA node index (modulo the node count).
+        node: usize,
+    },
+    /// Clear a process's placement domain.
+    Unpin {
+        /// Process index (modulo the process count).
+        proc_index: usize,
+    },
+    /// Deregister a process; its queued tasks are released, running ones keep their cores.
+    Deregister {
+        /// Process index (modulo the process count).
+        proc_index: usize,
+    },
+    /// Shut the scheduler down mid-sequence. Later ops still execute against the
+    /// shut-down scheduler.
+    Shutdown,
+}
+
+impl fmt::Display for FuzzOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzOp::Submit { slot } => write!(f, "submit(slot {slot})"),
+            FuzzOp::SubmitLocked { slot } => write!(f, "submit_locked(slot {slot})"),
+            FuzzOp::Detach { slot } => write!(f, "detach(slot {slot})"),
+            FuzzOp::PinNode { proc_index, node } => {
+                write!(f, "pin(proc {proc_index} -> node {node})")
+            }
+            FuzzOp::Unpin { proc_index } => write!(f, "unpin(proc {proc_index})"),
+            FuzzOp::Deregister { proc_index } => write!(f, "deregister(proc {proc_index})"),
+            FuzzOp::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// Generate a seeded op sequence for `cfg`. The same `(cfg, seed)` always yields the same
+/// sequence (the RNG is the vendored deterministic xoshiro256++).
+pub fn generate(cfg: &FuzzConfig, seed: u64) -> Vec<FuzzOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w_pin: u32 = if cfg.pin_bias { 25 } else { 8 };
+    let w_unpin: u32 = if cfg.pin_bias { 12 } else { 5 };
+    let w_shutdown: u32 = if cfg.allow_shutdown { 4 } else { 0 };
+    // Submit, SubmitLocked, Detach, PinNode, Unpin, Deregister, Shutdown.
+    let weights = [35u32, 10, 25, w_pin, w_unpin, 4, w_shutdown];
+    let total: u32 = weights.iter().sum();
+    (0..cfg.ops)
+        .map(|_| {
+            let mut roll = rng.gen_range(0..total);
+            let mut which = 0usize;
+            while roll >= weights[which] {
+                roll -= weights[which];
+                which += 1;
+            }
+            match which {
+                0 => FuzzOp::Submit {
+                    slot: rng.gen_range(0..cfg.slots),
+                },
+                1 => FuzzOp::SubmitLocked {
+                    slot: rng.gen_range(0..cfg.slots),
+                },
+                2 => FuzzOp::Detach {
+                    slot: rng.gen_range(0..cfg.slots),
+                },
+                3 => FuzzOp::PinNode {
+                    proc_index: rng.gen_range(0..cfg.processes),
+                    node: rng.gen_range(0..cfg.nodes),
+                },
+                4 => FuzzOp::Unpin {
+                    proc_index: rng.gen_range(0..cfg.processes),
+                },
+                5 => FuzzOp::Deregister {
+                    proc_index: rng.gen_range(0..cfg.processes),
+                },
+                _ => FuzzOp::Shutdown,
+            }
+        })
+        .collect()
+}
+
+/// A bug deliberately injected into the execution, used to prove the harness detects the
+/// corresponding invariant violation (a canary for the fuzzer itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Silently drop the `nth` (0-based) effective submit — and every later submit of the
+    /// same slot: the model records the task as runnable but the real scheduler calls are
+    /// skipped, a sticky "lost wake-up path" bug. Unless a later op detaches the slot or
+    /// kills its process, the run must end with [`Violation::LostTask`].
+    DropSubmit {
+        /// Which effective submit starts the drop.
+        nth: usize,
+    },
+}
+
+/// An invariant violation detected by the fuzzing harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two live tasks report the same current core while running.
+    DoubleGrant {
+        /// The shared core.
+        core: CoreId,
+        /// The two conflicting tasks.
+        tasks: (TaskId, TaskId),
+    },
+    /// The busy-core gauge disagrees with the number of running tasks.
+    BusyGaugeMismatch {
+        /// Running tasks counted by the model.
+        running: usize,
+        /// `Scheduler::busy_cores()`.
+        busy: usize,
+    },
+    /// A task was granted a core outside its process's pinned domain.
+    DomainViolation {
+        /// The offending task.
+        task: TaskId,
+        /// The out-of-domain core it was granted.
+        core: CoreId,
+    },
+    /// A task was granted after its process was deregistered.
+    GhostGrant {
+        /// The offending task.
+        task: TaskId,
+        /// Its (deregistered) process.
+        process: ProcessId,
+    },
+    /// A submitted task was never granted even though the scheduler fully drained.
+    LostTask {
+        /// The task's slot in the harness.
+        slot: usize,
+        /// The lost task.
+        task: TaskId,
+    },
+    /// The lock-free ready gauge failed to reconcile to zero at quiescence.
+    ReadyGaugeStuck {
+        /// The stuck gauge value.
+        ready: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DoubleGrant { core, tasks } => {
+                write!(f, "double grant: tasks {:?} share core {core}", tasks)
+            }
+            Violation::BusyGaugeMismatch { running, busy } => {
+                write!(
+                    f,
+                    "gauge mismatch: {running} running but busy_cores()={busy}"
+                )
+            }
+            Violation::DomainViolation { task, core } => {
+                write!(
+                    f,
+                    "domain violation: task {task:?} granted core {core} outside pin"
+                )
+            }
+            Violation::GhostGrant { task, process } => {
+                write!(
+                    f,
+                    "ghost grant: task {task:?} of deregistered process {process}"
+                )
+            }
+            Violation::LostTask { slot, task } => {
+                write!(
+                    f,
+                    "lost task: slot {slot} ({task:?}) submitted but never granted"
+                )
+            }
+            Violation::ReadyGaugeStuck { ready } => {
+                write!(f, "ready gauge stuck at {ready} after quiescence")
+            }
+        }
+    }
+}
+
+/// A failed fuzz run: the violation and where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzFailure {
+    /// The detected violation.
+    pub violation: Violation,
+    /// Index of the op after which the violation was detected, or `None` when it was
+    /// detected during the final quiescence drain.
+    pub op_index: Option<usize>,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "after op {i}: {}", self.violation),
+            None => write!(f, "at quiescence: {}", self.violation),
+        }
+    }
+}
+
+/// Summary of a green fuzz run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// Ops executed.
+    pub ops: usize,
+    /// Total grants performed by the scheduler (including the quiescence drain).
+    pub grants: u64,
+    /// Total submits reaching the scheduler.
+    pub submits: u64,
+}
+
+/// The single-threaded fuzzing harness: one real scheduler plus the reference model the
+/// invariants are checked against.
+struct Harness {
+    sched: Scheduler,
+    topo: Topology,
+    pids: Vec<ProcessId>,
+    alive: Vec<bool>,
+    /// Task slots; `None` = empty (never created, or detached).
+    slots: Vec<Option<TaskRef>>,
+    /// Grant counter observed per slot at the last check — a slot whose counter advanced
+    /// was *newly* granted and gets the domain/liveness checks.
+    last_grants: Vec<u64>,
+    /// Slots the model expects to be granted eventually: submitted while their process was
+    /// alive and the scheduler up, not yet granted, not detached.
+    pending: HashSet<usize>,
+    /// Model view of each process's pinned cores.
+    domains: Vec<Option<Vec<CoreId>>>,
+    shutdown_done: bool,
+    /// Effective submits so far (for [`Mutation::DropSubmit`]).
+    submit_no: usize,
+    /// Slots whose real submits are being dropped by the active mutation.
+    dropped_slots: HashSet<usize>,
+}
+
+impl Harness {
+    fn new(cfg: &FuzzConfig, sched: Scheduler) -> Self {
+        let pids = (0..cfg.processes)
+            .map(|i| sched.register_process(format!("fuzz-p{i}")))
+            .collect();
+        Harness {
+            sched,
+            topo: Topology::new(cfg.cores, cfg.nodes),
+            pids,
+            alive: vec![true; cfg.processes],
+            slots: vec![None; cfg.slots],
+            last_grants: vec![0; cfg.slots],
+            pending: HashSet::new(),
+            domains: vec![None; cfg.processes],
+            shutdown_done: false,
+            submit_no: 0,
+            dropped_slots: HashSet::new(),
+        }
+    }
+
+    fn proc_of_slot(&self, slot: usize) -> usize {
+        slot % self.pids.len()
+    }
+
+    /// Apply one op to the real scheduler and mirror it in the model.
+    fn apply(&mut self, op: FuzzOp, mutation: Option<Mutation>, stats: &mut FuzzStats) {
+        match op {
+            FuzzOp::Submit { slot } => self.do_submit(slot, false, mutation, stats),
+            FuzzOp::SubmitLocked { slot } => self.do_submit(slot, true, mutation, stats),
+            FuzzOp::Detach { slot } => {
+                if let Some(t) = self.slots[slot].take() {
+                    self.sched.detach(&t);
+                    self.pending.remove(&slot);
+                    self.last_grants[slot] = 0;
+                }
+            }
+            FuzzOp::PinNode { proc_index, node } => {
+                let p = proc_index % self.pids.len();
+                let node = node % self.topo.num_numa_nodes();
+                let cores: Vec<CoreId> = self.topo.cores_in_node(node).collect();
+                self.sched
+                    .set_process_domain(self.pids[p], Some(cores.clone()));
+                if self.alive[p] {
+                    self.domains[p] = Some(cores);
+                }
+            }
+            FuzzOp::Unpin { proc_index } => {
+                let p = proc_index % self.pids.len();
+                self.sched.set_process_domain(self.pids[p], None);
+                if self.alive[p] {
+                    self.domains[p] = None;
+                }
+            }
+            FuzzOp::Deregister { proc_index } => {
+                let p = proc_index % self.pids.len();
+                self.sched.deregister_process(self.pids[p]);
+                self.alive[p] = false;
+                // Queued tasks of the process were released: the model no longer expects
+                // them to be granted (running ones keep their cores and were never
+                // pending).
+                let n = self.pids.len();
+                self.pending.retain(|&slot| slot % n != p);
+            }
+            FuzzOp::Shutdown => {
+                self.sched.shutdown();
+                self.shutdown_done = true;
+                // Everything waiting was released from scheduler control.
+                self.pending.clear();
+            }
+        }
+    }
+
+    fn do_submit(
+        &mut self,
+        slot: usize,
+        locked: bool,
+        mutation: Option<Mutation>,
+        stats: &mut FuzzStats,
+    ) {
+        let p = self.proc_of_slot(slot);
+        if self.slots[slot].is_none() {
+            // (Re)create the slot's task; fails (and the op becomes a no-op) once the
+            // process is gone or the scheduler is shut down.
+            match self.sched.create_task(self.pids[p], None) {
+                Ok(t) => {
+                    self.slots[slot] = Some(t);
+                    self.last_grants[slot] = 0;
+                }
+                Err(_) => return,
+            }
+        }
+        let t = self.slots[slot].as_ref().unwrap().clone();
+        // Will this submit make the task runnable (so the scheduler *owes* it a grant)?
+        let effective = !self.shutdown_done
+            && self.alive[p]
+            && t.state() != TaskState::Running
+            && !self.pending.contains(&slot);
+        if effective {
+            if matches!(mutation, Some(Mutation::DropSubmit { nth }) if nth == self.submit_no) {
+                self.dropped_slots.insert(slot);
+            }
+            self.submit_no += 1;
+            self.pending.insert(slot);
+        }
+        if self.dropped_slots.contains(&slot) {
+            return; // the injected bug: model updated, real submit(s) skipped
+        }
+        stats.submits += 1;
+        if locked {
+            self.sched.submit_locked(&t);
+        } else {
+            self.sched.submit(&t);
+        }
+    }
+
+    /// Check every per-step invariant against the current scheduler state.
+    fn check(&mut self) -> Result<(), Violation> {
+        let mut core_owner: HashMap<CoreId, TaskId> = HashMap::new();
+        let mut running = 0usize;
+        for slot in 0..self.slots.len() {
+            let Some(t) = self.slots[slot].as_ref() else {
+                continue;
+            };
+            let grants = t.stats.grants.load(std::sync::atomic::Ordering::SeqCst);
+            let newly_granted = grants > self.last_grants[slot];
+            self.last_grants[slot] = grants;
+            if t.state() == TaskState::Running {
+                let Some(core) = t.current_core() else {
+                    continue;
+                };
+                running += 1;
+                if let Some(&other) = core_owner.get(&core) {
+                    return Err(Violation::DoubleGrant {
+                        core,
+                        tasks: (other, t.id()),
+                    });
+                }
+                core_owner.insert(core, t.id());
+                let p = self.proc_of_slot(slot);
+                if newly_granted {
+                    self.pending.remove(&slot);
+                    if !self.alive[p] {
+                        return Err(Violation::GhostGrant {
+                            task: t.id(),
+                            process: self.pids[p],
+                        });
+                    }
+                    if let Some(domain) = &self.domains[p] {
+                        if !domain.contains(&core) {
+                            return Err(Violation::DomainViolation { task: t.id(), core });
+                        }
+                    }
+                }
+            }
+        }
+        let busy = self.sched.busy_cores();
+        if running != busy {
+            return Err(Violation::BusyGaugeMismatch { running, busy });
+        }
+        Ok(())
+    }
+
+    /// Drain the scheduler to quiescence: detach running tasks (each release dispatches
+    /// queued work) until nothing runs, then verify nothing was lost.
+    fn quiesce(&mut self) -> Result<(), Violation> {
+        for round in 0..2 {
+            loop {
+                self.check()?;
+                let running: Vec<usize> = (0..self.slots.len())
+                    .filter(|&s| {
+                        self.slots[s]
+                            .as_ref()
+                            .is_some_and(|t| t.state() == TaskState::Running)
+                    })
+                    .collect();
+                if running.is_empty() {
+                    break;
+                }
+                for slot in running {
+                    if let Some(t) = self.slots[slot].take() {
+                        self.sched.detach(&t);
+                        self.pending.remove(&slot);
+                    }
+                }
+            }
+            if round == 0 && !self.shutdown_done {
+                // Stale queue entries (tasks detached while queued) can leave the ready
+                // gauge nonzero with every core idle; a throwaway "flusher" task forces a
+                // drain + dispatch pass that pops and reconciles them.
+                if let Some(p) = (0..self.pids.len()).find(|&p| self.alive[p]) {
+                    if let Ok(t) = self.sched.create_task(self.pids[p], None) {
+                        self.sched.submit(&t);
+                        self.sched.detach(&t);
+                    }
+                }
+            }
+        }
+        if let Some(&slot) = self.pending.iter().min() {
+            let task = self.slots[slot]
+                .as_ref()
+                .map(|t| t.id())
+                .unwrap_or(TaskId::MAX);
+            return Err(Violation::LostTask { slot, task });
+        }
+        let ready = self.sched.ready_count();
+        if ready != 0 {
+            return Err(Violation::ReadyGaugeStuck { ready });
+        }
+        Ok(())
+    }
+}
+
+fn build_scheduler(cfg: &FuzzConfig) -> Scheduler {
+    Scheduler::new(
+        NosvConfig::with_topology(Topology::new(cfg.cores, cfg.nodes)).quantum(cfg.quantum),
+    )
+}
+
+fn run(
+    cfg: &FuzzConfig,
+    ops: &[FuzzOp],
+    mutation: Option<Mutation>,
+    sched: Scheduler,
+) -> Result<FuzzStats, FuzzFailure> {
+    let mut h = Harness::new(cfg, sched);
+    let mut stats = FuzzStats::default();
+    for (i, &op) in ops.iter().enumerate() {
+        h.apply(op, mutation, &mut stats);
+        stats.ops += 1;
+        if let Err(violation) = h.check() {
+            return Err(FuzzFailure {
+                violation,
+                op_index: Some(i),
+            });
+        }
+    }
+    if let Err(violation) = h.quiesce() {
+        return Err(FuzzFailure {
+            violation,
+            op_index: None,
+        });
+    }
+    stats.grants = h.sched.metrics().snapshot().grants;
+    Ok(stats)
+}
+
+/// Execute an op sequence against a fresh scheduler, checking every invariant after each
+/// op and draining to quiescence at the end.
+pub fn execute(
+    cfg: &FuzzConfig,
+    ops: &[FuzzOp],
+    mutation: Option<Mutation>,
+) -> Result<FuzzStats, FuzzFailure> {
+    run(cfg, ops, mutation, build_scheduler(cfg))
+}
+
+/// Like [`execute`], but with a trace recorder installed: returns the run result together
+/// with the recorded schedule, ready for the simulator's replay harness.
+#[cfg(feature = "sched-trace")]
+pub fn execute_traced(
+    cfg: &FuzzConfig,
+    ops: &[FuzzOp],
+) -> (
+    Result<FuzzStats, FuzzFailure>,
+    crate::sched_trace::TraceMeta,
+    Vec<crate::sched_trace::TraceEntry>,
+) {
+    let mut sched = build_scheduler(cfg);
+    let rec = sched.install_tracer();
+    let result = run(cfg, ops, None, sched);
+    (result, rec.meta().clone(), rec.snapshot())
+}
+
+/// Greedily reduce a failing op sequence to a locally minimal one (ddmin-style): try
+/// removing exponentially shrinking chunks, keeping any removal under which the sequence
+/// still fails. Returns `ops` unchanged if it does not fail in the first place.
+pub fn shrink(cfg: &FuzzConfig, ops: &[FuzzOp], mutation: Option<Mutation>) -> Vec<FuzzOp> {
+    let fails = |candidate: &[FuzzOp]| execute(cfg, candidate, mutation).is_err();
+    let mut best = ops.to_vec();
+    if !fails(&best) {
+        return best;
+    }
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            if fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk > 1 {
+            chunk = (chunk / 2).max(1);
+        } else if !progressed {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FuzzConfig::base();
+        assert_eq!(generate(&cfg, 42), generate(&cfg, 42));
+        assert_ne!(generate(&cfg, 42), generate(&cfg, 43));
+        assert_eq!(generate(&cfg, 7).len(), cfg.ops);
+    }
+
+    #[test]
+    fn seeded_runs_hold_invariants() {
+        for cfg in [
+            FuzzConfig::base(),
+            FuzzConfig::valve(),
+            FuzzConfig::shutdown_biased(),
+            FuzzConfig::domain_heavy(),
+        ] {
+            for seed in 0..8 {
+                let ops = generate(&cfg, seed);
+                let stats = execute(&cfg, &ops, None)
+                    .unwrap_or_else(|f| panic!("seed {seed} failed: {f} (cfg {cfg:?})"));
+                assert_eq!(stats.ops, ops.len());
+            }
+        }
+    }
+
+    /// Keep only the ops that cannot heal a dropped submit (a later detach, deregister or
+    /// shutdown legitimately cancels the model's claim on the slot).
+    fn without_healing_ops(ops: Vec<FuzzOp>) -> Vec<FuzzOp> {
+        ops.into_iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    FuzzOp::Submit { .. }
+                        | FuzzOp::SubmitLocked { .. }
+                        | FuzzOp::PinNode { .. }
+                        | FuzzOp::Unpin { .. }
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lost_submit_canary_is_caught() {
+        // Drop the first effective submit of a healthy sequence: the harness must report
+        // the task as lost (proof the LostTask oracle has teeth).
+        let cfg = FuzzConfig::base();
+        let ops = without_healing_ops(generate(&cfg, 1));
+        assert!(ops.iter().any(|o| matches!(o, FuzzOp::Submit { .. })));
+        let failure = execute(&cfg, &ops, Some(Mutation::DropSubmit { nth: 0 }))
+            .expect_err("dropped submit must be detected");
+        assert!(
+            matches!(failure.violation, Violation::LostTask { .. }),
+            "expected LostTask, got {failure}"
+        );
+    }
+
+    #[test]
+    fn submit_locked_counterexample_shrinks() {
+        // The deregister-then-submit_locked interleaving that exposed the missing
+        // process-liveness check in `submit_locked` (a Created task of a purged process
+        // was granted / resurrected the process in the quantum rotation). With the fix
+        // the sequence is green; the sequence is pinned here as a regression.
+        let cfg = FuzzConfig::base();
+        let ops = vec![
+            FuzzOp::Submit { slot: 0 },
+            FuzzOp::Detach { slot: 0 },
+            FuzzOp::Deregister { proc_index: 0 },
+            FuzzOp::SubmitLocked { slot: 0 },
+            FuzzOp::Submit { slot: 1 },
+            FuzzOp::Detach { slot: 1 },
+        ];
+        execute(&cfg, &ops, None).unwrap_or_else(|f| panic!("regression: {f}"));
+    }
+
+    #[test]
+    fn shrinking_minimises_the_canary() {
+        let cfg = FuzzConfig::base();
+        let ops = without_healing_ops(generate(&cfg, 3));
+        let mutation = Some(Mutation::DropSubmit { nth: 0 });
+        assert!(execute(&cfg, &ops, mutation).is_err());
+        let minimal = shrink(&cfg, &ops, mutation);
+        // The minimal reproduction of "the first submit is dropped" is a single submit.
+        assert_eq!(
+            minimal.len(),
+            1,
+            "expected a 1-op counterexample: {minimal:?}"
+        );
+        assert!(execute(&cfg, &minimal, mutation).is_err());
+    }
+
+    #[test]
+    fn shutdown_interleavings_hold_invariants() {
+        // Force shutdown at every cut point of a fixed sequence, with submits and domain
+        // changes continuing after it.
+        let cfg = FuzzConfig::shutdown_biased();
+        let base_ops = generate(&cfg, 11);
+        for cut in 0..base_ops.len() {
+            let mut ops = base_ops.clone();
+            ops.insert(cut, FuzzOp::Shutdown);
+            execute(&cfg, &ops, None).unwrap_or_else(|f| panic!("shutdown at {cut} failed: {f}"));
+        }
+    }
+}

@@ -60,11 +60,13 @@
 
 pub mod config;
 pub mod error;
+pub mod fuzz;
 pub mod instance;
 pub mod metrics;
 pub mod policy;
 pub mod process;
 pub mod readyq;
+pub mod sched_trace;
 pub mod scheduler;
 pub mod task;
 pub mod topology;
@@ -75,7 +77,8 @@ pub use instance::{NosvInstance, TaskHandle};
 pub use metrics::{MetricsSnapshot, SchedulerMetrics};
 pub use policy::{CoopPolicy, FifoPolicy, Policy, TaskMeta};
 pub use process::ProcessId;
-pub use readyq::{CoopCore, CoreMap, ProcQueues, ReadyTime, TopologyView};
+pub use readyq::{CoopCore, CoreMap, PickTier, ProcQueues, ReadyTime, TopologyView};
+pub use sched_trace::{TraceEntry, TraceEvent, TraceMeta, TraceRecorder};
 pub use task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
 pub use topology::{CoreId, Topology};
 

@@ -7,7 +7,7 @@
 //! as a template for user-defined policies.
 
 use crate::process::ProcessId;
-use crate::readyq::CoopCore;
+use crate::readyq::{CoopCore, PickTier};
 use crate::task::TaskId;
 use crate::topology::{CoreId, Topology};
 use std::collections::VecDeque;
@@ -52,6 +52,19 @@ pub trait Policy: Send {
     /// Core `core` is idle: return the task that should run there, or `None` to leave it
     /// idle. `now` is the scheduler's notion of the current time (for quantum accounting).
     fn pick(&mut self, topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta>;
+
+    /// [`Policy::pick`], additionally reporting which tier of a tiered pop served the task
+    /// when the policy knows (`None` for tier-less policies like the FIFO ablation). The
+    /// scheduler always dispatches through this method so the `sched-trace` recorder can
+    /// log the tier; the default simply delegates to `pick`.
+    fn pick_traced(
+        &mut self,
+        topo: &Topology,
+        core: CoreId,
+        now: Instant,
+    ) -> Option<(TaskMeta, Option<PickTier>)> {
+        self.pick(topo, core, now).map(|m| (m, None))
+    }
 
     /// Whether any task is ready (used by `yield` to decide whether switching is useful).
     fn has_ready(&self) -> bool;
@@ -125,6 +138,12 @@ impl CoopPolicy {
     pub fn current_process(&self) -> Option<ProcessId> {
         self.core.current_process()
     }
+
+    /// Pick with tier reporting — the same code path as [`Policy::pick`], exposed for
+    /// trace/replay equivalence tests that want to compare picks tier-for-tier.
+    pub fn pick_tiered(&mut self, core: CoreId, now: Instant) -> Option<(TaskMeta, PickTier)> {
+        self.core.pick_tiered(core, now)
+    }
 }
 
 impl Policy for CoopPolicy {
@@ -151,6 +170,15 @@ impl Policy for CoopPolicy {
 
     fn pick(&mut self, _topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
         self.core.pick(core, now)
+    }
+
+    fn pick_traced(
+        &mut self,
+        _topo: &Topology,
+        core: CoreId,
+        now: Instant,
+    ) -> Option<(TaskMeta, Option<PickTier>)> {
+        self.core.pick_tiered(core, now).map(|(m, t)| (m, Some(t)))
     }
 
     fn has_ready(&self) -> bool {

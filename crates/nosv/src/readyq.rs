@@ -159,6 +159,24 @@ impl CoreMap {
     }
 }
 
+/// Which tier of the tiered pop served an item — the classification the `sched-trace`
+/// recorder logs with every `Pop` event so a replay can assert not just *which* item was
+/// served but *why*.
+///
+/// The variants mirror the ordering specification in the [module documentation](self):
+/// aging valve → affinity → NUMA node/unbound → remote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PickTier {
+    /// Served by the rate-limited anti-starvation aging valve.
+    Aged,
+    /// Served from the popping core's own FIFO (the affinity fast path).
+    Affinity,
+    /// Served as the oldest of the core's NUMA-node queues and the unbound queue.
+    Node,
+    /// Served as the oldest remote entry.
+    Remote,
+}
+
 /// Queue source identifier inside the head heaps: a core id, or [`UNBOUND`].
 const UNBOUND: usize = usize::MAX;
 
@@ -448,14 +466,28 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
     /// # Panics
     /// Panics if `core` is outside the core map.
     pub fn pop_for(&mut self, core: usize, now: C, aging: C::Delta) -> Option<T> {
+        self.pop_for_tiered(core, now, aging).map(|(t, _)| t)
+    }
+
+    /// [`ProcQueues::pop_for`], additionally reporting which tier served the item (the
+    /// form the trace recorder and the sim-replay harness use).
+    ///
+    /// # Panics
+    /// Panics if `core` is outside the core map.
+    pub fn pop_for_tiered(
+        &mut self,
+        core: usize,
+        now: C,
+        aging: C::Delta,
+    ) -> Option<(T, PickTier)> {
         if !self.allows(core) {
             return None;
         }
         if let Some(t) = self.pop_aged(now, aging) {
-            return Some(t);
+            return Some((t, PickTier::Aged));
         }
         if self.per_core[core].front().is_some() {
-            return Some(self.pop_from(core).item);
+            return Some((self.pop_from(core).item, PickTier::Affinity));
         }
         // Same-node queues and the unbound queue compete by enqueue order. The core's own
         // queue is empty here, so any of its registrations in the node heap are stale and
@@ -470,13 +502,13 @@ impl<T, C: ReadyTime> ProcQueues<T, C> {
             (None, None) => None,
         };
         if let Some(src) = best {
-            return Some(self.pop_from(src).item);
+            return Some((self.pop_from(src).item, PickTier::Node));
         }
         // Every same-node queue and the unbound queue are empty, so the global minimum (if
         // any) is the oldest entry on a remote node.
         if let Some((_, src)) = self.peek_global() {
             debug_assert!(src != UNBOUND && self.map.node_of(src) != node);
-            return Some(self.pop_from(src).item);
+            return Some((self.pop_from(src).item, PickTier::Remote));
         }
         None
     }
@@ -676,6 +708,14 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
     /// to the other processes (which passes the turn to whichever one had work — but only
     /// when the current process is genuinely *empty*, see below).
     pub fn pick(&mut self, core: usize, now: C) -> Option<T> {
+        self.pick_tiered(core, now).map(|(t, _)| t)
+    }
+
+    /// [`CoopCore::pick`], additionally reporting which tier of the tiered pop served the
+    /// item. The turn-passing and quantum semantics are identical — this is the same code
+    /// path, and it is what the `sched-trace` recorder and the replay harness call so a
+    /// recorded pick can be checked tier-for-tier against its sim re-execution.
+    pub fn pick_tiered(&mut self, core: usize, now: C) -> Option<(T, PickTier)> {
         if self.order.is_empty() {
             return None;
         }
@@ -702,7 +742,7 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
             if let Some(q) = self.queues.get_mut(&pid) {
                 // Entries older than one quantum are served oldest-first regardless of
                 // placement (the starvation valve in ProcQueues::pop_for).
-                if let Some(t) = q.pop_for(core, now, self.quantum) {
+                if let Some((t, tier)) = q.pop_for_tiered(core, now, self.quantum) {
                     if off != 0 && current_empty {
                         // We skipped ahead because the current process had nothing ready;
                         // its turn effectively passes to this process.
@@ -711,7 +751,7 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime> CoopCore<P, T, C> {
                         self.rotations += 1;
                     }
                     self.total -= 1;
-                    return Some(t);
+                    return Some((t, tier));
                 }
             }
         }

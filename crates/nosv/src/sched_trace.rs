@@ -1,0 +1,310 @@
+//! Schedule trace recording: every scheduling decision of the real [`Scheduler`], logged
+//! with a logical timestamp so the decision sequence can be deterministically re-executed
+//! ("replayed") by the discrete-event simulator and fuzzed at its choice points.
+//!
+//! [`Scheduler`]: crate::scheduler::Scheduler
+//!
+//! # Layering
+//!
+//! The event *types* here compile unconditionally — `usf-simsched`'s replay harness and the
+//! equivalence tests consume them without any feature flag. Only the **hooks** inside the
+//! scheduler's hot paths are compiled behind the `sched-trace` cargo feature: with the
+//! feature off, the emit macro expands to nothing type-checked-but-dead, the `Scheduler`
+//! has no recorder field, and the hot path carries no extra atomics or branches.
+//!
+//! # Which events are authoritative
+//!
+//! Events recorded **under the scheduler lock** — [`TraceEvent::RegisterProcess`],
+//! [`TraceEvent::DeregisterProcess`], [`TraceEvent::SetDomain`],
+//! [`TraceEvent::IntakeDrain`], [`TraceEvent::Enqueue`], [`TraceEvent::Pop`],
+//! [`TraceEvent::Grant`], [`TraceEvent::Yield`], [`TraceEvent::Migrate`] and
+//! [`TraceEvent::Shutdown`] — are totally ordered by the lock, so their recorded order *is*
+//! the order the scheduler acted in; they are the authoritative replay script.
+//! [`TraceEvent::Submit`] is recorded on the lock-free intake path, so under concurrent
+//! submitters its position is only causally ordered (it always precedes the `IntakeDrain`
+//! that absorbs it); single-threaded drivers — the fuzzer, the record/replay tests — get a
+//! fully deterministic total order.
+//!
+//! # Logical time
+//!
+//! Every timestamp is the **exact** `Instant` the scheduler passed to the policy call the
+//! event describes (not a fresh `Instant::now()` taken by the recorder — a later timestamp
+//! could cross a quantum or aging-valve deadline the decision itself did not cross),
+//! stored as nanoseconds since the recorder's base instant. `Instant`/`Duration`
+//! arithmetic is nanosecond-exact, as is the simulator's `SimTime`, so replaying an
+//! [`TraceEvent::Enqueue`]/[`TraceEvent::Pop`] sequence with `SimTime::from_nanos(at)` in
+//! place of the original instants reproduces every quantum rotation and valve decision
+//! bit-for-bit. Events that involve no policy time (registration, shutdown) are stamped
+//! with the recording moment for diagnostics; replay only uses their order.
+
+use crate::config::{NosvConfig, PolicyKind};
+use crate::process::ProcessId;
+use crate::readyq::{PickTier, TopologyView};
+use crate::task::TaskId;
+use crate::topology::CoreId;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Immutable description of the scheduler a trace was recorded from — everything the
+/// replay harness needs to rebuild an equivalent policy instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// NUMA node of each core, indexed by dense core id (the full topology snapshot).
+    pub core_nodes: Vec<usize>,
+    /// The per-process quantum (doubling as the aging-valve window), in nanoseconds.
+    pub quantum_nanos: u64,
+    /// Diagnostic name of the installed policy (`"sched_coop"` for replayable traces).
+    pub policy: String,
+}
+
+impl TraceMeta {
+    /// Snapshot the scheduling-relevant parameters of a configuration.
+    pub fn from_config(config: &NosvConfig) -> Self {
+        let topo = &config.topology;
+        TraceMeta {
+            core_nodes: (0..topo.num_cores()).map(|c| topo.node_of(c)).collect(),
+            quantum_nanos: config.process_quantum.as_nanos() as u64,
+            policy: match &config.policy {
+                PolicyKind::Coop => "sched_coop".to_string(),
+                PolicyKind::Fifo => "fifo".to_string(),
+                PolicyKind::Custom(_) => "custom".to_string(),
+            },
+        }
+    }
+
+    /// Number of cores in the recorded topology.
+    pub fn cores(&self) -> usize {
+        self.core_nodes.len()
+    }
+}
+
+impl TopologyView for TraceMeta {
+    fn view_cores(&self) -> usize {
+        self.core_nodes.len()
+    }
+
+    fn view_node_of(&self, core: CoreId) -> usize {
+        self.core_nodes[core]
+    }
+}
+
+/// One recorded scheduling decision.
+///
+/// The variants that mutate policy state (`RegisterProcess`, `DeregisterProcess`,
+/// `SetDomain`, `Enqueue`, `Pop`) form the replay script; the rest (`Submit`,
+/// `IntakeDrain`, `Grant`, `Yield`, `Migrate`, `Shutdown`) are scheduler-level context the
+/// replay harness checks for consistency (every non-immediate grant must follow its pop)
+/// and the fuzzer uses as choice points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A process domain was registered with the scheduler (and the policy).
+    RegisterProcess {
+        /// The new process id.
+        process: ProcessId,
+    },
+    /// A process domain was deregistered; its queued entries were dropped.
+    DeregisterProcess {
+        /// The removed process id.
+        process: ProcessId,
+    },
+    /// A placement domain was applied to a process (already filtered to in-range cores;
+    /// `None` clears the restriction).
+    SetDomain {
+        /// The affected process.
+        process: ProcessId,
+        /// The cores the process is now restricted to, or `None` for unrestricted.
+        cores: Option<Vec<CoreId>>,
+    },
+    /// A task entered the lock-free submit intake.
+    Submit {
+        /// Owning process.
+        process: ProcessId,
+        /// The submitted task.
+        task: TaskId,
+    },
+    /// The intake stack was drained at a scheduling point.
+    IntakeDrain {
+        /// Number of entries absorbed (in submission order).
+        n: usize,
+    },
+    /// A ready task was handed to the policy's queues.
+    Enqueue {
+        /// Owning process.
+        process: ProcessId,
+        /// The queued task.
+        task: TaskId,
+        /// The preference it was queued with (its last core, if any).
+        preferred: Option<CoreId>,
+    },
+    /// The policy served a task to an idle core. Recorded for *every* pop, including pops
+    /// of stale entries (tasks detached while queued) — the replayed queues contain the
+    /// same entries, so the replay must reproduce stale pops too.
+    Pop {
+        /// The core that was offered the task.
+        core: CoreId,
+        /// Which tier of the tiered pop served it (`None` for tier-less policies).
+        tier: Option<PickTier>,
+        /// The served task.
+        task: TaskId,
+    },
+    /// The policy was offered an idle core and served nothing. Recorded because an empty
+    /// pick is *not* a no-op: probing the queues re-arms the anti-starvation valve
+    /// (`next_valve_at` moves even when no entry is aged), so a replay that skipped empty
+    /// picks would fire the valve at different steps than the recorded run.
+    PopEmpty {
+        /// The core that went unserved.
+        core: CoreId,
+    },
+    /// A task was granted a core (it transitions to running there).
+    Grant {
+        /// The granted task.
+        task: TaskId,
+        /// The core it now occupies.
+        core: CoreId,
+        /// Whether this was an immediate idle-core grant that bypassed the policy queues
+        /// (no preceding [`TraceEvent::Pop`]).
+        immediate: bool,
+    },
+    /// A running task yielded its core to another ready task.
+    Yield {
+        /// The yielding task.
+        task: TaskId,
+        /// The core it gave up (and re-queued for).
+        core: CoreId,
+    },
+    /// A grant placed a task away from its preferred core.
+    Migrate {
+        /// The migrated task.
+        task: TaskId,
+        /// The core it preferred (where it last ran).
+        from: CoreId,
+        /// The core it was granted instead.
+        to: CoreId,
+    },
+    /// The scheduler shut down; all tasks and waiters were released.
+    Shutdown,
+}
+
+/// One trace entry: a logical step number (the entry's index — the total order), the
+/// event's timestamp in nanoseconds since the recorder's base instant, and the event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Logical step: dense index in recording order.
+    pub step: u64,
+    /// Nanoseconds since the recorder's base instant; for policy-relevant events this is
+    /// the exact time the policy call used (see the module documentation).
+    pub at_nanos: u64,
+    /// The recorded event.
+    pub event: TraceEvent,
+}
+
+/// An append-only recorder of [`TraceEntry`]s, shared between the scheduler (which appends)
+/// and the test/replay harness (which snapshots).
+///
+/// The recorder's own mutex is *only* contended when the `sched-trace` feature is on and a
+/// recorder is installed; the default build never touches it.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    meta: TraceMeta,
+    base: Instant,
+    events: Mutex<Vec<TraceEntry>>,
+}
+
+impl TraceRecorder {
+    /// A fresh recorder for a scheduler described by `meta`. The base instant is captured
+    /// now; every recorded timestamp is relative to it.
+    pub fn new(meta: TraceMeta) -> Self {
+        TraceRecorder {
+            meta,
+            base: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The recorded scheduler description.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Append an event stamped with the exact instant the corresponding policy call used.
+    pub fn record_at(&self, at: Instant, event: TraceEvent) {
+        let at_nanos = at.saturating_duration_since(self.base).as_nanos() as u64;
+        let mut ev = self.events.lock();
+        let step = ev.len() as u64;
+        ev.push(TraceEntry {
+            step,
+            at_nanos,
+            event,
+        });
+    }
+
+    /// Append an event that involves no policy time (stamped with the recording moment).
+    pub fn record(&self, event: TraceEvent) {
+        self.record_at(Instant::now(), event);
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clone the recorded entries (the recorder keeps recording).
+    pub fn snapshot(&self) -> Vec<TraceEntry> {
+        self.events.lock().clone()
+    }
+
+    /// Take the recorded entries, leaving the recorder empty. Subsequent entries restart
+    /// at step 0.
+    pub fn take(&self) -> Vec<TraceEntry> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn meta_snapshots_config() {
+        let cfg = NosvConfig::with_topology(crate::topology::Topology::new(4, 2))
+            .quantum(Duration::from_micros(50));
+        let meta = TraceMeta::from_config(&cfg);
+        assert_eq!(meta.core_nodes, vec![0, 0, 1, 1]);
+        assert_eq!(meta.quantum_nanos, 50_000);
+        assert_eq!(meta.policy, "sched_coop");
+        assert_eq!(meta.cores(), 4);
+        assert_eq!(meta.view_node_of(3), 1);
+    }
+
+    #[test]
+    fn recorder_orders_and_stamps_entries() {
+        let rec = TraceRecorder::new(TraceMeta::from_config(&NosvConfig::with_cores(2)));
+        let base = Instant::now();
+        rec.record_at(base + Duration::from_nanos(10), TraceEvent::Shutdown);
+        rec.record(TraceEvent::IntakeDrain { n: 3 });
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].step, 0);
+        assert_eq!(events[1].step, 1);
+        assert_eq!(events[0].event, TraceEvent::Shutdown);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.take().len(), 2);
+        assert!(rec.is_empty());
+        rec.record(TraceEvent::Shutdown);
+        assert_eq!(rec.snapshot()[0].step, 0, "steps restart after take()");
+    }
+
+    #[test]
+    fn timestamps_before_base_saturate_to_zero() {
+        let rec = TraceRecorder::new(TraceMeta::from_config(&NosvConfig::with_cores(1)));
+        let past = Instant::now() - Duration::from_secs(1);
+        rec.record_at(past, TraceEvent::Shutdown);
+        assert_eq!(rec.snapshot()[0].at_nanos, 0);
+    }
+}

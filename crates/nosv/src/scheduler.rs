@@ -32,6 +32,7 @@ use crate::error::{NosvError, Result};
 use crate::metrics::SchedulerMetrics;
 use crate::policy::{classify_placement, PlacementKind, Policy, TaskMeta};
 use crate::process::{ProcessId, ProcessInfo};
+use crate::sched_trace::TraceEvent;
 use crate::task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
 use crate::topology::{CoreId, Topology};
 use parking_lot::Mutex;
@@ -39,6 +40,27 @@ use std::collections::HashMap;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Emit a trace event when the `sched-trace` feature is on and a recorder is installed.
+///
+/// With the feature off, the event expression is still *type-checked* (inside a closure
+/// that is never built into the binary) but no code, branch or atomic survives into the
+/// hot path — the zero-cost-when-disabled contract of the trace layer.
+macro_rules! trace_event {
+    ($sched:expr, $at:expr, $ev:expr) => {{
+        #[cfg(feature = "sched-trace")]
+        {
+            if let Some(rec) = $sched.tracer.as_ref() {
+                rec.record_at($at, $ev);
+            }
+        }
+        #[cfg(not(feature = "sched-trace"))]
+        {
+            let _ = &$sched;
+            let _typecheck_only = || ($at, $ev);
+        }
+    }};
+}
 
 /// State of one virtual core slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +167,9 @@ pub struct Scheduler {
     /// submit racing shutdown can detect it after publishing and self-heal (see
     /// [`Scheduler::submit`]).
     shutting_down: AtomicBool,
+    /// Installed schedule-trace recorder, if any (see [`crate::sched_trace`]).
+    #[cfg(feature = "sched-trace")]
+    tracer: Option<std::sync::Arc<crate::sched_trace::TraceRecorder>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -178,7 +203,22 @@ impl Scheduler {
             idle_cores: AtomicUsize::new(cores),
             ready_tasks: AtomicI64::new(0),
             shutting_down: AtomicBool::new(false),
+            #[cfg(feature = "sched-trace")]
+            tracer: None,
         }
+    }
+
+    /// Install a fresh [`crate::sched_trace::TraceRecorder`] and return a handle to it:
+    /// every subsequent scheduling decision is appended to the recorder. Must be called
+    /// before the scheduler is shared (it takes `&mut self`), which also means recording
+    /// always covers the scheduler's whole life.
+    #[cfg(feature = "sched-trace")]
+    pub fn install_tracer(&mut self) -> std::sync::Arc<crate::sched_trace::TraceRecorder> {
+        let rec = std::sync::Arc::new(crate::sched_trace::TraceRecorder::new(
+            crate::sched_trace::TraceMeta::from_config(&self.config),
+        ));
+        self.tracer = Some(std::sync::Arc::clone(&rec));
+        rec
     }
 
     /// Acquire the global scheduler lock, bumping the debug counter that lets tests prove
@@ -248,6 +288,11 @@ impl Scheduler {
         st.next_process_id += 1;
         st.processes.insert(id, ProcessInfo::new(id, name));
         st.policy.register_process(id);
+        trace_event!(
+            self,
+            Instant::now(),
+            TraceEvent::RegisterProcess { process: id }
+        );
         id
     }
 
@@ -270,6 +315,11 @@ impl Scheduler {
             // permanently defeat the yield fast path.
             let before = st.policy.ready_count();
             st.policy.deregister_process(process);
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::DeregisterProcess { process }
+            );
             let dropped = before.saturating_sub(st.policy.ready_count());
             if dropped > 0 {
                 self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
@@ -309,6 +359,14 @@ impl Scheduler {
         // rotation as a ghost the grant path knows nothing about.
         if let Some(p) = st.processes.get_mut(&process) {
             p.domain = filtered.clone();
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::SetDomain {
+                    process,
+                    cores: filtered.clone(),
+                }
+            );
             st.policy.set_process_domain(process, filtered);
         }
     }
@@ -391,6 +449,14 @@ impl Scheduler {
         if !self.mark_ready(task) {
             return;
         }
+        trace_event!(
+            self,
+            Instant::now(),
+            TraceEvent::Submit {
+                process: task.process(),
+                task: task.id(),
+            }
+        );
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
         self.intake.push(TaskRef::clone(task));
         SchedulerMetrics::inc(&self.metrics.intake_submits);
@@ -422,11 +488,34 @@ impl Scheduler {
         if !self.mark_ready(task) {
             return;
         }
+        trace_event!(
+            self,
+            Instant::now(),
+            TraceEvent::Submit {
+                process: task.process(),
+                task: task.id(),
+            }
+        );
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
         let mut st = self.lock_state();
         self.drain_intake(&mut st);
         if st.shutdown || !st.tasks.contains_key(&task.id()) {
             self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        if !st.processes.contains_key(&task.process()) {
+            // Same rule as the intake drain: a task whose process was deregistered must be
+            // released, never placed — granting it would run it outside any registered
+            // domain, and enqueueing it would resurrect the purged process in the policy's
+            // quantum rotation as a ghost. (Found by the schedule fuzzer: see
+            // `fuzz::tests::submit_locked_counterexample_shrinks`.)
+            self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+            drop(st);
+            let mut g = task.grant.lock();
+            if !g.released {
+                g.released = true;
+                task.grant_cv.notify_all();
+            }
             return;
         }
         self.place_ready_task(&mut st, task);
@@ -550,10 +639,27 @@ impl Scheduler {
             process: task.process(),
             preferred_core: None,
         };
+        trace_event!(
+            self,
+            now,
+            TraceEvent::Yield {
+                task: task.id(),
+                core,
+            }
+        );
+        trace_event!(
+            self,
+            now,
+            TraceEvent::Enqueue {
+                process: meta.process,
+                task: meta.id,
+                preferred: meta.preferred_core,
+            }
+        );
         st.policy.enqueue(&self.topo, meta, now);
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
         self.mark_busy(&mut st, core, next_task.id());
-        self.grant(&next_task, core);
+        self.grant(&next_task, core, false);
         drop(st);
         SchedulerMetrics::inc(&self.metrics.yields);
         SchedulerMetrics::inc(&task.stats.yields);
@@ -598,6 +704,7 @@ impl Scheduler {
         let (tasks, queued) = {
             let mut st = self.lock_state();
             st.shutdown = true;
+            trace_event!(self, Instant::now(), TraceEvent::Shutdown);
             // Published before the drain: a submit that pushes after this drain will
             // observe the flag and self-heal (see `submit`).
             self.shutting_down.store(true, Ordering::SeqCst);
@@ -622,8 +729,9 @@ impl Scheduler {
     // -------------------------------------------------------------------------------------
 
     /// Grant `core` to `task`. Caller holds the scheduler lock and has already marked the
-    /// core busy.
-    fn grant(&self, task: &TaskRef, core: CoreId) {
+    /// core busy. `immediate` records whether this grant bypassed the policy queues (an
+    /// idle-core grant straight from `place_ready_task`, with no preceding pop).
+    fn grant(&self, task: &TaskRef, core: CoreId, immediate: bool) {
         let placement = classify_placement(&self.topo, task.preferred_core(), core);
         SchedulerMetrics::inc(&self.metrics.grants);
         SchedulerMetrics::inc(&task.stats.grants);
@@ -632,6 +740,28 @@ impl Scheduler {
             PlacementKind::Numa => SchedulerMetrics::inc(&self.metrics.numa_hits),
             PlacementKind::Remote => SchedulerMetrics::inc(&self.metrics.remote_grants),
         }
+        if let Some(from) = task.preferred_core() {
+            if from != core {
+                trace_event!(
+                    self,
+                    Instant::now(),
+                    TraceEvent::Migrate {
+                        task: task.id(),
+                        from,
+                        to: core,
+                    }
+                );
+            }
+        }
+        trace_event!(
+            self,
+            Instant::now(),
+            TraceEvent::Grant {
+                task: task.id(),
+                core,
+                immediate,
+            }
+        );
         task.record_core(core);
         let mut g = task.grant.lock();
         g.granted = Some(core);
@@ -663,7 +793,15 @@ impl Scheduler {
     /// placed ([`Scheduler::place_ready_task`]). Callers hold the scheduler lock, which
     /// is what serializes drains.
     fn drain_intake(&self, st: &mut SchedState) {
-        for task in self.intake.drain() {
+        let drained = self.intake.drain();
+        if !drained.is_empty() {
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::IntakeDrain { n: drained.len() }
+            );
+        }
+        for task in drained {
             if st.shutdown || !st.tasks.contains_key(&task.id()) {
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
                 continue;
@@ -700,7 +838,7 @@ impl Scheduler {
             if let Some(core) = self.choose_idle_core(st, task.preferred_core(), domain) {
                 // The task was marked queued by the caller; the grant clears it.
                 self.mark_busy(st, core, task.id());
-                self.grant(task, core);
+                self.grant(task, core, true);
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
                 return;
             }
@@ -710,6 +848,15 @@ impl Scheduler {
             process: task.process(),
             preferred_core: task.preferred_core(),
         };
+        trace_event!(
+            self,
+            now,
+            TraceEvent::Enqueue {
+                process: meta.process,
+                task: meta.id,
+                preferred: meta.preferred_core,
+            }
+        );
         st.policy.enqueue(&self.topo, meta, now);
     }
 
@@ -760,12 +907,24 @@ impl Scheduler {
     /// gauge. Stale queue entries (tasks detached while still queued) are skipped and
     /// reconciled here.
     fn pick_live(&self, st: &mut SchedState, core: CoreId, now: Instant) -> Option<TaskRef> {
-        while let Some(meta) = st.policy.pick(&self.topo, core, now) {
+        while let Some((meta, tier)) = st.policy.pick_traced(&self.topo, core, now) {
             self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
+            trace_event!(
+                self,
+                now,
+                TraceEvent::Pop {
+                    core,
+                    tier,
+                    task: meta.id,
+                }
+            );
             if let Some(task) = st.tasks.get(&meta.id).cloned() {
                 return Some(task);
             }
         }
+        // The empty pick still re-armed the aging valve — record it so the replayed
+        // policy's valve state stays in lockstep (see `TraceEvent::PopEmpty`).
+        trace_event!(self, now, TraceEvent::PopEmpty { core });
         None
     }
 
@@ -777,7 +936,7 @@ impl Scheduler {
         }
         if let Some(task) = self.pick_live(st, core, now) {
             self.mark_busy(st, core, task.id());
-            self.grant(&task, core);
+            self.grant(&task, core, false);
         }
     }
 
@@ -859,6 +1018,25 @@ mod tests {
         s.detach(&t1);
         assert_eq!(t2.state(), TaskState::Running);
         assert_eq!(s.ready_count(), 0);
+    }
+
+    #[test]
+    fn submit_locked_after_deregister_releases_instead_of_granting() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.deregister_process(p);
+        // The task was created before the deregister and never submitted, so the
+        // scheduler still knows it — but its process is gone. The locked submit path
+        // must release it, not grant it a core (it would run outside any registered
+        // domain) and not enqueue it (the policy would auto-re-register the purged
+        // process in the quantum rotation as a ghost).
+        s.submit_locked(&t);
+        assert_ne!(t.state(), TaskState::Running);
+        assert_eq!(s.busy_cores(), 0);
+        assert_eq!(s.ready_count(), 0);
+        assert!(t.grant.lock().released, "stranded waiter must be released");
+        assert!(s.processes().is_empty(), "purged process must stay purged");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod machine;
 pub mod metrics;
 pub mod program;
+pub mod replay;
 pub mod sched;
 pub mod thread;
 pub mod time;
@@ -39,6 +40,7 @@ pub use engine::{Engine, SimReport};
 pub use machine::Machine;
 pub use metrics::SimMetrics;
 pub use program::{BarrierWaitKind, Op, Program, ProgramRef};
+pub use replay::{assert_replays_clean, replay, Divergence, ReplayReport};
 pub use sched::{CoopScheduler, FairScheduler, PartitionedScheduler, SchedModel};
 pub use thread::{ProcessDesc, ProcessId, ThreadId};
 pub use time::SimTime;

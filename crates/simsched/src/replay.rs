@@ -1,0 +1,283 @@
+//! Deterministic replay of recorded scheduler traces.
+//!
+//! A trace recorded by the real runtime ([`usf_nosv::sched_trace`], behind its
+//! `sched-trace` feature) is re-executed here through the *simulator's* instantiation of
+//! the shared SCHED_COOP generic — [`CoopCore`]`<ProcessId, TaskId, SimTime>` — and every
+//! recorded pop is compared against what the simulated policy picks at the same logical
+//! step. A mismatch means the simulator and the runtime have drifted apart, which the
+//! equivalence tests turn into a CI failure.
+//!
+//! The replay consumes the state-mutating events (`RegisterProcess`, `DeregisterProcess`,
+//! `SetDomain`, `Enqueue`, `Pop`, `PopEmpty` — an empty pick re-arms the aging valve, so
+//! it must be replayed too) as its script; `Grant` events are cross-checked against
+//! the preceding pop (every non-immediate grant must hand out exactly the task the policy
+//! just popped); the remaining events (`Submit`, `IntakeDrain`, `Yield`, `Migrate`,
+//! `Shutdown`) are context and are ignored. Timestamps are mapped nanosecond-exact —
+//! `SimTime::from_nanos(entry.at_nanos)` — which reproduces every quantum rotation and
+//! aging-valve decision of the original run (see the recording-side documentation on why
+//! the recorded instant is authoritative).
+
+use crate::time::SimTime;
+use usf_nosv::{CoopCore, PickTier, ProcessId, TaskId};
+use usf_nosv::{TraceEntry, TraceEvent, TraceMeta};
+
+/// The first step at which the simulated policy disagreed with the recorded schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Logical step (the trace entry's index) of the disagreeing pop.
+    pub step: u64,
+    /// What the recording scheduler popped (task, tier; tier is `None` for tier-less
+    /// policies), or `None` for a recorded empty pick ([`TraceEvent::PopEmpty`]).
+    pub recorded: Option<(TaskId, Option<PickTier>)>,
+    /// What the simulated policy popped instead (`None`: nothing was ready).
+    pub replayed: Option<(TaskId, PickTier)>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {}: recorded pop {:?}, simulated policy picked {:?}",
+            self.step, self.recorded, self.replayed
+        )
+    }
+}
+
+/// Outcome of replaying one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Pops replayed (and compared) before stopping.
+    pub pops: u64,
+    /// Grant events seen (immediate and popped).
+    pub grants: u64,
+    /// Logical steps of the pops the *simulated* policy served from the aging valve.
+    pub aged_steps: Vec<u64>,
+    /// Non-immediate grants whose task did not match the latest replayed pop (always 0
+    /// for a well-formed trace).
+    pub mismatched_grants: u64,
+    /// The first divergence, if the simulated policy ever disagreed with the recording.
+    pub divergence: Option<Divergence>,
+}
+
+impl ReplayReport {
+    /// Whether the whole trace replayed without drift.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none() && self.mismatched_grants == 0
+    }
+}
+
+/// Replay `entries` (recorded against the scheduler described by `meta`) through the
+/// simulator's SCHED_COOP instantiation, stopping at the first divergence.
+pub fn replay(meta: &TraceMeta, entries: &[TraceEntry]) -> ReplayReport {
+    let quantum = SimTime::from_nanos(meta.quantum_nanos);
+    let mut core: CoopCore<ProcessId, TaskId, SimTime> = CoopCore::new(meta, quantum);
+    let mut report = ReplayReport {
+        pops: 0,
+        grants: 0,
+        aged_steps: Vec::new(),
+        mismatched_grants: 0,
+        divergence: None,
+    };
+    let mut last_pop: Option<TaskId> = None;
+    for entry in entries {
+        let now = SimTime::from_nanos(entry.at_nanos);
+        match &entry.event {
+            TraceEvent::RegisterProcess { process } => core.register_process(*process),
+            TraceEvent::DeregisterProcess { process } => core.deregister_process(*process),
+            TraceEvent::SetDomain { process, cores } => {
+                core.set_process_domain(*process, cores.clone());
+            }
+            TraceEvent::Enqueue {
+                process,
+                task,
+                preferred,
+            } => core.enqueue(*process, *task, *preferred, now),
+            TraceEvent::Pop {
+                core: at_core,
+                tier,
+                task,
+            } => {
+                let picked = core.pick_tiered(*at_core, now);
+                let matches = match picked {
+                    Some((t, picked_tier)) => {
+                        t == *task && tier.map_or(true, |rec| rec == picked_tier)
+                    }
+                    None => false,
+                };
+                if !matches {
+                    report.divergence = Some(Divergence {
+                        step: entry.step,
+                        recorded: Some((*task, *tier)),
+                        replayed: picked,
+                    });
+                    return report;
+                }
+                if let Some((_, PickTier::Aged)) = picked {
+                    report.aged_steps.push(entry.step);
+                }
+                report.pops += 1;
+                last_pop = Some(*task);
+            }
+            TraceEvent::PopEmpty { core: at_core } => {
+                // Re-execute the empty pick: it must serve nothing here too, and its
+                // side effect (re-arming the aging valve) keeps later pops in lockstep.
+                if let Some(picked) = core.pick_tiered(*at_core, now) {
+                    report.divergence = Some(Divergence {
+                        step: entry.step,
+                        recorded: None,
+                        replayed: Some(picked),
+                    });
+                    return report;
+                }
+            }
+            TraceEvent::Grant {
+                task, immediate, ..
+            } => {
+                report.grants += 1;
+                if !*immediate && last_pop != Some(*task) {
+                    report.mismatched_grants += 1;
+                }
+            }
+            TraceEvent::Submit { .. }
+            | TraceEvent::IntakeDrain { .. }
+            | TraceEvent::Yield { .. }
+            | TraceEvent::Migrate { .. }
+            | TraceEvent::Shutdown => {}
+        }
+    }
+    report
+}
+
+/// [`replay`], but panic with a readable message on any drift — the form the equivalence
+/// tests and the fuzz smoke harness use to gate CI.
+pub fn assert_replays_clean(meta: &TraceMeta, entries: &[TraceEntry]) -> ReplayReport {
+    let report = replay(meta, entries);
+    if let Some(d) = &report.divergence {
+        panic!("sim-vs-real schedule drift: {d}");
+    }
+    assert_eq!(
+        report.mismatched_grants, 0,
+        "trace granted tasks that were not the latest pop"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_2x2() -> TraceMeta {
+        TraceMeta {
+            core_nodes: vec![0, 0, 1, 1],
+            quantum_nanos: 50_000,
+            policy: "sched_coop".to_string(),
+        }
+    }
+
+    fn entry(step: u64, at_nanos: u64, event: TraceEvent) -> TraceEntry {
+        TraceEntry {
+            step,
+            at_nanos,
+            event,
+        }
+    }
+
+    #[test]
+    fn scripted_trace_replays_clean() {
+        let meta = meta_2x2();
+        let entries = vec![
+            entry(0, 0, TraceEvent::RegisterProcess { process: 1 }),
+            entry(
+                1,
+                10,
+                TraceEvent::Enqueue {
+                    process: 1,
+                    task: 7,
+                    preferred: Some(2),
+                },
+            ),
+            entry(
+                2,
+                20,
+                TraceEvent::Pop {
+                    core: 2,
+                    tier: Some(PickTier::Affinity),
+                    task: 7,
+                },
+            ),
+            entry(
+                3,
+                20,
+                TraceEvent::Grant {
+                    task: 7,
+                    core: 2,
+                    immediate: false,
+                },
+            ),
+        ];
+        let report = assert_replays_clean(&meta, &entries);
+        assert_eq!(report.pops, 1);
+        assert_eq!(report.grants, 1);
+        assert!(report.aged_steps.is_empty());
+    }
+
+    #[test]
+    fn wrong_recorded_pop_is_reported_as_divergence() {
+        let meta = meta_2x2();
+        let entries = vec![
+            entry(0, 0, TraceEvent::RegisterProcess { process: 1 }),
+            entry(
+                1,
+                10,
+                TraceEvent::Enqueue {
+                    process: 1,
+                    task: 7,
+                    preferred: None,
+                },
+            ),
+            entry(
+                2,
+                20,
+                TraceEvent::Pop {
+                    core: 0,
+                    tier: None,
+                    task: 99, // the recorded scheduler claims a task the queues never saw
+                },
+            ),
+        ];
+        let report = replay(&meta, &entries);
+        let d = report.divergence.expect("divergence must be detected");
+        assert_eq!(d.step, 2);
+        assert_eq!(d.recorded, Some((99, None)));
+        assert_eq!(d.replayed.map(|(t, _)| t), Some(7));
+    }
+
+    #[test]
+    fn non_immediate_grant_must_match_last_pop() {
+        let meta = meta_2x2();
+        let entries = vec![
+            entry(0, 0, TraceEvent::RegisterProcess { process: 1 }),
+            entry(
+                1,
+                5,
+                TraceEvent::Grant {
+                    task: 3,
+                    core: 0,
+                    immediate: true, // idle-core grants bypass the queues: always fine
+                },
+            ),
+            entry(
+                2,
+                9,
+                TraceEvent::Grant {
+                    task: 4,
+                    core: 1,
+                    immediate: false, // ...but a popped grant with no pop is malformed
+                },
+            ),
+        ];
+        let report = replay(&meta, &entries);
+        assert_eq!(report.mismatched_grants, 1);
+        assert!(!report.is_clean());
+    }
+}

@@ -12,7 +12,9 @@ use proptest::prelude::*;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 use usf::nosv::readyq::{CoreMap, ProcQueues};
-use usf::nosv::{CoopPolicy, Policy, TaskMeta, Topology};
+use usf::nosv::{CoopPolicy, PickTier, Policy, TaskMeta, Topology};
+use usf::nosv::{TraceEntry, TraceEvent, TraceMeta};
+use usf::simsched::replay::replay;
 use usf::simsched::sched::{CoopScheduler, ReadyThread, SimPolicy};
 use usf::simsched::{Machine, SimTime};
 
@@ -238,5 +240,92 @@ proptest! {
         }
         prop_assert!(!real.has_ready());
         prop_assert!(!sim.has_ready());
+    }
+
+    /// The replay harness closes the same loop through the trace format: a schedule
+    /// hand-recorded from the real-time `CoopPolicy` (enqueues and tiered picks, stamped
+    /// with the exact nanosecond offsets the policy saw) replays through
+    /// `usf::simsched::replay` with zero divergence, and aged picks land at the same
+    /// logical steps. Unlike tests/sched_trace_replay.rs this needs no cargo feature —
+    /// the trace types compile unconditionally.
+    #[test]
+    fn hand_recorded_policy_trace_replays_in_sim(
+        ops in proptest::collection::vec((0u8..4, 0u8..10, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let quantum = 50_000u64; // ns; aging window == quantum in SCHED_COOP
+        let mut real = CoopPolicy::new(topo.clone(), Duration::from_nanos(quantum));
+
+        let meta = TraceMeta {
+            core_nodes: (0..CORES).map(|c| topo.node_of(c)).collect(),
+            quantum_nanos: quantum,
+            policy: "sched_coop".to_string(),
+        };
+        let mut entries: Vec<TraceEntry> = Vec::new();
+        let mut expected_aged: Vec<u64> = Vec::new();
+        let record = |at_nanos: u64, event: TraceEvent, entries: &mut Vec<TraceEntry>| {
+            entries.push(TraceEntry { step: entries.len() as u64, at_nanos, event });
+        };
+
+        let base = Instant::now();
+        let mut now = 0u64;
+        let mut next_id = 1u64;
+        let pick = |real: &mut CoopPolicy,
+                        core: usize,
+                        now: u64,
+                        entries: &mut Vec<TraceEntry>,
+                        expected_aged: &mut Vec<u64>| {
+            match real.pick_tiered(core, base + Duration::from_nanos(now)) {
+                Some((meta, tier)) => {
+                    if tier == PickTier::Aged {
+                        expected_aged.push(entries.len() as u64);
+                    }
+                    entries.push(TraceEntry {
+                        step: entries.len() as u64,
+                        at_nanos: now,
+                        event: TraceEvent::Pop { core, tier: Some(tier), task: meta.id },
+                    });
+                }
+                // Even an empty pick re-arms the aging valve; record it so the replayed
+                // valve stays in lockstep (TraceEvent::PopEmpty's raison d'être).
+                None => entries.push(TraceEntry {
+                    step: entries.len() as u64,
+                    at_nanos: now,
+                    event: TraceEvent::PopEmpty { core },
+                }),
+            }
+        };
+        for (kind, sel, core, dt) in ops {
+            now += u64::from(dt);
+            if kind < 2 {
+                let process = u32::from(sel % 2);
+                let pref = pref_of(sel / 2);
+                real.enqueue(&topo, TaskMeta {
+                    id: next_id,
+                    process,
+                    preferred_core: pref,
+                }, base + Duration::from_nanos(now));
+                record(now, TraceEvent::Enqueue {
+                    process,
+                    task: next_id,
+                    preferred: pref,
+                }, &mut entries);
+                next_id += 1;
+            } else {
+                pick(&mut real, core as usize, now, &mut entries, &mut expected_aged);
+            }
+        }
+        while real.has_ready() {
+            now += 1_000;
+            pick(&mut real, 0, now, &mut entries, &mut expected_aged);
+        }
+
+        let expected_pops =
+            entries.iter().filter(|e| matches!(e.event, TraceEvent::Pop { .. })).count();
+        let report = replay(&meta, &entries);
+        prop_assert!(report.divergence.is_none(), "drift: {:?}", report.divergence);
+        prop_assert_eq!(report.pops, expected_pops as u64);
+        prop_assert_eq!(report.aged_steps, expected_aged,
+            "aged picks must replay at the recorded logical steps");
     }
 }

@@ -6,8 +6,9 @@
 //! [`ProptestConfig`] whose `cases` field controls the iteration count.
 //!
 //! Differences from upstream: inputs are sampled (deterministically per test name and
-//! case index) rather than explored, and failing cases are **not shrunk** — the panic
-//! message reports the case number so it can be replayed by rerunning the test.
+//! case index) rather than explored. Failing cases **are** shrunk — a greedy loop over
+//! [`Strategy::shrink`] candidates, bounded by `ProptestConfig::max_shrink_iters` —
+//! and the panic message reports the minimal failing input alongside the case number.
 
 #![warn(missing_docs)]
 
@@ -23,7 +24,7 @@ pub use strategy::Strategy;
 pub struct ProptestConfig {
     /// Number of sampled input cases per property.
     pub cases: u32,
-    /// Accepted for source compatibility; shrinking is not implemented.
+    /// Upper bound on shrink candidates probed after a failure (0 disables shrinking).
     pub max_shrink_iters: u32,
 }
 
@@ -31,7 +32,7 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
             cases: 64,
-            max_shrink_iters: 0,
+            max_shrink_iters: 256,
         }
     }
 }
@@ -61,6 +62,54 @@ pub mod test_runner {
             }
         }
     }
+
+    /// Identity helper pinning a runner closure's argument type to the strategy's value
+    /// type, so the macro-generated closure typechecks without explicit annotations.
+    pub fn bind_runner<S, F>(_strat: &S, f: F) -> F
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(&S::Value) -> Result<(), Box<dyn std::any::Any + Send>>,
+    {
+        f
+    }
+
+    /// Greedily minimise a failing input: repeatedly probe the strategy's shrink
+    /// candidates (most aggressive first) and restart from the first candidate that
+    /// still fails, until no candidate fails or `max_iters` probes were spent. Returns
+    /// the minimal failing input, the number of probes, and the panic payload of the
+    /// minimal failure. The panic hook is silenced while probing so passing candidates
+    /// don't spray backtraces.
+    pub fn shrink_failure<S, F>(
+        strat: &S,
+        mut best: S::Value,
+        mut payload: Box<dyn std::any::Any + Send>,
+        max_iters: u32,
+        run: &F,
+    ) -> (S::Value, u32, Box<dyn std::any::Any + Send>)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(&S::Value) -> Result<(), Box<dyn std::any::Any + Send>>,
+    {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut iters = 0u32;
+        'minimise: while iters < max_iters {
+            for candidate in strat.shrink(&best) {
+                if iters >= max_iters {
+                    break 'minimise;
+                }
+                iters += 1;
+                if let Err(p) = run(&candidate) {
+                    best = candidate;
+                    payload = p;
+                    continue 'minimise;
+                }
+            }
+            break; // no candidate fails: `best` is locally minimal
+        }
+        std::panic::set_hook(prev_hook);
+        (best, iters, payload)
+    }
 }
 
 /// Strategies over collections.
@@ -83,11 +132,43 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.inner.gen_range(self.size.clone());
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            let n = value.len();
+            if n > min {
+                // Structural shrinks first: keep either half, then drop single elements.
+                let half = (n / 2).max(min);
+                if half < n {
+                    out.push(value[..half].to_vec());
+                    out.push(value[n - half..].to_vec());
+                }
+                if n <= 64 {
+                    for i in 0..n {
+                        let mut v = value.clone();
+                        v.remove(i);
+                        out.push(v);
+                    }
+                }
+            }
+            // Element-wise shrinks (bounded on long vectors).
+            for i in 0..n.min(32) {
+                for cand in self.elem.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -118,6 +199,16 @@ pub mod option {
                 None
             }
         }
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(v).into_iter().map(Some));
+                    out
+                }
+            }
+        }
     }
 }
 
@@ -138,6 +229,13 @@ pub mod bool {
         type Value = core::primitive::bool;
         fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
             rng.inner.gen::<core::primitive::bool>()
+        }
+        fn shrink(&self, value: &core::primitive::bool) -> Vec<core::primitive::bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -171,15 +269,25 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                // One owned tuple strategy over all arguments, so a failing input can be
+                // shrunk as a unit.
+                let strat = ($(($strat),)+);
+                let run_one = $crate::test_runner::bind_runner(&strat, |input| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(input);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body))
+                        .map(|_| ())
+                });
                 for case in 0..config.cases {
-                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
-                    if let Err(payload) = result {
-                        eprintln!(
-                            "proptest: property {} failed at case {}/{} (inputs are deterministic per test name)",
-                            stringify!($name), case + 1, config.cases,
+                    let input = $crate::strategy::Strategy::sample(&strat, &mut rng);
+                    if let Err(payload) = run_one(&input) {
+                        let (minimal, iters, final_payload) = $crate::test_runner::shrink_failure(
+                            &strat, input, payload, config.max_shrink_iters, &run_one,
                         );
-                        std::panic::resume_unwind(payload);
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{}; after {} shrink probe(s) the minimal failing input is:\n{:#?}",
+                            stringify!($name), case + 1, config.cases, iters, minimal,
+                        );
+                        ::std::panic::resume_unwind(final_payload);
                     }
                 }
             }
@@ -230,6 +338,30 @@ mod tests {
             prop_assert!(v.iter().all(|e| (1..5).contains(e)));
             let _ = flag;
         }
+    }
+
+    #[test]
+    fn shrinking_minimises_vec() {
+        use crate::strategy::Strategy;
+        // A property failing whenever any element is >= 10: the canonical minimal
+        // counterexample is the one-element vector [10].
+        let strat = (crate::collection::vec(0u32..100, 1..20),);
+        let run = |input: &(Vec<u32>,)| {
+            let v = input.0.clone();
+            std::panic::catch_unwind(move || assert!(v.iter().all(|&e| e < 10))).map(|_| ())
+        };
+        let mut rng = crate::test_runner::TestRng::deterministic("shrinking_minimises_vec");
+        let failing = loop {
+            let input = strat.sample(&mut rng);
+            if run(&input).is_err() {
+                break input;
+            }
+        };
+        let payload = run(&failing).unwrap_err();
+        let (minimal, iters, _) =
+            crate::test_runner::shrink_failure(&strat, failing, payload, 500, &run);
+        assert_eq!(minimal.0, vec![10], "greedy shrink must reach [10]");
+        assert!(iters > 0 && iters <= 500);
     }
 
     #[test]

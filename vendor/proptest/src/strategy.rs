@@ -5,13 +5,22 @@ use rand::Rng;
 use std::ops::Range;
 
 /// A recipe for generating values of one type. Unlike upstream proptest there is no
-/// value tree or shrinking — a strategy is just a deterministic sampler.
+/// value tree — a strategy is a deterministic sampler plus a [`Strategy::shrink`] step
+/// function proposing strictly "smaller" candidates for a failing value.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value from the strategy.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first. Every candidate must
+    /// itself be a value the strategy could have produced, and repeated shrinking must
+    /// terminate (each candidate strictly simpler). The default — no candidates — makes
+    /// shrinking a no-op for strategies that don't implement it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_strategy_for_int_range {
@@ -21,18 +30,67 @@ macro_rules! impl_strategy_for_int_range {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.inner.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    // Most aggressive first: the range minimum, the midpoint, then one
+                    // step down.
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let dec = *value - 1;
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
-impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i32, i64, f64);
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.inner.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid > self.start && mid < *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
 
 macro_rules! impl_strategy_for_tuple {
     ($($s:ident . $idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     };
@@ -49,5 +107,8 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
