@@ -18,8 +18,8 @@
 //!    (`usf_simsched::replay`); any real-vs-sim drift fails the run.
 //!
 //! On failure the counterexample is greedily shrunk and written to
-//! `SCHED_FUZZ_counterexample.txt` (CI uploads it as an artifact), and the process exits
-//! non-zero.
+//! `target/SCHED_FUZZ_counterexample.txt` (every CI job uploads it as an artifact, and
+//! the path is printed so local runs find it too), and the process exits non-zero.
 
 use std::time::Instant;
 use usf_bench::cli::{self, FlagSpec};
@@ -50,7 +50,8 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--counterexample",
         value_name: Some("PATH"),
-        help: "shrunk-counterexample file on failure (default SCHED_FUZZ_counterexample.txt)",
+        help:
+            "shrunk-counterexample file on failure (default target/SCHED_FUZZ_counterexample.txt)",
     },
 ];
 
@@ -169,6 +170,11 @@ fn write_counterexample(path: &str, cfg_name: &str, cfg: &FuzzConfig, seed: u64,
     for (i, op) in minimal.iter().enumerate() {
         out.push_str(&format!("  {i:3}: {op}\n"));
     }
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
     if let Err(e) = std::fs::write(path, &out) {
         eprintln!("sched_fuzz: could not write {path}: {e}");
     } else {
@@ -199,7 +205,7 @@ fn main() {
     let json_path = args.get("--json").unwrap_or("BENCH_fuzz.json").to_string();
     let cex_path = args
         .get("--counterexample")
-        .unwrap_or("SCHED_FUZZ_counterexample.txt")
+        .unwrap_or("target/SCHED_FUZZ_counterexample.txt")
         .to_string();
 
     let traced = cfg!(feature = "sched-trace");

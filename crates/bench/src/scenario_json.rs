@@ -32,6 +32,15 @@ pub fn report_json(r: &ScenarioReport) -> JsonObject {
                     .opt(
                         "cross_socket_migrations",
                         p.cross_socket_migrations.map(JsonValue::from),
+                    )
+                    .field("survived", p.survived)
+                    .field("injected_faults", p.injected_faults)
+                    .field(
+                        "panicked_units",
+                        p.panicked_units
+                            .iter()
+                            .map(|&u| JsonValue::from(u))
+                            .collect::<Vec<_>>(),
                     ),
             )
         })
@@ -82,6 +91,9 @@ mod tests {
                 slowdown_vs_solo: Some(1.5),
                 migrations: Some(3),
                 cross_socket_migrations: Some(1),
+                injected_faults: 2,
+                panicked_units: vec![1],
+                survived: true,
             }],
             sched: Some(SchedDelta {
                 scheduler: "partitioned".into(),
@@ -94,5 +106,7 @@ mod tests {
         assert!(s.contains("\"p99_unit_s\": 0.006000"), "{s}");
         assert!(s.contains("\"mean_slowdown\": 1.500"), "{s}");
         assert!(s.contains("\"migrations\": 3.000"), "{s}");
+        assert!(s.contains("\"survived\": true"), "{s}");
+        assert!(s.contains("\"injected_faults\": 2"), "{s}");
     }
 }

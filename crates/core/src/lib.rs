@@ -69,7 +69,7 @@ pub use config::UsfConfig;
 pub use error::UsfError;
 pub use exec::{ExecJoinHandle, ExecMode};
 pub use runtime::{ProcessHandle, Usf, UsfBuilder};
-pub use thread::JoinHandle;
+pub use thread::{JoinHandle, ThreadShutdownReport};
 
 // Re-export the substrate types users commonly need.
 pub use usf_nosv::{MetricsSnapshot, PolicyKind, Topology};

@@ -184,9 +184,33 @@ impl Usf {
     /// Shut the instance down: release every task from scheduler control and terminate and
     /// join the cached worker threads. Call after joining application threads; must not be
     /// called from a thread spawned by this instance.
+    ///
+    /// The worker joins are bounded (see
+    /// [`crate::thread::DEFAULT_SHUTDOWN_TIMEOUT`]): a worker wedged in user code is
+    /// abandoned rather than hanging the teardown forever. Use [`Usf::shutdown_timeout`]
+    /// to pick the deadline and learn who straggled.
     pub fn shutdown(&self) {
+        let _ = self.shutdown_timeout(crate::thread::DEFAULT_SHUTDOWN_TIMEOUT);
+    }
+
+    /// Install a seeded [`usf_nosv::FaultPlan`] into the shared scheduler, returning the
+    /// [`usf_nosv::FaultState`] the chaos harness asserts against. Install-once per
+    /// scheduler instance.
+    #[cfg(feature = "fault-inject")]
+    pub fn install_faults(&self, plan: &usf_nosv::FaultPlan) -> Arc<usf_nosv::FaultState> {
+        self.inner.nosv.install_faults(plan)
+    }
+
+    /// [`Usf::shutdown`] with an explicit join deadline, reporting which workers were
+    /// joined and which were still running when the deadline expired (those are left
+    /// running detached — the graceful-degradation contract is that a stuck worker costs
+    /// an OS thread, never a hung teardown).
+    pub fn shutdown_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> crate::thread::ThreadShutdownReport {
         self.inner.nosv.shutdown();
-        self.inner.cache.shutdown();
+        self.inner.cache.shutdown_timeout(timeout)
     }
 }
 
@@ -282,6 +306,15 @@ impl ProcessHandle {
     /// the domain keep running.
     pub fn deregister(&self) {
         self.inner.nosv.deregister_process(self.pid);
+    }
+
+    /// Forcibly reclaim the process domain mid-run — the stand-in for the OS process
+    /// dying (`kill -9`) while its tasks are queued, running and blocked. Queued work is
+    /// dropped, running tasks are evicted (their cores immediately re-dispatched to
+    /// co-tenants) and every thread parked on one of the domain's tasks resumes as a
+    /// plain OS thread. Co-tenant process domains are unaffected.
+    pub fn kill(&self) -> usf_nosv::KillReport {
+        self.inner.nosv.kill_process(self.pid)
     }
 }
 
@@ -426,6 +459,69 @@ mod tests {
             stats.reused >= 1,
             "sequential spawn/join must hit the cache: {stats:?}"
         );
+        usf.shutdown();
+    }
+
+    #[test]
+    fn shutdown_racing_a_panicking_task_neither_hangs_nor_leaks() {
+        // Regression: shutdown used to join workers unboundedly, so a worker stuck
+        // between its panic and its cache hand-back could wedge teardown. The panicking
+        // task must surface as Err on its join handle, and the bounded shutdown must
+        // join everything with no stragglers.
+        let usf = Usf::builder().cores(1).build();
+        let p = usf.process("app");
+        let h = p.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            panic!("injected task panic");
+        });
+        // Race teardown against the still-running (and about to panic) task.
+        let report = usf.shutdown_timeout(std::time::Duration::from_secs(10));
+        assert!(
+            report.clean(),
+            "panicking worker must still be joinable: {report:?}"
+        );
+        assert!(h.join().is_err(), "panic must surface on the join path");
+    }
+
+    #[test]
+    fn killed_process_releases_workers_and_spares_cotenants() {
+        use std::sync::atomic::AtomicBool;
+        let usf = Usf::builder().cores(1).build();
+        let victim = usf.process("victim");
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicUsize::new(0));
+        // Three workers on one core: one runs, the others park in attach. Killing the
+        // process must release all of them (they continue as plain OS threads).
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let started = Arc::clone(&started);
+                victim.spawn(move || {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                })
+            })
+            .collect();
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let report = victim.kill();
+        assert!(
+            report.running_preempted + report.waiters_released + report.queued_reclaimed >= 1,
+            "kill must have reclaimed something: {report:?}"
+        );
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            // Terminates, never hangs: workers attached before the kill finish normally,
+            // ones that lost the attach race surface an error.
+            let _ = h.join();
+        }
+        // The freed core serves co-tenants as if the victim never existed.
+        let co = usf.process("cotenant");
+        assert_eq!(co.spawn(|| 7).join().unwrap(), 7);
+        assert_eq!(usf.metrics().processes_killed, 1);
         usf.shutdown();
     }
 

@@ -54,6 +54,23 @@ impl Mailbox {
     }
 }
 
+/// Outcome of a bounded [`ThreadCache::shutdown_timeout`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadShutdownReport {
+    /// Worker threads joined within the deadline.
+    pub joined: usize,
+    /// Names of the worker threads still running when the deadline expired (`<unnamed>`
+    /// for anonymous workers). They were left running detached, not joined.
+    pub stragglers: Vec<String>,
+}
+
+impl ThreadShutdownReport {
+    /// Whether every worker was joined before the deadline.
+    pub fn clean(&self) -> bool {
+        self.stragglers.is_empty()
+    }
+}
+
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadCacheStats {
@@ -173,14 +190,53 @@ impl ThreadCache {
 
     /// Terminate and join every thread ever created by the cache. Must not be called from a
     /// cached worker thread.
+    ///
+    /// Joins are bounded: a worker wedged in user code (deadlocked, stalled on external
+    /// I/O) is abandoned after a generous deadline instead of hanging the teardown
+    /// forever. Use [`ThreadCache::shutdown_timeout`] to pick the deadline and learn who
+    /// straggled.
     pub fn shutdown(&self) {
+        let _ = self.shutdown_timeout(DEFAULT_SHUTDOWN_TIMEOUT);
+    }
+
+    /// Like [`ThreadCache::shutdown`], but with an explicit deadline: joins every worker
+    /// that finishes within `timeout` and reports the ones that did not. Stragglers are
+    /// left running detached (they exit on their own once their job returns — the
+    /// shutdown flag keeps them out of the cache), so calling this again later can no
+    /// longer join them.
+    pub fn shutdown_timeout(&self, timeout: std::time::Duration) -> ThreadShutdownReport {
         self.request_shutdown();
-        let handles = std::mem::take(&mut *self.handles.lock());
-        for h in handles {
-            let _ = h.join();
+        let mut handles = std::mem::take(&mut *self.handles.lock());
+        let deadline = std::time::Instant::now() + timeout;
+        let mut report = ThreadShutdownReport::default();
+        loop {
+            let mut still_running = Vec::new();
+            for h in handles {
+                if h.is_finished() {
+                    let _ = h.join();
+                    report.joined += 1;
+                } else {
+                    still_running.push(h);
+                }
+            }
+            handles = still_running;
+            if handles.is_empty() || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
+        for h in &handles {
+            report
+                .stragglers
+                .push(h.thread().name().unwrap_or("<unnamed>").to_string());
+        }
+        report
     }
 }
+
+/// Deadline used by the convenience [`ThreadCache::shutdown`]: long enough that any
+/// healthy worker joins, short enough that a wedged one cannot hang teardown forever.
+pub const DEFAULT_SHUTDOWN_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 #[cfg(test)]
 mod tests {
@@ -258,6 +314,27 @@ mod tests {
         cache.shutdown();
         cache.shutdown();
         assert_eq!(cache.stats().idle, 0);
+    }
+
+    #[test]
+    fn shutdown_timeout_reports_wedged_workers_instead_of_hanging() {
+        let cache = ThreadCache::new(4);
+        let release = Arc::new(AtomicBool::new(false));
+        let rel = Arc::clone(&release);
+        cache.dispatch(
+            Some("wedged-worker".to_string()),
+            Box::new(move || {
+                while !rel.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }),
+        );
+        cache.dispatch(None, Box::new(|| {}));
+        let report = cache.shutdown_timeout(Duration::from_millis(100));
+        assert_eq!(report.joined, 1, "the healthy worker joins");
+        assert_eq!(report.stragglers, vec!["wedged-worker".to_string()]);
+        assert!(!report.clean());
+        release.store(true, Ordering::SeqCst); // let the abandoned thread exit
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 pub mod cache;
 
-pub use cache::{ThreadCache, ThreadCacheStats};
+pub use cache::{ThreadCache, ThreadCacheStats, ThreadShutdownReport, DEFAULT_SHUTDOWN_TIMEOUT};
 
 use crate::current::{clear_current, set_current, CurrentCtx};
 use crate::error::UsfError;
@@ -119,17 +119,26 @@ where
     let label = name.clone();
     let job = Box::new(move || {
         // Attach: the thread is recruited as a nOS-V worker and blocks here until the
-        // scheduler grants it a core (it can no longer run freely).
-        let handle = nosv.attach(pid, label.as_deref());
-        *packet2.task.lock() = Some(handle.task().clone());
-        set_current(CurrentCtx {
-            task: handle.task().clone(),
-            nosv: nosv.clone(),
-            process: pid,
-        });
-        let result = catch_unwind(AssertUnwindSafe(f));
-        clear_current();
-        handle.detach();
+        // scheduler grants it a core (it can no longer run freely). The attach can lose a
+        // race against shutdown or a process kill; the failure must land in the join
+        // packet as an error — a panic here would skip `done.set()` and hang the joiner.
+        let result =
+            match nosv.try_attach(pid, label.as_deref()) {
+                Ok(handle) => {
+                    *packet2.task.lock() = Some(handle.task().clone());
+                    set_current(CurrentCtx {
+                        task: handle.task().clone(),
+                        nosv: nosv.clone(),
+                        process: pid,
+                    });
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    clear_current();
+                    handle.detach();
+                    result
+                }
+                Err(e) => Err(Box::new(format!("usf spawn: attach failed: {e}"))
+                    as Box<dyn std::any::Any + Send>),
+            };
         *packet2.result.lock() = Some(result);
         packet2.done.set();
     });

@@ -2,9 +2,10 @@
 //!
 //! The fuzzer drives a single-threaded [`Scheduler`] through a generated sequence of
 //! [`FuzzOp`]s — the scheduler's *non-blocking* entry points only (`submit`,
-//! `submit_locked`, `detach`, `set_process_domain`, `deregister_process`, `shutdown`;
-//! the blocking points `attach`/`pause`/`yield_now`/`waitfor` would park the fuzzing
-//! thread in `wait_grant` forever) — and checks a set of invariants after **every** op:
+//! `submit_locked`, `detach`, `set_process_domain`, `deregister_process`, `kill_process`,
+//! `watchdog_scan`, `shutdown`; the blocking points `attach`/`pause`/`yield_now`/`waitfor`
+//! would park the fuzzing thread in `wait_grant` forever) — and checks a set of invariants
+//! after **every** op:
 //!
 //! * **No double grant** — at most one running task per core ([`Violation::DoubleGrant`]).
 //! * **Gauge consistency** — the busy-core gauge equals the number of running tasks
@@ -19,6 +20,9 @@
 //!   task the model still expects to run must have been granted at least once
 //!   ([`Violation::LostTask`]), and the lock-free ready gauge must have reconciled to
 //!   zero ([`Violation::ReadyGaugeStuck`]).
+//! * **No orphaned waiter** — at quiescence no task of a dead (deregistered or killed)
+//!   process may be left parked: ungranted, unreleased, with nothing that will ever wake
+//!   it ([`Violation::OrphanedWaiter`]).
 //!
 //! Sequences come from a seeded [`StdRng`], so every failure is reproducible from
 //! `(config, seed)` alone, and [`shrink`] reduces a failing sequence to a (locally)
@@ -150,6 +154,15 @@ pub enum FuzzOp {
         /// Process index (modulo the process count).
         proc_index: usize,
     },
+    /// Forcibly kill a process via [`Scheduler::kill_process`]: queued work reclaimed,
+    /// running tasks evicted, waiters released.
+    KillProcess {
+        /// Process index (modulo the process count).
+        proc_index: usize,
+    },
+    /// Run a zero-deadline [`Scheduler::watchdog_scan`] (flags every busy core once;
+    /// report-only, so it must never perturb any other invariant).
+    WatchdogScan,
     /// Shut the scheduler down mid-sequence. Later ops still execute against the
     /// shut-down scheduler.
     Shutdown,
@@ -166,6 +179,8 @@ impl fmt::Display for FuzzOp {
             }
             FuzzOp::Unpin { proc_index } => write!(f, "unpin(proc {proc_index})"),
             FuzzOp::Deregister { proc_index } => write!(f, "deregister(proc {proc_index})"),
+            FuzzOp::KillProcess { proc_index } => write!(f, "kill(proc {proc_index})"),
+            FuzzOp::WatchdogScan => write!(f, "watchdog_scan"),
             FuzzOp::Shutdown => write!(f, "shutdown"),
         }
     }
@@ -178,8 +193,9 @@ pub fn generate(cfg: &FuzzConfig, seed: u64) -> Vec<FuzzOp> {
     let w_pin: u32 = if cfg.pin_bias { 25 } else { 8 };
     let w_unpin: u32 = if cfg.pin_bias { 12 } else { 5 };
     let w_shutdown: u32 = if cfg.allow_shutdown { 4 } else { 0 };
-    // Submit, SubmitLocked, Detach, PinNode, Unpin, Deregister, Shutdown.
-    let weights = [35u32, 10, 25, w_pin, w_unpin, 4, w_shutdown];
+    // Submit, SubmitLocked, Detach, PinNode, Unpin, Deregister, KillProcess,
+    // WatchdogScan, Shutdown.
+    let weights = [35u32, 10, 25, w_pin, w_unpin, 4, 3, 3, w_shutdown];
     let total: u32 = weights.iter().sum();
     (0..cfg.ops)
         .map(|_| {
@@ -209,6 +225,10 @@ pub fn generate(cfg: &FuzzConfig, seed: u64) -> Vec<FuzzOp> {
                 5 => FuzzOp::Deregister {
                     proc_index: rng.gen_range(0..cfg.processes),
                 },
+                6 => FuzzOp::KillProcess {
+                    proc_index: rng.gen_range(0..cfg.processes),
+                },
+                7 => FuzzOp::WatchdogScan,
                 _ => FuzzOp::Shutdown,
             }
         })
@@ -272,6 +292,15 @@ pub enum Violation {
         /// The stuck gauge value.
         ready: usize,
     },
+    /// A task of a dead (deregistered or killed) process is still parked at quiescence:
+    /// neither granted, nor released, nor finished — a `wait_grant` on it would hang
+    /// forever even though nothing will ever schedule it.
+    OrphanedWaiter {
+        /// The task's slot in the harness.
+        slot: usize,
+        /// The orphaned task.
+        task: TaskId,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -306,6 +335,12 @@ impl fmt::Display for Violation {
             }
             Violation::ReadyGaugeStuck { ready } => {
                 write!(f, "ready gauge stuck at {ready} after quiescence")
+            }
+            Violation::OrphanedWaiter { slot, task } => {
+                write!(
+                    f,
+                    "orphaned waiter: slot {slot} ({task:?}) of a dead process is still parked"
+                )
             }
         }
     }
@@ -428,6 +463,20 @@ impl Harness {
                 let n = self.pids.len();
                 self.pending.retain(|&slot| slot % n != p);
             }
+            FuzzOp::KillProcess { proc_index } => {
+                let p = proc_index % self.pids.len();
+                self.sched.kill_process(self.pids[p]);
+                self.alive[p] = false;
+                // Queued work was reclaimed and running tasks evicted: the process owes
+                // nothing to the model any more.
+                let n = self.pids.len();
+                self.pending.retain(|&slot| slot % n != p);
+            }
+            FuzzOp::WatchdogScan => {
+                // Report-only: flags every currently busy core (zero deadline) and must
+                // not change any schedule-visible state.
+                let _ = self.sched.watchdog_scan(Duration::ZERO);
+            }
             FuzzOp::Shutdown => {
                 self.sched.shutdown();
                 self.shutdown_done = true;
@@ -529,8 +578,16 @@ impl Harness {
 
     /// Drain the scheduler to quiescence: detach running tasks (each release dispatches
     /// queued work) until nothing runs, then verify nothing was lost.
+    ///
+    /// A bounded number of "flusher" rounds forces extra drain + dispatch passes: stale
+    /// queue entries (tasks detached while queued) can leave the ready gauge nonzero with
+    /// every core idle, and an armed [`crate::faults::FaultSite::DelayIntakeDrain`] can
+    /// park the sequence's final submits in the intake stack past the last organic
+    /// scheduling point. Fault fires are capped by their plan, so the rounds converge; a
+    /// genuinely lost task (e.g. [`Mutation::DropSubmit`]) never reached the scheduler at
+    /// all and stays lost no matter how many passes run.
     fn quiesce(&mut self) -> Result<(), Violation> {
-        for round in 0..2 {
+        for round in 0..8 {
             loop {
                 self.check()?;
                 let running: Vec<usize> = (0..self.slots.len())
@@ -550,17 +607,24 @@ impl Harness {
                     }
                 }
             }
-            if round == 0 && !self.shutdown_done {
-                // Stale queue entries (tasks detached while queued) can leave the ready
-                // gauge nonzero with every core idle; a throwaway "flusher" task forces a
-                // drain + dispatch pass that pops and reconciles them.
-                if let Some(p) = (0..self.pids.len()).find(|&p| self.alive[p]) {
-                    if let Ok(t) = self.sched.create_task(self.pids[p], None) {
-                        self.sched.submit(&t);
-                        self.sched.detach(&t);
-                    }
-                }
+            // Flush again while the scheduler owes a grant (pending) *or* the ready gauge
+            // has not reconciled — a fault-delayed drain can strand a stale intake entry
+            // (its task already detached) that only another drain pass can pop.
+            let need_flush = !self.shutdown_done
+                && (round == 0 || !self.pending.is_empty() || self.sched.ready_count() != 0);
+            if !need_flush {
+                break;
             }
+            // The throwaway "flusher" task's submit + detach are two scheduling points
+            // that pop stale entries and drain any fault-delayed intake.
+            let Some(p) = (0..self.pids.len()).find(|&p| self.alive[p]) else {
+                break;
+            };
+            let Ok(t) = self.sched.create_task(self.pids[p], None) else {
+                break;
+            };
+            self.sched.submit(&t);
+            self.sched.detach(&t);
         }
         if let Some(&slot) = self.pending.iter().min() {
             let task = self.slots[slot]
@@ -572,6 +636,25 @@ impl Harness {
         let ready = self.sched.ready_count();
         if ready != 0 {
             return Err(Violation::ReadyGaugeStuck { ready });
+        }
+        // Degradation contract: once a process is dead, none of its tasks may be left in
+        // a parked state (queued or blocked, ungranted, unreleased) — any `wait_grant` on
+        // such a task would hang forever with nothing left to wake it.
+        for slot in 0..self.slots.len() {
+            let Some(t) = self.slots[slot].as_ref() else {
+                continue;
+            };
+            if self.alive[self.proc_of_slot(slot)] {
+                continue;
+            }
+            let state = t.state();
+            let parked = matches!(state, TaskState::Ready | TaskState::Blocked) && {
+                let g = t.grant.lock();
+                g.granted.is_none() && !g.released
+            };
+            if parked {
+                return Err(Violation::OrphanedWaiter { slot, task: t.id() });
+            }
         }
         Ok(())
     }
@@ -636,6 +719,70 @@ pub fn execute_traced(
     let rec = sched.install_tracer();
     let result = run(cfg, ops, None, sched);
     (result, rec.meta().clone(), rec.snapshot())
+}
+
+/// Like [`execute`], but with `plan` installed into the fuzzed scheduler (feature
+/// `fault-inject`): scheduler-level fault sites fire during the run and the harness
+/// requires every invariant to hold anyway. Returns the run result together with the
+/// shared fault state, so callers can assert on what actually fired.
+#[cfg(feature = "fault-inject")]
+pub fn execute_faulted(
+    cfg: &FuzzConfig,
+    ops: &[FuzzOp],
+    plan: &crate::faults::FaultPlan,
+) -> (
+    Result<FuzzStats, FuzzFailure>,
+    std::sync::Arc<crate::faults::FaultState>,
+) {
+    let sched = build_scheduler(cfg);
+    let state = sched.install_faults(plan);
+    (run(cfg, ops, None, sched), state)
+}
+
+/// [`execute_faulted`] with a trace recorder installed as well (features `fault-inject`
+/// and `sched-trace`): the faulty run's schedule comes back ready for the simulator's
+/// replay harness. An injected fault's *effects* are ordinary trace events, so a faulty
+/// run must replay divergence-free exactly like a clean one.
+#[cfg(all(feature = "fault-inject", feature = "sched-trace"))]
+pub fn execute_faulted_traced(
+    cfg: &FuzzConfig,
+    ops: &[FuzzOp],
+    plan: &crate::faults::FaultPlan,
+) -> (
+    Result<FuzzStats, FuzzFailure>,
+    std::sync::Arc<crate::faults::FaultState>,
+    crate::sched_trace::TraceMeta,
+    Vec<crate::sched_trace::TraceEntry>,
+) {
+    let mut sched = build_scheduler(cfg);
+    let rec = sched.install_tracer();
+    let state = sched.install_faults(plan);
+    let result = run(cfg, ops, None, sched);
+    (result, state, rec.meta().clone(), rec.snapshot())
+}
+
+/// The fault plan the faulted fuzz sweeps arm: only sites the scheduler must *absorb*
+/// without violating any invariant — duplicated wakeups (redundant deliveries), a bounded
+/// number of delayed intake drains (recovered at later scheduling points), and one
+/// widened shutdown race window. [`crate::faults::FaultSite::DropWakeup`] is deliberately
+/// absent: a dropped wakeup genuinely loses the task unless the submitter retries, which
+/// is the chaos harness's canary, not an invariant the scheduler can hold on its own.
+#[cfg(feature = "fault-inject")]
+pub fn absorbable_fault_plan(seed: u64) -> crate::faults::FaultPlan {
+    use crate::faults::{FaultPlan, FaultSite, FaultSpec};
+    FaultPlan::new(seed)
+        .arm(FaultSpec::new(FaultSite::DuplicateWakeup).one_in(3))
+        .arm(
+            FaultSpec::new(FaultSite::DelayIntakeDrain)
+                .one_in(5)
+                .max_fires(3),
+        )
+        .arm(
+            FaultSpec::new(FaultSite::ShutdownRace)
+                .one_in(1)
+                .max_fires(1)
+                .stall(Duration::from_millis(1)),
+        )
 }
 
 /// Greedily reduce a failing op sequence to a locally minimal one (ddmin-style): try
@@ -761,6 +908,95 @@ mod tests {
             "expected a 1-op counterexample: {minimal:?}"
         );
         assert!(execute(&cfg, &minimal, mutation).is_err());
+    }
+
+    /// Every permutation of `ops`, via Heap's algorithm.
+    fn permutations(ops: &[FuzzOp]) -> Vec<Vec<FuzzOp>> {
+        fn heap(k: usize, arr: &mut Vec<FuzzOp>, out: &mut Vec<Vec<FuzzOp>>) {
+            if k <= 1 {
+                out.push(arr.clone());
+                return;
+            }
+            for i in 0..k {
+                heap(k - 1, arr, out);
+                if k % 2 == 0 {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        let mut arr = ops.to_vec();
+        let mut out = Vec::new();
+        let n = arr.len();
+        heap(n, &mut arr, &mut out);
+        out
+    }
+
+    #[test]
+    fn deregister_kill_submit_permutations_leave_no_orphans() {
+        // Property: ANY interleaving of process teardown (deregister / kill) with
+        // submits, grants (implicit in submit) and detaches must end with no orphaned
+        // waiter and no ghost grant. Exhaustive over all 720 orders of this multiset —
+        // slots 0 and 3 belong to process 0, slot 1 to process 1 (base config has 3
+        // processes).
+        let cfg = FuzzConfig::base();
+        let ops = [
+            FuzzOp::Submit { slot: 0 },
+            FuzzOp::SubmitLocked { slot: 3 },
+            FuzzOp::Detach { slot: 0 },
+            FuzzOp::Deregister { proc_index: 0 },
+            FuzzOp::Submit { slot: 1 },
+            FuzzOp::KillProcess { proc_index: 1 },
+        ];
+        for (i, perm) in permutations(&ops).into_iter().enumerate() {
+            execute(&cfg, &perm, None).unwrap_or_else(|f| {
+                let listing: Vec<String> = perm.iter().map(|o| o.to_string()).collect();
+                panic!("permutation {i} [{}] failed: {f}", listing.join(", "))
+            });
+        }
+    }
+
+    #[test]
+    fn killed_process_slots_are_inert_afterwards() {
+        // Kill with work queued and running, then keep poking the dead process's slots:
+        // every later op must be a no-op and quiescence must stay clean.
+        let cfg = FuzzConfig::base();
+        let ops = [
+            FuzzOp::Submit { slot: 0 },
+            FuzzOp::Submit { slot: 3 },
+            FuzzOp::Submit { slot: 6 },
+            FuzzOp::KillProcess { proc_index: 0 },
+            FuzzOp::Submit { slot: 0 },
+            FuzzOp::SubmitLocked { slot: 3 },
+            FuzzOp::WatchdogScan,
+            FuzzOp::Detach { slot: 6 },
+        ];
+        execute(&cfg, &ops, None).unwrap_or_else(|f| panic!("kill regression: {f}"));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn faulted_seeded_runs_hold_invariants() {
+        // Every invariant must hold with the absorbable fault sites armed — and the plan
+        // must actually fire across the sweep, or the test proves nothing.
+        let mut fired = 0u64;
+        for cfg in [
+            FuzzConfig::base(),
+            FuzzConfig::valve(),
+            FuzzConfig::shutdown_biased(),
+        ] {
+            for seed in 0..6 {
+                let ops = generate(&cfg, seed);
+                let (result, state) = execute_faulted(&cfg, &ops, &absorbable_fault_plan(seed));
+                result.unwrap_or_else(|f| panic!("faulted seed {seed} failed: {f} (cfg {cfg:?})"));
+                fired += state.total_fires();
+            }
+        }
+        assert!(
+            fired > 0,
+            "the absorbable plan never fired across the sweep"
+        );
     }
 
     #[test]

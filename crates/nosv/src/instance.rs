@@ -80,6 +80,24 @@ impl NosvInstance {
         self.sched.deregister_process(process)
     }
 
+    /// Forcibly reclaim a process domain mid-run (the `kill -9` analog): its queued work
+    /// is dropped, its running tasks are evicted (their cores re-dispatched), and every
+    /// thread parked on one of its tasks is released. Co-tenant processes are unaffected.
+    pub fn kill_process(&self, process: ProcessId) -> crate::scheduler::KillReport {
+        self.sched.kill_process(process)
+    }
+
+    /// Instantiate and install a [`crate::faults::FaultPlan`] into the shared scheduler,
+    /// returning the [`crate::faults::FaultState`] harnesses assert against. Install-once
+    /// per scheduler (see [`Scheduler::install_faults`]).
+    #[cfg(feature = "fault-inject")]
+    pub fn install_faults(
+        &self,
+        plan: &crate::faults::FaultPlan,
+    ) -> Arc<crate::faults::FaultState> {
+        self.sched.install_faults(plan)
+    }
+
     /// Attach the calling OS thread as a worker with a new task in `process`.
     ///
     /// The call blocks until the scheduler grants the new task a core; from then on the

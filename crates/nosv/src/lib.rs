@@ -60,6 +60,7 @@
 
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod fuzz;
 pub mod instance;
 pub mod metrics;
@@ -73,12 +74,14 @@ pub mod topology;
 
 pub use config::{NosvConfig, PolicyKind};
 pub use error::NosvError;
+pub use faults::{FaultPlan, FaultRecord, FaultSite, FaultSpec, FaultState};
 pub use instance::{NosvInstance, TaskHandle};
 pub use metrics::{MetricsSnapshot, SchedulerMetrics};
 pub use policy::{CoopPolicy, FifoPolicy, Policy, TaskMeta};
 pub use process::ProcessId;
 pub use readyq::{CoopCore, CoreMap, PickTier, ProcQueues, ReadyTime, TopologyView};
 pub use sched_trace::{TraceEntry, TraceEvent, TraceMeta, TraceRecorder};
+pub use scheduler::{KillReport, StallReport};
 pub use task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
 pub use topology::{CoreId, Topology};
 

@@ -49,6 +49,16 @@ pub struct SchedulerMetrics {
     pub remote_grants: AtomicU64,
     /// Process-quantum rotations performed by the policy.
     pub process_rotations: AtomicU64,
+    /// Non-progressing cores flagged by [`crate::scheduler::Scheduler::watchdog_scan`]
+    /// (at most once per grant).
+    pub stalls_detected: AtomicU64,
+    /// Processes forcibly reclaimed via [`crate::scheduler::Scheduler::kill_process`].
+    pub processes_killed: AtomicU64,
+    /// Tasks reclaimed (released / evicted) by `kill_process`.
+    pub tasks_reclaimed: AtomicU64,
+    /// Fault-site firings injected by an installed [`crate::faults::FaultState`]
+    /// (always 0 without the `fault-inject` feature).
+    pub faults_injected: AtomicU64,
 }
 
 /// Plain-old-data snapshot of [`SchedulerMetrics`].
@@ -90,6 +100,14 @@ pub struct MetricsSnapshot {
     pub remote_grants: u64,
     /// See [`SchedulerMetrics::process_rotations`].
     pub process_rotations: u64,
+    /// See [`SchedulerMetrics::stalls_detected`].
+    pub stalls_detected: u64,
+    /// See [`SchedulerMetrics::processes_killed`].
+    pub processes_killed: u64,
+    /// See [`SchedulerMetrics::tasks_reclaimed`].
+    pub tasks_reclaimed: u64,
+    /// See [`SchedulerMetrics::faults_injected`].
+    pub faults_injected: u64,
 }
 
 impl SchedulerMetrics {
@@ -120,6 +138,10 @@ impl SchedulerMetrics {
             numa_hits: self.numa_hits.load(Ordering::Relaxed),
             remote_grants: self.remote_grants.load(Ordering::Relaxed),
             process_rotations: self.process_rotations.load(Ordering::Relaxed),
+            stalls_detected: self.stalls_detected.load(Ordering::Relaxed),
+            processes_killed: self.processes_killed.load(Ordering::Relaxed),
+            tasks_reclaimed: self.tasks_reclaimed.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }

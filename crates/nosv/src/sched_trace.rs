@@ -92,9 +92,9 @@ impl TopologyView for TraceMeta {
 ///
 /// The variants that mutate policy state (`RegisterProcess`, `DeregisterProcess`,
 /// `SetDomain`, `Enqueue`, `Pop`) form the replay script; the rest (`Submit`,
-/// `IntakeDrain`, `Grant`, `Yield`, `Migrate`, `Shutdown`) are scheduler-level context the
-/// replay harness checks for consistency (every non-immediate grant must follow its pop)
-/// and the fuzzer uses as choice points.
+/// `IntakeDrain`, `Grant`, `Yield`, `Migrate`, `FaultInjected`, `Shutdown`) are
+/// scheduler-level context the replay harness checks for consistency (every non-immediate
+/// grant must follow its pop) and the fuzzer uses as choice points.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A process domain was registered with the scheduler (and the policy).
@@ -180,6 +180,16 @@ pub enum TraceEvent {
         from: CoreId,
         /// The core it was granted instead.
         to: CoreId,
+    },
+    /// An armed fault site fired inside the scheduler (feature `fault-inject`). Context
+    /// only: the fault's *effects* (the delayed drain, the redundant submit, the widened
+    /// shutdown window) appear as ordinary events in the trace, so replay ignores this
+    /// marker and still reproduces the faulty run.
+    FaultInjected {
+        /// The site that fired.
+        site: crate::faults::FaultSite,
+        /// The task in whose context it fired, when one was known.
+        task: Option<TaskId>,
     },
     /// The scheduler shut down; all tasks and waiters were released.
     Shutdown,

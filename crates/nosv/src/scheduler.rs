@@ -29,6 +29,7 @@
 
 use crate::config::NosvConfig;
 use crate::error::{NosvError, Result};
+use crate::faults::FaultSite;
 use crate::metrics::SchedulerMetrics;
 use crate::policy::{classify_placement, PlacementKind, Policy, TaskMeta};
 use crate::process::{ProcessId, ProcessInfo};
@@ -58,6 +59,49 @@ macro_rules! trace_event {
         {
             let _ = &$sched;
             let _typecheck_only = || ($at, $ev);
+        }
+    }};
+}
+
+/// Consult the installed fault plan at a site; the expression is `true` when the fault
+/// fires on this visit.
+///
+/// With the `fault-inject` feature off this expands to a constant `false` (the operands
+/// are still type-checked inside a never-built closure) — the same zero-cost-when-disabled
+/// contract as `trace_event!`.
+macro_rules! fault_fires {
+    ($sched:expr, $site:expr, $task:expr) => {{
+        #[cfg(feature = "fault-inject")]
+        {
+            match $sched.faults.get() {
+                Some(f) => f.consult($site, $task),
+                None => false,
+            }
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = &$sched;
+            let _typecheck_only = || ($site, $task);
+            false
+        }
+    }};
+}
+
+/// Like `fault_fires!`, but yields `Some(stall_duration)` when the (delaying) site fires.
+macro_rules! fault_stall {
+    ($sched:expr, $site:expr, $task:expr) => {{
+        #[cfg(feature = "fault-inject")]
+        {
+            match $sched.faults.get() {
+                Some(f) => f.consult_stall($site, $task),
+                None => None,
+            }
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = &$sched;
+            let _typecheck_only = || ($site, $task);
+            None::<std::time::Duration>
         }
     }};
 }
@@ -146,6 +190,36 @@ pub(crate) struct SchedState {
     next_task_id: TaskId,
     next_process_id: ProcessId,
     shutdown: bool,
+    /// When each busy core was last granted (the grant-to-run watchdog's reference point).
+    granted_at: Vec<Option<Instant>>,
+    /// Whether the current grant on each core has already been flagged by a watchdog scan
+    /// (each non-progressing grant is reported once, not on every scan).
+    stall_flagged: Vec<bool>,
+}
+
+/// One non-progressing core flagged by [`Scheduler::watchdog_scan`]: the granted task has
+/// held the core past the caller's deadline without reaching a scheduling point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// The non-progressing core.
+    pub core: CoreId,
+    /// The task occupying it.
+    pub task: TaskId,
+    /// The task's process domain.
+    pub process: ProcessId,
+    /// How long the core has been held since the grant.
+    pub held_for: Duration,
+}
+
+/// What [`Scheduler::kill_process`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KillReport {
+    /// Ready-queue entries of the process dropped from the policy.
+    pub queued_reclaimed: usize,
+    /// Waiting (queued or blocked) tasks released from scheduler control.
+    pub waiters_released: usize,
+    /// Running tasks evicted from their cores (they finish as plain OS threads).
+    pub running_preempted: usize,
 }
 
 /// The centralized scheduler shared by every process domain of an instance.
@@ -170,6 +244,12 @@ pub struct Scheduler {
     /// Installed schedule-trace recorder, if any (see [`crate::sched_trace`]).
     #[cfg(feature = "sched-trace")]
     tracer: Option<std::sync::Arc<crate::sched_trace::TraceRecorder>>,
+    /// Installed fault plan, if any (see [`crate::faults`]). A `OnceLock` rather than a
+    /// plain `Option` so harnesses holding only the shared `Arc<Scheduler>` (the real
+    /// executors, the chaos bench) can still install a plan; the hot-path consult is a
+    /// single relaxed-ish atomic load.
+    #[cfg(feature = "fault-inject")]
+    faults: std::sync::OnceLock<std::sync::Arc<crate::faults::FaultState>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -196,6 +276,8 @@ impl Scheduler {
                 next_task_id: 1,
                 next_process_id: 1,
                 shutdown: false,
+                granted_at: vec![None; cores],
+                stall_flagged: vec![false; cores],
             }),
             metrics: SchedulerMetrics::default(),
             config,
@@ -205,6 +287,8 @@ impl Scheduler {
             shutting_down: AtomicBool::new(false),
             #[cfg(feature = "sched-trace")]
             tracer: None,
+            #[cfg(feature = "fault-inject")]
+            faults: std::sync::OnceLock::new(),
         }
     }
 
@@ -219,6 +303,20 @@ impl Scheduler {
         ));
         self.tracer = Some(std::sync::Arc::clone(&rec));
         rec
+    }
+
+    /// Instantiate and install a [`crate::faults::FaultPlan`], returning the shared
+    /// [`crate::faults::FaultState`] the harness asserts against (fire counts, records).
+    /// Install-once: the first plan wins for the scheduler's whole life (the returned
+    /// state is the installed one either way), so concurrent installers cannot split the
+    /// fault log.
+    #[cfg(feature = "fault-inject")]
+    pub fn install_faults(
+        &self,
+        plan: &crate::faults::FaultPlan,
+    ) -> std::sync::Arc<crate::faults::FaultState> {
+        let st = std::sync::Arc::new(crate::faults::FaultState::new(plan));
+        std::sync::Arc::clone(self.faults.get_or_init(|| st))
     }
 
     /// Acquire the global scheduler lock, bumping the debug counter that lets tests prove
@@ -297,11 +395,13 @@ impl Scheduler {
     }
 
     /// Deregister a process domain. Running tasks of the process keep their cores; only
-    /// the bookkeeping and its place in the quantum rotation are removed. Tasks of the
-    /// process still *queued* can never be picked again once their entries are dropped,
-    /// so they are released from scheduler control (their waiters resume as plain OS
-    /// threads, the same safety valve as [`Scheduler::shutdown`]) — a deregister must
-    /// never leave a waiter parked forever.
+    /// the bookkeeping and its place in the quantum rotation are removed. Every task of
+    /// the process *not currently holding a core* — queued for one, or blocked in a
+    /// pause/timed wait — can never be woken through the scheduler again once the process
+    /// is purged, so all of them are released from scheduler control (their waiters
+    /// resume as plain OS threads, the same safety valve as [`Scheduler::shutdown`]) — a
+    /// deregister must never leave a waiter parked forever, whatever state the race with
+    /// submit/pause left it in.
     pub fn deregister_process(&self, process: ProcessId) {
         let stranded: Vec<TaskRef> = {
             let mut st = self.lock_state();
@@ -332,11 +432,69 @@ impl Scheduler {
         };
         for t in stranded {
             let mut g = t.grant.lock();
-            if g.queued && g.granted.is_none() && !g.released {
+            if g.granted.is_none() && !g.released {
+                g.queued = false;
                 g.released = true;
                 t.grant_cv.notify_all();
             }
         }
+    }
+
+    /// Forcibly reclaim a process that died mid-run: like
+    /// [`Scheduler::deregister_process`], but in-flight work is torn down too — queued
+    /// entries are dropped, waiting tasks are released, and *running* tasks are evicted
+    /// from their cores (each freed core is immediately re-dispatched to co-tenants'
+    /// ready work). Evicted workers resume as plain OS threads (the release safety
+    /// valve), so a dying tenant can never wedge a core or a waiter it owned.
+    pub fn kill_process(&self, process: ProcessId) -> KillReport {
+        let mut report = KillReport::default();
+        let mut st = self.lock_state();
+        if st.processes.remove(&process).is_none() {
+            return report;
+        }
+        SchedulerMetrics::inc(&self.metrics.processes_killed);
+        // Flush the intake first (same reason as deregister): a task of this process
+        // still sitting there must be purged, not re-enqueued at a later drain.
+        self.drain_intake(&mut st);
+        let before = st.policy.ready_count();
+        st.policy.deregister_process(process);
+        trace_event!(
+            self,
+            Instant::now(),
+            TraceEvent::DeregisterProcess { process }
+        );
+        let dropped = before.saturating_sub(st.policy.ready_count());
+        if dropped > 0 {
+            self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
+        }
+        report.queued_reclaimed = dropped;
+        let victims: Vec<TaskRef> = st
+            .tasks
+            .values()
+            .filter(|t| t.process() == process)
+            .cloned()
+            .collect();
+        let mut freed: Vec<CoreId> = Vec::new();
+        for t in &victims {
+            st.tasks.remove(&t.id());
+            SchedulerMetrics::inc(&self.metrics.tasks_reclaimed);
+            // Scheduler lock → grant lock is the legal order.
+            let mut g = t.grant.lock();
+            if let Some(core) = g.granted.take() {
+                report.running_preempted += 1;
+                freed.push(core);
+            } else if !g.released {
+                report.waiters_released += 1;
+            }
+            g.queued = false;
+            g.state = TaskState::Finished;
+            g.released = true;
+            t.grant_cv.notify_all();
+        }
+        for core in freed {
+            self.release_core(&mut st, core);
+        }
+        report
     }
 
     /// Restrict (or, with `None`, un-restrict) a process domain to a set of cores — the
@@ -446,6 +604,43 @@ impl Scheduler {
     /// scheduler lock. Safe to call from any thread.
     pub fn submit(&self, task: &TaskRef) {
         SchedulerMetrics::inc(&self.metrics.submits);
+        // Fault site: drop the wake-up before any grant-slot bookkeeping, so the loss is
+        // "clean" — the scheduler has no trace of the submit, exactly like a lost signal.
+        if fault_fires!(self, FaultSite::DropWakeup, Some(task.id())) {
+            SchedulerMetrics::inc(&self.metrics.faults_injected);
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::FaultInjected {
+                    site: FaultSite::DropWakeup,
+                    task: Some(task.id()),
+                }
+            );
+            return;
+        }
+        // Fault site: deliver the wake-up twice; the second delivery must be absorbed by
+        // the level-triggered grant slot (pending-wakeup counter / redundant-submit path).
+        let duplicate = fault_fires!(self, FaultSite::DuplicateWakeup, Some(task.id()));
+        if duplicate {
+            SchedulerMetrics::inc(&self.metrics.faults_injected);
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::FaultInjected {
+                    site: FaultSite::DuplicateWakeup,
+                    task: Some(task.id()),
+                }
+            );
+        }
+        self.submit_inner(task);
+        if duplicate {
+            self.submit_inner(task);
+        }
+    }
+
+    /// The submit body proper (after the fault sites, so an injected duplicate delivery
+    /// does not re-consult the plan and cascade).
+    fn submit_inner(&self, task: &TaskRef) {
         if !self.mark_ready(task) {
             return;
         }
@@ -522,9 +717,28 @@ impl Scheduler {
         self.dispatch_idle_cores(&mut st);
     }
 
+    /// Fault site: a worker stalls at a scheduling point (pause / yield), sleeping while
+    /// it still holds its core — the non-progress signature the grant-to-run watchdog
+    /// ([`Scheduler::watchdog_scan`]) exists to detect. No lock is held while sleeping.
+    fn stall_point(&self, task: &TaskRef) {
+        if let Some(stall) = fault_stall!(self, FaultSite::WorkerStall, Some(task.id())) {
+            SchedulerMetrics::inc(&self.metrics.faults_injected);
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::FaultInjected {
+                    site: FaultSite::WorkerStall,
+                    task: Some(task.id()),
+                }
+            );
+            std::thread::sleep(stall);
+        }
+    }
+
     /// Block the calling task: release its core (handing it to the next ready task) and wait
     /// until a later [`Scheduler::submit`] reschedules it. This is `nosv_pause`.
     pub fn pause(&self, task: &TaskRef) {
+        self.stall_point(task);
         let released;
         {
             let mut g = task.grant.lock();
@@ -589,6 +803,7 @@ impl Scheduler {
     /// its queue. Returns `true` if a switch happened, `false` if the core was kept because
     /// nothing else was ready. This is the `sched_yield` → `nosv_yield` path of §5.3.
     pub fn yield_now(&self, task: &TaskRef) -> bool {
+        self.stall_point(task);
         // The "is switching useful" check reads the atomic gauge first: a yield storm
         // with nothing ready (the busy-wait-barrier pattern) touches neither the task's
         // grant lock nor the scheduler lock.
@@ -708,6 +923,22 @@ impl Scheduler {
             // Published before the drain: a submit that pushes after this drain will
             // observe the flag and self-heal (see `submit`).
             self.shutting_down.store(true, Ordering::SeqCst);
+            // Fault site: widen the flag-set → drain window so racing submits actually
+            // land inside it (the self-heal path above is what must absorb them).
+            if let Some(stall) = fault_stall!(self, FaultSite::ShutdownRace, None::<TaskId>) {
+                SchedulerMetrics::inc(&self.metrics.faults_injected);
+                trace_event!(
+                    self,
+                    Instant::now(),
+                    TraceEvent::FaultInjected {
+                        site: FaultSite::ShutdownRace,
+                        task: None,
+                    }
+                );
+                drop(st);
+                std::thread::sleep(stall);
+                st = self.lock_state();
+            }
             let tasks: Vec<TaskRef> = st.tasks.values().cloned().collect();
             (tasks, self.intake.drain())
         };
@@ -722,6 +953,63 @@ impl Scheduler {
     /// Whether the scheduler has been shut down.
     pub fn is_shutdown(&self) -> bool {
         self.lock_state().shutdown
+    }
+
+    /// Grant-to-run watchdog: report every core whose current grant has been held for at
+    /// least `max_hold` without reaching a scheduling point. Each non-progressing grant
+    /// is flagged once (repeat scans stay quiet until the core is re-granted), and
+    /// flagging bumps [`crate::metrics::SchedulerMetrics::stalls_detected`].
+    ///
+    /// Detection is deliberately report-only: a task that holds a core past the deadline
+    /// is *running* on its bound worker thread (the USF binding of §4.2), so "requeueing"
+    /// it would schedule a second incarnation of work that is still executing. The caller
+    /// decides the response — log it, kill the owning process
+    /// ([`Scheduler::kill_process`]), or widen the deadline.
+    pub fn watchdog_scan(&self, max_hold: Duration) -> Vec<StallReport> {
+        let now = Instant::now();
+        let mut st = self.lock_state();
+        let mut out = Vec::new();
+        for core in 0..st.cores.len() {
+            let CoreSlot::Busy(task) = st.cores[core] else {
+                continue;
+            };
+            let Some(at) = st.granted_at[core] else {
+                continue;
+            };
+            let held_for = now.saturating_duration_since(at);
+            if held_for >= max_hold && !st.stall_flagged[core] {
+                st.stall_flagged[core] = true;
+                SchedulerMetrics::inc(&self.metrics.stalls_detected);
+                let process = st.tasks.get(&task).map(|t| t.process()).unwrap_or_default();
+                out.push(StallReport {
+                    core,
+                    task,
+                    process,
+                    held_for,
+                });
+            }
+        }
+        out
+    }
+
+    /// An artificial scheduling point for watchdog/maintenance threads: drain the intake
+    /// and dispatch idle cores exactly as an ordinary scheduling point would, then return
+    /// how many intake entries were recovered.
+    ///
+    /// The drain deliberately bypasses an armed [`FaultSite::DelayIntakeDrain`] fault — a
+    /// rescue must not itself be delayed. This is the degradation story for delayed
+    /// drains: in a fully cooperative system a submit stranded in the intake is only
+    /// recovered at the *next* scheduling point, and if every thread is already parked
+    /// there is none; a periodic `rescue_drain` bounds that delay without perturbing an
+    /// otherwise healthy schedule (an empty intake makes this a cheap no-op).
+    pub fn rescue_drain(&self) -> usize {
+        let mut st = self.lock_state();
+        if st.shutdown {
+            return 0;
+        }
+        let n = self.drain_intake_forced(&mut st);
+        self.dispatch_idle_cores(&mut st);
+        n
     }
 
     // -------------------------------------------------------------------------------------
@@ -770,12 +1058,15 @@ impl Scheduler {
         task.grant_cv.notify_one();
     }
 
-    /// Transition a core slot to busy, maintaining the idle-core gauge.
+    /// Transition a core slot to busy, maintaining the idle-core gauge and the watchdog's
+    /// grant timestamp.
     fn mark_busy(&self, st: &mut SchedState, core: CoreId, id: TaskId) {
         if matches!(st.cores[core], CoreSlot::Idle) {
             self.idle_cores.fetch_sub(1, Ordering::SeqCst);
         }
         st.cores[core] = CoreSlot::Busy(id);
+        st.granted_at[core] = Some(Instant::now());
+        st.stall_flagged[core] = false;
     }
 
     /// Transition a core slot to idle, maintaining the idle-core gauge.
@@ -784,6 +1075,8 @@ impl Scheduler {
             self.idle_cores.fetch_add(1, Ordering::SeqCst);
         }
         st.cores[core] = CoreSlot::Idle;
+        st.granted_at[core] = None;
+        st.stall_flagged[core] = false;
     }
 
     /// Move every intake entry into the scheduler proper: stale entries (task detached, or
@@ -793,7 +1086,31 @@ impl Scheduler {
     /// placed ([`Scheduler::place_ready_task`]). Callers hold the scheduler lock, which
     /// is what serializes drains.
     fn drain_intake(&self, st: &mut SchedState) {
+        // Fault site: skip this drain, delaying queued submits to the next scheduling
+        // point. Never skipped once shutdown is underway — the released-waiter guarantee
+        // relies on the shutdown drain, and a fault plan must not turn a delay into a
+        // liveness hole the hardening cannot see.
+        if !st.shutdown && fault_fires!(self, FaultSite::DelayIntakeDrain, None::<TaskId>) {
+            SchedulerMetrics::inc(&self.metrics.faults_injected);
+            trace_event!(
+                self,
+                Instant::now(),
+                TraceEvent::FaultInjected {
+                    site: FaultSite::DelayIntakeDrain,
+                    task: None,
+                }
+            );
+            return;
+        }
+        self.drain_intake_forced(st);
+    }
+
+    /// The drain body proper, never subject to the [`FaultSite::DelayIntakeDrain`] fault:
+    /// [`Scheduler::rescue_drain`] calls this directly because a rescue must not itself
+    /// be delayed. Returns how many intake entries were processed.
+    fn drain_intake_forced(&self, st: &mut SchedState) -> usize {
         let drained = self.intake.drain();
+        let n = drained.len();
         if !drained.is_empty() {
             trace_event!(
                 self,
@@ -817,6 +1134,7 @@ impl Scheduler {
             }
             self.place_ready_task(st, &task);
         }
+        n
     }
 
     /// Place a ready task: grant it an idle core if one is available (honouring affinity)
@@ -1460,6 +1778,101 @@ mod tests {
     }
 
     #[test]
+    fn deregister_releases_blocked_waiters() {
+        // A task blocked in pause (not queued — it released its core and waits for a
+        // future submit) whose process is deregistered can never be woken through the
+        // scheduler again; the generalized release must cover it, not just queued tasks.
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t1 = s.create_task(p, None).unwrap();
+        s.submit(&t1);
+        let s2 = Arc::clone(&s);
+        let t1c = TaskRef::clone(&t1);
+        let h = std::thread::spawn(move || s2.pause(&t1c));
+        while t1.state() != TaskState::Blocked {
+            std::thread::yield_now();
+        }
+        s.deregister_process(p);
+        h.join().unwrap(); // must return: the blocked waiter was released
+        assert!(t1.grant.lock().released);
+    }
+
+    #[test]
+    fn watchdog_flags_held_core_once_per_grant() {
+        let s = sched(2);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        // Fresh grant: a generous deadline sees no stall.
+        assert!(s.watchdog_scan(Duration::from_secs(10)).is_empty());
+        std::thread::sleep(Duration::from_millis(15));
+        let reports = s.watchdog_scan(Duration::from_millis(5));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].task, t.id());
+        assert_eq!(reports[0].process, p);
+        assert!(reports[0].held_for >= Duration::from_millis(5));
+        assert_eq!(s.metrics().snapshot().stalls_detected, 1);
+        // The same grant is not re-flagged.
+        assert!(s.watchdog_scan(Duration::from_millis(5)).is_empty());
+        // A fresh grant re-arms the flag.
+        let s2 = Arc::clone(&s);
+        let tc = TaskRef::clone(&t);
+        let h = std::thread::spawn(move || s2.pause(&tc));
+        while t.state() != TaskState::Blocked {
+            std::thread::yield_now();
+        }
+        s.submit(&t);
+        h.join().unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(s.watchdog_scan(Duration::from_millis(5)).len(), 1);
+    }
+
+    #[test]
+    fn kill_process_reclaims_running_and_waiting_tasks() {
+        let s = sched(1);
+        let pa = s.register_process("victim");
+        let pb = s.register_process("cotenant");
+        let ta1 = s.create_task(pa, None).unwrap();
+        s.submit(&ta1); // runs on the only core
+        let ta2 = s.create_task(pa, None).unwrap();
+        s.submit(&ta2); // waits (intake)
+        let tb = s.create_task(pb, None).unwrap();
+        s.submit(&tb); // waits behind it
+        let ta2c = TaskRef::clone(&ta2);
+        let h = std::thread::spawn(move || ta2c.wait_grant());
+        let report = s.kill_process(pa);
+        assert_eq!(report.running_preempted, 1, "ta1 evicted from its core");
+        // The waiter must resume released, never granted.
+        assert_eq!(h.join().unwrap(), None);
+        assert!(ta1.grant.lock().released);
+        // The freed core went straight to the co-tenant's ready work.
+        assert_eq!(tb.state(), TaskState::Running);
+        assert_eq!(s.busy_cores(), 1);
+        assert_eq!(s.live_tasks(), 1);
+        assert_eq!(s.processes().len(), 1);
+        assert_eq!(s.ready_count(), 0);
+        let m = s.metrics().snapshot();
+        assert_eq!(m.processes_killed, 1);
+        assert_eq!(m.tasks_reclaimed, 2);
+        // A detach from the evicted task's worker (it finishes as a plain OS thread)
+        // stays inert.
+        s.detach(&ta1);
+        assert_eq!(tb.state(), TaskState::Running);
+    }
+
+    #[test]
+    fn kill_unknown_process_is_a_noop() {
+        let s = sched(1);
+        let p = s.register_process("p");
+        let t = s.create_task(p, None).unwrap();
+        s.submit(&t);
+        let report = s.kill_process(999);
+        assert_eq!(report, KillReport::default());
+        assert_eq!(t.state(), TaskState::Running);
+        assert_eq!(s.metrics().snapshot().processes_killed, 0);
+    }
+
+    #[test]
     fn detached_queued_task_is_skipped() {
         let s = sched(1);
         let p = s.register_process("p");
@@ -1474,5 +1887,176 @@ mod tests {
         s.detach(&t2);
         s.detach(&t1);
         assert_eq!(t3.state(), TaskState::Running);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faulty {
+        use super::*;
+        use crate::faults::{FaultPlan, FaultSite, FaultSpec};
+
+        fn faulted(
+            cores: usize,
+            plan: FaultPlan,
+        ) -> (Arc<Scheduler>, Arc<crate::faults::FaultState>) {
+            let s = Arc::new(Scheduler::new(NosvConfig::with_cores(cores)));
+            let fs = s.install_faults(&plan);
+            (s, fs)
+        }
+
+        #[test]
+        fn drop_wakeup_loses_exactly_the_armed_submits() {
+            let plan =
+                FaultPlan::new(1).arm(FaultSpec::new(FaultSite::DropWakeup).one_in(1).max_fires(1));
+            let (s, fs) = faulted(2, plan);
+            let p = s.register_process("p");
+            let t = s.create_task(p, None).unwrap();
+            s.submit(&t); // dropped: no grant-slot bookkeeping at all
+            assert_eq!(t.state(), TaskState::Created);
+            assert_eq!(s.ready_count(), 0);
+            assert_eq!(s.busy_cores(), 0);
+            assert_eq!(fs.fires(FaultSite::DropWakeup), 1);
+            assert_eq!(s.metrics().snapshot().faults_injected, 1);
+            // The level-triggered retry contract: re-submitting recovers the task.
+            s.submit(&t);
+            assert_eq!(t.state(), TaskState::Running);
+        }
+
+        #[test]
+        fn duplicate_wakeup_is_absorbed_by_the_grant_slot() {
+            let plan = FaultPlan::new(2).arm(
+                FaultSpec::new(FaultSite::DuplicateWakeup)
+                    .one_in(1)
+                    .max_fires(1),
+            );
+            let (s, fs) = faulted(1, plan);
+            let p = s.register_process("p");
+            let t = s.create_task(p, None).unwrap();
+            s.submit(&t); // granted; the duplicate delivery counts a pending wake-up
+            assert_eq!(t.state(), TaskState::Running);
+            assert_eq!(fs.fires(FaultSite::DuplicateWakeup), 1);
+            let m = s.metrics().snapshot();
+            assert_eq!(
+                m.pending_wakeups, 1,
+                "second delivery absorbed as counted wake-up"
+            );
+            // The counted wake-up elides the next pause instead of corrupting anything.
+            s.pause(&t);
+            assert_eq!(t.state(), TaskState::Running);
+            assert_eq!(s.metrics().snapshot().pauses_elided, 1);
+        }
+
+        #[test]
+        fn delayed_intake_drain_recovers_at_the_next_scheduling_point() {
+            let plan = FaultPlan::new(3).arm(
+                FaultSpec::new(FaultSite::DelayIntakeDrain)
+                    .one_in(1)
+                    .max_fires(1),
+            );
+            let (s, fs) = faulted(1, plan);
+            let p = s.register_process("p");
+            let t1 = s.create_task(p, None).unwrap();
+            s.submit(&t1); // the drain this submit triggers is skipped: t1 stays in intake
+            assert_eq!(fs.fires(FaultSite::DelayIntakeDrain), 1);
+            assert_eq!(t1.state(), TaskState::Ready);
+            assert_eq!(s.busy_cores(), 0);
+            // The next scheduling point (another submit seeing the idle core) drains both.
+            let t2 = s.create_task(p, None).unwrap();
+            s.submit(&t2);
+            assert_eq!(t1.state(), TaskState::Running, "delayed submit recovered");
+            assert_eq!(t2.state(), TaskState::Ready);
+            assert_eq!(s.ready_count(), 1);
+        }
+
+        #[test]
+        fn rescue_drain_recovers_a_delayed_submit_with_no_other_scheduling_point() {
+            // Arm an *unbounded* delay: every ordinary drain is skipped, so without the
+            // rescue the submit below would be stranded forever (no other thread ever
+            // reaches a scheduling point — the hang the watchdog's rescue arm exists for).
+            let plan = FaultPlan::new(6).arm(FaultSpec::new(FaultSite::DelayIntakeDrain).one_in(1));
+            let (s, fs) = faulted(1, plan);
+            let p = s.register_process("p");
+            let t = s.create_task(p, None).unwrap();
+            s.submit(&t);
+            assert_eq!(t.state(), TaskState::Ready, "drain skipped, task stranded");
+            assert!(fs.fires(FaultSite::DelayIntakeDrain) >= 1);
+            let recovered = s.rescue_drain();
+            assert_eq!(recovered, 1);
+            assert_eq!(
+                t.state(),
+                TaskState::Running,
+                "rescue bypasses the delay fault"
+            );
+            // An empty intake makes the rescue a cheap no-op.
+            assert_eq!(s.rescue_drain(), 0);
+        }
+
+        #[test]
+        fn widened_shutdown_race_window_never_parks_a_waiter() {
+            let plan = FaultPlan::new(4).arm(
+                FaultSpec::new(FaultSite::ShutdownRace)
+                    .one_in(1)
+                    .max_fires(1)
+                    .stall(Duration::from_millis(20)),
+            );
+            let (s, _fs) = faulted(1, plan);
+            let p = s.register_process("p");
+            let t1 = s.create_task(p, None).unwrap();
+            s.submit(&t1); // keep the core busy so racing submits hit the intake
+            let t2 = s.create_task(p, None).unwrap();
+            let s2 = Arc::clone(&s);
+            let t2c = TaskRef::clone(&t2);
+            let h = std::thread::spawn(move || {
+                // Land the submit inside the widened window with high probability.
+                std::thread::sleep(Duration::from_millis(5));
+                s2.submit(&t2c);
+                t2c.wait_grant() // must terminate: granted or released, never parked
+            });
+            s.shutdown();
+            let _ = h.join().unwrap();
+            assert_eq!(s.ready_count(), 0);
+        }
+
+        #[test]
+        fn injected_worker_stall_is_flagged_by_the_watchdog() {
+            let plan = FaultPlan::new(5).arm(
+                FaultSpec::new(FaultSite::WorkerStall)
+                    .one_in(1)
+                    .max_fires(1)
+                    .stall(Duration::from_millis(80)),
+            );
+            let (s, fs) = faulted(1, plan);
+            let p = s.register_process("p");
+            let t = s.create_task(p, None).unwrap();
+            s.submit(&t);
+            let s2 = Arc::clone(&s);
+            let tc = TaskRef::clone(&t);
+            let h = std::thread::spawn(move || s2.pause(&tc)); // stalls, then blocks
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut flagged = Vec::new();
+            while flagged.is_empty() && Instant::now() < deadline {
+                flagged = s.watchdog_scan(Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(flagged.len(), 1, "stalled core must be flagged");
+            assert_eq!(flagged[0].task, t.id());
+            assert_eq!(fs.fires(FaultSite::WorkerStall), 1);
+            // Wake the paused task back up so the stalled thread terminates.
+            while t.state() != TaskState::Blocked {
+                std::thread::yield_now();
+            }
+            s.submit(&t);
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn unarmed_plan_changes_nothing() {
+            let (s, fs) = faulted(2, FaultPlan::new(0));
+            let p = s.register_process("p");
+            let t = s.create_task(p, None).unwrap();
+            s.submit(&t);
+            assert_eq!(t.state(), TaskState::Running);
+            assert_eq!(fs.total_fires(), 0);
+            assert_eq!(s.metrics().snapshot().faults_injected, 0);
+        }
     }
 }

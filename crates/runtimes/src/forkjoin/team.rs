@@ -101,6 +101,10 @@ struct TeamShared {
     shutdown: AtomicBool,
     /// Total parallel regions executed (diagnostics).
     regions: AtomicU64,
+    /// Worker region-body panics caught so far (the worker and the team survive).
+    panics: AtomicU64,
+    /// Message of the first caught worker panic, reported by the next region close.
+    first_panic: Mutex<Option<String>>,
 }
 
 /// A persistent fork-join worker team. See the module documentation.
@@ -122,6 +126,8 @@ impl Team {
             epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             regions: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            first_panic: Mutex::new(None),
         });
         let mut workers = Vec::new();
         for i in 1..config.num_threads.max(1) {
@@ -164,12 +170,76 @@ impl Team {
 
     /// Run `f` on `active` threads of the team (capped to the team size). The calling thread
     /// participates as thread 0; the call returns when every participant has finished.
+    ///
+    /// A panic in any participant's `f` is caught, the region still closes (every
+    /// participant is waited for — the scoped-borrow guarantee holds even on the panic
+    /// path), and the panic is then re-raised on the calling thread. The team itself
+    /// survives and can run further regions. Use [`Team::try_parallel`] for the
+    /// non-panicking `Result` form. (A participant that panics *while others are parked
+    /// at a region barrier* still deadlocks that barrier — panics cannot release
+    /// co-participants the closure explicitly synchronized.)
     pub fn parallel<F>(&self, active: usize, f: F)
+    where
+        F: Fn(&RegionCtx<'_>) + Sync,
+    {
+        let (master, worker_panics) = self.run_region(active, f);
+        if let Err(payload) = master {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panics > 0 {
+            let first = self.take_first_panic();
+            panic!("{worker_panics} worker(s) panicked in parallel region; first: {first}");
+        }
+    }
+
+    /// [`Team::parallel`], but panics in the region body (master's or any worker's) are
+    /// reported as `Err` instead of re-raised.
+    pub fn try_parallel<F>(&self, active: usize, f: F) -> Result<(), usf_core::UsfError>
+    where
+        F: Fn(&RegionCtx<'_>) + Sync,
+    {
+        let (master, worker_panics) = self.run_region(active, f);
+        if let Err(payload) = master {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            return Err(usf_core::UsfError::ThreadPanicked(msg));
+        }
+        if worker_panics > 0 {
+            let first = self.take_first_panic();
+            return Err(usf_core::UsfError::ThreadPanicked(format!(
+                "{worker_panics} worker(s) panicked in parallel region; first: {first}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total region-body panics caught in this team's workers (diagnostics).
+    pub fn panics_caught(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    fn take_first_panic(&self) -> String {
+        self.shared
+            .first_panic
+            .lock()
+            .take()
+            .unwrap_or_else(|| "<unknown>".to_string())
+    }
+
+    /// Publish and fully execute one region. Returns the master's own outcome and how
+    /// many workers panicked inside this region. The region is ALWAYS closed before
+    /// returning — `done.wait()` runs even when the master's `f` panics, because the
+    /// erased closure pointer must not outlive the frame that owns `f`.
+    fn run_region<F>(&self, active: usize, f: F) -> (Result<(), Box<dyn std::any::Any + Send>>, u64)
     where
         F: Fn(&RegionCtx<'_>) + Sync,
     {
         let active = active.clamp(1, self.size());
         let _serial = self.region_lock.lock();
+        let panics_before = self.shared.panics.load(Ordering::Relaxed);
         let barrier = Arc::new(Barrier::new(active));
         let done = Arc::new(WaitGroup::with_count(active.saturating_sub(1)));
         // Erase the closure's lifetime: workers only dereference the pointer before calling
@@ -202,12 +272,14 @@ impl Team {
             num_threads: active,
             barrier: &barrier,
         };
-        f(&ctx);
+        let master = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx)));
         // Wait for the other participants; only then may `f` (on our stack) be dropped.
         done.wait();
         self.shared.regions.fetch_add(1, Ordering::Relaxed);
         // Drop the published region so the closure pointer does not outlive this call.
         *self.shared.state.lock() = None;
+        let worker_panics = self.shared.panics.load(Ordering::Relaxed) - panics_before;
+        (master, worker_panics)
     }
 
     /// Distribute `range` over the team with the given schedule; `f` is called once per
@@ -291,7 +363,23 @@ fn worker_loop(shared: Arc<TeamShared>, index: usize, policy: WaitPolicy) {
             };
             // Safety: see `RegionFnPtr` — the master does not return from `parallel` (and
             // therefore does not drop the closure) until we call `done.done()` below.
-            unsafe { (&*region.f.0)(&ctx) };
+            // A panicking region body must be caught HERE: `done.done()` has to run no
+            // matter what, or the master waits forever on a participant that is gone.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (&*region.f.0)(&ctx)
+            }));
+            if let Err(payload) = outcome {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                let mut first = shared.first_panic.lock();
+                if first.is_none() {
+                    *first = Some(msg);
+                }
+            }
             region.done.done();
         }
     }
@@ -493,6 +581,73 @@ mod tests {
         });
         assert_eq!(total.load(Ordering::SeqCst), 4);
         drop(outer);
+        usf.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err_and_team_survives() {
+        let team = Team::with_threads(4, ExecMode::Os);
+        let err = team
+            .try_parallel(4, |ctx| {
+                if ctx.thread_num() == 2 {
+                    panic!("worker 2 dies");
+                }
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, usf_core::UsfError::ThreadPanicked(m) if m.contains("worker 2 dies")),
+            "got {err:?}"
+        );
+        assert_eq!(team.panics_caught(), 1);
+        // The team is intact: the next region runs on every thread again.
+        let count = AtomicUsize::new(0);
+        team.parallel(4, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn master_panic_still_closes_the_region() {
+        // The master's own closure panicking must not skip `done.wait()` (the workers
+        // still hold the type-erased pointer into the master's frame) and must not
+        // poison the team.
+        let team = Team::with_threads(3, ExecMode::Os);
+        let workers_ran = AtomicUsize::new(0);
+        let raised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.parallel(3, |ctx| {
+                if ctx.thread_num() == 0 {
+                    panic!("master dies");
+                }
+                workers_ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(raised.is_err(), "master panic re-raises on the caller");
+        assert_eq!(workers_ran.load(Ordering::SeqCst), 2);
+        let count = AtomicUsize::new(0);
+        team.parallel(3, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn usf_backend_worker_panic_surfaces_as_err() {
+        let usf = Usf::builder().cores(2).build();
+        let p = usf.process("team-panic");
+        let team = Team::with_threads(3, ExecMode::Usf(p));
+        let survivors = AtomicUsize::new(0);
+        let err = team
+            .try_parallel(3, |ctx| {
+                if ctx.thread_num() == 1 {
+                    panic!("cooperative worker dies");
+                }
+                survivors.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap_err();
+        assert!(matches!(err, usf_core::UsfError::ThreadPanicked(_)));
+        assert_eq!(survivors.load(Ordering::SeqCst), 2, "other units complete");
+        drop(team);
         usf.shutdown();
     }
 

@@ -58,6 +58,8 @@ pub struct TaskRuntimeStats {
     pub submitted: u64,
     /// Tasks executed to completion.
     pub executed: u64,
+    /// Task bodies that panicked (caught; their successors were still released).
+    pub panicked: u64,
     /// Dependency edges created.
     pub edges: u64,
     /// Tasks currently registered and unfinished.
@@ -78,6 +80,10 @@ struct RtShared {
     pending: WaitGroup,
     submitted: AtomicU64,
     executed: AtomicU64,
+    /// Task bodies that panicked (caught; the worker and the dependency graph survive).
+    panicked: AtomicU64,
+    /// Message of the first caught panic, for [`TaskRuntime::taskwait_result`].
+    first_panic: Mutex<Option<String>>,
     shutdown: AtomicBool,
 }
 
@@ -102,6 +108,8 @@ impl TaskRuntime {
             pending: WaitGroup::new(),
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            first_panic: Mutex::new(None),
             shutdown: AtomicBool::new(false),
         });
         let mut workers = Vec::new();
@@ -176,6 +184,27 @@ impl TaskRuntime {
         self.shared.pending.wait();
     }
 
+    /// [`TaskRuntime::taskwait`] surfacing task panics: `Err` if any task body panicked
+    /// since the last call. A panicking task poisons only itself — its successors were
+    /// released and the runtime keeps accepting work — so after consuming the error the
+    /// runtime is usable again.
+    pub fn taskwait_result(&self) -> Result<(), usf_core::UsfError> {
+        self.shared.pending.wait();
+        let n = self.shared.panicked.swap(0, Ordering::AcqRel);
+        if n == 0 {
+            return Ok(());
+        }
+        let first = self
+            .shared
+            .first_panic
+            .lock()
+            .take()
+            .unwrap_or_else(|| "<unknown>".to_string());
+        Err(usf_core::UsfError::ThreadPanicked(format!(
+            "{n} task(s) panicked; first: {first}"
+        )))
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> TaskRuntimeStats {
         let (edges, live) = {
@@ -185,6 +214,7 @@ impl TaskRuntime {
         TaskRuntimeStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             executed: self.shared.executed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
             edges,
             live,
         }
@@ -228,8 +258,26 @@ fn worker_loop(shared: Arc<RtShared>, rx: Receiver<WorkItem>) {
             WorkItem::Stop => return,
             WorkItem::Run(id, job) => (id, job),
         };
-        job();
-        shared.executed.fetch_add(1, Ordering::Relaxed);
+        // A panicking task body poisons only itself: the completion bookkeeping below
+        // must run regardless, or its successors would never release and `taskwait`
+        // would hang forever on the never-`done()`d pending count.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+            Ok(()) => {
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(payload) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let mut first = shared.first_panic.lock();
+                if first.is_none() {
+                    *first = Some(msg);
+                }
+            }
+        }
         // Release successors that became ready.
         let newly_ready: Vec<(DepTaskId, TaskFn)> = {
             let mut st = self_state(&shared);
@@ -402,6 +450,61 @@ mod tests {
         // The write-after-write edge exists only if the second task was registered before
         // the first finished, so it can legitimately be 0 or 1.
         assert!(stats.edges <= 1);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_err_and_spares_the_rest() {
+        let rt = TaskRuntime::with_workers(2, ExecMode::Os);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let c = Arc::clone(&count);
+            rt.submit_independent(move || {
+                if i == 3 {
+                    panic!("poisoned unit");
+                }
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let err = rt.taskwait_result().unwrap_err();
+        assert!(
+            matches!(&err, usf_core::UsfError::ThreadPanicked(m) if m.contains("poisoned unit")),
+            "got {err:?}"
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 9, "other units complete");
+        // The error was consumed: a later wave is healthy again.
+        let c = Arc::clone(&count);
+        rt.submit_independent(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        rt.taskwait_result().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panicking_task_still_releases_its_successors() {
+        // A dependency chain through a panicking middle task: without the completion
+        // bookkeeping running on the panic path, the tail would never become ready and
+        // taskwait would hang.
+        let rt = TaskRuntime::with_workers(2, ExecMode::Os);
+        let k = DataKey(7);
+        let log = Arc::new(Mutex::new(Vec::<&str>::new()));
+        {
+            let log = Arc::clone(&log);
+            rt.submit(TaskDeps::none().inout(k), move || log.lock().push("head"));
+        }
+        rt.submit(TaskDeps::none().inout(k), || panic!("middle dies"));
+        {
+            let log = Arc::clone(&log);
+            rt.submit(TaskDeps::none().inout(k), move || log.lock().push("tail"));
+        }
+        assert!(rt.taskwait_result().is_err());
+        assert_eq!(*log.lock(), vec!["head", "tail"]);
+        let stats = rt.stats();
+        assert_eq!(stats.executed, 2);
+        assert_eq!(
+            stats.live, 0,
+            "the panicked task was retired from the graph"
+        );
     }
 
     #[test]

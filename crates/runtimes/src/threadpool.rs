@@ -45,18 +45,49 @@ impl TransientPool {
 
     /// Run `f(0..n)` on `n` freshly spawned threads (the calling thread does not
     /// participate) and join them all before returning.
+    ///
+    /// A panicking worker is re-raised on the caller — but only after EVERY worker has
+    /// been joined, so the remaining units always complete and no spawned thread can
+    /// outlive `f`'s stack frame. Use [`TransientPool::try_run`] for the `Result` form.
     pub fn run<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Send + Sync,
     {
+        if let Err(payload) = self.run_inner(n, f) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// [`TransientPool::run`], but a worker panic is reported as `Err` instead of
+    /// re-raised (the first panic wins; every worker is joined either way).
+    pub fn try_run<F>(&self, n: usize, f: F) -> Result<(), usf_core::UsfError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.run_inner(n, f).map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            usf_core::UsfError::ThreadPanicked(msg)
+        })
+    }
+
+    fn run_inner<F>(&self, n: usize, f: F) -> Result<(), Box<dyn std::any::Any + Send>>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
         if n == 0 {
-            return;
+            return Ok(());
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.threads_spawned.fetch_add(n as u64, Ordering::Relaxed);
         // Threads created per call must not outlive `f`, which lives on this stack frame; we
         // join every handle before returning, so erasing the lifetime is sound (same
-        // discipline as `Team::parallel`).
+        // discipline as `Team::parallel`). That is also why a panicking worker must NOT
+        // short-circuit the join loop: bailing on the first `Err` would drop the
+        // remaining handles while their threads still hold the erased pointer.
         let f_ref: &(dyn Fn(usize) + Send + Sync) = &f;
         let f_static: &'static (dyn Fn(usize) + Send + Sync) =
             unsafe { std::mem::transmute(f_ref) };
@@ -66,8 +97,17 @@ impl TransientPool {
                     .spawn_named(format!("transient-{i}"), move || f_static(i))
             })
             .collect();
+        let mut first_panic = None;
         for h in handles {
-            h.join().expect("transient pool worker panicked");
+            if let Err(payload) = h.join() {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+        match first_panic {
+            Some(payload) => Err(payload),
+            None => Ok(()),
         }
     }
 
@@ -146,6 +186,58 @@ mod tests {
             stats.reused > 0,
             "repeated transient-pool calls must reuse cached threads (the Table 2 effect): {stats:?}"
         );
+        usf.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_joins_everyone_before_surfacing() {
+        let pool = TransientPool::new(ExecMode::Os);
+        let survivors = AtomicUsize::new(0);
+        let err = pool
+            .try_run(4, |i| {
+                if i == 0 {
+                    panic!("unit 0 dies");
+                }
+                // Give the panicking unit a head start so an early-bail join would
+                // observe its Err before these units finish.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                survivors.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, usf_core::UsfError::ThreadPanicked(m) if m.contains("unit 0 dies")),
+            "got {err:?}"
+        );
+        assert_eq!(
+            survivors.load(Ordering::SeqCst),
+            3,
+            "remaining units complete before the panic surfaces"
+        );
+        // The pool is stateless across calls: the next run is healthy.
+        let count = AtomicUsize::new(0);
+        pool.run(2, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn usf_backend_worker_panic_surfaces_as_err() {
+        let usf = Usf::builder().cores(2).build();
+        let p = usf.process("transient-panic");
+        let pool = TransientPool::new(ExecMode::Usf(p));
+        let survivors = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&survivors);
+        let err = pool
+            .try_run(3, move |i| {
+                if i == 1 {
+                    panic!("cooperative unit dies");
+                }
+                s.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap_err();
+        assert!(matches!(err, usf_core::UsfError::ThreadPanicked(_)));
+        assert_eq!(survivors.load(Ordering::SeqCst), 2);
         usf.shutdown();
     }
 

@@ -9,11 +9,11 @@
 
 use crate::plan::{ProcPlan, MD_IMBALANCE};
 use crate::report::{ProcessOutcome, ScenarioReport, SchedDelta};
-use crate::spec::{ScenarioSpec, WorkloadKind};
+use crate::spec::{FaultPlanSpec, FaultSite, ScenarioSpec, WorkloadKind};
 use std::time::{Duration, Instant};
 use usf_core::exec::ExecMode;
 use usf_core::runtime::Usf;
-use usf_nosv::{MetricsSnapshot, Topology};
+use usf_nosv::{FaultState, MetricsSnapshot, Topology};
 use usf_workloads::workload::{
     CholeskyWorkload, MatmulWorkload, RuntimeFlavor, SyntheticWorkload, Workload,
 };
@@ -125,6 +125,40 @@ fn blas_threading(flavor: RuntimeFlavor) -> usf_blas::BlasThreading {
 struct ProcRun {
     makespan: Duration,
     unit_latencies_s: Vec<f64>,
+    injected_faults: u64,
+    panicked_units: Vec<usize>,
+    survived: bool,
+}
+
+/// Per-process fault context of one driver thread: the seeded decision state plus the
+/// stack-specific kill hook (`None` on stacks without a shared scheduler — the victim
+/// then simply stops running units, which is all "process death" can mean there).
+struct DriverFaults {
+    state: FaultState,
+    kill_after_units: Option<usize>,
+    kill: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl DriverFaults {
+    /// The context of process `index` under `schedule`, or `None` when nothing
+    /// driver-level is armed for it.
+    fn for_proc(
+        schedule: Option<&FaultPlanSpec>,
+        index: usize,
+        kill: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Option<DriverFaults> {
+        let fs = schedule?;
+        let plan = fs.driver_plan(index);
+        if plan.is_empty() {
+            return None;
+        }
+        DriverFaults {
+            state: FaultState::new(&plan),
+            kill_after_units: (fs.kill_proc == Some(index)).then_some(fs.kill_after_units),
+            kill,
+        }
+        .into()
+    }
 }
 
 /// Drive one planned process: wait for its arrival, set the workload up, run the units
@@ -133,12 +167,15 @@ struct ProcRun {
 /// attach guard through it, the OS stack a no-op. `mask` is the process's lowered
 /// placement mask, recorded as an affinity *hint* (§4.3.2: stored and echoed back, never
 /// applied by the hint itself — enforcement, where any, is the scheduler domain installed
-/// by the executor).
+/// by the executor). `faults` is the process's driver-level fault context, if any: unit
+/// bodies may be made to panic (caught; the unit is lost, the process continues) and the
+/// process may be killed mid-run after a set number of units.
 fn drive_process<G>(
     p: &ProcPlan,
     epoch: Instant,
     exec: ExecMode,
     mask: Option<&[usize]>,
+    mut faults: Option<DriverFaults>,
     attach: impl FnOnce() -> G,
 ) -> ProcRun {
     let since = epoch.elapsed();
@@ -154,19 +191,49 @@ fn drive_process<G>(
     workload.setup();
     let start = Instant::now();
     let mut unit_latencies_s = Vec::with_capacity(p.units);
+    let mut panicked_units = Vec::new();
+    let mut survived = true;
     for unit in 0..p.units {
         let u0 = Instant::now();
         if let Some(gap) = gaps.get(unit) {
             usf_core::timing::sleep(*gap);
         }
-        workload.run_unit(unit);
+        let inject_panic = faults
+            .as_ref()
+            .is_some_and(|f| f.state.consult(FaultSite::TaskBodyPanic, None));
+        // Degradation contract: a panicking unit body (injected or genuine) loses that
+        // unit and nothing else — the driver records it and moves on to the next unit.
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected unit-body panic (process {}, unit {unit})", p.name);
+            }
+            workload.run_unit(unit);
+        }));
+        if ran.is_err() {
+            panicked_units.push(unit);
+        }
         unit_latencies_s.push(u0.elapsed().as_secs_f64());
+        // Process death fires between units, while the driver's own task is still live on
+        // the scheduler — the kill reclaims it mid-run along with anything queued.
+        if let Some(f) = faults.as_mut() {
+            if f.kill_after_units.is_some_and(|k| unit + 1 >= k) {
+                f.state.consult(FaultSite::ProcessDeath, None);
+                if let Some(kill) = f.kill.take() {
+                    kill();
+                }
+                survived = false;
+                break; // The remaining units die with the process.
+            }
+        }
     }
     let makespan = start.elapsed();
     workload.teardown();
     ProcRun {
         makespan,
         unit_latencies_s,
+        injected_faults: faults.as_ref().map_or(0, |f| f.state.total_fires()),
+        panicked_units,
+        survived,
     }
 }
 
@@ -193,6 +260,9 @@ fn collect_outcomes(
             // simulator measures migrations.
             migrations: None,
             cross_socket_migrations: None,
+            injected_faults: r.injected_faults,
+            panicked_units: r.panicked_units,
+            survived: r.survived,
         })
         .collect();
     ScenarioReport {
@@ -227,8 +297,11 @@ impl Executor for OsExecutor {
             .map(|p| {
                 let p = p.clone();
                 let mask = masks[p.index].clone();
+                // No shared scheduler to reclaim: "death" on the OS stack is the victim
+                // simply ceasing to run units (kill hook None).
+                let faults = DriverFaults::for_proc(spec.faults.as_ref(), p.index, None);
                 std::thread::spawn(move || {
-                    drive_process(&p, epoch, ExecMode::Os, mask.as_deref(), || ())
+                    drive_process(&p, epoch, ExecMode::Os, mask.as_deref(), faults, || ())
                 })
             })
             .collect();
@@ -283,6 +356,34 @@ impl Executor for UsfExecutor {
         // Placement lowers over the instance topology into per-process scheduler domains
         // (enforced by the grant/pick paths) plus recorded affinity hints (§4.3.2).
         let masks = plan.placement_masks(usf.topology());
+        // Scheduler-level fault sites only exist when the stack is compiled with
+        // `fault-inject`; driver-level faults below work regardless.
+        #[cfg(feature = "fault-inject")]
+        let fault_state: Option<std::sync::Arc<FaultState>> = spec
+            .faults
+            .as_ref()
+            .filter(|fs| !fs.sched_sites.is_empty())
+            .map(|fs| usf.install_faults(&fs.sched_plan()));
+        // A faulted run gets a watchdog thread: the degradation contract in action. It
+        // flags grants held past the deadline (stalls_detected) and runs the rescue
+        // drain, which bounds how long a fault-delayed submit can sit in the intake —
+        // without it, an unbounded `DelayIntakeDrain` site could strand the final
+        // wakeup with every cooperative thread parked.
+        #[cfg(feature = "fault-inject")]
+        let watchdog = fault_state.as_ref().map(|_| {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            let stop = std::sync::Arc::new(AtomicBool::new(false));
+            let sched = std::sync::Arc::clone(usf.nosv().scheduler());
+            let stop2 = std::sync::Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let _ = sched.watchdog_scan(Duration::from_millis(20));
+                    sched.rescue_drain();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+            (stop, handle)
+        });
         let before = usf.metrics();
         let epoch = Instant::now();
         let handles: Vec<_> = plan
@@ -296,11 +397,21 @@ impl Executor for UsfExecutor {
                 let domain = usf.process(p.name.clone());
                 let mask = masks[p.index].clone();
                 domain.restrict_to_cores(mask.clone());
+                // Mid-run death forcibly reclaims the victim's domain: queued work is
+                // dropped, running tasks evicted, waiters released — and the driver
+                // itself continues as a plain OS thread (the release safety valve).
+                let kill_domain = domain.clone();
+                let kill: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    let _ = kill_domain.kill();
+                });
+                let faults = DriverFaults::for_proc(spec.faults.as_ref(), p.index, Some(kill));
                 std::thread::spawn(move || {
                     let exec = ExecMode::Usf(domain.clone());
                     // The driver is the process's "main thread": it attaches after the
                     // arrival sleep and participates cooperatively from then on.
-                    drive_process(&p, epoch, exec, mask.as_deref(), || domain.attach_current())
+                    drive_process(&p, epoch, exec, mask.as_deref(), faults, || {
+                        domain.attach_current()
+                    })
                 })
             })
             .collect();
@@ -309,10 +420,29 @@ impl Executor for UsfExecutor {
             .map(|h| h.join().expect("scenario driver panicked"))
             .collect();
         let total = epoch.elapsed();
+        #[cfg(feature = "fault-inject")]
+        if let Some((stop, handle)) = watchdog {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let _ = handle.join();
+        }
         let after = usf.metrics();
         usf.shutdown();
-        let sched = Some(usf_sched_delta(&before, &after));
-        collect_outcomes(&plan, runs, total, &spec.name, self.label(), sched)
+        #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+        let mut delta = usf_sched_delta(&before, &after);
+        // Per-site ground truth for chaos oracles: how often each armed scheduler-level
+        // site actually fired (e.g. `stalls_detected >= fault_fires_worker_stall`).
+        #[cfg(feature = "fault-inject")]
+        if let Some(state) = &fault_state {
+            for site in FaultSite::ALL {
+                let fires = state.fires(site);
+                if fires > 0 {
+                    delta
+                        .counters
+                        .push((format!("fault_fires_{}", site.label()), fires as f64));
+                }
+            }
+        }
+        collect_outcomes(&plan, runs, total, &spec.name, self.label(), Some(delta))
     }
 }
 
@@ -342,6 +472,23 @@ fn usf_sched_delta(before: &MetricsSnapshot, after: &MetricsSnapshot) -> SchedDe
             (
                 "lock_acquisitions".into(),
                 d(before.lock_acquisitions, after.lock_acquisitions),
+            ),
+            // Robustness counters: zero on clean runs, non-zero under the fault plane.
+            (
+                "faults_injected".into(),
+                d(before.faults_injected, after.faults_injected),
+            ),
+            (
+                "processes_killed".into(),
+                d(before.processes_killed, after.processes_killed),
+            ),
+            (
+                "tasks_reclaimed".into(),
+                d(before.tasks_reclaimed, after.tasks_reclaimed),
+            ),
+            (
+                "stalls_detected".into(),
+                d(before.stalls_detected, after.stalls_detected),
             ),
         ],
     }
@@ -439,6 +586,137 @@ mod tests {
             );
         }
         assert!(r.sched.unwrap().get("grants").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn injected_unit_panics_degrade_gracefully() {
+        use crate::spec::FaultPlanSpec;
+        // Every unit body is armed to panic, capped at 2 per process: each process must
+        // lose exactly its first 2 units, keep its full latency vector, and finish the
+        // remaining units for real.
+        let spec = ScenarioSpec::new("panic-pair", 2)
+            .process(
+                ProcSpec::new("a", WorkloadKind::SpinSleep)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(4),
+            )
+            .process(
+                ProcSpec::new("b", WorkloadKind::Md)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(4),
+            )
+            .with_faults(FaultPlanSpec::new(11).panics(1, 2));
+        for r in [
+            OsExecutor.run_spec(&spec),
+            UsfExecutor::new().run_spec(&spec),
+        ] {
+            for p in &r.processes {
+                assert_eq!(p.panicked_units, vec![0, 1], "{}/{}", r.executor, p.name);
+                assert_eq!(p.injected_faults, 2, "{}/{}", r.executor, p.name);
+                assert_eq!(
+                    p.unit_latencies_s.len(),
+                    4,
+                    "panicked units still account a latency sample ({}/{})",
+                    r.executor,
+                    p.name
+                );
+                assert!(p.survived, "a unit panic must not kill the process");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_process_death_spares_cotenants_on_usf() {
+        use crate::spec::FaultPlanSpec;
+        // Process 0 dies after its first unit; its domain is forcibly reclaimed. The
+        // co-tenant must complete every unit as if the victim never existed.
+        let spec = ScenarioSpec::new("death-pair", 2)
+            .process(
+                ProcSpec::new("victim", WorkloadKind::SpinSleep)
+                    .size(ProblemSize::Tiny)
+                    .flavor(crate::spec::RuntimeFlavor::ThreadPool)
+                    .threads(2)
+                    .units(4),
+            )
+            .process(
+                ProcSpec::new("cotenant", WorkloadKind::SpinSleep)
+                    .size(ProblemSize::Tiny)
+                    .threads(2)
+                    .units(3),
+            )
+            .with_faults(FaultPlanSpec::new(5).kill(0, 1));
+        let r = UsfExecutor::new().run_spec(&spec);
+        let victim = &r.processes[0];
+        assert!(!victim.survived, "the victim must report its death");
+        assert_eq!(
+            victim.unit_latencies_s.len(),
+            1,
+            "units after death are lost"
+        );
+        assert!(victim.injected_faults >= 1, "the death is a recorded fault");
+        let cotenant = &r.processes[1];
+        assert!(cotenant.survived);
+        assert_eq!(
+            cotenant.unit_latencies_s.len(),
+            3,
+            "co-tenants complete every unit"
+        );
+        let sched = r.sched.expect("USF runs report scheduler metrics");
+        assert_eq!(
+            sched.get("processes_killed"),
+            Some(1.0),
+            "the scheduler observed exactly one kill: {sched:?}"
+        );
+    }
+
+    #[test]
+    fn os_stack_survives_the_same_death_schedule() {
+        use crate::spec::FaultPlanSpec;
+        // Same schedule on the OS baseline: no scheduler to reclaim, the victim just
+        // stops. The report shape must match the USF stack's.
+        let spec = tiny_pair().with_faults(FaultPlanSpec::new(5).kill(0, 1));
+        let r = OsExecutor.run_spec(&spec);
+        assert!(!r.processes[0].survived);
+        assert_eq!(r.processes[0].unit_latencies_s.len(), 1);
+        assert!(r.processes[1].survived);
+        assert_eq!(r.processes[1].unit_latencies_s.len(), 2);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn unbounded_drain_delays_and_stalls_cannot_hang_a_faulted_run() {
+        use crate::spec::{FaultPlanSpec, FaultSpec};
+        // Every ordinary intake drain is skipped (unbounded) and one worker stalls for
+        // 120ms holding its core. The executor's watchdog thread must keep the run live
+        // (rescue drain) and flag the stall — the degradation contract on a real run.
+        let spec = tiny_pair().with_faults(
+            FaultPlanSpec::new(17)
+                .sched_site(FaultSpec::new(FaultSite::DelayIntakeDrain).one_in(1))
+                .sched_site(
+                    FaultSpec::new(FaultSite::WorkerStall)
+                        .one_in(1)
+                        .max_fires(1)
+                        .stall(Duration::from_millis(120)),
+                ),
+        );
+        let r = UsfExecutor::new().run_spec(&spec);
+        for p in &r.processes {
+            assert!(p.survived, "{}", p.name);
+            assert_eq!(p.unit_latencies_s.len(), 2, "no unit lost ({})", p.name);
+        }
+        let sched = r.sched.expect("USF runs report scheduler metrics");
+        assert!(
+            sched.get("fault_fires_delay_intake_drain").unwrap_or(0.0) >= 1.0,
+            "drain delays actually fired: {sched:?}"
+        );
+        let stall_fires = sched.get("fault_fires_worker_stall").unwrap_or(0.0);
+        assert_eq!(stall_fires, 1.0, "{sched:?}");
+        assert!(
+            sched.get("stalls_detected").unwrap_or(0.0) >= stall_fires,
+            "every injected stall is flagged: {sched:?}"
+        );
     }
 
     #[test]

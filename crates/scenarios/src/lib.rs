@@ -44,5 +44,6 @@ pub use plan::{ProcPlan, ScenarioPlan};
 pub use report::{ProcessOutcome, ScenarioReport, SchedDelta};
 pub use sim::{LoweredScenario, SimExecutor, SimProcShape};
 pub use spec::{
-    Arrival, ModelSel, Placement, ProblemSize, ProcSpec, RuntimeFlavor, ScenarioSpec, WorkloadKind,
+    Arrival, FaultPlanSpec, ModelSel, Placement, ProblemSize, ProcSpec, RuntimeFlavor,
+    ScenarioSpec, WorkloadKind,
 };

@@ -1,6 +1,8 @@
 //! Canned scenario library — the co-run experiments the paper argues about, as data.
 
-use crate::spec::{Arrival, ProblemSize, ProcSpec, ScenarioSpec, WorkloadKind};
+use crate::spec::{
+    Arrival, FaultPlanSpec, FaultSite, FaultSpec, ProblemSize, ProcSpec, ScenarioSpec, WorkloadKind,
+};
 use std::time::Duration;
 use usf_workloads::workload::RuntimeFlavor;
 
@@ -162,8 +164,53 @@ pub fn bursty_antagonist(cores: usize, size: ProblemSize) -> ScenarioSpec {
         )
 }
 
+/// The chaos co-run: a three-process oversubscribed mix under a seeded fault schedule —
+/// the victim dies mid-run, the panicky batch job loses units to injected body panics,
+/// and the steady co-tenant must come through untouched. Scheduler-level sites
+/// (duplicated wakeups, delayed intake drains, a 120ms worker stall the watchdog must
+/// flag) ride along on stacks built with `fault-inject`. Stacks without an injection
+/// plane (the simulator) run the clean lowering of the same processes.
+pub fn chaos(cores: usize, size: ProblemSize) -> ScenarioSpec {
+    ScenarioSpec::new("chaos", cores)
+        .process(
+            ProcSpec::new("victim", WorkloadKind::SpinSleep)
+                .size(size)
+                .flavor(RuntimeFlavor::ThreadPool)
+                .threads(cores.div_ceil(2))
+                .units(6),
+        )
+        .process(
+            ProcSpec::new("panicky", WorkloadKind::Md)
+                .size(size)
+                .flavor(RuntimeFlavor::ForkJoin)
+                .threads(cores)
+                .units(4),
+        )
+        .process(
+            ProcSpec::new("steady", WorkloadKind::SpinSleep)
+                .size(size)
+                .flavor(RuntimeFlavor::TaskRt)
+                .threads(cores.div_ceil(2))
+                .units(4),
+        )
+        .with_faults(
+            FaultPlanSpec::new(0xC4A0_5C4A)
+                .panics(3, 2)
+                .kill(0, 2)
+                .sched_site(FaultSpec::new(FaultSite::DuplicateWakeup).one_in(5))
+                .sched_site(FaultSpec::new(FaultSite::DelayIntakeDrain).one_in(7))
+                .sched_site(
+                    FaultSpec::new(FaultSite::WorkerStall)
+                        .one_in(1)
+                        .max_fires(1)
+                        .stall(Duration::from_millis(120)),
+                ),
+        )
+}
+
 /// Every canned entry at one `(cores, size)` point — what `fig7_models` sweeps and the
-/// library-coverage tests run. Order: solo, the pairs, the ramps, the new mixed entries.
+/// library-coverage tests run. Order: solo, the pairs, the ramps, the mixed entries, the
+/// chaos entry.
 pub fn all(cores: usize, size: ProblemSize) -> Vec<ScenarioSpec> {
     vec![
         solo(WorkloadKind::Md, cores, size),
@@ -173,6 +220,7 @@ pub fn all(cores: usize, size: ProblemSize) -> Vec<ScenarioSpec> {
         oversub_ramp(cores, 4, size),
         mixed_size_ramp(cores, size),
         bursty_antagonist(cores, size),
+        chaos(cores, size),
     ]
 }
 
@@ -222,6 +270,19 @@ mod tests {
             .iter()
             .any(|p| p.kind == WorkloadKind::Microservices));
         assert!(bursty.procs.iter().any(|p| p.kind == WorkloadKind::Md));
+
+        let chaos = chaos(4, ProblemSize::Tiny);
+        assert_eq!(chaos.procs.len(), 3);
+        assert!(chaos.oversubscription() >= 2.0);
+        let fs = chaos.faults.as_ref().expect("chaos arms a fault schedule");
+        assert!(fs.panic_one_in > 0 && fs.kill_proc.is_some());
+        assert!(
+            fs.kill_after_units >= 1 && fs.kill_after_units < chaos.procs[0].units,
+            "the victim must die strictly mid-run"
+        );
+        assert!(!fs.sched_sites.is_empty());
+        // The steady co-tenant is the survivorship control: not the kill victim.
+        assert_ne!(fs.kill_proc, Some(2));
     }
 
     #[test]

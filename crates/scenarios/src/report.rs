@@ -30,6 +30,16 @@ pub struct ProcessOutcome {
     /// placement assertions read this *measured* counter rather than inferring from
     /// latency.
     pub cross_socket_migrations: Option<u64>,
+    /// Driver-level faults injected into this process (unit panics, process death) — `0`
+    /// on a clean run. Ground truth for the chaos invariants, counted by the driver's own
+    /// [`usf_nosv::FaultState`], independent of what the scheduler observed.
+    pub injected_faults: u64,
+    /// Unit indices whose body panicked (injected or genuine). The units are *lost*, not
+    /// retried; the process continues past them — that is the degradation contract.
+    pub panicked_units: Vec<usize>,
+    /// `false` when the process was killed mid-run (its remaining units died with it).
+    /// Co-tenant processes of a killed one must still report `true` and full unit counts.
+    pub survived: bool,
 }
 
 impl ProcessOutcome {
@@ -176,6 +186,9 @@ mod tests {
             slowdown_vs_solo: None,
             migrations: None,
             cross_socket_migrations: None,
+            injected_faults: 0,
+            panicked_units: Vec::new(),
+            survived: true,
         }
     }
 
@@ -238,6 +251,9 @@ mod tests {
             slowdown_vs_solo: None,
             migrations: None,
             cross_socket_migrations: None,
+            injected_faults: 0,
+            panicked_units: Vec::new(),
+            survived: true,
         });
         let jain = r.jain_fairness();
         assert!(jain.is_finite() && (0.0..=1.0).contains(&jain), "{jain}");

@@ -315,6 +315,11 @@ impl SimExecutor {
                     slowdown_vs_solo: None,
                     migrations: Some(migrations),
                     cross_socket_migrations: Some(cross_socket),
+                    // The simulator runs the clean lowering; fault schedules are a
+                    // real-stack concern.
+                    injected_faults: 0,
+                    panicked_units: Vec::new(),
+                    survived: true,
                 }
             })
             .collect();

@@ -8,6 +8,7 @@
 //! hand-wired binaries and become entries of the canned [`library`](crate::library).
 
 use std::time::Duration;
+pub use usf_nosv::{FaultPlan, FaultSite, FaultSpec};
 pub use usf_workloads::workload::RuntimeFlavor;
 
 /// The kind of work one process of a scenario runs.
@@ -280,6 +281,112 @@ impl ProcSpec {
     }
 }
 
+/// A seeded scenario-level fault schedule — plain data, compiled unconditionally (like
+/// the [`usf_nosv::faults`] types it builds on).
+///
+/// Two layers of faults lower out of one spec:
+///
+/// * **Driver-level** faults are injected by the scenario driver itself and therefore
+///   work on *every* stack without any cargo feature: unit-body panics
+///   ([`FaultSite::TaskBodyPanic`], caught per unit — the process degrades, it does not
+///   hang) and mid-run process death ([`FaultSite::ProcessDeath`] — on the USF stack the
+///   victim's domain is forcibly reclaimed via
+///   [`ProcessHandle::kill`](usf_core::runtime::ProcessHandle::kill); on stacks without a
+///   shared scheduler the victim simply stops). Decisions are deterministic per
+///   `(seed, process index, unit)`.
+/// * **Scheduler-level** sites ([`FaultPlanSpec::sched_sites`]: dropped/duplicated
+///   wakeups, delayed intake drains, worker stalls, …) are installed into the real USF
+///   scheduler when the stack is built with the `fault-inject` feature, and ignored by
+///   stacks that cannot inject (the OS baseline, the simulator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanSpec {
+    /// Seed of every deterministic fire decision.
+    pub seed: u64,
+    /// Panic roughly one unit in `n` per process (`0` disarms unit panics).
+    pub panic_one_in: u32,
+    /// Cap on injected unit panics, per process.
+    pub max_panics: u32,
+    /// Kill this process (by spec index) mid-run.
+    pub kill_proc: Option<usize>,
+    /// Units the victim completes before dying.
+    pub kill_after_units: usize,
+    /// Scheduler-level sites to arm (fault-inject stacks only).
+    pub sched_sites: Vec<FaultSpec>,
+}
+
+impl FaultPlanSpec {
+    /// An empty schedule (nothing armed) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlanSpec {
+            seed,
+            panic_one_in: 0,
+            max_panics: u32::MAX,
+            kill_proc: None,
+            kill_after_units: 0,
+            sched_sites: Vec::new(),
+        }
+    }
+
+    /// Arm unit-body panics: roughly one unit in `one_in` panics, at most `max` per
+    /// process.
+    pub fn panics(mut self, one_in: u32, max: u32) -> Self {
+        self.panic_one_in = one_in.max(1);
+        self.max_panics = max;
+        self
+    }
+
+    /// Kill process `proc_index` after it completes `after_units` units.
+    pub fn kill(mut self, proc_index: usize, after_units: usize) -> Self {
+        self.kill_proc = Some(proc_index);
+        self.kill_after_units = after_units;
+        self
+    }
+
+    /// Arm one scheduler-level site (builder style).
+    pub fn sched_site(mut self, spec: FaultSpec) -> Self {
+        self.sched_sites.push(spec);
+        self
+    }
+
+    /// Whether anything at all is armed.
+    pub fn is_empty(&self) -> bool {
+        self.panic_one_in == 0 && self.kill_proc.is_none() && self.sched_sites.is_empty()
+    }
+
+    /// The driver-level [`FaultPlan`] of process `index`. Each process decides from its
+    /// own seed (mixed from the schedule seed and the index), so per-process decision
+    /// sequences are deterministic regardless of how the driver threads interleave.
+    pub fn driver_plan(&self, index: usize) -> FaultPlan {
+        let seed = self
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut plan = FaultPlan::new(seed);
+        if self.panic_one_in > 0 {
+            plan = plan.arm(
+                FaultSpec::new(FaultSite::TaskBodyPanic)
+                    .one_in(self.panic_one_in)
+                    .max_fires(self.max_panics),
+            );
+        }
+        if self.kill_proc == Some(index) {
+            plan = plan.arm(
+                FaultSpec::new(FaultSite::ProcessDeath)
+                    .one_in(1)
+                    .max_fires(1),
+            );
+        }
+        plan
+    }
+
+    /// The scheduler-level [`FaultPlan`] (the armed [`FaultPlanSpec::sched_sites`] under
+    /// the schedule seed); empty when no site is armed.
+    pub fn sched_plan(&self) -> FaultPlan {
+        self.sched_sites
+            .iter()
+            .fold(FaultPlan::new(self.seed), |p, s| p.arm(*s))
+    }
+}
+
 /// A complete co-run scenario: a named set of processes over a core budget.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -294,6 +401,9 @@ pub struct ScenarioSpec {
     /// The simulator scheduling models this scenario should be swept over (defaults to
     /// Fair + Coop, the fig6 comparison; set [`ModelSel::ALL`] for the full matrix).
     pub models: Vec<ModelSel>,
+    /// Optional seeded fault schedule (`None` = a clean run). See [`FaultPlanSpec`] for
+    /// which parts apply on which stack.
+    pub faults: Option<FaultPlanSpec>,
 }
 
 impl ScenarioSpec {
@@ -304,6 +414,7 @@ impl ScenarioSpec {
             cores: cores.max(1),
             procs: Vec::new(),
             models: vec![ModelSel::Fair, ModelSel::Coop],
+            faults: None,
         }
     }
 
@@ -316,6 +427,12 @@ impl ScenarioSpec {
     /// Set the simulator model matrix the spec sweeps (builder style).
     pub fn models(mut self, models: impl Into<Vec<ModelSel>>) -> Self {
         self.models = models.into();
+        self
+    }
+
+    /// Attach a seeded fault schedule (builder style).
+    pub fn with_faults(mut self, faults: FaultPlanSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -341,7 +458,8 @@ impl ScenarioSpec {
     }
 
     /// The solo spec of process `index`: the same process alone on the same cores with
-    /// immediate arrival — the baseline of every slowdown figure.
+    /// immediate arrival — the baseline of every slowdown figure. Fault schedules do NOT
+    /// propagate: a chaotic co-run is measured against the *clean* solo baseline.
     pub fn solo_of(&self, index: usize) -> ScenarioSpec {
         let mut p = self.procs[index].clone();
         p.arrival = Arrival::Immediate;
@@ -350,6 +468,7 @@ impl ScenarioSpec {
             cores: self.cores,
             procs: vec![p],
             models: self.models.clone(),
+            faults: None,
         }
     }
 }
@@ -429,6 +548,53 @@ mod tests {
         assert_eq!(spec.solo_of(1).procs[0].placement, Placement::Node(1));
         assert_eq!(Placement::Node(1).label(), "node1");
         assert_eq!(Placement::Spread.label(), "spread");
+    }
+
+    #[test]
+    fn fault_schedule_builds_and_lowers_per_process() {
+        let fs = FaultPlanSpec::new(0xC4A0)
+            .panics(3, 2)
+            .kill(1, 2)
+            .sched_site(FaultSpec::new(FaultSite::DuplicateWakeup).one_in(5));
+        assert!(!fs.is_empty());
+        // The victim's driver plan arms ProcessDeath; co-tenants' plans do not.
+        let victim = fs.driver_plan(1);
+        assert!(victim
+            .specs
+            .iter()
+            .any(|s| s.site == FaultSite::ProcessDeath));
+        let cotenant = fs.driver_plan(0);
+        assert!(!cotenant
+            .specs
+            .iter()
+            .any(|s| s.site == FaultSite::ProcessDeath));
+        // Both arm panics; their seeds differ (per-process decision streams).
+        assert!(victim
+            .specs
+            .iter()
+            .any(|s| s.site == FaultSite::TaskBodyPanic));
+        assert_ne!(victim.seed, cotenant.seed);
+        // The sched plan carries exactly the armed sched sites under the schedule seed.
+        let sp = fs.sched_plan();
+        assert_eq!(sp.seed, 0xC4A0);
+        assert_eq!(sp.specs.len(), 1);
+        assert_eq!(sp.specs[0].site, FaultSite::DuplicateWakeup);
+        // Determinism: the same schedule lowers to the same plans.
+        assert_eq!(fs.driver_plan(0), fs.clone().driver_plan(0));
+        assert!(FaultPlanSpec::new(1).is_empty());
+    }
+
+    #[test]
+    fn faults_attach_to_specs_but_not_to_solo_baselines() {
+        let spec = ScenarioSpec::new("chaotic", 2)
+            .process(ProcSpec::new("a", WorkloadKind::SpinSleep))
+            .process(ProcSpec::new("b", WorkloadKind::SpinSleep))
+            .with_faults(FaultPlanSpec::new(7).panics(2, 1));
+        assert!(spec.faults.is_some());
+        assert!(
+            spec.solo_of(0).faults.is_none(),
+            "solo baselines must stay clean"
+        );
     }
 
     #[test]

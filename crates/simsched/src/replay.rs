@@ -12,7 +12,8 @@
 //! it must be replayed too) as its script; `Grant` events are cross-checked against
 //! the preceding pop (every non-immediate grant must hand out exactly the task the policy
 //! just popped); the remaining events (`Submit`, `IntakeDrain`, `Yield`, `Migrate`,
-//! `Shutdown`) are context and are ignored. Timestamps are mapped nanosecond-exact —
+//! `FaultInjected`, `Shutdown`) are context and are ignored — an injected fault's
+//! *effects* show up as ordinary events, so a faulty trace replays like any other. Timestamps are mapped nanosecond-exact —
 //! `SimTime::from_nanos(entry.at_nanos)` — which reproduces every quantum rotation and
 //! aging-valve decision of the original run (see the recording-side documentation on why
 //! the recorded instant is authoritative).
@@ -142,6 +143,7 @@ pub fn replay(meta: &TraceMeta, entries: &[TraceEntry]) -> ReplayReport {
             | TraceEvent::IntakeDrain { .. }
             | TraceEvent::Yield { .. }
             | TraceEvent::Migrate { .. }
+            | TraceEvent::FaultInjected { .. }
             | TraceEvent::Shutdown => {}
         }
     }
