@@ -157,7 +157,11 @@ fn main() {
     ));
     let real_os = OsExecutor.run_with_solo_baselines(&real_spec);
     print_report_line(&real_os);
-    let real_usf = UsfExecutor::new().run_with_solo_baselines(&real_spec);
+    // Sample runtime gauges at 1 ms so the report (and BENCH JSON) records peak ready-queue
+    // depth and core occupancy for the contended run alongside the stage histograms.
+    let real_usf = UsfExecutor::new()
+        .sample_period(Duration::from_millis(1))
+        .run_with_solo_baselines(&real_spec);
     print_report_line(&real_usf);
 
     // ---------------------------------------------------------------------------------

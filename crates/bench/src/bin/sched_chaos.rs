@@ -63,6 +63,17 @@ const FLAGS: &[FlagSpec] = &[
         value_name: Some("PATH"),
         help: "output file (default BENCH_chaos.json)",
     },
+    FlagSpec {
+        name: "--trace-jsonl",
+        value_name: Some("PATH"),
+        help: "record a traced+faulted mini-scenario as sched-trace JSONL \
+               (needs --features sched-trace,fault-inject)",
+    },
+    FlagSpec {
+        name: "--samples-jsonl",
+        value_name: Some("PATH"),
+        help: "stats-sampler series for the traced scenario (default SAMPLES_chaos.jsonl)",
+    },
 ];
 
 /// Flipped once every phase has finished; the deadline thread then stands down.
@@ -93,8 +104,7 @@ fn run_canary() {
     use usf_nosv::{FaultPlan, FaultSpec, NosvConfig, TaskState};
     let s = Scheduler::new(NosvConfig::with_cores(2));
     let fs = s.install_faults(
-        &FaultPlan::new(0xC0FF)
-            .arm(FaultSpec::new(FaultSite::DropWakeup).one_in(1).max_fires(1)),
+        &FaultPlan::new(0xC0FF).arm(FaultSpec::new(FaultSite::DropWakeup).one_in(1).max_fires(1)),
     );
     let p = s.register_process("canary");
     let t = s.create_task(p, None).expect("canary: create_task");
@@ -240,6 +250,138 @@ fn run_faulted_fuzz(seeds: u64) -> (u64, u64, u64) {
         }
     );
     (runs, fires, replays)
+}
+
+/// Optional phase (`--trace-jsonl`): record a dedicated traced + faulted mini-scenario
+/// and dump it as sched-trace JSONL plus a stats-sampler series, for conversion to a
+/// Perfetto timeline by `usf_trace` (CI validates and uploads the result).
+///
+/// The scenario is sized for a readable timeline, not throughput: 3 workers on 2 cores
+/// yielding/pausing/timed-waiting through 12 rounds each, with deterministic fault
+/// fires armed (two 10ms worker stalls, duplicated wakeups, delayed intake drains) so
+/// the exported track provably carries fault instants. A waker thread keeps pauses
+/// level-triggered-recoverable and a watchdog thread flags the injected stalls, exactly
+/// as a production embedder would run the scheduler.
+#[cfg(all(feature = "fault-inject", feature = "sched-trace"))]
+fn run_trace_export(trace_path: &str, samples_path: &str) {
+    use std::sync::Arc;
+    use usf_nosv::scheduler::Scheduler;
+    use usf_nosv::{sched_trace, FaultPlan, NosvConfig, TaskRef};
+
+    const WORKERS: usize = 3;
+    const ROUNDS: usize = 12;
+    let mut sched = Scheduler::new(NosvConfig::with_cores(2));
+    let rec = sched.install_tracer();
+    let s = Arc::new(sched);
+    let fs = s.install_faults(
+        &FaultPlan::new(0x0B5E)
+            .arm(
+                FaultSpec::new(FaultSite::WorkerStall)
+                    .one_in(1)
+                    .max_fires(2)
+                    .stall(Duration::from_millis(10)),
+            )
+            .arm(
+                FaultSpec::new(FaultSite::DuplicateWakeup)
+                    .one_in(1)
+                    .max_fires(3),
+            )
+            .arm(
+                FaultSpec::new(FaultSite::DelayIntakeDrain)
+                    .one_in(4)
+                    .max_fires(2),
+            ),
+    );
+    let sampler = s.start_sampler(Duration::from_micros(250));
+    let p = s.register_process("traced");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let s = Arc::clone(&s);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut flagged = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                flagged += s.watchdog_scan(Duration::from_millis(5)).len() as u64;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            flagged
+        })
+    };
+
+    let mut tasks = Vec::new();
+    let mut workers = Vec::new();
+    for w in 0..WORKERS {
+        let t = s
+            .create_task(p, Some(format!("w{w}")))
+            .expect("trace export: create_task");
+        tasks.push(TaskRef::clone(&t));
+        s.submit(&t);
+        let s2 = Arc::clone(&s);
+        workers.push(std::thread::spawn(move || {
+            s2.attach(&t);
+            for round in 0..ROUNDS {
+                let t0 = Instant::now();
+                while t0.elapsed() < Duration::from_micros(150) {
+                    std::hint::spin_loop();
+                }
+                match round % 4 {
+                    3 => s2.pause(&t),
+                    1 => {
+                        let _ = s2.waitfor(&t, Duration::from_micros(300));
+                    }
+                    _ => {
+                        s2.yield_now(&t);
+                    }
+                }
+            }
+            s2.detach(&t);
+        }));
+    }
+    // Level-triggered waker: every pause above is recovered by a later submit (redundant
+    // submits are absorbed as pending wakeups).
+    let waker = {
+        let s = Arc::clone(&s);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                for t in &tasks {
+                    s.submit(t);
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+    for h in workers {
+        h.join().expect("trace export: worker joins");
+    }
+    done.store(true, Ordering::Relaxed);
+    let stalls_flagged = watchdog.join().expect("trace export: watchdog joins");
+    waker.join().expect("trace export: waker joins");
+    s.shutdown();
+    let samples = sampler.stop();
+
+    if fs.total_fires() == 0 {
+        eprintln!("sched_chaos: trace export ran but no fault fired — plane dead?");
+        std::process::exit(1);
+    }
+    let entries = rec.snapshot();
+    std::fs::write(trace_path, sched_trace::to_jsonl(rec.meta(), &entries))
+        .unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
+    let mut lines = String::new();
+    for sample in &samples {
+        lines.push_str(&sample.to_jsonl_line());
+        lines.push('\n');
+    }
+    std::fs::write(samples_path, lines).unwrap_or_else(|e| panic!("writing {samples_path}: {e}"));
+    println!(
+        "trace export: {} events, {} fault fires ({} stalls flagged), {} samples -> \
+         {trace_path} + {samples_path}",
+        entries.len(),
+        fs.total_fires(),
+        stalls_flagged,
+        samples.len()
+    );
 }
 
 /// The seeded fault schedule of sweep iteration `seed` over `spec`: unit panics on
@@ -450,6 +592,20 @@ fn main() {
     let (fuzz_runs, fuzz_fires, fuzz_replays) = run_faulted_fuzz(if smoke { 64 } else { 128 });
     #[cfg(not(feature = "fault-inject"))]
     let (fuzz_runs, fuzz_fires, fuzz_replays) = (0u64, 0u64, 0u64);
+
+    if let Some(trace_path) = args.get("--trace-jsonl") {
+        #[cfg(all(feature = "fault-inject", feature = "sched-trace"))]
+        run_trace_export(
+            trace_path,
+            args.get("--samples-jsonl").unwrap_or("SAMPLES_chaos.jsonl"),
+        );
+        #[cfg(not(all(feature = "fault-inject", feature = "sched-trace")))]
+        {
+            let _ = trace_path;
+            eprintln!("sched_chaos: --trace-jsonl needs --features sched-trace,fault-inject");
+            std::process::exit(2);
+        }
+    }
 
     // Phase 4: the library sweep. Every schedule runs on the real USF stack; every 8th
     // also on the OS baseline (same driver-level faults, no scheduler to observe them).

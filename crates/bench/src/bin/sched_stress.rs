@@ -23,10 +23,11 @@
 //! lock.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use usf_bench::cli::{self, FlagSpec};
 use usf_bench::json::{JsonObject, JsonValue};
+use usf_bench::scenario_json::stages_json;
 use usf_nosv::scheduler::Scheduler;
 use usf_nosv::{NosvConfig, TaskRef, TaskState, Topology};
 
@@ -160,7 +161,7 @@ fn saturated_phase(cfg: &Cfg, locked: bool) -> (f64, Vec<u64>, u64) {
                     .collect()
             })
             .collect();
-        let locks_before = sched.metrics().snapshot().lock_acquisitions;
+        let before = sched.metrics().snapshot();
         let barrier = Arc::new(Barrier::new(cfg.producers + 1));
         let handles: Vec<_> = batches
             .into_iter()
@@ -197,11 +198,7 @@ fn saturated_phase(cfg: &Cfg, locked: bool) -> (f64, Vec<u64>, u64) {
             slowest = slowest.max(elapsed);
             latencies.extend(lat);
         }
-        lock_acqs += sched
-            .metrics()
-            .snapshot()
-            .lock_acquisitions
-            .saturating_sub(locks_before);
+        lock_acqs += sched.metrics().snapshot().delta(&before).lock_acquisitions;
         let rate = (cfg.producers * cfg.batch) as f64 / slowest.as_secs_f64().max(1e-9);
         best_rate = best_rate.max(rate);
         drop(hogs);
@@ -215,8 +212,21 @@ struct ChurnStats {
     wakeups: u64,
     grants: u64,
     elapsed_s: f64,
-    p50_ns: u64,
-    p99_ns: u64,
+    /// Per-stage latency delta over the timed window; `stages.wake` is the
+    /// end-to-end enqueue->grant latency of every wake-up (not a 1-in-16 sample
+    /// of submit-call durations, which is what this benchmark reported before
+    /// the observability plane existed).
+    stages: usf_nosv::StageSnapshot,
+}
+
+impl ChurnStats {
+    fn wake_p50_ns(&self) -> u64 {
+        self.stages.wake.percentile(0.50)
+    }
+
+    fn wake_p99_ns(&self) -> u64 {
+        self.stages.wake.percentile(0.99)
+    }
 }
 
 /// Wake churn: `workers` tasks pause in a loop (short spin per wake-up) while producers
@@ -253,7 +263,7 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
         .collect();
 
     let total = Arc::new(AtomicU64::new(0));
-    let all_lat = Arc::new(Mutex::new(Vec::new()));
+    let before = sched.stats_snapshot();
     let deadline = Instant::now() + cfg.duration;
     let start = Instant::now();
     let chunk = tasks.len().div_ceil(cfg.producers);
@@ -267,9 +277,7 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
                 .map(TaskRef::clone)
                 .collect();
             let total = Arc::clone(&total);
-            let all_lat = Arc::clone(&all_lat);
             std::thread::spawn(move || {
-                let mut lat = Vec::new();
                 let mut count = 0u64;
                 let mut probes = 0u64;
                 let mut i = 0usize;
@@ -286,15 +294,7 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
                         std::hint::spin_loop();
                         continue;
                     }
-                    if count % 16 == 0 {
-                        let t0 = Instant::now();
-                        if locked {
-                            sched.submit_locked(task);
-                        } else {
-                            sched.submit(task);
-                        }
-                        lat.push(t0.elapsed().as_nanos() as u64);
-                    } else if locked {
+                    if locked {
                         sched.submit_locked(task);
                     } else {
                         sched.submit(task);
@@ -302,7 +302,6 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
                     count += 1;
                 }
                 total.fetch_add(count, Ordering::Relaxed);
-                all_lat.lock().expect("latency sink").extend(lat);
             })
         })
         .collect();
@@ -310,21 +309,19 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
         h.join().expect("producer panicked");
     }
     let elapsed = start.elapsed();
+    // Snapshot before shutdown so the delta covers exactly the churn window.
+    let after = sched.stats_snapshot();
     stop.store(true, Ordering::Relaxed);
     sched.shutdown();
     for h in workers {
         h.join().expect("worker panicked");
     }
-    let mut latencies = Arc::try_unwrap(all_lat)
-        .map(|m| m.into_inner().expect("latency sink"))
-        .unwrap_or_default();
-    latencies.sort_unstable();
+    let delta = after.delta(&before);
     ChurnStats {
         wakeups: total.load(Ordering::Relaxed),
-        grants: sched.metrics().snapshot().grants,
+        grants: delta.counters.grants,
         elapsed_s: elapsed.as_secs_f64(),
-        p50_ns: percentile(&latencies, 50.0),
-        p99_ns: percentile(&latencies, 99.0),
+        stages: delta.stages,
     }
 }
 
@@ -338,13 +335,13 @@ fn fastpath_sentinel() {
     let waiters: Vec<_> = (0..64)
         .map(|_| sched.create_task(pid, None).expect("live"))
         .collect();
-    let before = sched.metrics().snapshot().lock_acquisitions;
+    let before = sched.metrics().snapshot();
     for t in &waiters {
         sched.submit(t);
     }
-    let after = sched.metrics().snapshot().lock_acquisitions;
+    let delta = sched.metrics().snapshot().delta(&before);
     assert_eq!(
-        before, after,
+        delta.lock_acquisitions, 0,
         "regression: submit to a fully busy scheduler acquired the global lock"
     );
     assert_eq!(sched.ready_count(), waiters.len());
@@ -394,8 +391,9 @@ fn write_json(
             churn.wakeups as f64 / churn.elapsed_s.max(1e-9),
             1,
         )
-        .field("wake_p50_submit_ns", churn.p50_ns)
-        .field("wake_p99_submit_ns", churn.p99_ns);
+        .field("wake_p50_ns", churn.wake_p50_ns())
+        .field("wake_p99_ns", churn.wake_p99_ns())
+        .field("wake_stages", stages_json(&churn.stages));
     doc = match churn_baseline {
         Some(b) => doc
             .num(
@@ -403,7 +401,8 @@ fn write_json(
                 b.grants as f64 / b.elapsed_s.max(1e-9),
                 1,
             )
-            .field("wake_baseline_p99_submit_ns", b.p99_ns),
+            .field("wake_baseline_p99_ns", b.wake_p99_ns())
+            .field("wake_baseline_stages", stages_json(&b.stages)),
         None => doc.field("wake_baseline_grants_per_sec", JsonValue::Null),
     };
     doc.write_file(path);
@@ -482,22 +481,33 @@ fn main() {
 
     let churn = churn_phase(&cfg, false);
     println!(
-        "  churn: {:>12.0} wakeups/s  {:>9.0} grants/s  p50 {:>5} ns  p99 {:>6} ns",
+        "  churn: {:>12.0} wakeups/s  {:>9.0} grants/s  wake p50 {:>5} ns  p99 {:>6} ns",
         churn.wakeups as f64 / churn.elapsed_s.max(1e-9),
         churn.grants as f64 / churn.elapsed_s.max(1e-9),
-        churn.p50_ns,
-        churn.p99_ns,
+        churn.wake_p50_ns(),
+        churn.wake_p99_ns(),
     );
+    for (name, h) in churn.stages.named() {
+        if !h.is_empty() {
+            println!(
+                "         stage {:<11} n={:<8} p50 {:>6} ns  p99 {:>8} ns",
+                name,
+                h.count,
+                h.percentile(0.50),
+                h.percentile(0.99),
+            );
+        }
+    }
     let churn_baseline = if args.has("--no-baseline") {
         None
     } else {
         let b = churn_phase(&cfg, true);
         println!(
-            "  churn (locked): {:>4.0} wakeups/s  {:>9.0} grants/s  p50 {:>5} ns  p99 {:>6} ns",
+            "  churn (locked): {:>4.0} wakeups/s  {:>9.0} grants/s  wake p50 {:>5} ns  p99 {:>6} ns",
             b.wakeups as f64 / b.elapsed_s.max(1e-9),
             b.grants as f64 / b.elapsed_s.max(1e-9),
-            b.p50_ns,
-            b.p99_ns,
+            b.wake_p50_ns(),
+            b.wake_p99_ns(),
         );
         Some(b)
     };

@@ -12,6 +12,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod json;
+pub mod perfetto;
 pub mod scenario_json;
 
 /// Harness scale selected on the command line.

@@ -6,7 +6,52 @@
 //! percentiles, slowdowns, fairness, scheduler-counter deltas).
 
 use crate::json::{JsonObject, JsonValue};
+use usf_nosv::{HistogramSnapshot, StageSnapshot, StatsSample};
 use usf_scenarios::ScenarioReport;
+
+/// Render one stage histogram as the standard percentile bundle (the same fields
+/// [`HistogramSnapshot::to_json`] emits, but as a [`JsonObject`] so it nests into the
+/// ordered BENCH documents).
+pub fn histogram_json(h: &HistogramSnapshot) -> JsonObject {
+    JsonObject::new()
+        .field("count", h.count)
+        .field("mean_ns", h.mean_ns())
+        .field("min_ns", if h.is_empty() { 0 } else { h.min_ns })
+        .field("max_ns", h.max_ns)
+        .field("p50_ns", h.percentile(0.50))
+        .field("p90_ns", h.percentile(0.90))
+        .field("p99_ns", h.percentile(0.99))
+        .field("p999_ns", h.percentile(0.999))
+}
+
+/// Render the per-stage latency breakdown (submit→drain, enqueue→grant,
+/// grant→first-run, pause/yield off-core) as one object keyed by stage name.
+pub fn stages_json(stages: &StageSnapshot) -> JsonObject {
+    let mut doc = JsonObject::new();
+    for (name, h) in stages.named() {
+        doc = doc.field(name, histogram_json(h));
+    }
+    doc
+}
+
+/// Summarize a stats-sampler series: sample count plus the peak of each gauge (the full
+/// series belongs in a `--samples` JSONL dump, not a BENCH record).
+pub fn samples_json(samples: &[StatsSample]) -> JsonObject {
+    JsonObject::new()
+        .field("count", samples.len())
+        .field(
+            "peak_ready_tasks",
+            samples.iter().map(|s| s.ready_tasks).max().unwrap_or(0),
+        )
+        .field(
+            "peak_intake_depth",
+            samples.iter().map(|s| s.intake_depth).max().unwrap_or(0),
+        )
+        .field(
+            "peak_busy_cores",
+            samples.iter().map(|s| s.busy_cores).max().unwrap_or(0),
+        )
+}
 
 /// Render one scenario report as an ordered JSON object.
 pub fn report_json(r: &ScenarioReport) -> JsonObject {
@@ -67,6 +112,12 @@ pub fn report_json(r: &ScenarioReport) -> JsonObject {
                 .field("counters", counters),
         );
     }
+    if let Some(stages) = &r.stages {
+        doc = doc.field("stages", stages_json(stages));
+    }
+    if !r.samples.is_empty() {
+        doc = doc.field("samples", samples_json(&r.samples));
+    }
     doc
 }
 
@@ -99,9 +150,21 @@ mod tests {
                 scheduler: "partitioned".into(),
                 counters: vec![("migrations".into(), 3.0)],
             }),
+            stages: Some(StageSnapshot::default()),
+            samples: vec![StatsSample {
+                at: Duration::from_micros(10),
+                ready_tasks: 5,
+                intake_depth: 1,
+                busy_cores: 2,
+                submits: 9,
+                grants: 8,
+            }],
             model: Some(ModelSel::BlEq),
         };
         let s = report_json(&r).render();
+        assert!(s.contains("\"stages\""), "{s}");
+        assert!(s.contains("\"wake\""), "{s}");
+        assert!(s.contains("\"peak_ready_tasks\": 5"), "{s}");
         assert!(s.contains("\"model\": \"bl-eq\""), "{s}");
         assert!(s.contains("\"p99_unit_s\": 0.006000"), "{s}");
         assert!(s.contains("\"mean_slowdown\": 1.500"), "{s}");

@@ -176,6 +176,18 @@ impl Usf {
         self.inner.nosv.metrics()
     }
 
+    /// Unified observability snapshot (counters + gauges + stage histograms). Takes the
+    /// scheduler lock once; see [`usf_nosv::StatsSnapshot`].
+    pub fn stats_snapshot(&self) -> usf_nosv::StatsSnapshot {
+        self.inner.nosv.stats_snapshot()
+    }
+
+    /// Start a background stats sampler on the shared scheduler (lock-free gauges only;
+    /// see [`usf_nosv::StatsSampler`]). Off unless called.
+    pub fn start_sampler(&self, period: std::time::Duration) -> usf_nosv::StatsSampler {
+        self.inner.nosv.start_sampler(period)
+    }
+
     /// Thread-cache statistics.
     pub fn thread_cache_stats(&self) -> ThreadCacheStats {
         self.inner.cache.stats()

@@ -136,6 +136,18 @@ impl NosvInstance {
         self.sched.metrics().snapshot()
     }
 
+    /// One unified stats observation — counters, gauges and stage-boundary latency
+    /// histograms (see [`crate::obs::StatsSnapshot`]).
+    pub fn stats_snapshot(&self) -> crate::obs::StatsSnapshot {
+        self.sched.stats_snapshot()
+    }
+
+    /// Start a background stats sampler with the given period (off unless called; see
+    /// [`crate::obs::StatsSampler`]).
+    pub fn start_sampler(&self, period: Duration) -> crate::obs::StatsSampler {
+        self.sched.start_sampler(period)
+    }
+
     /// Number of virtual cores managed by the instance.
     pub fn num_cores(&self) -> usize {
         self.sched.topology().num_cores()

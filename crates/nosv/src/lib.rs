@@ -64,6 +64,7 @@ pub mod faults;
 pub mod fuzz;
 pub mod instance;
 pub mod metrics;
+pub mod obs;
 pub mod policy;
 pub mod process;
 pub mod readyq;
@@ -77,6 +78,10 @@ pub use error::NosvError;
 pub use faults::{FaultPlan, FaultRecord, FaultSite, FaultSpec, FaultState};
 pub use instance::{NosvInstance, TaskHandle};
 pub use metrics::{MetricsSnapshot, SchedulerMetrics};
+pub use obs::{
+    GaugesSnapshot, Histogram, HistogramSnapshot, ProcessGauges, StageSnapshot, StageStats,
+    StatsRegistry, StatsSample, StatsSampler, StatsSnapshot,
+};
 pub use policy::{CoopPolicy, FifoPolicy, Policy, TaskMeta};
 pub use process::ProcessId;
 pub use readyq::{CoopCore, CoreMap, PickTier, ProcQueues, ReadyTime, TopologyView};

@@ -157,9 +157,46 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Total scheduling points observed (pauses + yields + timed waits + detaches).
+    /// Total scheduling points observed (pauses + yields + no-op yields + timed waits +
+    /// detaches).
     pub fn scheduling_points(&self) -> u64 {
         self.pauses + self.yields + self.yields_noop + self.waitfors + self.detaches
+    }
+
+    /// The counter increments between `prev` (an earlier snapshot of the same scheduler)
+    /// and `self`, field-wise and saturating — the one way every executor and bench
+    /// isolates a phase, instead of ad-hoc per-counter subtraction.
+    pub fn delta(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submits: self.submits.saturating_sub(prev.submits),
+            pending_wakeups: self.pending_wakeups.saturating_sub(prev.pending_wakeups),
+            redundant_submits: self
+                .redundant_submits
+                .saturating_sub(prev.redundant_submits),
+            intake_submits: self.intake_submits.saturating_sub(prev.intake_submits),
+            lock_acquisitions: self
+                .lock_acquisitions
+                .saturating_sub(prev.lock_acquisitions),
+            pauses: self.pauses.saturating_sub(prev.pauses),
+            pauses_elided: self.pauses_elided.saturating_sub(prev.pauses_elided),
+            yields: self.yields.saturating_sub(prev.yields),
+            yields_noop: self.yields_noop.saturating_sub(prev.yields_noop),
+            waitfors: self.waitfors.saturating_sub(prev.waitfors),
+            waitfor_timeouts: self.waitfor_timeouts.saturating_sub(prev.waitfor_timeouts),
+            attaches: self.attaches.saturating_sub(prev.attaches),
+            detaches: self.detaches.saturating_sub(prev.detaches),
+            grants: self.grants.saturating_sub(prev.grants),
+            affinity_hits: self.affinity_hits.saturating_sub(prev.affinity_hits),
+            numa_hits: self.numa_hits.saturating_sub(prev.numa_hits),
+            remote_grants: self.remote_grants.saturating_sub(prev.remote_grants),
+            process_rotations: self
+                .process_rotations
+                .saturating_sub(prev.process_rotations),
+            stalls_detected: self.stalls_detected.saturating_sub(prev.stalls_detected),
+            processes_killed: self.processes_killed.saturating_sub(prev.processes_killed),
+            tasks_reclaimed: self.tasks_reclaimed.saturating_sub(prev.tasks_reclaimed),
+            faults_injected: self.faults_injected.saturating_sub(prev.faults_injected),
+        }
     }
 }
 
@@ -185,6 +222,21 @@ mod tests {
     fn affinity_rate_none_without_grants() {
         let s = MetricsSnapshot::default();
         assert_eq!(s.affinity_hit_rate(), None);
+    }
+
+    #[test]
+    fn delta_is_fieldwise_and_saturating() {
+        let m = SchedulerMetrics::default();
+        SchedulerMetrics::inc(&m.submits);
+        let before = m.snapshot();
+        SchedulerMetrics::inc(&m.submits);
+        SchedulerMetrics::inc(&m.grants);
+        let d = m.snapshot().delta(&before);
+        assert_eq!(d.submits, 1);
+        assert_eq!(d.grants, 1);
+        assert_eq!(d.pauses, 0);
+        // Saturation: a "later" snapshot with smaller counters clamps at zero.
+        assert_eq!(before.delta(&m.snapshot()).submits, 0);
     }
 
     #[test]

@@ -76,6 +76,13 @@ pub trait Policy: Send {
     fn rotations(&self) -> u64 {
         0
     }
+
+    /// Per-process ready-queue depths as `(process, bound, unbound)` — the stats plane's
+    /// queue-depth gauges. Policies without per-process structure report nothing (the
+    /// default), and the gauges fall back to zero.
+    fn queue_depths(&self) -> Vec<(ProcessId, usize, usize)> {
+        Vec::new()
+    }
 }
 
 /// How a grant's placement relates to the task's preference; used for metrics.
@@ -191,6 +198,10 @@ impl Policy for CoopPolicy {
 
     fn rotations(&self) -> u64 {
         self.core.rotations()
+    }
+
+    fn queue_depths(&self) -> Vec<(ProcessId, usize, usize)> {
+        self.core.queue_depths()
     }
 }
 

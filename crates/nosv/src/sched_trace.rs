@@ -275,6 +275,412 @@ impl TraceRecorder {
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// JSONL interchange
+// ---------------------------------------------------------------------------------------
+//
+// A recorded schedule is exchanged between processes (the chaos bench records, the
+// `usf_trace` bin converts to Perfetto) as JSON Lines: one meta header line, then one
+// line per entry. Hand-rolled like the rest of the repo's JSON (no serde) and compiled
+// unconditionally — the *reader* side must work in builds without `sched-trace`.
+
+/// Serialize a recorded schedule as JSONL: a `{"type":"meta",...}` header line followed
+/// by one flat object per [`TraceEntry`]. The inverse of [`from_jsonl`].
+pub fn to_jsonl(meta: &TraceMeta, entries: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    let nodes: Vec<String> = meta.core_nodes.iter().map(|n| n.to_string()).collect();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"core_nodes\":[{}],\"quantum_nanos\":{},\"policy\":\"{}\"}}\n",
+        nodes.join(","),
+        meta.quantum_nanos,
+        meta.policy
+    ));
+    for e in entries {
+        out.push_str(&entry_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one entry as a flat JSON object (no trailing newline).
+fn entry_to_json(e: &TraceEntry) -> String {
+    let head = format!("{{\"step\":{},\"at_nanos\":{},", e.step, e.at_nanos);
+    let body = match &e.event {
+        TraceEvent::RegisterProcess { process } => {
+            format!("\"ev\":\"register\",\"process\":{process}")
+        }
+        TraceEvent::DeregisterProcess { process } => {
+            format!("\"ev\":\"deregister\",\"process\":{process}")
+        }
+        TraceEvent::SetDomain { process, cores } => match cores {
+            Some(cs) => {
+                let cs: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                format!(
+                    "\"ev\":\"set_domain\",\"process\":{process},\"cores\":[{}]",
+                    cs.join(",")
+                )
+            }
+            None => format!("\"ev\":\"set_domain\",\"process\":{process},\"cores\":null"),
+        },
+        TraceEvent::Submit { process, task } => {
+            format!("\"ev\":\"submit\",\"process\":{process},\"task\":{task}")
+        }
+        TraceEvent::IntakeDrain { n } => format!("\"ev\":\"intake_drain\",\"n\":{n}"),
+        TraceEvent::Enqueue {
+            process,
+            task,
+            preferred,
+        } => match preferred {
+            Some(p) => format!(
+                "\"ev\":\"enqueue\",\"process\":{process},\"task\":{task},\"preferred\":{p}"
+            ),
+            None => format!(
+                "\"ev\":\"enqueue\",\"process\":{process},\"task\":{task},\"preferred\":null"
+            ),
+        },
+        TraceEvent::Pop { core, tier, task } => {
+            let tier = match tier {
+                Some(PickTier::Aged) => "\"aged\"",
+                Some(PickTier::Affinity) => "\"affinity\"",
+                Some(PickTier::Node) => "\"node\"",
+                Some(PickTier::Remote) => "\"remote\"",
+                None => "null",
+            };
+            format!("\"ev\":\"pop\",\"core\":{core},\"tier\":{tier},\"task\":{task}")
+        }
+        TraceEvent::PopEmpty { core } => format!("\"ev\":\"pop_empty\",\"core\":{core}"),
+        TraceEvent::Grant {
+            task,
+            core,
+            immediate,
+        } => format!("\"ev\":\"grant\",\"task\":{task},\"core\":{core},\"immediate\":{immediate}"),
+        TraceEvent::Yield { task, core } => {
+            format!("\"ev\":\"yield\",\"task\":{task},\"core\":{core}")
+        }
+        TraceEvent::Migrate { task, from, to } => {
+            format!("\"ev\":\"migrate\",\"task\":{task},\"from\":{from},\"to\":{to}")
+        }
+        TraceEvent::FaultInjected { site, task } => {
+            let site = format!("{site:?}");
+            match task {
+                Some(t) => format!("\"ev\":\"fault\",\"site\":\"{site}\",\"task\":{t}"),
+                None => format!("\"ev\":\"fault\",\"site\":\"{site}\",\"task\":null"),
+            }
+        }
+        TraceEvent::Shutdown => "\"ev\":\"shutdown\"".to_string(),
+    };
+    format!("{head}{body}}}")
+}
+
+/// Parse a schedule serialized by [`to_jsonl`]. Returns a descriptive error naming the
+/// offending line on malformed input. Unknown `ev` values are an error (a trace from a
+/// newer writer should fail loudly, not silently drop events).
+pub fn from_jsonl(s: &str) -> Result<(TraceMeta, Vec<TraceEntry>), String> {
+    let mut meta: Option<TraceMeta> = None;
+    let mut entries = Vec::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = jsonl::parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if obj.get_str("type") == Some("meta") {
+            meta = Some(TraceMeta {
+                core_nodes: obj
+                    .get_array("core_nodes")
+                    .ok_or_else(|| format!("line {}: meta missing core_nodes", lineno + 1))?
+                    .iter()
+                    .map(|&n| n as usize)
+                    .collect(),
+                quantum_nanos: obj
+                    .get_u64("quantum_nanos")
+                    .ok_or_else(|| format!("line {}: meta missing quantum_nanos", lineno + 1))?,
+                policy: obj
+                    .get_str("policy")
+                    .ok_or_else(|| format!("line {}: meta missing policy", lineno + 1))?
+                    .to_string(),
+            });
+            continue;
+        }
+        let entry = entry_from_obj(&obj).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        entries.push(entry);
+    }
+    let meta = meta.ok_or_else(|| "missing meta header line".to_string())?;
+    Ok((meta, entries))
+}
+
+/// Decode one parsed flat object into a [`TraceEntry`].
+fn entry_from_obj(obj: &jsonl::FlatObject) -> Result<TraceEntry, String> {
+    let need = |k: &str| obj.get_u64(k).ok_or_else(|| format!("missing field {k:?}"));
+    let proc = |k: &str| need(k).map(|v| v as crate::process::ProcessId);
+    let step = need("step")?;
+    let at_nanos = need("at_nanos")?;
+    let ev = obj.get_str("ev").ok_or("missing field \"ev\"")?;
+    let event = match ev {
+        "register" => TraceEvent::RegisterProcess {
+            process: proc("process")?,
+        },
+        "deregister" => TraceEvent::DeregisterProcess {
+            process: proc("process")?,
+        },
+        "set_domain" => TraceEvent::SetDomain {
+            process: proc("process")?,
+            cores: obj
+                .get_array("cores")
+                .map(|cs| cs.iter().map(|&c| c as usize).collect()),
+        },
+        "submit" => TraceEvent::Submit {
+            process: proc("process")?,
+            task: need("task")?,
+        },
+        "intake_drain" => TraceEvent::IntakeDrain {
+            n: need("n")? as usize,
+        },
+        "enqueue" => TraceEvent::Enqueue {
+            process: proc("process")?,
+            task: need("task")?,
+            preferred: obj.get_u64("preferred").map(|p| p as usize),
+        },
+        "pop" => TraceEvent::Pop {
+            core: need("core")? as usize,
+            tier: match obj.get_str("tier") {
+                Some("aged") => Some(PickTier::Aged),
+                Some("affinity") => Some(PickTier::Affinity),
+                Some("node") => Some(PickTier::Node),
+                Some("remote") => Some(PickTier::Remote),
+                Some(other) => return Err(format!("unknown pick tier {other:?}")),
+                None => None,
+            },
+            task: need("task")?,
+        },
+        "pop_empty" => TraceEvent::PopEmpty {
+            core: need("core")? as usize,
+        },
+        "grant" => TraceEvent::Grant {
+            task: need("task")?,
+            core: need("core")? as usize,
+            immediate: obj.get_bool("immediate").unwrap_or(false),
+        },
+        "yield" => TraceEvent::Yield {
+            task: need("task")?,
+            core: need("core")? as usize,
+        },
+        "migrate" => TraceEvent::Migrate {
+            task: need("task")?,
+            from: need("from")? as usize,
+            to: need("to")? as usize,
+        },
+        "fault" => TraceEvent::FaultInjected {
+            site: parse_fault_site(obj.get_str("site").ok_or("fault missing site")?)?,
+            task: obj.get_u64("task"),
+        },
+        "shutdown" => TraceEvent::Shutdown,
+        other => return Err(format!("unknown event {other:?}")),
+    };
+    Ok(TraceEntry {
+        step,
+        at_nanos,
+        event,
+    })
+}
+
+/// Decode a `Debug`-rendered [`crate::faults::FaultSite`] name.
+fn parse_fault_site(s: &str) -> Result<crate::faults::FaultSite, String> {
+    crate::faults::FaultSite::ALL
+        .into_iter()
+        .find(|site| format!("{site:?}") == s)
+        .ok_or_else(|| format!("unknown fault site {s:?}"))
+}
+
+/// A minimal flat-JSON-object line parser: string, unsigned integer, bool, null and
+/// array-of-unsigned values — exactly the value shapes [`to_jsonl`] emits. Not a general
+/// JSON parser (no nesting, no floats, no escapes beyond `\"` and `\\`), by design: the
+/// repo carries no serde, and the trace interchange format is under our control.
+pub(crate) mod jsonl {
+    /// One parsed value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub(crate) enum Value {
+        Str(String),
+        U64(u64),
+        Bool(bool),
+        Null,
+        Array(Vec<u64>),
+    }
+
+    /// A parsed flat object: ordered `(key, value)` pairs.
+    #[derive(Debug)]
+    pub(crate) struct FlatObject(Vec<(String, Value)>);
+
+    impl FlatObject {
+        fn get(&self, key: &str) -> Option<&Value> {
+            self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        pub(crate) fn get_str(&self, key: &str) -> Option<&str> {
+            match self.get(key) {
+                Some(Value::Str(s)) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn get_u64(&self, key: &str) -> Option<u64> {
+            match self.get(key) {
+                Some(Value::U64(n)) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn get_bool(&self, key: &str) -> Option<bool> {
+            match self.get(key) {
+                Some(Value::Bool(b)) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn get_array(&self, key: &str) -> Option<&Vec<u64>> {
+            match self.get(key) {
+                Some(Value::Array(a)) => Some(a),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one `{...}` line into a [`FlatObject`].
+    pub(crate) fn parse_object(line: &str) -> Result<FlatObject, String> {
+        let mut p = Parser {
+            b: line.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut out = Vec::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.next();
+            return Ok(FlatObject(out));
+        }
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(FlatObject(out))
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn next(&mut self) -> Option<u8> {
+            let c = self.peek();
+            if c.is_some() {
+                self.i += 1;
+            }
+            c
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t')) {
+                self.i += 1;
+            }
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            match self.next() {
+                Some(got) if got == c => Ok(()),
+                got => Err(format!("expected {:?}, got {got:?}", c as char)),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.next() {
+                    Some(b'"') => return Ok(out),
+                    Some(b'\\') => match self.next() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    },
+                    Some(c) => out.push(c as char),
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<u64, String> {
+            let start = self.i;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+            if start == self.i {
+                return Err("expected digits".to_string());
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .map_err(|e| e.to_string())?
+                .parse()
+                .map_err(|e| format!("bad number: {e}"))
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'0'..=b'9') => Ok(Value::U64(self.number()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'[') => {
+                    self.i += 1;
+                    let mut arr = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                        return Ok(Value::Array(arr));
+                    }
+                    loop {
+                        self.skip_ws();
+                        arr.push(self.number()?);
+                        self.skip_ws();
+                        match self.next() {
+                            Some(b',') => continue,
+                            Some(b']') => break,
+                            other => return Err(format!("expected ',' or ']', got {other:?}")),
+                        }
+                    }
+                    Ok(Value::Array(arr))
+                }
+                other => Err(format!("unexpected value start {other:?}")),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(value)
+            } else {
+                Err(format!("expected literal {lit:?}"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +722,99 @@ mod tests {
         let past = Instant::now() - Duration::from_secs(1);
         rec.record_at(past, TraceEvent::Shutdown);
         assert_eq!(rec.snapshot()[0].at_nanos, 0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let meta = TraceMeta {
+            core_nodes: vec![0, 0, 1, 1],
+            quantum_nanos: 20_000_000,
+            policy: "sched_coop".to_string(),
+        };
+        let events = vec![
+            TraceEvent::RegisterProcess { process: 1 },
+            TraceEvent::SetDomain {
+                process: 1,
+                cores: Some(vec![0, 2]),
+            },
+            TraceEvent::SetDomain {
+                process: 1,
+                cores: None,
+            },
+            TraceEvent::Submit {
+                process: 1,
+                task: 7,
+            },
+            TraceEvent::IntakeDrain { n: 1 },
+            TraceEvent::Enqueue {
+                process: 1,
+                task: 7,
+                preferred: Some(2),
+            },
+            TraceEvent::Enqueue {
+                process: 1,
+                task: 8,
+                preferred: None,
+            },
+            TraceEvent::Pop {
+                core: 2,
+                tier: Some(PickTier::Affinity),
+                task: 7,
+            },
+            TraceEvent::Pop {
+                core: 3,
+                tier: None,
+                task: 8,
+            },
+            TraceEvent::PopEmpty { core: 0 },
+            TraceEvent::Grant {
+                task: 7,
+                core: 2,
+                immediate: false,
+            },
+            TraceEvent::Yield { task: 7, core: 2 },
+            TraceEvent::Migrate {
+                task: 8,
+                from: 2,
+                to: 3,
+            },
+            TraceEvent::FaultInjected {
+                site: crate::faults::FaultSite::WorkerStall,
+                task: Some(7),
+            },
+            TraceEvent::FaultInjected {
+                site: crate::faults::FaultSite::ShutdownRace,
+                task: None,
+            },
+            TraceEvent::DeregisterProcess { process: 1 },
+            TraceEvent::Shutdown,
+        ];
+        let entries: Vec<TraceEntry> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TraceEntry {
+                step: i as u64,
+                at_nanos: i as u64 * 1000,
+                event,
+            })
+            .collect();
+        let text = to_jsonl(&meta, &entries);
+        let (meta2, entries2) = from_jsonl(&text).expect("round trip parses");
+        assert_eq!(meta2, meta);
+        assert_eq!(entries2, entries);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_input() {
+        assert!(from_jsonl("").unwrap_err().contains("missing meta"));
+        let meta_line =
+            "{\"type\":\"meta\",\"core_nodes\":[0],\"quantum_nanos\":1,\"policy\":\"p\"}\n";
+        let bad_ev = format!("{meta_line}{{\"step\":0,\"at_nanos\":0,\"ev\":\"warp\"}}\n");
+        assert!(from_jsonl(&bad_ev).unwrap_err().contains("unknown event"));
+        let bad_json = format!("{meta_line}{{\"step\":0,,}}\n");
+        assert!(from_jsonl(&bad_json).unwrap_err().starts_with("line 2"));
+        let bad_site =
+            format!("{meta_line}{{\"step\":0,\"at_nanos\":0,\"ev\":\"fault\",\"site\":\"X\",\"task\":null}}\n");
+        assert!(from_jsonl(&bad_site).unwrap_err().contains("fault site"));
     }
 }

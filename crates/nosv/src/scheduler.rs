@@ -31,6 +31,7 @@ use crate::config::NosvConfig;
 use crate::error::{NosvError, Result};
 use crate::faults::FaultSite;
 use crate::metrics::SchedulerMetrics;
+use crate::obs::{GaugesSnapshot, ProcessGauges, StatsRegistry, StatsSample, StatsSnapshot};
 use crate::policy::{classify_placement, PlacementKind, Policy, TaskMeta};
 use crate::process::{ProcessId, ProcessInfo};
 use crate::sched_trace::TraceEvent;
@@ -118,6 +119,9 @@ enum CoreSlot {
 /// One node of the lock-free intake stack.
 struct IntakeNode {
     task: TaskRef,
+    /// When the submit published this node — the start of the submit→drain stage
+    /// histogram (`obs::StageStats::intake_wait`).
+    pushed_at: Instant,
     next: *mut IntakeNode,
 }
 
@@ -126,6 +130,9 @@ struct IntakeNode {
 /// so drains never race each other) and reverses it to restore submission order.
 struct Intake {
     head: AtomicPtr<IntakeNode>,
+    /// Approximate stack depth (relaxed adds around the CAS), read lock-free by the
+    /// stats plane. Never consulted by scheduling decisions.
+    len: AtomicUsize,
 }
 
 // SAFETY: the raw pointers only ever reference heap nodes owned by the stack; pushes are
@@ -137,13 +144,15 @@ impl Intake {
     fn new() -> Self {
         Intake {
             head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
         }
     }
 
     /// Publish a ready task. Lock-free: one allocation plus a CAS loop.
-    fn push(&self, task: TaskRef) {
+    fn push(&self, task: TaskRef, pushed_at: Instant) {
         let node = Box::into_raw(Box::new(IntakeNode {
             task,
+            pushed_at,
             next: ptr::null_mut(),
         }));
         let mut head = self.head.load(Ordering::SeqCst);
@@ -154,24 +163,35 @@ impl Intake {
                 .head
                 .compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::SeqCst)
             {
-                Ok(_) => return,
+                Ok(_) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 Err(h) => head = h,
             }
         }
     }
 
-    /// Take every queued task, oldest first.
-    fn drain(&self) -> Vec<TaskRef> {
+    /// Take every queued task, oldest first, each with its publish instant.
+    fn drain(&self) -> Vec<(TaskRef, Instant)> {
         let mut p = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
         let mut out = Vec::new();
         while !p.is_null() {
             // SAFETY: the swap transferred ownership of the whole list to us.
             let node = unsafe { Box::from_raw(p) };
-            out.push(node.task);
+            out.push((node.task, node.pushed_at));
             p = node.next;
+        }
+        if !out.is_empty() {
+            self.len.fetch_sub(out.len(), Ordering::Relaxed);
         }
         out.reverse();
         out
+    }
+
+    /// Approximate current depth (the intake-stack gauge).
+    fn depth(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
     }
 }
 
@@ -228,6 +248,9 @@ pub struct Scheduler {
     config: NosvConfig,
     state: Mutex<SchedState>,
     metrics: SchedulerMetrics,
+    /// Always-on observability plane: stage-boundary latency histograms and the snapshot
+    /// time base (see [`crate::obs`]). Recording never takes the scheduler lock.
+    stats: StatsRegistry,
     /// Lock-free submit intake (see the module documentation).
     intake: Intake,
     /// Number of idle core slots; maintained under the lock, read lock-free by `submit`
@@ -280,6 +303,7 @@ impl Scheduler {
                 stall_flagged: vec![false; cores],
             }),
             metrics: SchedulerMetrics::default(),
+            stats: StatsRegistry::new(cores),
             config,
             intake: Intake::new(),
             idle_cores: AtomicUsize::new(cores),
@@ -339,6 +363,92 @@ impl Scheduler {
     /// Scheduler metrics.
     pub fn metrics(&self) -> &SchedulerMetrics {
         &self.metrics
+    }
+
+    /// The always-on stats registry (stage-boundary histograms and the snapshot time
+    /// base). Most callers want [`Scheduler::stats_snapshot`] instead.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// One unified observation of the scheduler: cumulative counters, instantaneous
+    /// gauges (including per-process ready-queue depths) and the stage-boundary latency
+    /// histograms. Takes the scheduler lock briefly for the per-process gauges — an
+    /// observation tool, not a hot-path call (the lock acquisition shows up in
+    /// `lock_acquisitions` like any other).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let counters = self.metrics.snapshot();
+        let stages = self.stats.stages.snapshot();
+        let (live_tasks, processes) = {
+            let st = self.lock_state();
+            let mut running: HashMap<ProcessId, usize> = HashMap::new();
+            for slot in &st.cores {
+                if let CoreSlot::Busy(tid) = slot {
+                    if let Some(t) = st.tasks.get(tid) {
+                        *running.entry(t.process()).or_insert(0) += 1;
+                    }
+                }
+            }
+            let depths: HashMap<ProcessId, (usize, usize)> = st
+                .policy
+                .queue_depths()
+                .into_iter()
+                .map(|(p, bound, unbound)| (p, (bound, unbound)))
+                .collect();
+            let mut procs: Vec<ProcessGauges> = st
+                .processes
+                .values()
+                .map(|p| {
+                    let (bound, unbound) = depths.get(&p.id).copied().unwrap_or((0, 0));
+                    ProcessGauges {
+                        id: p.id,
+                        name: p.name.clone(),
+                        queued_bound: bound,
+                        queued_unbound: unbound,
+                        running: running.get(&p.id).copied().unwrap_or(0),
+                    }
+                })
+                .collect();
+            procs.sort_by_key(|p| p.id);
+            (st.tasks.len(), procs)
+        };
+        StatsSnapshot {
+            at: self.stats.elapsed(),
+            counters,
+            gauges: GaugesSnapshot {
+                ready_tasks: self.ready_count(),
+                intake_depth: self.intake.depth(),
+                busy_cores: self.busy_cores(),
+                idle_cores: self.idle_cores.load(Ordering::SeqCst),
+                live_tasks,
+                processes,
+            },
+            stages,
+        }
+    }
+
+    /// One lock-free time-series point (the sampler's per-tick read): atomic gauges and
+    /// two cumulative counters only, so sampling never perturbs the schedule.
+    pub fn sample(&self) -> StatsSample {
+        StatsSample {
+            at: self.stats.elapsed(),
+            ready_tasks: self.ready_count(),
+            intake_depth: self.intake.depth(),
+            busy_cores: self.busy_cores(),
+            submits: self.metrics.submits.load(Ordering::Relaxed),
+            grants: self.metrics.grants.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Start a background sampler appending one [`StatsSample`] every `period`. Off by
+    /// default — nothing samples unless a harness asks; stop (and collect) with
+    /// [`crate::obs::StatsSampler::stop`].
+    pub fn start_sampler(
+        self: &std::sync::Arc<Self>,
+        period: Duration,
+    ) -> crate::obs::StatsSampler {
+        let sched = std::sync::Arc::clone(self);
+        crate::obs::StatsSampler::start(period, move || sched.sample())
     }
 
     /// Name of the installed policy.
@@ -571,31 +681,35 @@ impl Scheduler {
     pub fn attach(&self, task: &TaskRef) {
         SchedulerMetrics::inc(&self.metrics.attaches);
         self.submit(task);
-        let _ = task.wait_grant();
+        let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
     }
 
-    /// Mark the task ready in its grant slot. Returns `false` if nothing more to do (task
-    /// released, already queued, or wake-up counted against a held core).
-    fn mark_ready(&self, task: &TaskRef) -> bool {
+    /// Mark the task ready in its grant slot. Returns the instant the task turned ready
+    /// (the start of the wake-latency stage, stamped into the slot for the grant to
+    /// consume), or `None` if nothing more to do (task released, already queued, or
+    /// wake-up counted against a held core).
+    fn mark_ready(&self, task: &TaskRef) -> Option<Instant> {
         let mut g = task.grant.lock();
         if g.released {
-            return false;
+            return None;
         }
         if g.granted.is_some() {
             // The task still holds a core (it has not reached its pause yet): count the
             // wake-up so the upcoming pause returns immediately (nOS-V event counter).
             g.pending_wakeups += 1;
             SchedulerMetrics::inc(&self.metrics.pending_wakeups);
-            return false;
+            return None;
         }
         if g.queued {
             // Already sitting in the ready queues; nothing to do.
             SchedulerMetrics::inc(&self.metrics.redundant_submits);
-            return false;
+            return None;
         }
+        let now = Instant::now();
         g.queued = true;
         g.state = TaskState::Ready;
-        true
+        g.ready_at = Some(now);
+        Some(now)
     }
 
     /// Make a task ready. If an idle core exists it is granted immediately (honouring
@@ -641,19 +755,19 @@ impl Scheduler {
     /// The submit body proper (after the fault sites, so an injected duplicate delivery
     /// does not re-consult the plan and cascade).
     fn submit_inner(&self, task: &TaskRef) {
-        if !self.mark_ready(task) {
+        let Some(now) = self.mark_ready(task) else {
             return;
-        }
+        };
         trace_event!(
             self,
-            Instant::now(),
+            now,
             TraceEvent::Submit {
                 process: task.process(),
                 task: task.id(),
             }
         );
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
-        self.intake.push(TaskRef::clone(task));
+        self.intake.push(TaskRef::clone(task), now);
         SchedulerMetrics::inc(&self.metrics.intake_submits);
         // SeqCst pairs with `mark_idle`: if a core went idle before our push became
         // visible to its drain, we observe `idle_cores > 0` here and place the task
@@ -680,12 +794,12 @@ impl Scheduler {
     /// intake stack existed.
     pub fn submit_locked(&self, task: &TaskRef) {
         SchedulerMetrics::inc(&self.metrics.submits);
-        if !self.mark_ready(task) {
+        let Some(now) = self.mark_ready(task) else {
             return;
-        }
+        };
         trace_event!(
             self,
-            Instant::now(),
+            now,
             TraceEvent::Submit {
                 process: task.process(),
                 task: task.id(),
@@ -755,11 +869,13 @@ impl Scheduler {
         }
         SchedulerMetrics::inc(&self.metrics.pauses);
         SchedulerMetrics::inc(&task.stats.blocks);
+        let off_core = Instant::now();
         if let Some(core) = released {
             let mut st = self.lock_state();
             self.release_core(&mut st, core);
         }
-        let _ = task.wait_grant();
+        let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
+        self.stats.stages.pause_block.record(off_core.elapsed());
     }
 
     /// Timed block: like [`Scheduler::pause`], but if no submit arrives within `timeout` the
@@ -782,21 +898,24 @@ impl Scheduler {
             g.state = TaskState::Blocked;
         }
         SchedulerMetrics::inc(&task.stats.blocks);
+        let off_core = Instant::now();
         if let Some(core) = released {
             let mut st = self.lock_state();
             self.release_core(&mut st, core);
         }
-        let deadline = Instant::now() + timeout;
-        match task.wait_grant_until(deadline) {
+        let deadline = off_core + timeout;
+        let outcome = match task.wait_grant_until_observed(deadline, &self.stats.stages.dispatch) {
             Some(_) => WaitOutcome::Woken,
             None => {
                 // Timed out without being woken: resubmit ourselves and wait for a core.
                 SchedulerMetrics::inc(&self.metrics.waitfor_timeouts);
                 self.submit(task);
-                let _ = task.wait_grant();
+                let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
                 WaitOutcome::TimedOut
             }
-        }
+        };
+        self.stats.stages.pause_block.record(off_core.elapsed());
+        outcome
     }
 
     /// Voluntarily give the core to another ready task, requeueing the caller at the tail of
@@ -843,6 +962,7 @@ impl Scheduler {
             g.granted = None;
             g.queued = true;
             g.state = TaskState::Ready;
+            g.ready_at = Some(now);
         }
         // A voluntary yield surrenders the affinity claim: requeueing with the last-ran
         // core as preference would put the yielder in that core's queue, where
@@ -878,7 +998,9 @@ impl Scheduler {
         drop(st);
         SchedulerMetrics::inc(&self.metrics.yields);
         SchedulerMetrics::inc(&task.stats.yields);
-        let _ = task.wait_grant();
+        let off_core = Instant::now();
+        let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
+        self.stats.stages.yield_block.record(off_core.elapsed());
         true
     }
 
@@ -943,7 +1065,7 @@ impl Scheduler {
             (tasks, self.intake.drain())
         };
         self.ready_tasks.store(0, Ordering::SeqCst);
-        for t in tasks.iter().chain(queued.iter()) {
+        for t in tasks.iter().chain(queued.iter().map(|(t, _)| t)) {
             let mut g = t.grant.lock();
             g.released = true;
             t.grant_cv.notify_all();
@@ -1052,6 +1174,17 @@ impl Scheduler {
         );
         task.record_core(core);
         let mut g = task.grant.lock();
+        let now = Instant::now();
+        // Close the enqueue→grant (wake-latency) stage and open grant→first-run
+        // (dispatch): both are lock-free histogram records — the scheduler lock is
+        // already held here, and no *additional* lock is taken.
+        if let Some(ready_at) = g.ready_at.take() {
+            self.stats
+                .stages
+                .wake
+                .record(now.saturating_duration_since(ready_at));
+        }
+        g.dispatched_at = Some(now);
         g.granted = Some(core);
         g.queued = false;
         g.state = TaskState::Running;
@@ -1111,14 +1244,17 @@ impl Scheduler {
     fn drain_intake_forced(&self, st: &mut SchedState) -> usize {
         let drained = self.intake.drain();
         let n = drained.len();
-        if !drained.is_empty() {
-            trace_event!(
-                self,
-                Instant::now(),
-                TraceEvent::IntakeDrain { n: drained.len() }
-            );
+        if drained.is_empty() {
+            return 0;
         }
-        for task in drained {
+        let now = Instant::now();
+        trace_event!(self, now, TraceEvent::IntakeDrain { n });
+        for (task, pushed_at) in drained {
+            // Close the submit→drain stage: how long the wake-up sat in the intake.
+            self.stats
+                .stages
+                .intake_wait
+                .record(now.saturating_duration_since(pushed_at));
             if st.shutdown || !st.tasks.contains_key(&task.id()) {
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
                 continue;

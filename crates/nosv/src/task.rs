@@ -64,6 +64,12 @@ pub(crate) struct GrantSlot {
     /// the task runs as a plain OS thread. Used on scheduler shutdown as a safety valve so
     /// an application bug can never leave threads parked forever.
     pub released: bool,
+    /// When the task last turned ready (set by `mark_ready`/yield-requeue, consumed by the
+    /// grant): the start of the enqueue→grant (wake-latency) stage histogram.
+    pub ready_at: Option<Instant>,
+    /// When the current grant was published (set by the grant, consumed by the woken
+    /// worker): the start of the grant→first-run (dispatch-latency) stage histogram.
+    pub dispatched_at: Option<Instant>,
 }
 
 /// Per-task counters (diagnostics).
@@ -107,6 +113,8 @@ impl Task {
                 pending_wakeups: 0,
                 state: TaskState::Created,
                 released: false,
+                ready_at: None,
+                dispatched_at: None,
             }),
             grant_cv: Condvar::new(),
             created_at: Instant::now(),
@@ -161,7 +169,9 @@ impl Task {
 
     /// Wait (blocking the calling OS thread) until the scheduler grants this task a core, or
     /// until the task is released from scheduler control. Returns the granted core, or
-    /// `None` if released.
+    /// `None` if released. Production paths wait through [`Task::wait_grant_observed`] so
+    /// the dispatch-latency stage is recorded; this unrecorded variant serves the tests.
+    #[cfg(test)]
     pub(crate) fn wait_grant(&self) -> Option<CoreId> {
         let mut g = self.grant.lock();
         loop {
@@ -175,9 +185,30 @@ impl Task {
         }
     }
 
+    /// [`Task::wait_grant`] that additionally records the grant→first-run (dispatch)
+    /// latency into `dispatch` when the grant stamped one: the elapsed time between the
+    /// scheduler publishing the grant and this worker observing it. The scheduler's
+    /// blocking scheduling points all wait through this variant.
+    pub(crate) fn wait_grant_observed(&self, dispatch: &crate::obs::Histogram) -> Option<CoreId> {
+        let mut g = self.grant.lock();
+        loop {
+            if let Some(core) = g.granted {
+                if let Some(t0) = g.dispatched_at.take() {
+                    dispatch.record(t0.elapsed());
+                }
+                return Some(core);
+            }
+            if g.released {
+                return None;
+            }
+            self.grant_cv.wait(&mut g);
+        }
+    }
+
     /// Timed variant of [`Task::wait_grant`]: waits until `deadline`. Returns `Some(core)` if
     /// granted (or `None` inside `Some` semantics is not needed — released counts as granted
-    /// for the caller), `None` on timeout.
+    /// for the caller), `None` on timeout. Test-only, like [`Task::wait_grant`].
+    #[cfg(test)]
     pub(crate) fn wait_grant_until(&self, deadline: Instant) -> Option<Option<CoreId>> {
         let mut g = self.grant.lock();
         loop {
@@ -191,6 +222,39 @@ impl Task {
                 // Re-check the predicate one final time: the grant may have arrived between
                 // the timeout and re-acquiring the lock.
                 if let Some(core) = g.granted {
+                    return Some(Some(core));
+                }
+                if g.released {
+                    return Some(None);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// [`Task::wait_grant_until`] with dispatch-latency recording (see
+    /// [`Task::wait_grant_observed`]).
+    pub(crate) fn wait_grant_until_observed(
+        &self,
+        deadline: Instant,
+        dispatch: &crate::obs::Histogram,
+    ) -> Option<Option<CoreId>> {
+        let mut g = self.grant.lock();
+        loop {
+            if let Some(core) = g.granted {
+                if let Some(t0) = g.dispatched_at.take() {
+                    dispatch.record(t0.elapsed());
+                }
+                return Some(Some(core));
+            }
+            if g.released {
+                return Some(None);
+            }
+            if self.grant_cv.wait_until(&mut g, deadline).timed_out() {
+                if let Some(core) = g.granted {
+                    if let Some(t0) = g.dispatched_at.take() {
+                        dispatch.record(t0.elapsed());
+                    }
                     return Some(Some(core));
                 }
                 if g.released {

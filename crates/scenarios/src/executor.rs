@@ -271,6 +271,8 @@ fn collect_outcomes(
         total_makespan: total,
         processes,
         sched,
+        stages: None,
+        samples: Vec::new(),
         model: None,
     }
 }
@@ -324,6 +326,9 @@ pub struct UsfExecutor {
     /// [`Topology::detect`] (which honours `USF_NUMA_NODES`). Placement lowers over this
     /// layout.
     pub numa_nodes: Option<usize>,
+    /// When set, a background stats sampler runs for the scenario at this period and the
+    /// collected series lands in [`ScenarioReport::samples`]. Off by default.
+    pub sample_period: Option<Duration>,
 }
 
 impl UsfExecutor {
@@ -336,6 +341,13 @@ impl UsfExecutor {
     /// of the §5.6 placement variants.
     pub fn numa_nodes(mut self, nodes: usize) -> Self {
         self.numa_nodes = Some(nodes.max(1));
+        self
+    }
+
+    /// Run scenarios with a background stats sampler at `period` (builder style): the
+    /// sampled gauge series lands in [`ScenarioReport::samples`].
+    pub fn sample_period(mut self, period: Duration) -> Self {
+        self.sample_period = Some(period);
         self
     }
 }
@@ -384,7 +396,8 @@ impl Executor for UsfExecutor {
             });
             (stop, handle)
         });
-        let before = usf.metrics();
+        let before = usf.stats_snapshot();
+        let sampler = self.sample_period.map(|period| usf.start_sampler(period));
         let epoch = Instant::now();
         let handles: Vec<_> = plan
             .procs
@@ -425,10 +438,12 @@ impl Executor for UsfExecutor {
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
             let _ = handle.join();
         }
-        let after = usf.metrics();
+        let after = usf.stats_snapshot();
+        let samples = sampler.map(|s| s.stop()).unwrap_or_default();
         usf.shutdown();
+        let stats_delta = after.delta(&before);
         #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
-        let mut delta = usf_sched_delta(&before, &after);
+        let mut delta = usf_sched_delta(&stats_delta.counters);
         // Per-site ground truth for chaos oracles: how often each armed scheduler-level
         // site actually fired (e.g. `stalls_detected >= fault_fires_worker_stall`).
         #[cfg(feature = "fault-inject")]
@@ -442,54 +457,34 @@ impl Executor for UsfExecutor {
                 }
             }
         }
-        collect_outcomes(&plan, runs, total, &spec.name, self.label(), Some(delta))
+        let mut report =
+            collect_outcomes(&plan, runs, total, &spec.name, self.label(), Some(delta));
+        report.stages = Some(stats_delta.stages);
+        report.samples = samples;
+        report
     }
 }
 
-/// Scheduler-metrics delta of a USF run.
-fn usf_sched_delta(before: &MetricsSnapshot, after: &MetricsSnapshot) -> SchedDelta {
-    let d = |b: u64, a: u64| (a - b) as f64;
+/// Scheduler-metrics delta of a USF run, from an already-computed
+/// [`MetricsSnapshot::delta`] interval.
+fn usf_sched_delta(d: &MetricsSnapshot) -> SchedDelta {
     SchedDelta {
         scheduler: "sched_coop".to_string(),
         counters: vec![
-            ("submits".into(), d(before.submits, after.submits)),
-            ("grants".into(), d(before.grants, after.grants)),
-            ("yields".into(), d(before.yields, after.yields)),
-            (
-                "yields_noop".into(),
-                d(before.yields_noop, after.yields_noop),
-            ),
-            ("pauses".into(), d(before.pauses, after.pauses)),
-            ("attaches".into(), d(before.attaches, after.attaches)),
-            (
-                "affinity_hits".into(),
-                d(before.affinity_hits, after.affinity_hits),
-            ),
-            (
-                "process_rotations".into(),
-                d(before.process_rotations, after.process_rotations),
-            ),
-            (
-                "lock_acquisitions".into(),
-                d(before.lock_acquisitions, after.lock_acquisitions),
-            ),
+            ("submits".into(), d.submits as f64),
+            ("grants".into(), d.grants as f64),
+            ("yields".into(), d.yields as f64),
+            ("yields_noop".into(), d.yields_noop as f64),
+            ("pauses".into(), d.pauses as f64),
+            ("attaches".into(), d.attaches as f64),
+            ("affinity_hits".into(), d.affinity_hits as f64),
+            ("process_rotations".into(), d.process_rotations as f64),
+            ("lock_acquisitions".into(), d.lock_acquisitions as f64),
             // Robustness counters: zero on clean runs, non-zero under the fault plane.
-            (
-                "faults_injected".into(),
-                d(before.faults_injected, after.faults_injected),
-            ),
-            (
-                "processes_killed".into(),
-                d(before.processes_killed, after.processes_killed),
-            ),
-            (
-                "tasks_reclaimed".into(),
-                d(before.tasks_reclaimed, after.tasks_reclaimed),
-            ),
-            (
-                "stalls_detected".into(),
-                d(before.stalls_detected, after.stalls_detected),
-            ),
+            ("faults_injected".into(), d.faults_injected as f64),
+            ("processes_killed".into(), d.processes_killed as f64),
+            ("tasks_reclaimed".into(), d.tasks_reclaimed as f64),
+            ("stalls_detected".into(), d.stalls_detected as f64),
         ],
     }
 }

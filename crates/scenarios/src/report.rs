@@ -82,6 +82,13 @@ pub struct ScenarioReport {
     pub processes: Vec<ProcessOutcome>,
     /// Scheduler metrics delta over the run, when the stack exposes one.
     pub sched: Option<SchedDelta>,
+    /// Per-stage latency histograms (submit→drain, enqueue→grant, grant→first-run,
+    /// pause/yield off-core) as a delta over the run — USF executor only; `None` on
+    /// stacks without the observability plane.
+    pub stages: Option<usf_nosv::StageSnapshot>,
+    /// Background stats-sampler series when the run opted into one (see
+    /// [`crate::UsfExecutor::sample_period`]); empty otherwise.
+    pub samples: Vec<usf_nosv::StatsSample>,
     /// Which [`ModelSel`] of the spec's model matrix produced this report (`None` for the
     /// real stacks, whose scheduling model is fixed by the executor).
     pub model: Option<ModelSel>,
@@ -199,6 +206,8 @@ mod tests {
             total_makespan: Duration::from_millis(40),
             processes: vec![outcome("a", 20, 4), outcome("b", 40, 4)],
             sched: None,
+            stages: None,
+            samples: Vec::new(),
             model: None,
         }
     }
@@ -278,6 +287,8 @@ mod tests {
             total_makespan: Duration::ZERO,
             processes: Vec::new(),
             sched: None,
+            stages: None,
+            samples: Vec::new(),
             model: None,
         };
         assert!(empty.jain_fairness().is_finite());

@@ -353,6 +353,8 @@ impl SimExecutor {
                     ),
                 ],
             }),
+            stages: None,
+            samples: Vec::new(),
         }
     }
 }
