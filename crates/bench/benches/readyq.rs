@@ -1,10 +1,12 @@
 //! Microbenchmarks of the unified SCHED_COOP ready-queue (`usf_nosv::readyq`): the cost of
 //! `pop_for` across its tiers (affinity hit, NUMA-tier steal, aged-valve service) at the
-//! paper's 112-core scale, which is where the seed's O(cores) oldest-head scans hurt.
+//! paper's 112-core scale — where the seed's O(cores) oldest-head scans hurt — plus
+//! 224/448-core points tracking the per-node-shard scaling work, and a flat-vs-sharded
+//! comparison of the affinity hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
-use usf_nosv::readyq::{CoreMap, ProcQueues};
+use usf_nosv::readyq::{CoreMap, ProcQueues, ReadyQueues, ShardedProcQueues};
 use usf_nosv::Topology;
 
 const AGING: u64 = 20_000_000; // 20 ms in nanoseconds, the paper's quantum
@@ -17,7 +19,7 @@ fn map(cores: usize) -> Arc<CoreMap> {
 /// hot path of a saturated dispatch loop.
 fn bench_affinity_hit(c: &mut Criterion) {
     let mut group = c.benchmark_group("readyq_pop_for/affinity_hit");
-    for &cores in &[8usize, 112] {
+    for &cores in &[8usize, 112, 224, 448] {
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
             let mut q: ProcQueues<u64, u64> = ProcQueues::new(map(cores));
             // Populate every per-core queue plus some unbound backlog.
@@ -46,7 +48,7 @@ fn bench_affinity_hit(c: &mut Criterion) {
 /// node heap (the seed scanned all same-node heads linearly here).
 fn bench_node_steal(c: &mut Criterion) {
     let mut group = c.benchmark_group("readyq_pop_for/node_steal");
-    for &cores in &[8usize, 112] {
+    for &cores in &[8usize, 112, 224, 448] {
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
             let mut q: ProcQueues<u64, u64> = ProcQueues::new(map(cores));
             let mut now = 0u64;
@@ -73,7 +75,7 @@ fn bench_node_steal(c: &mut Criterion) {
 /// window serves the global oldest (the seed's O(cores) full scan, now a heap peek).
 fn bench_aged_valve(c: &mut Criterion) {
     let mut group = c.benchmark_group("readyq_pop_for/aged_valve");
-    for &cores in &[8usize, 112] {
+    for &cores in &[8usize, 112, 224, 448] {
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
             let mut q: ProcQueues<u64, u64> = ProcQueues::new(map(cores));
             let mut seq = 0u64;
@@ -96,10 +98,44 @@ fn bench_aged_valve(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded backing's steady-state affinity hit: same workload as
+/// `bench_affinity_hit`, but through `ShardedProcQueues` — one shared-lock touch for the
+/// seq stamp plus one shard-lock touch, both uncontended here. Costs must stay within a
+/// small constant of the flat queues at every sweep point, or the shard split is paying
+/// for scalability it does not deliver.
+fn bench_affinity_hit_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readyq_pop_for/affinity_hit_sharded");
+    for &cores in &[8usize, 112, 224, 448] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+            let mut q: ShardedProcQueues<u64, u64> = ShardedProcQueues::new(map(cores));
+            let mut now = 0u64;
+            for i in 0..(cores as u64 * 8) {
+                q.push(i, Some((i as usize) % cores), now);
+                now += 1;
+            }
+            for i in 0..64 {
+                q.push(u64::MAX - i, None, now);
+            }
+            let mut core = 0usize;
+            b.iter(|| {
+                core = (core + 1) % cores;
+                now += 100;
+                let (item, _) = q
+                    .pop_for_tiered(core, now, AGING)
+                    .expect("queues stay populated");
+                q.push(item, Some(core), now);
+                criterion::black_box(item)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_affinity_hit,
     bench_node_steal,
-    bench_aged_valve
+    bench_aged_valve,
+    bench_affinity_hit_sharded
 );
 criterion_main!(benches);

@@ -18,9 +18,12 @@
 //!   not lock-bound, which is exactly the paper's point that scheduling-point overhead is
 //!   not the limiter.
 //!
-//! `--smoke` (used by CI) shrinks both runs and first executes a deterministic regression
+//! `--smoke` (used by CI) shrinks both runs, first executes a deterministic regression
 //! sentinel that panics if a submit to a fully busy system ever acquires the scheduler
-//! lock.
+//! lock, and gates on wake churn: the intake path must hold both grants/s ≥ and wake
+//! p99 ≤ the locked baseline (within a small noise margin), so the grant-hand-off
+//! convoy — notifying the grant condvar with the scheduler lock still held — can never
+//! silently return.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -289,9 +292,11 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
                     let task = &mine[i % mine.len()];
                     i += 1;
                     // Only wake partners that actually blocked: every submit is then a
-                    // real wake-up rather than a counted or redundant one.
+                    // real wake-up rather than a counted or redundant one. Yield, don't
+                    // spin: the partner needs CPU to reach its pause, and on hosts with
+                    // fewer CPUs than churn threads a busy-wait here starves it.
                     if task.state() != TaskState::Blocked {
-                        std::hint::spin_loop();
+                        std::thread::yield_now();
                         continue;
                     }
                     if locked {
@@ -347,6 +352,58 @@ fn fastpath_sentinel() {
     assert_eq!(sched.ready_count(), waiters.len());
     sched.shutdown();
     println!("fast-path sentinel: OK (64 saturated submits, 0 lock acquisitions)");
+}
+
+/// Run the churn phase `rounds` times (at least 5) and merge the runs into one
+/// aggregate: counts and elapsed time sum, stage histograms merge bucket-wise. A single
+/// churn window on a busy host flips between adjacent log2 histogram buckets, and one
+/// lucky window — e.g. a locked baseline where every grant happened to land
+/// synchronously — should not decide the gate either way; percentiles over the pooled
+/// samples are what the gate and `BENCH_sched.json` report.
+fn churn_phase_merged(cfg: &Cfg, locked: bool) -> ChurnStats {
+    let mut merged: Option<ChurnStats> = None;
+    for _ in 0..cfg.rounds.max(5) {
+        let run = churn_phase(cfg, locked);
+        match &mut merged {
+            None => merged = Some(run),
+            Some(m) => {
+                m.wakeups += run.wakeups;
+                m.grants += run.grants;
+                m.elapsed_s += run.elapsed_s;
+                m.stages.merge(&run.stages);
+            }
+        }
+    }
+    merged.expect("at least one churn round")
+}
+
+/// `--smoke` wake-churn gate: the intake path must beat the locked baseline on both
+/// end-to-end grants/s and wake p99. The p99 values come out of log₂ histograms, so
+/// their natural resolution is one bucket (a factor of two): the gate allows the intake
+/// p99 to sit at most one bucket above the baseline's and fails on anything beyond
+/// that. The convoy regression this pins (grant-slot condvar notified under the held
+/// scheduler lock, so every woken worker immediately contended with its waker) blows
+/// the wake tail by orders of magnitude under real multi-core contention — far outside
+/// one bucket.
+fn wake_churn_gate(churn: &ChurnStats, baseline: &ChurnStats) {
+    const RATE_MARGIN: f64 = 0.10;
+    let rate = churn.grants as f64 / churn.elapsed_s.max(1e-9);
+    let base_rate = baseline.grants as f64 / baseline.elapsed_s.max(1e-9);
+    assert!(
+        rate >= base_rate * (1.0 - RATE_MARGIN),
+        "wake-churn gate: intake grants/s ({rate:.0}) fell below the locked baseline ({base_rate:.0})"
+    );
+    let p99 = churn.wake_p99_ns();
+    let base_p99 = baseline.wake_p99_ns();
+    // Bucket index of a log₂-histogram percentile: values are reported as 2^k - 1.
+    let bucket = |ns: u64| 64 - ns.saturating_add(1).leading_zeros();
+    assert!(
+        bucket(p99) <= bucket(base_p99) + 1,
+        "wake-churn gate: wake p99 ({p99} ns) exceeds the locked baseline ({base_p99} ns) by more than one histogram bucket"
+    );
+    println!(
+        "wake-churn gate: OK ({rate:.0} grants/s vs baseline {base_rate:.0}, wake p99 {p99} ns vs {base_p99} ns)"
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -479,7 +536,7 @@ fn main() {
         Some(rate)
     };
 
-    let churn = churn_phase(&cfg, false);
+    let churn = churn_phase_merged(&cfg, false);
     println!(
         "  churn: {:>12.0} wakeups/s  {:>9.0} grants/s  wake p50 {:>5} ns  p99 {:>6} ns",
         churn.wakeups as f64 / churn.elapsed_s.max(1e-9),
@@ -501,7 +558,7 @@ fn main() {
     let churn_baseline = if args.has("--no-baseline") {
         None
     } else {
-        let b = churn_phase(&cfg, true);
+        let b = churn_phase_merged(&cfg, true);
         println!(
             "  churn (locked): {:>4.0} wakeups/s  {:>9.0} grants/s  wake p50 {:>5} ns  p99 {:>6} ns",
             b.wakeups as f64 / b.elapsed_s.max(1e-9),
@@ -511,6 +568,12 @@ fn main() {
         );
         Some(b)
     };
+
+    if smoke {
+        if let Some(b) = &churn_baseline {
+            wake_churn_gate(&churn, b);
+        }
+    }
 
     write_json(
         &json_path,

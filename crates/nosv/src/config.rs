@@ -1,6 +1,6 @@
 //! Scheduler configuration.
 
-use crate::policy::{CoopPolicy, FifoPolicy, Policy};
+use crate::policy::{CoopPolicy, FifoPolicy, Policy, ShardedCoopPolicy};
 use crate::topology::Topology;
 use std::fmt;
 use std::sync::Arc;
@@ -15,6 +15,10 @@ pub enum PolicyKind {
     /// The paper's SCHED_COOP selection rule: per-process per-core FIFO queues, affinity →
     /// NUMA → anywhere placement, per-process quantum evaluated at scheduling points.
     Coop,
+    /// SCHED_COOP over the per-NUMA-node sharded ready-queue backing: identical pick
+    /// sequences (pinned by the `readyq_equivalence` tests), but queue storage split into
+    /// per-node shards with cross-shard stealing only on local exhaustion.
+    CoopSharded,
     /// A single global FIFO ignoring affinity and process quanta. Used as an ablation of the
     /// locality-aware design and as an example of a user-defined policy.
     Fifo,
@@ -26,6 +30,7 @@ impl fmt::Debug for PolicyKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PolicyKind::Coop => write!(f, "Coop"),
+            PolicyKind::CoopSharded => write!(f, "CoopSharded"),
             PolicyKind::Fifo => write!(f, "Fifo"),
             PolicyKind::Custom(_) => write!(f, "Custom(..)"),
         }
@@ -37,6 +42,10 @@ impl PolicyKind {
     pub fn build(&self, config: &NosvConfig) -> Box<dyn Policy> {
         match self {
             PolicyKind::Coop => Box::new(CoopPolicy::new(
+                config.topology.clone(),
+                config.process_quantum,
+            )),
+            PolicyKind::CoopSharded => Box::new(ShardedCoopPolicy::new(
                 config.topology.clone(),
                 config.process_quantum,
             )),
@@ -136,6 +145,10 @@ mod tests {
     fn policy_kind_builds_expected_policies() {
         let cfg = NosvConfig::with_cores(2);
         assert_eq!(PolicyKind::Coop.build(&cfg).name(), "sched_coop");
+        assert_eq!(
+            PolicyKind::CoopSharded.build(&cfg).name(),
+            "sched_coop_sharded"
+        );
         assert_eq!(PolicyKind::Fifo.build(&cfg).name(), "fifo");
         let custom = PolicyKind::Custom(Arc::new(|_cfg: &NosvConfig| {
             Box::new(FifoPolicy::new()) as Box<dyn Policy>

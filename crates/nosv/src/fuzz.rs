@@ -68,6 +68,10 @@ pub struct FuzzConfig {
     pub allow_shutdown: bool,
     /// Bias generation towards domain pin/unpin churn.
     pub pin_bias: bool,
+    /// Install the per-NUMA-node sharded ready-queue backing
+    /// ([`crate::config::PolicyKind::CoopSharded`]) instead of the flat one. Pick
+    /// sequences are specified to be identical, so every oracle holds unchanged.
+    pub sharded: bool,
 }
 
 impl FuzzConfig {
@@ -83,6 +87,7 @@ impl FuzzConfig {
             ops: 64,
             allow_shutdown: false,
             pin_bias: false,
+            sharded: false,
         }
     }
 
@@ -111,6 +116,28 @@ impl FuzzConfig {
     pub fn domain_heavy() -> Self {
         FuzzConfig {
             pin_bias: true,
+            ..Self::base()
+        }
+    }
+
+    /// [`FuzzConfig::base`] over the per-node sharded ready queues, with shutdown
+    /// interleavings allowed: same invariants, sharded storage.
+    pub fn sharded() -> Self {
+        FuzzConfig {
+            sharded: true,
+            allow_shutdown: true,
+            ..Self::base()
+        }
+    }
+
+    /// Sharded variant of [`FuzzConfig::valve`] — but on a 4-core / 2-node topology so
+    /// the aging valve's cross-shard scan (not just the trivial single-shard case) runs
+    /// on every pop.
+    pub fn sharded_valve() -> Self {
+        FuzzConfig {
+            sharded: true,
+            slots: 12,
+            quantum: Duration::from_nanos(1),
             ..Self::base()
         }
     }
@@ -661,9 +688,12 @@ impl Harness {
 }
 
 fn build_scheduler(cfg: &FuzzConfig) -> Scheduler {
-    Scheduler::new(
-        NosvConfig::with_topology(Topology::new(cfg.cores, cfg.nodes)).quantum(cfg.quantum),
-    )
+    let mut config =
+        NosvConfig::with_topology(Topology::new(cfg.cores, cfg.nodes)).quantum(cfg.quantum);
+    if cfg.sharded {
+        config = config.policy(crate::config::PolicyKind::CoopSharded);
+    }
+    Scheduler::new(config)
 }
 
 fn run(
@@ -835,6 +865,8 @@ mod tests {
             FuzzConfig::valve(),
             FuzzConfig::shutdown_biased(),
             FuzzConfig::domain_heavy(),
+            FuzzConfig::sharded(),
+            FuzzConfig::sharded_valve(),
         ] {
             for seed in 0..8 {
                 let ops = generate(&cfg, seed);
@@ -985,6 +1017,7 @@ mod tests {
             FuzzConfig::base(),
             FuzzConfig::valve(),
             FuzzConfig::shutdown_biased(),
+            FuzzConfig::sharded_valve(),
         ] {
             for seed in 0..6 {
                 let ops = generate(&cfg, seed);

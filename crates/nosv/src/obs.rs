@@ -375,6 +375,15 @@ impl StageSnapshot {
         }
     }
 
+    /// Stage-wise [`HistogramSnapshot::merge`]: fold `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &StageSnapshot) {
+        self.intake_wait.merge(&other.intake_wait);
+        self.wake.merge(&other.wake);
+        self.dispatch.merge(&other.dispatch);
+        self.pause_block.merge(&other.pause_block);
+        self.yield_block.merge(&other.yield_block);
+    }
+
     /// `(name, snapshot)` pairs for iteration-driven rendering.
     pub fn named(&self) -> [(&'static str, &HistogramSnapshot); 5] {
         [
@@ -423,8 +432,11 @@ pub struct GaugesSnapshot {
     /// Ready-task gauge: intake entries plus policy-queued entries (clamped at 0).
     pub ready_tasks: usize,
     /// Entries currently sitting in the lock-free intake stack (approximate under
-    /// concurrent pushes).
+    /// concurrent pushes), summed over the per-node shards.
     pub intake_depth: usize,
+    /// Per-NUMA-node intake shard depths (same approximation; `intake_depth` is their
+    /// sum). Lets a dashboard see a hot shard that the summed gauge hides.
+    pub intake_shards: Vec<usize>,
     /// Cores currently running a task.
     pub busy_cores: usize,
     /// Cores currently idle.
@@ -453,10 +465,12 @@ impl GaugesSnapshot {
                 )
             })
             .collect();
+        let shards: Vec<String> = self.intake_shards.iter().map(|d| d.to_string()).collect();
         format!(
-            "{{\"ready_tasks\":{},\"intake_depth\":{},\"busy_cores\":{},\"idle_cores\":{},\"live_tasks\":{},\"processes\":[{}]}}",
+            "{{\"ready_tasks\":{},\"intake_depth\":{},\"intake_shards\":[{}],\"busy_cores\":{},\"idle_cores\":{},\"live_tasks\":{},\"processes\":[{}]}}",
             self.ready_tasks,
             self.intake_depth,
+            shards.join(","),
             self.busy_cores,
             self.idle_cores,
             self.live_tasks,

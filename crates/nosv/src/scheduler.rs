@@ -10,11 +10,17 @@
 //! operations that fire on every wake-up must not serialize on the global lock:
 //!
 //! * `submit` to a busy system publishes the ready task onto a **lock-free MPSC intake
-//!   stack** with one CAS and returns. The intake is drained — under the lock — by
-//!   whichever core reaches the next scheduling point (release/dispatch/yield), i.e. by
-//!   threads that were taking the lock anyway. Only when idle cores exist does `submit`
-//!   take the lock itself to place the task immediately (an idle system is uncontended by
-//!   definition).
+//!   stack, sharded per NUMA node** with one CAS and returns (submitters targeting
+//!   different nodes never touch the same cache line). The intake is drained — under the
+//!   lock, every shard merged back into global submission order by an atomic sequence
+//!   stamp — by whichever core reaches the next scheduling point
+//!   (release/dispatch/yield), i.e. by threads that were taking the lock anyway, and by
+//!   workers about to park (the pre-park drain, so a wake-up never waits for the next
+//!   organic scheduling point). Only when idle cores exist does `submit` take the lock
+//!   itself to place the task immediately (an idle system is uncontended by definition).
+//! * Grant-slot condvar notifications are **never delivered under the scheduler lock**:
+//!   grants collect the woken tasks into a [`WakeBatch`] and fire it only after every
+//!   guard has dropped, so a woken worker never convoys on the lock its waker holds.
 //! * `has_ready`, `ready_count` and `busy_cores` read relaxed-ish atomic gauges
 //!   (`ready_tasks`, `idle_cores`), so `yield_now`'s "is switching useful" check never
 //!   contends with submitters.
@@ -122,12 +128,21 @@ struct IntakeNode {
     /// When the submit published this node — the start of the submit→drain stage
     /// histogram (`obs::StageStats::intake_wait`).
     pushed_at: Instant,
+    /// Global submission order across every intake shard (stamped from
+    /// `Scheduler::intake_seq`): drains merge the per-node shard lists by this, so the
+    /// sharded intake restores exactly the submission order the single stack gave.
+    seq: u64,
     next: *mut IntakeNode,
 }
 
 /// A Treiber stack used as the MPSC submit intake: any thread pushes with one CAS;
 /// draining swaps the whole list out (only ever done while holding the scheduler lock,
 /// so drains never race each other) and reverses it to restore submission order.
+///
+/// The scheduler keeps **one stack per NUMA node** and a submit CASes onto the shard of
+/// its preferred core's node, so concurrent submitters targeting different nodes no
+/// longer collide on one cache line (the cross-socket CAS ping-pong the single stack
+/// paid at high core counts).
 struct Intake {
     head: AtomicPtr<IntakeNode>,
     /// Approximate stack depth (relaxed adds around the CAS), read lock-free by the
@@ -149,10 +164,11 @@ impl Intake {
     }
 
     /// Publish a ready task. Lock-free: one allocation plus a CAS loop.
-    fn push(&self, task: TaskRef, pushed_at: Instant) {
+    fn push(&self, task: TaskRef, pushed_at: Instant, seq: u64) {
         let node = Box::into_raw(Box::new(IntakeNode {
             task,
             pushed_at,
+            seq,
             next: ptr::null_mut(),
         }));
         let mut head = self.head.load(Ordering::SeqCst);
@@ -172,14 +188,15 @@ impl Intake {
         }
     }
 
-    /// Take every queued task, oldest first, each with its publish instant.
-    fn drain(&self) -> Vec<(TaskRef, Instant)> {
+    /// Take every queued task, oldest first, each with its publish instant and global
+    /// submission sequence number.
+    fn drain(&self) -> Vec<(TaskRef, Instant, u64)> {
         let mut p = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
         let mut out = Vec::new();
         while !p.is_null() {
             // SAFETY: the swap transferred ownership of the whole list to us.
             let node = unsafe { Box::from_raw(p) };
-            out.push((node.task, node.pushed_at));
+            out.push((node.task, node.pushed_at, node.seq));
             p = node.next;
         }
         if !out.is_empty() {
@@ -198,6 +215,52 @@ impl Intake {
 impl Drop for Intake {
     fn drop(&mut self) {
         let _ = self.drain();
+    }
+}
+
+/// Grant-slot condvar notifications collected under the scheduler lock, fired only after
+/// every guard has dropped.
+///
+/// Notifying `grant_cv` while the `SchedState` mutex is held wakes the worker straight
+/// into the lock its waker still holds: the woken thread runs, immediately blocks on the
+/// contended mutex, and the hand-off serializes — a lock convoy, which is where the
+/// measured wake-churn tail lived (`BENCH_sched.json` `wake`/`dispatch` p99). Deferring
+/// the notify is safe with these std-semantics condvars because the grant-slot predicate
+/// (`granted` / `released`) is always written under the task's grant mutex *before* the
+/// batch fires: a waiter either observes the new state without sleeping, or parks and is
+/// woken by the deferred notify — no interleaving loses the wakeup.
+///
+/// Declare a batch **before** acquiring the scheduler lock: locals drop in reverse
+/// declaration order, so even an early return releases the guard first and then fires the
+/// batch (the `Drop` impl is the safety net; paths that go on to park explicitly
+/// [`WakeBatch::fire`] first).
+#[derive(Default)]
+struct WakeBatch {
+    tasks: Vec<TaskRef>,
+}
+
+impl WakeBatch {
+    fn new() -> Self {
+        WakeBatch::default()
+    }
+
+    /// Owe `task`'s (possibly parked) waiter a notification once every lock is dropped.
+    fn push(&mut self, task: TaskRef) {
+        self.tasks.push(task);
+    }
+
+    /// Deliver every owed notification. Callers must have dropped the scheduler lock and
+    /// all grant guards first.
+    fn fire(&mut self) {
+        for t in self.tasks.drain(..) {
+            t.grant_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for WakeBatch {
+    fn drop(&mut self) {
+        self.fire();
     }
 }
 
@@ -251,8 +314,14 @@ pub struct Scheduler {
     /// Always-on observability plane: stage-boundary latency histograms and the snapshot
     /// time base (see [`crate::obs`]). Recording never takes the scheduler lock.
     stats: StatsRegistry,
-    /// Lock-free submit intake (see the module documentation).
-    intake: Intake,
+    /// Lock-free submit intakes, one per NUMA node (see the module documentation): a
+    /// submit CASes onto the shard of its preferred core's node (unbound submits use
+    /// shard 0), and drains merge every shard by `intake_seq` stamp, restoring global
+    /// submission order exactly.
+    intakes: Box<[Intake]>,
+    /// Global submission order stamped into every intake node; what keeps the sharded
+    /// drain order identical to the old single stack's.
+    intake_seq: std::sync::atomic::AtomicU64,
     /// Number of idle core slots; maintained under the lock, read lock-free by `submit`
     /// to decide whether immediate placement is worth taking the lock for.
     idle_cores: AtomicUsize,
@@ -304,8 +373,11 @@ impl Scheduler {
             }),
             metrics: SchedulerMetrics::default(),
             stats: StatsRegistry::new(cores),
+            intakes: (0..config.topology.num_numa_nodes().max(1))
+                .map(|_| Intake::new())
+                .collect(),
+            intake_seq: std::sync::atomic::AtomicU64::new(0),
             config,
-            intake: Intake::new(),
             idle_cores: AtomicUsize::new(cores),
             ready_tasks: AtomicI64::new(0),
             shutting_down: AtomicBool::new(false),
@@ -348,6 +420,26 @@ impl Scheduler {
     fn lock_state(&self) -> parking_lot::MutexGuard<'_, SchedState> {
         SchedulerMetrics::inc(&self.metrics.lock_acquisitions);
         self.state.lock()
+    }
+
+    /// Total entries across the per-node intake shards (the intake-depth gauge).
+    fn intake_depth(&self) -> usize {
+        self.intakes.iter().map(|i| i.depth()).sum()
+    }
+
+    /// Approximate per-node intake shard depths, for the stats plane.
+    fn intake_shard_depths(&self) -> Vec<usize> {
+        self.intakes.iter().map(|i| i.depth()).collect()
+    }
+
+    /// The intake shard a submit of `task` publishes to: its preferred core's NUMA node
+    /// (submits with no usable preference go to shard 0).
+    fn intake_shard(&self, task: &TaskRef) -> &Intake {
+        let node = task
+            .preferred_core()
+            .filter(|&c| c < self.topo.num_cores())
+            .map_or(0, |c| self.topo.node_of(c));
+        &self.intakes[node]
     }
 
     /// The topology this scheduler manages.
@@ -417,7 +509,8 @@ impl Scheduler {
             counters,
             gauges: GaugesSnapshot {
                 ready_tasks: self.ready_count(),
-                intake_depth: self.intake.depth(),
+                intake_depth: self.intake_depth(),
+                intake_shards: self.intake_shard_depths(),
                 busy_cores: self.busy_cores(),
                 idle_cores: self.idle_cores.load(Ordering::SeqCst),
                 live_tasks,
@@ -433,7 +526,7 @@ impl Scheduler {
         StatsSample {
             at: self.stats.elapsed(),
             ready_tasks: self.ready_count(),
-            intake_depth: self.intake.depth(),
+            intake_depth: self.intake_depth(),
             busy_cores: self.busy_cores(),
             submits: self.metrics.submits.load(Ordering::Relaxed),
             grants: self.metrics.grants.load(Ordering::Relaxed),
@@ -513,13 +606,14 @@ impl Scheduler {
     /// deregister must never leave a waiter parked forever, whatever state the race with
     /// submit/pause left it in.
     pub fn deregister_process(&self, process: ProcessId) {
+        let mut wakes = WakeBatch::new();
         let stranded: Vec<TaskRef> = {
             let mut st = self.lock_state();
             st.processes.remove(&process);
             // Flush the intake first: a task of this process still sitting in the intake
             // would otherwise be enqueued at a later drain and auto-re-register the
             // process in the quantum rotation after it was purged.
-            self.drain_intake(&mut st);
+            self.drain_intake(&mut st, &mut wakes);
             // The policy drops any entries still queued for the process; the lock-free
             // ready gauge must shed them too or has_ready() would stay stuck true and
             // permanently defeat the yield fast path.
@@ -540,14 +634,14 @@ impl Scheduler {
                 .cloned()
                 .collect()
         };
+        // The scheduler lock is dropped; release each stranded waiter and notify only
+        // after its grant guard is dropped too (collect-then-notify — see `WakeBatch`).
         for t in stranded {
-            let mut g = t.grant.lock();
-            if g.granted.is_none() && !g.released {
-                g.queued = false;
-                g.released = true;
+            if t.release_if_waiting() {
                 t.grant_cv.notify_all();
             }
         }
+        wakes.fire();
     }
 
     /// Forcibly reclaim a process that died mid-run: like
@@ -558,6 +652,7 @@ impl Scheduler {
     /// valve), so a dying tenant can never wedge a core or a waiter it owned.
     pub fn kill_process(&self, process: ProcessId) -> KillReport {
         let mut report = KillReport::default();
+        let mut wakes = WakeBatch::new();
         let mut st = self.lock_state();
         if st.processes.remove(&process).is_none() {
             return report;
@@ -565,7 +660,7 @@ impl Scheduler {
         SchedulerMetrics::inc(&self.metrics.processes_killed);
         // Flush the intake first (same reason as deregister): a task of this process
         // still sitting there must be purged, not re-enqueued at a later drain.
-        self.drain_intake(&mut st);
+        self.drain_intake(&mut st, &mut wakes);
         let before = st.policy.ready_count();
         st.policy.deregister_process(process);
         trace_event!(
@@ -588,22 +683,28 @@ impl Scheduler {
         for t in &victims {
             st.tasks.remove(&t.id());
             SchedulerMetrics::inc(&self.metrics.tasks_reclaimed);
-            // Scheduler lock → grant lock is the legal order.
-            let mut g = t.grant.lock();
-            if let Some(core) = g.granted.take() {
-                report.running_preempted += 1;
-                freed.push(core);
-            } else if !g.released {
-                report.waiters_released += 1;
+            {
+                // Scheduler lock → grant lock is the legal order.
+                let mut g = t.grant.lock();
+                if let Some(core) = g.granted.take() {
+                    report.running_preempted += 1;
+                    freed.push(core);
+                } else if !g.released {
+                    report.waiters_released += 1;
+                }
+                g.queued = false;
+                g.state = TaskState::Finished;
+                g.released = true;
             }
-            g.queued = false;
-            g.state = TaskState::Finished;
-            g.released = true;
-            t.grant_cv.notify_all();
+            // Collect-then-notify: the waiter is woken only after the scheduler lock
+            // drops below, never into the lock we still hold.
+            wakes.push(TaskRef::clone(t));
         }
         for core in freed {
-            self.release_core(&mut st, core);
+            self.release_core(&mut st, core, &mut wakes);
         }
+        drop(st);
+        wakes.fire();
         report
     }
 
@@ -681,6 +782,7 @@ impl Scheduler {
     pub fn attach(&self, task: &TaskRef) {
         SchedulerMetrics::inc(&self.metrics.attaches);
         self.submit(task);
+        self.prepark_drain();
         let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
     }
 
@@ -767,24 +869,31 @@ impl Scheduler {
             }
         );
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
-        self.intake.push(TaskRef::clone(task), now);
+        let seq = self.intake_seq.fetch_add(1, Ordering::Relaxed);
+        self.intake_shard(task).push(TaskRef::clone(task), now, seq);
         SchedulerMetrics::inc(&self.metrics.intake_submits);
         // SeqCst pairs with `mark_idle`: if a core went idle before our push became
         // visible to its drain, we observe `idle_cores > 0` here and place the task
         // ourselves; otherwise its drain (which runs after its idle-store) sees our node.
         if self.idle_cores.load(Ordering::SeqCst) > 0 {
+            let mut wakes = WakeBatch::new();
             let mut st = self.lock_state();
-            self.drain_intake(&mut st);
+            self.drain_intake(&mut st, &mut wakes);
             // If stale entries made the drain enqueue instead of granting, fill the idle
             // cores from the policy now.
-            self.dispatch_idle_cores(&mut st);
+            self.dispatch_idle_cores(&mut st, &mut wakes);
+            drop(st);
+            wakes.fire();
         } else if self.shutting_down.load(Ordering::SeqCst) {
             // We published after shutdown's drain: self-heal so the gauge does not stay
             // stuck positive and the node does not pin the task until Scheduler drop.
             // (The waiter itself is safe either way — the task was registered before the
             // shutdown flag was set, so the release loop covers it.)
+            let mut wakes = WakeBatch::new();
             let mut st = self.lock_state();
-            self.drain_intake(&mut st);
+            self.drain_intake(&mut st, &mut wakes);
+            drop(st);
+            wakes.fire();
         }
     }
 
@@ -806,8 +915,9 @@ impl Scheduler {
             }
         );
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
+        let mut wakes = WakeBatch::new();
         let mut st = self.lock_state();
-        self.drain_intake(&mut st);
+        self.drain_intake(&mut st, &mut wakes);
         if st.shutdown || !st.tasks.contains_key(&task.id()) {
             self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
             return;
@@ -820,15 +930,13 @@ impl Scheduler {
             // `fuzz::tests::submit_locked_counterexample_shrinks`.)
             self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
             drop(st);
-            let mut g = task.grant.lock();
-            if !g.released {
-                g.released = true;
+            if task.release_if_unreleased() {
                 task.grant_cv.notify_all();
             }
             return;
         }
-        self.place_ready_task(&mut st, task);
-        self.dispatch_idle_cores(&mut st);
+        self.place_ready_task(&mut st, task, &mut wakes);
+        self.dispatch_idle_cores(&mut st, &mut wakes);
     }
 
     /// Fault site: a worker stalls at a scheduling point (pause / yield), sleeping while
@@ -871,9 +979,15 @@ impl Scheduler {
         SchedulerMetrics::inc(&task.stats.blocks);
         let off_core = Instant::now();
         if let Some(core) = released {
+            let mut wakes = WakeBatch::new();
             let mut st = self.lock_state();
-            self.release_core(&mut st, core);
+            self.release_core(&mut st, core, &mut wakes);
+            drop(st);
+            // About to park: deliver the owed notifications *now* — the Drop safety net
+            // only runs when this frame unwinds, which is after the wait below.
+            wakes.fire();
         }
+        self.prepark_drain();
         let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
         self.stats.stages.pause_block.record(off_core.elapsed());
     }
@@ -900,9 +1014,14 @@ impl Scheduler {
         SchedulerMetrics::inc(&task.stats.blocks);
         let off_core = Instant::now();
         if let Some(core) = released {
+            let mut wakes = WakeBatch::new();
             let mut st = self.lock_state();
-            self.release_core(&mut st, core);
+            self.release_core(&mut st, core, &mut wakes);
+            drop(st);
+            // About to park (timed): fire before the wait, same as `pause`.
+            wakes.fire();
         }
+        self.prepark_drain();
         let deadline = off_core + timeout;
         let outcome = match task.wait_grant_until_observed(deadline, &self.stats.stages.dispatch) {
             Some(_) => WaitOutcome::Woken,
@@ -940,8 +1059,9 @@ impl Scheduler {
                 None => return false,
             }
         };
+        let mut wakes = WakeBatch::new();
         let mut st = self.lock_state();
-        self.drain_intake(&mut st);
+        self.drain_intake(&mut st, &mut wakes);
         // Pick the successor *before* requeueing ourselves: with per-core FIFO affinity the
         // yielding task would otherwise be at the head of its own core's queue and the yield
         // would hand the core straight back to it, starving everyone else.
@@ -994,8 +1114,11 @@ impl Scheduler {
         st.policy.enqueue(&self.topo, meta, now);
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
         self.mark_busy(&mut st, core, next_task.id());
-        self.grant(&next_task, core, false);
+        self.grant(&next_task, core, false, &mut wakes);
         drop(st);
+        // About to park waiting for our own next grant: hand the successor its wakeup
+        // first (the Drop safety net would only fire after the wait returns).
+        wakes.fire();
         SchedulerMetrics::inc(&self.metrics.yields);
         SchedulerMetrics::inc(&task.stats.yields);
         let off_core = Instant::now();
@@ -1015,15 +1138,18 @@ impl Scheduler {
             g.state = TaskState::Finished;
             g.released = true;
         }
+        let mut wakes = WakeBatch::new();
         let mut st = self.lock_state();
         if let Some(core) = released {
-            self.release_core(&mut st, core);
+            self.release_core(&mut st, core, &mut wakes);
         }
         let process = task.process();
         st.tasks.remove(&task.id());
         if let Some(p) = st.processes.get_mut(&process) {
             p.tasks_live = p.tasks_live.saturating_sub(1);
         }
+        drop(st);
+        wakes.fire();
     }
 
     /// Shut the scheduler down: every task waiting for a core is released from scheduler
@@ -1062,12 +1188,17 @@ impl Scheduler {
                 st = self.lock_state();
             }
             let tasks: Vec<TaskRef> = st.tasks.values().cloned().collect();
-            (tasks, self.intake.drain())
+            let queued: Vec<_> = self.intakes.iter().flat_map(|i| i.drain()).collect();
+            (tasks, queued)
         };
         self.ready_tasks.store(0, Ordering::SeqCst);
-        for t in tasks.iter().chain(queued.iter().map(|(t, _)| t)) {
-            let mut g = t.grant.lock();
-            g.released = true;
+        for t in tasks.iter().chain(queued.iter().map(|(t, _, _)| t)) {
+            {
+                let mut g = t.grant.lock();
+                g.released = true;
+            }
+            // The scheduler lock dropped above and the grant guard just did: the waiter
+            // wakes into uncontended locks (collect-then-notify).
             t.grant_cv.notify_all();
         }
     }
@@ -1125,13 +1256,38 @@ impl Scheduler {
     /// there is none; a periodic `rescue_drain` bounds that delay without perturbing an
     /// otherwise healthy schedule (an empty intake makes this a cheap no-op).
     pub fn rescue_drain(&self) -> usize {
+        let mut wakes = WakeBatch::new();
         let mut st = self.lock_state();
         if st.shutdown {
             return 0;
         }
-        let n = self.drain_intake_forced(&mut st);
-        self.dispatch_idle_cores(&mut st);
+        let n = self.drain_intake_forced(&mut st, &mut wakes);
+        self.dispatch_idle_cores(&mut st, &mut wakes);
+        drop(st);
+        wakes.fire();
         n
+    }
+
+    /// The featureless idle-worker drain: called on the block paths (`attach`, `pause`,
+    /// `waitfor`) immediately before parking, so a submit that raced onto the intake
+    /// while its target system looked busy is granted *now* rather than at the next
+    /// organic scheduling point (the `intake_wait` max of ~32ms in `BENCH_sched.json`
+    /// was exactly this window, visible whenever every worker was parked). The empty
+    /// check is lock-free, so the common park — nothing pending — costs two atomic
+    /// loads and never touches the scheduler lock.
+    fn prepark_drain(&self) {
+        if self.intake_depth() == 0 {
+            return;
+        }
+        let mut wakes = WakeBatch::new();
+        let mut st = self.lock_state();
+        if st.shutdown {
+            return;
+        }
+        self.drain_intake(&mut st, &mut wakes);
+        self.dispatch_idle_cores(&mut st, &mut wakes);
+        drop(st);
+        wakes.fire();
     }
 
     // -------------------------------------------------------------------------------------
@@ -1140,8 +1296,11 @@ impl Scheduler {
 
     /// Grant `core` to `task`. Caller holds the scheduler lock and has already marked the
     /// core busy. `immediate` records whether this grant bypassed the policy queues (an
-    /// idle-core grant straight from `place_ready_task`, with no preceding pop).
-    fn grant(&self, task: &TaskRef, core: CoreId, immediate: bool) {
+    /// idle-core grant straight from `place_ready_task`, with no preceding pop). The
+    /// waiter's condvar notification is *not* delivered here — it is owed to `wakes`,
+    /// which the caller fires after dropping the scheduler lock (collect-then-notify; the
+    /// grant-slot predicate is fully published below, so the deferral loses no wakeup).
+    fn grant(&self, task: &TaskRef, core: CoreId, immediate: bool, wakes: &mut WakeBatch) {
         let placement = classify_placement(&self.topo, task.preferred_core(), core);
         SchedulerMetrics::inc(&self.metrics.grants);
         SchedulerMetrics::inc(&task.stats.grants);
@@ -1173,22 +1332,24 @@ impl Scheduler {
             }
         );
         task.record_core(core);
-        let mut g = task.grant.lock();
-        let now = Instant::now();
-        // Close the enqueue→grant (wake-latency) stage and open grant→first-run
-        // (dispatch): both are lock-free histogram records — the scheduler lock is
-        // already held here, and no *additional* lock is taken.
-        if let Some(ready_at) = g.ready_at.take() {
-            self.stats
-                .stages
-                .wake
-                .record(now.saturating_duration_since(ready_at));
+        {
+            let mut g = task.grant.lock();
+            let now = Instant::now();
+            // Close the enqueue→grant (wake-latency) stage and open grant→first-run
+            // (dispatch): both are lock-free histogram records — the scheduler lock is
+            // already held here, and no *additional* lock is taken.
+            if let Some(ready_at) = g.ready_at.take() {
+                self.stats
+                    .stages
+                    .wake
+                    .record(now.saturating_duration_since(ready_at));
+            }
+            g.dispatched_at = Some(now);
+            g.granted = Some(core);
+            g.queued = false;
+            g.state = TaskState::Running;
         }
-        g.dispatched_at = Some(now);
-        g.granted = Some(core);
-        g.queued = false;
-        g.state = TaskState::Running;
-        task.grant_cv.notify_one();
+        wakes.push(TaskRef::clone(task));
     }
 
     /// Transition a core slot to busy, maintaining the idle-core gauge and the watchdog's
@@ -1218,7 +1379,7 @@ impl Scheduler {
     /// rotation, and they could never be picked once purged again), and live ones are
     /// placed ([`Scheduler::place_ready_task`]). Callers hold the scheduler lock, which
     /// is what serializes drains.
-    fn drain_intake(&self, st: &mut SchedState) {
+    fn drain_intake(&self, st: &mut SchedState, wakes: &mut WakeBatch) {
         // Fault site: skip this drain, delaying queued submits to the next scheduling
         // point. Never skipped once shutdown is underway — the released-waiter guarantee
         // relies on the shutdown drain, and a fault plan must not turn a delay into a
@@ -1235,21 +1396,29 @@ impl Scheduler {
             );
             return;
         }
-        self.drain_intake_forced(st);
+        self.drain_intake_forced(st, wakes);
     }
 
     /// The drain body proper, never subject to the [`FaultSite::DelayIntakeDrain`] fault:
     /// [`Scheduler::rescue_drain`] calls this directly because a rescue must not itself
-    /// be delayed. Returns how many intake entries were processed.
-    fn drain_intake_forced(&self, st: &mut SchedState) -> usize {
-        let drained = self.intake.drain();
+    /// be delayed. Collects every per-node shard and merges by the global `intake_seq`
+    /// stamp, so the sharded intake is processed in exactly the order the old single
+    /// stack gave. Returns how many intake entries were processed.
+    fn drain_intake_forced(&self, st: &mut SchedState, wakes: &mut WakeBatch) -> usize {
+        let mut drained: Vec<(TaskRef, Instant, u64)> = Vec::new();
+        for intake in self.intakes.iter() {
+            drained.extend(intake.drain());
+        }
         let n = drained.len();
         if drained.is_empty() {
             return 0;
         }
+        // Restore global submission order across the shards (each shard is already
+        // oldest-first, so this is a cheap merge for the sort's adaptive path).
+        drained.sort_by_key(|&(_, _, seq)| seq);
         let now = Instant::now();
         trace_event!(self, now, TraceEvent::IntakeDrain { n });
-        for (task, pushed_at) in drained {
+        for (task, pushed_at, _seq) in drained {
             // Close the submit→drain stage: how long the wake-up sat in the intake.
             self.stats
                 .stages
@@ -1261,14 +1430,13 @@ impl Scheduler {
             }
             if !st.processes.contains_key(&task.process()) {
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
-                let mut g = task.grant.lock();
-                if !g.released {
-                    g.released = true;
-                    task.grant_cv.notify_all();
+                if task.release_if_unreleased() {
+                    // Collect-then-notify: woken after the scheduler lock drops.
+                    wakes.push(task);
                 }
                 continue;
             }
-            self.place_ready_task(st, &task);
+            self.place_ready_task(st, &task, wakes);
         }
         n
     }
@@ -1280,7 +1448,7 @@ impl Scheduler {
     /// tasks were queued in the policy must not jump them just because a core went idle in
     /// between — it is enqueued instead, and the pop tiers (which include the aging valve)
     /// decide.
-    fn place_ready_task(&self, st: &mut SchedState, task: &TaskRef) {
+    fn place_ready_task(&self, st: &mut SchedState, task: &TaskRef, wakes: &mut WakeBatch) {
         let now = Instant::now();
         if !st.policy.has_ready() {
             // Borrow the domain, never clone it: this runs on the submit hot path under
@@ -1292,7 +1460,7 @@ impl Scheduler {
             if let Some(core) = self.choose_idle_core(st, task.preferred_core(), domain) {
                 // The task was marked queued by the caller; the grant clears it.
                 self.mark_busy(st, core, task.id());
-                self.grant(task, core, true);
+                self.grant(task, core, true, wakes);
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
                 return;
             }
@@ -1341,19 +1509,19 @@ impl Scheduler {
 
     /// A core became free: drain the intake, then hand the core to the next ready task
     /// according to the policy (if the drain did not already fill it), or leave it idle.
-    fn release_core(&self, st: &mut SchedState, core: CoreId) {
+    fn release_core(&self, st: &mut SchedState, core: CoreId, wakes: &mut WakeBatch) {
         self.mark_idle(st, core);
-        self.drain_intake(st);
+        self.drain_intake(st, wakes);
         // Hot path: only the freed core can normally be idle while work is queued
         // (place_ready_task grants idle cores whenever the policy is empty), so dispatch
         // it directly instead of scanning all slots under the lock.
         if matches!(st.cores[core], CoreSlot::Idle) {
-            self.dispatch_core(st, core, Instant::now());
+            self.dispatch_core(st, core, Instant::now(), wakes);
         }
         // Rare: stale entries of detached tasks can leave *other* cores idle while the
         // policy still reports ready work — fall back to the full scan only then.
         if st.policy.has_ready() && self.idle_cores.load(Ordering::SeqCst) > 0 {
-            self.dispatch_idle_cores(st);
+            self.dispatch_idle_cores(st, wakes);
         }
     }
 
@@ -1383,19 +1551,25 @@ impl Scheduler {
     }
 
     /// Try to dispatch a ready task onto an idle core.
-    fn dispatch_core(&self, st: &mut SchedState, core: CoreId, now: Instant) {
+    fn dispatch_core(
+        &self,
+        st: &mut SchedState,
+        core: CoreId,
+        now: Instant,
+        wakes: &mut WakeBatch,
+    ) {
         debug_assert!(matches!(st.cores[core], CoreSlot::Idle));
         if st.shutdown {
             return;
         }
         if let Some(task) = self.pick_live(st, core, now) {
             self.mark_busy(st, core, task.id());
-            self.grant(&task, core, false);
+            self.grant(&task, core, false, wakes);
         }
     }
 
     /// Dispatch ready work onto every idle core (cheap early-exit when nothing is ready).
-    fn dispatch_idle_cores(&self, st: &mut SchedState) {
+    fn dispatch_idle_cores(&self, st: &mut SchedState, wakes: &mut WakeBatch) {
         if st.shutdown {
             return;
         }
@@ -1405,7 +1579,7 @@ impl Scheduler {
                 break;
             }
             if matches!(st.cores[core], CoreSlot::Idle) {
-                self.dispatch_core(st, core, now);
+                self.dispatch_core(st, core, now, wakes);
             }
         }
     }

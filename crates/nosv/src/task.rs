@@ -167,6 +167,36 @@ impl Task {
         self.pref_core.store(core, Ordering::Relaxed);
     }
 
+    /// Release the task from scheduler control if it is neither running nor already
+    /// released — the deregister safety valve: a task not holding a core can never be
+    /// woken through a purged process again. Returns `true` when a waiter may be parked
+    /// on the grant condvar; the caller owes it a `grant_cv` notification, fired only
+    /// after every lock (scheduler and grant) has been dropped — never from under a held
+    /// guard, or the woken worker contends with its waker (collect-then-notify; see the
+    /// convoy discussion in `scheduler.rs`).
+    pub(crate) fn release_if_waiting(&self) -> bool {
+        let mut g = self.grant.lock();
+        if g.granted.is_some() || g.released {
+            return false;
+        }
+        g.queued = false;
+        g.released = true;
+        true
+    }
+
+    /// Release the task from scheduler control unless it already was (dead-process intake
+    /// entries, a `submit_locked` against a purged process). Returns whether a
+    /// notification is owed, under the same collect-then-notify contract as
+    /// [`Task::release_if_waiting`].
+    pub(crate) fn release_if_unreleased(&self) -> bool {
+        let mut g = self.grant.lock();
+        if g.released {
+            return false;
+        }
+        g.released = true;
+        true
+    }
+
     /// Wait (blocking the calling OS thread) until the scheduler grants this task a core, or
     /// until the task is released from scheduler control. Returns the granted core, or
     /// `None` if released. Production paths wait through [`Task::wait_grant_observed`] so

@@ -9,10 +9,18 @@
 //! * no wake-up is ever lost under concurrent wakers — a paused task resubmitted by
 //!   another thread is granted exactly once per cycle (`grants == cycles + 1`,
 //!   `blocks == cycles`), with no pause elided by a stale pending wake-up;
+//! * no single grant hand-off (waker's submit → woken worker running) exceeds a
+//!   generous no-fault bound — the convoy regression pin: grant-slot notifications
+//!   fire only after the scheduler lock drops, so a woken worker never contends with
+//!   its waker;
+//! * a submit racing all workers into park is still granted promptly — idle workers
+//!   drain the intake before parking, featurelessly (not just the fault-armed
+//!   `rescue_drain` watchdog);
 //! * all gauges reconcile to zero when the churn stops.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use usf_nosv::prelude::*;
 use usf_nosv::scheduler::Scheduler;
 use usf_nosv::task::TaskState;
@@ -116,6 +124,122 @@ fn concurrent_wake_churn_loses_no_wakeups() {
         m.pauses_elided, 0,
         "wakers only fire on Blocked, so no pause may consume a pending wake-up"
     );
+    assert_eq!(s.busy_cores(), 0);
+    assert_eq!(s.ready_count(), 0);
+    assert_eq!(s.live_tasks(), 0);
+}
+
+/// The convoy pin: across rapid pause/submit cycles, the worst single grant hand-off —
+/// from the waker's submit of a blocked task to the woken worker returning from pause —
+/// stays under a bound generous enough to never flake fault-free, but far below the
+/// ~119ms wake p99 the convoy produced (a woken worker immediately blocking on the
+/// scheduler lock its waker still held).
+#[test]
+fn grant_handoff_stays_bounded() {
+    const CYCLES: usize = 200;
+    const BOUND: Duration = Duration::from_millis(500);
+    let s = sched(1);
+    let p = s.register_process("p");
+    let task = s.create_task(p, None).unwrap();
+    let wake_times: Arc<std::sync::Mutex<Vec<Instant>>> = Arc::default();
+
+    let worker = {
+        let s = Arc::clone(&s);
+        let task = task.clone();
+        let wake_times = Arc::clone(&wake_times);
+        std::thread::spawn(move || {
+            s.attach(&task);
+            for _ in 0..CYCLES {
+                s.pause(&task);
+                wake_times.lock().unwrap().push(Instant::now());
+            }
+            s.detach(&task);
+        })
+    };
+
+    // The waker only fires on an observed block, so submit `i` wakes pause `i` exactly:
+    // the two timestamp vectors pair up index-for-index.
+    let mut submit_times = Vec::with_capacity(CYCLES);
+    while submit_times.len() < CYCLES {
+        if task.state() == TaskState::Blocked {
+            submit_times.push(Instant::now());
+            s.submit(&task);
+            // Wait for the wake to be observed before looking for the next block, so a
+            // fast worker can never pair this submit with a later cycle.
+            while wake_times.lock().unwrap().len() < submit_times.len() {
+                std::thread::yield_now();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    worker.join().unwrap();
+
+    let wakes = wake_times.lock().unwrap();
+    let worst = submit_times
+        .iter()
+        .zip(wakes.iter())
+        .map(|(s, w)| w.duration_since(*s))
+        .max()
+        .unwrap();
+    assert!(
+        worst < BOUND,
+        "worst grant hand-off {worst:?} exceeds the no-fault bound {BOUND:?}"
+    );
+    assert_eq!(s.busy_cores(), 0);
+    assert_eq!(s.live_tasks(), 0);
+}
+
+/// A submit taking the lock-free intake path while the only worker is heading into park
+/// must still be granted promptly: the parking worker drains the intake before blocking.
+/// Before that pre-park drain, the entry sat until the next organic scheduling point
+/// (BENCH_sched.json recorded intake waits up to ~32ms; with no further traffic,
+/// indefinitely unless the fault-armed `rescue_drain` watchdog happened to be on).
+#[test]
+fn submit_to_fully_parked_scheduler_is_granted_promptly() {
+    let s = sched(1);
+    let p = s.register_process("p");
+    let runner = s.create_task(p, None).unwrap();
+    let go = Arc::new(AtomicBool::new(false));
+
+    let worker = {
+        let s = Arc::clone(&s);
+        let runner = runner.clone();
+        let go = Arc::clone(&go);
+        std::thread::spawn(move || {
+            s.attach(&runner);
+            while !go.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            s.pause(&runner); // parks the last worker: the scheduler is now fully parked
+            s.detach(&runner);
+        })
+    };
+    while runner.state() != TaskState::Running {
+        std::thread::yield_now();
+    }
+
+    // The single core is busy, so this submit takes the lock-free intake fast path and
+    // queues in the intake stack — it cannot be granted until someone drains it.
+    let t = s.create_task(p, None).unwrap();
+    s.submit(&t);
+    let t0 = Instant::now();
+    go.store(true, Ordering::SeqCst);
+
+    // The worker now pauses. Draining the intake on its way into park must hand the
+    // freed core to the queued task promptly — not at some later scheduling point.
+    while t.state() != TaskState::Running {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "intake entry stranded while the scheduler is parked (state {:?})",
+            t.state()
+        );
+        std::thread::yield_now();
+    }
+
+    s.detach(&t); // free the core
+    s.submit(&runner); // wake the parked worker so it can detach
+    worker.join().unwrap();
     assert_eq!(s.busy_cores(), 0);
     assert_eq!(s.ready_count(), 0);
     assert_eq!(s.live_tasks(), 0);

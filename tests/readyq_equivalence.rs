@@ -6,13 +6,16 @@
 //!    plain linear scans; and
 //! 2. `CoopPolicy` (real time, `Instant`) and the simulator's `CoopScheduler` (virtual
 //!    time, `SimTime`) agree on the task sequence for the same trace — they are the same
-//!    `CoopCore` instantiated at two time types, and this test keeps it that way.
+//!    `CoopCore` instantiated at two time types, and this test keeps it that way; and
+//! 3. the per-NUMA-node sharded backing (`ShardedProcQueues` / `ShardedCoopPolicy`) picks
+//!    the identical sequence as the flat one — including aging-valve steps — and its
+//!    hand-recorded traces replay divergence-free through `usf::simsched::replay`.
 
 use proptest::prelude::*;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
-use usf::nosv::readyq::{CoreMap, ProcQueues};
-use usf::nosv::{CoopPolicy, PickTier, Policy, TaskMeta, Topology};
+use usf::nosv::readyq::{CoreMap, ProcQueues, ReadyQueues, ShardedProcQueues};
+use usf::nosv::{CoopPolicy, PickTier, Policy, ShardedCoopPolicy, TaskMeta, Topology};
 use usf::nosv::{TraceEntry, TraceEvent, TraceMeta};
 use usf::simsched::replay::replay;
 use usf::simsched::sched::{CoopScheduler, ReadyThread, SimPolicy};
@@ -327,5 +330,169 @@ proptest! {
         prop_assert_eq!(report.pops, expected_pops as u64);
         prop_assert_eq!(report.aged_steps, expected_aged,
             "aged picks must replay at the recorded logical steps");
+    }
+
+    /// The per-node sharded queues serve the identical item sequence as the linear-scan
+    /// reference model (hence, by test 1, as the flat `ProcQueues`) for arbitrary traces —
+    /// aging-valve service, node-vs-unbound tie-breaks and cross-shard steals included.
+    #[test]
+    fn sharded_queues_match_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..8, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let mut sharded: ShardedProcQueues<u64, u64> =
+            ShardedProcQueues::new(std::sync::Arc::new(CoreMap::from_view(&topo)));
+        let mut reference = RefQueues::new(topo);
+        let mut now = 0u64;
+        let mut next_item = 0u64;
+        for (kind, sel, core, dt) in ops {
+            now += u64::from(dt);
+            if kind < 2 {
+                sharded.push(next_item, pref_of(sel), now);
+                reference.push(next_item, pref_of(sel), now);
+                next_item += 1;
+            } else {
+                let core = core as usize;
+                let got = sharded.pop_for_tiered(core, now, AGING).map(|(t, _)| t);
+                let want = reference.pop_for(core, now, AGING);
+                prop_assert_eq!(got, want, "divergence at t={}", now);
+            }
+        }
+        loop {
+            now += 1_000;
+            let got = sharded.pop_for_tiered(0, now, AGING).map(|(t, _)| t);
+            let want = reference.pop_for(0, now, AGING);
+            prop_assert_eq!(got, want);
+            if want.is_none() { break; }
+        }
+        prop_assert!(sharded.is_empty());
+    }
+
+    /// `ShardedCoopPolicy` and `CoopPolicy` pick the same task at the same tier for the
+    /// same trace: the sharding changes queue storage and locking, never the schedule.
+    #[test]
+    fn sharded_policy_matches_flat_policy(
+        ops in proptest::collection::vec((0u8..4, 0u8..10, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let quantum = Duration::from_nanos(50_000);
+        let mut flat = CoopPolicy::new(topo.clone(), quantum);
+        let mut sharded = ShardedCoopPolicy::new(topo.clone(), quantum);
+
+        let base = Instant::now();
+        let mut now = 0u64;
+        let mut next_id = 1u64;
+        for (kind, sel, core, dt) in ops {
+            now += u64::from(dt);
+            let at = base + Duration::from_nanos(now);
+            if kind < 2 {
+                let meta = TaskMeta {
+                    id: next_id,
+                    process: u32::from(sel % 2),
+                    preferred_core: pref_of(sel / 2),
+                };
+                flat.enqueue(&topo, meta, at);
+                sharded.enqueue(&topo, meta, at);
+                next_id += 1;
+            } else {
+                let core = core as usize;
+                let got_flat = flat.pick_tiered(core, at).map(|(m, t)| (m.id, t));
+                let got_sharded = sharded.pick_tiered(core, at).map(|(m, t)| (m.id, t));
+                prop_assert_eq!(got_flat, got_sharded, "divergence at t={}ns", now);
+                prop_assert_eq!(flat.ready_count(), sharded.ready_count());
+            }
+        }
+        loop {
+            now += 1_000;
+            let at = base + Duration::from_nanos(now);
+            let got_flat = flat.pick_tiered(0, at).map(|(m, t)| (m.id, t));
+            let got_sharded = sharded.pick_tiered(0, at).map(|(m, t)| (m.id, t));
+            prop_assert_eq!(got_flat, got_sharded.clone());
+            if got_sharded.is_none() { break; }
+        }
+        prop_assert!(!sharded.has_ready());
+    }
+
+    /// Schedules hand-recorded from the *sharded* policy replay through the simulator's
+    /// (unsharded) SCHED_COOP instantiation with zero divergence, and the aging-valve
+    /// picks land at the same logical steps — the replay-level statement of
+    /// sharded/unsharded equivalence the acceptance criteria pin.
+    #[test]
+    fn sharded_policy_trace_replays_in_sim(
+        ops in proptest::collection::vec((0u8..4, 0u8..10, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let quantum = 50_000u64; // ns; aging window == quantum in SCHED_COOP
+        let mut real = ShardedCoopPolicy::new(topo.clone(), Duration::from_nanos(quantum));
+
+        let meta = TraceMeta {
+            core_nodes: (0..CORES).map(|c| topo.node_of(c)).collect(),
+            quantum_nanos: quantum,
+            policy: "sched_coop_sharded".to_string(),
+        };
+        let mut entries: Vec<TraceEntry> = Vec::new();
+        let mut expected_aged: Vec<u64> = Vec::new();
+        let record = |at_nanos: u64, event: TraceEvent, entries: &mut Vec<TraceEntry>| {
+            entries.push(TraceEntry { step: entries.len() as u64, at_nanos, event });
+        };
+
+        let base = Instant::now();
+        let mut now = 0u64;
+        let mut next_id = 1u64;
+        let pick = |real: &mut ShardedCoopPolicy,
+                        core: usize,
+                        now: u64,
+                        entries: &mut Vec<TraceEntry>,
+                        expected_aged: &mut Vec<u64>| {
+            match real.pick_tiered(core, base + Duration::from_nanos(now)) {
+                Some((meta, tier)) => {
+                    if tier == PickTier::Aged {
+                        expected_aged.push(entries.len() as u64);
+                    }
+                    entries.push(TraceEntry {
+                        step: entries.len() as u64,
+                        at_nanos: now,
+                        event: TraceEvent::Pop { core, tier: Some(tier), task: meta.id },
+                    });
+                }
+                None => entries.push(TraceEntry {
+                    step: entries.len() as u64,
+                    at_nanos: now,
+                    event: TraceEvent::PopEmpty { core },
+                }),
+            }
+        };
+        for (kind, sel, core, dt) in ops {
+            now += u64::from(dt);
+            if kind < 2 {
+                let process = u32::from(sel % 2);
+                let pref = pref_of(sel / 2);
+                real.enqueue(&topo, TaskMeta {
+                    id: next_id,
+                    process,
+                    preferred_core: pref,
+                }, base + Duration::from_nanos(now));
+                record(now, TraceEvent::Enqueue {
+                    process,
+                    task: next_id,
+                    preferred: pref,
+                }, &mut entries);
+                next_id += 1;
+            } else {
+                pick(&mut real, core as usize, now, &mut entries, &mut expected_aged);
+            }
+        }
+        while real.has_ready() {
+            now += 1_000;
+            pick(&mut real, 0, now, &mut entries, &mut expected_aged);
+        }
+
+        let expected_pops =
+            entries.iter().filter(|e| matches!(e.event, TraceEvent::Pop { .. })).count();
+        let report = replay(&meta, &entries);
+        prop_assert!(report.divergence.is_none(), "drift: {:?}", report.divergence);
+        prop_assert_eq!(report.pops, expected_pops as u64);
+        prop_assert_eq!(report.aged_steps, expected_aged,
+            "sharded aged picks must replay at the recorded logical steps");
     }
 }
