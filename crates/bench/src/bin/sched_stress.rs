@@ -30,9 +30,9 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use usf_bench::cli::{self, FlagSpec};
 use usf_bench::json::{JsonObject, JsonValue};
-use usf_bench::scenario_json::stages_json;
+use usf_bench::scenario_json::{shards_json, stages_json};
 use usf_nosv::scheduler::Scheduler;
-use usf_nosv::{NosvConfig, TaskRef, TaskState, Topology};
+use usf_nosv::{NosvConfig, PolicyKind, ShardSnapshot, TaskRef, TaskState, Topology};
 
 const FLAGS: &[FlagSpec] = &[
     FlagSpec {
@@ -220,6 +220,10 @@ struct ChurnStats {
     /// of submit-call durations, which is what this benchmark reported before
     /// the observability plane existed).
     stages: usf_nosv::StageSnapshot,
+    /// Per-scheduler-shard delta over the timed window: dispatch-lock acquisitions,
+    /// steals lost, valve crossings, and the shard's own dispatch histogram. One entry
+    /// on flat schedulers; one per NUMA node under the split-lock scheduler.
+    shards: Vec<ShardSnapshot>,
 }
 
 impl ChurnStats {
@@ -234,15 +238,43 @@ impl ChurnStats {
 
 /// Wake churn: `workers` tasks pause in a loop (short spin per wake-up) while producers
 /// re-wake blocked partners from disjoint slices for `duration`.
-fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
-    let sched = Arc::new(Scheduler::new(cfg.nosv()));
-    let pids: Vec<_> = (0..cfg.processes)
-        .map(|i| sched.register_process(format!("domain-{i}")))
-        .collect();
+///
+/// With `split_nodes = Some(n)` the run uses the split-lock scheduler over `n` NUMA
+/// nodes, one process domain pinned per node and workers grouped by node so each
+/// producer's slice stays node-homogeneous — the shape the per-node dispatch locks are
+/// built for (call with `producers == n` for fully pinned producers).
+fn churn_phase(cfg: &Cfg, locked: bool, split_nodes: Option<usize>) -> ChurnStats {
+    let sched = match split_nodes {
+        Some(n) => Arc::new(Scheduler::new(
+            NosvConfig::with_topology(Topology::new(cfg.cores, n)).policy(PolicyKind::CoopSplit),
+        )),
+        None => Arc::new(Scheduler::new(cfg.nosv())),
+    };
+    let (pids, pid_of): (Vec<_>, Box<dyn Fn(usize) -> usize>) = match split_nodes {
+        Some(n) => {
+            let topo = sched.topology().clone();
+            let pids: Vec<_> = (0..n)
+                .map(|node| {
+                    let p = sched.register_process(format!("node-{node}"));
+                    sched.set_process_domain(p, Some(topo.cores_in_node(node).collect()));
+                    p
+                })
+                .collect();
+            let per_node = cfg.workers.div_ceil(n);
+            (pids, Box::new(move |i| (i / per_node).min(n - 1)))
+        }
+        None => {
+            let pids: Vec<_> = (0..cfg.processes)
+                .map(|i| sched.register_process(format!("domain-{i}")))
+                .collect();
+            let len = pids.len();
+            (pids, Box::new(move |i| i % len))
+        }
+    };
     let tasks: Vec<TaskRef> = (0..cfg.workers)
         .map(|i| {
             sched
-                .create_task(pids[i % pids.len()], Some(format!("worker-{i}")))
+                .create_task(pids[pid_of(i)], Some(format!("worker-{i}")))
                 .expect("scheduler is live")
         })
         .collect();
@@ -327,6 +359,7 @@ fn churn_phase(cfg: &Cfg, locked: bool) -> ChurnStats {
         grants: delta.counters.grants,
         elapsed_s: elapsed.as_secs_f64(),
         stages: delta.stages,
+        shards: delta.shards,
     }
 }
 
@@ -354,16 +387,118 @@ fn fastpath_sentinel() {
     println!("fast-path sentinel: OK (64 saturated submits, 0 lock acquisitions)");
 }
 
+/// Split-lock regression sentinel: on the split-lock scheduler, a steady-state
+/// pause/submit churn window (workers already attached) must record **zero**
+/// global-section acquisitions — every same-node scheduling point stays on its shard's
+/// dispatch lock. Deterministic on any host (two threads, one worker). Panics — failing
+/// CI — on regression.
+fn split_churn_sentinel() {
+    const CYCLES: usize = 128;
+    let sched = Arc::new(Scheduler::new(
+        NosvConfig::with_topology(Topology::new(2, 2)).policy(PolicyKind::CoopSplit),
+    ));
+    let pid = sched.register_process("sentinel");
+    let task = sched.create_task(pid, None).expect("live");
+    let window: Arc<std::sync::Mutex<Option<u64>>> = Arc::default();
+    let worker = {
+        let sched = Arc::clone(&sched);
+        let task = TaskRef::clone(&task);
+        let window = Arc::clone(&window);
+        std::thread::spawn(move || {
+            sched.attach(&task);
+            // Attach (a task-table write) is done; measure the steady-state window.
+            let before = sched.metrics().snapshot().global_lock_acquisitions;
+            for _ in 0..CYCLES {
+                sched.pause(&task);
+            }
+            let after = sched.metrics().snapshot().global_lock_acquisitions;
+            *window.lock().unwrap() = Some(after - before);
+            sched.detach(&task);
+        })
+    };
+    let mut woken = 0;
+    while woken < CYCLES {
+        if task.state() == TaskState::Blocked {
+            sched.submit(&task);
+            woken += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    worker.join().expect("sentinel worker panicked");
+    let acqs = window.lock().unwrap().expect("window not recorded");
+    assert_eq!(
+        acqs, 0,
+        "regression: steady-state split-lock churn acquired the global section {acqs} times"
+    );
+    sched.shutdown();
+    println!("split-churn sentinel: OK ({CYCLES} churn cycles, 0 global-section acquisitions)");
+}
+
+/// Node-scaling measurement: the same node-pinned wake churn on the split-lock
+/// scheduler with 1 node (single dispatch lock) and 2 nodes (one lock per node).
+/// Returns `None` — skipping the gate and the JSON section — on hosts without the
+/// parallelism to run the two node-churns concurrently, or when
+/// `USF_SKIP_NODE_SCALING` is set.
+fn node_scaling_phase(cfg: &Cfg) -> Option<(ChurnStats, ChurnStats)> {
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if parallelism < 4 || std::env::var_os("USF_SKIP_NODE_SCALING").is_some() {
+        println!(
+            "node-scaling: skipped (available parallelism {parallelism} < 4 or \
+             USF_SKIP_NODE_SCALING set)"
+        );
+        return None;
+    }
+    // Producers pinned one-per-node: the 2-node run contends on nothing but the
+    // workload itself; the 1-node run serializes both through one dispatch lock.
+    let mut node_cfg = cfg.clone();
+    node_cfg.producers = 2;
+    let _ = churn_phase(&node_cfg, false, Some(1)); // warm-up
+    let one = churn_phase_merged(&node_cfg, false, Some(1));
+    let two = churn_phase_merged(&node_cfg, false, Some(2));
+    let rate = |c: &ChurnStats| c.grants as f64 / c.elapsed_s.max(1e-9);
+    println!(
+        "node-scaling: 1-node {:>9.0} grants/s, 2-node {:>9.0} grants/s ({:.2}x)",
+        rate(&one),
+        rate(&two),
+        rate(&two) / rate(&one).max(1e-9),
+    );
+    for (i, s) in two.shards.iter().enumerate() {
+        println!(
+            "         node {i}: {} lock acqs, {} steals lost, {} valve crossings, dispatch p99 {} ns",
+            s.lock_acquisitions,
+            s.steals,
+            s.valve_crossings,
+            s.dispatch.percentile(0.99),
+        );
+    }
+    Some((one, two))
+}
+
+/// `--smoke` node-scaling gate: 2-node wake-churn grants/s must land within 20% of 2×
+/// the 1-node rate — the dispatch locks must actually buy node-parallel dispatch, not
+/// just shuffle contention. Only meaningful where `node_scaling_phase` did not skip.
+fn node_scaling_gate(one: &ChurnStats, two: &ChurnStats) {
+    let rate = |c: &ChurnStats| c.grants as f64 / c.elapsed_s.max(1e-9);
+    let (r1, r2) = (rate(one), rate(two));
+    assert!(
+        r2 >= 2.0 * r1 * 0.8,
+        "node-scaling gate: 2-node churn ({r2:.0} grants/s) fell short of 80% of 2x the \
+         1-node rate ({r1:.0} grants/s)"
+    );
+    println!("node-scaling gate: OK ({r2:.0} grants/s on 2 nodes vs {r1:.0} on 1)");
+}
+
 /// Run the churn phase `rounds` times (at least 5) and merge the runs into one
 /// aggregate: counts and elapsed time sum, stage histograms merge bucket-wise. A single
 /// churn window on a busy host flips between adjacent log2 histogram buckets, and one
 /// lucky window — e.g. a locked baseline where every grant happened to land
 /// synchronously — should not decide the gate either way; percentiles over the pooled
 /// samples are what the gate and `BENCH_sched.json` report.
-fn churn_phase_merged(cfg: &Cfg, locked: bool) -> ChurnStats {
+fn churn_phase_merged(cfg: &Cfg, locked: bool, split_nodes: Option<usize>) -> ChurnStats {
     let mut merged: Option<ChurnStats> = None;
     for _ in 0..cfg.rounds.max(5) {
-        let run = churn_phase(cfg, locked);
+        let run = churn_phase(cfg, locked, split_nodes);
         match &mut merged {
             None => merged = Some(run),
             Some(m) => {
@@ -371,6 +506,12 @@ fn churn_phase_merged(cfg: &Cfg, locked: bool) -> ChurnStats {
                 m.grants += run.grants;
                 m.elapsed_s += run.elapsed_s;
                 m.stages.merge(&run.stages);
+                for (a, b) in m.shards.iter_mut().zip(run.shards.iter()) {
+                    a.lock_acquisitions += b.lock_acquisitions;
+                    a.steals += b.steals;
+                    a.valve_crossings += b.valve_crossings;
+                    a.dispatch.merge(&b.dispatch);
+                }
             }
         }
     }
@@ -416,6 +557,7 @@ fn write_json(
     baseline_rate: Option<f64>,
     churn: &ChurnStats,
     churn_baseline: Option<&ChurnStats>,
+    node_scaling: Option<&(ChurnStats, ChurnStats)>,
 ) {
     let mut doc = JsonObject::new()
         .field("benchmark", "sched_stress")
@@ -450,7 +592,8 @@ fn write_json(
         )
         .field("wake_p50_ns", churn.wake_p50_ns())
         .field("wake_p99_ns", churn.wake_p99_ns())
-        .field("wake_stages", stages_json(&churn.stages));
+        .field("wake_stages", stages_json(&churn.stages))
+        .field("wake_shards", shards_json(&churn.shards));
     doc = match churn_baseline {
         Some(b) => doc
             .num(
@@ -461,6 +604,24 @@ fn write_json(
             .field("wake_baseline_p99_ns", b.wake_p99_ns())
             .field("wake_baseline_stages", stages_json(&b.stages)),
         None => doc.field("wake_baseline_grants_per_sec", JsonValue::Null),
+    };
+    // Per-node scaling of the split-lock scheduler: the same node-pinned churn through
+    // one dispatch lock vs one lock per node, with the 2-node run's per-node breakdown
+    // (this is the per-node stage evidence CI uploads).
+    doc = match node_scaling {
+        Some((one, two)) => {
+            let rate = |c: &ChurnStats| c.grants as f64 / c.elapsed_s.max(1e-9);
+            doc.field(
+                "node_scaling",
+                JsonObject::new()
+                    .num("nodes1_grants_per_sec", rate(one), 1)
+                    .num("nodes2_grants_per_sec", rate(two), 1)
+                    .num("speedup", rate(two) / rate(one).max(1e-9), 2)
+                    .field("nodes2_stages", stages_json(&two.stages))
+                    .field("nodes2_shards", shards_json(&two.shards)),
+            )
+        }
+        None => doc.field("node_scaling", JsonValue::Null),
     };
     doc.write_file(path);
 }
@@ -506,6 +667,7 @@ fn main() {
 
     if smoke {
         fastpath_sentinel();
+        split_churn_sentinel();
     }
 
     let (intake_rate, lat, intake_locks) = saturated_phase(&cfg, false);
@@ -536,7 +698,7 @@ fn main() {
         Some(rate)
     };
 
-    let churn = churn_phase_merged(&cfg, false);
+    let churn = churn_phase_merged(&cfg, false, None);
     println!(
         "  churn: {:>12.0} wakeups/s  {:>9.0} grants/s  wake p50 {:>5} ns  p99 {:>6} ns",
         churn.wakeups as f64 / churn.elapsed_s.max(1e-9),
@@ -558,7 +720,7 @@ fn main() {
     let churn_baseline = if args.has("--no-baseline") {
         None
     } else {
-        let b = churn_phase_merged(&cfg, true);
+        let b = churn_phase_merged(&cfg, true, None);
         println!(
             "  churn (locked): {:>4.0} wakeups/s  {:>9.0} grants/s  wake p50 {:>5} ns  p99 {:>6} ns",
             b.wakeups as f64 / b.elapsed_s.max(1e-9),
@@ -569,9 +731,14 @@ fn main() {
         Some(b)
     };
 
+    let node_scaling = node_scaling_phase(&cfg);
+
     if smoke {
         if let Some(b) = &churn_baseline {
             wake_churn_gate(&churn, b);
+        }
+        if let Some((one, two)) = &node_scaling {
+            node_scaling_gate(one, two);
         }
     }
 
@@ -584,6 +751,7 @@ fn main() {
         baseline_rate,
         &churn,
         churn_baseline.as_ref(),
+        node_scaling.as_ref(),
     );
 }
 

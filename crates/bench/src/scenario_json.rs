@@ -6,7 +6,7 @@
 //! percentiles, slowdowns, fairness, scheduler-counter deltas).
 
 use crate::json::{JsonObject, JsonValue};
-use usf_nosv::{HistogramSnapshot, StageSnapshot, StatsSample};
+use usf_nosv::{HistogramSnapshot, ShardSnapshot, StageSnapshot, StatsSample};
 use usf_scenarios::ScenarioReport;
 
 /// Render one stage histogram as the standard percentile bundle (the same fields
@@ -32,6 +32,25 @@ pub fn stages_json(stages: &StageSnapshot) -> JsonObject {
         doc = doc.field(name, histogram_json(h));
     }
     doc
+}
+
+/// Render the per-scheduler-shard breakdown — dispatch-lock acquisitions, ready entries
+/// lost to cross-shard steals, cross-shard aging-valve crossings, and the shard's own
+/// grant→first-run dispatch histogram — as an ordered array, one object per NUMA node
+/// (a single object on flat schedulers).
+pub fn shards_json(shards: &[ShardSnapshot]) -> Vec<JsonValue> {
+    shards
+        .iter()
+        .map(|s| {
+            JsonValue::from(
+                JsonObject::new()
+                    .field("lock_acquisitions", s.lock_acquisitions)
+                    .field("steals", s.steals)
+                    .field("valve_crossings", s.valve_crossings)
+                    .field("dispatch", histogram_json(&s.dispatch)),
+            )
+        })
+        .collect()
 }
 
 /// Summarize a stats-sampler series: sample count plus the peak of each gauge (the full

@@ -19,6 +19,12 @@ pub enum PolicyKind {
     /// sequences (pinned by the `readyq_equivalence` tests), but queue storage split into
     /// per-node shards with cross-shard stealing only on local exhaustion.
     CoopSharded,
+    /// SCHED_COOP with the *scheduler state itself* split along the NUMA shard boundary:
+    /// one independently locked `ShardState` (core slots + a full SCHED_COOP ready-queue
+    /// core) per node, cross-shard work reached only through steal-on-exhaustion and the
+    /// rate-limited cross-shard aging valve. Same-node scheduling points take only their
+    /// shard lock (see the lock-hierarchy table in DESIGN.md).
+    CoopSplit,
     /// A single global FIFO ignoring affinity and process quanta. Used as an ablation of the
     /// locality-aware design and as an example of a user-defined policy.
     Fifo,
@@ -31,6 +37,7 @@ impl fmt::Debug for PolicyKind {
         match self {
             PolicyKind::Coop => write!(f, "Coop"),
             PolicyKind::CoopSharded => write!(f, "CoopSharded"),
+            PolicyKind::CoopSplit => write!(f, "CoopSplit"),
             PolicyKind::Fifo => write!(f, "Fifo"),
             PolicyKind::Custom(_) => write!(f, "Custom(..)"),
         }
@@ -46,6 +53,13 @@ impl PolicyKind {
                 config.process_quantum,
             )),
             PolicyKind::CoopSharded => Box::new(ShardedCoopPolicy::new(
+                config.topology.clone(),
+                config.process_quantum,
+            )),
+            // The split-lock scheduler instantiates one of these per shard; each shard's
+            // policy is a plain SCHED_COOP core over the full topology (a shard can pick
+            // for a foreign core when stolen from), the split living in `scheduler.rs`.
+            PolicyKind::CoopSplit => Box::new(CoopPolicy::new(
                 config.topology.clone(),
                 config.process_quantum,
             )),
@@ -149,6 +163,8 @@ mod tests {
             PolicyKind::CoopSharded.build(&cfg).name(),
             "sched_coop_sharded"
         );
+        // Per-shard building block of the split-lock scheduler: a plain SCHED_COOP core.
+        assert_eq!(PolicyKind::CoopSplit.build(&cfg).name(), "sched_coop");
         assert_eq!(PolicyKind::Fifo.build(&cfg).name(), "fifo");
         let custom = PolicyKind::Custom(Arc::new(|_cfg: &NosvConfig| {
             Box::new(FifoPolicy::new()) as Box<dyn Policy>

@@ -72,6 +72,13 @@ pub struct FuzzConfig {
     /// ([`crate::config::PolicyKind::CoopSharded`]) instead of the flat one. Pick
     /// sequences are specified to be identical, so every oracle holds unchanged.
     pub sharded: bool,
+    /// Install the split-lock scheduler ([`crate::config::PolicyKind::CoopSplit`]): one
+    /// dispatch lock and one policy instance per NUMA node, with cross-shard stealing
+    /// and the cross-shard aging valve arbitrating between them. The fuzz harness is
+    /// serial, so every `try_lock` probe succeeds and the recorded schedules replay
+    /// deterministically through the simulator's split path. Takes precedence over
+    /// `sharded` when both are set.
+    pub split: bool,
 }
 
 impl FuzzConfig {
@@ -88,6 +95,7 @@ impl FuzzConfig {
             allow_shutdown: false,
             pin_bias: false,
             sharded: false,
+            split: false,
         }
     }
 
@@ -136,6 +144,30 @@ impl FuzzConfig {
     pub fn sharded_valve() -> Self {
         FuzzConfig {
             sharded: true,
+            slots: 12,
+            quantum: Duration::from_nanos(1),
+            ..Self::base()
+        }
+    }
+
+    /// [`FuzzConfig::base`] over the split-lock scheduler (two dispatch locks on the
+    /// 4-core / 2-node topology) with shutdown interleavings allowed: cross-shard
+    /// steals, the multi-shard teardown paths, and the shard-routing of every
+    /// scheduling point run under the full oracle set.
+    pub fn split_lock() -> Self {
+        FuzzConfig {
+            split: true,
+            allow_shutdown: true,
+            ..Self::base()
+        }
+    }
+
+    /// Split-lock variant of [`FuzzConfig::sharded_valve`]: a 1 ns quantum makes the
+    /// *cross-shard* aging valve fire on essentially every pop, so the valve tier and
+    /// the steal tier compete constantly.
+    pub fn split_valve() -> Self {
+        FuzzConfig {
+            split: true,
             slots: 12,
             quantum: Duration::from_nanos(1),
             ..Self::base()
@@ -690,7 +722,9 @@ impl Harness {
 fn build_scheduler(cfg: &FuzzConfig) -> Scheduler {
     let mut config =
         NosvConfig::with_topology(Topology::new(cfg.cores, cfg.nodes)).quantum(cfg.quantum);
-    if cfg.sharded {
+    if cfg.split {
+        config = config.policy(crate::config::PolicyKind::CoopSplit);
+    } else if cfg.sharded {
         config = config.policy(crate::config::PolicyKind::CoopSharded);
     }
     Scheduler::new(config)
@@ -867,6 +901,8 @@ mod tests {
             FuzzConfig::domain_heavy(),
             FuzzConfig::sharded(),
             FuzzConfig::sharded_valve(),
+            FuzzConfig::split_lock(),
+            FuzzConfig::split_valve(),
         ] {
             for seed in 0..8 {
                 let ops = generate(&cfg, seed);
@@ -1018,6 +1054,7 @@ mod tests {
             FuzzConfig::valve(),
             FuzzConfig::shutdown_biased(),
             FuzzConfig::sharded_valve(),
+            FuzzConfig::split_valve(),
         ] {
             for seed in 0..6 {
                 let ops = generate(&cfg, seed);

@@ -79,13 +79,13 @@ pub use faults::{FaultPlan, FaultRecord, FaultSite, FaultSpec, FaultState};
 pub use instance::{NosvInstance, TaskHandle};
 pub use metrics::{MetricsSnapshot, SchedulerMetrics};
 pub use obs::{
-    GaugesSnapshot, Histogram, HistogramSnapshot, ProcessGauges, StageSnapshot, StageStats,
-    StatsRegistry, StatsSample, StatsSampler, StatsSnapshot,
+    GaugesSnapshot, Histogram, HistogramSnapshot, ProcessGauges, ShardSnapshot, ShardStats,
+    StageSnapshot, StageStats, StatsRegistry, StatsSample, StatsSampler, StatsSnapshot,
 };
 pub use policy::{CoopPolicy, FifoPolicy, Policy, ShardedCoopPolicy, TaskMeta};
 pub use process::ProcessId;
 pub use readyq::{
-    CoopCore, CoreMap, PickTier, ProcQueues, ReadyQueues, ReadyTime, ShardedCoopCore,
+    CoopCore, CoreMap, CrossValve, PickTier, ProcQueues, ReadyQueues, ReadyTime, ShardedCoopCore,
     ShardedProcQueues, TopologyView,
 };
 pub use sched_trace::{TraceEntry, TraceEvent, TraceMeta, TraceRecorder};

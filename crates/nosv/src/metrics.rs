@@ -20,9 +20,14 @@ pub struct SchedulerMetrics {
     /// Submits published through the lock-free intake stack (the fast path: one CAS, no
     /// scheduler-lock acquisition).
     pub intake_submits: AtomicU64,
-    /// Global scheduler-lock acquisitions (debug counter). Lets tests and the
-    /// `sched_stress` harness verify that the submit fast path never touches the lock.
+    /// Scheduler-section lock acquisitions — shard locks and the global section combined
+    /// (debug counter). Lets tests and the `sched_stress` harness verify that the submit
+    /// fast path never touches any scheduler lock.
     pub lock_acquisitions: AtomicU64,
+    /// Global-section lock acquisitions only (process/task tables, id counters, shutdown).
+    /// Under the split-lock scheduler the steady-state churn window must record zero of
+    /// these: same-node scheduling points stay entirely on their shard lock.
+    pub global_lock_acquisitions: AtomicU64,
     /// `nosv_pause` calls that actually blocked (released their core).
     pub pauses: AtomicU64,
     /// `nosv_pause` calls satisfied immediately by a counted wake-up.
@@ -74,6 +79,8 @@ pub struct MetricsSnapshot {
     pub intake_submits: u64,
     /// See [`SchedulerMetrics::lock_acquisitions`].
     pub lock_acquisitions: u64,
+    /// See [`SchedulerMetrics::global_lock_acquisitions`].
+    pub global_lock_acquisitions: u64,
     /// See [`SchedulerMetrics::pauses`].
     pub pauses: u64,
     /// See [`SchedulerMetrics::pauses_elided`].
@@ -125,6 +132,7 @@ impl SchedulerMetrics {
             redundant_submits: self.redundant_submits.load(Ordering::Relaxed),
             intake_submits: self.intake_submits.load(Ordering::Relaxed),
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            global_lock_acquisitions: self.global_lock_acquisitions.load(Ordering::Relaxed),
             pauses: self.pauses.load(Ordering::Relaxed),
             pauses_elided: self.pauses_elided.load(Ordering::Relaxed),
             yields: self.yields.load(Ordering::Relaxed),
@@ -177,6 +185,9 @@ impl MetricsSnapshot {
             lock_acquisitions: self
                 .lock_acquisitions
                 .saturating_sub(prev.lock_acquisitions),
+            global_lock_acquisitions: self
+                .global_lock_acquisitions
+                .saturating_sub(prev.global_lock_acquisitions),
             pauses: self.pauses.saturating_sub(prev.pauses),
             pauses_elided: self.pauses_elided.saturating_sub(prev.pauses_elided),
             yields: self.yields.saturating_sub(prev.yields),

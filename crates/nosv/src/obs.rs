@@ -407,6 +407,87 @@ impl StageSnapshot {
 }
 
 // ---------------------------------------------------------------------------------------
+// Per-shard (per-NUMA-node) scheduler-section stats
+// ---------------------------------------------------------------------------------------
+
+/// Contention counters and the dispatch-latency histogram of one scheduler shard (one
+/// NUMA node under the split-lock scheduler; flat-locked schedulers keep everything in
+/// shard 0). Counters are bumped with relaxed atomics by the shard's lock/steal/valve
+/// paths; the histogram records grant→first-run latencies attributed to the *granted*
+/// core's node, so a single slow node cannot hide inside the pooled `dispatch` p99.
+#[derive(Debug)]
+pub struct ShardStats {
+    /// Times this shard's dispatch lock was acquired (blocking or successful try-lock).
+    pub lock_acquisitions: AtomicU64,
+    /// Ready entries this shard *lost* to a foreign core's steal-on-exhaustion.
+    pub steals: AtomicU64,
+    /// Cross-shard aging-valve probes issued *by* this shard's cores that served an aged
+    /// entry from a foreign shard.
+    pub valve_crossings: AtomicU64,
+    /// Grant→first-run latency of grants onto this node's cores.
+    pub dispatch: Histogram,
+}
+
+impl ShardStats {
+    fn new(hist_shards: usize) -> Self {
+        ShardStats {
+            lock_acquisitions: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            valve_crossings: AtomicU64::new(0),
+            dispatch: Histogram::new(hist_shards),
+        }
+    }
+
+    /// Plain snapshot of the shard counters and histogram.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            valve_crossings: self.valve_crossings.load(Ordering::Relaxed),
+            dispatch: self.dispatch.snapshot(),
+        }
+    }
+}
+
+/// Plain snapshot of a [`ShardStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// See [`ShardStats::lock_acquisitions`].
+    pub lock_acquisitions: u64,
+    /// See [`ShardStats::steals`].
+    pub steals: u64,
+    /// See [`ShardStats::valve_crossings`].
+    pub valve_crossings: u64,
+    /// See [`ShardStats::dispatch`].
+    pub dispatch: HistogramSnapshot,
+}
+
+impl ShardSnapshot {
+    /// The activity between `prev` and `self` (counters subtracted, histogram delta'd).
+    pub fn delta(&self, prev: &ShardSnapshot) -> ShardSnapshot {
+        ShardSnapshot {
+            lock_acquisitions: self
+                .lock_acquisitions
+                .saturating_sub(prev.lock_acquisitions),
+            steals: self.steals.saturating_sub(prev.steals),
+            valve_crossings: self.valve_crossings.saturating_sub(prev.valve_crossings),
+            dispatch: self.dispatch.delta(&prev.dispatch),
+        }
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"lock_acquisitions\":{},\"steals\":{},\"valve_crossings\":{},\"dispatch\":{}}}",
+            self.lock_acquisitions,
+            self.steals,
+            self.valve_crossings,
+            self.dispatch.to_json()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------------------
 // Gauges and the unified snapshot
 // ---------------------------------------------------------------------------------------
 
@@ -515,6 +596,9 @@ pub struct StatsSnapshot {
     pub gauges: GaugesSnapshot,
     /// Stage-boundary latency histograms.
     pub stages: StageSnapshot,
+    /// Per-NUMA-node scheduler-shard stats (one entry per node; flat-locked schedulers
+    /// report a single shard).
+    pub shards: Vec<ShardSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -526,14 +610,24 @@ impl StatsSnapshot {
             counters: self.counters.delta(&prev.counters),
             gauges: self.gauges.clone(),
             stages: self.stages.delta(&prev.stages),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| match prev.shards.get(i) {
+                    Some(p) => s.delta(p),
+                    None => s.clone(),
+                })
+                .collect(),
         }
     }
 
     /// Render the whole snapshot as one JSON object (hand-rolled: `usf-nosv` has no
     /// JSON dependency and must not grow one for the sake of a debug dump).
     pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(|s| s.to_json()).collect();
         format!(
-            "{{\"at_s\":{:.6},\"counters\":{{\"submits\":{},\"intake_submits\":{},\"grants\":{},\"pauses\":{},\"yields\":{},\"waitfors\":{},\"lock_acquisitions\":{},\"stalls_detected\":{},\"faults_injected\":{}}},\"gauges\":{},\"stages\":{}}}",
+            "{{\"at_s\":{:.6},\"counters\":{{\"submits\":{},\"intake_submits\":{},\"grants\":{},\"pauses\":{},\"yields\":{},\"waitfors\":{},\"lock_acquisitions\":{},\"global_lock_acquisitions\":{},\"stalls_detected\":{},\"faults_injected\":{}}},\"gauges\":{},\"stages\":{},\"shards\":[{}]}}",
             self.at.as_secs_f64(),
             self.counters.submits,
             self.counters.intake_submits,
@@ -542,10 +636,12 @@ impl StatsSnapshot {
             self.counters.yields,
             self.counters.waitfors,
             self.counters.lock_acquisitions,
+            self.counters.global_lock_acquisitions,
             self.counters.stalls_detected,
             self.counters.faults_injected,
             self.gauges.to_json(),
             self.stages.to_json(),
+            shards.join(","),
         )
     }
 }
@@ -565,15 +661,23 @@ pub struct StatsRegistry {
     created: Instant,
     /// Stage-boundary histograms (recorded by the scheduler hot paths).
     pub stages: StageStats,
+    /// Per-NUMA-node scheduler-shard stats (one entry per node).
+    pub shards: Vec<ShardStats>,
 }
 
 impl StatsRegistry {
-    /// A registry with `shards` histogram shards per stage.
-    pub fn new(shards: usize) -> Self {
+    /// A registry with `shards` histogram shards per stage and `nodes` scheduler shards.
+    pub fn new(shards: usize, nodes: usize) -> Self {
         StatsRegistry {
             created: Instant::now(),
             stages: StageStats::new(shards),
+            shards: (0..nodes.max(1)).map(|_| ShardStats::new(shards)).collect(),
         }
+    }
+
+    /// Snapshot every scheduler-shard stat, ordered by node.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards.iter().map(ShardStats::snapshot).collect()
     }
 
     /// The instant the registry (and scheduler) was created — the snapshot time base.

@@ -66,6 +66,16 @@ pub trait Policy: Send {
         self.pick(topo, core, now).map(|m| (m, None))
     }
 
+    /// Aging-valve-only pick on behalf of `core`: return a task that has waited longer
+    /// than its fairness deadline, or `None`. The split-lock scheduler's cross-shard
+    /// aging valve probes *foreign* shards through this method, so it must not rotate the
+    /// quantum ring or otherwise consume the process turn. Policies without an aging
+    /// valve (e.g. the FIFO ablation) keep the default no-op.
+    fn pick_aged(&mut self, topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
+        let _ = (topo, core, now);
+        None
+    }
+
     /// Whether any task is ready (used by `yield` to decide whether switching is useful).
     fn has_ready(&self) -> bool;
 
@@ -188,6 +198,10 @@ impl Policy for CoopPolicy {
         self.core.pick_tiered(core, now).map(|(m, t)| (m, Some(t)))
     }
 
+    fn pick_aged(&mut self, _topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
+        self.core.pick_aged_for(core, now)
+    }
+
     fn has_ready(&self) -> bool {
         self.core.has_ready()
     }
@@ -279,6 +293,10 @@ impl Policy for ShardedCoopPolicy {
         now: Instant,
     ) -> Option<(TaskMeta, Option<PickTier>)> {
         self.core.pick_tiered(core, now).map(|(m, t)| (m, Some(t)))
+    }
+
+    fn pick_aged(&mut self, _topo: &Topology, core: CoreId, now: Instant) -> Option<TaskMeta> {
+        self.core.pick_aged_for(core, now)
     }
 
     fn has_ready(&self) -> bool {

@@ -10,6 +10,51 @@
 pub type ProcessId = u32;
 
 use crate::topology::CoreId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Lock-free(ish) per-process liveness + placement cell, shared between the global process
+/// table and every task of the process. Scheduling hot paths (intake drain, shard-local
+/// placement) consult it without touching the global section: process ids are never reused,
+/// so a dead cell stays dead and there is no ABA hazard. The domain is a tiny mutex-guarded
+/// vector — written only by `set_process_domain` (rare) and read at placement time under a
+/// shard lock, which is below the grant lock in the hierarchy and never contends with it.
+#[derive(Debug)]
+pub(crate) struct ProcCell {
+    alive: AtomicBool,
+    domain: Mutex<Option<Vec<CoreId>>>,
+}
+
+impl ProcCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ProcCell {
+            alive: AtomicBool::new(true),
+            domain: Mutex::new(None),
+        })
+    }
+
+    /// Whether the owning process is still registered.
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Mark the process dead (deregister / kill). Sticky: never resurrected.
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Replace the placement domain.
+    pub(crate) fn set_domain(&self, domain: Option<Vec<CoreId>>) {
+        *self.domain.lock() = domain;
+    }
+
+    /// Clone the placement domain (placement decisions need an owned copy anyway since
+    /// they outlive the cell lock).
+    pub(crate) fn domain(&self) -> Option<Vec<CoreId>> {
+        self.domain.lock().clone()
+    }
+}
 
 /// Bookkeeping for one registered process domain.
 #[derive(Debug, Clone)]
@@ -25,6 +70,9 @@ pub struct ProcessInfo {
     /// Placement domain: the cores this process's tasks may be granted, when restricted
     /// (NUMA-aware pinning, §5.6). `None` means anywhere.
     pub domain: Option<Vec<CoreId>>,
+    /// Shared liveness/domain cell; each task of the process holds a clone so shard-local
+    /// scheduling paths can check process liveness without the global lock.
+    pub(crate) cell: Arc<ProcCell>,
 }
 
 impl ProcessInfo {
@@ -36,6 +84,7 @@ impl ProcessInfo {
             tasks_created: 0,
             tasks_live: 0,
             domain: None,
+            cell: ProcCell::new(),
         }
     }
 }

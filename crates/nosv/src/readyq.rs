@@ -1240,6 +1240,65 @@ impl<P: Copy + Eq + Hash, T, C: ReadyTime, Q: ReadyQueues<T, C>> CoopCore<P, T, 
         }
         None
     }
+
+    /// Aging-valve-only pick on behalf of `core`: serve an entry that has waited longer
+    /// than one quantum, oldest-first, from any process whose domain allows the core.
+    /// This is the cross-shard aging valve's probe into a foreign shard — the quantum
+    /// ring is deliberately not rotated and the current turn is untouched, exactly like
+    /// the valve tier inside `pop_for`: aged service is a fairness override, not a turn.
+    /// Like [`ProcQueues::pop_aged`], probing re-arms each probed queue's valve deadline
+    /// even when nothing is old enough, a side effect the sim replay re-executes.
+    pub fn pick_aged_for(&mut self, core: usize, now: C) -> Option<T> {
+        for i in 0..self.order.len() {
+            let pid = self.order[i];
+            if let Some(q) = self.queues.get_mut(&pid) {
+                if !q.allows(core) {
+                    continue;
+                }
+                if let Some(t) = q.pop_aged(now, self.quantum) {
+                    self.total -= 1;
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Rate limiter for the cross-shard aging valve: at most one foreign-shard aged probe per
+/// `period` per shard. Same deadline discipline as the per-queue valve in
+/// [`ProcQueues::pop_for`] — first call arms without firing; once armed, a call at or past
+/// the deadline fires and re-arms from `now`. Driven under the owning shard's lock; the
+/// sim replay keeps an identical instance per shard so probe timing replays exactly.
+#[derive(Debug, Default)]
+pub struct CrossValve<C: ReadyTime> {
+    next_at: Option<C>,
+}
+
+impl<C: ReadyTime> CrossValve<C> {
+    /// An unarmed valve.
+    pub fn new() -> Self {
+        CrossValve { next_at: None }
+    }
+
+    /// Tick the valve at `now`: returns whether a cross-shard probe is due. Arms on first
+    /// use, re-arms `period` after every firing.
+    pub fn crossed(&mut self, now: C, period: C::Delta) -> bool {
+        match self.next_at {
+            None => {
+                self.next_at = Some(now.advance(period));
+                false
+            }
+            Some(t) => {
+                if t <= now {
+                    self.next_at = Some(now.advance(period));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

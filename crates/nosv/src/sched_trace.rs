@@ -14,16 +14,22 @@
 //!
 //! # Which events are authoritative
 //!
-//! Events recorded **under the scheduler lock** — [`TraceEvent::RegisterProcess`],
+//! Events recorded **under a scheduler-section lock** — [`TraceEvent::RegisterProcess`],
 //! [`TraceEvent::DeregisterProcess`], [`TraceEvent::SetDomain`],
 //! [`TraceEvent::IntakeDrain`], [`TraceEvent::Enqueue`], [`TraceEvent::Pop`],
 //! [`TraceEvent::Grant`], [`TraceEvent::Yield`], [`TraceEvent::Migrate`] and
-//! [`TraceEvent::Shutdown`] — are totally ordered by the lock, so their recorded order *is*
-//! the order the scheduler acted in; they are the authoritative replay script.
-//! [`TraceEvent::Submit`] is recorded on the lock-free intake path, so under concurrent
-//! submitters its position is only causally ordered (it always precedes the `IntakeDrain`
-//! that absorbs it); single-threaded drivers — the fuzzer, the record/replay tests — get a
-//! fully deterministic total order.
+//! [`TraceEvent::Shutdown`] — carry a global atomic sequence stamp taken at the recording
+//! point; the recorder orders entries by it. Under a flat (single-shard) scheduler the
+//! one lock totally orders those stamps, so the recorded order *is* the order the
+//! scheduler acted in — the authoritative replay script, exactly as before the split.
+//! Under the split-lock scheduler (`sched_coop_split`) events of *different shards* are
+//! stamped under different locks: any single-threaded driver — the fuzzer, the
+//! record/replay tests — still gets an exact total order (each event completes before the
+//! next begins), while genuinely concurrent multi-shard traces are best-effort ordered
+//! (cross-shard probe side effects cannot be linearized after the fact) and replay treats
+//! them as diagnostic only. [`TraceEvent::Submit`] is recorded on the lock-free intake
+//! path, so under concurrent submitters its position is only causally ordered (it always
+//! precedes the `IntakeDrain` that absorbs it).
 //!
 //! # Logical time
 //!
@@ -67,6 +73,7 @@ impl TraceMeta {
             policy: match &config.policy {
                 PolicyKind::Coop => "sched_coop".to_string(),
                 PolicyKind::CoopSharded => "sched_coop_sharded".to_string(),
+                PolicyKind::CoopSplit => "sched_coop_split".to_string(),
                 PolicyKind::Fifo => "fifo".to_string(),
                 PolicyKind::Custom(_) => "custom".to_string(),
             },
@@ -218,7 +225,15 @@ pub struct TraceEntry {
 pub struct TraceRecorder {
     meta: TraceMeta,
     base: Instant,
-    events: Mutex<Vec<TraceEntry>>,
+    /// `(seq, at_nanos, event)` in arrival order. `seq` is the recording-point order
+    /// stamp: the scheduler passes its global atomic counter through
+    /// [`TraceRecorder::record_at_seq`], which linearizes events recorded under
+    /// different shard locks; entries are stable-sorted by it (and assigned dense
+    /// `step`s) at snapshot/take time.
+    events: Mutex<Vec<(u64, u64, TraceEvent)>>,
+    /// Fallback stamp source for [`TraceRecorder::record_at`] callers that have no
+    /// external counter (tests, ad-hoc recording).
+    next_seq: std::sync::atomic::AtomicU64,
 }
 
 impl TraceRecorder {
@@ -229,6 +244,7 @@ impl TraceRecorder {
             meta,
             base: Instant::now(),
             events: Mutex::new(Vec::new()),
+            next_seq: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -237,16 +253,24 @@ impl TraceRecorder {
         &self.meta
     }
 
+    /// Append an event stamped with the exact instant the corresponding policy call used
+    /// and an externally assigned order stamp (the scheduler's global sequence counter).
+    pub fn record_at_seq(&self, at: Instant, seq: u64, event: TraceEvent) {
+        let at_nanos = at.saturating_duration_since(self.base).as_nanos() as u64;
+        // Keep the internal fallback counter ahead of external stamps so mixed callers
+        // never interleave out of order.
+        self.next_seq
+            .fetch_max(seq + 1, std::sync::atomic::Ordering::Relaxed);
+        self.events.lock().push((seq, at_nanos, event));
+    }
+
     /// Append an event stamped with the exact instant the corresponding policy call used.
     pub fn record_at(&self, at: Instant, event: TraceEvent) {
+        let seq = self
+            .next_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let at_nanos = at.saturating_duration_since(self.base).as_nanos() as u64;
-        let mut ev = self.events.lock();
-        let step = ev.len() as u64;
-        ev.push(TraceEntry {
-            step,
-            at_nanos,
-            event,
-        });
+        self.events.lock().push((seq, at_nanos, event));
     }
 
     /// Append an event that involves no policy time (stamped with the recording moment).
@@ -264,15 +288,29 @@ impl TraceRecorder {
         self.events.lock().is_empty()
     }
 
-    /// Clone the recorded entries (the recorder keeps recording).
-    pub fn snapshot(&self) -> Vec<TraceEntry> {
-        self.events.lock().clone()
+    /// Sort raw entries by their order stamp and assign dense steps.
+    fn finalize(mut raw: Vec<(u64, u64, TraceEvent)>) -> Vec<TraceEntry> {
+        raw.sort_by_key(|&(seq, _, _)| seq);
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (_, at_nanos, event))| TraceEntry {
+                step: i as u64,
+                at_nanos,
+                event,
+            })
+            .collect()
     }
 
-    /// Take the recorded entries, leaving the recorder empty. Subsequent entries restart
-    /// at step 0.
+    /// Clone the recorded entries, ordered by their sequence stamp (the recorder keeps
+    /// recording).
+    pub fn snapshot(&self) -> Vec<TraceEntry> {
+        Self::finalize(self.events.lock().clone())
+    }
+
+    /// Take the recorded entries (ordered by their sequence stamp), leaving the recorder
+    /// empty. Subsequent entries restart at step 0.
     pub fn take(&self) -> Vec<TraceEntry> {
-        std::mem::take(&mut *self.events.lock())
+        Self::finalize(std::mem::take(&mut *self.events.lock()))
     }
 }
 

@@ -1,45 +1,76 @@
 //! The centralized multi-process scheduler (the "shared memory segment" of nOS-V).
 //!
 //! One [`Scheduler`] instance owns the virtual core slots and the installed [`Policy`].
-//! Structural mutation (core slots, policy queues, task registry) happens under a single
-//! mutex (`SchedState`); per-task grant slots have their own lock so a worker can wait for
-//! a core without holding the scheduler lock.
+//! The scheduler section is **split along the NUMA shard boundary**: each node owns an
+//! independently locked `ShardState` (its core slots, grant/stall bookkeeping and a full
+//! SCHED_COOP ready-queue core), while the rarely-written registry — process table, task
+//! table, id counters, the shutdown flag — lives in a `GlobalState` behind its own lock.
+//! Per-task grant slots keep their own lock so a worker can wait for a core without
+//! holding any scheduler-section lock. Flat policies ([`PolicyKind::Coop`] etc.) run with
+//! a single shard owning every core, which makes the split a strict generalization of the
+//! previous single-mutex scheduler; [`PolicyKind::CoopSplit`] instantiates one shard per
+//! NUMA node.
 //!
 //! **The de-contended hot path.** The paper's central claim is that scheduling points are
 //! cheap enough for a centralized scheduler to arbitrate oversubscription, so the
-//! operations that fire on every wake-up must not serialize on the global lock:
+//! operations that fire on every wake-up must not serialize on a global lock:
 //!
 //! * `submit` to a busy system publishes the ready task onto a **lock-free MPSC intake
 //!   stack, sharded per NUMA node** with one CAS and returns (submitters targeting
 //!   different nodes never touch the same cache line). The intake is drained — under the
-//!   lock, every shard merged back into global submission order by an atomic sequence
-//!   stamp — by whichever core reaches the next scheduling point
-//!   (release/dispatch/yield), i.e. by threads that were taking the lock anyway, and by
-//!   workers about to park (the pre-park drain, so a wake-up never waits for the next
-//!   organic scheduling point). Only when idle cores exist does `submit` take the lock
-//!   itself to place the task immediately (an idle system is uncontended by definition).
-//! * Grant-slot condvar notifications are **never delivered under the scheduler lock**:
-//!   grants collect the woken tasks into a [`WakeBatch`] and fire it only after every
-//!   guard has dropped, so a woken worker never convoys on the lock its waker holds.
+//!   shard lock, restored to submission order by an atomic sequence stamp — by whichever
+//!   core reaches the next scheduling point (release/dispatch/yield), i.e. by threads
+//!   that were taking that shard's lock anyway, and by workers about to park (the
+//!   pre-park drain, so a wake-up never waits for the next organic scheduling point).
+//!   Only when idle cores exist does `submit` take a shard lock itself to place the task
+//!   immediately (an idle system is uncontended by definition).
+//! * Same-node scheduling points — the submit-triggered drain, `place_ready_task`,
+//!   `pick_live`, `release_core`, `dispatch_idle_cores` for a core of node N — take only
+//!   node N's shard lock. Producers and consumers pinned to different nodes never share
+//!   a scheduler-section cache line end-to-end: intake shard, dispatch lock and core
+//!   slots are all per-node.
+//! * Grant-slot condvar notifications are **never delivered under a scheduler-section
+//!   lock**: grants collect the woken tasks into a `WakeBatch` and fire it only after
+//!   every guard has dropped, so a woken worker never convoys on the lock its waker
+//!   holds.
 //! * `has_ready`, `ready_count` and `busy_cores` read relaxed-ish atomic gauges
 //!   (`ready_tasks`, `idle_cores`), so `yield_now`'s "is switching useful" check never
 //!   contends with submitters.
-//! * Every scheduler-lock acquisition bumps the `lock_acquisitions` debug counter, which
-//!   is how tests (and `sched_stress --smoke` in CI) verify the submit fast path performs
-//!   no global-lock acquisition.
+//! * Every scheduler-section lock acquisition bumps the `lock_acquisitions` debug
+//!   counter and global-section acquisitions additionally bump
+//!   `global_lock_acquisitions`, which is how tests (and `sched_stress --smoke` in CI)
+//!   verify that the submit fast path takes no lock at all and that steady-state wake
+//!   churn never touches the global section.
 //!
-//! **Lock ordering**: the scheduler lock may acquire a task's grant lock (to deliver a
-//! grant), but a grant lock is never held while acquiring the scheduler lock. The public
-//! entry points (`submit`, `pause`, …) inspect/update the grant slot first, drop it, and
-//! only then take the scheduler lock.
+//! # Lock hierarchy
+//!
+//! Three lock classes, in strict acquisition order (see the matching table in DESIGN.md):
+//!
+//! 1. **Global-section lock** (`GlobalState`): process/task tables, id counters, the
+//!    shutdown flag. May be held while taking shard locks (rare multi-shard ops below);
+//!    never acquired while holding a shard or grant lock.
+//! 2. **Shard locks** (`ShardState`, one per node): at most one is *block*-acquired at a
+//!    time; additional shards are reached only via `try_lock` (cross-shard stealing and
+//!    the rate-limited aging valve), which cannot deadlock regardless of order.
+//! 3. **Grant locks** (per task): may be taken under a shard lock (grant delivery) or the
+//!    global teardown paths; a grant lock is never held while acquiring any
+//!    scheduler-section lock. The public entry points (`submit`, `pause`, …)
+//!    inspect/update the grant slot first, drop it, and only then take scheduler locks.
+//!
+//! The enumerated multi-shard operations — `register_process`/`deregister_process`,
+//!    `kill_process`, `set_process_domain`, `shutdown`, `watchdog_scan`, `rescue_drain`
+//!    and the cross-shard dispatch sweep — visit shards strictly one at a time in
+//!    ascending node order, and never hold two block-acquired shard locks or fire a
+//!    `WakeBatch` while any scheduler-section lock is held.
 
-use crate::config::NosvConfig;
+use crate::config::{NosvConfig, PolicyKind};
 use crate::error::{NosvError, Result};
 use crate::faults::FaultSite;
 use crate::metrics::SchedulerMetrics;
 use crate::obs::{GaugesSnapshot, ProcessGauges, StatsRegistry, StatsSample, StatsSnapshot};
 use crate::policy::{classify_placement, PlacementKind, Policy, TaskMeta};
 use crate::process::{ProcessId, ProcessInfo};
+use crate::readyq::{CrossValve, PickTier};
 use crate::sched_trace::TraceEvent;
 use crate::task::{Task, TaskId, TaskRef, TaskState, WaitOutcome};
 use crate::topology::{CoreId, Topology};
@@ -59,7 +90,12 @@ macro_rules! trace_event {
         #[cfg(feature = "sched-trace")]
         {
             if let Some(rec) = $sched.tracer.as_ref() {
-                rec.record_at($at, $ev);
+                // The global sequence stamp linearizes events recorded under different
+                // shard locks (the recorder stable-sorts by it), the same trick the
+                // sharded intake uses. Under a single lock (flat policies) the stamp
+                // order equals the record order, so this is a no-op there.
+                let seq = $sched.sched_seq.fetch_add(1, Ordering::Relaxed);
+                rec.record_at_seq($at, seq, $ev);
             }
         }
         #[cfg(not(feature = "sched-trace"))]
@@ -264,16 +300,43 @@ impl Drop for WakeBatch {
     }
 }
 
-/// Scheduler state protected by the central lock.
-pub(crate) struct SchedState {
-    cores: Vec<CoreSlot>,
-    policy: Box<dyn Policy>,
+/// The rarely-written registry section of the scheduler, behind its own lock (level 1 of
+/// the lock hierarchy — see the module documentation): process and task tables, id
+/// counters and the shutdown flag. Steady-state wake churn never touches it; every
+/// acquisition additionally bumps `global_lock_acquisitions`, which is how the
+/// `sched_stress --smoke` sentinel proves that.
+pub(crate) struct GlobalState {
     tasks: HashMap<TaskId, TaskRef>,
     processes: HashMap<ProcessId, ProcessInfo>,
     next_task_id: TaskId,
     next_process_id: ProcessId,
     shutdown: bool,
-    /// When each busy core was last granted (the grant-to-run watchdog's reference point).
+}
+
+/// Per-NUMA-node dispatch state, independently locked (level 2 of the lock hierarchy):
+/// the node's core slots and watchdog bookkeeping, a full SCHED_COOP ready-queue core,
+/// and the cross-shard aging valve. Flat policies run one shard owning every core, so
+/// the single-lock scheduler is the one-shard special case of this structure.
+pub(crate) struct ShardState {
+    /// This shard's index (== NUMA node id under [`PolicyKind::CoopSplit`]).
+    si: usize,
+    /// The global ids of the cores this shard owns, ascending (parallel to `slots`).
+    cores: Vec<CoreId>,
+    /// Core slots, indexed by *local* core index (see `Scheduler::core_shard`).
+    slots: Vec<CoreSlot>,
+    /// The shard's ready queues; a full policy instance so per-process quanta and the
+    /// pick tiers work unchanged within a shard.
+    policy: Box<dyn Policy>,
+    /// Tasks currently queued in this shard's policy, so the pick path can resolve a
+    /// popped [`TaskMeta`] to its [`TaskRef`] (and detect stale entries of released
+    /// tasks) without the global task table.
+    queued: HashMap<TaskId, TaskRef>,
+    /// Rate limiter on cross-shard aged picks: at most one foreign-shard aging probe per
+    /// quantum per shard, so the anti-starvation valve never becomes a steady cross-node
+    /// traffic source.
+    xvalve: CrossValve<Instant>,
+    /// When each busy core was last granted (the grant-to-run watchdog's reference
+    /// point), by local core index.
     granted_at: Vec<Option<Instant>>,
     /// Whether the current grant on each core has already been flagged by a watchdog scan
     /// (each non-progressing grant is reported once, not on every scan).
@@ -309,7 +372,17 @@ pub struct KillReport {
 pub struct Scheduler {
     topo: Topology,
     config: NosvConfig,
-    state: Mutex<SchedState>,
+    /// The rarely-written registry section (level 1 of the lock hierarchy).
+    global: Mutex<GlobalState>,
+    /// Per-node dispatch shards (level 2). One entry for flat policies; one per NUMA
+    /// node under [`PolicyKind::CoopSplit`].
+    shards: Box<[Mutex<ShardState>]>,
+    /// Global core id → (shard index, local core index), fixed at construction.
+    core_shard: Vec<(usize, usize)>,
+    /// Per-shard policy-ready entry counts, maintained under the owning shard's lock and
+    /// read lock-free by foreign shards deciding whether a steal/valve probe (or the
+    /// cross-shard dispatch sweep) is worth a `try_lock` at all.
+    shard_ready: Box<[AtomicUsize]>,
     metrics: SchedulerMetrics,
     /// Always-on observability plane: stage-boundary latency histograms and the snapshot
     /// time base (see [`crate::obs`]). Recording never takes the scheduler lock.
@@ -336,6 +409,10 @@ pub struct Scheduler {
     /// Installed schedule-trace recorder, if any (see [`crate::sched_trace`]).
     #[cfg(feature = "sched-trace")]
     tracer: Option<std::sync::Arc<crate::sched_trace::TraceRecorder>>,
+    /// Global order stamp for trace events recorded under different shard locks (see
+    /// `trace_event!`).
+    #[cfg(feature = "sched-trace")]
+    sched_seq: std::sync::atomic::AtomicU64,
     /// Installed fault plan, if any (see [`crate::faults`]). A `OnceLock` rather than a
     /// plain `Option` so harnesses holding only the shared `Arc<Scheduler>` (the real
     /// executors, the chaos bench) can still install a plan; the hot-path consult is a
@@ -356,23 +433,52 @@ impl std::fmt::Debug for Scheduler {
 impl Scheduler {
     /// Create a scheduler with the given configuration.
     pub fn new(config: NosvConfig) -> Self {
-        let policy = config.policy.build(&config);
-        let cores = config.topology.num_cores();
+        let topo = config.topology.clone();
+        let cores = topo.num_cores();
+        let split = matches!(config.policy, PolicyKind::CoopSplit);
+        let nshards = if split {
+            topo.num_numa_nodes().max(1)
+        } else {
+            1
+        };
+        let mut core_shard = vec![(0usize, 0usize); cores];
+        let shards: Box<[Mutex<ShardState>]> = (0..nshards)
+            .map(|si| {
+                let owned: Vec<CoreId> = if split {
+                    topo.cores_in_node(si).collect()
+                } else {
+                    topo.cores().collect()
+                };
+                for (li, &c) in owned.iter().enumerate() {
+                    core_shard[c] = (si, li);
+                }
+                let n = owned.len();
+                Mutex::new(ShardState {
+                    si,
+                    cores: owned,
+                    slots: vec![CoreSlot::Idle; n],
+                    policy: config.policy.build(&config),
+                    queued: HashMap::new(),
+                    xvalve: CrossValve::new(),
+                    granted_at: vec![None; n],
+                    stall_flagged: vec![false; n],
+                })
+            })
+            .collect();
         Scheduler {
-            topo: config.topology.clone(),
-            state: Mutex::new(SchedState {
-                cores: vec![CoreSlot::Idle; cores],
-                policy,
+            topo,
+            global: Mutex::new(GlobalState {
                 tasks: HashMap::new(),
                 processes: HashMap::new(),
                 next_task_id: 1,
                 next_process_id: 1,
                 shutdown: false,
-                granted_at: vec![None; cores],
-                stall_flagged: vec![false; cores],
             }),
+            shards,
+            core_shard,
+            shard_ready: (0..nshards).map(|_| AtomicUsize::new(0)).collect(),
             metrics: SchedulerMetrics::default(),
-            stats: StatsRegistry::new(cores),
+            stats: StatsRegistry::new(cores, nshards),
             intakes: (0..config.topology.num_numa_nodes().max(1))
                 .map(|_| Intake::new())
                 .collect(),
@@ -383,6 +489,8 @@ impl Scheduler {
             shutting_down: AtomicBool::new(false),
             #[cfg(feature = "sched-trace")]
             tracer: None,
+            #[cfg(feature = "sched-trace")]
+            sched_seq: std::sync::atomic::AtomicU64::new(0),
             #[cfg(feature = "fault-inject")]
             faults: std::sync::OnceLock::new(),
         }
@@ -415,11 +523,63 @@ impl Scheduler {
         std::sync::Arc::clone(self.faults.get_or_init(|| st))
     }
 
-    /// Acquire the global scheduler lock, bumping the debug counter that lets tests prove
-    /// which paths stay off it.
-    fn lock_state(&self) -> parking_lot::MutexGuard<'_, SchedState> {
+    /// Acquire the global-section lock (registry tables), bumping both the debug counter
+    /// that lets tests prove which paths stay off every scheduler-section lock and the
+    /// global-specific counter the `sched_stress --smoke` churn sentinel asserts stays
+    /// flat in steady state.
+    fn lock_global(&self) -> parking_lot::MutexGuard<'_, GlobalState> {
         SchedulerMetrics::inc(&self.metrics.lock_acquisitions);
-        self.state.lock()
+        SchedulerMetrics::inc(&self.metrics.global_lock_acquisitions);
+        self.global.lock()
+    }
+
+    /// Block-acquire shard `si`'s dispatch lock. At most one shard lock is ever
+    /// block-acquired at a time (the hierarchy's level-2 rule); additional shards are
+    /// reached only through [`Scheduler::try_lock_shard`].
+    fn lock_shard(&self, si: usize) -> parking_lot::MutexGuard<'_, ShardState> {
+        SchedulerMetrics::inc(&self.metrics.lock_acquisitions);
+        self.stats.shards[si]
+            .lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        self.shards[si].lock()
+    }
+
+    /// Opportunistically acquire a *second* shard's lock (cross-shard stealing and the
+    /// aging valve). Never blocks, so no ordering discipline between shard locks is
+    /// needed to stay deadlock-free — a busy victim is simply skipped.
+    fn try_lock_shard(&self, si: usize) -> Option<parking_lot::MutexGuard<'_, ShardState>> {
+        let g = self.shards[si].try_lock()?;
+        SchedulerMetrics::inc(&self.metrics.lock_acquisitions);
+        self.stats.shards[si]
+            .lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        Some(g)
+    }
+
+    /// The shard owning `core`.
+    fn shard_of(&self, core: CoreId) -> usize {
+        self.core_shard[core].0
+    }
+
+    /// The shard a submit of `task` drains into: its preferred core's shard (tasks with
+    /// no usable preference go to shard 0, mirroring [`Scheduler::intake_shard`]).
+    fn home_shard(&self, task: &TaskRef) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        task.preferred_core()
+            .filter(|&c| c < self.topo.num_cores())
+            .map_or(0, |c| self.topo.node_of(c))
+    }
+
+    /// Whether any *other* shard has policy-queued work (lock-free probe guard).
+    fn others_ready(&self, si: usize) -> bool {
+        self.shards.len() > 1
+            && self
+                .shard_ready
+                .iter()
+                .enumerate()
+                .any(|(i, r)| i != si && r.load(Ordering::Relaxed) > 0)
     }
 
     /// Total entries across the per-node intake shards (the intake-depth gauge).
@@ -465,29 +625,36 @@ impl Scheduler {
 
     /// One unified observation of the scheduler: cumulative counters, instantaneous
     /// gauges (including per-process ready-queue depths) and the stage-boundary latency
-    /// histograms. Takes the scheduler lock briefly for the per-process gauges — an
-    /// observation tool, not a hot-path call (the lock acquisition shows up in
-    /// `lock_acquisitions` like any other).
+    /// histograms. Takes each shard lock briefly (one at a time) plus the global lock for
+    /// the per-process gauges — an observation tool, not a hot-path call (the lock
+    /// acquisitions show up in `lock_acquisitions` like any others).
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let counters = self.metrics.snapshot();
         let stages = self.stats.stages.snapshot();
-        let (live_tasks, processes) = {
-            let st = self.lock_state();
-            let mut running: HashMap<ProcessId, usize> = HashMap::new();
-            for slot in &st.cores {
+        let mut running_tids: Vec<TaskId> = Vec::new();
+        let mut depths: HashMap<ProcessId, (usize, usize)> = HashMap::new();
+        for si in 0..self.shards.len() {
+            let st = self.lock_shard(si);
+            for slot in &st.slots {
                 if let CoreSlot::Busy(tid) = slot {
-                    if let Some(t) = st.tasks.get(tid) {
-                        *running.entry(t.process()).or_insert(0) += 1;
-                    }
+                    running_tids.push(*tid);
                 }
             }
-            let depths: HashMap<ProcessId, (usize, usize)> = st
-                .policy
-                .queue_depths()
-                .into_iter()
-                .map(|(p, bound, unbound)| (p, (bound, unbound)))
-                .collect();
-            let mut procs: Vec<ProcessGauges> = st
+            for (p, bound, unbound) in st.policy.queue_depths() {
+                let e = depths.entry(p).or_insert((0, 0));
+                e.0 += bound;
+                e.1 += unbound;
+            }
+        }
+        let (live_tasks, processes) = {
+            let g = self.lock_global();
+            let mut running: HashMap<ProcessId, usize> = HashMap::new();
+            for tid in &running_tids {
+                if let Some(t) = g.tasks.get(tid) {
+                    *running.entry(t.process()).or_insert(0) += 1;
+                }
+            }
+            let mut procs: Vec<ProcessGauges> = g
                 .processes
                 .values()
                 .map(|p| {
@@ -502,7 +669,7 @@ impl Scheduler {
                 })
                 .collect();
             procs.sort_by_key(|p| p.id);
-            (st.tasks.len(), procs)
+            (g.tasks.len(), procs)
         };
         StatsSnapshot {
             at: self.stats.elapsed(),
@@ -517,6 +684,7 @@ impl Scheduler {
                 processes,
             },
             stages,
+            shards: self.stats.shard_snapshots(),
         }
     }
 
@@ -546,12 +714,19 @@ impl Scheduler {
 
     /// Name of the installed policy.
     pub fn policy_name(&self) -> String {
-        self.lock_state().policy.name().to_string()
+        if matches!(self.config.policy, PolicyKind::CoopSplit) {
+            // Each shard's building block reports "sched_coop"; the assembled scheduler
+            // is the split variant.
+            return "sched_coop_split".to_string();
+        }
+        self.lock_shard(0).policy.name().to_string()
     }
 
-    /// Number of process-quantum rotations performed by the policy.
+    /// Number of process-quantum rotations performed by the policy (summed over shards).
     pub fn policy_rotations(&self) -> u64 {
-        self.lock_state().policy.rotations()
+        (0..self.shards.len())
+            .map(|si| self.lock_shard(si).policy.rotations())
+            .sum()
     }
 
     /// Number of tasks currently ready (queued, not running). Lock-free: reads the atomic
@@ -575,20 +750,27 @@ impl Scheduler {
 
     /// Number of live (registered, unfinished) tasks.
     pub fn live_tasks(&self) -> usize {
-        self.lock_state().tasks.len()
+        self.lock_global().tasks.len()
     }
 
     // -------------------------------------------------------------------------------------
     // Processes
     // -------------------------------------------------------------------------------------
 
-    /// Register a process domain and return its identifier.
+    /// Register a process domain and return its identifier. A multi-shard operation:
+    /// global registry first, then every shard's policy, one lock at a time in ascending
+    /// order (rare by design — registration is not a scheduling point).
     pub fn register_process(&self, name: impl Into<String>) -> ProcessId {
-        let mut st = self.lock_state();
-        let id = st.next_process_id;
-        st.next_process_id += 1;
-        st.processes.insert(id, ProcessInfo::new(id, name));
-        st.policy.register_process(id);
+        let id = {
+            let mut g = self.lock_global();
+            let id = g.next_process_id;
+            g.next_process_id += 1;
+            g.processes.insert(id, ProcessInfo::new(id, name));
+            id
+        };
+        for si in 0..self.shards.len() {
+            self.lock_shard(si).policy.register_process(id);
+        }
         trace_event!(
             self,
             Instant::now(),
@@ -608,34 +790,46 @@ impl Scheduler {
     pub fn deregister_process(&self, process: ProcessId) {
         let mut wakes = WakeBatch::new();
         let stranded: Vec<TaskRef> = {
-            let mut st = self.lock_state();
-            st.processes.remove(&process);
-            // Flush the intake first: a task of this process still sitting in the intake
-            // would otherwise be enqueued at a later drain and auto-re-register the
-            // process in the quantum rotation after it was purged.
-            self.drain_intake(&mut st, &mut wakes);
-            // The policy drops any entries still queued for the process; the lock-free
-            // ready gauge must shed them too or has_ready() would stay stuck true and
-            // permanently defeat the yield fast path.
-            let before = st.policy.ready_count();
-            st.policy.deregister_process(process);
-            trace_event!(
-                self,
-                Instant::now(),
-                TraceEvent::DeregisterProcess { process }
-            );
-            let dropped = before.saturating_sub(st.policy.ready_count());
-            if dropped > 0 {
-                self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
+            let mut g = self.lock_global();
+            if let Some(p) = g.processes.remove(&process) {
+                // Marking the shared cell dead is what lets shard-local paths (intake
+                // drains, submit_locked) reject the process's tasks from now on without
+                // the global lock.
+                p.cell.mark_dead();
             }
-            st.tasks
+            g.tasks
                 .values()
                 .filter(|t| t.process() == process)
                 .cloned()
                 .collect()
         };
-        // The scheduler lock is dropped; release each stranded waiter and notify only
-        // after its grant guard is dropped too (collect-then-notify — see `WakeBatch`).
+        trace_event!(
+            self,
+            Instant::now(),
+            TraceEvent::DeregisterProcess { process }
+        );
+        // Purge every shard, one lock at a time. Each shard's intake drain runs first: a
+        // task of this process still sitting in the intake would otherwise be enqueued at
+        // a later drain — the dead process cell makes the drain release it instead. The
+        // policy then drops any entries still queued for the process; the lock-free ready
+        // gauges must shed them too or has_ready() would stay stuck true and permanently
+        // defeat the yield fast path.
+        for si in 0..self.shards.len() {
+            let mut st = self.lock_shard(si);
+            self.drain_intake(&mut st, &mut wakes);
+            let before = st.policy.ready_count();
+            st.policy.deregister_process(process);
+            let dropped = before.saturating_sub(st.policy.ready_count());
+            if dropped > 0 {
+                self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
+                self.shard_ready[si].fetch_sub(dropped, Ordering::Relaxed);
+            }
+            st.queued.retain(|_, t| t.process() != process);
+            drop(st);
+            wakes.fire();
+        }
+        // Every scheduler-section lock is dropped; release each stranded waiter and
+        // notify only after its grant guard is dropped too (collect-then-notify).
         for t in stranded {
             if t.release_if_waiting() {
                 t.grant_cv.notify_all();
@@ -653,38 +847,56 @@ impl Scheduler {
     pub fn kill_process(&self, process: ProcessId) -> KillReport {
         let mut report = KillReport::default();
         let mut wakes = WakeBatch::new();
-        let mut st = self.lock_state();
-        if st.processes.remove(&process).is_none() {
-            return report;
-        }
-        SchedulerMetrics::inc(&self.metrics.processes_killed);
-        // Flush the intake first (same reason as deregister): a task of this process
-        // still sitting there must be purged, not re-enqueued at a later drain.
-        self.drain_intake(&mut st, &mut wakes);
-        let before = st.policy.ready_count();
-        st.policy.deregister_process(process);
+        // Phase 1 (global): unregister, mark the shared cell dead (shard-local paths
+        // reject the process's tasks from here on) and pull every victim out of the task
+        // table.
+        let victims: Vec<TaskRef> = {
+            let mut g = self.lock_global();
+            let Some(p) = g.processes.remove(&process) else {
+                return report;
+            };
+            p.cell.mark_dead();
+            SchedulerMetrics::inc(&self.metrics.processes_killed);
+            let victims: Vec<TaskRef> = g
+                .tasks
+                .values()
+                .filter(|t| t.process() == process)
+                .cloned()
+                .collect();
+            for t in &victims {
+                g.tasks.remove(&t.id());
+                SchedulerMetrics::inc(&self.metrics.tasks_reclaimed);
+            }
+            victims
+        };
         trace_event!(
             self,
             Instant::now(),
             TraceEvent::DeregisterProcess { process }
         );
-        let dropped = before.saturating_sub(st.policy.ready_count());
-        if dropped > 0 {
-            self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
+        // Phase 2 (per shard, one lock at a time): flush the intake (victims sitting
+        // there are released by the drain — their process cell is dead) and purge the
+        // policy queues, shedding the ready gauges.
+        for si in 0..self.shards.len() {
+            let mut st = self.lock_shard(si);
+            self.drain_intake(&mut st, &mut wakes);
+            let before = st.policy.ready_count();
+            st.policy.deregister_process(process);
+            let dropped = before.saturating_sub(st.policy.ready_count());
+            if dropped > 0 {
+                self.ready_tasks.fetch_sub(dropped as i64, Ordering::SeqCst);
+                self.shard_ready[si].fetch_sub(dropped, Ordering::Relaxed);
+            }
+            st.queued.retain(|_, t| t.process() != process);
+            report.queued_reclaimed += dropped;
+            drop(st);
+            wakes.fire();
         }
-        report.queued_reclaimed = dropped;
-        let victims: Vec<TaskRef> = st
-            .tasks
-            .values()
-            .filter(|t| t.process() == process)
-            .cloned()
-            .collect();
+        // Phase 3 (grant teardown, no scheduler-section lock held): evict running
+        // victims, release waiting ones.
         let mut freed: Vec<CoreId> = Vec::new();
         for t in &victims {
-            st.tasks.remove(&t.id());
-            SchedulerMetrics::inc(&self.metrics.tasks_reclaimed);
             {
-                // Scheduler lock → grant lock is the legal order.
                 let mut g = t.grant.lock();
                 if let Some(core) = g.granted.take() {
                     report.running_preempted += 1;
@@ -696,15 +908,18 @@ impl Scheduler {
                 g.state = TaskState::Finished;
                 g.released = true;
             }
-            // Collect-then-notify: the waiter is woken only after the scheduler lock
-            // drops below, never into the lock we still hold.
+            // Collect-then-notify: the waiter is woken only after its grant guard above
+            // has dropped.
             wakes.push(TaskRef::clone(t));
         }
+        // Phase 4: hand each freed core to co-tenants' ready work.
         for core in freed {
+            let mut st = self.lock_shard(self.shard_of(core));
             self.release_core(&mut st, core, &mut wakes);
+            drop(st);
+            wakes.fire();
         }
-        drop(st);
-        wakes.fire();
+        self.dispatch_sweep();
         report
     }
 
@@ -722,12 +937,18 @@ impl Scheduler {
                 .collect();
             (!kept.is_empty()).then_some(kept)
         });
-        let mut st = self.lock_state();
-        // Unknown (never-registered or already-deregistered) processes are ignored
-        // entirely: forwarding to the policy would re-register the pid into the quantum
-        // rotation as a ghost the grant path knows nothing about.
-        if let Some(p) = st.processes.get_mut(&process) {
+        {
+            let mut g = self.lock_global();
+            // Unknown (never-registered or already-deregistered) processes are ignored
+            // entirely: forwarding to the policy would re-register the pid into the
+            // quantum rotation as a ghost the grant path knows nothing about.
+            let Some(p) = g.processes.get_mut(&process) else {
+                return;
+            };
             p.domain = filtered.clone();
+            // Publish to the shared cell so shard-local immediate grants see the new
+            // domain without the global lock.
+            p.cell.set_domain(filtered.clone());
             trace_event!(
                 self,
                 Instant::now(),
@@ -736,14 +957,18 @@ impl Scheduler {
                     cores: filtered.clone(),
                 }
             );
-            st.policy.set_process_domain(process, filtered);
+        }
+        for si in 0..self.shards.len() {
+            self.lock_shard(si)
+                .policy
+                .set_process_domain(process, filtered.clone());
         }
     }
 
     /// Names and ids of the registered process domains.
     pub fn processes(&self) -> Vec<(ProcessId, String)> {
-        let st = self.lock_state();
-        let mut v: Vec<_> = st
+        let g = self.lock_global();
+        let mut v: Vec<_> = g
             .processes
             .values()
             .map(|p| (p.id, p.name.clone()))
@@ -756,24 +981,37 @@ impl Scheduler {
     // Task lifecycle
     // -------------------------------------------------------------------------------------
 
-    /// Create (but do not submit) a task belonging to `process`.
+    /// Create (but do not submit) a task belonging to `process`. The task carries its
+    /// process's shared liveness/domain cell, which is what lets every shard-local path
+    /// consult process state without the global lock.
     pub fn create_task(&self, process: ProcessId, label: Option<String>) -> Result<TaskRef> {
-        let mut st = self.lock_state();
-        if st.shutdown {
+        let mut g = self.lock_global();
+        if g.shutdown {
             return Err(NosvError::ShutDown);
         }
-        if !st.processes.contains_key(&process) {
+        let Some(p) = g.processes.get_mut(&process) else {
             return Err(NosvError::UnknownProcess(process));
-        }
-        let id = st.next_task_id;
-        st.next_task_id += 1;
-        let task = Task::new(id, process, label);
-        st.tasks.insert(id, TaskRef::clone(&task));
-        if let Some(p) = st.processes.get_mut(&process) {
-            p.tasks_created += 1;
-            p.tasks_live += 1;
-        }
+        };
+        p.tasks_created += 1;
+        p.tasks_live += 1;
+        let cell = std::sync::Arc::clone(&p.cell);
+        let id = g.next_task_id;
+        g.next_task_id += 1;
+        let task = Task::new(id, process, cell, label);
+        g.tasks.insert(id, TaskRef::clone(&task));
         Ok(task)
+    }
+
+    /// The grant→first-run observation hook passed to the grant-slot waits: records into
+    /// the scheduler-wide `dispatch` stage histogram *and* the granted core's shard
+    /// histogram, so dispatch tails are attributable per node.
+    fn record_dispatch(&self) -> impl Fn(CoreId, Duration) + '_ {
+        move |core, waited| {
+            self.stats.stages.dispatch.record(waited);
+            self.stats.shards[self.shard_of(core)]
+                .dispatch
+                .record(waited);
+        }
     }
 
     /// Attach: submit the task and block the calling OS thread until the scheduler grants it
@@ -783,7 +1021,7 @@ impl Scheduler {
         SchedulerMetrics::inc(&self.metrics.attaches);
         self.submit(task);
         self.prepark_drain();
-        let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
+        let _ = task.wait_grant_observed(self.record_dispatch());
     }
 
     /// Mark the task ready in its grant slot. Returns the instant the task turned ready
@@ -877,20 +1115,23 @@ impl Scheduler {
         // ourselves; otherwise its drain (which runs after its idle-store) sees our node.
         if self.idle_cores.load(Ordering::SeqCst) > 0 {
             let mut wakes = WakeBatch::new();
-            let mut st = self.lock_state();
+            let mut st = self.lock_shard(self.home_shard(task));
             self.drain_intake(&mut st, &mut wakes);
             // If stale entries made the drain enqueue instead of granting, fill the idle
             // cores from the policy now.
             self.dispatch_idle_cores(&mut st, &mut wakes);
             drop(st);
             wakes.fire();
+            // The idle core may live in a foreign shard (whose lock we never block on
+            // from here): the guarded sweep visits the other shards one at a time.
+            self.dispatch_sweep();
         } else if self.shutting_down.load(Ordering::SeqCst) {
             // We published after shutdown's drain: self-heal so the gauge does not stay
             // stuck positive and the node does not pin the task until Scheduler drop.
             // (The waiter itself is safe either way — the task was registered before the
             // shutdown flag was set, so the release loop covers it.)
             let mut wakes = WakeBatch::new();
-            let mut st = self.lock_state();
+            let mut st = self.lock_shard(self.home_shard(task));
             self.drain_intake(&mut st, &mut wakes);
             drop(st);
             wakes.fire();
@@ -916,13 +1157,15 @@ impl Scheduler {
         );
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
         let mut wakes = WakeBatch::new();
-        let mut st = self.lock_state();
+        let mut st = self.lock_shard(self.home_shard(task));
         self.drain_intake(&mut st, &mut wakes);
-        if st.shutdown || !st.tasks.contains_key(&task.id()) {
+        // `is_released()` is the shard-local equivalent of the old "still in the task
+        // table" check: detach/kill mark a task released exactly when they remove it.
+        if self.shutting_down.load(Ordering::SeqCst) || task.is_released() {
             self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
             return;
         }
-        if !st.processes.contains_key(&task.process()) {
+        if !task.proc_alive() {
             // Same rule as the intake drain: a task whose process was deregistered must be
             // released, never placed — granting it would run it outside any registered
             // domain, and enqueueing it would resurrect the purged process in the policy's
@@ -937,6 +1180,9 @@ impl Scheduler {
         }
         self.place_ready_task(&mut st, task, &mut wakes);
         self.dispatch_idle_cores(&mut st, &mut wakes);
+        drop(st);
+        wakes.fire();
+        self.dispatch_sweep();
     }
 
     /// Fault site: a worker stalls at a scheduling point (pause / yield), sleeping while
@@ -980,15 +1226,16 @@ impl Scheduler {
         let off_core = Instant::now();
         if let Some(core) = released {
             let mut wakes = WakeBatch::new();
-            let mut st = self.lock_state();
+            let mut st = self.lock_shard(self.shard_of(core));
             self.release_core(&mut st, core, &mut wakes);
             drop(st);
             // About to park: deliver the owed notifications *now* — the Drop safety net
             // only runs when this frame unwinds, which is after the wait below.
             wakes.fire();
+            self.dispatch_sweep();
         }
         self.prepark_drain();
-        let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
+        let _ = task.wait_grant_observed(self.record_dispatch());
         self.stats.stages.pause_block.record(off_core.elapsed());
     }
 
@@ -1015,21 +1262,22 @@ impl Scheduler {
         let off_core = Instant::now();
         if let Some(core) = released {
             let mut wakes = WakeBatch::new();
-            let mut st = self.lock_state();
+            let mut st = self.lock_shard(self.shard_of(core));
             self.release_core(&mut st, core, &mut wakes);
             drop(st);
             // About to park (timed): fire before the wait, same as `pause`.
             wakes.fire();
+            self.dispatch_sweep();
         }
         self.prepark_drain();
         let deadline = off_core + timeout;
-        let outcome = match task.wait_grant_until_observed(deadline, &self.stats.stages.dispatch) {
+        let outcome = match task.wait_grant_until_observed(deadline, self.record_dispatch()) {
             Some(_) => WaitOutcome::Woken,
             None => {
                 // Timed out without being woken: resubmit ourselves and wait for a core.
                 SchedulerMetrics::inc(&self.metrics.waitfor_timeouts);
                 self.submit(task);
-                let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
+                let _ = task.wait_grant_observed(self.record_dispatch());
                 WaitOutcome::TimedOut
             }
         };
@@ -1059,8 +1307,9 @@ impl Scheduler {
                 None => return false,
             }
         };
+        let si = self.shard_of(core);
         let mut wakes = WakeBatch::new();
-        let mut st = self.lock_state();
+        let mut st = self.lock_shard(si);
         self.drain_intake(&mut st, &mut wakes);
         // Pick the successor *before* requeueing ourselves: with per-core FIFO affinity the
         // yielding task would otherwise be at the head of its own core's queue and the yield
@@ -1112,6 +1361,8 @@ impl Scheduler {
             }
         );
         st.policy.enqueue(&self.topo, meta, now);
+        st.queued.insert(task.id(), TaskRef::clone(task));
+        self.shard_ready[si].fetch_add(1, Ordering::Relaxed);
         self.ready_tasks.fetch_add(1, Ordering::SeqCst);
         self.mark_busy(&mut st, core, next_task.id());
         self.grant(&next_task, core, false, &mut wakes);
@@ -1122,7 +1373,7 @@ impl Scheduler {
         SchedulerMetrics::inc(&self.metrics.yields);
         SchedulerMetrics::inc(&task.stats.yields);
         let off_core = Instant::now();
-        let _ = task.wait_grant_observed(&self.stats.stages.dispatch);
+        let _ = task.wait_grant_observed(self.record_dispatch());
         self.stats.stages.yield_block.record(off_core.elapsed());
         true
     }
@@ -1139,17 +1390,23 @@ impl Scheduler {
             g.released = true;
         }
         let mut wakes = WakeBatch::new();
-        let mut st = self.lock_state();
         if let Some(core) = released {
+            let mut st = self.lock_shard(self.shard_of(core));
             self.release_core(&mut st, core, &mut wakes);
         }
-        let process = task.process();
-        st.tasks.remove(&task.id());
-        if let Some(p) = st.processes.get_mut(&process) {
-            p.tasks_live = p.tasks_live.saturating_sub(1);
+        // Registry removal is the task-table write: the one global-section touch of the
+        // task lifecycle (not a scheduling point — the wake-churn hot path never gets
+        // here).
+        {
+            let mut g = self.lock_global();
+            let process = task.process();
+            g.tasks.remove(&task.id());
+            if let Some(p) = g.processes.get_mut(&process) {
+                p.tasks_live = p.tasks_live.saturating_sub(1);
+            }
         }
-        drop(st);
         wakes.fire();
+        self.dispatch_sweep();
     }
 
     /// Shut the scheduler down: every task waiting for a core is released from scheduler
@@ -1165,11 +1422,12 @@ impl Scheduler {
     /// immediately).
     pub fn shutdown(&self) {
         let (tasks, queued) = {
-            let mut st = self.lock_state();
-            st.shutdown = true;
+            let mut g = self.lock_global();
+            g.shutdown = true;
             trace_event!(self, Instant::now(), TraceEvent::Shutdown);
             // Published before the drain: a submit that pushes after this drain will
-            // observe the flag and self-heal (see `submit`).
+            // observe the flag and self-heal (see `submit`), and every shard's dispatch
+            // path refuses new grants from here on.
             self.shutting_down.store(true, Ordering::SeqCst);
             // Fault site: widen the flag-set → drain window so racing submits actually
             // land inside it (the self-heal path above is what must absorb them).
@@ -1183,21 +1441,26 @@ impl Scheduler {
                         task: None,
                     }
                 );
-                drop(st);
+                drop(g);
                 std::thread::sleep(stall);
-                st = self.lock_state();
+                g = self.lock_global();
             }
-            let tasks: Vec<TaskRef> = st.tasks.values().cloned().collect();
+            let tasks: Vec<TaskRef> = g.tasks.values().cloned().collect();
+            // Raw atomic-swap drains: a shard-lock drain racing us takes disjoint
+            // entries, and either drainer releases its share (the flag is already set).
             let queued: Vec<_> = self.intakes.iter().flat_map(|i| i.drain()).collect();
             (tasks, queued)
         };
         self.ready_tasks.store(0, Ordering::SeqCst);
+        for sr in self.shard_ready.iter() {
+            sr.store(0, Ordering::Relaxed);
+        }
         for t in tasks.iter().chain(queued.iter().map(|(t, _, _)| t)) {
             {
                 let mut g = t.grant.lock();
                 g.released = true;
             }
-            // The scheduler lock dropped above and the grant guard just did: the waiter
+            // The global lock dropped above and the grant guard just did: the waiter
             // wakes into uncontended locks (collect-then-notify).
             t.grant_cv.notify_all();
         }
@@ -1205,7 +1468,7 @@ impl Scheduler {
 
     /// Whether the scheduler has been shut down.
     pub fn is_shutdown(&self) -> bool {
-        self.lock_state().shutdown
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
     /// Grant-to-run watchdog: report every core whose current grant has been held for at
@@ -1220,29 +1483,42 @@ impl Scheduler {
     /// ([`Scheduler::kill_process`]), or widen the deadline.
     pub fn watchdog_scan(&self, max_hold: Duration) -> Vec<StallReport> {
         let now = Instant::now();
-        let mut st = self.lock_state();
-        let mut out = Vec::new();
-        for core in 0..st.cores.len() {
-            let CoreSlot::Busy(task) = st.cores[core] else {
-                continue;
-            };
-            let Some(at) = st.granted_at[core] else {
-                continue;
-            };
-            let held_for = now.saturating_duration_since(at);
-            if held_for >= max_hold && !st.stall_flagged[core] {
-                st.stall_flagged[core] = true;
-                SchedulerMetrics::inc(&self.metrics.stalls_detected);
-                let process = st.tasks.get(&task).map(|t| t.process()).unwrap_or_default();
-                out.push(StallReport {
-                    core,
-                    task,
-                    process,
-                    held_for,
-                });
+        // Multi-shard exception: visit every shard, one lock at a time in ascending
+        // order (shard-major iteration equals core order — nodes own contiguous core
+        // ranges), flagging under the owning shard's lock.
+        let mut flagged: Vec<(CoreId, TaskId, Duration)> = Vec::new();
+        for si in 0..self.shards.len() {
+            let mut st = self.lock_shard(si);
+            for li in 0..st.slots.len() {
+                let CoreSlot::Busy(task) = st.slots[li] else {
+                    continue;
+                };
+                let Some(at) = st.granted_at[li] else {
+                    continue;
+                };
+                let held_for = now.saturating_duration_since(at);
+                if held_for >= max_hold && !st.stall_flagged[li] {
+                    st.stall_flagged[li] = true;
+                    SchedulerMetrics::inc(&self.metrics.stalls_detected);
+                    flagged.push((st.cores[li], task, held_for));
+                }
             }
         }
-        out
+        if flagged.is_empty() {
+            // The common scan finds nothing: stay off the global section entirely, so a
+            // background watchdog never perturbs the steady-state churn sentinel.
+            return Vec::new();
+        }
+        let g = self.lock_global();
+        flagged
+            .into_iter()
+            .map(|(core, task, held_for)| StallReport {
+                core,
+                task,
+                process: g.tasks.get(&task).map(|t| t.process()).unwrap_or_default(),
+                held_for,
+            })
+            .collect()
     }
 
     /// An artificial scheduling point for watchdog/maintenance threads: drain the intake
@@ -1256,15 +1532,18 @@ impl Scheduler {
     /// there is none; a periodic `rescue_drain` bounds that delay without perturbing an
     /// otherwise healthy schedule (an empty intake makes this a cheap no-op).
     pub fn rescue_drain(&self) -> usize {
-        let mut wakes = WakeBatch::new();
-        let mut st = self.lock_state();
-        if st.shutdown {
+        if self.shutting_down.load(Ordering::SeqCst) {
             return 0;
         }
-        let n = self.drain_intake_forced(&mut st, &mut wakes);
-        self.dispatch_idle_cores(&mut st, &mut wakes);
-        drop(st);
-        wakes.fire();
+        let mut n = 0;
+        for si in 0..self.shards.len() {
+            let mut wakes = WakeBatch::new();
+            let mut st = self.lock_shard(si);
+            n += self.drain_intake_forced(&mut st, &mut wakes);
+            self.dispatch_idle_cores(&mut st, &mut wakes);
+            drop(st);
+            wakes.fire();
+        }
         n
     }
 
@@ -1276,18 +1555,21 @@ impl Scheduler {
     /// check is lock-free, so the common park — nothing pending — costs two atomic
     /// loads and never touches the scheduler lock.
     fn prepark_drain(&self) {
-        if self.intake_depth() == 0 {
+        if self.intake_depth() == 0 || self.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let mut wakes = WakeBatch::new();
-        let mut st = self.lock_state();
-        if st.shutdown {
-            return;
+        for si in 0..self.shards.len() {
+            if self.shards.len() > 1 && self.intakes[si].depth() == 0 {
+                continue;
+            }
+            let mut wakes = WakeBatch::new();
+            let mut st = self.lock_shard(si);
+            self.drain_intake(&mut st, &mut wakes);
+            self.dispatch_idle_cores(&mut st, &mut wakes);
+            drop(st);
+            wakes.fire();
         }
-        self.drain_intake(&mut st, &mut wakes);
-        self.dispatch_idle_cores(&mut st, &mut wakes);
-        drop(st);
-        wakes.fire();
+        self.dispatch_sweep();
     }
 
     // -------------------------------------------------------------------------------------
@@ -1353,38 +1635,45 @@ impl Scheduler {
     }
 
     /// Transition a core slot to busy, maintaining the idle-core gauge and the watchdog's
-    /// grant timestamp.
-    fn mark_busy(&self, st: &mut SchedState, core: CoreId, id: TaskId) {
-        if matches!(st.cores[core], CoreSlot::Idle) {
+    /// grant timestamp. Caller holds `core`'s owning shard lock.
+    fn mark_busy(&self, st: &mut ShardState, core: CoreId, id: TaskId) {
+        let li = self.core_shard[core].1;
+        debug_assert_eq!(self.core_shard[core].0, st.si);
+        if matches!(st.slots[li], CoreSlot::Idle) {
             self.idle_cores.fetch_sub(1, Ordering::SeqCst);
         }
-        st.cores[core] = CoreSlot::Busy(id);
-        st.granted_at[core] = Some(Instant::now());
-        st.stall_flagged[core] = false;
+        st.slots[li] = CoreSlot::Busy(id);
+        st.granted_at[li] = Some(Instant::now());
+        st.stall_flagged[li] = false;
     }
 
-    /// Transition a core slot to idle, maintaining the idle-core gauge.
-    fn mark_idle(&self, st: &mut SchedState, core: CoreId) {
-        if !matches!(st.cores[core], CoreSlot::Idle) {
+    /// Transition a core slot to idle, maintaining the idle-core gauge. Caller holds
+    /// `core`'s owning shard lock.
+    fn mark_idle(&self, st: &mut ShardState, core: CoreId) {
+        let li = self.core_shard[core].1;
+        debug_assert_eq!(self.core_shard[core].0, st.si);
+        if !matches!(st.slots[li], CoreSlot::Idle) {
             self.idle_cores.fetch_add(1, Ordering::SeqCst);
         }
-        st.cores[core] = CoreSlot::Idle;
-        st.granted_at[core] = None;
-        st.stall_flagged[core] = false;
+        st.slots[li] = CoreSlot::Idle;
+        st.granted_at[li] = None;
+        st.stall_flagged[li] = false;
     }
 
     /// Move every intake entry into the scheduler proper: stale entries (task detached, or
     /// shutdown) are dropped, tasks whose process was deregistered while they sat in the
     /// intake are released (placing them would resurrect the purged process in the
     /// rotation, and they could never be picked once purged again), and live ones are
-    /// placed ([`Scheduler::place_ready_task`]). Callers hold the scheduler lock, which
-    /// is what serializes drains.
-    fn drain_intake(&self, st: &mut SchedState, wakes: &mut WakeBatch) {
+    /// placed ([`Scheduler::place_ready_task`]). Callers hold the shard lock, which is
+    /// what serializes drains of that shard's intake.
+    fn drain_intake(&self, st: &mut ShardState, wakes: &mut WakeBatch) {
         // Fault site: skip this drain, delaying queued submits to the next scheduling
         // point. Never skipped once shutdown is underway — the released-waiter guarantee
         // relies on the shutdown drain, and a fault plan must not turn a delay into a
         // liveness hole the hardening cannot see.
-        if !st.shutdown && fault_fires!(self, FaultSite::DelayIntakeDrain, None::<TaskId>) {
+        if !self.shutting_down.load(Ordering::SeqCst)
+            && fault_fires!(self, FaultSite::DelayIntakeDrain, None::<TaskId>)
+        {
             SchedulerMetrics::inc(&self.metrics.faults_injected);
             trace_event!(
                 self,
@@ -1401,19 +1690,25 @@ impl Scheduler {
 
     /// The drain body proper, never subject to the [`FaultSite::DelayIntakeDrain`] fault:
     /// [`Scheduler::rescue_drain`] calls this directly because a rescue must not itself
-    /// be delayed. Collects every per-node shard and merges by the global `intake_seq`
-    /// stamp, so the sharded intake is processed in exactly the order the old single
-    /// stack gave. Returns how many intake entries were processed.
-    fn drain_intake_forced(&self, st: &mut SchedState, wakes: &mut WakeBatch) -> usize {
+    /// be delayed. With one shard (flat policies) this collects every per-node intake and
+    /// merges by the global `intake_seq` stamp, so the sharded intake is processed in
+    /// exactly the order the old single stack gave; under the split scheduler each shard
+    /// drains only its own node's intake (the stamp still orders entries within it).
+    /// Returns how many intake entries were processed.
+    fn drain_intake_forced(&self, st: &mut ShardState, wakes: &mut WakeBatch) -> usize {
         let mut drained: Vec<(TaskRef, Instant, u64)> = Vec::new();
-        for intake in self.intakes.iter() {
-            drained.extend(intake.drain());
+        if self.shards.len() == 1 {
+            for intake in self.intakes.iter() {
+                drained.extend(intake.drain());
+            }
+        } else {
+            drained.extend(self.intakes[st.si].drain());
         }
         let n = drained.len();
         if drained.is_empty() {
             return 0;
         }
-        // Restore global submission order across the shards (each shard is already
+        // Restore submission order across what was collected (each intake is already
         // oldest-first, so this is a cheap merge for the sort's adaptive path).
         drained.sort_by_key(|&(_, _, seq)| seq);
         let now = Instant::now();
@@ -1424,14 +1719,17 @@ impl Scheduler {
                 .stages
                 .intake_wait
                 .record(now.saturating_duration_since(pushed_at));
-            if st.shutdown || !st.tasks.contains_key(&task.id()) {
+            // `is_released()` is the shard-local equivalent of the old "still in the
+            // task table" check: detach/kill mark a task released exactly when removing
+            // it from the table.
+            if self.shutting_down.load(Ordering::SeqCst) || task.is_released() {
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
-            if !st.processes.contains_key(&task.process()) {
+            if !task.proc_alive() {
                 self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
                 if task.release_if_unreleased() {
-                    // Collect-then-notify: woken after the scheduler lock drops.
+                    // Collect-then-notify: woken after the shard lock drops.
                     wakes.push(task);
                 }
                 continue;
@@ -1442,22 +1740,20 @@ impl Scheduler {
     }
 
     /// Place a ready task: grant it an idle core if one is available (honouring affinity)
-    /// and no older work is queued, otherwise enqueue it in the policy.
+    /// and no older work is queued, otherwise enqueue it in the shard's policy.
     ///
     /// The `has_ready` guard keeps intake draining fair: a task published after older
     /// tasks were queued in the policy must not jump them just because a core went idle in
     /// between — it is enqueued instead, and the pop tiers (which include the aging valve)
     /// decide.
-    fn place_ready_task(&self, st: &mut SchedState, task: &TaskRef, wakes: &mut WakeBatch) {
+    fn place_ready_task(&self, st: &mut ShardState, task: &TaskRef, wakes: &mut WakeBatch) {
         let now = Instant::now();
         if !st.policy.has_ready() {
-            // Borrow the domain, never clone it: this runs on the submit hot path under
-            // the scheduler lock.
-            let domain = st
-                .processes
-                .get(&task.process())
-                .and_then(|p| p.domain.as_deref());
-            if let Some(core) = self.choose_idle_core(st, task.preferred_core(), domain) {
+            // The placement domain is read from the task's shared process cell — the
+            // shard-local path never consults the global process table.
+            let domain = task.proc_domain();
+            if let Some(core) = self.choose_idle_core(st, task.preferred_core(), domain.as_deref())
+            {
                 // The task was marked queued by the caller; the grant clears it.
                 self.mark_busy(st, core, task.id());
                 self.grant(task, core, true, wakes);
@@ -1480,19 +1776,25 @@ impl Scheduler {
             }
         );
         st.policy.enqueue(&self.topo, meta, now);
+        st.queued.insert(task.id(), TaskRef::clone(task));
+        self.shard_ready[st.si].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Pick an idle core for a task with the given preference: preferred core if idle, else
-    /// an idle core in the same NUMA node, else any idle core — all restricted to the
-    /// task's process placement domain when one is set.
+    /// Pick an idle core *owned by this shard* for a task with the given preference:
+    /// preferred core if idle, else an idle core in the same NUMA node, else any idle
+    /// core of the shard — all restricted to the task's process placement domain when one
+    /// is set. (With one shard this is exactly the old whole-machine scan.)
     fn choose_idle_core(
         &self,
-        st: &SchedState,
+        st: &ShardState,
         preferred: Option<CoreId>,
         domain: Option<&[CoreId]>,
     ) -> Option<CoreId> {
         let allowed = |c: CoreId| domain.map_or(true, |d| d.contains(&c));
-        let is_idle = |c: CoreId| matches!(st.cores[c], CoreSlot::Idle) && allowed(c);
+        let is_idle = |c: CoreId| {
+            let (si, li) = self.core_shard[c];
+            si == st.si && matches!(st.slots[li], CoreSlot::Idle) && allowed(c)
+        };
         if let Some(p) = preferred {
             if p < self.topo.num_cores() {
                 if is_idle(p) {
@@ -1504,32 +1806,101 @@ impl Scheduler {
                 }
             }
         }
-        self.topo.cores().find(|&c| is_idle(c))
+        st.cores.iter().copied().find(|&c| is_idle(c))
     }
 
-    /// A core became free: drain the intake, then hand the core to the next ready task
-    /// according to the policy (if the drain did not already fill it), or leave it idle.
-    fn release_core(&self, st: &mut SchedState, core: CoreId, wakes: &mut WakeBatch) {
+    /// A core became free: drain the shard's intake, then hand the core to the next ready
+    /// task according to the policy (if the drain did not already fill it), or leave it
+    /// idle.
+    fn release_core(&self, st: &mut ShardState, core: CoreId, wakes: &mut WakeBatch) {
         self.mark_idle(st, core);
         self.drain_intake(st, wakes);
         // Hot path: only the freed core can normally be idle while work is queued
         // (place_ready_task grants idle cores whenever the policy is empty), so dispatch
         // it directly instead of scanning all slots under the lock.
-        if matches!(st.cores[core], CoreSlot::Idle) {
+        let li = self.core_shard[core].1;
+        if matches!(st.slots[li], CoreSlot::Idle) {
             self.dispatch_core(st, core, Instant::now(), wakes);
         }
         // Rare: stale entries of detached tasks can leave *other* cores idle while the
         // policy still reports ready work — fall back to the full scan only then.
-        if st.policy.has_ready() && self.idle_cores.load(Ordering::SeqCst) > 0 {
+        if (st.policy.has_ready() || self.others_ready(st.si))
+            && self.idle_cores.load(Ordering::SeqCst) > 0
+        {
             self.dispatch_idle_cores(st, wakes);
         }
     }
 
-    /// Pop ready tasks from the policy until a live one is found, maintaining the ready
-    /// gauge. Stale queue entries (tasks detached while still queued) are skipped and
-    /// reconciled here.
-    fn pick_live(&self, st: &mut SchedState, core: CoreId, now: Instant) -> Option<TaskRef> {
-        while let Some((meta, tier)) = st.policy.pick_traced(&self.topo, core, now) {
+    /// One pick attempt for `core` across the shard boundary, in strict priority order:
+    ///
+    /// 1. **Cross-shard aging valve** (rate-limited to one probe per quantum per shard):
+    ///    a foreign shard's over-aged work is taken ahead of local work, so per-node
+    ///    locking cannot starve a task whose home node went quiet. Foreign shards are
+    ///    reached by `try_lock` only — a busy victim is skipped, never waited on.
+    /// 2. **Local pick** through the shard policy's normal tiers.
+    /// 3. **Cross-shard steal** on local exhaustion (also `try_lock`-only), oldest-victim
+    ///    order starting at the next node.
+    ///
+    /// Exactly one logical pick per call (the valve tick included), so a recorded
+    /// `Pop`/`PopEmpty` event advances replayed policy state identically. With one shard
+    /// this reduces to `policy.pick_traced` exactly.
+    fn split_pick_once(
+        &self,
+        st: &mut ShardState,
+        core: CoreId,
+        now: Instant,
+    ) -> Option<(TaskMeta, Option<PickTier>, Option<TaskRef>)> {
+        let n = self.shards.len();
+        if n > 1 && st.xvalve.crossed(now, self.config.process_quantum) {
+            for off in 1..n {
+                let vi = (st.si + off) % n;
+                if self.shard_ready[vi].load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                let Some(mut vg) = self.try_lock_shard(vi) else {
+                    continue;
+                };
+                if let Some(meta) = vg.policy.pick_aged(&self.topo, core, now) {
+                    let task = vg.queued.remove(&meta.id);
+                    self.shard_ready[vi].fetch_sub(1, Ordering::Relaxed);
+                    self.stats.shards[st.si]
+                        .valve_crossings
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Some((meta, Some(PickTier::Aged), task));
+                }
+            }
+        }
+        if let Some((meta, tier)) = st.policy.pick_traced(&self.topo, core, now) {
+            let task = st.queued.remove(&meta.id);
+            self.shard_ready[st.si].fetch_sub(1, Ordering::Relaxed);
+            return Some((meta, tier, task));
+        }
+        if n > 1 {
+            for off in 1..n {
+                let vi = (st.si + off) % n;
+                if self.shard_ready[vi].load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                let Some(mut vg) = self.try_lock_shard(vi) else {
+                    continue;
+                };
+                if let Some((meta, tier)) = vg.policy.pick_traced(&self.topo, core, now) {
+                    let task = vg.queued.remove(&meta.id);
+                    self.shard_ready[vi].fetch_sub(1, Ordering::Relaxed);
+                    // Steals are counted against the shard that lost the entry.
+                    self.stats.shards[vi].steals.fetch_add(1, Ordering::Relaxed);
+                    return Some((meta, tier, task));
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop ready tasks (local, valve, or stolen — see [`Scheduler::split_pick_once`])
+    /// until a live one is found, maintaining the ready gauge. Stale queue entries (tasks
+    /// detached while still queued) are skipped and reconciled here.
+    fn pick_live(&self, st: &mut ShardState, core: CoreId, now: Instant) -> Option<TaskRef> {
+        while let Some((meta, tier, task)) = self.split_pick_once(st, core, now) {
             self.ready_tasks.fetch_sub(1, Ordering::SeqCst);
             trace_event!(
                 self,
@@ -1540,8 +1911,10 @@ impl Scheduler {
                     task: meta.id,
                 }
             );
-            if let Some(task) = st.tasks.get(&meta.id).cloned() {
-                return Some(task);
+            if let Some(task) = task {
+                if !task.is_released() {
+                    return Some(task);
+                }
             }
         }
         // The empty pick still re-armed the aging valve — record it so the replayed
@@ -1550,16 +1923,16 @@ impl Scheduler {
         None
     }
 
-    /// Try to dispatch a ready task onto an idle core.
+    /// Try to dispatch a ready task onto an idle core of this shard.
     fn dispatch_core(
         &self,
-        st: &mut SchedState,
+        st: &mut ShardState,
         core: CoreId,
         now: Instant,
         wakes: &mut WakeBatch,
     ) {
-        debug_assert!(matches!(st.cores[core], CoreSlot::Idle));
-        if st.shutdown {
+        debug_assert!(matches!(st.slots[self.core_shard[core].1], CoreSlot::Idle));
+        if self.shutting_down.load(Ordering::SeqCst) {
             return;
         }
         if let Some(task) = self.pick_live(st, core, now) {
@@ -1568,19 +1941,46 @@ impl Scheduler {
         }
     }
 
-    /// Dispatch ready work onto every idle core (cheap early-exit when nothing is ready).
-    fn dispatch_idle_cores(&self, st: &mut SchedState, wakes: &mut WakeBatch) {
-        if st.shutdown {
+    /// Dispatch ready work onto every idle core of this shard (cheap early-exit when
+    /// nothing is ready here or in a stealable foreign shard).
+    fn dispatch_idle_cores(&self, st: &mut ShardState, wakes: &mut WakeBatch) {
+        if self.shutting_down.load(Ordering::SeqCst) {
             return;
         }
         let now = Instant::now();
-        for core in 0..st.cores.len() {
-            if !st.policy.has_ready() {
+        for li in 0..st.slots.len() {
+            if !(st.policy.has_ready() || self.others_ready(st.si)) {
                 break;
             }
-            if matches!(st.cores[core], CoreSlot::Idle) {
+            if matches!(st.slots[li], CoreSlot::Idle) {
+                let core = st.cores[li];
                 self.dispatch_core(st, core, now, wakes);
             }
+        }
+    }
+
+    /// Cross-shard liveness sweep: after an operation that freed cores or enqueued work
+    /// in one shard, visit the *other* shards (one lock at a time, never while holding a
+    /// shard lock) so an idle core over there picks up work it could not see. A no-op
+    /// with one shard; guarded by the lock-free gauges so the steady state — every core
+    /// busy, or nothing ready — pays two atomic loads and takes no lock.
+    fn dispatch_sweep(&self) {
+        if self.shards.len() == 1 {
+            return;
+        }
+        for si in 0..self.shards.len() {
+            if self.shutting_down.load(Ordering::SeqCst)
+                || !self.has_ready()
+                || self.idle_cores.load(Ordering::SeqCst) == 0
+            {
+                return;
+            }
+            let mut wakes = WakeBatch::new();
+            let mut st = self.lock_shard(si);
+            self.drain_intake(&mut st, &mut wakes);
+            self.dispatch_idle_cores(&mut st, &mut wakes);
+            drop(st);
+            wakes.fire();
         }
     }
 }

@@ -7,12 +7,12 @@
 //! preferred core), and a small per-task "grant" slot through which the scheduler hands it
 //! a core.
 
-use crate::process::ProcessId;
+use crate::process::{ProcCell, ProcessId};
 use crate::topology::CoreId;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identifier of a task, unique within a scheduler instance.
 pub type TaskId = u64;
@@ -88,6 +88,9 @@ pub struct TaskStats {
 pub struct Task {
     id: TaskId,
     process: ProcessId,
+    /// Liveness/domain cell of the owning process; lets shard-local scheduling paths check
+    /// process state without the global process table.
+    proc_cell: Arc<ProcCell>,
     label: Option<String>,
     /// Last core this task ran on; used as the preferred core by affinity-aware policies.
     pref_core: AtomicUsize,
@@ -101,10 +104,16 @@ pub struct Task {
 
 impl Task {
     /// Create a task in the [`TaskState::Created`] state.
-    pub(crate) fn new(id: TaskId, process: ProcessId, label: Option<String>) -> TaskRef {
+    pub(crate) fn new(
+        id: TaskId,
+        process: ProcessId,
+        proc_cell: Arc<ProcCell>,
+        label: Option<String>,
+    ) -> TaskRef {
         Arc::new(Task {
             id,
             process,
+            proc_cell,
             label,
             pref_core: AtomicUsize::new(NO_CORE),
             grant: Mutex::new(GrantSlot {
@@ -130,6 +139,23 @@ impl Task {
     /// Process domain the task belongs to.
     pub fn process(&self) -> ProcessId {
         self.process
+    }
+
+    /// Whether the owning process is still registered (lock-free; see [`ProcCell`]).
+    pub(crate) fn proc_alive(&self) -> bool {
+        self.proc_cell.is_alive()
+    }
+
+    /// The owning process's placement domain, if restricted.
+    pub(crate) fn proc_domain(&self) -> Option<Vec<CoreId>> {
+        self.proc_cell.domain()
+    }
+
+    /// Whether the task has been released from scheduler control (detach, kill, shutdown).
+    /// Serves as the shard-local staleness check: a released task's intake entries and
+    /// queued placeholders are dead and must only reconcile the ready gauge.
+    pub(crate) fn is_released(&self) -> bool {
+        self.grant.lock().released
     }
 
     /// Optional human-readable label.
@@ -215,16 +241,17 @@ impl Task {
         }
     }
 
-    /// [`Task::wait_grant`] that additionally records the grant→first-run (dispatch)
-    /// latency into `dispatch` when the grant stamped one: the elapsed time between the
-    /// scheduler publishing the grant and this worker observing it. The scheduler's
-    /// blocking scheduling points all wait through this variant.
-    pub(crate) fn wait_grant_observed(&self, dispatch: &crate::obs::Histogram) -> Option<CoreId> {
+    /// [`Task::wait_grant`] that additionally reports the grant→first-run (dispatch)
+    /// latency when the grant stamped one: the elapsed time between the scheduler
+    /// publishing the grant and this worker observing it, together with the granted core
+    /// so the caller can attribute the sample per NUMA node. The scheduler's blocking
+    /// scheduling points all wait through this variant.
+    pub(crate) fn wait_grant_observed(&self, record: impl Fn(CoreId, Duration)) -> Option<CoreId> {
         let mut g = self.grant.lock();
         loop {
             if let Some(core) = g.granted {
                 if let Some(t0) = g.dispatched_at.take() {
-                    dispatch.record(t0.elapsed());
+                    record(core, t0.elapsed());
                 }
                 return Some(core);
             }
@@ -267,13 +294,13 @@ impl Task {
     pub(crate) fn wait_grant_until_observed(
         &self,
         deadline: Instant,
-        dispatch: &crate::obs::Histogram,
+        record: impl Fn(CoreId, Duration),
     ) -> Option<Option<CoreId>> {
         let mut g = self.grant.lock();
         loop {
             if let Some(core) = g.granted {
                 if let Some(t0) = g.dispatched_at.take() {
-                    dispatch.record(t0.elapsed());
+                    record(core, t0.elapsed());
                 }
                 return Some(Some(core));
             }
@@ -283,7 +310,7 @@ impl Task {
             if self.grant_cv.wait_until(&mut g, deadline).timed_out() {
                 if let Some(core) = g.granted {
                     if let Some(t0) = g.dispatched_at.take() {
-                        dispatch.record(t0.elapsed());
+                        record(core, t0.elapsed());
                     }
                     return Some(Some(core));
                 }
@@ -303,7 +330,7 @@ mod tests {
 
     #[test]
     fn new_task_is_created_state_without_core() {
-        let t = Task::new(7, 1, Some("t".into()));
+        let t = Task::new(7, 1, ProcCell::new(), Some("t".into()));
         assert_eq!(t.id(), 7);
         assert_eq!(t.process(), 1);
         assert_eq!(t.label(), Some("t"));
@@ -314,21 +341,21 @@ mod tests {
 
     #[test]
     fn record_core_sets_preference() {
-        let t = Task::new(1, 0, None);
+        let t = Task::new(1, 0, ProcCell::new(), None);
         t.record_core(3);
         assert_eq!(t.preferred_core(), Some(3));
     }
 
     #[test]
     fn wait_grant_until_times_out_when_never_granted() {
-        let t = Task::new(1, 0, None);
+        let t = Task::new(1, 0, ProcCell::new(), None);
         let r = t.wait_grant_until(Instant::now() + Duration::from_millis(10));
         assert!(r.is_none());
     }
 
     #[test]
     fn wait_grant_returns_after_grant_from_other_thread() {
-        let t = Task::new(1, 0, None);
+        let t = Task::new(1, 0, ProcCell::new(), None);
         let t2 = Arc::clone(&t);
         let h = std::thread::spawn(move || t2.wait_grant());
         std::thread::sleep(Duration::from_millis(20));
@@ -343,7 +370,7 @@ mod tests {
 
     #[test]
     fn released_task_wait_returns_none() {
-        let t = Task::new(1, 0, None);
+        let t = Task::new(1, 0, ProcCell::new(), None);
         {
             let mut g = t.grant.lock();
             g.released = true;

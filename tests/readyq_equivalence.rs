@@ -496,3 +496,105 @@ proptest! {
             "sharded aged picks must replay at the recorded logical steps");
     }
 }
+
+/// One split pick step against two per-node policies: local tiers first, then a steal
+/// from the other shard — the readyq-level model of `Scheduler::split_pick_once` with
+/// the aging valve disabled (quantum longer than any run).
+fn split_pick(
+    shards: &mut [CoopPolicy],
+    topo: &Topology,
+    core: usize,
+    at: Instant,
+) -> Option<(TaskMeta, PickTier)> {
+    let si = topo.node_of(core);
+    if let Some(p) = shards[si].pick_tiered(core, at) {
+        return Some(p);
+    }
+    for off in 1..shards.len() {
+        let vi = (si + off) % shards.len();
+        if let Some(p) = shards[vi].pick_tiered(core, at) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+proptest! {
+    /// Split-lock satellite gate: with bound-only tasks, a single process and a quantum
+    /// longer than any run (the aging valves never fire), the split model — one flat
+    /// SCHED_COOP policy per NUMA node, enqueues routed by the preferred core's node,
+    /// local-first picks with a cross-shard steal on local exhaustion — produces the
+    /// identical (task, tier) sequence as one flat policy over the whole machine. A
+    /// steal surfaces as exactly the flat pick's `Remote` tier: the stolen entry is the
+    /// oldest in the victim shard, which is the oldest remote entry of the flat view.
+    #[test]
+    fn split_steals_match_the_flat_pick_sequence(
+        ops in proptest::collection::vec((0u8..2, 0u8..4, 0u32..40_000), 1..80),
+    ) {
+        let topo = Topology::new(CORES, NODES);
+        let quantum = Duration::from_secs(3600);
+        let mut flat = CoopPolicy::new(topo.clone(), quantum);
+        let mut shards: Vec<CoopPolicy> =
+            (0..NODES).map(|_| CoopPolicy::new(topo.clone(), quantum)).collect();
+        let base = Instant::now();
+        let mut now = 0u64;
+        let mut next_id = 1u64;
+        let mut drain_cores = std::collections::VecDeque::new();
+        for (kind, core, dt) in ops {
+            now += u64::from(dt);
+            let at = base + Duration::from_nanos(now);
+            let core = core as usize % CORES;
+            if kind == 0 {
+                let meta = TaskMeta { id: next_id, process: 1, preferred_core: Some(core) };
+                flat.enqueue(&topo, meta, at);
+                shards[topo.node_of(core)].enqueue(&topo, meta, at);
+                next_id += 1;
+            } else {
+                let expect = flat.pick_tiered(core, at);
+                let got = split_pick(&mut shards, &topo, core, at);
+                prop_assert_eq!(got, expect, "split pick at core {} diverged", core);
+                drain_cores.push_back(core);
+            }
+        }
+        // Drain both models to empty through the same core sequence: every residual
+        // entry must also be picked identically (steals included).
+        let mut drain_core = 0usize;
+        while flat.has_ready() || shards.iter().any(|s| s.has_ready()) {
+            now += 1_000;
+            let at = base + Duration::from_nanos(now);
+            let expect = flat.pick_tiered(drain_core, at);
+            let got = split_pick(&mut shards, &topo, drain_core, at);
+            prop_assert_eq!(got, expect, "drain pick at core {} diverged", drain_core);
+            prop_assert!(got.is_some(), "both report ready work but neither picks");
+            drain_core = (drain_core + 1) % CORES;
+        }
+    }
+}
+
+/// Deterministic steal scenario: work bound to node 0 only, picked from a node-1 core.
+/// The split model must steal it and report the flat pick's `Remote` tier.
+#[test]
+fn split_steal_reports_the_flat_remote_tier() {
+    let topo = Topology::new(CORES, NODES);
+    let quantum = Duration::from_secs(3600);
+    let mut flat = CoopPolicy::new(topo.clone(), quantum);
+    let mut shards: Vec<CoopPolicy> = (0..NODES)
+        .map(|_| CoopPolicy::new(topo.clone(), quantum))
+        .collect();
+    let base = Instant::now();
+    let meta = TaskMeta {
+        id: 1,
+        process: 1,
+        preferred_core: Some(0),
+    };
+    flat.enqueue(&topo, meta, base);
+    shards[0].enqueue(&topo, meta, base);
+    // Core 3 lives in node 1: its shard is empty, so the split pick must steal from
+    // shard 0 — and agree with the flat policy that this is a Remote-tier pick.
+    let at = base + Duration::from_nanos(10);
+    let expect = flat.pick_tiered(3, at);
+    assert_eq!(expect, Some((meta, PickTier::Remote)));
+    let got = split_pick(&mut shards, &topo, 3, at);
+    assert_eq!(got, expect);
+    assert!(!shards.iter().any(|s| s.has_ready()));
+}

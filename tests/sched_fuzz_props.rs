@@ -29,12 +29,14 @@ proptest! {
     /// Random seeded schedules keep every invariant (no double grant, gauges consistent,
     /// domains respected, no ghost grants, nothing lost) across the config matrix.
     #[test]
-    fn random_schedules_hold_invariants(seed in 0u64..100_000, which in 0usize..4) {
+    fn random_schedules_hold_invariants(seed in 0u64..100_000, which in 0usize..6) {
         let cfg = match which {
             0 => FuzzConfig::base(),
             1 => FuzzConfig::valve(),
             2 => FuzzConfig::shutdown_biased(),
-            _ => FuzzConfig::domain_heavy(),
+            3 => FuzzConfig::domain_heavy(),
+            4 => FuzzConfig::split_lock(),
+            _ => FuzzConfig::split_valve(),
         };
         let ops = generate(&cfg, seed);
         let stats = execute(&cfg, &ops, None)
